@@ -1,0 +1,301 @@
+(* Benchmark harness: regenerates every figure of the paper's Section 7
+   (period tables + normalisation factors), runs the ablation studies for
+   the extensions, validates the analytic model against the simulator, and
+   finishes with bechamel micro-benchmarks of the computational kernels.
+
+   Usage: dune exec bench/main.exe [-- --quick] [-- --only figN[,figM...]]
+     --quick        3 replicates instead of the paper's 30/100
+     --only LIST    only the listed figures (e.g. --only fig5,fig9)
+     --skip-micro   skip the bechamel micro-benchmark section
+     --skip-ablation skip the ablation section *)
+
+module Figures = Mf_experiments.Figures
+module Report = Mf_experiments.Report
+module Runner = Mf_experiments.Runner
+module Summary = Mf_experiments.Summary
+module Registry = Mf_heuristics.Registry
+module Period = Mf_core.Period
+module Gen = Mf_workload.Gen
+module Rng = Mf_prng.Rng
+
+let quick = ref false
+let only : string list ref = ref []
+let skip_micro = ref false
+let skip_ablation = ref false
+
+let parse_args () =
+  let rec go = function
+    | [] -> ()
+    | "--quick" :: rest ->
+      quick := true;
+      go rest
+    | "--only" :: spec :: rest ->
+      only := String.split_on_char ',' spec;
+      go rest
+    | "--skip-micro" :: rest ->
+      skip_micro := true;
+      go rest
+    | "--skip-ablation" :: rest ->
+      skip_ablation := true;
+      go rest
+    | arg :: _ ->
+      Printf.eprintf "unknown argument %s\n" arg;
+      exit 2
+  in
+  go (List.tl (Array.to_list Sys.argv))
+
+let section title =
+  Printf.printf "\n%s\n%s\n" title (String.make (String.length title) '=')
+
+(* ------------------------------------------------------------------ *)
+(* Figure reproduction                                                  *)
+(* ------------------------------------------------------------------ *)
+
+let wanted id = !only = [] || List.mem id !only
+
+let reproduce_figures () =
+  section "Reproduction of the paper's figures (Section 7)";
+  Printf.printf "(mean period in ms per point, %s replicates)\n"
+    (if !quick then "3 quick" else "the paper's 30, 100 for fig9");
+  let replicates = if !quick then Some 3 else None in
+  let fig9_replicates = if !quick then Some 3 else Some 100 in
+  let run id f =
+    if wanted id then begin
+      let t0 = Sys.time () in
+      let fig = f () in
+      print_newline ();
+      print_string (Report.to_string fig);
+      Printf.printf "(%s computed in %.1fs cpu)\n" id (Sys.time () -. t0);
+      Some fig
+    end
+    else None
+  in
+  ignore (run "fig5" (fun () -> Figures.fig5 ?replicates ()));
+  ignore (run "fig6" (fun () -> Figures.fig6 ?replicates ()));
+  ignore (run "fig7" (fun () -> Figures.fig7 ?replicates ()));
+  ignore (run "fig8" (fun () -> Figures.fig8 ?replicates ()));
+  (match run "fig9" (fun () -> Figures.fig9 ?replicates:fig9_replicates ()) with
+  | Some fig ->
+    Format.printf "@[<v>%a@]@."
+      (fun fmt f -> Summary.pp_factors fmt f ~reference:"OtO")
+      fig;
+    Format.print_flush ();
+    Printf.printf "(paper: H2 1.84x, H3 1.75x, H4w 1.28x from the optimal)\n"
+  | None -> ());
+  (match run "fig10" (fun () -> Figures.fig10 ?replicates ()) with
+  | Some fig ->
+    Format.printf "@[<v>%a@]@."
+      (fun fmt f -> Summary.pp_factors fmt f ~reference:"MIP")
+      fig;
+    Format.print_flush ();
+    Printf.printf "(paper: H2 1.73x, H3 1.58x, H4w 1.33x from the MIP)\n"
+  | None -> ());
+  ignore (run "fig11" (fun () -> Figures.fig11 ?replicates ()));
+  ignore (run "fig12" (fun () -> Figures.fig12 ?replicates ()))
+
+(* ------------------------------------------------------------------ *)
+(* Ablations for the extensions                                         *)
+(* ------------------------------------------------------------------ *)
+
+let ablation_local_search () =
+  section "Ablation: post-optimisation of heuristic mappings (extensions)";
+  Printf.printf
+    "mean period over 10 instances (n=20, p=4, m=8): raw heuristic, after\n\
+     steepest-descent local search, after simulated annealing\n";
+  Printf.printf "  %-4s %12s %14s %14s\n" "" "raw" "local search" "annealing";
+  List.iter
+    (fun h ->
+      let raw = ref 0.0 and ls = ref 0.0 and sa = ref 0.0 in
+      let trials = 10 in
+      for seed = 1 to trials do
+        let inst = Gen.chain (Rng.create seed) (Gen.default ~tasks:20 ~types:4 ~machines:8) in
+        let mp = Registry.solve ~seed h inst in
+        raw := !raw +. Period.period inst mp;
+        ls := !ls +. Period.period inst (Mf_heuristics.Local_search.improve inst mp);
+        sa :=
+          !sa
+          +. Period.period inst (Mf_heuristics.Annealing.run (Rng.create (seed * 7)) inst mp)
+      done;
+      let t = float_of_int trials in
+      Printf.printf "  %-4s %10.1fms %12.1fms %12.1fms\n" (Registry.name h) (!raw /. t)
+        (!ls /. t) (!sa /. t))
+    [ Registry.H1; Registry.H2; Registry.H3; Registry.H4w ]
+
+let ablation_splitting () =
+  section "Ablation: divisible workloads (paper's future work, LP bound)";
+  Printf.printf
+    "per-instance comparison (n=8, p=3, m=4): exact specialized optimum vs the\n\
+     divisible-workload LP bound and its rounded specialized mapping\n";
+  Printf.printf "  %4s %12s %12s %12s %10s\n" "seed" "exact" "LP bound" "rounded" "gain";
+  for seed = 1 to 8 do
+    let inst = Gen.chain (Rng.create seed) (Gen.default ~tasks:8 ~types:3 ~machines:4) in
+    let exact = (Mf_exact.Dfs.specialized inst).Mf_exact.Dfs.period in
+    let lp = Mf_lp.Splitting.solve inst in
+    let _, rounded = Mf_lp.Splitting.round inst lp in
+    Printf.printf "  %4d %12.1f %12.1f %12.1f %9.1f%%\n" seed exact lp.Mf_lp.Splitting.period
+      rounded
+      (100.0 *. (exact -. lp.Mf_lp.Splitting.period) /. exact)
+  done;
+  Printf.printf "(gain = throughput improvement available by splitting task workloads)\n"
+
+let ablation_h2_interpretations () =
+  section "Ablation: Algorithm 2 pseudo-code vs prose (H2/H3 variants)";
+  Printf.printf
+    "the paper's pseudo-code rejects a binary-search round when the single\n\
+     best-rank machine busts the budget; the prose retries lower-priority\n\
+     machines.  Mean period over 15 instances (n=60, p=5, m=20):\n";
+  let trials = 15 in
+  let mean solve =
+    let acc = ref 0.0 in
+    for seed = 1 to trials do
+      let inst = Gen.chain (Rng.create seed) (Gen.default ~tasks:60 ~types:5 ~machines:20) in
+      acc := !acc +. Period.period inst (solve inst)
+    done;
+    !acc /. float_of_int trials
+  in
+  Printf.printf "  H2 (pseudo-code)  %10.1f ms\n" (mean Mf_heuristics.H2_potential.run);
+  Printf.printf "  H2 (prose/retry)  %10.1f ms\n" (mean Mf_heuristics.H2_variants.h2_retry);
+  Printf.printf "  H3 (pseudo-code)  %10.1f ms\n" (mean Mf_heuristics.H3_heterogeneity.run);
+  Printf.printf "  H3 (prose/retry)  %10.1f ms\n" (mean Mf_heuristics.H2_variants.h3_retry);
+  Printf.printf "  H4w (reference)   %10.1f ms\n"
+    (mean (Registry.solve Registry.H4w))
+
+let ablation_reconfiguration () =
+  section "Ablation: reconfiguration costs vs general mappings (Section 6 remark)";
+  Printf.printf
+    "exact general-mapping optimum (with a per-extra-type setup penalty) vs the\n\
+     exact specialized optimum; mean over 8 instances (n=6, p=3, m=3)\n";
+  let trials = 8 in
+  let spec = ref 0.0 in
+  let insts =
+    List.init trials (fun seed ->
+        Gen.chain (Rng.create (seed + 1)) (Gen.default ~tasks:6 ~types:3 ~machines:3))
+  in
+  List.iter (fun inst -> spec := !spec +. (Mf_exact.Dfs.specialized inst).Mf_exact.Dfs.period) insts;
+  let spec = !spec /. float_of_int trials in
+  Printf.printf "  %-14s %12s %14s\n" "setup (ms)" "general" "vs specialized";
+  List.iter
+    (fun setup ->
+      let total = ref 0.0 in
+      List.iter
+        (fun inst -> total := !total +. (Mf_exact.Dfs.general ~setup inst).Mf_exact.Dfs.period)
+        insts;
+      let general = !total /. float_of_int trials in
+      Printf.printf "  %-14.0f %10.1fms %13.1f%%\n" setup general
+        (100.0 *. (general -. spec) /. spec))
+    [ 0.0; 50.0; 100.0; 200.0; 500.0; 1000.0 ];
+  Printf.printf "  (specialized optimum: %.1fms - general mappings lose their edge once\n\
+  \   reconfiguring costs a few hundred ms, the paper's practical argument)\n" spec
+
+let simulator_validation () =
+  section "Simulator validation: analytic 1/period vs discrete-event throughput";
+  Printf.printf "  %4s %6s %14s %14s %8s\n" "seed" "n" "analytic" "simulated" "error";
+  List.iter
+    (fun (seed, n) ->
+      let inst = Gen.chain (Rng.create seed) (Gen.default ~tasks:n ~types:2 ~machines:4) in
+      let mp = Registry.solve Registry.H4w inst in
+      let analytic = Period.throughput inst mp in
+      let r = Mf_sim.Desim.run ~warmup:2.0e5 ~horizon:2.0e6 ~seed:(seed + 100) inst mp in
+      Printf.printf "  %4d %6d %14.6g %14.6g %7.2f%%\n" seed n analytic
+        r.Mf_sim.Desim.throughput
+        (100.0 *. Float.abs (r.Mf_sim.Desim.throughput -. analytic) /. analytic))
+    [ (1, 4); (2, 8); (3, 12); (4, 16) ]
+
+(* ------------------------------------------------------------------ *)
+(* Bechamel micro-benchmarks                                            *)
+(* ------------------------------------------------------------------ *)
+
+let micro_benchmarks () =
+  section "Micro-benchmarks (bechamel, monotonic clock)";
+  let open Bechamel in
+  let instance_fig5 =
+    Gen.chain (Rng.create 42) (Gen.default ~tasks:100 ~types:5 ~machines:50)
+  in
+  let instance_fig9 =
+    Gen.chain (Rng.create 43)
+      { (Gen.default ~tasks:100 ~types:20 ~machines:100) with Gen.task_attached_failures = true }
+  in
+  let instance_small = Gen.chain (Rng.create 44) (Gen.default ~tasks:10 ~types:2 ~machines:5) in
+  let instance_mip = Gen.chain (Rng.create 45) (Gen.default ~tasks:4 ~types:2 ~machines:3) in
+  let mapping_fig5 = Registry.solve Registry.H4w instance_fig5 in
+  let big = Mf_numeric.Bigint.of_string (String.make 200 '7') in
+  let heuristic_test h =
+    Test.make
+      ~name:(Printf.sprintf "fig5-kernel/%s" (Registry.name h))
+      (Staged.stage (fun () -> ignore (Registry.solve h instance_fig5)))
+  in
+  let tests =
+    List.map heuristic_test Registry.all
+    @ [
+        Test.make ~name:"fig9-kernel/OtO-bottleneck"
+          (Staged.stage (fun () -> ignore (Mf_exact.Oto.bottleneck instance_fig9)));
+        Test.make ~name:"fig10-kernel/exact-dfs-n10"
+          (Staged.stage (fun () -> ignore (Mf_exact.Dfs.specialized instance_small)));
+        Test.make ~name:"mip/build+relaxation-n4"
+          (Staged.stage (fun () ->
+               let model, _ = Mf_lp.Micro_mip.build instance_mip in
+               ignore (Mf_lp.Mip.solve_relaxation model)));
+        Test.make ~name:"splitting/lp-n10-m5"
+          (Staged.stage (fun () -> ignore (Mf_lp.Splitting.solve instance_small)));
+        Test.make ~name:"core/period-eval-n100"
+          (Staged.stage (fun () -> ignore (Period.period instance_fig5 mapping_fig5)));
+        Test.make ~name:"sim/desim-1e5ms"
+          (Staged.stage (fun () ->
+               ignore
+                 (Mf_sim.Desim.run ~warmup:1.0e4 ~horizon:1.0e5 ~seed:1 instance_small
+                    (Registry.solve Registry.H4w instance_small))));
+        Test.make ~name:"numeric/bigint-mul-200digits"
+          (Staged.stage (fun () -> ignore (Mf_numeric.Bigint.mul big big)));
+        Test.make ~name:"graph/hungarian-100x100"
+          (Staged.stage
+             (let cost =
+                Array.init 100 (fun i ->
+                    Array.init 100 (fun j -> float_of_int (((i * 31) + (j * 17)) mod 997)))
+              in
+              fun () -> ignore (Mf_graph.Hungarian.solve cost)));
+      ]
+  in
+  let cfg = Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.25) ~kde:None () in
+  let raw =
+    Benchmark.all cfg
+      [ Toolkit.Instance.monotonic_clock ]
+      (Test.make_grouped ~name:"micro" tests)
+  in
+  let ols =
+    Analyze.ols ~r_square:false ~bootstrap:0 ~predictors:[| Measure.run |]
+  in
+  let results = Analyze.all ols Toolkit.Instance.monotonic_clock raw in
+  let rows =
+    Hashtbl.fold
+      (fun name res acc ->
+        match Analyze.OLS.estimates res with
+        | Some (ns :: _) -> (name, ns) :: acc
+        | _ -> (name, nan) :: acc)
+      results []
+    |> List.sort compare
+  in
+  Printf.printf "  %-40s %15s\n" "kernel" "time/run";
+  let pp_time ns =
+    if ns >= 1e9 then Printf.sprintf "%8.2f s" (ns /. 1e9)
+    else if ns >= 1e6 then Printf.sprintf "%8.2f ms" (ns /. 1e6)
+    else if ns >= 1e3 then Printf.sprintf "%8.2f us" (ns /. 1e3)
+    else Printf.sprintf "%8.0f ns" ns
+  in
+  List.iter (fun (name, ns) -> Printf.printf "  %-40s %15s\n" name (pp_time ns)) rows
+
+let () =
+  parse_args ();
+  Printf.printf
+    "Micro-factory throughput reproduction bench\n\
+     Paper: Benoit, Dobrila, Nicod, Philippe - Throughput optimization for\n\
+     micro-factories subject to task and machine failures (RR-7479, 2010)\n";
+  reproduce_figures ();
+  if not !skip_ablation then begin
+    ablation_local_search ();
+    ablation_splitting ();
+    ablation_h2_interpretations ();
+    ablation_reconfiguration ();
+    simulator_validation ()
+  end;
+  if not !skip_micro then micro_benchmarks ();
+  print_newline ()

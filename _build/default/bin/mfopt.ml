@@ -1,0 +1,314 @@
+(* mfopt - command-line front-end for the micro-factory throughput
+   optimization library.
+
+   Sub-commands:
+     generate    draw a random instance (paper parameters) to a file
+     solve       run heuristics / exact solvers on an instance
+     simulate    discrete-event simulation of a mapping
+     experiment  regenerate one of the paper's figures
+     lp          LP bounds: divisible-workload relaxation and the MIP *)
+
+open Cmdliner
+module Instance = Mf_core.Instance
+module Instance_io = Mf_core.Instance_io
+module Mapping = Mf_core.Mapping
+module Period = Mf_core.Period
+module Products = Mf_core.Products
+module Registry = Mf_heuristics.Registry
+module Gen = Mf_workload.Gen
+module Rng = Mf_prng.Rng
+
+(* ------------------------------------------------------------------ *)
+(* Shared arguments                                                     *)
+(* ------------------------------------------------------------------ *)
+
+let instance_arg =
+  let doc = "Instance file (format of Instance_io; see $(b,mfopt generate))." in
+  Arg.(required & pos 0 (some file) None & info [] ~docv:"INSTANCE" ~doc)
+
+let seed_arg =
+  let doc = "Random seed." in
+  Arg.(value & opt int 1 & info [ "seed" ] ~docv:"SEED" ~doc)
+
+let heuristic_conv =
+  let parse s =
+    match Registry.of_name s with
+    | Some h -> Ok h
+    | None -> Error (`Msg (Printf.sprintf "unknown heuristic %s (try H1..H4f)" s))
+  in
+  Arg.conv (parse, fun fmt h -> Format.pp_print_string fmt (Registry.name h))
+
+(* ------------------------------------------------------------------ *)
+(* generate                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let generate_cmd =
+  let tasks =
+    Arg.(value & opt int 20 & info [ "n"; "tasks" ] ~docv:"N" ~doc:"Number of tasks.")
+  in
+  let types =
+    Arg.(value & opt int 4 & info [ "p"; "types" ] ~docv:"P" ~doc:"Number of task types.")
+  in
+  let machines =
+    Arg.(value & opt int 8 & info [ "m"; "machines" ] ~docv:"M" ~doc:"Number of machines.")
+  in
+  let high_failures =
+    Arg.(
+      value & flag
+      & info [ "high-failures" ] ~doc:"Failure rates in [0,0.1) instead of [0.005,0.02).")
+  in
+  let task_attached =
+    Arg.(
+      value & flag
+      & info [ "task-attached" ]
+          ~doc:"Failures depend on the task only (f(i,u) = f_i), as in Section 7.2.")
+  in
+  let tree =
+    Arg.(value & flag & info [ "tree" ] ~doc:"Random in-tree application instead of a chain.")
+  in
+  let output =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "o"; "output" ] ~docv:"FILE" ~doc:"Output file (stdout by default).")
+  in
+  let run tasks types machines high_failures task_attached tree seed output =
+    let params =
+      let p = Gen.default ~tasks ~types ~machines in
+      let p = if high_failures then Gen.with_high_failures p else p in
+      { p with Gen.task_attached_failures = task_attached }
+    in
+    let rng = Rng.create seed in
+    let inst = if tree then Gen.in_tree rng params else Gen.chain rng params in
+    match output with
+    | None -> print_string (Instance_io.to_string inst)
+    | Some path ->
+      Instance_io.write_file path inst;
+      Printf.printf "wrote %s (n=%d, p=%d, m=%d)\n" path tasks types machines
+  in
+  let doc = "Draw a random instance with the paper's parameters." in
+  Cmd.v
+    (Cmd.info "generate" ~doc)
+    Term.(
+      const run $ tasks $ types $ machines $ high_failures $ task_attached $ tree $ seed_arg
+      $ output)
+
+(* ------------------------------------------------------------------ *)
+(* solve                                                                *)
+(* ------------------------------------------------------------------ *)
+
+let print_solution inst label mp =
+  let period = Period.period inst mp in
+  Printf.printf "%-6s period %10.2f ms   throughput %.6f /ms   mapping " label period
+    (Period.throughput inst mp);
+  Array.iteri
+    (fun i u -> Printf.printf "%sT%d:M%d" (if i > 0 then " " else "") i u)
+    (Mapping.to_array mp);
+  print_newline ()
+
+let solve_cmd =
+  let heuristic =
+    Arg.(
+      value
+      & opt (some heuristic_conv) None
+      & info [ "heuristic" ] ~docv:"H" ~doc:"Run a single heuristic (H1, H2, H3, H4, H4w, H4f).")
+  in
+  let exact =
+    Arg.(value & flag & info [ "exact" ] ~doc:"Also run the exact branch-and-bound solver.")
+  in
+  let rule =
+    let rule_conv =
+      Arg.enum
+        [
+          ("specialized", Mapping.Specialized);
+          ("general", Mapping.General);
+          ("oto", Mapping.One_to_one);
+        ]
+    in
+    Arg.(
+      value & opt rule_conv Mapping.Specialized
+      & info [ "rule" ] ~docv:"RULE"
+          ~doc:"Mapping rule for --exact: specialized (default), general, or oto.")
+  in
+  let setup =
+    Arg.(
+      value & opt float 0.0
+      & info [ "setup" ] ~docv:"MS"
+          ~doc:"Reconfiguration time per extra task type on a machine (general rule).")
+  in
+  let local_search =
+    Arg.(value & flag & info [ "local-search" ] ~doc:"Post-optimise with local search.")
+  in
+  let x_out =
+    Arg.(
+      value & opt int 0
+      & info [ "inputs-for" ] ~docv:"X"
+          ~doc:"Also report the raw products needed to output X finished products.")
+  in
+  let run file heuristic exact rule setup local_search x_out seed =
+    let inst = Instance_io.read_file file in
+    Printf.printf "instance: n=%d p=%d m=%d\n" (Instance.task_count inst)
+      (Instance.type_count inst) (Instance.machines inst);
+    let heuristics = match heuristic with Some h -> [ h ] | None -> Registry.all in
+    let best = ref None in
+    List.iter
+      (fun h ->
+        let mp = Registry.solve ~seed h inst in
+        let mp = if local_search then Mf_heuristics.Local_search.improve inst mp else mp in
+        print_solution inst (Registry.name h) mp;
+        let p = Period.period inst mp in
+        match !best with
+        | Some (_, bp) when bp <= p -> ()
+        | _ -> best := Some (mp, p))
+      heuristics;
+    if exact then begin
+      match Mf_exact.Dfs.solve ~setup ~rule inst with
+      | r ->
+        print_solution inst "exact" r.Mf_exact.Dfs.mapping;
+        Printf.printf "       (%s rule, %s after %d nodes%s)\n" (Mapping.rule_name rule)
+          (if r.Mf_exact.Dfs.optimal then "proved optimal" else "node budget exhausted")
+          r.Mf_exact.Dfs.nodes
+          (if setup > 0.0 then Printf.sprintf ", %.0fms setup per extra type" setup else "")
+      | exception Invalid_argument msg -> Printf.printf "exact solver unavailable: %s\n" msg
+    end;
+    if x_out > 0 then
+      match !best with
+      | Some (mp, _) ->
+        List.iter
+          (fun (src, count) ->
+            Printf.printf "feed %d raw products at source task T%d to output %d products\n"
+              count src x_out)
+          (Products.inputs_needed inst mp ~x_out)
+      | None -> ()
+  in
+  let doc = "Run mapping heuristics (and optionally the exact solver) on an instance." in
+  Cmd.v
+    (Cmd.info "solve" ~doc)
+    Term.(
+      const run $ instance_arg $ heuristic $ exact $ rule $ setup $ local_search $ x_out
+      $ seed_arg)
+
+(* ------------------------------------------------------------------ *)
+(* simulate                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let simulate_cmd =
+  let heuristic =
+    Arg.(
+      value & opt heuristic_conv Registry.H4w
+      & info [ "heuristic" ] ~docv:"H" ~doc:"Heuristic producing the mapping (default H4w).")
+  in
+  let horizon =
+    Arg.(
+      value & opt float 1.0e6
+      & info [ "horizon" ] ~docv:"MS" ~doc:"Simulated time in ms (default 1e6).")
+  in
+  let trace =
+    Arg.(value & flag & info [ "trace" ] ~doc:"Print the first 40 simulation events.")
+  in
+  let report =
+    Arg.(value & flag & info [ "report" ] ~doc:"Print utilisation and loss statistics.")
+  in
+  let run file heuristic horizon trace report seed =
+    let inst = Instance_io.read_file file in
+    let mp = Registry.solve ~seed heuristic inst in
+    let analytic = Period.throughput inst mp in
+    let printed = ref 0 in
+    let on_event e =
+      if trace && !printed < 40 then begin
+        incr printed;
+        print_endline (Mf_sim.Event.to_string e)
+      end
+    in
+    let r = Mf_sim.Desim.run ~horizon ~seed ~on_event inst mp in
+    Printf.printf "mapping (%s): analytic throughput %.6g /ms, period %.2f ms\n"
+      (Registry.name heuristic) analytic (Period.period inst mp);
+    Printf.printf "simulated: %d outputs in a %.0f ms window -> %.6g /ms (%.2f%% off)\n"
+      r.Mf_sim.Desim.outputs r.Mf_sim.Desim.window r.Mf_sim.Desim.throughput
+      (100.0 *. Float.abs (r.Mf_sim.Desim.throughput -. analytic) /. analytic);
+    Printf.printf "raw products consumed: %d; per-task losses:" r.Mf_sim.Desim.consumed;
+    Array.iteri (fun i l -> Printf.printf " T%d:%d" i l) r.Mf_sim.Desim.lost;
+    print_newline ();
+    if report then print_string (Mf_sim.Metrics.report inst mp r)
+  in
+  let doc = "Simulate a mapping with the discrete-event engine." in
+  Cmd.v
+    (Cmd.info "simulate" ~doc)
+    Term.(const run $ instance_arg $ heuristic $ horizon $ trace $ report $ seed_arg)
+
+(* ------------------------------------------------------------------ *)
+(* experiment                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let experiment_cmd =
+  let figure =
+    let doc = "Figure to regenerate: fig5 .. fig12." in
+    Arg.(required & pos 0 (some string) None & info [] ~docv:"FIGURE" ~doc)
+  in
+  let replicates =
+    Arg.(
+      value & opt (some int) None
+      & info [ "replicates" ] ~docv:"R" ~doc:"Replicates per point (default: the paper's).")
+  in
+  let csv = Arg.(value & flag & info [ "csv" ] ~doc:"CSV output instead of a table.") in
+  let run figure replicates csv =
+    match List.assoc_opt figure (Mf_experiments.Figures.all ?replicates ()) with
+    | None ->
+      Printf.eprintf "unknown figure %s (fig5..fig12)\n" figure;
+      exit 2
+    | Some f ->
+      let fig = f () in
+      if csv then Format.printf "@[<v>%a@]@." Mf_experiments.Report.pp_csv fig
+      else print_string (Mf_experiments.Report.to_string fig)
+  in
+  let doc = "Regenerate one of the paper's figures." in
+  Cmd.v (Cmd.info "experiment" ~doc) Term.(const run $ figure $ replicates $ csv)
+
+(* ------------------------------------------------------------------ *)
+(* lp                                                                   *)
+(* ------------------------------------------------------------------ *)
+
+let lp_cmd =
+  let mip =
+    Arg.(
+      value & flag
+      & info [ "mip" ]
+          ~doc:"Also solve the paper's MIP (9) by branch-and-bound (small instances only).")
+  in
+  let node_budget =
+    Arg.(
+      value & opt int 20_000
+      & info [ "node-budget" ] ~docv:"N"
+          ~doc:"Branch-and-bound node budget for --mip (default 20000).")
+  in
+  let run file mip node_budget =
+    let inst = Instance_io.read_file file in
+    let r = Mf_lp.Splitting.solve inst in
+    Printf.printf "divisible-workload LP bound: %.2f ms period (%.6f /ms)\n"
+      r.Mf_lp.Splitting.period (1.0 /. r.Mf_lp.Splitting.period);
+    let mp, rounded = Mf_lp.Splitting.round inst r in
+    print_solution inst "round" mp;
+    ignore rounded;
+    if mip then begin
+      let res = Mf_lp.Micro_mip.solve ~node_budget inst in
+      match (res.Mf_lp.Micro_mip.mapping, res.Mf_lp.Micro_mip.period) with
+      | Some mp, Some _ ->
+        print_solution inst "MIP" mp;
+        Printf.printf "       (%s, %d branch-and-bound nodes)\n"
+          (match res.Mf_lp.Micro_mip.status with
+          | Mf_lp.Branch_bound.Optimal -> "proved optimal"
+          | Mf_lp.Branch_bound.Feasible -> "node budget exhausted, best incumbent"
+          | _ -> "unexpected status")
+          res.Mf_lp.Micro_mip.nodes
+      | _ ->
+        Printf.printf "MIP: no integral solution within the node budget (%d nodes)\n"
+          res.Mf_lp.Micro_mip.nodes
+    end
+  in
+  let doc = "LP bounds: the divisible-workload relaxation and the paper's MIP." in
+  Cmd.v (Cmd.info "lp" ~doc) Term.(const run $ instance_arg $ mip $ node_budget)
+
+let () =
+  let doc = "Throughput optimization for micro-factories subject to failures." in
+  let info = Cmd.info "mfopt" ~version:"1.0.0" ~doc in
+  exit (Cmd.eval (Cmd.group info [ generate_cmd; solve_cmd; simulate_cmd; experiment_cmd; lp_cmd ]))

@@ -1,0 +1,1 @@
+examples/failure_sweep.ml: List Mf_core Mf_heuristics Mf_prng Mf_workload Printf

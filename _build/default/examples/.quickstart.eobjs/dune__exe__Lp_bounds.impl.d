@@ -1,0 +1,1 @@
+examples/lp_bounds.ml: Array Format Mf_core Mf_exact Mf_heuristics Mf_lp Mf_prng Mf_workload Printf

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Array List Mf_core Mf_exact Mf_heuristics Mf_reliability Mf_sim Printf String

@@ -1,0 +1,1 @@
+examples/watch_assembly.ml: Array Format List Mf_core Mf_heuristics Mf_sim Option Printf String

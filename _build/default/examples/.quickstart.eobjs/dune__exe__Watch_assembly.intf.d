@@ -1,0 +1,1 @@
+examples/watch_assembly.mli:

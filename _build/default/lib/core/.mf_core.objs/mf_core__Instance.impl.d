@@ -1,0 +1,1 @@
+lib/core/instance.ml: Array Float Format Mf_numeric Printf Workflow

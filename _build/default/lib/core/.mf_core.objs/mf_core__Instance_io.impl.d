@@ -1,0 +1,1 @@
+lib/core/instance_io.ml: Array Buffer Fun In_channel Instance List Printf String Workflow

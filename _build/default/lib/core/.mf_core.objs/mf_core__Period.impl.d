@@ -1,0 +1,1 @@
+lib/core/period.ml: Array Float Fun Instance List Mapping Mf_numeric Products Stdlib Workflow

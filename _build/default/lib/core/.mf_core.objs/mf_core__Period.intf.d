@@ -1,0 +1,1 @@
+lib/core/period.mli: Instance Mapping Mf_numeric

@@ -1,0 +1,1 @@
+lib/core/products.ml: Array Float Instance List Mapping Mf_numeric Workflow

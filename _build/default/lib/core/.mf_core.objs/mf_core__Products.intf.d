@@ -1,0 +1,1 @@
+lib/core/products.mli: Instance Mapping Mf_numeric

@@ -1,0 +1,1 @@
+lib/core/workflow.ml: Array Format Fun List Mf_graph Printf Stdlib

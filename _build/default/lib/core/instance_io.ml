@@ -1,0 +1,96 @@
+let to_string inst =
+  let n = Instance.task_count inst in
+  let m = Instance.machines inst in
+  let wf = Instance.workflow inst in
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf "# micro-factory instance (see Instance_io for the format)\n";
+  Buffer.add_string buf (Printf.sprintf "tasks %d machines %d\n" n m);
+  Buffer.add_string buf "types";
+  for i = 0 to n - 1 do
+    Buffer.add_string buf (Printf.sprintf " %d" (Workflow.ttype wf i))
+  done;
+  Buffer.add_string buf "\nsuccessors";
+  for i = 0 to n - 1 do
+    Buffer.add_string buf
+      (Printf.sprintf " %d" (match Workflow.successor wf i with None -> -1 | Some j -> j))
+  done;
+  Buffer.add_char buf '\n';
+  for i = 0 to n - 1 do
+    Buffer.add_string buf (Printf.sprintf "w %d" i);
+    for u = 0 to m - 1 do
+      Buffer.add_string buf (Printf.sprintf " %.17g" (Instance.w inst i u))
+    done;
+    Buffer.add_char buf '\n'
+  done;
+  for i = 0 to n - 1 do
+    Buffer.add_string buf (Printf.sprintf "f %d" i);
+    for u = 0 to m - 1 do
+      Buffer.add_string buf (Printf.sprintf " %.17g" (Instance.f inst i u))
+    done;
+    Buffer.add_char buf '\n'
+  done;
+  Buffer.contents buf
+
+let fail line msg = invalid_arg (Printf.sprintf "Instance_io: line %d: %s" line msg)
+
+let of_string text =
+  let lines =
+    String.split_on_char '\n' text
+    |> List.mapi (fun idx l -> (idx + 1, String.trim l))
+    |> List.filter (fun (_, l) -> l <> "" && l.[0] <> '#')
+  in
+  let words (lineno, l) = (lineno, String.split_on_char ' ' l |> List.filter (( <> ) "")) in
+  let parse_int lineno s =
+    match int_of_string_opt s with Some v -> v | None -> fail lineno ("bad integer " ^ s)
+  in
+  let parse_float lineno s =
+    match float_of_string_opt s with Some v -> v | None -> fail lineno ("bad float " ^ s)
+  in
+  match List.map words lines with
+  | (l1, [ "tasks"; n_s; "machines"; m_s ])
+    :: (l2, "types" :: type_words)
+    :: (l3, "successors" :: succ_words)
+    :: rest ->
+    let n = parse_int l1 n_s and m = parse_int l1 m_s in
+    if List.length type_words <> n then fail l2 "expected one type per task";
+    if List.length succ_words <> n then fail l3 "expected one successor per task";
+    let types = Array.of_list (List.map (parse_int l2) type_words) in
+    let successor =
+      Array.of_list
+        (List.map
+           (fun s ->
+             let v = parse_int l3 s in
+             if v < 0 then None else Some v)
+           succ_words)
+    in
+    let w = Array.make_matrix n m 0.0 in
+    let f = Array.make_matrix n m 0.0 in
+    let seen_w = Array.make n false and seen_f = Array.make n false in
+    List.iter
+      (fun (lineno, ws) ->
+        match ws with
+        | kind :: i_s :: values when kind = "w" || kind = "f" ->
+          let i = parse_int lineno i_s in
+          if i < 0 || i >= n then fail lineno "task index out of range";
+          if List.length values <> m then fail lineno "expected one value per machine";
+          let target, seen = if kind = "w" then (w, seen_w) else (f, seen_f) in
+          List.iteri (fun u s -> target.(i).(u) <- parse_float lineno s) values;
+          seen.(i) <- true
+        | _ -> fail lineno "expected a 'w <i> ...' or 'f <i> ...' line")
+      rest;
+    Array.iteri (fun i s -> if not s then fail 0 (Printf.sprintf "missing w row for task %d" i)) seen_w;
+    Array.iteri (fun i s -> if not s then fail 0 (Printf.sprintf "missing f row for task %d" i)) seen_f;
+    let workflow = Workflow.in_forest ~types ~successor in
+    Instance.create ~workflow ~machines:m ~w ~f
+  | (lineno, _) :: _ -> fail lineno "expected header 'tasks <n> machines <m>'"
+  | [] -> invalid_arg "Instance_io: empty input"
+
+let write_file path inst =
+  let oc = open_out path in
+  Fun.protect ~finally:(fun () -> close_out oc) (fun () -> output_string oc (to_string inst))
+
+let read_file path =
+  let ic = open_in path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () -> of_string (In_channel.input_all ic))

@@ -1,0 +1,21 @@
+(** Plain-text (de)serialisation of problem instances.
+
+    The format is line-oriented and human-editable:
+
+    {v # any number of comment lines
+      tasks <n> machines <m>
+      types <t(0)> ... <t(n-1)>
+      successors <s(0)> ... <s(n-1)>     (-1 for final tasks)
+      w <i> <w(i,0)> ... <w(i,m-1)>       (n lines)
+      f <i> <f(i,0)> ... <f(i,m-1)>       (n lines) v}
+
+    Floats are printed with full precision ([%.17g]) so write/read
+    round-trips exactly. *)
+
+val to_string : Instance.t -> string
+
+(** @raise Invalid_argument on malformed input (with a line diagnostic). *)
+val of_string : string -> Instance.t
+
+val write_file : string -> Instance.t -> unit
+val read_file : string -> Instance.t

@@ -1,0 +1,91 @@
+type t = { assignment : int array; machines : int }
+
+type rule = One_to_one | Specialized | General
+
+let of_array inst a =
+  let n = Instance.task_count inst in
+  let m = Instance.machines inst in
+  if Array.length a <> n then invalid_arg "Mapping: allocation length mismatch";
+  Array.iter
+    (fun u -> if u < 0 || u >= m then invalid_arg "Mapping: machine out of range")
+    a;
+  { assignment = Array.copy a; machines = m }
+
+let machine mp i =
+  if i < 0 || i >= Array.length mp.assignment then invalid_arg "Mapping: task out of range";
+  mp.assignment.(i)
+
+let to_array mp = Array.copy mp.assignment
+
+let tasks_on mp ~u =
+  if u < 0 || u >= mp.machines then invalid_arg "Mapping: machine out of range";
+  List.filter
+    (fun i -> mp.assignment.(i) = u)
+    (List.init (Array.length mp.assignment) Fun.id)
+
+let rule_name = function
+  | One_to_one -> "one-to-one"
+  | Specialized -> "specialized"
+  | General -> "general"
+
+(* Returns the first violation as [Some message]. *)
+let violation inst mp rule =
+  let wf = Instance.workflow inst in
+  match rule with
+  | General -> None
+  | One_to_one ->
+    let owner = Array.make mp.machines (-1) in
+    let bad = ref None in
+    Array.iteri
+      (fun i u ->
+        if !bad = None then
+          if owner.(u) >= 0 then
+            bad :=
+              Some
+                (Printf.sprintf "one-to-one violated: tasks T%d and T%d share machine M%d"
+                   owner.(u) i u)
+          else owner.(u) <- i)
+      mp.assignment;
+    !bad
+  | Specialized ->
+    let dedicated = Array.make mp.machines (-1) in
+    let bad = ref None in
+    Array.iteri
+      (fun i u ->
+        if !bad = None then begin
+          let ty = Workflow.ttype wf i in
+          if dedicated.(u) >= 0 && dedicated.(u) <> ty then
+            bad :=
+              Some
+                (Printf.sprintf
+                   "specialization violated: machine M%d handles types %d and %d" u
+                   dedicated.(u) ty)
+          else dedicated.(u) <- ty
+        end)
+      mp.assignment;
+    !bad
+
+let satisfies inst mp rule = violation inst mp rule = None
+
+let check inst mp rule =
+  match violation inst mp rule with
+  | None -> ()
+  | Some msg -> invalid_arg ("Mapping: " ^ msg)
+
+let machine_type inst mp ~u =
+  let wf = Instance.workflow inst in
+  match tasks_on mp ~u with [] -> None | i :: _ -> Some (Workflow.ttype wf i)
+
+let used_machines mp =
+  let used = Array.make mp.machines false in
+  Array.iter (fun u -> used.(u) <- true) mp.assignment;
+  Array.fold_left (fun acc b -> if b then acc + 1 else acc) 0 used
+
+let pp fmt mp =
+  Format.fprintf fmt "@[<h>[";
+  Array.iteri
+    (fun i u ->
+      if i > 0 then Format.fprintf fmt "; ";
+      Format.fprintf fmt "T%d->M%d" i u)
+    mp.assignment;
+  Format.fprintf fmt "]@]"

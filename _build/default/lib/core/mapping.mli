@@ -1,0 +1,47 @@
+(** Task-to-machine allocations and the paper's three mapping rules
+    (Section 4.2).
+
+    A mapping is the allocation function [a : tasks -> machines].  The rules
+    constrain what a machine may process:
+
+    - {b one-to-one}: a machine executes at most one task;
+    - {b specialized}: a machine is dedicated to at most one task {e type};
+    - {b general}: no constraint. *)
+
+type t
+
+(** The three rules of the game. *)
+type rule = One_to_one | Specialized | General
+
+(** [of_array inst a] wraps the allocation [a.(i) = machine of task i].
+    @raise Invalid_argument if a machine index is out of range or the
+    length differs from the task count. *)
+val of_array : Instance.t -> int array -> t
+
+(** [machine mp i] is the machine executing task [i]. *)
+val machine : t -> int -> int
+
+(** [to_array mp] is a copy of the underlying allocation. *)
+val to_array : t -> int array
+
+(** [tasks_on mp u] lists the tasks allocated to machine [u], increasing. *)
+val tasks_on : t -> u:int -> int list
+
+(** [satisfies inst mp rule] checks the mapping against a rule. *)
+val satisfies : Instance.t -> t -> rule -> bool
+
+(** [check inst mp rule] is [satisfies] but raises [Invalid_argument] with
+    a diagnostic naming the violated constraint. *)
+val check : Instance.t -> t -> rule -> unit
+
+(** [machine_type inst mp u] is the type machine [u] is specialized to
+    ([None] when it executes no task).  Meaningful for specialized
+    mappings; for general mappings returns the type of the first task. *)
+val machine_type : Instance.t -> t -> u:int -> int option
+
+(** [used_machines mp] is the number of machines executing at least one
+    task. *)
+val used_machines : t -> int
+
+val rule_name : rule -> string
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,34 @@
+let x inst mp =
+  let wf = Instance.workflow inst in
+  let n = Instance.task_count inst in
+  let xs = Array.make n 0.0 in
+  Array.iter
+    (fun i ->
+      let u = Mapping.machine mp i in
+      let factor = 1.0 /. (1.0 -. Instance.f inst i u) in
+      let downstream = match Workflow.successor wf i with None -> 1.0 | Some j -> xs.(j) in
+      xs.(i) <- factor *. downstream)
+    (Workflow.backward_order wf);
+  xs
+
+let x_exact inst mp =
+  let module R = Mf_numeric.Rat in
+  let wf = Instance.workflow inst in
+  let n = Instance.task_count inst in
+  let xs = Array.make n R.zero in
+  Array.iter
+    (fun i ->
+      let u = Mapping.machine mp i in
+      let factor = R.inv (R.sub R.one (R.of_float (Instance.f inst i u))) in
+      let downstream = match Workflow.successor wf i with None -> R.one | Some j -> xs.(j) in
+      xs.(i) <- R.mul factor downstream)
+    (Workflow.backward_order wf);
+  xs
+
+let inputs_needed inst mp ~x_out =
+  if x_out < 0 then invalid_arg "Products.inputs_needed: negative target";
+  let xs = x inst mp in
+  let wf = Instance.workflow inst in
+  List.map
+    (fun src -> (src, int_of_float (Float.ceil (xs.(src) *. float_of_int x_out))))
+    (Workflow.sources wf)

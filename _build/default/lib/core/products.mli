@@ -1,0 +1,26 @@
+(** Average product counts [x_i] (paper Section 4.1).
+
+    [x_i] is the average number of products task [T_i] must process so that
+    one product leaves the system.  With [F_i = 1/(1 - f(i, a(i)))],
+
+    {v x_i = F_i                      if T_i is final
+      x_i = F_i * x_{succ(i)}        otherwise v}
+
+    matching Theorem 1's closed form [x_i = prod_{j >= i} F_j] on a chain:
+    a final task still pays its own failure factor, because it must process
+    [F_i] products on average per product leaving the system.  Joins need
+    one product from each predecessor per assembled output, so the same
+    recurrence applies along every branch. *)
+
+(** [x inst mp] is the vector of [x_i] for a given mapping. *)
+val x : Instance.t -> Mapping.t -> float array
+
+(** [x_exact inst mp] computes the [x_i] in exact rational arithmetic
+    (failure rates are converted with {!Mf_numeric.Rat.of_float}, which is
+    exact on binary floats). *)
+val x_exact : Instance.t -> Mapping.t -> Mf_numeric.Rat.t array
+
+(** [inputs_needed inst mp ~x_out] is, per source task, the expected number
+    of raw products to feed in so that [x_out] finished products leave the
+    system (rounded up).  This is the guarantee discussed in Section 2. *)
+val inputs_needed : Instance.t -> Mapping.t -> x_out:int -> (int * int) list

@@ -1,0 +1,129 @@
+type t = {
+  types : int array;
+  successor : int option array;
+  predecessors : int list array;
+  type_count : int;
+  backward : int array;
+}
+
+let validate_types types =
+  let n = Array.length types in
+  if n = 0 then invalid_arg "Workflow: empty task set";
+  let p = 1 + Array.fold_left Stdlib.max (-1) types in
+  if Array.exists (fun ty -> ty < 0) types then
+    invalid_arg "Workflow: negative task type";
+  let used = Array.make p false in
+  Array.iter (fun ty -> used.(ty) <- true) types;
+  if not (Array.for_all Fun.id used) then
+    invalid_arg "Workflow: task types must form a contiguous range 0..p-1";
+  p
+
+(* Depth of each task = number of successor hops to its sink; also detects
+   cycles in the successor relation. *)
+let compute_depths successor =
+  let n = Array.length successor in
+  let depth = Array.make n (-1) in
+  let rec resolve ~on_path i =
+    if depth.(i) >= 0 then depth.(i)
+    else if List.mem i on_path then invalid_arg "Workflow: successor relation has a cycle"
+    else begin
+      let d =
+        match successor.(i) with
+        | None -> 0
+        | Some j ->
+          if j < 0 || j >= n then invalid_arg "Workflow: successor out of range"
+          else if j = i then invalid_arg "Workflow: successor relation has a cycle"
+          else 1 + resolve ~on_path:(i :: on_path) j
+      in
+      depth.(i) <- d;
+      d
+    end
+  in
+  for i = 0 to n - 1 do
+    ignore (resolve ~on_path:[] i)
+  done;
+  depth
+
+let build types successor =
+  let n = Array.length types in
+  let type_count = validate_types types in
+  if Array.length successor <> n then
+    invalid_arg "Workflow: successor array length mismatch";
+  let depth = compute_depths successor in
+  let predecessors = Array.make n [] in
+  for i = n - 1 downto 0 do
+    match successor.(i) with
+    | None -> ()
+    | Some j -> predecessors.(j) <- i :: predecessors.(j)
+  done;
+  (* Backward order: ascending depth, then descending index so that a chain
+     yields n-1, n-2, ..., 0 exactly as in the paper's algorithms. *)
+  let backward = Array.init n Fun.id in
+  Array.sort
+    (fun a b ->
+      if depth.(a) <> depth.(b) then Stdlib.compare depth.(a) depth.(b)
+      else Stdlib.compare b a)
+    backward;
+  { types; successor; predecessors; type_count; backward }
+
+let chain ~types =
+  let n = Array.length types in
+  let successor = Array.init n (fun i -> if i = n - 1 then None else Some (i + 1)) in
+  build (Array.copy types) successor
+
+let in_forest ~types ~successor = build (Array.copy types) (Array.copy successor)
+
+let task_count wf = Array.length wf.types
+let type_count wf = wf.type_count
+
+let check wf i =
+  if i < 0 || i >= task_count wf then invalid_arg "Workflow: task out of range"
+
+let ttype wf i =
+  check wf i;
+  wf.types.(i)
+
+let successor wf i =
+  check wf i;
+  wf.successor.(i)
+
+let predecessors wf i =
+  check wf i;
+  wf.predecessors.(i)
+
+let sinks wf =
+  List.filter (fun i -> wf.successor.(i) = None) (List.init (task_count wf) Fun.id)
+
+let sources wf =
+  List.filter (fun i -> wf.predecessors.(i) = []) (List.init (task_count wf) Fun.id)
+
+let is_chain wf =
+  let n = task_count wf in
+  let ok = ref true in
+  for i = 0 to n - 1 do
+    let expected = if i = n - 1 then None else Some (i + 1) in
+    if wf.successor.(i) <> expected then ok := false
+  done;
+  !ok
+
+let backward_order wf = Array.copy wf.backward
+
+let to_digraph wf =
+  let g = Mf_graph.Digraph.create (task_count wf) in
+  Array.iteri
+    (fun i succ -> match succ with None -> () | Some j -> Mf_graph.Digraph.add_edge g i j)
+    wf.successor;
+  g
+
+let tasks_of_type wf j =
+  if j < 0 || j >= wf.type_count then invalid_arg "Workflow: type out of range";
+  List.filter (fun i -> wf.types.(i) = j) (List.init (task_count wf) Fun.id)
+
+let pp fmt wf =
+  Format.fprintf fmt "@[<v>workflow: %d tasks, %d types@," (task_count wf) (type_count wf);
+  Array.iteri
+    (fun i succ ->
+      Format.fprintf fmt "  T%d (type %d) -> %s@," i wf.types.(i)
+        (match succ with None -> "out" | Some j -> Printf.sprintf "T%d" j))
+    wf.successor;
+  Format.fprintf fmt "@]"

@@ -1,0 +1,69 @@
+(** Application graphs (paper Section 3.1).
+
+    An application is a set of [n] typed tasks arranged in an {e in-forest}:
+    every task has at most one successor, so the graph is a collection of
+    in-trees whose roots are the final tasks.  Joins (several predecessors)
+    model the assembly of sub-products; forks are forbidden because a
+    physical product cannot be duplicated.
+
+    Tasks are numbered [0 .. n-1] and types [0 .. p-1].  Every type in
+    [0 .. p-1] must be used by at least one task. *)
+
+type t
+
+(** {1 Constructors} *)
+
+(** [chain ~types] is the linear chain [T0 -> T1 -> ... -> T(n-1)] where
+    task [i] has type [types.(i)].
+    @raise Invalid_argument if [types] is empty or types are not the
+    contiguous range [0 .. p-1]. *)
+val chain : types:int array -> t
+
+(** [in_forest ~types ~successor] builds a general application where task
+    [i] flows into [successor.(i)] ([None] for final tasks).
+    @raise Invalid_argument if the successor relation has a cycle, a
+    self-loop, or the types are not contiguous. *)
+val in_forest : types:int array -> successor:int option array -> t
+
+(** {1 Accessors} *)
+
+(** [task_count wf] is [n]. *)
+val task_count : t -> int
+
+(** [type_count wf] is [p], the number of distinct task types. *)
+val type_count : t -> int
+
+(** [ttype wf i] is the type of task [i]. *)
+val ttype : t -> int -> int
+
+(** [successor wf i] is the unique successor of task [i], if any. *)
+val successor : t -> int -> int option
+
+(** [predecessors wf i] lists the tasks joining into [i], in increasing
+    order. *)
+val predecessors : t -> int -> int list
+
+(** [sinks wf] lists the final tasks (no successor). *)
+val sinks : t -> int list
+
+(** [sources wf] lists the entry tasks (no predecessor). *)
+val sources : t -> int list
+
+(** [is_chain wf] is true when the application is one linear chain
+    [T0 -> T1 -> ...]. *)
+val is_chain : t -> bool
+
+(** [backward_order wf] is a permutation of tasks in which every task
+    appears {e after} its successor — the traversal order of the paper's
+    heuristics ("starting with the last task ... going backward").  For a
+    chain this is [n-1, n-2, ..., 0]. *)
+val backward_order : t -> int array
+
+(** [to_digraph wf] is the underlying dependency digraph (edges from a task
+    to its successor). *)
+val to_digraph : t -> Mf_graph.Digraph.t
+
+(** [tasks_of_type wf j] lists the tasks of type [j] in increasing order. *)
+val tasks_of_type : t -> int -> int list
+
+val pp : Format.formatter -> t -> unit

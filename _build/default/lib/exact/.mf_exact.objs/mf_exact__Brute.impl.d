@@ -1,0 +1,1 @@
+lib/exact/brute.ml: Array Mf_core

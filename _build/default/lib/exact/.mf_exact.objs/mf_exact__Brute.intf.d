@@ -1,0 +1,1 @@
+lib/exact/brute.mli: Mf_core

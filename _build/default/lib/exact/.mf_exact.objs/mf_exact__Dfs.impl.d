@@ -1,0 +1,1 @@
+lib/exact/dfs.ml: Array Float List Mf_core Mf_heuristics

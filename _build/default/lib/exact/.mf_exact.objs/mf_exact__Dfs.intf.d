@@ -1,0 +1,1 @@
+lib/exact/dfs.mli: Mf_core

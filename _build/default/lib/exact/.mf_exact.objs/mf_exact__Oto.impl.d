@@ -1,0 +1,1 @@
+lib/exact/oto.ml: Array Mf_core Mf_graph

@@ -1,0 +1,1 @@
+lib/exact/oto.mli: Mf_core

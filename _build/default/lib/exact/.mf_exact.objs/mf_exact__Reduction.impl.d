@@ -1,0 +1,1 @@
+lib/exact/reduction.ml: Array Dfs Float Fun Mf_core

@@ -1,0 +1,1 @@
+lib/exact/reduction.mli: Mf_core

@@ -1,0 +1,61 @@
+module Instance = Mf_core.Instance
+module Workflow = Mf_core.Workflow
+module Mapping = Mf_core.Mapping
+module Period = Mf_core.Period
+
+type constraint_kind = Spec | Gen | Oto
+
+let enumerate kind inst =
+  let n = Instance.task_count inst and m = Instance.machines inst in
+  let wf = Instance.workflow inst in
+  let a = Array.make n 0 in
+  let best_period = ref infinity in
+  let best = ref None in
+  let dedicated = Array.make m (-1) in
+  let used = Array.make m false in
+  let rec go idx =
+    if idx = n then begin
+      let mp = Mapping.of_array inst a in
+      let p = Period.period inst mp in
+      if p < !best_period then begin
+        best_period := p;
+        best := Some mp
+      end
+    end
+    else begin
+      let ty = Workflow.ttype wf idx in
+      for u = 0 to m - 1 do
+        let allowed =
+          match kind with
+          | Gen -> true
+          | Oto -> not used.(u)
+          | Spec -> dedicated.(u) < 0 || dedicated.(u) = ty
+        in
+        if allowed then begin
+          let saved_ded = dedicated.(u) and saved_used = used.(u) in
+          dedicated.(u) <- ty;
+          used.(u) <- true;
+          a.(idx) <- u;
+          go (idx + 1);
+          dedicated.(u) <- saved_ded;
+          used.(u) <- saved_used
+        end
+      done
+    end
+  in
+  go 0;
+  match !best with
+  | Some mp -> (mp, !best_period)
+  | None -> invalid_arg "Brute: no feasible mapping exists"
+
+let specialized inst =
+  if Instance.machines inst < Instance.type_count inst then
+    invalid_arg "Brute.specialized: fewer machines than types";
+  enumerate Spec inst
+
+let general inst = enumerate Gen inst
+
+let one_to_one inst =
+  if Instance.machines inst < Instance.task_count inst then
+    invalid_arg "Brute.one_to_one: fewer machines than tasks";
+  enumerate Oto inst

@@ -1,0 +1,18 @@
+(** Exhaustive enumeration of mappings — ground truth for tiny instances.
+
+    Complexity is O(m^n) for specialized/general rules and O(m!/(m-n)!) for
+    one-to-one, so keep [n] below a dozen.  Used by the test-suite to
+    validate the branch-and-bound solver, the MIP and the matching-based
+    one-to-one optima. *)
+
+(** [specialized inst] enumerates every allocation satisfying the
+    specialized rule and returns an optimal one with its period.
+    @raise Invalid_argument when no specialized mapping exists ([m < p]). *)
+val specialized : Mf_core.Instance.t -> Mf_core.Mapping.t * float
+
+(** [general inst] enumerates all [m^n] allocations. *)
+val general : Mf_core.Instance.t -> Mf_core.Mapping.t * float
+
+(** [one_to_one inst] enumerates injective allocations.
+    @raise Invalid_argument when [m < n]. *)
+val one_to_one : Mf_core.Instance.t -> Mf_core.Mapping.t * float

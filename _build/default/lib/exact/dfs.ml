@@ -1,0 +1,177 @@
+module Instance = Mf_core.Instance
+module Workflow = Mf_core.Workflow
+module Mapping = Mf_core.Mapping
+module Period = Mf_core.Period
+module Registry = Mf_heuristics.Registry
+
+type result = { mapping : Mf_core.Mapping.t; period : float; optimal : bool; nodes : int }
+
+(* Static lower bound: the cheapest possible contribution of each task,
+   using the most optimistic downstream failure rates. *)
+let min_contribution inst =
+  let n = Instance.task_count inst and m = Instance.machines inst in
+  let wf = Instance.workflow inst in
+  let min_x = Array.make n 0.0 in
+  Array.iter
+    (fun i ->
+      let fmin = ref infinity in
+      for u = 0 to m - 1 do
+        fmin := Float.min !fmin (Instance.f inst i u)
+      done;
+      let downstream = match Workflow.successor wf i with None -> 1.0 | Some j -> min_x.(j) in
+      min_x.(i) <- downstream /. (1.0 -. !fmin))
+    (Workflow.backward_order wf);
+  Array.init n (fun i ->
+      let best = ref infinity in
+      for u = 0 to m - 1 do
+        best := Float.min !best (min_x.(i) *. Instance.w inst i u)
+      done;
+      !best)
+
+(* Greedy injective assignment seeding the one-to-one search: backward
+   tasks, each to the unused machine with the smallest x*w. *)
+let greedy_one_to_one inst =
+  let n = Instance.task_count inst and m = Instance.machines inst in
+  let wf = Instance.workflow inst in
+  let a = Array.make n (-1) in
+  let x = Array.make n nan in
+  let used = Array.make m false in
+  Array.iter
+    (fun task ->
+      let x_succ = match Workflow.successor wf task with None -> 1.0 | Some j -> x.(j) in
+      let best = ref (-1) and best_cost = ref infinity in
+      for u = 0 to m - 1 do
+        if not used.(u) then begin
+          let xi = x_succ /. (1.0 -. Instance.f inst task u) in
+          let cost = xi *. Instance.w inst task u in
+          if cost < !best_cost then begin
+            best := u;
+            best_cost := cost
+          end
+        end
+      done;
+      used.(!best) <- true;
+      a.(task) <- !best;
+      x.(task) <- x_succ /. (1.0 -. Instance.f inst task !best))
+    (Workflow.backward_order wf);
+  Mapping.of_array inst a
+
+let check_rule_feasible rule inst =
+  match rule with
+  | Mapping.Specialized ->
+    if Instance.machines inst < Instance.type_count inst then
+      invalid_arg "Dfs: fewer machines than task types - no specialized mapping exists"
+  | Mapping.One_to_one ->
+    if Instance.machines inst < Instance.task_count inst then
+      invalid_arg "Dfs: fewer machines than tasks - no one-to-one mapping exists"
+  | Mapping.General -> ()
+
+let incumbent rule inst =
+  match rule with
+  | Mapping.One_to_one ->
+    let mp = greedy_one_to_one inst in
+    (mp, Period.period inst mp)
+  | Mapping.Specialized | Mapping.General ->
+    (* A specialized mapping is also a valid general mapping. *)
+    let pick =
+      List.fold_left
+        (fun acc h ->
+          let mp = Registry.solve h inst in
+          let p = Period.period inst mp in
+          match acc with Some (_, bp) when bp <= p -> acc | _ -> Some (mp, p))
+        None
+        [ Registry.H2; Registry.H3; Registry.H4w ]
+    in
+    (match pick with Some r -> r | None -> assert false)
+
+let solve ?(node_budget = 20_000_000) ?(setup = 0.0) ~rule inst =
+  if setup < 0.0 then invalid_arg "Dfs.solve: negative setup time";
+  let n = Instance.task_count inst and m = Instance.machines inst in
+  let wf = Instance.workflow inst in
+  check_rule_feasible rule inst;
+  let order = Workflow.backward_order wf in
+  let contrib_lb = min_contribution inst in
+  (* Largest static lower bound over the tasks assigned at depth >= k. *)
+  let suffix_lb = Array.make (n + 1) 0.0 in
+  for k = n - 1 downto 0 do
+    suffix_lb.(k) <- Float.max suffix_lb.(k + 1) contrib_lb.(order.(k))
+  done;
+  let seed_mp, seed_p0 = incumbent rule inst in
+  (* The incumbent is specialized (or injective), so it pays no setup. *)
+  let seed_p = seed_p0 in
+  let best_mp = ref seed_mp and best_p = ref seed_p in
+  let a = Array.make n (-1) in
+  let x = Array.make n nan in
+  let load = Array.make m 0.0 in
+  (* For Specialized: type a machine is locked to (-1 = free); for
+     One_to_one: any non-negative value marks the machine taken; unused for
+     General. *)
+  let dedicated = Array.make m (-1) in
+  (* Distinct types currently hosted per machine (General rule only, for
+     the reconfiguration penalty). *)
+  let hosted_types = Array.make m [] in
+  let setup_cost u ty =
+    if rule <> Mapping.General || setup = 0.0 then 0.0
+    else if hosted_types.(u) = [] || List.mem ty hosted_types.(u) then 0.0
+    else setup
+  in
+  let nodes = ref 0 in
+  let exhausted = ref false in
+  let machine_allowed u ty =
+    match rule with
+    | Mapping.General -> true
+    | Mapping.Specialized -> dedicated.(u) < 0 || dedicated.(u) = ty
+    | Mapping.One_to_one -> dedicated.(u) < 0
+  in
+  let rec go k current_max =
+    if !nodes >= node_budget then exhausted := true
+    else if k = n then begin
+      if current_max < !best_p then begin
+        best_p := current_max;
+        best_mp := Mapping.of_array inst a
+      end
+    end
+    else begin
+      let task = order.(k) in
+      let ty = Workflow.ttype wf task in
+      let x_succ = match Workflow.successor wf task with None -> 1.0 | Some j -> x.(j) in
+      let candidates = ref [] in
+      for u = m - 1 downto 0 do
+        if machine_allowed u ty then begin
+          let xi = x_succ /. (1.0 -. Instance.f inst task u) in
+          let exec = load.(u) +. (xi *. Instance.w inst task u) +. setup_cost u ty in
+          if exec < !best_p then candidates := (exec, u, xi) :: !candidates
+        end
+      done;
+      let sorted = List.sort (fun (e1, _, _) (e2, _, _) -> Float.compare e1 e2) !candidates in
+      List.iter
+        (fun (exec, u, xi) ->
+          if (not !exhausted) && exec < !best_p
+             && Float.max (Float.max current_max exec) suffix_lb.(k + 1) < !best_p
+          then begin
+            incr nodes;
+            let saved_ded = dedicated.(u) and saved_load = load.(u) in
+            let saved_types = hosted_types.(u) in
+            (match rule with
+            | Mapping.Specialized | Mapping.One_to_one -> dedicated.(u) <- ty
+            | Mapping.General ->
+              if not (List.mem ty hosted_types.(u)) then
+                hosted_types.(u) <- ty :: hosted_types.(u));
+            load.(u) <- exec;
+            a.(task) <- u;
+            x.(task) <- xi;
+            go (k + 1) (Float.max current_max exec);
+            dedicated.(u) <- saved_ded;
+            load.(u) <- saved_load;
+            hosted_types.(u) <- saved_types;
+            a.(task) <- -1
+          end)
+        sorted
+    end
+  in
+  go 0 0.0;
+  { mapping = !best_mp; period = !best_p; optimal = not !exhausted; nodes = !nodes }
+
+let specialized ?node_budget inst = solve ?node_budget ~rule:Mapping.Specialized inst
+let general ?node_budget ?setup inst = solve ?node_budget ?setup ~rule:Mapping.General inst
+let one_to_one ?node_budget inst = solve ?node_budget ~rule:Mapping.One_to_one inst

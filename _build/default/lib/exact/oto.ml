@@ -1,0 +1,39 @@
+module Instance = Mf_core.Instance
+module Workflow = Mf_core.Workflow
+module Mapping = Mf_core.Mapping
+module Period = Mf_core.Period
+
+let require_enough_machines inst =
+  if Instance.task_count inst > Instance.machines inst then
+    invalid_arg "Oto: one-to-one mappings need at least as many machines as tasks"
+
+let theorem1 inst =
+  let wf = Instance.workflow inst in
+  if not (Workflow.is_chain wf) then invalid_arg "Oto.theorem1: application must be a chain";
+  if not (Instance.is_homogeneous inst) then
+    invalid_arg "Oto.theorem1: machines must be homogeneous";
+  require_enough_machines inst;
+  let n = Instance.task_count inst and m = Instance.machines inst in
+  let cost =
+    Array.init n (fun i -> Array.init m (fun u -> -.log (1.0 -. Instance.f inst i u)))
+  in
+  let assignment, _ = Mf_graph.Hungarian.solve cost in
+  let mp = Mapping.of_array inst assignment in
+  (mp, Period.period inst mp)
+
+let bottleneck inst =
+  if not (Instance.failures_task_attached inst) then
+    invalid_arg "Oto.bottleneck: failure rates must be attached to tasks only";
+  require_enough_machines inst;
+  let n = Instance.task_count inst and m = Instance.machines inst in
+  let wf = Instance.workflow inst in
+  (* Mapping-independent product counts. *)
+  let x = Array.make n 0.0 in
+  Array.iter
+    (fun i ->
+      let downstream = match Workflow.successor wf i with None -> 1.0 | Some j -> x.(j) in
+      x.(i) <- downstream /. (1.0 -. Instance.f inst i 0))
+    (Workflow.backward_order wf);
+  let cost = Array.init n (fun i -> Array.init m (fun u -> x.(i) *. Instance.w inst i u)) in
+  let assignment, value = Mf_graph.Bottleneck.solve cost in
+  (Mapping.of_array inst assignment, value)

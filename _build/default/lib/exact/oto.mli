@@ -1,0 +1,25 @@
+(** Optimal one-to-one mappings for the polynomial cases (paper Section 5.1
+    and the "OtO" reference curve of Section 7.2).
+
+    Two cases are solvable in polynomial time:
+
+    - {b Theorem 1}: linear chain on homogeneous machines
+      ([w(i,u) = w]).  The period is paced by the first task,
+      [period = w * prod_j F_j], so minimizing the period reduces to a
+      min-weight perfect matching with costs [-log(1 - f(i,u))]
+      (Hungarian algorithm).
+
+    - {b Task-attached failures} ([f(i,u) = f_i], Section 7.2).  The
+      product counts [x_i] do not depend on the mapping, each machine runs
+      one task, and the period is [max_i x_i * w(i, a(i))] — a bottleneck
+      assignment. *)
+
+(** [theorem1 inst] computes the optimal one-to-one mapping of Theorem 1.
+    @raise Invalid_argument if the application is not a chain, the
+    machines are not homogeneous, or [n > m]. *)
+val theorem1 : Mf_core.Instance.t -> Mf_core.Mapping.t * float
+
+(** [bottleneck inst] computes the optimal one-to-one mapping when failure
+    rates are attached to tasks only.
+    @raise Invalid_argument if failures depend on machines or [n > m]. *)
+val bottleneck : Mf_core.Instance.t -> Mf_core.Mapping.t * float

@@ -1,0 +1,1 @@
+lib/experiments/figures.ml: Array List Mf_heuristics Mf_prng Mf_workload Option Runner

@@ -1,0 +1,1 @@
+lib/experiments/plot.ml: Buffer Filename Fun List Printf Runner String

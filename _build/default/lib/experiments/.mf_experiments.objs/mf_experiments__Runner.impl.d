@@ -1,0 +1,1 @@
+lib/experiments/runner.ml: Array Fun Hashtbl Int64 List Mf_core Mf_exact Mf_heuristics Mf_numeric Mf_prng Option

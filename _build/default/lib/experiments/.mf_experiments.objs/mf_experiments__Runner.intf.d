@@ -1,0 +1,1 @@
+lib/experiments/runner.mli: Mf_core Mf_heuristics

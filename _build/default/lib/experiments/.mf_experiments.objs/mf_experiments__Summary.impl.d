@@ -1,0 +1,1 @@
+lib/experiments/summary.ml: Array Float Format Hashtbl List Runner

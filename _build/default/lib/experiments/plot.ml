@@ -1,0 +1,51 @@
+let labels (fig : Runner.figure) =
+  match fig.Runner.points with
+  | [] -> []
+  | pt :: _ -> List.map (fun (c : Runner.cell) -> c.Runner.label) pt.Runner.cells
+
+let dat_contents (fig : Runner.figure) =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf (Printf.sprintf "# %s - %s\n" fig.Runner.id fig.Runner.title);
+  Buffer.add_string buf
+    (Printf.sprintf "# %s %s\n" fig.Runner.x_label (String.concat " " (labels fig)));
+  List.iter
+    (fun (pt : Runner.point) ->
+      Buffer.add_string buf (string_of_int pt.Runner.x);
+      List.iter
+        (fun (c : Runner.cell) ->
+          if c.Runner.successes = 0 then Buffer.add_string buf " ?"
+          else Buffer.add_string buf (Printf.sprintf " %.6f" (Runner.mean c)))
+        pt.Runner.cells;
+      Buffer.add_char buf '\n')
+    fig.Runner.points;
+  Buffer.contents buf
+
+let gp_contents (fig : Runner.figure) =
+  let buf = Buffer.create 512 in
+  Buffer.add_string buf (Printf.sprintf "set title \"%s\"\n" fig.Runner.title);
+  Buffer.add_string buf (Printf.sprintf "set xlabel \"%s\"\n" fig.Runner.x_label);
+  Buffer.add_string buf "set ylabel \"period in ms\"\n";
+  Buffer.add_string buf "set key top left\n";
+  Buffer.add_string buf "set datafile missing \"?\"\n";
+  Buffer.add_string buf (Printf.sprintf "set terminal png size 900,600\n");
+  Buffer.add_string buf (Printf.sprintf "set output \"%s.png\"\n" fig.Runner.id);
+  let plots =
+    List.mapi
+      (fun idx label ->
+        Printf.sprintf "\"%s.dat\" using 1:%d with linespoints title \"%s\"" fig.Runner.id
+          (idx + 2) label)
+      (labels fig)
+  in
+  Buffer.add_string buf ("plot " ^ String.concat ", \\\n     " plots ^ "\n");
+  Buffer.contents buf
+
+let write_files ~dir (fig : Runner.figure) =
+  let dat_path = Filename.concat dir (fig.Runner.id ^ ".dat") in
+  let gp_path = Filename.concat dir (fig.Runner.id ^ ".gp") in
+  let write path contents =
+    let oc = open_out path in
+    Fun.protect ~finally:(fun () -> close_out oc) (fun () -> output_string oc contents)
+  in
+  write dat_path (dat_contents fig);
+  write gp_path (gp_contents fig);
+  (dat_path, gp_path)

@@ -1,0 +1,14 @@
+(** Gnuplot export: writes a [.dat] data file and a ready-to-run [.gp]
+    script per figure, so the paper's plots can be regenerated graphically
+    with [gnuplot <fig>.gp]. *)
+
+(** [write_files ~dir fig] writes [dir/<id>.dat] and [dir/<id>.gp] and
+    returns both paths.  Missing cells (solver failures) become gnuplot
+    missing values ("?"). *)
+val write_files : dir:string -> Runner.figure -> string * string
+
+(** [dat_contents fig] and [gp_contents fig] expose the generated file
+    bodies (used by the tests). *)
+val dat_contents : Runner.figure -> string
+
+val gp_contents : Runner.figure -> string

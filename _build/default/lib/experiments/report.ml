@@ -1,0 +1,57 @@
+let labels fig =
+  match fig.Runner.points with
+  | [] -> []
+  | pt :: _ -> List.map (fun (c : Runner.cell) -> c.Runner.label) pt.Runner.cells
+
+let has_failures fig =
+  List.exists
+    (fun (pt : Runner.point) ->
+      List.exists (fun (c : Runner.cell) -> c.Runner.successes < c.Runner.trials) pt.Runner.cells)
+    fig.Runner.points
+
+let cell_text c =
+  let mean = Runner.mean c in
+  if c.Runner.successes = 0 then "-"
+  else if c.Runner.successes < c.Runner.trials then
+    Printf.sprintf "%.1f (%d/%d)" mean c.Runner.successes c.Runner.trials
+  else Printf.sprintf "%.1f" mean
+
+let pp_figure fmt fig =
+  Format.fprintf fmt "=== %s: %s ===@," (String.uppercase_ascii fig.Runner.id) fig.Runner.title;
+  List.iter (fun n -> Format.fprintf fmt "note: %s@," n) fig.Runner.notes;
+  if has_failures fig then
+    Format.fprintf fmt "note: cells with failures show mean (successes/trials)@,";
+  let labels = labels fig in
+  let col_width =
+    List.fold_left (fun acc l -> Stdlib.max acc (String.length l)) 14 labels + 2
+  in
+  let x_width = Stdlib.max (String.length fig.Runner.x_label) 6 + 2 in
+  let pad w s = Printf.sprintf "%*s" w s in
+  Format.fprintf fmt "%s" (pad x_width fig.Runner.x_label);
+  List.iter (fun l -> Format.fprintf fmt "%s" (pad col_width l)) labels;
+  Format.fprintf fmt "@,";
+  List.iter
+    (fun (pt : Runner.point) ->
+      Format.fprintf fmt "%s" (pad x_width (string_of_int pt.Runner.x));
+      List.iter
+        (fun (c : Runner.cell) -> Format.fprintf fmt "%s" (pad col_width (cell_text c)))
+        pt.Runner.cells;
+      Format.fprintf fmt "@,")
+    fig.Runner.points
+
+let to_string fig = Format.asprintf "@[<v>%a@]" pp_figure fig
+
+let pp_csv fmt fig =
+  Format.fprintf fmt "x";
+  List.iter (fun l -> Format.fprintf fmt ",%s" l) (labels fig);
+  Format.fprintf fmt "@,";
+  List.iter
+    (fun (pt : Runner.point) ->
+      Format.fprintf fmt "%d" pt.Runner.x;
+      List.iter
+        (fun (c : Runner.cell) ->
+          if c.Runner.successes = 0 then Format.fprintf fmt ","
+          else Format.fprintf fmt ",%.6f" (Runner.mean c))
+        pt.Runner.cells;
+      Format.fprintf fmt "@,")
+    fig.Runner.points

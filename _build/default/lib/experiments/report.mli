@@ -1,0 +1,13 @@
+(** ASCII rendering of experiment figures: one aligned table per figure,
+    one row per x value, one column per algorithm (mean period in ms, as
+    the paper plots), plus success counts for columns that can fail. *)
+
+(** [pp_figure fmt fig] prints the whole table with title and notes. *)
+val pp_figure : Format.formatter -> Runner.figure -> unit
+
+(** [to_string fig] is [pp_figure] into a string. *)
+val to_string : Runner.figure -> string
+
+(** [pp_csv fmt fig] prints the same data as CSV (x, then one column per
+    algorithm) for external plotting. *)
+val pp_csv : Format.formatter -> Runner.figure -> unit

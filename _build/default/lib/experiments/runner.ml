@@ -1,0 +1,80 @@
+module Registry = Mf_heuristics.Registry
+module Period = Mf_core.Period
+
+type algo = { label : string; solve : Mf_core.Instance.t -> seed:int -> float option }
+
+type cell = { label : string; values : float option array; successes : int; trials : int }
+
+type point = { x : int; cells : cell list }
+
+type figure = {
+  id : string;
+  title : string;
+  x_label : string;
+  points : point list;
+  notes : string list;
+}
+
+let heuristic h =
+  {
+    label = Registry.name h;
+    solve = (fun inst ~seed -> Some (Period.period inst (Registry.solve ~seed h inst)));
+  }
+
+let oto_bottleneck =
+  {
+    label = "OtO";
+    solve =
+      (fun inst ~seed:_ ->
+        let _, period = Mf_exact.Oto.bottleneck inst in
+        Some period);
+  }
+
+let exact_dfs ~node_budget =
+  {
+    label = "MIP";
+    solve =
+      (fun inst ~seed:_ ->
+        let r = Mf_exact.Dfs.specialized ~node_budget inst in
+        if r.Mf_exact.Dfs.optimal then Some r.Mf_exact.Dfs.period else None);
+  }
+
+let derive_seed ~id ~x ~rep =
+  let sm = Mf_prng.Splitmix64.create (Int64.of_int (Hashtbl.hash (id, x, rep))) in
+  Int64.to_int (Int64.logand (Mf_prng.Splitmix64.next sm) 0x3FFFFFFFFFFFFFFFL)
+
+let run ~id ~title ~x_label ?(notes = []) ~xs ~replicates ~gen ~algos () =
+  let points =
+    List.map
+      (fun x ->
+        let per_algo = List.map (fun (a : algo) -> (a, Array.make replicates None)) algos in
+        for rep = 0 to replicates - 1 do
+          let seed = derive_seed ~id ~x ~rep in
+          let inst = gen ~x ~seed in
+          List.iter (fun (a, slots) -> slots.(rep) <- a.solve inst ~seed) per_algo
+        done;
+        let cells =
+          List.map
+            (fun ((a : algo), slots) ->
+              {
+                label = a.label;
+                values = slots;
+                successes =
+                  Array.fold_left (fun acc v -> if Option.is_some v then acc + 1 else acc) 0 slots;
+                trials = replicates;
+              })
+            per_algo
+        in
+        { x; cells })
+      xs
+  in
+  { id; title; x_label; points; notes }
+
+let successful cell =
+  Array.of_list (List.filter_map Fun.id (Array.to_list cell.values))
+
+let mean cell =
+  let ok = successful cell in
+  if Array.length ok = 0 then nan else Mf_numeric.Stats.mean ok
+
+let find_cell point label = List.find_opt (fun c -> c.label = label) point.cells

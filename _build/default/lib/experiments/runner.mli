@@ -1,0 +1,77 @@
+(** Replicated experiment machinery.
+
+    Every point of every figure in the paper is the average of 30 (or 100)
+    independent random instances.  The runner pairs algorithms on the same
+    instances (as the paper does), derives instance seeds deterministically
+    from (figure id, x value, replicate index), and records raw
+    per-replicate periods so normalised figures (Fig. 11) can take
+    per-instance ratios. *)
+
+(** An algorithm entry: solves an instance, returning the achieved period,
+    or [None] on failure (e.g. the exact solver's node budget, matching the
+    MIP dropping out in the paper's Fig. 12). *)
+type algo = {
+  label : string;
+  solve : Mf_core.Instance.t -> seed:int -> float option;
+}
+
+(** Results of one algorithm at one x value. *)
+type cell = {
+  label : string;
+  values : float option array;
+      (** one slot per replicate, [None] on failure; slots align across
+          algorithms so normalised figures can take per-instance ratios *)
+  successes : int;
+  trials : int;
+}
+
+type point = { x : int; cells : cell list }
+
+type figure = {
+  id : string;  (** e.g. "fig5" *)
+  title : string;
+  x_label : string;
+  points : point list;
+  notes : string list;
+}
+
+(** [heuristic h] wraps a paper heuristic. *)
+val heuristic : Mf_heuristics.Registry.t -> algo
+
+(** [oto_bottleneck] wraps the optimal one-to-one solver for task-attached
+    failures (the "OtO" curve of Fig. 9). *)
+val oto_bottleneck : algo
+
+(** [exact_dfs ~node_budget] wraps the exact specialized solver; fails
+    (returns [None]) when the budget is exhausted before proving
+    optimality — reproducing the MIP's behaviour on large instances. *)
+val exact_dfs : node_budget:int -> algo
+
+(** [run ~id ~title ~x_label ~xs ~replicates ~gen ~algos ()] runs the full
+    grid.  [gen] receives the x value and a derived seed and must return
+    the instance. *)
+val run :
+  id:string ->
+  title:string ->
+  x_label:string ->
+  ?notes:string list ->
+  xs:int list ->
+  replicates:int ->
+  gen:(x:int -> seed:int -> Mf_core.Instance.t) ->
+  algos:algo list ->
+  unit ->
+  figure
+
+(** [derive_seed ~id ~x ~rep] is the deterministic instance seed used by
+    {!run} (exposed for tests). *)
+val derive_seed : id:string -> x:int -> rep:int -> int
+
+(** [mean cell] is the mean period of successful replicates ([nan] when
+    none succeeded). *)
+val mean : cell -> float
+
+(** [successful cell] extracts the successful periods. *)
+val successful : cell -> float array
+
+(** [find_cell point label] looks up an algorithm's cell at a point. *)
+val find_cell : point -> string -> cell option

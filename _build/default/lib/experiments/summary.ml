@@ -1,0 +1,33 @@
+let factors_vs (fig : Runner.figure) ~reference =
+  let table = Hashtbl.create 8 in
+  List.iter
+    (fun (pt : Runner.point) ->
+      match Runner.find_cell pt reference with
+      | None -> ()
+      | Some ref_cell ->
+        List.iter
+          (fun (c : Runner.cell) ->
+            if c.Runner.label <> reference then
+              Array.iteri
+                (fun rep v ->
+                  match (v, ref_cell.Runner.values.(rep)) with
+                  | Some period, Some ref_period when ref_period > 0.0 ->
+                    let sum, count =
+                      try Hashtbl.find table c.Runner.label with Not_found -> (0.0, 0)
+                    in
+                    Hashtbl.replace table c.Runner.label
+                      (sum +. (period /. ref_period), count + 1)
+                  | _ -> ())
+                c.Runner.values)
+          pt.Runner.cells)
+    fig.Runner.points;
+  Hashtbl.fold (fun label (sum, count) acc -> (label, sum /. float_of_int count, count) :: acc)
+    table []
+  |> List.sort (fun (_, a, _) (_, b, _) -> Float.compare a b)
+
+let pp_factors fmt fig ~reference =
+  Format.fprintf fmt "factors vs %s over %s:@," reference fig.Runner.id;
+  List.iter
+    (fun (label, factor, count) ->
+      Format.fprintf fmt "  %-6s %.2fx  (%d paired instances)@," label factor count)
+    (factors_vs fig ~reference)

@@ -1,0 +1,12 @@
+(** Cross-figure summary statistics: the normalisation factors the paper
+    quotes ("H2, H3 and H4w are respectively at a factor of 1.73, 1.58 and
+    1.33 from the optimal"). *)
+
+(** [factors_vs fig ~reference] computes, for every other algorithm in the
+    figure, the mean per-instance ratio algorithm/reference over all points
+    and replicates where both succeeded.  Returns (label, factor, paired
+    count), sorted by factor. *)
+val factors_vs : Runner.figure -> reference:string -> (string * float * int) list
+
+(** [pp_factors fmt fig ~reference] prints the factors table. *)
+val pp_factors : Format.formatter -> Runner.figure -> reference:string -> unit

@@ -1,0 +1,1 @@
+lib/graph/bottleneck.ml: Array Bipartite Float Mf_structures Option

@@ -1,0 +1,75 @@
+module Ds = Mf_structures.Dyn_array
+
+type t = { n_left : int; n_right : int; adj : int Ds.t array }
+
+let create ~n_left ~n_right =
+  if n_left < 0 || n_right < 0 then invalid_arg "Bipartite.create: negative size";
+  { n_left; n_right; adj = Array.init n_left (fun _ -> Ds.create ()) }
+
+let add_edge g u v =
+  if u < 0 || u >= g.n_left then invalid_arg "Bipartite.add_edge: left out of range";
+  if v < 0 || v >= g.n_right then invalid_arg "Bipartite.add_edge: right out of range";
+  Ds.push g.adj.(u) v
+
+type matching = { size : int; left_match : int array; right_match : int array }
+
+let infinity_dist = max_int
+
+(* Hopcroft–Karp: repeated BFS layering + layered DFS augmentation. *)
+let maximum_matching g =
+  let match_l = Array.make g.n_left (-1) in
+  let match_r = Array.make g.n_right (-1) in
+  let dist = Array.make g.n_left infinity_dist in
+  let queue = Queue.create () in
+  let bfs () =
+    Queue.clear queue;
+    for u = 0 to g.n_left - 1 do
+      if match_l.(u) = -1 then begin
+        dist.(u) <- 0;
+        Queue.add u queue
+      end
+      else dist.(u) <- infinity_dist
+    done;
+    let found = ref false in
+    while not (Queue.is_empty queue) do
+      let u = Queue.pop queue in
+      Ds.iter
+        (fun v ->
+          let w = match_r.(v) in
+          if w = -1 then found := true
+          else if dist.(w) = infinity_dist then begin
+            dist.(w) <- dist.(u) + 1;
+            Queue.add w queue
+          end)
+        g.adj.(u)
+    done;
+    !found
+  in
+  let rec dfs u =
+    let rec try_edges i =
+      if i >= Ds.length g.adj.(u) then begin
+        dist.(u) <- infinity_dist;
+        false
+      end
+      else begin
+        let v = Ds.get g.adj.(u) i in
+        let w = match_r.(v) in
+        if w = -1 || (dist.(w) = dist.(u) + 1 && dfs w) then begin
+          match_l.(u) <- v;
+          match_r.(v) <- u;
+          true
+        end
+        else try_edges (i + 1)
+      end
+    in
+    try_edges 0
+  in
+  let size = ref 0 in
+  while bfs () do
+    for u = 0 to g.n_left - 1 do
+      if match_l.(u) = -1 && dfs u then incr size
+    done
+  done;
+  { size = !size; left_match = match_l; right_match = match_r }
+
+let is_perfect_on_left g m = m.size = g.n_left

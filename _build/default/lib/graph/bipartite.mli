@@ -1,0 +1,27 @@
+(** Maximum cardinality matching in bipartite graphs (Hopcroft–Karp).
+
+    Left vertices are [0 .. n_left-1], right vertices [0 .. n_right-1].
+    Runs in O(E sqrt(V)); used as the feasibility oracle of the bottleneck
+    assignment solver. *)
+
+type t
+
+(** [create ~n_left ~n_right] is an empty bipartite graph. *)
+val create : n_left:int -> n_right:int -> t
+
+(** [add_edge g u v] connects left [u] to right [v].
+    @raise Invalid_argument if an endpoint is out of range. *)
+val add_edge : t -> int -> int -> unit
+
+(** Result of a maximum matching computation. *)
+type matching = {
+  size : int;  (** number of matched pairs *)
+  left_match : int array;  (** [left_match.(u)] is the right mate of [u], or [-1] *)
+  right_match : int array;  (** [right_match.(v)] is the left mate of [v], or [-1] *)
+}
+
+(** [maximum_matching g] computes a maximum cardinality matching. *)
+val maximum_matching : t -> matching
+
+(** [is_perfect_on_left g m] is true when every left vertex is matched. *)
+val is_perfect_on_left : t -> matching -> bool

@@ -1,0 +1,45 @@
+let solve cost =
+  let n = Array.length cost in
+  if n = 0 then invalid_arg "Bottleneck.solve: empty matrix";
+  let m = Array.length cost.(0) in
+  if Array.exists (fun r -> Array.length r <> m) cost then
+    invalid_arg "Bottleneck.solve: ragged matrix";
+  if n > m then invalid_arg "Bottleneck.solve: more rows than columns";
+  (* Distinct sorted cost values as binary search domain. *)
+  let values =
+    let all = Array.concat (Array.to_list cost) in
+    Array.sort Float.compare all;
+    let dedup = Mf_structures.Dyn_array.create () in
+    Array.iter
+      (fun v ->
+        if
+          Mf_structures.Dyn_array.is_empty dedup
+          || Mf_structures.Dyn_array.get dedup (Mf_structures.Dyn_array.length dedup - 1) <> v
+        then Mf_structures.Dyn_array.push dedup v)
+      all;
+    Mf_structures.Dyn_array.to_array dedup
+  in
+  let feasible threshold =
+    let g = Bipartite.create ~n_left:n ~n_right:m in
+    for i = 0 to n - 1 do
+      for j = 0 to m - 1 do
+        if cost.(i).(j) <= threshold then Bipartite.add_edge g i j
+      done
+    done;
+    let matching = Bipartite.maximum_matching g in
+    if Bipartite.is_perfect_on_left g matching then Some matching.Bipartite.left_match
+    else None
+  in
+  (* Binary search for the smallest feasible threshold index. *)
+  let lo = ref 0 and hi = ref (Array.length values - 1) in
+  if Option.is_none (feasible values.(!hi)) then
+    invalid_arg "Bottleneck.solve: no perfect matching exists";
+  while !lo < !hi do
+    let mid = (!lo + !hi) / 2 in
+    match feasible values.(mid) with
+    | Some _ -> hi := mid
+    | None -> lo := mid + 1
+  done;
+  match feasible values.(!lo) with
+  | Some assignment -> (assignment, values.(!lo))
+  | None -> assert false

@@ -1,0 +1,18 @@
+(** Bottleneck (min-max) rectangular assignment.
+
+    Given an [n x m] cost matrix with [n <= m], finds an assignment of every
+    row to a distinct column minimizing the {e maximum} selected cost, by
+    binary search over the distinct cost values with a Hopcroft–Karp
+    feasibility matching.
+
+    This solves the optimal one-to-one mapping of the paper's Section 7.2
+    experiment: with task-attached failures ([f(i,u) = f_i]) the products
+    count [x_i] is mapping-independent, each machine executes one task, and
+    the system period is [max_i x_i * w(i, a(i))] — a bottleneck
+    assignment on costs [x_i * w(i,u)]. *)
+
+(** [solve cost] returns [(assignment, value)] where [assignment.(i)] is the
+    column of row [i] and [value] the optimal bottleneck.
+    @raise Invalid_argument if the matrix is empty, ragged, or has more rows
+    than columns. *)
+val solve : float array array -> int array * float

@@ -1,0 +1,80 @@
+module Ds = Mf_structures.Dyn_array
+
+type t = {
+  n : int;
+  succ : int Ds.t array;
+  pred : int Ds.t array;
+  mutable edges : int;
+}
+
+let create n =
+  if n < 0 then invalid_arg "Digraph.create: negative size";
+  {
+    n;
+    succ = Array.init n (fun _ -> Ds.create ());
+    pred = Array.init n (fun _ -> Ds.create ());
+    edges = 0;
+  }
+
+let vertex_count g = g.n
+let edge_count g = g.edges
+
+let check g u =
+  if u < 0 || u >= g.n then invalid_arg "Digraph: vertex out of range"
+
+let mem_edge g u v =
+  check g u;
+  check g v;
+  Ds.fold_left (fun acc w -> acc || w = v) false g.succ.(u)
+
+let add_edge g u v =
+  check g u;
+  check g v;
+  if not (mem_edge g u v) then begin
+    Ds.push g.succ.(u) v;
+    Ds.push g.pred.(v) u;
+    g.edges <- g.edges + 1
+  end
+
+let succ g u =
+  check g u;
+  Ds.to_list g.succ.(u)
+
+let pred g u =
+  check g u;
+  Ds.to_list g.pred.(u)
+
+let out_degree g u =
+  check g u;
+  Ds.length g.succ.(u)
+
+let in_degree g u =
+  check g u;
+  Ds.length g.pred.(u)
+
+(* Kahn's algorithm. *)
+let topological_order g =
+  let indeg = Array.init g.n (in_degree g) in
+  let queue = Queue.create () in
+  Array.iteri (fun v d -> if d = 0 then Queue.add v queue) indeg;
+  let order = ref [] in
+  let visited = ref 0 in
+  while not (Queue.is_empty queue) do
+    let v = Queue.pop queue in
+    order := v :: !order;
+    incr visited;
+    Ds.iter
+      (fun w ->
+        indeg.(w) <- indeg.(w) - 1;
+        if indeg.(w) = 0 then Queue.add w queue)
+      g.succ.(v)
+  done;
+  if !visited = g.n then Some (List.rev !order) else None
+
+let is_dag g = Option.is_some (topological_order g)
+
+let sources g =
+  List.filter (fun v -> in_degree g v = 0) (List.init g.n Fun.id)
+
+let sinks g =
+  List.filter (fun v -> out_degree g v = 0) (List.init g.n Fun.id)

@@ -1,0 +1,67 @@
+(* Potentials formulation with successive shortest augmenting paths
+   (the classic O(n^2 m) "e-maxx" variant, using 1-based sentinel row and
+   column 0 internally). *)
+
+let solve cost =
+  let n = Array.length cost in
+  if n = 0 then invalid_arg "Hungarian.solve: empty matrix";
+  let m = Array.length cost.(0) in
+  if Array.exists (fun r -> Array.length r <> m) cost then
+    invalid_arg "Hungarian.solve: ragged matrix";
+  if n > m then invalid_arg "Hungarian.solve: more rows than columns";
+  let inf = infinity in
+  (* u: row potentials (1..n), v: column potentials (1..m),
+     p.(j): row assigned to column j, way.(j): previous column on the path. *)
+  let u = Array.make (n + 1) 0.0 in
+  let v = Array.make (m + 1) 0.0 in
+  let p = Array.make (m + 1) 0 in
+  let way = Array.make (m + 1) 0 in
+  for i = 1 to n do
+    p.(0) <- i;
+    let j0 = ref 0 in
+    let minv = Array.make (m + 1) inf in
+    let used = Array.make (m + 1) false in
+    let continue = ref true in
+    while !continue do
+      used.(!j0) <- true;
+      let i0 = p.(!j0) in
+      let delta = ref inf in
+      let j1 = ref 0 in
+      for j = 1 to m do
+        if not used.(j) then begin
+          let cur = cost.(i0 - 1).(j - 1) -. u.(i0) -. v.(j) in
+          if cur < minv.(j) then begin
+            minv.(j) <- cur;
+            way.(j) <- !j0
+          end;
+          if minv.(j) < !delta then begin
+            delta := minv.(j);
+            j1 := j
+          end
+        end
+      done;
+      for j = 0 to m do
+        if used.(j) then begin
+          u.(p.(j)) <- u.(p.(j)) +. !delta;
+          v.(j) <- v.(j) -. !delta
+        end
+        else minv.(j) <- minv.(j) -. !delta
+      done;
+      j0 := !j1;
+      if p.(!j0) = 0 then continue := false
+    done;
+    (* Augment along the alternating path. *)
+    let j = ref !j0 in
+    while !j <> 0 do
+      let jprev = way.(!j) in
+      p.(!j) <- p.(jprev);
+      j := jprev
+    done
+  done;
+  let assignment = Array.make n (-1) in
+  for j = 1 to m do
+    if p.(j) > 0 then assignment.(p.(j) - 1) <- j - 1
+  done;
+  let total = ref 0.0 in
+  Array.iteri (fun i j -> total := !total +. cost.(i).(j)) assignment;
+  (assignment, !total)

@@ -1,0 +1,14 @@
+(** Hungarian algorithm for the min-cost rectangular assignment problem.
+
+    Given an [n x m] cost matrix with [n <= m], finds an assignment of every
+    row to a distinct column minimizing the total cost, in O(n^2 m).
+
+    This is the polynomial algorithm behind Theorem 1 of the paper: the
+    optimal one-to-one mapping of a linear chain on homogeneous machines is
+    the min-weight bipartite matching with costs [-log(1 - f(i,u))]. *)
+
+(** [solve cost] returns [(assignment, total)] where [assignment.(i)] is the
+    column assigned to row [i] and [total] the optimal cost.
+    @raise Invalid_argument if the matrix is empty, ragged, or has more rows
+    than columns. *)
+val solve : float array array -> int array * float

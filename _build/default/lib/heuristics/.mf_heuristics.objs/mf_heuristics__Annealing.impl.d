@@ -1,0 +1,1 @@
+lib/heuristics/annealing.ml: Array Mf_core Mf_prng

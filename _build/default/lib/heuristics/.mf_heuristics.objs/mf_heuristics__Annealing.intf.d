@@ -1,0 +1,1 @@
+lib/heuristics/annealing.mli: Mf_core Mf_prng

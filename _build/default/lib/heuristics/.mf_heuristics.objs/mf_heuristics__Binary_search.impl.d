@@ -1,0 +1,1 @@
+lib/heuristics/binary_search.ml: Array Engine Mf_core

@@ -1,0 +1,1 @@
+lib/heuristics/engine.ml: Array Fun List Mf_core

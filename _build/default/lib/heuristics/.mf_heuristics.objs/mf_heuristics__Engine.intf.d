@@ -1,0 +1,1 @@
+lib/heuristics/engine.mli: Mf_core

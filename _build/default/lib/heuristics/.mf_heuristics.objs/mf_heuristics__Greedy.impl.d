@@ -1,0 +1,1 @@
+lib/heuristics/greedy.ml: Array Engine List Mf_core

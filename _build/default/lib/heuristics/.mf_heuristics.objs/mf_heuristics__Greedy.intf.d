@@ -1,0 +1,1 @@
+lib/heuristics/greedy.mli: Mf_core

@@ -1,0 +1,1 @@
+lib/heuristics/h1_random.ml: Array Engine List Mf_core Mf_prng Printf

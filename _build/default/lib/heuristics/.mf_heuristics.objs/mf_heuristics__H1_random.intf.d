@@ -1,0 +1,1 @@
+lib/heuristics/h1_random.mli: Mf_core Mf_prng

@@ -1,0 +1,1 @@
+lib/heuristics/h2_potential.ml: Array Binary_search Engine Float Fun List Mf_core

@@ -1,0 +1,1 @@
+lib/heuristics/h2_potential.mli: Mf_core

@@ -1,0 +1,1 @@
+lib/heuristics/h2_variants.ml: Array Binary_search Engine Float H2_potential List Mf_core Stdlib

@@ -1,0 +1,1 @@
+lib/heuristics/h2_variants.mli: Mf_core

@@ -1,0 +1,1 @@
+lib/heuristics/h3_heterogeneity.ml: Array Binary_search Engine List Mf_core Option

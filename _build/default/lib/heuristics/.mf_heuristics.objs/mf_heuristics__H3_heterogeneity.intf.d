@@ -1,0 +1,1 @@
+lib/heuristics/h3_heterogeneity.mli: Mf_core

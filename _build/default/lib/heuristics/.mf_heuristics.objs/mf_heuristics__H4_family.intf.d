@@ -1,0 +1,1 @@
+lib/heuristics/h4_family.mli: Mf_core

@@ -1,0 +1,1 @@
+lib/heuristics/local_search.ml: Array Mf_core

@@ -1,0 +1,1 @@
+lib/heuristics/local_search.mli: Mf_core

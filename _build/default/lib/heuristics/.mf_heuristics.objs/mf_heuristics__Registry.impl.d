@@ -1,0 +1,1 @@
+lib/heuristics/registry.ml: H1_random H2_potential H3_heterogeneity H4_family Mf_prng String

@@ -1,0 +1,1 @@
+lib/heuristics/registry.mli: Mf_core

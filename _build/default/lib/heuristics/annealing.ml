@@ -1,0 +1,76 @@
+module Instance = Mf_core.Instance
+module Workflow = Mf_core.Workflow
+module Mapping = Mf_core.Mapping
+module Period = Mf_core.Period
+module Rng = Mf_prng.Rng
+
+type params = { initial_temperature : float; cooling : float; steps : int }
+
+let default_params = { initial_temperature = 0.5; cooling = 0.995; steps = 3000 }
+
+(* Propose a random neighbour of allocation [a]; returns the undo action,
+   or None when the draw was a no-op. *)
+let propose rng inst a =
+  let n = Instance.task_count inst and m = Instance.machines inst in
+  let wf = Instance.workflow inst in
+  if m > 1 && (n < 2 || Rng.bool rng) then begin
+    (* Task move: random task to a random machine that accepts its type. *)
+    let i = Rng.int rng n in
+    let u = Rng.int rng m in
+    let original = a.(i) in
+    if u = original then None
+    else begin
+      let ty = Workflow.ttype wf i in
+      let compatible = ref true in
+      Array.iteri
+        (fun j uj -> if j <> i && uj = u && Workflow.ttype wf j <> ty then compatible := false)
+        a;
+      if not !compatible then None
+      else begin
+        a.(i) <- u;
+        Some (fun () -> a.(i) <- original)
+      end
+    end
+  end
+  else begin
+    (* Group swap: exchange two machines wholesale (always type-safe). *)
+    let u = Rng.int rng m and v = Rng.int rng m in
+    if u = v then None
+    else begin
+      let swap () =
+        Array.iteri (fun j uj -> if uj = u then a.(j) <- v else if uj = v then a.(j) <- u) a
+      in
+      swap ();
+      Some swap
+    end
+  end
+
+let run ?(params = default_params) rng inst mp =
+  Mapping.check inst mp Mapping.Specialized;
+  let a = Mapping.to_array mp in
+  let period_of arr = Period.period inst (Mapping.of_array inst arr) in
+  let current = ref (period_of a) in
+  let best = ref (Array.copy a) in
+  let best_period = ref !current in
+  let temperature = ref (params.initial_temperature *. !current) in
+  for _ = 1 to params.steps do
+    (match propose rng inst a with
+    | None -> ()
+    | Some undo ->
+      let candidate = period_of a in
+      let delta = candidate -. !current in
+      let accept =
+        delta <= 0.0
+        || (!temperature > 0.0 && Rng.float rng 1.0 < exp (-.delta /. !temperature))
+      in
+      if accept then begin
+        current := candidate;
+        if candidate < !best_period then begin
+          best_period := candidate;
+          best := Array.copy a
+        end
+      end
+      else undo ());
+    temperature := !temperature *. params.cooling
+  done;
+  Mapping.of_array inst !best

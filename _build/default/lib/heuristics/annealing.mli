@@ -1,0 +1,28 @@
+(** Simulated annealing over specialized mappings (extension beyond the
+    paper).
+
+    The state space is the set of valid specialized mappings; moves are
+    random task reassignments and group swaps (the {!Local_search}
+    neighbourhoods, sampled instead of enumerated).  The acceptance rule is
+    Metropolis with a geometric cooling schedule.  The best state ever
+    visited is returned, so the result never degrades the initial
+    mapping. *)
+
+type params = {
+  initial_temperature : float;  (** in period units; scaled per instance *)
+  cooling : float;  (** multiplier per step, in (0, 1) *)
+  steps : int;
+}
+
+(** Defaults: temperature = half the initial period, cooling 0.995,
+    3000 steps. *)
+val default_params : params
+
+(** [run ?params rng inst mp] anneals from the given specialized mapping.
+    @raise Invalid_argument if [mp] is not specialized for [inst]. *)
+val run :
+  ?params:params ->
+  Mf_prng.Rng.t ->
+  Mf_core.Instance.t ->
+  Mf_core.Mapping.t ->
+  Mf_core.Mapping.t

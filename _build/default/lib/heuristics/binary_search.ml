@@ -1,0 +1,41 @@
+module Instance = Mf_core.Instance
+
+type policy = Engine.t -> task:int -> budget:float -> int option
+
+let try_assign_all eng policy ~budget =
+  Engine.reset eng;
+  let ok = ref true in
+  let order = Engine.order eng in
+  let i = ref 0 in
+  while !ok && !i < Array.length order do
+    let task = order.(!i) in
+    (match policy eng ~task ~budget with
+    | Some u -> Engine.assign eng ~task ~machine:u
+    | None -> ok := false);
+    incr i
+  done;
+  if !ok then Some (Engine.mapping eng) else None
+
+let run inst policy =
+  let eng = Engine.create inst in
+  let upper = Instance.period_upper_bound inst in
+  (* An unbounded budget always succeeds (every task has an eligible
+     machine), guaranteeing a mapping even when rounding makes the finite
+     upper bound land one ulp below the achievable load. *)
+  let best =
+    match try_assign_all eng policy ~budget:infinity with
+    | Some mp -> ref mp
+    | None -> invalid_arg "Binary_search: unbounded assignment failed"
+  in
+  let lo = ref 0.0 and hi = ref upper in
+  let rounds = ref 0 in
+  while !hi -. !lo > 1.0 && !rounds < 64 do
+    incr rounds;
+    let mid = !lo +. ((!hi -. !lo) /. 2.0) in
+    match try_assign_all eng policy ~budget:mid with
+    | Some mp ->
+      best := mp;
+      hi := mid
+    | None -> lo := mid
+  done;
+  !best

@@ -1,0 +1,18 @@
+(** Binary search on the period — the skeleton shared by heuristics H2 and
+    H3 (Algorithms 2 and 3).
+
+    The search runs between 0 and {!Mf_core.Instance.period_upper_bound}
+    (the "period of all the tasks on the slowest machine").  For each
+    candidate period, tasks are assigned backward by a caller-supplied
+    policy that must respect the period budget; a successful full
+    assignment tightens the upper bound, a failure raises the lower bound.
+    As in the paper, the search stops when the bracket closes below 1 ms. *)
+
+(** A policy picks a machine for [task] given the current engine state and
+    the period budget, or returns [None] when no machine fits. *)
+type policy = Engine.t -> task:int -> budget:float -> int option
+
+(** [run inst policy] returns the best mapping found.  The upper bound is
+    always feasible, so a mapping is always returned when [m >= p].
+    @raise Invalid_argument when [m < p]. *)
+val run : Mf_core.Instance.t -> policy -> Mf_core.Mapping.t

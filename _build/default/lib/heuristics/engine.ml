@@ -1,0 +1,106 @@
+module Instance = Mf_core.Instance
+module Workflow = Mf_core.Workflow
+module Mapping = Mf_core.Mapping
+
+type t = {
+  inst : Instance.t;
+  order : int array;
+  dedicated : int array; (* machine -> type, or -1 *)
+  load : float array;
+  x : float array; (* product counts of assigned tasks *)
+  assignment : int array; (* task -> machine, or -1 *)
+  type_covered : bool array;
+  mutable free_machines : int;
+  mutable n_types_to_go : int;
+}
+
+let create inst =
+  let m = Instance.machines inst in
+  let p = Instance.type_count inst in
+  if m < p then
+    invalid_arg "Engine: fewer machines than task types - no specialized mapping exists";
+  {
+    inst;
+    order = Workflow.backward_order (Instance.workflow inst);
+    dedicated = Array.make m (-1);
+    load = Array.make m 0.0;
+    x = Array.make (Instance.task_count inst) nan;
+    assignment = Array.make (Instance.task_count inst) (-1);
+    type_covered = Array.make p false;
+    free_machines = m;
+    n_types_to_go = p;
+  }
+
+let instance eng = eng.inst
+let order eng = Array.copy eng.order
+
+let load eng u =
+  if u < 0 || u >= Array.length eng.load then invalid_arg "Engine.load: machine out of range";
+  eng.load.(u)
+
+let dedicated eng u =
+  if u < 0 || u >= Array.length eng.dedicated then
+    invalid_arg "Engine.dedicated: machine out of range";
+  if eng.dedicated.(u) < 0 then None else Some eng.dedicated.(u)
+
+let x_succ eng task =
+  match Workflow.successor (Instance.workflow eng.inst) task with
+  | None -> 1.0
+  | Some j ->
+    if eng.assignment.(j) < 0 then
+      invalid_arg "Engine: successor not yet assigned (backward order violated)"
+    else eng.x.(j)
+
+let x_candidate eng ~task ~machine =
+  x_succ eng task /. (1.0 -. Instance.f eng.inst task machine)
+
+let exec_if eng ~task ~machine =
+  eng.load.(machine)
+  +. (x_candidate eng ~task ~machine *. Instance.w eng.inst task machine)
+
+let eligible eng ~task ~machine =
+  let ty = Workflow.ttype (Instance.workflow eng.inst) task in
+  let d = eng.dedicated.(machine) in
+  if d >= 0 then d = ty
+  else if not eng.type_covered.(ty) then true
+  else eng.free_machines > eng.n_types_to_go
+
+let eligible_machines eng ~task =
+  List.filter
+    (fun u -> eligible eng ~task ~machine:u)
+    (List.init (Instance.machines eng.inst) Fun.id)
+
+let assign eng ~task ~machine =
+  if eng.assignment.(task) >= 0 then invalid_arg "Engine.assign: task already assigned";
+  if not (eligible eng ~task ~machine) then
+    invalid_arg "Engine.assign: machine not eligible for this task";
+  let ty = Workflow.ttype (Instance.workflow eng.inst) task in
+  let x = x_candidate eng ~task ~machine in
+  if eng.dedicated.(machine) < 0 then begin
+    eng.dedicated.(machine) <- ty;
+    eng.free_machines <- eng.free_machines - 1;
+    if not eng.type_covered.(ty) then begin
+      eng.type_covered.(ty) <- true;
+      eng.n_types_to_go <- eng.n_types_to_go - 1
+    end
+  end;
+  eng.x.(task) <- x;
+  eng.assignment.(task) <- machine;
+  eng.load.(machine) <- eng.load.(machine) +. (x *. Instance.w eng.inst task machine)
+
+let reset eng =
+  Array.fill eng.dedicated 0 (Array.length eng.dedicated) (-1);
+  Array.fill eng.load 0 (Array.length eng.load) 0.0;
+  Array.fill eng.x 0 (Array.length eng.x) nan;
+  Array.fill eng.assignment 0 (Array.length eng.assignment) (-1);
+  Array.fill eng.type_covered 0 (Array.length eng.type_covered) false;
+  eng.free_machines <- Instance.machines eng.inst;
+  eng.n_types_to_go <- Instance.type_count eng.inst
+
+let mapping eng =
+  if Array.exists (fun u -> u < 0) eng.assignment then
+    invalid_arg "Engine.mapping: incomplete assignment";
+  Mapping.of_array eng.inst eng.assignment
+
+let free_machines eng = eng.free_machines
+let types_to_go eng = eng.n_types_to_go

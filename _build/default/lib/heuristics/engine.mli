@@ -1,0 +1,72 @@
+(** Shared state of the backward-assignment heuristics (paper Section 6.2).
+
+    All six heuristics traverse the tasks "starting with the last task of
+    the application graph and going backward to the first one", maintaining
+    for every machine its dedicated type and accumulated load, and for every
+    assigned task its product count [x_i].  Because the traversal is
+    backward, the successor of the current task is always already assigned,
+    so [x_i] is known exactly for each candidate machine.
+
+    The engine also enforces a feasibility reservation absent from the
+    paper's pseudo-code: a {e free} machine may open a new group for an
+    already-covered type only while strictly more free machines remain than
+    types still lacking a machine.  This guarantees every heuristic always
+    completes whenever [m >= p], without changing behaviour on the paper's
+    instances (where starvation is only a measure-zero corner case). *)
+
+type t
+
+(** [create inst] initialises empty state.
+    @raise Invalid_argument when the platform has fewer machines than the
+    application has types ([m < p]), in which case no specialized mapping
+    exists. *)
+val create : Mf_core.Instance.t -> t
+
+val instance : t -> Mf_core.Instance.t
+
+(** [order eng] is the backward traversal order (successors first). *)
+val order : t -> int array
+
+(** [load eng u] is the current period contribution
+    [sum of x_j * w(j,u)] of machine [u]. *)
+val load : t -> int -> float
+
+(** [dedicated eng u] is the type machine [u] is locked to, if any. *)
+val dedicated : t -> int -> int option
+
+(** [x_candidate eng ~task ~machine] is the product count [x_task] if
+    [task] were placed on [machine]: [x_succ / (1 - f(task,machine))]. *)
+val x_candidate : t -> task:int -> machine:int -> float
+
+(** [exec_if eng ~task ~machine] is the load machine [machine] would carry
+    after receiving [task] — the [exec_u] quantity of Algorithms 2-6. *)
+val exec_if : t -> task:int -> machine:int -> float
+
+(** [eligible eng ~task ~machine] is true when [machine] may receive
+    [task]: it is dedicated to the task's type, or free and allowed by the
+    reservation rule. *)
+val eligible : t -> task:int -> machine:int -> bool
+
+(** [eligible_machines eng ~task] lists eligible machines in increasing
+    index order. *)
+val eligible_machines : t -> task:int -> int list
+
+(** [assign eng ~task ~machine] commits the assignment, updating loads,
+    dedication and [x].
+    @raise Invalid_argument if the machine is not eligible or the task's
+    successor is not yet assigned. *)
+val assign : t -> task:int -> machine:int -> unit
+
+(** [reset eng] clears all assignments (used between binary-search
+    rounds). *)
+val reset : t -> unit
+
+(** [mapping eng] extracts the completed mapping.
+    @raise Invalid_argument if some task is still unassigned. *)
+val mapping : t -> Mf_core.Mapping.t
+
+(** [free_machines eng] and [types_to_go eng] expose the reservation
+    counters (for tests). *)
+val free_machines : t -> int
+
+val types_to_go : t -> int

@@ -1,0 +1,25 @@
+module Instance = Mf_core.Instance
+
+type score = load:float -> x:float -> w:float -> f:float -> float
+
+let run inst score =
+  let eng = Engine.create inst in
+  Array.iter
+    (fun task ->
+      let best = ref (-1) and best_score = ref infinity in
+      List.iter
+        (fun u ->
+          let s =
+            score ~load:(Engine.load eng u)
+              ~x:(Engine.x_candidate eng ~task ~machine:u)
+              ~w:(Instance.w inst task u) ~f:(Instance.f inst task u)
+          in
+          if s < !best_score then begin
+            best := u;
+            best_score := s
+          end)
+        (Engine.eligible_machines eng ~task);
+      assert (!best >= 0);
+      Engine.assign eng ~task ~machine:!best)
+    (Engine.order eng);
+  Engine.mapping eng

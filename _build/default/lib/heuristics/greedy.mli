@@ -1,0 +1,16 @@
+(** Greedy backward assignment parameterised by a machine score — the
+    common skeleton of heuristics H4, H4w and H4f (Algorithms 4-6).
+
+    Each task (in backward order) goes to the eligible machine minimizing
+    the score; the score sees the machine's current load, the candidate
+    product count [x_i], the processing time and the failure rate. *)
+
+type score =
+  load:float -> x:float -> w:float -> f:float -> float
+(** [score ~load ~x ~w ~f] ranks a candidate machine (lower is better). *)
+
+(** [run inst score] builds a specialized mapping greedily.  Ties are
+    broken toward the lower machine index, like the paper's "forall machine
+    Mu" scan.
+    @raise Invalid_argument when [m < p]. *)
+val run : Mf_core.Instance.t -> score -> Mf_core.Mapping.t

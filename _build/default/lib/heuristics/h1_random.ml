@@ -1,0 +1,28 @@
+module Instance = Mf_core.Instance
+module Workflow = Mf_core.Workflow
+module Rng = Mf_prng.Rng
+
+let run rng inst =
+  let eng = Engine.create inst in
+  let wf = Instance.workflow inst in
+  Array.iter
+    (fun task ->
+      let ty = Workflow.ttype wf task in
+      let eligible = Engine.eligible_machines eng ~task in
+      let fresh, dedicated =
+        List.partition (fun u -> Engine.dedicated eng u = None) eligible
+      in
+      (* Algorithm 1: open a new group whenever the reservation allows it
+         (fresh machines eligible), otherwise join an existing group of the
+         task's type.  Both picks are uniform. *)
+      let pick =
+        match (fresh, dedicated) with
+        | [], [] ->
+          invalid_arg
+            (Printf.sprintf "H1: no machine available for task T%d of type %d" task ty)
+        | [], d -> Rng.choose rng (Array.of_list d)
+        | f, _ -> Rng.choose rng (Array.of_list f)
+      in
+      Engine.assign eng ~task ~machine:pick)
+    (Engine.order eng);
+  Engine.mapping eng

@@ -1,0 +1,9 @@
+(** Heuristic H1 — random grouping (Algorithm 1).
+
+    Walking the tasks backward, each task joins a machine chosen at random:
+    a fresh machine when its type is new (or when spare machines remain
+    beyond the reservation for uncovered types), otherwise a random machine
+    already dedicated to its type.  This is the paper's baseline; the
+    evaluation shows it is dominated by every informed heuristic. *)
+
+val run : Mf_prng.Rng.t -> Mf_core.Instance.t -> Mf_core.Mapping.t

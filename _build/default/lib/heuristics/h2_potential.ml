@@ -1,0 +1,39 @@
+module Instance = Mf_core.Instance
+
+(* rank.(i).(u) = rank of task i in the ascending w(.,u) order of machine u. *)
+let compute_ranks inst =
+  let n = Instance.task_count inst and m = Instance.machines inst in
+  let rank = Array.make_matrix n m 0 in
+  for u = 0 to m - 1 do
+    let tasks = Array.init n Fun.id in
+    Array.sort (fun a b -> Float.compare (Instance.w inst a u) (Instance.w inst b u)) tasks;
+    Array.iteri (fun pos i -> rank.(i).(u) <- pos) tasks
+  done;
+  rank
+
+(* Algorithm 2: the candidate is the single best machine by (rank, w) among
+   the eligible ones, chosen without looking at the load; if its load would
+   exceed the budget, the whole round fails and the binary search widens
+   the period.  (The prose sketches retrying lower-priority machines, but
+   the pseudo-code — which generated the paper's plots — does not.) *)
+let run inst =
+  let rank = compute_ranks inst in
+  let policy eng ~task ~budget =
+    let best = ref None in
+    List.iter
+      (fun u ->
+        let better =
+          match !best with
+          | None -> true
+          | Some bu ->
+            rank.(task).(u) < rank.(task).(bu)
+            || (rank.(task).(u) = rank.(task).(bu)
+               && Instance.w inst task u < Instance.w inst task bu)
+        in
+        if better then best := Some u)
+      (Engine.eligible_machines eng ~task);
+    match !best with
+    | None -> None
+    | Some u -> if Engine.exec_if eng ~task ~machine:u <= budget then Some u else None
+  in
+  Binary_search.run inst policy

@@ -1,0 +1,17 @@
+(** Heuristic H2 — binary search with potential optimization (Algorithm 2).
+
+    For every machine, the tasks are ranked by increasing processing time;
+    [rank(i,u)] is the position of task [i] in machine [u]'s preference
+    list.  Under a candidate period, each task goes to the single eligible
+    machine of minimal (rank, w); if that machine's load would exceed the
+    budget the whole round fails, as in the paper's pseudo-code (the prose
+    suggests retrying lower-priority machines instead — that reading lives
+    in {!H2_variants}).  A binary search on the period then tightens the
+    budget as long as a full assignment exists. *)
+
+val run : Mf_core.Instance.t -> Mf_core.Mapping.t
+
+(** [compute_ranks inst] is the rank matrix: [rank.(i).(u)] is the position
+    of task [i] in machine [u]'s ascending-[w] preference list (shared with
+    the prose variant in {!H2_variants}). *)
+val compute_ranks : Mf_core.Instance.t -> int array array

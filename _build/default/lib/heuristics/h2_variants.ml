@@ -1,0 +1,28 @@
+module Instance = Mf_core.Instance
+
+let h2_retry inst =
+  let rank = H2_potential.compute_ranks inst in
+  let policy eng ~task ~budget =
+    let by_priority =
+      List.sort
+        (fun a b ->
+          if rank.(task).(a) <> rank.(task).(b) then
+            Stdlib.compare rank.(task).(a) rank.(task).(b)
+          else Float.compare (Instance.w inst task a) (Instance.w inst task b))
+        (Engine.eligible_machines eng ~task)
+    in
+    List.find_opt (fun u -> Engine.exec_if eng ~task ~machine:u <= budget) by_priority
+  in
+  Binary_search.run inst policy
+
+let h3_retry inst =
+  let h = Array.init (Instance.machines inst) (Instance.heterogeneity inst) in
+  let policy eng ~task ~budget =
+    let by_priority =
+      List.sort
+        (fun a b -> Float.compare h.(b) h.(a))
+        (Engine.eligible_machines eng ~task)
+    in
+    List.find_opt (fun u -> Engine.exec_if eng ~task ~machine:u <= budget) by_priority
+  in
+  Binary_search.run inst policy

@@ -1,0 +1,23 @@
+(** Prose variants of the binary-search heuristics.
+
+    The paper's Algorithm 2 and its prose disagree: the pseudo-code rejects
+    a binary-search round as soon as the {e single} best-rank machine would
+    exceed the period budget, while the text says "Otherwise we try to
+    assign Ti to the next machine, according to their priority order for
+    this task.  If no machine is able to process Ti, then no assignment is
+    found."
+
+    {!H2_potential} implements the pseudo-code (it reproduces the paper's
+    measured H2-vs-optimal factors).  This module implements the prose
+    reading for H2 — and the analogous retry strategy for H3 — so the two
+    interpretations can be compared; the retry variants are strictly
+    stronger (they accept whenever the strict ones do, at equal budget). *)
+
+(** [h2_retry inst]: machines tried by increasing (rank, w) until one fits
+    the budget. *)
+val h2_retry : Mf_core.Instance.t -> Mf_core.Mapping.t
+
+(** [h3_retry inst]: machines tried by decreasing heterogeneity until one
+    fits the budget (identical to H3's "most heterogeneous feasible"
+    reading, kept for symmetry and head-to-head benching). *)
+val h3_retry : Mf_core.Instance.t -> Mf_core.Mapping.t

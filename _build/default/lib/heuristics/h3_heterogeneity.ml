@@ -1,0 +1,18 @@
+module Instance = Mf_core.Instance
+
+let run inst =
+  let h = Array.init (Instance.machines inst) (Instance.heterogeneity inst) in
+  let policy eng ~task ~budget =
+    let best = ref None in
+    List.iter
+      (fun u ->
+        let exec = Engine.exec_if eng ~task ~machine:u in
+        if exec <= budget then
+          match !best with
+          | None -> best := Some (u, exec)
+          | Some (bu, bexec) ->
+            if h.(u) > h.(bu) || (h.(u) = h.(bu) && exec < bexec) then best := Some (u, exec))
+      (Engine.eligible_machines eng ~task);
+    Option.map fst !best
+  in
+  Binary_search.run inst policy

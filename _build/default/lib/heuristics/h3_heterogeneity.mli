@@ -1,0 +1,10 @@
+(** Heuristic H3 — binary search preferring heterogeneous machines
+    (Algorithm 3).
+
+    The heterogeneity level of a machine is the standard deviation of its
+    processing times over all tasks.  Under a candidate period, each task
+    goes to the {e most heterogeneous} machine whose load stays within the
+    budget (ties broken by the smaller resulting load), the idea being to
+    preserve homogeneous machines for the remaining tasks. *)
+
+val run : Mf_core.Instance.t -> Mf_core.Mapping.t

@@ -1,0 +1,3 @@
+let h4 inst = Greedy.run inst (fun ~load ~x ~w ~f -> load +. (x *. w *. f))
+let h4w inst = Greedy.run inst (fun ~load ~x ~w ~f:_ -> load +. (x *. w))
+let h4f inst = Greedy.run inst (fun ~load ~x ~w:_ ~f -> load +. (x *. f))

@@ -1,0 +1,16 @@
+(** The H4 family of greedy heuristics (Algorithms 4, 5 and 6).
+
+    Each task (backward) is placed on the machine minimizing a score built
+    from the machine's accumulated load and the task's candidate
+    contribution:
+
+    - {b H4} (best performance): [load + x * w * f] — balances speed and
+      reliability;
+    - {b H4w} (fastest machine): [load + x * w] — ignores failure rates;
+      the paper's overall winner;
+    - {b H4f} (most reliable machine): [load + x * f] — ignores speed;
+      shown to be non-competitive. *)
+
+val h4 : Mf_core.Instance.t -> Mf_core.Mapping.t
+val h4w : Mf_core.Instance.t -> Mf_core.Mapping.t
+val h4f : Mf_core.Instance.t -> Mf_core.Mapping.t

@@ -1,0 +1,86 @@
+module Instance = Mf_core.Instance
+module Workflow = Mf_core.Workflow
+module Mapping = Mf_core.Mapping
+module Period = Mf_core.Period
+
+(* The mapping is manipulated as a raw allocation array; candidate moves are
+   evaluated by full period recomputation, which is O(n + m) each and keeps
+   the code obviously correct. *)
+
+let period_of inst a = Period.period inst (Mapping.of_array inst a)
+
+(* Machine u may host type ty under allocation a (ignoring task [except]). *)
+let machine_accepts inst a ~u ~ty ~except =
+  let wf = Instance.workflow inst in
+  let ok = ref true in
+  Array.iteri
+    (fun i ui -> if i <> except && ui = u && Workflow.ttype wf i <> ty then ok := false)
+    a;
+  !ok
+
+let best_task_move inst a current =
+  let wf = Instance.workflow inst in
+  let n = Instance.task_count inst and m = Instance.machines inst in
+  let best = ref None in
+  for i = 0 to n - 1 do
+    let ty = Workflow.ttype wf i in
+    let original = a.(i) in
+    for u = 0 to m - 1 do
+      if u <> original && machine_accepts inst a ~u ~ty ~except:i then begin
+        a.(i) <- u;
+        let p = period_of inst a in
+        a.(i) <- original;
+        let improves =
+          match !best with None -> p < current | Some (_, _, bp) -> p < bp
+        in
+        if improves then best := Some (i, u, p)
+      end
+    done
+  done;
+  !best
+
+let best_group_swap inst a current =
+  let m = Instance.machines inst in
+  let best = ref None in
+  let swap u v =
+    Array.iteri (fun i ui -> if ui = u then a.(i) <- v else if ui = v then a.(i) <- u) a
+  in
+  for u = 0 to m - 1 do
+    for v = u + 1 to m - 1 do
+      swap u v;
+      let p = period_of inst a in
+      swap u v;
+      let improves = match !best with None -> p < current | Some (_, _, bp) -> p < bp in
+      if improves then best := Some (u, v, p)
+    done
+  done;
+  !best
+
+let improve ?(max_rounds = 100) inst mp =
+  let a = Mapping.to_array mp in
+  let current = ref (period_of inst a) in
+  let improved = ref true in
+  let rounds = ref 0 in
+  while !improved && !rounds < max_rounds do
+    incr rounds;
+    improved := false;
+    let move = best_task_move inst a !current in
+    let swap = best_group_swap inst a !current in
+    let apply_move (i, u, p) =
+      a.(i) <- u;
+      current := p;
+      improved := true
+    in
+    let apply_swap (u, v, p) =
+      Array.iteri (fun i ui -> if ui = u then a.(i) <- v else if ui = v then a.(i) <- u) a;
+      current := p;
+      improved := true
+    in
+    match (move, swap) with
+    | None, None -> ()
+    | Some mv, None -> apply_move mv
+    | None, Some sw -> apply_swap sw
+    | Some ((_, _, pm) as mv), Some ((_, _, ps) as sw) ->
+      if pm <= ps then apply_move mv else apply_swap sw
+  done;
+  Mapping.of_array inst a

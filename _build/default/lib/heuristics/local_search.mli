@@ -1,0 +1,17 @@
+(** Local-search improvement of specialized mappings (extension beyond the
+    paper).
+
+    Starting from any specialized mapping, two neighbourhoods are explored
+    with steepest descent:
+
+    - {b task moves}: reassign one task to another machine that is empty or
+      already dedicated to its type;
+    - {b group swaps}: exchange the machines of two dedicated groups
+      (always type-safe).
+
+    Each round applies the best improving move; the search stops when no
+    move improves the period or [max_rounds] is reached.  The result never
+    has a larger period than the input, and remains specialized. *)
+
+val improve :
+  ?max_rounds:int -> Mf_core.Instance.t -> Mf_core.Mapping.t -> Mf_core.Mapping.t

@@ -1,0 +1,39 @@
+type t = H1 | H2 | H3 | H4 | H4w | H4f
+
+let all = [ H1; H2; H3; H4; H4w; H4f ]
+let informed = [ H2; H3; H4; H4w; H4f ]
+
+let name = function
+  | H1 -> "H1"
+  | H2 -> "H2"
+  | H3 -> "H3"
+  | H4 -> "H4"
+  | H4w -> "H4w"
+  | H4f -> "H4f"
+
+let of_name s =
+  match String.lowercase_ascii s with
+  | "h1" -> Some H1
+  | "h2" -> Some H2
+  | "h3" -> Some H3
+  | "h4" -> Some H4
+  | "h4w" -> Some H4w
+  | "h4f" -> Some H4f
+  | _ -> None
+
+let description = function
+  | H1 -> "random grouping baseline"
+  | H2 -> "binary search on the period, potential (rank) optimization"
+  | H3 -> "binary search on the period, heterogeneous machines first"
+  | H4 -> "greedy best performance (w * f * x)"
+  | H4w -> "greedy fastest machine (w * x)"
+  | H4f -> "greedy most reliable machine (f * x)"
+
+let solve ?(seed = 0) h inst =
+  match h with
+  | H1 -> H1_random.run (Mf_prng.Rng.create seed) inst
+  | H2 -> H2_potential.run inst
+  | H3 -> H3_heterogeneity.run inst
+  | H4 -> H4_family.h4 inst
+  | H4w -> H4_family.h4w inst
+  | H4f -> H4_family.h4f inst

@@ -1,0 +1,23 @@
+(** The catalogue of specialized-mapping heuristics, keyed by the paper's
+    names. *)
+
+type t = H1 | H2 | H3 | H4 | H4w | H4f
+
+(** All heuristics, in the paper's presentation order. *)
+val all : t list
+
+(** The informed heuristics (everything but the random baseline H1). *)
+val informed : t list
+
+val name : t -> string
+
+(** [of_name s] parses a (case-insensitive) heuristic name. *)
+val of_name : string -> t option
+
+(** One-line description, as in Section 6.2. *)
+val description : t -> string
+
+(** [solve h ?seed inst] runs heuristic [h].  [seed] only matters for the
+    randomised H1 (default 0).
+    @raise Invalid_argument when [m < p]. *)
+val solve : ?seed:int -> t -> Mf_core.Instance.t -> Mf_core.Mapping.t

@@ -1,0 +1,1 @@
+lib/lp/branch_bound.ml: Array Float List Mf_structures Model Option Simplex Standardize

@@ -1,0 +1,1 @@
+lib/lp/micro_mip.ml: Array Branch_bound Linexpr List Mf_core Mip Model Printf

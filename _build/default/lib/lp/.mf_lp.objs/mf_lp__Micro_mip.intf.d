@@ -1,0 +1,1 @@
+lib/lp/micro_mip.mli: Branch_bound Mf_core Model

@@ -1,0 +1,1 @@
+lib/lp/model.ml: Array Float Format Fun Linexpr List Mf_structures Option Printf

@@ -1,0 +1,1 @@
+lib/lp/splitting.ml: Array Linexpr List Mf_core Mf_heuristics Mip Model Printf

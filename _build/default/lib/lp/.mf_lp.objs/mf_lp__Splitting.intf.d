@@ -1,0 +1,1 @@
+lib/lp/splitting.mli: Mf_core

@@ -1,0 +1,1 @@
+lib/lp/standardize.ml: Array Float Fun Hashtbl Linexpr List Mf_structures Model

@@ -1,0 +1,56 @@
+module Imap = Map.Make (Int)
+
+type t = { terms : float Imap.t; constant : float }
+
+let zero = { terms = Imap.empty; constant = 0.0 }
+
+let normalize terms = Imap.filter (fun _ c -> c <> 0.0) terms
+
+let var ?(coeff = 1.0) v =
+  if v < 0 then invalid_arg "Linexpr.var: negative variable id";
+  { terms = normalize (Imap.singleton v coeff); constant = 0.0 }
+
+let const c = { terms = Imap.empty; constant = c }
+
+let add a b =
+  {
+    terms =
+      normalize
+        (Imap.union (fun _ ca cb -> Some (ca +. cb)) a.terms b.terms);
+    constant = a.constant +. b.constant;
+  }
+
+let scale k e =
+  if k = 0.0 then zero
+  else { terms = Imap.map (fun c -> k *. c) e.terms; constant = k *. e.constant }
+
+let sub a b = add a (scale (-1.0) b)
+
+let of_terms terms c =
+  List.fold_left (fun acc (coeff, v) -> add acc (var ~coeff v)) (const c) terms
+
+let coeff e v = match Imap.find_opt v e.terms with Some c -> c | None -> 0.0
+let constant e = e.constant
+let iter f e = Imap.iter f e.terms
+let vars e = List.map fst (Imap.bindings e.terms)
+
+let eval e assignment =
+  let acc = ref e.constant in
+  Imap.iter (fun v c -> acc := !acc +. (c *. assignment v)) e.terms;
+  !acc
+
+let pp fmt e =
+  let first = ref true in
+  Imap.iter
+    (fun v c ->
+      if !first then begin
+        Format.fprintf fmt "%g*x%d" c v;
+        first := false
+      end
+      else if c >= 0.0 then Format.fprintf fmt " + %g*x%d" c v
+      else Format.fprintf fmt " - %g*x%d" (-.c) v)
+    e.terms;
+  if e.constant <> 0.0 || !first then
+    if !first then Format.fprintf fmt "%g" e.constant
+    else if e.constant > 0.0 then Format.fprintf fmt " + %g" e.constant
+    else Format.fprintf fmt " - %g" (-.e.constant)

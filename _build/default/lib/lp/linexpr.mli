@@ -1,0 +1,42 @@
+(** Sparse linear expressions over integer-identified variables.
+
+    The building block of the LP model DSL: an expression is a finite map
+    from variable ids to coefficients plus a constant term.  Zero
+    coefficients are never stored. *)
+
+type t
+
+val zero : t
+
+(** [var ?coeff v] is [coeff * x_v] (default coefficient 1). *)
+val var : ?coeff:float -> int -> t
+
+(** [const c] is the constant expression [c]. *)
+val const : float -> t
+
+val add : t -> t -> t
+val sub : t -> t -> t
+
+(** [scale k e] multiplies every coefficient and the constant by [k]. *)
+val scale : float -> t -> t
+
+(** [of_terms terms c] builds [sum coeff_i * x_i + c]; repeated variables
+    accumulate. *)
+val of_terms : (float * int) list -> float -> t
+
+(** [coeff e v] is the coefficient of variable [v] (0 when absent). *)
+val coeff : t -> int -> float
+
+val constant : t -> float
+
+(** [iter f e] applies [f var coeff] over stored (non-zero) terms in
+    increasing variable order. *)
+val iter : (int -> float -> unit) -> t -> unit
+
+(** [vars e] lists mentioned variables in increasing order. *)
+val vars : t -> int list
+
+(** [eval e assignment] evaluates under [assignment v = value of x_v]. *)
+val eval : t -> (int -> float) -> float
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,32 @@
+(** The paper's mixed-integer program for specialized mappings
+    (Section 6.1, program (9)).
+
+    Variables, for tasks [i], machines [u] and types [j]:
+    - [a(i,u)] binary — task [i] runs on machine [u];
+    - [t(u,j)] binary — machine [u] is specialized to type [j];
+    - [x(i)] rational — products task [i] processes per output;
+    - [y(i,u)] rational — linearisation of [a(i,u) * x(i)];
+    - [K] rational — the period, minimized.
+
+    Constraints (3)-(8) of the paper, generalised from chains to in-forests
+    by replacing [x_{i+1}] with [x_{succ(i)}] (1 for final tasks). *)
+
+type solve_result = {
+  mapping : Mf_core.Mapping.t option;  (** decoded allocation, when solved *)
+  period : float option;
+      (** period of the decoded mapping, recomputed exactly from the model
+          of Section 4.1 (not the LP's [K], which carries tolerances) *)
+  k : float option;  (** the MIP objective value *)
+  status : Branch_bound.status;
+  nodes : int;
+}
+
+(** [build inst] constructs the MIP for an instance.  Returns the model and
+    the variable-id layout [(a, t, x, y, k)] for tests. *)
+val build :
+  Mf_core.Instance.t ->
+  Model.t * (int array array * int array array * int array * int array array * int)
+
+(** [solve ?node_budget inst] builds and solves the MIP, decoding the
+    allocation from the [a(i,u)] variables. *)
+val solve : ?node_budget:int -> Mf_core.Instance.t -> solve_result

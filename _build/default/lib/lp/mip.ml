@@ -1,0 +1,31 @@
+let solve ?node_budget model = Branch_bound.solve ?node_budget model
+
+let solve_relaxation model =
+  match Standardize.build model with
+  | None -> `Infeasible
+  | Some std -> (
+    match
+      Simplex.Float_solver.solve ~a:std.Standardize.a ~b:std.Standardize.b
+        ~c:std.Standardize.c
+    with
+    | Simplex.Float_solver.Infeasible -> `Infeasible
+    | Simplex.Float_solver.Unbounded -> `Unbounded
+    | Simplex.Float_solver.Optimal (x, obj) ->
+      `Optimal (std.Standardize.recover x, Standardize.model_objective std obj))
+
+let solve_relaxation_exact model =
+  match Standardize.build model with
+  | None -> `Infeasible
+  | Some std ->
+    let module R = Mf_numeric.Rat in
+    let conv = Array.map (Array.map R.of_float) in
+    (match
+       Simplex.Rat_solver.solve ~a:(conv std.Standardize.a)
+         ~b:(Array.map R.of_float std.Standardize.b)
+         ~c:(Array.map R.of_float std.Standardize.c)
+     with
+    | Simplex.Rat_solver.Infeasible -> `Infeasible
+    | Simplex.Rat_solver.Unbounded -> `Unbounded
+    | Simplex.Rat_solver.Optimal (x, obj) ->
+      let xf = Array.map R.to_float x in
+      `Optimal (std.Standardize.recover xf, Standardize.model_objective std (R.to_float obj)))

@@ -1,0 +1,16 @@
+(** Public entry points of the LP/MIP solver stack. *)
+
+(** [solve ?node_budget model] solves a mixed-integer model by
+    branch-and-bound over simplex relaxations (see {!Branch_bound}). *)
+val solve : ?node_budget:int -> Model.t -> Branch_bound.result
+
+(** [solve_relaxation model] solves the continuous relaxation only.
+    Returns the model-space solution and objective. *)
+val solve_relaxation :
+  Model.t -> [ `Optimal of float array * float | `Infeasible | `Unbounded ]
+
+(** [solve_relaxation_exact model] solves the relaxation with the
+    exact-rational simplex — slower, bit-exact; used to validate the float
+    path. *)
+val solve_relaxation_exact :
+  Model.t -> [ `Optimal of float array * float | `Infeasible | `Unbounded ]

@@ -1,0 +1,112 @@
+module Ds = Mf_structures.Dyn_array
+
+type var_kind = Continuous | Binary | Integer
+
+type relation = Le | Ge | Eq
+
+type var = { name : string; lo : float; hi : float; kind : var_kind }
+
+type constr = { cname : string; expr : Linexpr.t; rel : relation; rhs : float }
+
+type t = {
+  vars : var Ds.t;
+  constrs : constr Ds.t;
+  mutable minimize : bool;
+  mutable objective : Linexpr.t;
+}
+
+let create () =
+  { vars = Ds.create (); constrs = Ds.create (); minimize = true; objective = Linexpr.zero }
+
+let add_var m ?name ?lo ?hi kind =
+  let id = Ds.length m.vars in
+  let default_lo, default_hi =
+    match kind with Binary -> (0.0, 1.0) | Continuous | Integer -> (0.0, infinity)
+  in
+  let lo = Option.value lo ~default:default_lo in
+  let hi = Option.value hi ~default:default_hi in
+  if lo > hi then invalid_arg "Model.add_var: lo > hi";
+  let name = Option.value name ~default:(Printf.sprintf "x%d" id) in
+  Ds.push m.vars { name; lo; hi; kind };
+  id
+
+let add_constraint m ?name expr rel rhs =
+  let cname = Option.value name ~default:(Printf.sprintf "c%d" (Ds.length m.constrs)) in
+  (* Fold the expression's constant into the right-hand side. *)
+  let c = Linexpr.constant expr in
+  let expr = Linexpr.sub expr (Linexpr.const c) in
+  Ds.push m.constrs { cname; expr; rel; rhs = rhs -. c }
+
+let set_objective m ~minimize expr =
+  m.minimize <- minimize;
+  m.objective <- expr
+
+let var_count m = Ds.length m.vars
+let constraint_count m = Ds.length m.constrs
+
+let get_var m v =
+  if v < 0 || v >= Ds.length m.vars then invalid_arg "Model: variable out of range";
+  Ds.get m.vars v
+
+let var_kind m v = (get_var m v).kind
+let var_name m v = (get_var m v).name
+let var_lo m v = (get_var m v).lo
+let var_hi m v = (get_var m v).hi
+
+let integer_vars m =
+  List.filter
+    (fun v -> match (get_var m v).kind with Binary | Integer -> true | Continuous -> false)
+    (List.init (var_count m) Fun.id)
+
+let constraints m =
+  List.map (fun c -> (c.cname, c.expr, c.rel, c.rhs)) (Ds.to_list m.constrs)
+
+let objective m = (m.minimize, m.objective)
+
+let check_feasible m x ~tol =
+  if Array.length x <> var_count m then Some "assignment length mismatch"
+  else begin
+    let violation = ref None in
+    let note msg = if !violation = None then violation := Some msg in
+    for v = 0 to var_count m - 1 do
+      let { name; lo; hi; kind } = get_var m v in
+      if x.(v) < lo -. tol || x.(v) > hi +. tol then
+        note (Printf.sprintf "bound violated on %s = %g" name x.(v));
+      match kind with
+      | Binary | Integer ->
+        if Float.abs (x.(v) -. Float.round x.(v)) > tol then
+          note (Printf.sprintf "integrality violated on %s = %g" name x.(v))
+      | Continuous -> ()
+    done;
+    Ds.iter
+      (fun { cname; expr; rel; rhs } ->
+        let lhs = Linexpr.eval expr (fun v -> x.(v)) in
+        let ok =
+          match rel with
+          | Le -> lhs <= rhs +. tol
+          | Ge -> lhs >= rhs -. tol
+          | Eq -> Float.abs (lhs -. rhs) <= tol
+        in
+        if not ok then note (Printf.sprintf "constraint %s violated: lhs=%g rhs=%g" cname lhs rhs))
+      m.constrs;
+    !violation
+  end
+
+let pp_rel fmt = function
+  | Le -> Format.fprintf fmt "<="
+  | Ge -> Format.fprintf fmt ">="
+  | Eq -> Format.fprintf fmt "="
+
+let pp fmt m =
+  Format.fprintf fmt "@[<v>%s %a@," (if m.minimize then "minimize" else "maximize")
+    Linexpr.pp m.objective;
+  Ds.iter
+    (fun { cname; expr; rel; rhs } ->
+      Format.fprintf fmt "%s: %a %a %g@," cname Linexpr.pp expr pp_rel rel rhs)
+    m.constrs;
+  Ds.iteri
+    (fun id { name; lo; hi; kind } ->
+      Format.fprintf fmt "%s (x%d): %g..%g %s@," name id lo hi
+        (match kind with Continuous -> "cont" | Binary -> "bin" | Integer -> "int"))
+    m.vars;
+  Format.fprintf fmt "@]"

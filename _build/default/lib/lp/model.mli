@@ -1,0 +1,49 @@
+(** Mixed-integer linear programming models.
+
+    A model collects typed variables (continuous, binary or general
+    integer) with bounds, linear constraints and a linear objective.  It is
+    the solver-independent description consumed by {!Simplex} (after
+    relaxation and standardisation) and {!Branch_bound}. *)
+
+type var_kind = Continuous | Binary | Integer
+
+type relation = Le | Ge | Eq
+
+type t
+
+val create : unit -> t
+
+(** [add_var m ?name ?lo ?hi kind] declares a variable and returns its id.
+    Default bounds: [0, +inf) for continuous/integer, [0, 1] for binary.
+    @raise Invalid_argument if [lo > hi]. *)
+val add_var : t -> ?name:string -> ?lo:float -> ?hi:float -> var_kind -> int
+
+(** [add_constraint m ?name expr rel rhs] posts [expr rel rhs] (any
+    constant inside [expr] is folded into the right-hand side). *)
+val add_constraint : t -> ?name:string -> Linexpr.t -> relation -> float -> unit
+
+(** [set_objective m ~minimize expr] sets the objective (default:
+    minimize). *)
+val set_objective : t -> minimize:bool -> Linexpr.t -> unit
+
+(** {1 Introspection} *)
+
+val var_count : t -> int
+val constraint_count : t -> int
+val var_kind : t -> int -> var_kind
+val var_name : t -> int -> string
+val var_lo : t -> int -> float
+val var_hi : t -> int -> float
+
+(** [integer_vars m] lists binary and integer variable ids. *)
+val integer_vars : t -> int list
+
+val constraints : t -> (string * Linexpr.t * relation * float) list
+val objective : t -> bool * Linexpr.t
+
+(** [check_feasible m assignment ~tol] verifies bounds, integrality and
+    every constraint within absolute tolerance [tol]; returns the first
+    violated item's description if any. *)
+val check_feasible : t -> float array -> tol:float -> string option
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,159 @@
+module Make (F : Mf_numeric.Ordered_field.S) = struct
+  type outcome = Optimal of F.t array * F.t | Infeasible | Unbounded
+
+  (* The tableau holds the constraint rows [t] (each of length [cols+1],
+     the last entry being the rhs) and the reduced-cost row [z] (length
+     [cols+1], with [z.(cols) = -objective]).  [basis.(i)] is the variable
+     basic in row [i]. *)
+
+  let neg_eps = F.neg F.eps
+  let is_pos x = F.compare x F.eps > 0
+  let is_neg x = F.compare x neg_eps < 0
+
+  let pivot t z basis ~row ~col =
+    let cols = Array.length z - 1 in
+    let piv = t.(row).(col) in
+    let inv = F.div F.one piv in
+    for j = 0 to cols do
+      t.(row).(j) <- F.mul t.(row).(j) inv
+    done;
+    Array.iteri
+      (fun r tr ->
+        if r <> row then begin
+          let factor = tr.(col) in
+          if F.compare factor F.zero <> 0 then
+            for j = 0 to cols do
+              tr.(j) <- F.sub tr.(j) (F.mul factor t.(row).(j))
+            done
+        end)
+      t;
+    let factor = z.(col) in
+    if F.compare factor F.zero <> 0 then
+      for j = 0 to cols do
+        z.(j) <- F.sub z.(j) (F.mul factor t.(row).(j))
+      done;
+    basis.(row) <- col
+
+  (* Bland's rule: entering = lowest-index improving column among
+     [eligible]; leaving = lowest-basis-variable row among ratio-test ties. *)
+  let iterate t z basis ~eligible =
+    let rows = Array.length t in
+    let cols = Array.length z - 1 in
+    let rec loop () =
+      let entering = ref (-1) in
+      (let j = ref 0 in
+       while !entering < 0 && !j < cols do
+         if eligible !j && is_neg z.(!j) then entering := !j;
+         incr j
+       done);
+      if !entering < 0 then `Optimal
+      else begin
+        let col = !entering in
+        let leaving = ref (-1) in
+        let best_ratio = ref F.zero in
+        for i = 0 to rows - 1 do
+          if is_pos t.(i).(col) then begin
+            let ratio = F.div t.(i).(cols) t.(i).(col) in
+            let better =
+              !leaving < 0
+              || F.compare ratio !best_ratio < 0
+              || (F.compare ratio !best_ratio = 0 && basis.(i) < basis.(!leaving))
+            in
+            if better then begin
+              leaving := i;
+              best_ratio := ratio
+            end
+          end
+        done;
+        if !leaving < 0 then `Unbounded
+        else begin
+          pivot t z basis ~row:!leaving ~col;
+          loop ()
+        end
+      end
+    in
+    loop ()
+
+  let solve ~a ~b ~c =
+    let rows = Array.length a in
+    let n = Array.length c in
+    if Array.length b <> rows then invalid_arg "Simplex.solve: b length mismatch";
+    Array.iter
+      (fun row -> if Array.length row <> n then invalid_arg "Simplex.solve: ragged matrix")
+      a;
+    if rows = 0 then begin
+      (* No constraints: minimum is at the origin unless some cost is
+         negative, in which case that coordinate runs off to infinity. *)
+      if Array.exists is_neg c then Unbounded else Optimal (Array.make n F.zero, F.zero)
+    end
+    else begin
+      let cols = n + rows in
+      (* Columns n..n+rows-1 are the phase-1 artificials. *)
+      let t =
+        Array.init rows (fun i ->
+            let negate = F.compare b.(i) F.zero < 0 in
+            let flip v = if negate then F.neg v else v in
+            Array.init (cols + 1) (fun j ->
+                if j < n then flip a.(i).(j)
+                else if j < cols then (if j - n = i then F.one else F.zero)
+                else flip b.(i)))
+      in
+      let basis = Array.init rows (fun i -> n + i) in
+      (* Phase 1: minimize the sum of artificials.  Reduced costs start as
+         [1] on artificials, reduced against the artificial basis: z_j =
+         -(sum of rows) on structural columns, 0 on artificials. *)
+      let z1 = Array.make (cols + 1) F.zero in
+      for j = 0 to cols do
+        if j < n || j = cols then begin
+          let s = ref F.zero in
+          for i = 0 to rows - 1 do
+            s := F.add !s t.(i).(j)
+          done;
+          z1.(j) <- F.neg !s
+        end
+      done;
+      match iterate t z1 basis ~eligible:(fun _ -> true) with
+      | `Unbounded ->
+        (* Phase-1 objective is bounded below by 0; cannot happen. *)
+        assert false
+      | `Optimal ->
+        let phase1_obj = F.neg z1.(cols) in
+        if is_pos phase1_obj then Infeasible
+        else begin
+          (* Drive any artificial still basic out of the basis. *)
+          for i = 0 to rows - 1 do
+            if basis.(i) >= n then begin
+              let found = ref (-1) in
+              for j = 0 to n - 1 do
+                if !found < 0 && (is_pos t.(i).(j) || is_neg t.(i).(j)) then found := j
+              done;
+              if !found >= 0 then pivot t z1 basis ~row:i ~col:!found
+              (* Otherwise the row is redundant; the artificial stays basic
+                 at value zero and is barred from re-entering. *)
+            end
+          done;
+          (* Phase 2: real costs, reduced against the current basis. *)
+          let z2 = Array.make (cols + 1) F.zero in
+          Array.blit c 0 z2 0 n;
+          for i = 0 to rows - 1 do
+            let bj = basis.(i) in
+            if bj < n then begin
+              let cost = z2.(bj) in
+              if F.compare cost F.zero <> 0 then
+                for j = 0 to cols do
+                  z2.(j) <- F.sub z2.(j) (F.mul cost t.(i).(j))
+                done
+            end
+          done;
+          match iterate t z2 basis ~eligible:(fun j -> j < n) with
+          | `Unbounded -> Unbounded
+          | `Optimal ->
+            let x = Array.make n F.zero in
+            Array.iteri (fun i bj -> if bj < n then x.(bj) <- t.(i).(cols)) basis;
+            Optimal (x, F.neg z2.(cols))
+        end
+    end
+end
+
+module Float_solver = Make (Mf_numeric.Ordered_field.Float_field)
+module Rat_solver = Make (Mf_numeric.Ordered_field.Rat_field)

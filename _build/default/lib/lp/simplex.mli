@@ -1,0 +1,30 @@
+(** Two-phase primal simplex on the full tableau, functorised over an
+    ordered field.
+
+    The float instance solves the LP relaxations inside branch-and-bound;
+    the exact-rational instance ({!Mf_numeric.Ordered_field.Rat_field})
+    cross-checks it in the test-suite, where "numerically zero" really
+    means zero.
+
+    Bland's anti-cycling rule is used throughout, so termination is
+    guaranteed.  Problems must be given in standard form
+    [min c'x  s.t.  Ax = b, x >= 0]; {!Standardize} converts general
+    models. *)
+
+module Make (F : Mf_numeric.Ordered_field.S) : sig
+  type outcome =
+    | Optimal of F.t array * F.t  (** primal solution and objective value *)
+    | Infeasible
+    | Unbounded
+
+  (** [solve ~a ~b ~c] minimizes [c'x] subject to [a x = b], [x >= 0].
+      Rows with negative [b] are negated internally.
+      @raise Invalid_argument on dimension mismatches. *)
+  val solve : a:F.t array array -> b:F.t array -> c:F.t array -> outcome
+end
+
+(** Float instance, used by {!Branch_bound}. *)
+module Float_solver : module type of Make (Mf_numeric.Ordered_field.Float_field)
+
+(** Exact rational instance. *)
+module Rat_solver : module type of Make (Mf_numeric.Ordered_field.Rat_field)

@@ -1,0 +1,86 @@
+module Instance = Mf_core.Instance
+module Workflow = Mf_core.Workflow
+module Mapping = Mf_core.Mapping
+module Period = Mf_core.Period
+
+type result = {
+  period : float;
+  shares : float array array;
+  loads : float array;
+}
+
+let solve inst =
+  let n = Instance.task_count inst in
+  let m = Instance.machines inst in
+  let wf = Instance.workflow inst in
+  let model = Model.create () in
+  let nv =
+    Array.init n (fun i ->
+        Array.init m (fun u ->
+            Model.add_var model ~name:(Printf.sprintf "n_%d_%d" i u) Model.Continuous))
+  in
+  let k = Model.add_var model ~name:"K" Model.Continuous in
+  (* Flow conservation: successes of task i equal downstream demand. *)
+  for i = 0 to n - 1 do
+    let successes =
+      Linexpr.of_terms
+        (List.init m (fun u -> (1.0 -. Instance.f inst i u, nv.(i).(u))))
+        0.0
+    in
+    match Workflow.successor wf i with
+    | None -> Model.add_constraint model ~name:(Printf.sprintf "flow_%d" i) successes Model.Eq 1.0
+    | Some j ->
+      let demand = Linexpr.of_terms (List.init m (fun u -> (1.0, nv.(j).(u)))) 0.0 in
+      Model.add_constraint model
+        ~name:(Printf.sprintf "flow_%d" i)
+        (Linexpr.sub successes demand) Model.Eq 0.0
+  done;
+  (* Machine loads bounded by the period. *)
+  for u = 0 to m - 1 do
+    let load = Linexpr.of_terms (List.init n (fun i -> (Instance.w inst i u, nv.(i).(u)))) 0.0 in
+    Model.add_constraint model
+      ~name:(Printf.sprintf "load_%d" u)
+      (Linexpr.sub load (Linexpr.var k))
+      Model.Le 0.0
+  done;
+  Model.set_objective model ~minimize:true (Linexpr.var k);
+  match Mip.solve_relaxation model with
+  | `Infeasible | `Unbounded -> failwith "Splitting.solve: LP unexpectedly unsolvable"
+  | `Optimal (sol, period) ->
+    let counts = Array.init n (fun i -> Array.init m (fun u -> sol.(nv.(i).(u)))) in
+    let shares =
+      Array.map
+        (fun row ->
+          let total = Array.fold_left ( +. ) 0.0 row in
+          if total <= 0.0 then Array.map (fun _ -> 0.0) row
+          else Array.map (fun v -> v /. total) row)
+        counts
+    in
+    let loads =
+      Array.init m (fun u ->
+          let acc = ref 0.0 in
+          for i = 0 to n - 1 do
+            acc := !acc +. (counts.(i).(u) *. Instance.w inst i u)
+          done;
+          !acc)
+    in
+    { period; shares; loads }
+
+let round inst r =
+  let eng = Mf_heuristics.Engine.create inst in
+  Array.iter
+    (fun task ->
+      let best = ref (-1) and best_share = ref neg_infinity in
+      List.iter
+        (fun u ->
+          let s = r.shares.(task).(u) in
+          if s > !best_share then begin
+            best := u;
+            best_share := s
+          end)
+        (Mf_heuristics.Engine.eligible_machines eng ~task);
+      assert (!best >= 0);
+      Mf_heuristics.Engine.assign eng ~task ~machine:!best)
+    (Mf_heuristics.Engine.order eng);
+  let mp = Mf_heuristics.Engine.mapping eng in
+  (mp, Period.period inst mp)

@@ -1,0 +1,43 @@
+(** The paper's future-work extension: divisible task workloads.
+
+    "An interesting problem would be to consider that the instances of a
+    same task can be computed by several machines.  Thus, the workload of a
+    task would be divided and the throughput could be improved."
+    (Conclusion of the paper.)
+
+    With divisible workloads the problem becomes a pure linear program:
+    let [n(i,u) >= 0] be the average number of products of task [i]
+    processed on machine [u] per finished product.  Flow conservation ties
+    successes to downstream demand, and the period is the largest machine
+    load:
+
+    {v minimize K
+      s.t.  sum_u n(i,u) * (1 - f(i,u)) = demand(i)          (flow)
+            demand(i) = sum_u n(succ_inv...)                  (see below)
+            sum_i n(i,u) * w(i,u) <= K                        (period) v}
+
+    where [demand(i)] is 1 for the final task and the total workload
+    [sum_u n(j,u)] of its successor [j] otherwise (one product from each
+    predecessor per assembled output).
+
+    The LP optimum is a {e lower bound} for every mapping rule of the
+    paper (any specialized mapping is the special case where each task
+    uses a single machine), and [round] turns the shares into a feasible
+    specialized mapping, giving an LP-guided heuristic. *)
+
+type result = {
+  period : float;  (** the LP optimum — a bound no integral mapping beats *)
+  shares : float array array;
+      (** [shares.(i).(u)]: fraction of task [i]'s workload on machine [u] *)
+  loads : float array;  (** per-machine time per finished product *)
+}
+
+(** [solve inst] solves the divisible-workload LP.
+    @raise Failure if the LP solver fails unexpectedly (it cannot: the
+    problem is always feasible and bounded). *)
+val solve : Mf_core.Instance.t -> result
+
+(** [round inst r] builds a feasible {e specialized} mapping by walking
+    tasks backward and assigning each to its largest-share eligible
+    machine.  Returns the mapping and its (integral) period. *)
+val round : Mf_core.Instance.t -> result -> Mf_core.Mapping.t * float

@@ -1,0 +1,1 @@
+lib/numeric/ordered_field.ml: Float Rat

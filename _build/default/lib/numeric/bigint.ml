@@ -1,0 +1,387 @@
+(* Sign-magnitude arbitrary-precision integers over 15-bit digits.
+
+   Invariants:
+   - [mag] is little-endian, each digit in [0, base);
+   - no leading (highest-index) zero digit;
+   - [sign] is 0 iff [mag] is empty, otherwise -1 or 1. *)
+
+type t = { sign : int; mag : int array }
+
+let base_bits = 15
+let base = 1 lsl base_bits (* 32768 *)
+let base_mask = base - 1
+
+let zero = { sign = 0; mag = [||] }
+
+let normalize sign mag =
+  let n = Array.length mag in
+  let rec top i = if i >= 0 && mag.(i) = 0 then top (i - 1) else i in
+  let hi = top (n - 1) in
+  if hi < 0 then zero
+  else if hi = n - 1 then { sign; mag }
+  else { sign; mag = Array.sub mag 0 (hi + 1) }
+
+let of_int n =
+  if n = 0 then zero
+  else begin
+    (* Accumulate |n| digit by digit; work with negative values to avoid
+       overflow on [min_int]. *)
+    let sign = if n < 0 then -1 else 1 in
+    let neg = if n < 0 then n else -n in
+    let rec digits acc v =
+      if v = 0 then acc else digits ((-(v mod base * 1)) :: acc) (v / base)
+    in
+    (* [v mod base] for negative [v] is in (-base, 0]. *)
+    let ds = List.rev (List.rev (digits [] neg)) in
+    let mag = Array.of_list (List.rev ds) in
+    normalize sign mag
+  end
+
+let one = of_int 1
+let two = of_int 2
+let minus_one = of_int (-1)
+
+let sign x = x.sign
+let is_zero x = x.sign = 0
+
+let compare_mag a b =
+  let la = Array.length a and lb = Array.length b in
+  if la <> lb then Stdlib.compare la lb
+  else begin
+    let rec go i =
+      if i < 0 then 0
+      else if a.(i) <> b.(i) then Stdlib.compare a.(i) b.(i)
+      else go (i - 1)
+    in
+    go (la - 1)
+  end
+
+let compare a b =
+  if a.sign <> b.sign then Stdlib.compare a.sign b.sign
+  else if a.sign = 0 then 0
+  else if a.sign > 0 then compare_mag a.mag b.mag
+  else compare_mag b.mag a.mag
+
+let equal a b = compare a b = 0
+let min a b = if compare a b <= 0 then a else b
+let max a b = if compare a b >= 0 then a else b
+
+let is_one x = equal x one
+let is_even x = x.sign = 0 || x.mag.(0) land 1 = 0
+
+let neg x = if x.sign = 0 then x else { x with sign = -x.sign }
+let abs x = if x.sign < 0 then neg x else x
+
+(* Magnitude addition: |a| + |b|. *)
+let add_mag a b =
+  let la = Array.length a and lb = Array.length b in
+  let l = Stdlib.max la lb in
+  let r = Array.make (l + 1) 0 in
+  let carry = ref 0 in
+  for i = 0 to l - 1 do
+    let da = if i < la then a.(i) else 0 in
+    let db = if i < lb then b.(i) else 0 in
+    let s = da + db + !carry in
+    r.(i) <- s land base_mask;
+    carry := s lsr base_bits
+  done;
+  r.(l) <- !carry;
+  r
+
+(* Magnitude subtraction: |a| - |b|, requires |a| >= |b|. *)
+let sub_mag a b =
+  let la = Array.length a and lb = Array.length b in
+  let r = Array.make la 0 in
+  let borrow = ref 0 in
+  for i = 0 to la - 1 do
+    let db = if i < lb then b.(i) else 0 in
+    let s = a.(i) - db - !borrow in
+    if s < 0 then begin
+      r.(i) <- s + base;
+      borrow := 1
+    end
+    else begin
+      r.(i) <- s;
+      borrow := 0
+    end
+  done;
+  assert (!borrow = 0);
+  r
+
+let add a b =
+  if a.sign = 0 then b
+  else if b.sign = 0 then a
+  else if a.sign = b.sign then normalize a.sign (add_mag a.mag b.mag)
+  else begin
+    match compare_mag a.mag b.mag with
+    | 0 -> zero
+    | c when c > 0 -> normalize a.sign (sub_mag a.mag b.mag)
+    | _ -> normalize b.sign (sub_mag b.mag a.mag)
+  end
+
+let sub a b = add a (neg b)
+
+(* Schoolbook multiplication.  A row accumulation is bounded by
+   base^2 * len + carries, far below [max_int] for any realistic length. *)
+let mul_mag a b =
+  let la = Array.length a and lb = Array.length b in
+  let r = Array.make (la + lb) 0 in
+  for i = 0 to la - 1 do
+    let ai = a.(i) in
+    if ai <> 0 then begin
+      let carry = ref 0 in
+      for j = 0 to lb - 1 do
+        let s = r.(i + j) + (ai * b.(j)) + !carry in
+        r.(i + j) <- s land base_mask;
+        carry := s lsr base_bits
+      done;
+      let k = ref (i + lb) in
+      while !carry <> 0 do
+        let s = r.(!k) + !carry in
+        r.(!k) <- s land base_mask;
+        carry := s lsr base_bits;
+        incr k
+      done
+    end
+  done;
+  r
+
+(* Karatsuba multiplication above this limb count (~480 decimal digits);
+   below it, schoolbook wins on constants. *)
+let karatsuba_threshold = 32
+
+let mag_add_into dst src offset =
+  (* dst.(offset..) += src, in place; dst must be long enough to absorb the
+     carry. *)
+  let carry = ref 0 in
+  let ls = Array.length src in
+  let i = ref 0 in
+  while !i < ls || !carry <> 0 do
+    let d = offset + !i in
+    let s = dst.(d) + (if !i < ls then src.(!i) else 0) + !carry in
+    dst.(d) <- s land base_mask;
+    carry := s lsr base_bits;
+    incr i
+  done
+
+let rec karatsuba_mag a b =
+  let la = Array.length a and lb = Array.length b in
+  if la < karatsuba_threshold || lb < karatsuba_threshold then mul_mag a b
+  else begin
+    let half = (Stdlib.max la lb + 1) / 2 in
+    let lo x = Array.sub x 0 (Stdlib.min half (Array.length x)) in
+    let hi x =
+      if Array.length x <= half then [||] else Array.sub x half (Array.length x - half)
+    in
+    let a0 = lo a and a1 = hi a and b0 = lo b and b1 = hi b in
+    let z0 = karatsuba_mag a0 b0 in
+    let z2 = if a1 = [||] || b1 = [||] then [||] else karatsuba_mag a1 b1 in
+    (* z1 = (a0+a1)(b0+b1) - z0 - z2, computed via normalised values to
+       reuse signed subtraction. *)
+    let to_t m = normalize 1 (Array.copy m) in
+    let sum_a = add_mag a0 a1 and sum_b = add_mag b0 b1 in
+    let z1 =
+      sub (sub (to_t (karatsuba_mag sum_a sum_b)) (to_t z0)) (to_t z2)
+    in
+    let result = Array.make (la + lb + 1) 0 in
+    mag_add_into result z0 0;
+    if z1.sign > 0 then mag_add_into result z1.mag half;
+    if z2 <> [||] then mag_add_into result z2 (2 * half);
+    result
+  end
+
+let mul_schoolbook a b =
+  if a.sign = 0 || b.sign = 0 then zero
+  else normalize (a.sign * b.sign) (mul_mag a.mag b.mag)
+
+let mul a b =
+  if a.sign = 0 || b.sign = 0 then zero
+  else normalize (a.sign * b.sign) (karatsuba_mag a.mag b.mag)
+
+(* Shift a magnitude left by [k] bits. *)
+let shift_left_mag a k =
+  let digit_shift = k / base_bits and bit_shift = k mod base_bits in
+  let la = Array.length a in
+  let r = Array.make (la + digit_shift + 1) 0 in
+  let carry = ref 0 in
+  for i = 0 to la - 1 do
+    let v = (a.(i) lsl bit_shift) lor !carry in
+    r.(i + digit_shift) <- v land base_mask;
+    carry := v lsr base_bits
+  done;
+  r.(la + digit_shift) <- !carry;
+  r
+
+let shift_right_mag a k =
+  let digit_shift = k / base_bits and bit_shift = k mod base_bits in
+  let la = Array.length a in
+  let len = la - digit_shift in
+  if len <= 0 then [||]
+  else begin
+    let r = Array.make len 0 in
+    for i = 0 to len - 1 do
+      let lo = a.(i + digit_shift) lsr bit_shift in
+      let hi =
+        if i + digit_shift + 1 < la && bit_shift > 0 then
+          (a.(i + digit_shift + 1) lsl (base_bits - bit_shift)) land base_mask
+        else 0
+      in
+      r.(i) <- lo lor hi
+    done;
+    r
+  end
+
+let shift_left x k =
+  if k < 0 then invalid_arg "Bigint.shift_left: negative shift"
+  else if x.sign = 0 || k = 0 then x
+  else normalize x.sign (shift_left_mag x.mag k)
+
+let shift_right x k =
+  if k < 0 then invalid_arg "Bigint.shift_right: negative shift"
+  else if x.sign = 0 || k = 0 then x
+  else normalize x.sign (shift_right_mag x.mag k)
+
+let bit_length x =
+  if x.sign = 0 then 0
+  else begin
+    let hi = Array.length x.mag - 1 in
+    let d = x.mag.(hi) in
+    let rec width w v = if v = 0 then w else width (w + 1) (v lsr 1) in
+    (hi * base_bits) + width 0 d
+  end
+
+(* Long division on magnitudes via binary shift-and-subtract.
+   Returns (quotient, remainder) with |a| = q*|b| + r, 0 <= r < |b|. *)
+let divmod_mag a b =
+  let la = { sign = 1; mag = a } and lb = { sign = 1; mag = b } in
+  if compare_mag a b < 0 then (zero, la)
+  else begin
+    let shift = bit_length la - bit_length lb in
+    let q = Array.make (shift / base_bits + 1) 0 in
+    let r = ref la in
+    let d = ref (shift_left lb shift) in
+    for k = shift downto 0 do
+      if compare_mag !r.mag !d.mag >= 0 then begin
+        r := normalize 1 (sub_mag !r.mag !d.mag);
+        q.(k / base_bits) <- q.(k / base_bits) lor (1 lsl (k mod base_bits))
+      end;
+      d := shift_right !d 1
+    done;
+    (normalize 1 q, !r)
+  end
+
+let divmod a b =
+  if b.sign = 0 then raise Division_by_zero
+  else if a.sign = 0 then (zero, zero)
+  else begin
+    let q, r = divmod_mag a.mag b.mag in
+    let q = if a.sign * b.sign > 0 then q else neg q in
+    let r = if a.sign > 0 then r else neg r in
+    (q, r)
+  end
+
+let div a b = fst (divmod a b)
+let rem a b = snd (divmod a b)
+
+let rec gcd_aux a b = if is_zero b then a else gcd_aux b (rem a b)
+let gcd a b = gcd_aux (abs a) (abs b)
+
+let pow x k =
+  if k < 0 then invalid_arg "Bigint.pow: negative exponent"
+  else begin
+    let rec go acc b k =
+      if k = 0 then acc
+      else begin
+        let acc = if k land 1 = 1 then mul acc b else acc in
+        go acc (mul b b) (k lsr 1)
+      end
+    in
+    go one x k
+  end
+
+let to_int x =
+  (* Fold digits from most significant, watching for overflow.  Accumulate
+     negatively so that [min_int] round-trips. *)
+  if x.sign = 0 then Some 0
+  else begin
+    let lim = Stdlib.min_int in
+    let rec go acc i =
+      if i < 0 then Some acc
+      else if acc < (lim + x.mag.(i)) / base then None
+      else go ((acc * base) - x.mag.(i)) (i - 1)
+    in
+    match go 0 (Array.length x.mag - 1) with
+    | None -> None
+    | Some v ->
+      if x.sign < 0 then Some v
+      else if v = Stdlib.min_int then None
+      else Some (-v)
+  end
+
+let to_int_exn x =
+  match to_int x with
+  | Some v -> v
+  | None -> failwith "Bigint.to_int_exn: overflow"
+
+let to_float x =
+  let f = ref 0.0 in
+  for i = Array.length x.mag - 1 downto 0 do
+    f := (!f *. float_of_int base) +. float_of_int x.mag.(i)
+  done;
+  if x.sign < 0 then -. !f else !f
+
+let of_string s =
+  let len = String.length s in
+  if len = 0 then invalid_arg "Bigint.of_string: empty string";
+  let sign, start =
+    match s.[0] with
+    | '-' -> (-1, 1)
+    | '+' -> (1, 1)
+    | _ -> (1, 0)
+  in
+  if start >= len then invalid_arg "Bigint.of_string: missing digits";
+  let acc = ref zero in
+  let ten = of_int 10 in
+  let seen = ref false in
+  for i = start to len - 1 do
+    match s.[i] with
+    | '0' .. '9' as c ->
+      seen := true;
+      acc := add (mul !acc ten) (of_int (Char.code c - Char.code '0'))
+    | '_' -> ()
+    | _ -> invalid_arg "Bigint.of_string: invalid character"
+  done;
+  if not !seen then invalid_arg "Bigint.of_string: missing digits";
+  if sign < 0 then neg !acc else !acc
+
+let to_string x =
+  if x.sign = 0 then "0"
+  else begin
+    (* Extract base-10^4 chunks to limit divisions. *)
+    let chunk = of_int 10000 in
+    let buf = Buffer.create 32 in
+    let rec go v acc =
+      if is_zero v then acc
+      else begin
+        let q, r = divmod v chunk in
+        go q (to_int_exn r :: acc)
+      end
+    in
+    let chunks = go (abs x) [] in
+    if x.sign < 0 then Buffer.add_char buf '-';
+    (match chunks with
+     | [] -> Buffer.add_char buf '0'
+     | first :: rest ->
+       Buffer.add_string buf (string_of_int first);
+       List.iter (fun c -> Buffer.add_string buf (Printf.sprintf "%04d" c)) rest);
+    Buffer.contents buf
+  end
+
+let hash x = Hashtbl.hash (x.sign, x.mag)
+let pp fmt x = Format.pp_print_string fmt (to_string x)
+
+let ( + ) = add
+let ( - ) = sub
+let ( * ) = mul
+let ( / ) = div
+let ( ~- ) = neg

@@ -1,0 +1,114 @@
+(** Arbitrary-precision signed integers.
+
+    The implementation is a sign-magnitude representation over little-endian
+    arrays of 15-bit digits.  The base is chosen so that a digit product fits
+    comfortably in an OCaml native [int] (30 bits) and a full schoolbook
+    multiplication row can be accumulated without overflow.
+
+    All values are normalised: no leading zero digit, and the magnitude of
+    zero is the empty array with sign [0].  Every function returns normalised
+    values, so structural equality coincides with numerical equality. *)
+
+type t
+
+(** {1 Constants} *)
+
+val zero : t
+val one : t
+val two : t
+val minus_one : t
+
+(** {1 Conversions} *)
+
+(** [of_int n] converts a native integer (including [min_int]). *)
+val of_int : int -> t
+
+(** [to_int x] returns [Some n] when [x] fits in a native [int]. *)
+val to_int : t -> int option
+
+(** [to_int_exn x] is [to_int] or raises [Failure] on overflow. *)
+val to_int_exn : t -> int
+
+(** [to_float x] is the nearest floating-point value (may lose precision,
+    and may be infinite for huge values). *)
+val to_float : t -> float
+
+(** [of_string s] parses an optionally-signed decimal literal.
+    Underscores are accepted as digit separators.
+    @raise Invalid_argument on malformed input. *)
+val of_string : string -> t
+
+(** [to_string x] is the decimal representation of [x]. *)
+val to_string : t -> string
+
+(** {1 Inspection} *)
+
+(** [sign x] is [-1], [0] or [1]. *)
+val sign : t -> int
+
+val is_zero : t -> bool
+val is_one : t -> bool
+
+(** [is_even x] is true iff [x] is divisible by two. *)
+val is_even : t -> bool
+
+(** [bit_length x] is the position of the highest set bit of [abs x]
+    ([0] for zero). *)
+val bit_length : t -> int
+
+(** {1 Comparison} *)
+
+val compare : t -> t -> int
+val equal : t -> t -> bool
+val min : t -> t -> t
+val max : t -> t -> t
+
+(** {1 Arithmetic} *)
+
+val neg : t -> t
+val abs : t -> t
+val add : t -> t -> t
+val sub : t -> t -> t
+
+(** [mul a b]: schoolbook below ~480 decimal digits, Karatsuba above. *)
+val mul : t -> t -> t
+
+(** [mul_schoolbook a b] always uses the quadratic algorithm — the
+    reference implementation the Karatsuba path is property-tested
+    against. *)
+val mul_schoolbook : t -> t -> t
+
+(** [divmod a b] is [(q, r)] with [a = q*b + r], [q] truncated toward zero
+    and [r] carrying the sign of [a] (C-style truncated division).
+    @raise Division_by_zero if [b] is zero. *)
+val divmod : t -> t -> t * t
+
+val div : t -> t -> t
+val rem : t -> t -> t
+
+(** [gcd a b] is the non-negative greatest common divisor. *)
+val gcd : t -> t -> t
+
+(** [pow x k] is [x] raised to the non-negative power [k].
+    @raise Invalid_argument if [k < 0]. *)
+val pow : t -> int -> t
+
+(** [shift_left x k] multiplies by [2^k]. *)
+val shift_left : t -> int -> t
+
+(** [shift_right x k] is arithmetic shift toward zero of the magnitude:
+    [shift_right x k = div x (2^k)] for non-negative [x]. *)
+val shift_right : t -> int -> t
+
+(** {1 Operators} *)
+
+val ( + ) : t -> t -> t
+val ( - ) : t -> t -> t
+val ( * ) : t -> t -> t
+val ( / ) : t -> t -> t
+val ( ~- ) : t -> t
+
+(** {1 Misc} *)
+
+val hash : t -> int
+val pp : Format.formatter -> t -> unit

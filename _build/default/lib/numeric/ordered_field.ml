@@ -1,0 +1,69 @@
+(** Ordered-field abstraction used to functorise numerical algorithms
+    (notably the simplex solver) over either hardware floats or exact
+    rationals. *)
+
+module type S = sig
+  type t
+
+  val zero : t
+  val one : t
+  val of_int : int -> t
+  val of_float : float -> t
+  val to_float : t -> float
+  val add : t -> t -> t
+  val sub : t -> t -> t
+  val mul : t -> t -> t
+  val div : t -> t -> t
+  val neg : t -> t
+  val abs : t -> t
+  val compare : t -> t -> int
+  val equal : t -> t -> bool
+
+  (** Comparison tolerance: the field's notion of "numerically zero".
+      Exact fields use [zero]. *)
+  val eps : t
+
+  val to_string : t -> string
+end
+
+(** Hardware double-precision floats with an absolute tolerance. *)
+module Float_field : S with type t = float = struct
+  type t = float
+
+  let zero = 0.0
+  let one = 1.0
+  let of_int = float_of_int
+  let of_float f = f
+  let to_float f = f
+  let add = ( +. )
+  let sub = ( -. )
+  let mul = ( *. )
+  let div = ( /. )
+  let neg f = -.f
+  let abs = Float.abs
+  let compare = Float.compare
+  let equal = Float.equal
+  let eps = 1e-9
+  let to_string = string_of_float
+end
+
+(** Exact rationals: comparisons are exact, [eps] is zero. *)
+module Rat_field : S with type t = Rat.t = struct
+  type t = Rat.t
+
+  let zero = Rat.zero
+  let one = Rat.one
+  let of_int = Rat.of_int
+  let of_float = Rat.of_float
+  let to_float = Rat.to_float
+  let add = Rat.add
+  let sub = Rat.sub
+  let mul = Rat.mul
+  let div = Rat.div
+  let neg = Rat.neg
+  let abs = Rat.abs
+  let compare = Rat.compare
+  let equal = Rat.equal
+  let eps = Rat.zero
+  let to_string = Rat.to_string
+end

@@ -1,0 +1,79 @@
+type t = { num : Bigint.t; den : Bigint.t }
+
+let make num den =
+  if Bigint.is_zero den then raise Division_by_zero
+  else begin
+    let num, den = if Bigint.sign den < 0 then (Bigint.neg num, Bigint.neg den) else (num, den) in
+    if Bigint.is_zero num then { num = Bigint.zero; den = Bigint.one }
+    else begin
+      let g = Bigint.gcd num den in
+      if Bigint.is_one g then { num; den }
+      else { num = Bigint.div num g; den = Bigint.div den g }
+    end
+  end
+
+let zero = { num = Bigint.zero; den = Bigint.one }
+let one = { num = Bigint.one; den = Bigint.one }
+let minus_one = { num = Bigint.minus_one; den = Bigint.one }
+let of_bigint n = { num = n; den = Bigint.one }
+let of_int n = of_bigint (Bigint.of_int n)
+let of_ints num den = make (Bigint.of_int num) (Bigint.of_int den)
+
+let of_float f =
+  match Float.classify_float f with
+  | FP_zero -> zero
+  | FP_nan | FP_infinite -> invalid_arg "Rat.of_float: not finite"
+  | FP_normal | FP_subnormal ->
+    let mantissa, exponent = Float.frexp f in
+    (* mantissa * 2^53 is an exact integer for finite floats. *)
+    let m = Int64.to_int (Int64.of_float (Float.ldexp mantissa 53)) in
+    let e = exponent - 53 in
+    let mi = Bigint.of_int m in
+    if e >= 0 then of_bigint (Bigint.shift_left mi e)
+    else make mi (Bigint.shift_left Bigint.one (-e))
+
+let to_float x = Bigint.to_float x.num /. Bigint.to_float x.den
+let num x = x.num
+let den x = x.den
+let sign x = Bigint.sign x.num
+let is_zero x = Bigint.is_zero x.num
+let neg x = { x with num = Bigint.neg x.num }
+let abs x = if sign x < 0 then neg x else x
+
+let inv x =
+  if is_zero x then raise Division_by_zero
+  else if Bigint.sign x.num > 0 then { num = x.den; den = x.num }
+  else { num = Bigint.neg x.den; den = Bigint.neg x.num }
+
+let add a b =
+  make
+    Bigint.((a.num * b.den) + (b.num * a.den))
+    Bigint.(a.den * b.den)
+
+let sub a b = add a (neg b)
+let mul a b = make Bigint.(a.num * b.num) Bigint.(a.den * b.den)
+let div a b = mul a (inv b)
+
+let compare a b = Bigint.compare Bigint.(a.num * b.den) Bigint.(b.num * a.den)
+let equal a b = Bigint.equal a.num b.num && Bigint.equal a.den b.den
+let min a b = if compare a b <= 0 then a else b
+let max a b = if compare a b >= 0 then a else b
+
+let to_string x =
+  if Bigint.is_one x.den then Bigint.to_string x.num
+  else Bigint.to_string x.num ^ "/" ^ Bigint.to_string x.den
+
+let of_string s =
+  match String.index_opt s '/' with
+  | None -> of_bigint (Bigint.of_string s)
+  | Some i ->
+    let num = Bigint.of_string (String.sub s 0 i) in
+    let den = Bigint.of_string (String.sub s (i + 1) (String.length s - i - 1)) in
+    make num den
+
+let pp fmt x = Format.pp_print_string fmt (to_string x)
+
+let ( + ) = add
+let ( - ) = sub
+let ( * ) = mul
+let ( / ) = div

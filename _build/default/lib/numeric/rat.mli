@@ -1,0 +1,63 @@
+(** Exact rational numbers over {!Bigint}.
+
+    Values are kept normalised: the denominator is strictly positive and the
+    numerator and denominator are coprime, so structural equality coincides
+    with numerical equality. *)
+
+type t = private { num : Bigint.t; den : Bigint.t }
+
+val zero : t
+val one : t
+val minus_one : t
+
+(** [make num den] is the normalised rational [num/den].
+    @raise Division_by_zero if [den] is zero. *)
+val make : Bigint.t -> Bigint.t -> t
+
+(** [of_int n] is the integer [n] as a rational. *)
+val of_int : int -> t
+
+(** [of_ints num den] is [num/den] from native integers. *)
+val of_ints : int -> int -> t
+
+(** [of_bigint n] embeds an integer. *)
+val of_bigint : Bigint.t -> t
+
+(** [of_float f] is the exact binary rational equal to the float [f].
+    @raise Invalid_argument on NaN or infinities. *)
+val of_float : float -> t
+
+val to_float : t -> float
+
+(** [num x] and [den x] expose the normalised numerator and denominator. *)
+val num : t -> Bigint.t
+
+val den : t -> Bigint.t
+
+val sign : t -> int
+val is_zero : t -> bool
+val neg : t -> t
+val abs : t -> t
+val inv : t -> t
+val add : t -> t -> t
+val sub : t -> t -> t
+val mul : t -> t -> t
+
+(** @raise Division_by_zero when dividing by zero. *)
+val div : t -> t -> t
+
+val compare : t -> t -> int
+val equal : t -> t -> bool
+val min : t -> t -> t
+val max : t -> t -> t
+
+val ( + ) : t -> t -> t
+val ( - ) : t -> t -> t
+val ( * ) : t -> t -> t
+val ( / ) : t -> t -> t
+
+(** [to_string x] prints ["num/den"], or just ["num"] for integers. *)
+val to_string : t -> string
+
+val of_string : string -> t
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,77 @@
+let check_nonempty name xs =
+  if Array.length xs = 0 then invalid_arg (Printf.sprintf "Stats.%s: empty sample" name)
+
+let mean xs =
+  check_nonempty "mean" xs;
+  Kahan.sum xs /. float_of_int (Array.length xs)
+
+let sum_sq_dev xs =
+  let m = mean xs in
+  Kahan.sum_by (fun x -> (x -. m) *. (x -. m)) xs
+
+let variance xs =
+  check_nonempty "variance" xs;
+  let n = Array.length xs in
+  if n = 1 then 0.0 else sum_sq_dev xs /. float_of_int (n - 1)
+
+let stddev xs = sqrt (variance xs)
+
+let population_stddev xs =
+  check_nonempty "population_stddev" xs;
+  sqrt (sum_sq_dev xs /. float_of_int (Array.length xs))
+
+let quantile q xs =
+  check_nonempty "quantile" xs;
+  if q < 0.0 || q > 1.0 then invalid_arg "Stats.quantile: q out of [0,1]";
+  let sorted = Array.copy xs in
+  Array.sort Float.compare sorted;
+  let n = Array.length sorted in
+  let pos = q *. float_of_int (n - 1) in
+  let lo = int_of_float (Float.floor pos) in
+  let hi = int_of_float (Float.ceil pos) in
+  if lo = hi then sorted.(lo)
+  else begin
+    let w = pos -. float_of_int lo in
+    (sorted.(lo) *. (1.0 -. w)) +. (sorted.(hi) *. w)
+  end
+
+let median xs = quantile 0.5 xs
+
+let min xs =
+  check_nonempty "min" xs;
+  Array.fold_left Float.min xs.(0) xs
+
+let max xs =
+  check_nonempty "max" xs;
+  Array.fold_left Float.max xs.(0) xs
+
+let ci95 xs =
+  check_nonempty "ci95" xs;
+  let n = Array.length xs in
+  if n = 1 then 0.0 else 1.96 *. stddev xs /. sqrt (float_of_int n)
+
+type summary = {
+  n : int;
+  mean : float;
+  stddev : float;
+  min : float;
+  max : float;
+  median : float;
+  ci95 : float;
+}
+
+let summarize xs =
+  check_nonempty "summarize" xs;
+  {
+    n = Array.length xs;
+    mean = mean xs;
+    stddev = stddev xs;
+    min = min xs;
+    max = max xs;
+    median = median xs;
+    ci95 = ci95 xs;
+  }
+
+let pp_summary fmt s =
+  Format.fprintf fmt "n=%d mean=%.3f sd=%.3f min=%.3f med=%.3f max=%.3f ci95=%.3f"
+    s.n s.mean s.stddev s.min s.median s.max s.ci95

@@ -1,0 +1,49 @@
+(** Descriptive statistics over float samples.
+
+    Every experiment point in the paper is an average over 30 (or 100)
+    simulations; this module provides the aggregations used by the
+    experiment runner and reported in EXPERIMENTS.md. *)
+
+(** [mean xs] is the arithmetic mean.
+    @raise Invalid_argument on an empty array. *)
+val mean : float array -> float
+
+(** [variance xs] is the unbiased sample variance (n-1 denominator);
+    [0.0] for singleton samples.
+    @raise Invalid_argument on an empty array. *)
+val variance : float array -> float
+
+(** [stddev xs] is the unbiased sample standard deviation. *)
+val stddev : float array -> float
+
+(** [population_stddev xs] uses the n denominator — this is the
+    heterogeneity measure of heuristic H3. *)
+val population_stddev : float array -> float
+
+(** [median xs] is the 0.5 quantile; does not modify [xs]. *)
+val median : float array -> float
+
+(** [quantile q xs] is the linearly-interpolated [q]-quantile, [q] in [0,1].
+    @raise Invalid_argument if [q] is out of range or [xs] is empty. *)
+val quantile : float -> float array -> float
+
+val min : float array -> float
+val max : float array -> float
+
+(** [ci95 xs] is the half-width of the 95% normal-approximation confidence
+    interval on the mean. *)
+val ci95 : float array -> float
+
+(** Summary record bundling the usual aggregates. *)
+type summary = {
+  n : int;
+  mean : float;
+  stddev : float;
+  min : float;
+  max : float;
+  median : float;
+  ci95 : float;
+}
+
+val summarize : float array -> summary
+val pp_summary : Format.formatter -> summary -> unit

@@ -1,0 +1,54 @@
+(** High-level deterministic random source.
+
+    A thin, typed front-end over {!Xoshiro256} providing the draw primitives
+    the reproduction needs: uniform reals (processing times), uniform
+    integers, Bernoulli trials (product losses), exponentials and
+    shuffles.  Never touches [Stdlib.Random]; all randomness in the
+    repository flows from an explicit seed through this module. *)
+
+type t
+
+(** [create seed] builds a generator from a non-negative integer seed. *)
+val create : int -> t
+
+(** [copy t] duplicates the state. *)
+val copy : t -> t
+
+(** [split t] derives an independent, non-overlapping generator; [t] is
+    advanced past the child's stream. *)
+val split : t -> t
+
+(** [int64 t] is a uniform 64-bit value. *)
+val int64 : t -> int64
+
+(** [float t bound] is uniform in [[0, bound)]. [bound] must be positive. *)
+val float : t -> float -> float
+
+(** [uniform t ~lo ~hi] is uniform in [[lo, hi)].
+    @raise Invalid_argument if [hi <= lo]. *)
+val uniform : t -> lo:float -> hi:float -> float
+
+(** [int t bound] is uniform in [[0, bound)].
+    @raise Invalid_argument if [bound <= 0]. *)
+val int : t -> int -> int
+
+(** [int_range t ~lo ~hi] is uniform in the inclusive range [[lo, hi]].
+    @raise Invalid_argument if [hi < lo]. *)
+val int_range : t -> lo:int -> hi:int -> int
+
+(** [bool t] is a fair coin. *)
+val bool : t -> bool
+
+(** [bernoulli t p] is [true] with probability [p] (clamped to [0,1]). *)
+val bernoulli : t -> float -> bool
+
+(** [exponential t ~rate] draws from Exp(rate).
+    @raise Invalid_argument if [rate <= 0]. *)
+val exponential : t -> rate:float -> float
+
+(** [shuffle t xs] permutes [xs] in place (Fisher–Yates). *)
+val shuffle : t -> 'a array -> unit
+
+(** [choose t xs] picks a uniform element.
+    @raise Invalid_argument on an empty array. *)
+val choose : t -> 'a array -> 'a

@@ -1,0 +1,16 @@
+(** SplitMix64 pseudo-random generator (Steele, Lea & Flood, 2014).
+
+    A tiny, statistically solid generator with a 64-bit state.  Used here to
+    seed {!Xoshiro256} and to derive independent streams from a single user
+    seed, so that every experiment of the reproduction is deterministic. *)
+
+type t
+
+(** [create seed] makes a generator from an arbitrary 64-bit seed. *)
+val create : int64 -> t
+
+(** [copy t] is an independent generator with the same state. *)
+val copy : t -> t
+
+(** [next t] advances the state and returns the next 64-bit output. *)
+val next : t -> int64

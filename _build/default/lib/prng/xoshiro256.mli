@@ -1,0 +1,25 @@
+(** xoshiro256** 1.0 (Blackman & Vigna, 2018).
+
+    The workhorse generator: 256-bit state, period [2^256 - 1], excellent
+    statistical quality and a cheap [jump] for splitting into
+    non-overlapping streams. *)
+
+type t
+
+(** [create seed] seeds the 256-bit state from a 64-bit seed through
+    SplitMix64, as recommended by the authors.  The resulting state is never
+    all-zero. *)
+val create : int64 -> t
+
+val copy : t -> t
+
+(** [next t] is the next 64-bit output. *)
+val next : t -> int64
+
+(** [jump t] advances [t] by 2^128 steps in place: calling [jump] on copies
+    yields non-overlapping substreams. *)
+val jump : t -> unit
+
+(** [split t] returns a fresh generator 2^128 steps ahead and advances [t]
+    likewise, so the two never overlap. *)
+val split : t -> t

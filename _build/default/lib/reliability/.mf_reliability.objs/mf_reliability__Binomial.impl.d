@@ -1,0 +1,1 @@
+lib/reliability/binomial.ml: Array Float Stdlib

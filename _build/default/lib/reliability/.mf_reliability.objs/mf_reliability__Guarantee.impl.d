@@ -1,0 +1,1 @@
+lib/reliability/guarantee.ml: Binomial Mf_core Mf_prng

@@ -1,0 +1,1 @@
+lib/reliability/guarantee.mli: Mf_core

@@ -1,0 +1,31 @@
+(** Binomial distribution computations in log space.
+
+    Supports the output-guarantee analysis of {!Guarantee}: tail
+    probabilities of Binomial(n, p) for [n] up to millions without
+    underflow, plus an exact-enough inverse for the smallest [n] achieving
+    a tail bound. *)
+
+(** [log_pmf ~n ~p k] is [log P(X = k)] for X ~ Binomial(n, p).
+    @raise Invalid_argument for [k] outside [0, n] or [p] outside [0, 1]. *)
+val log_pmf : n:int -> p:float -> int -> float
+
+(** [pmf ~n ~p k] is [P(X = k)]. *)
+val pmf : n:int -> p:float -> int -> float
+
+(** [sf ~n ~p k] is the survival function [P(X >= k)] (equals 1 for
+    [k <= 0]). *)
+val sf : n:int -> p:float -> int -> float
+
+(** [cdf ~n ~p k] is [P(X <= k)]. *)
+val cdf : n:int -> p:float -> int -> float
+
+(** [mean ~n ~p] and [variance ~n ~p]. *)
+val mean : n:int -> p:float -> float
+
+val variance : n:int -> p:float -> float
+
+(** [min_trials ~p ~successes ~confidence] is the smallest [n] such that
+    [P(Binomial(n, p) >= successes) >= confidence].
+    @raise Invalid_argument if [p = 0], [successes < 0] or [confidence]
+    is outside (0, 1). *)
+val min_trials : p:float -> successes:int -> confidence:float -> int

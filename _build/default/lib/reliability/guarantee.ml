@@ -1,0 +1,46 @@
+module Instance = Mf_core.Instance
+module Workflow = Mf_core.Workflow
+module Mapping = Mf_core.Mapping
+module Rng = Mf_prng.Rng
+
+let require_chain inst =
+  if not (Workflow.is_chain (Instance.workflow inst)) then
+    invalid_arg "Guarantee: probabilistic guarantees are derived for chain applications"
+
+let survival_probability inst mp =
+  require_chain inst;
+  let q = ref 1.0 in
+  for i = 0 to Instance.task_count inst - 1 do
+    q := !q *. (1.0 -. Instance.f inst i (Mapping.machine mp i))
+  done;
+  !q
+
+let inputs_for inst mp ~x_out ~confidence =
+  if x_out < 0 then invalid_arg "Guarantee.inputs_for: negative x_out";
+  let q = survival_probability inst mp in
+  Binomial.min_trials ~p:q ~successes:x_out ~confidence
+
+let success_probability inst mp ~inputs ~x_out =
+  let q = survival_probability inst mp in
+  Binomial.sf ~n:inputs ~p:q x_out
+
+let monte_carlo inst mp ~inputs ~x_out ~trials ~seed =
+  require_chain inst;
+  if trials <= 0 then invalid_arg "Guarantee.monte_carlo: need at least one trial";
+  let n = Instance.task_count inst in
+  let rng = Rng.create seed in
+  let hits = ref 0 in
+  for _ = 1 to trials do
+    let finished = ref 0 in
+    for _ = 1 to inputs do
+      let alive = ref true in
+      let i = ref 0 in
+      while !alive && !i < n do
+        if Rng.bernoulli rng (Instance.f inst !i (Mapping.machine mp !i)) then alive := false;
+        incr i
+      done;
+      if !alive then incr finished
+    done;
+    if !finished >= x_out then incr hits
+  done;
+  float_of_int !hits /. float_of_int trials

@@ -1,0 +1,43 @@
+(** Probabilistic output guarantees (paper Section 2).
+
+    "In any case, the issue is to guarantee the output of a given number of
+    products.  Once an allocation of tasks to machines has been given, we
+    can compute the number of products needed as input of the system and
+    guarantee the output for the desired number of products."
+
+    {!Mf_core.Products.inputs_needed} answers in expectation; this module
+    answers in probability for {e chain} applications: each raw product
+    fed at the source independently survives the whole line with
+    probability [q = prod_i (1 - f(i, a(i)))], so the number of finished
+    products out of [N] inputs is Binomial(N, q), and the guarantee is a
+    binomial tail bound. *)
+
+(** [survival_probability inst mp] is the probability [q] that one raw
+    product survives the whole chain under the mapping.
+    @raise Invalid_argument if the application is not a chain. *)
+val survival_probability : Mf_core.Instance.t -> Mf_core.Mapping.t -> float
+
+(** [inputs_for inst mp ~x_out ~confidence] is the smallest number of raw
+    products to feed so that at least [x_out] finished products are output
+    with probability at least [confidence].
+    @raise Invalid_argument if the application is not a chain, [x_out < 0]
+    or [confidence] is outside (0, 1). *)
+val inputs_for :
+  Mf_core.Instance.t -> Mf_core.Mapping.t -> x_out:int -> confidence:float -> int
+
+(** [success_probability inst mp ~inputs ~x_out] is the probability that
+    feeding [inputs] raw products yields at least [x_out] finished ones. *)
+val success_probability :
+  Mf_core.Instance.t -> Mf_core.Mapping.t -> inputs:int -> x_out:int -> float
+
+(** [monte_carlo inst mp ~inputs ~x_out ~trials ~seed] estimates the same
+    probability by direct simulation of the Bernoulli losses (tests and
+    sanity checks). *)
+val monte_carlo :
+  Mf_core.Instance.t ->
+  Mf_core.Mapping.t ->
+  inputs:int ->
+  x_out:int ->
+  trials:int ->
+  seed:int ->
+  float

@@ -1,0 +1,1 @@
+lib/sim/calendar.ml: Float Mf_structures Stdlib

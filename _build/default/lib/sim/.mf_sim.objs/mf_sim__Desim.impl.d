@@ -1,0 +1,1 @@
+lib/sim/desim.ml: Array Calendar Event Float List Mf_core Mf_prng Option Stdlib

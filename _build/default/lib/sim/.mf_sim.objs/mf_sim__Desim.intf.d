@@ -1,0 +1,1 @@
+lib/sim/desim.mli: Event Mf_core

@@ -1,0 +1,1 @@
+lib/sim/metrics.ml: Array Buffer Desim Float Fun List Mf_core Printf

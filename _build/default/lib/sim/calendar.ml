@@ -1,0 +1,24 @@
+module Heap = Mf_structures.Binary_heap
+
+type 'a entry = { time : float; seq : int; payload : 'a }
+
+type 'a t = { heap : 'a entry Heap.t; mutable seq : int }
+
+let compare_entry a b =
+  let c = Float.compare a.time b.time in
+  if c <> 0 then c else Stdlib.compare a.seq b.seq
+
+let create () = { heap = Heap.create ~cmp:compare_entry; seq = 0 }
+
+let schedule cal ~time payload =
+  if Float.is_nan time || time < 0.0 then invalid_arg "Calendar.schedule: bad time";
+  Heap.push cal.heap { time; seq = cal.seq; payload };
+  cal.seq <- cal.seq + 1
+
+let next cal =
+  match Heap.pop cal.heap with
+  | None -> None
+  | Some { time; payload; _ } -> Some (time, payload)
+
+let is_empty cal = Heap.is_empty cal.heap
+let length cal = Heap.length cal.heap

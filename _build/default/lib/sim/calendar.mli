@@ -1,0 +1,18 @@
+(** Event calendar: a time-ordered queue of machine-completion events.
+
+    Entries carry a monotone sequence number so that simultaneous events
+    fire in insertion order — the simulator is fully deterministic for a
+    given seed. *)
+
+type 'a t
+
+val create : unit -> 'a t
+
+(** [schedule cal ~time payload] enqueues an occurrence. *)
+val schedule : 'a t -> time:float -> 'a -> unit
+
+(** [next cal] pops the earliest occurrence as [(time, payload)]. *)
+val next : 'a t -> (float * 'a) option
+
+val is_empty : 'a t -> bool
+val length : 'a t -> int

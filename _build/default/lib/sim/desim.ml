@@ -1,0 +1,141 @@
+module Instance = Mf_core.Instance
+module Workflow = Mf_core.Workflow
+module Mapping = Mf_core.Mapping
+module Rng = Mf_prng.Rng
+
+type result = {
+  outputs : int;
+  throughput : float;
+  window : float;
+  consumed : int;
+  lost : int array;
+  executions : int array;
+  busy : float array;
+  horizon : float;
+}
+
+(* Payload of a completion event. *)
+type completion = { machine : int; task : int; finish : float }
+
+let run ?warmup ?buffer_capacity ~horizon ~seed ?on_event inst mp =
+  let warmup = Option.value warmup ~default:(horizon /. 5.0) in
+  if horizon <= warmup || warmup < 0.0 then
+    invalid_arg "Desim.run: need 0 <= warmup < horizon";
+  (match buffer_capacity with
+  | Some c when c < 1 -> invalid_arg "Desim.run: buffer capacity must be at least 1"
+  | _ -> ());
+  let n = Instance.task_count inst in
+  let m = Instance.machines inst in
+  let wf = Instance.workflow inst in
+  let rng = Rng.create seed in
+  let emit e = match on_event with Some f -> f e | None -> () in
+  (* Tasks of each machine, ordered by increasing distance to the sink so
+     that machines drain downstream work first. *)
+  let depth = Array.make n 0 in
+  let backward = Workflow.backward_order wf in
+  Array.iter
+    (fun i ->
+      depth.(i) <- (match Workflow.successor wf i with None -> 0 | Some j -> depth.(j) + 1))
+    backward;
+  let tasks_of = Array.make m [] in
+  for i = n - 1 downto 0 do
+    let u = Mapping.machine mp i in
+    tasks_of.(u) <- i :: tasks_of.(u)
+  done;
+  for u = 0 to m - 1 do
+    tasks_of.(u) <-
+      List.sort (fun a b -> Stdlib.compare depth.(a) depth.(b)) tasks_of.(u)
+  done;
+  (* buffer.(i): products produced by task i, awaiting its successor. *)
+  let buffer = Array.make n 0 in
+  let is_source = Array.make n false in
+  List.iter (fun i -> is_source.(i) <- true) (Workflow.sources wf);
+  let preds = Array.init n (Workflow.predecessors wf) in
+  (* A machine counts as busy until its completion event has been
+     processed; comparing clock values alone mis-handles simultaneous
+     events (another machine's completion at the exact same timestamp may
+     pop first and would otherwise restart this one). *)
+  let running = Array.make m false in
+  let busy = Array.make m 0.0 in
+  let lost = Array.make n 0 in
+  let executions = Array.make n 0 in
+  let consumed = ref 0 in
+  let outputs_measured = ref 0 in
+  let calendar = Calendar.create () in
+  let is_final = Array.init n (fun i -> Workflow.successor wf i = None) in
+  let output_has_room task =
+    is_final.(task)
+    || match buffer_capacity with None -> true | Some c -> buffer.(task) < c
+  in
+  let ready task =
+    output_has_room task && List.for_all (fun p -> buffer.(p) > 0) preds.(task)
+  in
+  (* Try to start work on machine u at time t; returns true on success. *)
+  let try_start u t =
+    if running.(u) then false
+    else begin
+      match List.find_opt ready tasks_of.(u) with
+      | None -> false
+      | Some task ->
+        List.iter (fun p -> buffer.(p) <- buffer.(p) - 1) preds.(task);
+        if is_source.(task) then incr consumed;
+        let finish = t +. Instance.w inst task u in
+        running.(u) <- true;
+        (* Clamp at the horizon so utilisations stay within [0, 1]. *)
+        busy.(u) <- busy.(u) +. (Float.min finish horizon -. t);
+        emit (Event.Start { time = t; task; machine = u });
+        Calendar.schedule calendar ~time:finish { machine = u; task; finish };
+        true
+      end
+  in
+  let wake_all t =
+    let progress = ref true in
+    while !progress do
+      progress := false;
+      for u = 0 to m - 1 do
+        if try_start u t then progress := true
+      done
+    done
+  in
+  wake_all 0.0;
+  let finished = ref false in
+  while not !finished do
+    match Calendar.next calendar with
+    | None -> finished := true
+    | Some (t, { machine; task; finish }) ->
+      if t > horizon then finished := true
+      else begin
+        assert (Float.equal t finish);
+        assert running.(machine);
+        running.(machine) <- false;
+        executions.(task) <- executions.(task) + 1;
+        let product_lost = Rng.bernoulli rng (Instance.f inst task machine) in
+        emit (Event.Complete { time = t; task; machine; lost = product_lost });
+        if product_lost then lost.(task) <- lost.(task) + 1
+        else begin
+          match Workflow.successor wf task with
+          | Some _ -> buffer.(task) <- buffer.(task) + 1
+          | None ->
+            emit (Event.Output { time = t });
+            if t >= warmup then incr outputs_measured
+        end;
+        wake_all t
+      end
+  done;
+  let window = horizon -. warmup in
+  {
+    outputs = !outputs_measured;
+    throughput = float_of_int !outputs_measured /. window;
+    window;
+    consumed = !consumed;
+    lost;
+    executions;
+    busy;
+    horizon;
+  }
+
+let measured_loss_rate r ~task =
+  if task < 0 || task >= Array.length r.executions then
+    invalid_arg "Desim.measured_loss_rate: task out of range";
+  if r.executions.(task) = 0 then nan
+  else float_of_int r.lost.(task) /. float_of_int r.executions.(task)

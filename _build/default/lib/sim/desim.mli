@@ -1,0 +1,49 @@
+(** Discrete-event simulation of a micro-factory under a mapping.
+
+    Products stream through the application graph: every machine repeatedly
+    picks a ready task among those allocated to it (preferring tasks
+    closest to the system output, which keeps work-in-progress bounded),
+    consumes one product from each predecessor buffer, works for [w(i,u)]
+    time units, and loses the product with probability [f(i,u)].  Source
+    tasks draw from an unlimited raw-material supply, matching the paper's
+    throughput regime ("a large number of products must be produced",
+    initialization and clean-up phases abstracted away).
+
+    The measured steady-state throughput converges to the analytic
+    [1 / period] of {!Mf_core.Period} — the validation the paper's C++
+    simulator provided. *)
+
+type result = {
+  outputs : int;  (** finished products during the measurement window *)
+  throughput : float;  (** outputs per time unit over the window *)
+  window : float;  (** measurement window length *)
+  consumed : int;  (** raw products drawn by source tasks (whole run) *)
+  lost : int array;  (** products destroyed, per task (whole run) *)
+  executions : int array;  (** executions completed, per task (whole run) *)
+  busy : float array;  (** busy time per machine (whole run) *)
+  horizon : float;  (** total simulated time *)
+}
+
+(** [run ?warmup ?buffer_capacity ~horizon ~seed inst mp] simulates until
+    [horizon] (time units, i.e. ms for paper-style instances), discarding
+    outputs before [warmup] (default: [horizon / 5]).
+
+    [buffer_capacity] bounds the number of finished-but-unconsumed products
+    each non-final task may hold (default: unbounded, the paper's model).
+    A machine will not start a task whose output buffer is full, so finite
+    capacities model blocking lines; throughput can only decrease.
+    @raise Invalid_argument if [horizon <= warmup], [buffer_capacity < 1],
+    or the mapping is invalid for the instance. *)
+val run :
+  ?warmup:float ->
+  ?buffer_capacity:int ->
+  horizon:float ->
+  seed:int ->
+  ?on_event:(Event.t -> unit) ->
+  Mf_core.Instance.t ->
+  Mf_core.Mapping.t ->
+  result
+
+(** [measured_loss_rate r ~task] is the empirical failure rate of a task
+    over the whole run ([nan] when the task never executed). *)
+val measured_loss_rate : result -> task:int -> float

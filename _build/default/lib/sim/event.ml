@@ -1,0 +1,17 @@
+type t =
+  | Start of { time : float; task : int; machine : int }
+  | Complete of { time : float; task : int; machine : int; lost : bool }
+  | Output of { time : float }
+
+let time = function
+  | Start { time; _ } | Complete { time; _ } | Output { time } -> time
+
+let pp fmt = function
+  | Start { time; task; machine } ->
+    Format.fprintf fmt "%10.2f start    T%d on M%d" time task machine
+  | Complete { time; task; machine; lost } ->
+    Format.fprintf fmt "%10.2f complete T%d on M%d%s" time task machine
+      (if lost then " (product lost)" else "")
+  | Output { time } -> Format.fprintf fmt "%10.2f output" time
+
+let to_string e = Format.asprintf "%a" pp e

@@ -1,0 +1,12 @@
+(** Simulation events, exposed for tracing and tests. *)
+
+type t =
+  | Start of { time : float; task : int; machine : int }
+      (** a machine begins one execution of a task *)
+  | Complete of { time : float; task : int; machine : int; lost : bool }
+      (** the execution finished; [lost] when the product was destroyed *)
+  | Output of { time : float }  (** one finished product left the system *)
+
+val time : t -> float
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string

@@ -1,0 +1,57 @@
+module Instance = Mf_core.Instance
+module Mapping = Mf_core.Mapping
+
+type machine_stats = { machine : int; utilisation : float; executions : int }
+
+let machine_stats inst mp (r : Desim.result) =
+  List.map
+    (fun u ->
+      let executions =
+        List.fold_left (fun acc i -> acc + r.Desim.executions.(i)) 0 (Mapping.tasks_on mp ~u)
+      in
+      { machine = u; utilisation = r.Desim.busy.(u) /. r.Desim.horizon; executions })
+    (List.init (Instance.machines inst) Fun.id)
+
+let bottleneck inst mp r =
+  let stats = machine_stats inst mp r in
+  let best =
+    List.fold_left
+      (fun acc s ->
+        match acc with
+        | Some b when b.utilisation >= s.utilisation -> acc
+        | _ -> Some s)
+      None stats
+  in
+  match best with Some s -> s.machine | None -> 0
+
+let loss_summary inst mp r =
+  List.map
+    (fun i ->
+      let empirical = Desim.measured_loss_rate r ~task:i in
+      (i, empirical, Instance.f inst i (Mapping.machine mp i)))
+    (List.init (Instance.task_count inst) Fun.id)
+
+let report inst mp r =
+  let buf = Buffer.create 512 in
+  Buffer.add_string buf
+    (Printf.sprintf "simulation over %.0f time units (window %.0f): %d outputs, %.6g /unit\n"
+       r.Desim.horizon r.Desim.window r.Desim.outputs r.Desim.throughput);
+  Buffer.add_string buf
+    (Printf.sprintf "raw products consumed: %d\n" r.Desim.consumed);
+  Buffer.add_string buf "machines:\n";
+  List.iter
+    (fun s ->
+      Buffer.add_string buf
+        (Printf.sprintf "  M%d: utilisation %5.1f%%, %d executions%s\n" s.machine
+           (100.0 *. s.utilisation) s.executions
+           (if s.machine = bottleneck inst mp r then "  <- bottleneck" else "")))
+    (machine_stats inst mp r);
+  Buffer.add_string buf "tasks (empirical vs configured failure rate):\n";
+  List.iter
+    (fun (i, empirical, configured) ->
+      Buffer.add_string buf
+        (Printf.sprintf "  T%d: %s vs %.4f\n" i
+           (if Float.is_nan empirical then "n/a" else Printf.sprintf "%.4f" empirical)
+           configured))
+    (loss_summary inst mp r);
+  Buffer.contents buf

@@ -1,0 +1,27 @@
+(** Post-processing of simulation results: utilisation, empirical failure
+    rates, bottleneck identification and a one-page text report. *)
+
+type machine_stats = {
+  machine : int;
+  utilisation : float;  (** busy time / horizon *)
+  executions : int;  (** completed task executions *)
+}
+
+(** [machine_stats inst mp result] aggregates per-machine statistics. *)
+val machine_stats :
+  Mf_core.Instance.t -> Mf_core.Mapping.t -> Desim.result -> machine_stats list
+
+(** [bottleneck inst mp result] is the machine with the highest
+    utilisation.  Note that with unlimited raw material every machine
+    upstream of the analytic critical machine also saturates, so ties are
+    resolved toward the lowest machine index; use
+    {!Mf_core.Period.critical_machines} for the analytic answer. *)
+val bottleneck : Mf_core.Instance.t -> Mf_core.Mapping.t -> Desim.result -> int
+
+(** [loss_summary inst mp result] pairs each task with its empirical and
+    configured failure rates. *)
+val loss_summary :
+  Mf_core.Instance.t -> Mf_core.Mapping.t -> Desim.result -> (int * float * float) list
+
+(** [report inst mp result] renders everything as text. *)
+val report : Mf_core.Instance.t -> Mf_core.Mapping.t -> Desim.result -> string

@@ -1,0 +1,1 @@
+lib/structures/bitset.ml: Array List Sys

@@ -1,0 +1,1 @@
+lib/structures/dyn_array.mli:

@@ -1,0 +1,1 @@
+lib/structures/matrix.mli: Format

@@ -1,0 +1,64 @@
+let word_bits = Sys.int_size
+
+type t = { n : int; words : int array }
+
+let create n =
+  if n < 0 then invalid_arg "Bitset.create: negative capacity";
+  { n; words = Array.make ((n + word_bits - 1) / word_bits) 0 }
+
+let capacity s = s.n
+let copy s = { n = s.n; words = Array.copy s.words }
+
+let check s i =
+  if i < 0 || i >= s.n then invalid_arg "Bitset: index out of range"
+
+let mem s i =
+  check s i;
+  s.words.(i / word_bits) land (1 lsl (i mod word_bits)) <> 0
+
+let add s i =
+  check s i;
+  s.words.(i / word_bits) <- s.words.(i / word_bits) lor (1 lsl (i mod word_bits))
+
+let remove s i =
+  check s i;
+  s.words.(i / word_bits) <- s.words.(i / word_bits) land lnot (1 lsl (i mod word_bits))
+
+let popcount w =
+  let rec go acc w = if w = 0 then acc else go (acc + 1) (w land (w - 1)) in
+  go 0 w
+
+let cardinal s = Array.fold_left (fun acc w -> acc + popcount w) 0 s.words
+let is_empty s = Array.for_all (fun w -> w = 0) s.words
+let clear s = Array.fill s.words 0 (Array.length s.words) 0
+
+let iter f s =
+  for wi = 0 to Array.length s.words - 1 do
+    let w = ref s.words.(wi) in
+    while !w <> 0 do
+      let low = !w land - !w in
+      let rec bit_index i v = if v = 1 then i else bit_index (i + 1) (v lsr 1) in
+      f ((wi * word_bits) + bit_index 0 low);
+      w := !w land (!w - 1)
+    done
+  done
+
+let fold f s init =
+  let acc = ref init in
+  iter (fun i -> acc := f i !acc) s;
+  !acc
+
+let to_list s = List.rev (fold (fun i acc -> i :: acc) s [])
+
+let check_same a b =
+  if a.n <> b.n then invalid_arg "Bitset: capacity mismatch"
+
+let union_into dst src =
+  check_same dst src;
+  Array.iteri (fun i w -> dst.words.(i) <- dst.words.(i) lor w) src.words
+
+let inter_into dst src =
+  check_same dst src;
+  Array.iteri (fun i w -> dst.words.(i) <- dst.words.(i) land w) src.words
+
+let equal a b = a.n = b.n && a.words = b.words

@@ -1,0 +1,41 @@
+(** Fixed-capacity bit sets over native integer words.
+
+    Used by the exact branch-and-bound solver to represent machine
+    availability masks compactly. *)
+
+type t
+
+(** [create n] is an empty set over the universe [{0, ..., n-1}]. *)
+val create : int -> t
+
+(** [capacity s] is the universe size given at creation. *)
+val capacity : t -> int
+
+val copy : t -> t
+
+(** [mem s i] tests membership. @raise Invalid_argument if out of range. *)
+val mem : t -> int -> bool
+
+val add : t -> int -> unit
+val remove : t -> int -> unit
+
+(** [cardinal s] is the number of members (popcount). *)
+val cardinal : t -> int
+
+val is_empty : t -> bool
+val clear : t -> unit
+
+(** [iter f s] applies [f] to members in increasing order. *)
+val iter : (int -> unit) -> t -> unit
+
+(** [fold f s init] folds over members in increasing order. *)
+val fold : (int -> 'a -> 'a) -> t -> 'a -> 'a
+
+(** [to_list s] lists the members in increasing order. *)
+val to_list : t -> int list
+
+(** In-place set operations; both arguments must share a capacity. *)
+val union_into : t -> t -> unit
+
+val inter_into : t -> t -> unit
+val equal : t -> t -> bool

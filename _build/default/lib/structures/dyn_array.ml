@@ -1,0 +1,56 @@
+type 'a t = { mutable data : 'a array; mutable size : int }
+
+let create () = { data = [||]; size = 0 }
+let length v = v.size
+let is_empty v = v.size = 0
+
+let check v i =
+  if i < 0 || i >= v.size then invalid_arg "Dyn_array: index out of bounds"
+
+let get v i =
+  check v i;
+  v.data.(i)
+
+let set v i x =
+  check v i;
+  v.data.(i) <- x
+
+let push v x =
+  let cap = Array.length v.data in
+  if v.size = cap then begin
+    let ncap = if cap = 0 then 8 else 2 * cap in
+    let ndata = Array.make ncap x in
+    Array.blit v.data 0 ndata 0 v.size;
+    v.data <- ndata
+  end;
+  v.data.(v.size) <- x;
+  v.size <- v.size + 1
+
+let pop v =
+  if v.size = 0 then None
+  else begin
+    v.size <- v.size - 1;
+    Some v.data.(v.size)
+  end
+
+let clear v = v.size <- 0
+
+let iter f v =
+  for i = 0 to v.size - 1 do
+    f v.data.(i)
+  done
+
+let iteri f v =
+  for i = 0 to v.size - 1 do
+    f i v.data.(i)
+  done
+
+let fold_left f init v =
+  let acc = ref init in
+  iter (fun x -> acc := f !acc x) v;
+  !acc
+
+let to_array v = Array.sub v.data 0 v.size
+let to_list v = Array.to_list (to_array v)
+
+let of_array xs = { data = Array.copy xs; size = Array.length xs }

@@ -1,0 +1,79 @@
+type t = { rows : int; cols : int; data : float array }
+
+let create rows cols =
+  if rows <= 0 || cols <= 0 then invalid_arg "Matrix.create: non-positive dimension";
+  { rows; cols; data = Array.make (rows * cols) 0.0 }
+
+let rows m = m.rows
+let cols m = m.cols
+
+let check m i j =
+  if i < 0 || i >= m.rows || j < 0 || j >= m.cols then
+    invalid_arg "Matrix: index out of bounds"
+
+let get m i j =
+  check m i j;
+  m.data.((i * m.cols) + j)
+
+let set m i j v =
+  check m i j;
+  m.data.((i * m.cols) + j) <- v
+
+let init rows cols f =
+  let m = create rows cols in
+  for i = 0 to rows - 1 do
+    for j = 0 to cols - 1 do
+      m.data.((i * cols) + j) <- f i j
+    done
+  done;
+  m
+
+let copy m = { m with data = Array.copy m.data }
+
+let row m i =
+  if i < 0 || i >= m.rows then invalid_arg "Matrix.row: out of bounds";
+  Array.sub m.data (i * m.cols) m.cols
+
+let swap_rows m i j =
+  if i < 0 || i >= m.rows || j < 0 || j >= m.rows then
+    invalid_arg "Matrix.swap_rows: out of bounds";
+  if i <> j then
+    for k = 0 to m.cols - 1 do
+      let tmp = m.data.((i * m.cols) + k) in
+      m.data.((i * m.cols) + k) <- m.data.((j * m.cols) + k);
+      m.data.((j * m.cols) + k) <- tmp
+    done
+
+let scale_row m i k =
+  if i < 0 || i >= m.rows then invalid_arg "Matrix.scale_row: out of bounds";
+  for c = 0 to m.cols - 1 do
+    m.data.((i * m.cols) + c) <- m.data.((i * m.cols) + c) *. k
+  done
+
+let add_scaled_row m ~dst ~src k =
+  if dst < 0 || dst >= m.rows || src < 0 || src >= m.rows then
+    invalid_arg "Matrix.add_scaled_row: out of bounds";
+  for c = 0 to m.cols - 1 do
+    m.data.((dst * m.cols) + c) <-
+      m.data.((dst * m.cols) + c) +. (k *. m.data.((src * m.cols) + c))
+  done
+
+let of_arrays xs =
+  let rows = Array.length xs in
+  if rows = 0 then invalid_arg "Matrix.of_arrays: empty";
+  let cols = Array.length xs.(0) in
+  if Array.exists (fun r -> Array.length r <> cols) xs then
+    invalid_arg "Matrix.of_arrays: ragged rows";
+  init rows cols (fun i j -> xs.(i).(j))
+
+let to_arrays m = Array.init m.rows (row m)
+
+let pp fmt m =
+  for i = 0 to m.rows - 1 do
+    Format.fprintf fmt "[";
+    for j = 0 to m.cols - 1 do
+      if j > 0 then Format.fprintf fmt " ";
+      Format.fprintf fmt "%8.3f" (get m i j)
+    done;
+    Format.fprintf fmt "]@\n"
+  done

@@ -1,0 +1,38 @@
+(** Dense row-major float matrices.
+
+    Only what the simplex tableau and the instance generators need: creation,
+    indexed access, row operations and pretty-printing. *)
+
+type t
+
+(** [create rows cols] is a zero matrix.
+    @raise Invalid_argument on non-positive dimensions. *)
+val create : int -> int -> t
+
+(** [init rows cols f] fills entry [(i,j)] with [f i j]. *)
+val init : int -> int -> (int -> int -> float) -> t
+
+val rows : t -> int
+val cols : t -> int
+val get : t -> int -> int -> float
+val set : t -> int -> int -> float -> unit
+val copy : t -> t
+
+(** [row m i] is a fresh array holding row [i]. *)
+val row : t -> int -> float array
+
+(** [swap_rows m i j] exchanges two rows in place. *)
+val swap_rows : t -> int -> int -> unit
+
+(** [scale_row m i k] multiplies row [i] by [k] in place. *)
+val scale_row : t -> int -> float -> unit
+
+(** [add_scaled_row m ~dst ~src k] adds [k * row src] to [row dst]. *)
+val add_scaled_row : t -> dst:int -> src:int -> float -> unit
+
+(** [of_arrays xs] builds from a rectangular array of rows.
+    @raise Invalid_argument on ragged input. *)
+val of_arrays : float array array -> t
+
+val to_arrays : t -> float array array
+val pp : Format.formatter -> t -> unit

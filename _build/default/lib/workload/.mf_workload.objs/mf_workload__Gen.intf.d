@@ -1,0 +1,1 @@
+lib/workload/gen.mli: Mf_core Mf_prng

@@ -1,0 +1,79 @@
+module Rng = Mf_prng.Rng
+module Workflow = Mf_core.Workflow
+module Instance = Mf_core.Instance
+
+type params = {
+  tasks : int;
+  types : int;
+  machines : int;
+  w_min : float;
+  w_max : float;
+  f_min : float;
+  f_max : float;
+  task_attached_failures : bool;
+}
+
+let default ~tasks ~types ~machines =
+  {
+    tasks;
+    types;
+    machines;
+    w_min = 100.0;
+    w_max = 1000.0;
+    f_min = 0.005;
+    f_max = 0.02;
+    task_attached_failures = false;
+  }
+
+let with_high_failures p = { p with f_min = 0.0; f_max = 0.1 }
+
+let validate p =
+  if p.tasks <= 0 then invalid_arg "Gen: need at least one task";
+  if p.types <= 0 || p.types > p.tasks then
+    invalid_arg "Gen: need 1 <= types <= tasks";
+  if p.machines <= 0 then invalid_arg "Gen: need at least one machine";
+  if p.w_min <= 0.0 || p.w_max <= p.w_min then invalid_arg "Gen: bad w range";
+  if p.f_min < 0.0 || p.f_max >= 1.0 || p.f_max <= p.f_min then
+    invalid_arg "Gen: bad f range"
+
+let types_array rng ~tasks ~types =
+  if types <= 0 || types > tasks then invalid_arg "Gen.types_array: need 1 <= types <= tasks";
+  (* Guarantee coverage of every type, then shuffle. *)
+  let arr = Array.init tasks (fun i -> if i < types then i else Rng.int rng types) in
+  Rng.shuffle rng arr;
+  arr
+
+let draw_matrices rng p types =
+  (* One processing-time draw per (type, machine). *)
+  let w_by_type =
+    Array.init p.types (fun _ ->
+        Array.init p.machines (fun _ -> Rng.uniform rng ~lo:p.w_min ~hi:p.w_max))
+  in
+  let w = Array.init p.tasks (fun i -> Array.copy w_by_type.(types.(i))) in
+  let f =
+    if p.task_attached_failures then
+      Array.init p.tasks (fun _ ->
+          let fi = Rng.uniform rng ~lo:p.f_min ~hi:p.f_max in
+          Array.make p.machines fi)
+    else
+      Array.init p.tasks (fun _ ->
+          Array.init p.machines (fun _ -> Rng.uniform rng ~lo:p.f_min ~hi:p.f_max))
+  in
+  (w, f)
+
+let chain rng p =
+  validate p;
+  let types = types_array rng ~tasks:p.tasks ~types:p.types in
+  let w, f = draw_matrices rng p types in
+  Instance.create ~workflow:(Workflow.chain ~types) ~machines:p.machines ~w ~f
+
+let in_tree rng p =
+  validate p;
+  let types = types_array rng ~tasks:p.tasks ~types:p.types in
+  let successor =
+    Array.init p.tasks (fun i ->
+        if i = p.tasks - 1 then None
+        else Some (Rng.int_range rng ~lo:(i + 1) ~hi:(p.tasks - 1)))
+  in
+  let w, f = draw_matrices rng p types in
+  Instance.create ~workflow:(Workflow.in_forest ~types ~successor) ~machines:p.machines ~w ~f

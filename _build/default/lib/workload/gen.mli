@@ -1,0 +1,42 @@
+(** Random instance generation with the paper's experimental parameters
+    (Section 7).
+
+    Processing times [w(i,u)] are uniform in [[100, 1000)] ms and failure
+    rates [f(i,u)] uniform in [[0.005, 0.02)] unless overridden.  Tasks of
+    equal type share processing times by construction (one draw per
+    (type, machine) pair). *)
+
+type params = {
+  tasks : int;  (** [n] *)
+  types : int;  (** [p <= n] *)
+  machines : int;  (** [m] *)
+  w_min : float;
+  w_max : float;
+  f_min : float;
+  f_max : float;
+  task_attached_failures : bool;
+      (** when true, [f(i,u) = f_i] — the Section 7.2 regime where the
+          optimal one-to-one mapping is computable *)
+}
+
+(** Paper defaults: [w ~ U[100,1000)], [f ~ U[0.005,0.02)],
+    machine-dependent failures. *)
+val default : tasks:int -> types:int -> machines:int -> params
+
+(** [with_high_failures p] switches to the Figure 8 regime
+    [f ~ U[0, 0.1)]. *)
+val with_high_failures : params -> params
+
+(** [chain rng p] draws a linear-chain instance.
+    @raise Invalid_argument if [p.types > p.tasks] or sizes are
+    non-positive. *)
+val chain : Mf_prng.Rng.t -> params -> Mf_core.Instance.t
+
+(** [in_tree rng p] draws an instance whose application is a random
+    in-tree: every non-final task gets a successor of higher index, task
+    [n-1] being the single sink. *)
+val in_tree : Mf_prng.Rng.t -> params -> Mf_core.Instance.t
+
+(** [types_array rng ~tasks ~types] draws the type of each task: a random
+    assignment guaranteed to use each of the [types] types at least once. *)
+val types_array : Mf_prng.Rng.t -> tasks:int -> types:int -> int array

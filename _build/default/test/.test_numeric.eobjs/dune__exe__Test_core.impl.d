@@ -1,0 +1,1 @@
+test/test_core.ml: Alcotest Array Filename Float Format Fun List Mf_core Mf_graph Mf_numeric Mf_prng Mf_workload Printf QCheck QCheck_alcotest Sys

@@ -1,0 +1,1 @@
+test/test_exact.ml: Alcotest Array Float Fun List Mf_core Mf_exact Mf_heuristics Mf_lp Mf_prng Mf_workload Printf QCheck QCheck_alcotest String

@@ -1,0 +1,1 @@
+test/test_experiments.ml: Alcotest Array Filename Float Format Fun List Mf_core Mf_experiments Mf_heuristics Mf_prng Mf_workload Printf String Sys

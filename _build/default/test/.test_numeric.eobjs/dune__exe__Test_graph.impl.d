@@ -1,0 +1,1 @@
+test/test_graph.ml: Alcotest Array Float Hashtbl List Mf_graph Mf_prng Option QCheck QCheck_alcotest String

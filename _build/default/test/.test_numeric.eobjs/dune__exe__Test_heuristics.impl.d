@@ -1,0 +1,1 @@
+test/test_heuristics.ml: Alcotest Array Float List Mf_core Mf_exact Mf_heuristics Mf_prng Mf_workload Printf QCheck QCheck_alcotest String

@@ -1,0 +1,1 @@
+test/test_lp.ml: Alcotest Array Float Mf_core Mf_exact Mf_lp Mf_prng Mf_workload Printf

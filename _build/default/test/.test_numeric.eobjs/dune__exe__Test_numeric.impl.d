@@ -1,0 +1,1 @@
+test/test_numeric.ml: Alcotest Array Float Gen List Mf_numeric QCheck QCheck_alcotest Stdlib String

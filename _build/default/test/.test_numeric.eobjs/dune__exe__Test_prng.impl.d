@@ -1,0 +1,1 @@
+test/test_prng.ml: Alcotest Array Float Fun Gen Hashtbl List Mf_prng Printf QCheck QCheck_alcotest

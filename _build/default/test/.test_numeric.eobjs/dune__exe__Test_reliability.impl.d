@@ -1,0 +1,1 @@
+test/test_reliability.ml: Alcotest Array Float List Mf_core Mf_heuristics Mf_prng Mf_reliability Mf_workload Printf QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_sim.ml: Alcotest Array Float Hashtbl List Mf_core Mf_heuristics Mf_prng Mf_sim Mf_workload Printf QCheck QCheck_alcotest String

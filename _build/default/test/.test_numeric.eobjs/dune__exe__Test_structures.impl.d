@@ -1,0 +1,1 @@
+test/test_structures.ml: Alcotest Array List Mf_structures QCheck QCheck_alcotest

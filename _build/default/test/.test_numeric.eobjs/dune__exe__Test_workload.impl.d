@@ -1,0 +1,1 @@
+test/test_workload.ml: Alcotest Array Fun List Mf_core Mf_prng Mf_workload QCheck QCheck_alcotest

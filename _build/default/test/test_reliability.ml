@@ -1,0 +1,170 @@
+(* Tests for mf_reliability: Binomial tails and the output guarantees of
+   the paper's Section 2, cross-checked by Monte Carlo. *)
+
+module Binomial = Mf_reliability.Binomial
+module Guarantee = Mf_reliability.Guarantee
+module Instance = Mf_core.Instance
+module Workflow = Mf_core.Workflow
+module Mapping = Mf_core.Mapping
+module Gen = Mf_workload.Gen
+module Rng = Mf_prng.Rng
+
+(* ------------------------------------------------------------------ *)
+(* Binomial                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let test_binomial_pmf_small () =
+  (* Binomial(4, 0.5): pmf = 1/16, 4/16, 6/16, 4/16, 1/16. *)
+  let expected = [| 0.0625; 0.25; 0.375; 0.25; 0.0625 |] in
+  Array.iteri
+    (fun k e ->
+      Alcotest.(check (float 1e-12)) (Printf.sprintf "pmf %d" k) e (Binomial.pmf ~n:4 ~p:0.5 k))
+    expected
+
+let test_binomial_pmf_sums_to_one () =
+  List.iter
+    (fun (n, p) ->
+      let total = ref 0.0 in
+      for k = 0 to n do
+        total := !total +. Binomial.pmf ~n ~p k
+      done;
+      Alcotest.(check (float 1e-9)) (Printf.sprintf "n=%d p=%g" n p) 1.0 !total)
+    [ (1, 0.3); (10, 0.5); (50, 0.9); (100, 0.01); (300, 0.97) ]
+
+let test_binomial_sf_cdf_complement () =
+  List.iter
+    (fun k ->
+      let sf = Binomial.sf ~n:20 ~p:0.3 k in
+      let cdf = Binomial.cdf ~n:20 ~p:0.3 (k - 1) in
+      Alcotest.(check (float 1e-9)) (Printf.sprintf "k=%d" k) 1.0 (sf +. cdf))
+    [ 0; 1; 5; 10; 20 ]
+
+let test_binomial_edge_cases () =
+  Alcotest.(check (float 0.0)) "sf at 0" 1.0 (Binomial.sf ~n:10 ~p:0.5 0);
+  Alcotest.(check (float 0.0)) "sf above n" 0.0 (Binomial.sf ~n:10 ~p:0.5 11);
+  Alcotest.(check (float 0.0)) "p=0 pmf" 1.0 (Binomial.pmf ~n:10 ~p:0.0 0);
+  Alcotest.(check (float 0.0)) "p=1 pmf" 1.0 (Binomial.pmf ~n:10 ~p:1.0 10);
+  Alcotest.(check (float 1e-12)) "mean" 5.0 (Binomial.mean ~n:10 ~p:0.5);
+  Alcotest.(check (float 1e-12)) "variance" 2.5 (Binomial.variance ~n:10 ~p:0.5)
+
+let test_binomial_large_n_stable () =
+  (* Tail of Binomial(10^6, 0.9) around its mean: no overflow/NaN. *)
+  let sf = Binomial.sf ~n:1_000_000 ~p:0.9 900_000 in
+  Alcotest.(check bool) "finite" true (Float.is_finite sf);
+  Alcotest.(check bool) "near half" true (sf > 0.4 && sf < 0.6)
+
+let test_min_trials_basic () =
+  (* p = 1: need exactly successes trials. *)
+  Alcotest.(check int) "p=1" 7 (Binomial.min_trials ~p:1.0 ~successes:7 ~confidence:0.99);
+  Alcotest.(check int) "zero successes" 0 (Binomial.min_trials ~p:0.4 ~successes:0 ~confidence:0.99);
+  (* The returned n satisfies the bound and n-1 does not. *)
+  let n = Binomial.min_trials ~p:0.9 ~successes:100 ~confidence:0.999 in
+  Alcotest.(check bool) "satisfies" true (Binomial.sf ~n ~p:0.9 100 >= 0.999);
+  Alcotest.(check bool) "minimal" true (Binomial.sf ~n:(n - 1) ~p:0.9 100 < 0.999)
+
+let prop_min_trials_minimal =
+  QCheck.Test.make ~name:"binomial: min_trials is minimal and sufficient" ~count:100
+    QCheck.(triple (float_range 0.3 0.99) (int_range 1 200) (float_range 0.5 0.999))
+    (fun (p, successes, confidence) ->
+      let n = Binomial.min_trials ~p ~successes ~confidence in
+      Binomial.sf ~n ~p successes >= confidence
+      && (n = successes || Binomial.sf ~n:(n - 1) ~p successes < confidence))
+
+let prop_sf_monotone_in_n =
+  QCheck.Test.make ~name:"binomial: sf increases with n" ~count:100
+    QCheck.(triple (float_range 0.1 0.95) (int_range 1 60) (int_range 1 40))
+    (fun (p, n, k) ->
+      QCheck.assume (k <= n);
+      Binomial.sf ~n:(n + 1) ~p k >= Binomial.sf ~n ~p k -. 1e-12)
+
+(* ------------------------------------------------------------------ *)
+(* Guarantee                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let two_task_instance () =
+  let wf = Workflow.chain ~types:[| 0; 1 |] in
+  Instance.create ~workflow:wf ~machines:2
+    ~w:(Array.make_matrix 2 2 100.0)
+    ~f:[| [| 0.1; 0.2 |]; [| 0.05; 0.3 |] |]
+
+let test_survival_probability () =
+  let inst = two_task_instance () in
+  let mp = Mapping.of_array inst [| 0; 0 |] in
+  Alcotest.(check (float 1e-12)) "q" (0.9 *. 0.95) (Guarantee.survival_probability inst mp);
+  let mp2 = Mapping.of_array inst [| 1; 1 |] in
+  Alcotest.(check (float 1e-12)) "q2" (0.8 *. 0.7) (Guarantee.survival_probability inst mp2)
+
+let test_guarantee_more_than_expectation () =
+  (* The probabilistic guarantee needs more inputs than the expectation. *)
+  let inst = two_task_instance () in
+  let mp = Mapping.of_array inst [| 0; 0 |] in
+  let x_out = 100 in
+  let expected =
+    match Mf_core.Products.inputs_needed inst mp ~x_out with
+    | [ (_, n) ] -> n
+    | _ -> Alcotest.fail "expected single source"
+  in
+  let guaranteed = Guarantee.inputs_for inst mp ~x_out ~confidence:0.999 in
+  Alcotest.(check bool)
+    (Printf.sprintf "guaranteed %d > expected %d" guaranteed expected)
+    true (guaranteed > expected);
+  (* And the probability bound really holds. *)
+  Alcotest.(check bool) "bound holds" true
+    (Guarantee.success_probability inst mp ~inputs:guaranteed ~x_out >= 0.999)
+
+let test_guarantee_monte_carlo_agreement () =
+  let inst = two_task_instance () in
+  let mp = Mapping.of_array inst [| 0; 0 |] in
+  let inputs = 120 and x_out = 100 in
+  let analytic = Guarantee.success_probability inst mp ~inputs ~x_out in
+  let empirical = Guarantee.monte_carlo inst mp ~inputs ~x_out ~trials:4000 ~seed:5 in
+  Alcotest.(check bool)
+    (Printf.sprintf "analytic %.4f vs MC %.4f" analytic empirical)
+    true
+    (Float.abs (analytic -. empirical) < 0.03)
+
+let test_guarantee_requires_chain () =
+  let wf = Workflow.in_forest ~types:[| 0; 1; 2 |] ~successor:[| Some 2; Some 2; None |] in
+  let inst =
+    Instance.create ~workflow:wf ~machines:3
+      ~w:(Array.make_matrix 3 3 1.0)
+      ~f:(Array.make_matrix 3 3 0.1)
+  in
+  let mp = Mapping.of_array inst [| 0; 1; 2 |] in
+  Alcotest.check_raises "not a chain"
+    (Invalid_argument "Guarantee: probabilistic guarantees are derived for chain applications")
+    (fun () -> ignore (Guarantee.survival_probability inst mp))
+
+let test_guarantee_on_generated_instance () =
+  let inst = Gen.chain (Rng.create 5) (Gen.default ~tasks:10 ~types:3 ~machines:4) in
+  let mp = Mf_heuristics.Registry.solve Mf_heuristics.Registry.H4w inst in
+  let q = Guarantee.survival_probability inst mp in
+  Alcotest.(check bool) "q in (0,1)" true (q > 0.0 && q < 1.0);
+  let n50 = Guarantee.inputs_for inst mp ~x_out:50 ~confidence:0.99 in
+  let n50_soft = Guarantee.inputs_for inst mp ~x_out:50 ~confidence:0.5 in
+  Alcotest.(check bool) "higher confidence costs more" true (n50 >= n50_soft);
+  Alcotest.(check bool) "at least x_out" true (n50_soft >= 50)
+
+let () =
+  Alcotest.run "mf_reliability"
+    [
+      ( "binomial",
+        [
+          Alcotest.test_case "pmf small" `Quick test_binomial_pmf_small;
+          Alcotest.test_case "pmf sums to one" `Quick test_binomial_pmf_sums_to_one;
+          Alcotest.test_case "sf/cdf complement" `Quick test_binomial_sf_cdf_complement;
+          Alcotest.test_case "edge cases" `Quick test_binomial_edge_cases;
+          Alcotest.test_case "large n" `Quick test_binomial_large_n_stable;
+          Alcotest.test_case "min_trials" `Quick test_min_trials_basic;
+        ] );
+      ( "binomial-props",
+        List.map QCheck_alcotest.to_alcotest [ prop_min_trials_minimal; prop_sf_monotone_in_n ] );
+      ( "guarantee",
+        [
+          Alcotest.test_case "survival probability" `Quick test_survival_probability;
+          Alcotest.test_case "beats expectation" `Quick test_guarantee_more_than_expectation;
+          Alcotest.test_case "monte carlo" `Slow test_guarantee_monte_carlo_agreement;
+          Alcotest.test_case "requires chain" `Quick test_guarantee_requires_chain;
+          Alcotest.test_case "generated instance" `Quick test_guarantee_on_generated_instance;
+        ] );
+    ]

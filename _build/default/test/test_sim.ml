@@ -1,0 +1,355 @@
+(* Tests for mf_sim: the discrete-event simulator must agree with the
+   analytic throughput model, and its empirical loss rates with the f
+   matrix. *)
+
+module Instance = Mf_core.Instance
+module Workflow = Mf_core.Workflow
+module Mapping = Mf_core.Mapping
+module Period = Mf_core.Period
+module Desim = Mf_sim.Desim
+module Event = Mf_sim.Event
+module Calendar = Mf_sim.Calendar
+module Gen = Mf_workload.Gen
+module Rng = Mf_prng.Rng
+
+(* ------------------------------------------------------------------ *)
+(* Calendar                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let test_calendar_order () =
+  let cal = Calendar.create () in
+  Calendar.schedule cal ~time:3.0 "c";
+  Calendar.schedule cal ~time:1.0 "a";
+  Calendar.schedule cal ~time:2.0 "b";
+  Alcotest.(check int) "length" 3 (Calendar.length cal);
+  Alcotest.(check (option (pair (float 0.0) string))) "first" (Some (1.0, "a")) (Calendar.next cal);
+  Alcotest.(check (option (pair (float 0.0) string))) "second" (Some (2.0, "b")) (Calendar.next cal);
+  Alcotest.(check (option (pair (float 0.0) string))) "third" (Some (3.0, "c")) (Calendar.next cal);
+  Alcotest.(check bool) "empty" true (Calendar.is_empty cal)
+
+let test_calendar_fifo_on_ties () =
+  let cal = Calendar.create () in
+  Calendar.schedule cal ~time:1.0 "first";
+  Calendar.schedule cal ~time:1.0 "second";
+  Alcotest.(check (option (pair (float 0.0) string))) "tie order" (Some (1.0, "first"))
+    (Calendar.next cal);
+  Alcotest.(check (option (pair (float 0.0) string))) "tie order 2" (Some (1.0, "second"))
+    (Calendar.next cal)
+
+let test_calendar_rejects_bad_time () =
+  let cal = Calendar.create () in
+  Alcotest.check_raises "negative" (Invalid_argument "Calendar.schedule: bad time") (fun () ->
+      Calendar.schedule cal ~time:(-1.0) ())
+
+(* ------------------------------------------------------------------ *)
+(* Deterministic no-failure pipeline                                   *)
+(* ------------------------------------------------------------------ *)
+
+(* Chain of 2 tasks, distinct machines, no failures: the line is paced by
+   the slower stage. *)
+let test_sim_no_failures_throughput () =
+  let wf = Workflow.chain ~types:[| 0; 1 |] in
+  let inst =
+    Instance.create ~workflow:wf ~machines:2
+      ~w:[| [| 10.0; 10.0 |]; [| 20.0; 20.0 |] |]
+      ~f:(Array.make_matrix 2 2 0.0)
+  in
+  let mp = Mapping.of_array inst [| 0; 1 |] in
+  Alcotest.(check (float 1e-9)) "analytic period" 20.0 (Period.period inst mp);
+  let r = Desim.run ~warmup:1000.0 ~horizon:21000.0 ~seed:1 inst mp in
+  (* One output every 20 time units in steady state. *)
+  Alcotest.(check bool)
+    (Printf.sprintf "throughput %.5f near 0.05" r.Desim.throughput)
+    true
+    (Float.abs (r.Desim.throughput -. 0.05) < 0.002);
+  Alcotest.(check (array int)) "no losses" [| 0; 0 |] r.Desim.lost
+
+let test_sim_single_machine_sum () =
+  (* Both tasks on one machine: period = 10 + 20 = 30 per product. *)
+  let wf = Workflow.chain ~types:[| 0; 0 |] in
+  let inst =
+    Instance.create ~workflow:wf ~machines:1 ~w:[| [| 10.0 |]; [| 10.0 |] |]
+      ~f:(Array.make_matrix 2 1 0.0)
+  in
+  let mp = Mapping.of_array inst [| 0; 0 |] in
+  Alcotest.(check (float 1e-9)) "analytic period" 20.0 (Period.period inst mp);
+  let r = Desim.run ~warmup:500.0 ~horizon:20500.0 ~seed:1 inst mp in
+  Alcotest.(check bool)
+    (Printf.sprintf "throughput %.5f near 0.05" r.Desim.throughput)
+    true
+    (Float.abs (r.Desim.throughput -. 0.05) < 0.003)
+
+(* ------------------------------------------------------------------ *)
+(* Stochastic agreement with the analytic model                        *)
+(* ------------------------------------------------------------------ *)
+
+let relative_error a b = Float.abs (a -. b) /. b
+
+let test_sim_matches_analytic_with_failures () =
+  (* A 4-task chain with moderate failures on 3 machines; long horizon. *)
+  let inst = Gen.chain (Rng.create 11) (Gen.default ~tasks:4 ~types:2 ~machines:3) in
+  let mp = Mf_heuristics.Registry.solve Mf_heuristics.Registry.H4w inst in
+  let analytic = Period.throughput inst mp in
+  let r = Desim.run ~warmup:2.0e5 ~horizon:4.0e6 ~seed:7 inst mp in
+  Alcotest.(check bool)
+    (Printf.sprintf "simulated %.6g vs analytic %.6g" r.Desim.throughput analytic)
+    true
+    (relative_error r.Desim.throughput analytic < 0.05)
+
+let test_sim_matches_analytic_on_join () =
+  let wf =
+    Workflow.in_forest ~types:[| 0; 1; 2 |] ~successor:[| Some 2; Some 2; None |]
+  in
+  let inst =
+    Instance.create ~workflow:wf ~machines:3
+      ~w:[| [| 50.0; 60.0; 70.0 |]; [| 40.0; 30.0; 55.0 |]; [| 45.0; 80.0; 25.0 |] |]
+      ~f:(Array.make_matrix 3 3 0.05)
+  in
+  let mp = Mapping.of_array inst [| 0; 1; 2 |] in
+  let analytic = Period.throughput inst mp in
+  let r = Desim.run ~warmup:1.0e5 ~horizon:2.0e6 ~seed:3 inst mp in
+  Alcotest.(check bool)
+    (Printf.sprintf "join: simulated %.6g vs analytic %.6g" r.Desim.throughput analytic)
+    true
+    (relative_error r.Desim.throughput analytic < 0.07)
+
+let test_sim_empirical_loss_rates () =
+  let wf = Workflow.chain ~types:[| 0; 1 |] in
+  let inst =
+    Instance.create ~workflow:wf ~machines:2
+      ~w:(Array.make_matrix 2 2 10.0)
+      ~f:[| [| 0.1; 0.1 |]; [| 0.02; 0.02 |] |]
+  in
+  let mp = Mapping.of_array inst [| 0; 1 |] in
+  let r = Desim.run ~warmup:0.0 ~horizon:2.0e6 ~seed:9 inst mp in
+  let rate0 = Desim.measured_loss_rate r ~task:0 in
+  let rate1 = Desim.measured_loss_rate r ~task:1 in
+  Alcotest.(check bool) (Printf.sprintf "task0 rate %.4f" rate0) true
+    (Float.abs (rate0 -. 0.1) < 0.01);
+  Alcotest.(check bool) (Printf.sprintf "task1 rate %.4f" rate1) true
+    (Float.abs (rate1 -. 0.02) < 0.005)
+
+let test_sim_consumed_exceeds_outputs () =
+  (* With failures, more raw products are consumed than finished. *)
+  let inst = Gen.chain (Rng.create 5) (Gen.with_high_failures (Gen.default ~tasks:5 ~types:2 ~machines:3)) in
+  let mp = Mf_heuristics.Registry.solve Mf_heuristics.Registry.H4w inst in
+  let r = Desim.run ~warmup:0.0 ~horizon:1.0e6 ~seed:2 inst mp in
+  Alcotest.(check bool) "outputs > 0" true (r.Desim.outputs > 0);
+  Alcotest.(check bool) "consumed > outputs" true (r.Desim.consumed > r.Desim.outputs)
+
+let test_sim_deterministic () =
+  let inst =
+    Gen.chain (Rng.create 21)
+      (Gen.with_high_failures (Gen.default ~tasks:5 ~types:2 ~machines:3))
+  in
+  let mp = Mf_heuristics.Registry.solve Mf_heuristics.Registry.H2 inst in
+  let a = Desim.run ~horizon:1.0e5 ~seed:4 inst mp in
+  let b = Desim.run ~horizon:1.0e5 ~seed:4 inst mp in
+  Alcotest.(check int) "same outputs" a.Desim.outputs b.Desim.outputs;
+  Alcotest.(check int) "same consumed" a.Desim.consumed b.Desim.consumed;
+  Alcotest.(check (array int)) "same losses" a.Desim.lost b.Desim.lost;
+  let c = Desim.run ~horizon:1.0e5 ~seed:5 inst mp in
+  Alcotest.(check bool) "different seed differs" true
+    (a.Desim.outputs <> c.Desim.outputs
+    || a.Desim.consumed <> c.Desim.consumed
+    || a.Desim.lost <> c.Desim.lost)
+
+let test_sim_event_stream_sane () =
+  let wf = Workflow.chain ~types:[| 0; 1 |] in
+  let inst =
+    Instance.create ~workflow:wf ~machines:2
+      ~w:(Array.make_matrix 2 2 10.0)
+      ~f:(Array.make_matrix 2 2 0.0)
+  in
+  let mp = Mapping.of_array inst [| 0; 1 |] in
+  let events = ref [] in
+  let _ = Desim.run ~warmup:0.0 ~horizon:100.0 ~seed:1 ~on_event:(fun e -> events := e :: !events) inst mp in
+  let events = List.rev !events in
+  Alcotest.(check bool) "nonempty" true (List.length events > 0);
+  (* Times never decrease. *)
+  let rec monotone = function
+    | a :: (b :: _ as rest) -> Event.time a <= Event.time b && monotone rest
+    | _ -> true
+  in
+  Alcotest.(check bool) "monotone times" true (monotone events);
+  (* Every machine-task pair alternates start/complete. *)
+  let open_execs = Hashtbl.create 8 in
+  List.iter
+    (fun e ->
+      match e with
+      | Event.Start { machine; _ } ->
+        Alcotest.(check bool) "machine idle at start" false (Hashtbl.mem open_execs machine);
+        Hashtbl.replace open_execs machine ()
+      | Event.Complete { machine; _ } ->
+        Alcotest.(check bool) "machine busy at completion" true (Hashtbl.mem open_execs machine);
+        Hashtbl.remove open_execs machine
+      | Event.Output _ -> ())
+    events;
+  (* Event pretty-printing is total. *)
+  List.iter (fun e -> Alcotest.(check bool) "printable" true (String.length (Event.to_string e) > 0)) events
+
+let test_sim_validation () =
+  let inst = Gen.chain (Rng.create 1) (Gen.default ~tasks:2 ~types:1 ~machines:1) in
+  let mp = Mapping.of_array inst [| 0; 0 |] in
+  Alcotest.check_raises "bad window" (Invalid_argument "Desim.run: need 0 <= warmup < horizon")
+    (fun () -> ignore (Desim.run ~warmup:10.0 ~horizon:5.0 ~seed:1 inst mp))
+
+(* Property: on random small instances, simulated throughput is within 10%
+   of analytic for long horizons. *)
+let prop_sim_close_to_analytic =
+  QCheck.Test.make ~name:"sim: throughput within 10% of analytic" ~count:15
+    (QCheck.make
+       ~print:(fun (seed, n, p, m) -> Printf.sprintf "seed=%d n=%d p=%d m=%d" seed n p m)
+       QCheck.Gen.(
+         let* seed = int_range 0 10000 in
+         let* n = int_range 2 8 in
+         let* p = int_range 1 (min n 3) in
+         let* m = int_range p 4 in
+         return (seed, n, p, m)))
+    (fun (seed, n, p, m) ->
+      let inst = Gen.chain (Rng.create seed) (Gen.default ~tasks:n ~types:p ~machines:m) in
+      let mp = Mf_heuristics.Registry.solve Mf_heuristics.Registry.H4w inst in
+      let analytic = Period.throughput inst mp in
+      let r = Desim.run ~warmup:1.0e5 ~horizon:1.5e6 ~seed:(seed + 1) inst mp in
+      relative_error r.Desim.throughput analytic < 0.10)
+
+let test_sim_buffer_capacity_blocks () =
+  (* Fast producer, slow consumer: with capacity 1 the producer throttles
+     to the consumer's pace, without it the producer saturates. *)
+  let wf = Workflow.chain ~types:[| 0; 1 |] in
+  let inst =
+    Instance.create ~workflow:wf ~machines:2
+      ~w:[| [| 10.0; 10.0 |]; [| 40.0; 40.0 |] |]
+      ~f:(Array.make_matrix 2 2 0.0)
+  in
+  let mp = Mapping.of_array inst [| 0; 1 |] in
+  let unbounded = Desim.run ~warmup:0.0 ~horizon:40000.0 ~seed:1 inst mp in
+  let bounded = Desim.run ~warmup:0.0 ~horizon:40000.0 ~seed:1 ~buffer_capacity:1 inst mp in
+  (* Same outputs (the consumer is the bottleneck either way)... *)
+  Alcotest.(check bool) "similar outputs" true
+    (abs (unbounded.Desim.outputs - bounded.Desim.outputs) <= 2);
+  (* ...but far fewer raw products pulled in when blocked. *)
+  Alcotest.(check bool)
+    (Printf.sprintf "consumed %d (bounded) << %d (unbounded)" bounded.Desim.consumed
+       unbounded.Desim.consumed)
+    true
+    (bounded.Desim.consumed * 2 < unbounded.Desim.consumed);
+  (* Blocked WIP stays bounded: executions of T0 close to those of T1. *)
+  Alcotest.(check bool) "WIP bounded" true
+    (bounded.Desim.executions.(0) <= bounded.Desim.executions.(1) + 2)
+
+let test_sim_buffer_capacity_throughput_monotone () =
+  let inst = Gen.chain (Rng.create 31) (Gen.default ~tasks:6 ~types:2 ~machines:3) in
+  let mp = Mf_heuristics.Registry.solve Mf_heuristics.Registry.H4w inst in
+  let thr cap =
+    (Desim.run ~warmup:5.0e4 ~horizon:1.0e6 ~seed:2 ?buffer_capacity:cap inst mp)
+      .Desim.throughput
+  in
+  let t1 = thr (Some 1) and t4 = thr (Some 4) and tinf = thr None in
+  Alcotest.(check bool) (Printf.sprintf "t1 %.6f <= t4 %.6f (+tol)" t1 t4) true
+    (t1 <= t4 *. 1.05);
+  Alcotest.(check bool) (Printf.sprintf "t4 %.6f <= inf %.6f (+tol)" t4 tinf) true
+    (t4 <= tinf *. 1.05)
+
+let test_sim_buffer_capacity_validation () =
+  let inst = Gen.chain (Rng.create 1) (Gen.default ~tasks:2 ~types:1 ~machines:1) in
+  let mp = Mapping.of_array inst [| 0; 0 |] in
+  Alcotest.check_raises "zero capacity"
+    (Invalid_argument "Desim.run: buffer capacity must be at least 1") (fun () ->
+      ignore (Desim.run ~horizon:100.0 ~seed:1 ~buffer_capacity:0 inst mp))
+
+(* ------------------------------------------------------------------ *)
+(* Metrics                                                             *)
+(* ------------------------------------------------------------------ *)
+
+module Metrics = Mf_sim.Metrics
+
+let test_metrics_utilisation () =
+  (* Slow source stage, fast final stage: the source machine saturates
+     (raw material is unlimited) while the final machine idles half the
+     time waiting for parts. *)
+  let wf = Workflow.chain ~types:[| 0; 1 |] in
+  let inst =
+    Instance.create ~workflow:wf ~machines:2
+      ~w:[| [| 20.0; 20.0 |]; [| 10.0; 10.0 |] |]
+      ~f:(Array.make_matrix 2 2 0.0)
+  in
+  let mp = Mapping.of_array inst [| 0; 1 |] in
+  let r = Desim.run ~warmup:0.0 ~horizon:10000.0 ~seed:1 inst mp in
+  let stats = Metrics.machine_stats inst mp r in
+  Alcotest.(check int) "two rows" 2 (List.length stats);
+  let m0 = List.nth stats 0 and m1 = List.nth stats 1 in
+  Alcotest.(check bool) "M0 saturated" true (m0.Metrics.utilisation > 0.95);
+  Alcotest.(check bool) "M1 half idle" true
+    (m1.Metrics.utilisation > 0.4 && m1.Metrics.utilisation < 0.6);
+  Alcotest.(check int) "bottleneck" 0 (Metrics.bottleneck inst mp r);
+  Alcotest.(check bool) "executions counted" true (m0.Metrics.executions > 400)
+
+let test_metrics_loss_summary () =
+  let wf = Workflow.chain ~types:[| 0; 1 |] in
+  let inst =
+    Instance.create ~workflow:wf ~machines:2
+      ~w:(Array.make_matrix 2 2 10.0)
+      ~f:[| [| 0.05; 0.05 |]; [| 0.01; 0.01 |] |]
+  in
+  let mp = Mapping.of_array inst [| 0; 1 |] in
+  let r = Desim.run ~warmup:0.0 ~horizon:5.0e5 ~seed:3 inst mp in
+  List.iter
+    (fun (task, empirical, configured) ->
+      Alcotest.(check bool)
+        (Printf.sprintf "task %d empirical %.4f near configured %.4f" task empirical configured)
+        true
+        (Float.abs (empirical -. configured) < 0.01))
+    (Metrics.loss_summary inst mp r)
+
+let test_metrics_report_renders () =
+  let inst = Gen.chain (Rng.create 2) (Gen.default ~tasks:5 ~types:2 ~machines:3) in
+  let mp = Mf_heuristics.Registry.solve Mf_heuristics.Registry.H4w inst in
+  let r = Desim.run ~horizon:1.0e5 ~seed:2 inst mp in
+  let text = Metrics.report inst mp r in
+  Alcotest.(check bool) "mentions bottleneck" true
+    (String.length text > 0
+    &&
+    let rec contains i =
+      i + 10 <= String.length text && (String.sub text i 10 = "bottleneck" || contains (i + 1))
+    in
+    contains 0)
+
+let () =
+  Alcotest.run "mf_sim"
+    [
+      ( "calendar",
+        [
+          Alcotest.test_case "order" `Quick test_calendar_order;
+          Alcotest.test_case "fifo ties" `Quick test_calendar_fifo_on_ties;
+          Alcotest.test_case "bad time" `Quick test_calendar_rejects_bad_time;
+        ] );
+      ( "deterministic",
+        [
+          Alcotest.test_case "two-stage line" `Quick test_sim_no_failures_throughput;
+          Alcotest.test_case "single machine" `Quick test_sim_single_machine_sum;
+        ] );
+      ( "stochastic",
+        [
+          Alcotest.test_case "matches analytic" `Slow test_sim_matches_analytic_with_failures;
+          Alcotest.test_case "matches analytic on join" `Slow test_sim_matches_analytic_on_join;
+          Alcotest.test_case "loss rates" `Slow test_sim_empirical_loss_rates;
+          Alcotest.test_case "consumption" `Quick test_sim_consumed_exceeds_outputs;
+          Alcotest.test_case "determinism" `Quick test_sim_deterministic;
+          Alcotest.test_case "event stream" `Quick test_sim_event_stream_sane;
+          Alcotest.test_case "validation" `Quick test_sim_validation;
+        ] );
+      ( "blocking",
+        [
+          Alcotest.test_case "capacity blocks" `Quick test_sim_buffer_capacity_blocks;
+          Alcotest.test_case "throughput monotone" `Quick test_sim_buffer_capacity_throughput_monotone;
+          Alcotest.test_case "validation" `Quick test_sim_buffer_capacity_validation;
+        ] );
+      ( "metrics",
+        [
+          Alcotest.test_case "utilisation" `Quick test_metrics_utilisation;
+          Alcotest.test_case "loss summary" `Quick test_metrics_loss_summary;
+          Alcotest.test_case "report" `Quick test_metrics_report_renders;
+        ] );
+      ("props", List.map QCheck_alcotest.to_alcotest [ prop_sim_close_to_analytic ]);
+    ]

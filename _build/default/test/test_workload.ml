@@ -1,0 +1,105 @@
+(* Tests for mf_workload: generator ranges, type coverage, determinism. *)
+
+module Gen = Mf_workload.Gen
+module Instance = Mf_core.Instance
+module Workflow = Mf_core.Workflow
+module Rng = Mf_prng.Rng
+
+let test_default_params () =
+  let p = Gen.default ~tasks:10 ~types:3 ~machines:5 in
+  Alcotest.(check (float 0.0)) "w_min" 100.0 p.Gen.w_min;
+  Alcotest.(check (float 0.0)) "w_max" 1000.0 p.Gen.w_max;
+  Alcotest.(check (float 0.0)) "f_min" 0.005 p.Gen.f_min;
+  Alcotest.(check (float 0.0)) "f_max" 0.02 p.Gen.f_max;
+  let hi = Gen.with_high_failures p in
+  Alcotest.(check (float 0.0)) "high f_max" 0.1 hi.Gen.f_max;
+  Alcotest.(check (float 0.0)) "high f_min" 0.0 hi.Gen.f_min
+
+let test_chain_shape () =
+  let inst = Gen.chain (Rng.create 1) (Gen.default ~tasks:12 ~types:4 ~machines:6) in
+  Alcotest.(check int) "n" 12 (Instance.task_count inst);
+  Alcotest.(check int) "p" 4 (Instance.type_count inst);
+  Alcotest.(check int) "m" 6 (Instance.machines inst);
+  Alcotest.(check bool) "chain" true (Workflow.is_chain (Instance.workflow inst))
+
+let test_ranges_respected () =
+  let inst = Gen.chain (Rng.create 2) (Gen.default ~tasks:20 ~types:5 ~machines:8) in
+  for i = 0 to 19 do
+    for u = 0 to 7 do
+      let w = Instance.w inst i u and f = Instance.f inst i u in
+      Alcotest.(check bool) "w in range" true (w >= 100.0 && w < 1000.0);
+      Alcotest.(check bool) "f in range" true (f >= 0.005 && f < 0.02)
+    done
+  done
+
+let test_type_coverage () =
+  (* Every type must appear even when p = n. *)
+  for seed = 1 to 20 do
+    let inst = Gen.chain (Rng.create seed) (Gen.default ~tasks:6 ~types:6 ~machines:6) in
+    Alcotest.(check int) "all types used" 6 (Instance.type_count inst)
+  done
+
+let test_determinism () =
+  let params = Gen.default ~tasks:10 ~types:3 ~machines:4 in
+  let a = Gen.chain (Rng.create 42) params in
+  let b = Gen.chain (Rng.create 42) params in
+  for i = 0 to 9 do
+    for u = 0 to 3 do
+      Alcotest.(check (float 0.0)) "same w" (Instance.w a i u) (Instance.w b i u);
+      Alcotest.(check (float 0.0)) "same f" (Instance.f a i u) (Instance.f b i u)
+    done
+  done
+
+let test_task_attached () =
+  let params =
+    { (Gen.default ~tasks:8 ~types:2 ~machines:5) with Gen.task_attached_failures = true }
+  in
+  let inst = Gen.chain (Rng.create 3) params in
+  Alcotest.(check bool) "f task-attached" true (Instance.failures_task_attached inst)
+
+let test_in_tree_valid () =
+  for seed = 1 to 10 do
+    let inst = Gen.in_tree (Rng.create seed) (Gen.default ~tasks:15 ~types:4 ~machines:6) in
+    let wf = Instance.workflow inst in
+    (* Single sink at task n-1, everything flows forward. *)
+    Alcotest.(check (list int)) "single sink" [ 14 ] (Workflow.sinks wf);
+    for i = 0 to 13 do
+      match Workflow.successor wf i with
+      | None -> Alcotest.fail "non-final task without successor"
+      | Some j -> Alcotest.(check bool) "forward edge" true (j > i)
+    done
+  done
+
+let test_validation_errors () =
+  Alcotest.check_raises "types > tasks" (Invalid_argument "Gen: need 1 <= types <= tasks")
+    (fun () -> ignore (Gen.chain (Rng.create 1) (Gen.default ~tasks:2 ~types:3 ~machines:5)));
+  let bad = { (Gen.default ~tasks:2 ~types:1 ~machines:2) with Gen.f_max = 1.0 } in
+  Alcotest.check_raises "f range" (Invalid_argument "Gen: bad f range") (fun () ->
+      ignore (Gen.chain (Rng.create 1) bad))
+
+let prop_types_array_coverage =
+  QCheck.Test.make ~name:"gen: types_array covers all types" ~count:200
+    QCheck.(triple (int_range 0 10000) (int_range 1 30) (int_range 1 8))
+    (fun (seed, n, p_raw) ->
+      let p = min p_raw n in
+      let types = Gen.types_array (Rng.create seed) ~tasks:n ~types:p in
+      let used = Array.make p false in
+      Array.iter (fun ty -> used.(ty) <- true) types;
+      Array.length types = n && Array.for_all Fun.id used)
+
+let () =
+  Alcotest.run "mf_workload"
+    [
+      ( "gen",
+        [
+          Alcotest.test_case "defaults" `Quick test_default_params;
+          Alcotest.test_case "chain shape" `Quick test_chain_shape;
+          Alcotest.test_case "ranges" `Quick test_ranges_respected;
+          Alcotest.test_case "type coverage" `Quick test_type_coverage;
+          Alcotest.test_case "determinism" `Quick test_determinism;
+          Alcotest.test_case "task-attached failures" `Quick test_task_attached;
+          Alcotest.test_case "in-tree validity" `Quick test_in_tree_valid;
+          Alcotest.test_case "validation" `Quick test_validation_errors;
+        ] );
+      ("gen-props", List.map QCheck_alcotest.to_alcotest [ prop_types_array_coverage ]);
+    ]
