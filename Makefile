@@ -1,0 +1,23 @@
+# Minimal CI entry points. `make verify` is what the gate runs.
+# No ocamlformat in the toolchain image — formatting is by convention
+# (see DESIGN.md §5), so there is no fmt target.
+
+.PHONY: all build test verify bench clean
+
+all: build
+
+build:
+	dune build
+
+test:
+	dune runtest
+
+verify:
+	dune build && dune runtest
+
+# Full benchmark run (figures + BENCH_eval.json + bechamel micro-benchmarks).
+bench:
+	dune exec bench/main.exe
+
+clean:
+	dune clean

@@ -7,7 +7,9 @@
      --quick        3 replicates instead of the paper's 30/100
      --only LIST    only the listed figures (e.g. --only fig5,fig9)
      --skip-micro   skip the bechamel micro-benchmark section
-     --skip-ablation skip the ablation section *)
+     --skip-ablation skip the ablation section
+     --skip-eval    skip the incremental-evaluation benchmark
+                    (which also writes machine-readable BENCH_eval.json) *)
 
 module Figures = Mf_experiments.Figures
 module Report = Mf_experiments.Report
@@ -22,6 +24,7 @@ let quick = ref false
 let only : string list ref = ref []
 let skip_micro = ref false
 let skip_ablation = ref false
+let skip_eval = ref false
 
 let parse_args () =
   let rec go = function
@@ -37,6 +40,9 @@ let parse_args () =
       go rest
     | "--skip-ablation" :: rest ->
       skip_ablation := true;
+      go rest
+    | "--skip-eval" :: rest ->
+      skip_eval := true;
       go rest
     | arg :: _ ->
       Printf.eprintf "unknown argument %s\n" arg;
@@ -202,6 +208,115 @@ let simulator_validation () =
     [ (1, 4); (2, 8); (3, 12); (4, 16) ]
 
 (* ------------------------------------------------------------------ *)
+(* Incremental evaluation benchmark                                     *)
+(* ------------------------------------------------------------------ *)
+
+(* Candidate-move evaluation: the old local search scored each candidate
+   with a from-scratch Period.period (O(n + m)); Mf_eval.State.try_move
+   re-evaluates only the move's footprint.  Both are timed over the full
+   task-move neighbourhood of the same mapping, then the end-to-end local
+   search is timed through both paths. *)
+let bench_eval () =
+  section "Incremental evaluation: Mf_eval.State vs full recomputation";
+  let module State = Mf_eval.State in
+  let module Mapping = Mf_core.Mapping in
+  let module Local_search = Mf_heuristics.Local_search in
+  (* A random in-tree (the paper's application model): upstream subtrees
+     are small on average, which is what the O(subtree) re-evaluation
+     exploits.  A linear chain is the worst case - the subtree of a move
+     averages n/2 - and is reported alongside for honesty. *)
+  let n = 60 and p = 5 and m = 20 in
+  let inst = Gen.in_tree (Rng.create 42) (Gen.default ~tasks:n ~types:p ~machines:m) in
+  let reps = if !quick then 10 else 100 in
+  let sink = ref 0.0 in
+  (* Time the whole task-move neighbourhood: once scored by from-scratch
+     Period.period on a mutated allocation, once through State.try_move. *)
+  let neighbourhood_rates inst =
+    let mp = Registry.solve Registry.H4w inst in
+    let a = Mapping.to_array mp in
+    let st = State.of_mapping inst mp in
+    let t0 = Sys.time () in
+    let evals = ref 0 in
+    for _ = 1 to reps do
+      for i = 0 to n - 1 do
+        let original = a.(i) in
+        for u = 0 to m - 1 do
+          if u <> original then begin
+            a.(i) <- u;
+            sink := !sink +. Period.period inst (Mapping.of_array inst a);
+            incr evals
+          end
+        done;
+        a.(i) <- original
+      done
+    done;
+    let full_s = Sys.time () -. t0 in
+    let t0 = Sys.time () in
+    for _ = 1 to reps do
+      for i = 0 to n - 1 do
+        let original = State.machine_of st i in
+        for u = 0 to m - 1 do
+          if u <> original then
+            sink := !sink +. State.try_move st ~task:i ~machine:u
+        done
+      done
+    done;
+    let inc_s = Sys.time () -. t0 in
+    let evals = float_of_int !evals in
+    (evals, evals /. full_s, evals /. inc_s)
+  in
+  let evals, full_rate, inc_rate = neighbourhood_rates inst in
+  let eval_speedup = inc_rate /. full_rate in
+  Printf.printf
+    "  candidate-move evaluation (in-tree, n=%d, p=%d, m=%d, %.0f evals each):\n\
+    \    full recomputation   %12.0f evals/s\n\
+    \    incremental          %12.0f evals/s\n\
+    \    speedup              %12.1fx\n"
+    n p m evals full_rate inc_rate eval_speedup;
+  let chain = Gen.chain (Rng.create 42) (Gen.default ~tasks:n ~types:p ~machines:m) in
+  let _, chain_full, chain_inc = neighbourhood_rates chain in
+  Printf.printf
+    "  worst case (linear chain, subtree ~ n/2): %.0f vs %.0f evals/s, %.1fx\n"
+    chain_full chain_inc (chain_inc /. chain_full);
+  (* End-to-end steepest descent, reference vs incremental. *)
+  let start = Registry.solve ~seed:1 Registry.H1 inst in
+  let t0 = Sys.time () in
+  let ref_mp = Local_search.improve_reference inst start in
+  let ref_s = Sys.time () -. t0 in
+  let t0 = Sys.time () in
+  let inc_mp = Local_search.improve inst start in
+  let ls_inc_s = Sys.time () -. t0 in
+  let p_ref = Period.period inst ref_mp and p_inc = Period.period inst inc_mp in
+  let periods_match = Float.abs (p_inc -. p_ref) <= 1e-9 *. p_ref in
+  Printf.printf
+    "  local search end-to-end (H1 start):\n\
+    \    reference            %12.3f s  (period %.1f ms)\n\
+    \    incremental          %12.3f s  (period %.1f ms)\n\
+    \    speedup              %12.1fx   periods match: %b\n"
+    ref_s p_ref ls_inc_s p_inc (ref_s /. ls_inc_s) periods_match;
+  let json = "BENCH_eval.json" in
+  let oc = open_out json in
+  Printf.fprintf oc
+    "{\n\
+    \  \"instance\": { \"tasks\": %d, \"types\": %d, \"machines\": %d, \"application\": \"in-tree\" },\n\
+    \  \"candidate_evals\": %.0f,\n\
+    \  \"full_evals_per_sec\": %.1f,\n\
+    \  \"incremental_evals_per_sec\": %.1f,\n\
+    \  \"candidate_eval_speedup\": %.2f,\n\
+    \  \"chain_eval_speedup\": %.2f,\n\
+    \  \"local_search_reference_s\": %.6f,\n\
+    \  \"local_search_incremental_s\": %.6f,\n\
+    \  \"local_search_speedup\": %.2f,\n\
+    \  \"local_search_periods_match\": %b\n\
+     }\n"
+    n p m evals full_rate inc_rate eval_speedup
+    (chain_inc /. chain_full)
+    ref_s ls_inc_s (ref_s /. ls_inc_s) periods_match;
+  close_out oc;
+  Printf.printf "  (machine-readable copy written to %s)\n" json;
+  ignore !sink
+
+(* ------------------------------------------------------------------ *)
 (* Bechamel micro-benchmarks                                            *)
 (* ------------------------------------------------------------------ *)
 
@@ -297,5 +412,6 @@ let () =
     ablation_reconfiguration ();
     simulator_validation ()
   end;
+  if not !skip_eval then bench_eval ();
   if not !skip_micro then micro_benchmarks ();
   print_newline ()

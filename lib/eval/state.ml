@@ -1,0 +1,525 @@
+module Instance = Mf_core.Instance
+module Workflow = Mf_core.Workflow
+module Mapping = Mf_core.Mapping
+module Products = Mf_core.Products
+module Kahan = Mf_numeric.Kahan
+
+(* Undo journal entries.  [Assigned] is the lightweight O(1) record of a
+   backward-order assignment (the branch-and-bound hot path); [Bulk] covers
+   moves and swaps, whose footprint is exactly the set of x entries and
+   machine loads the operation touched.  The assign/tcount/ntasks lists are
+   head-most-recent, so restoring them front to back rewinds duplicated
+   indices correctly. *)
+type op =
+  | Assigned of {
+      task : int;
+      machine : int;
+      prev_sum : float;
+      prev_comp : float;
+      prev_extra : float;
+      prev_period : float;
+    }
+  | Bulk of {
+      xs : (int * float) array; (* task, previous x *)
+      loads : (int * float * float) array; (* machine, previous (sum, comp) *)
+      assigns : (int * int) list; (* task, previous machine *)
+      tcounts : (int * int) list; (* flat (machine, type) index, previous count *)
+      ntasks : (int * int) list; (* machine, previous task count *)
+      prev_period : float;
+      prev_valid : bool;
+    }
+
+type t = {
+  inst : Instance.t;
+  wf : Workflow.t;
+  n : int;
+  m : int;
+  p : int;
+  order : int array; (* backward order: successors first *)
+  assign : int array; (* task -> machine, -1 = unassigned *)
+  x : float array; (* product counts; nan when unassigned *)
+  load : Kahan.t array; (* per-machine compensated loads *)
+  extra : float array; (* flat costs injected via assign_task ?extra *)
+  tcount : int array; (* (u * p + ty) -> tasks of type ty on u *)
+  ntasks : int array; (* tasks per machine *)
+  mutable period : float; (* cached max load; meaningful when valid *)
+  mutable period_valid : bool;
+  mutable journal : op list;
+  mutable depth : int;
+  (* Evaluation scratch, reused across calls so try_* allocates nothing.
+     Stamps compare against a generation counter instead of being cleared. *)
+  mutable mgen : int;
+  mstamp : int array; (* machine -> generation of last touch *)
+  mold : float array; (* load total at touch time *)
+  mdelta : float array; (* accumulated tentative load delta *)
+  touched : int array; (* touched machine indices *)
+  mutable n_touched : int;
+  mutable tgen : int;
+  tstamp : int array; (* task -> generation (affected set) *)
+  xnew : float array; (* tentative new x of affected tasks *)
+  aff : int array; (* affected tasks *)
+  mutable n_aff : int;
+  stack : int array; (* DFS stack over predecessors *)
+}
+
+let create inst =
+  let n = Instance.task_count inst and m = Instance.machines inst in
+  let p = Instance.type_count inst in
+  {
+    inst;
+    wf = Instance.workflow inst;
+    n;
+    m;
+    p;
+    order = Workflow.backward_order (Instance.workflow inst);
+    assign = Array.make n (-1);
+    x = Array.make n nan;
+    load = Array.init m (fun _ -> Kahan.create ());
+    extra = Array.make m 0.0;
+    tcount = Array.make (m * p) 0;
+    ntasks = Array.make m 0;
+    period = 0.0;
+    period_valid = true;
+    journal = [];
+    depth = 0;
+    mgen = 0;
+    mstamp = Array.make m 0;
+    mold = Array.make m 0.0;
+    mdelta = Array.make m 0.0;
+    touched = Array.make m 0;
+    n_touched = 0;
+    tgen = 0;
+    tstamp = Array.make n 0;
+    xnew = Array.make n nan;
+    aff = Array.make n 0;
+    n_aff = 0;
+    stack = Array.make n 0;
+  }
+
+let check_task t i = if i < 0 || i >= t.n then invalid_arg "State: task out of range"
+let check_machine t u = if u < 0 || u >= t.m then invalid_arg "State: machine out of range"
+let instance t = t.inst
+
+let machine_of t i =
+  check_task t i;
+  t.assign.(i)
+
+let x t i =
+  check_task t i;
+  t.x.(i)
+
+let machine_load t u =
+  check_machine t u;
+  Kahan.total t.load.(u)
+
+let tasks_on t u =
+  check_machine t u;
+  t.ntasks.(u)
+
+let hosts_type t ~machine ~ty =
+  check_machine t machine;
+  if ty < 0 || ty >= t.p then invalid_arg "State: type out of range";
+  t.tcount.((machine * t.p) + ty) > 0
+
+let move_allowed t ~task ~machine =
+  check_task t task;
+  check_machine t machine;
+  let ty = Workflow.ttype t.wf task in
+  let own = if t.assign.(task) = machine then 1 else 0 in
+  t.ntasks.(machine) - own = t.tcount.((machine * t.p) + ty) - own
+
+let refresh_period t =
+  if not t.period_valid then begin
+    let mx = ref 0.0 in
+    for u = 0 to t.m - 1 do
+      let lu = Kahan.total t.load.(u) in
+      if lu > !mx then mx := lu
+    done;
+    t.period <- !mx;
+    t.period_valid <- true
+  end
+
+let period t =
+  refresh_period t;
+  t.period
+
+let is_complete t = Array.for_all (fun u -> u >= 0) t.assign
+let to_array t = Array.copy t.assign
+
+let mapping t =
+  if not (is_complete t) then invalid_arg "State.mapping: incomplete assignment";
+  Mapping.of_array t.inst t.assign
+
+let undo_depth t = t.depth
+
+let reset t =
+  Array.fill t.assign 0 t.n (-1);
+  Array.fill t.x 0 t.n nan;
+  Array.iter Kahan.reset t.load;
+  Array.fill t.extra 0 t.m 0.0;
+  Array.fill t.tcount 0 (t.m * t.p) 0;
+  Array.fill t.ntasks 0 t.m 0;
+  t.period <- 0.0;
+  t.period_valid <- true;
+  t.journal <- [];
+  t.depth <- 0
+
+let of_mapping inst mp =
+  let t = create inst in
+  let xs = Products.x inst mp in
+  (* Loads accumulate in increasing task order, exactly like
+     [Period.machine_periods], so the initial period is bit-identical. *)
+  for i = 0 to t.n - 1 do
+    let u = Mapping.machine mp i in
+    t.assign.(i) <- u;
+    t.x.(i) <- xs.(i);
+    Kahan.add t.load.(u) (xs.(i) *. Instance.w inst i u);
+    let ti = (u * t.p) + Workflow.ttype t.wf i in
+    t.tcount.(ti) <- t.tcount.(ti) + 1;
+    t.ntasks.(u) <- t.ntasks.(u) + 1
+  done;
+  t.period_valid <- false;
+  refresh_period t;
+  t
+
+(* ------------------------------------------------------------------ *)
+(* Backward-order assignment                                           *)
+(* ------------------------------------------------------------------ *)
+
+let x_succ t task =
+  match Workflow.successor t.wf task with
+  | None -> 1.0
+  | Some j ->
+    if t.assign.(j) < 0 then invalid_arg "State: successor not yet assigned"
+    else t.x.(j)
+
+let x_candidate t ~task ~machine =
+  check_task t task;
+  check_machine t machine;
+  x_succ t task /. (1.0 -. Instance.f t.inst task machine)
+
+let try_assign ?(extra = 0.0) t ~task ~machine =
+  let xc = x_candidate t ~task ~machine in
+  machine_load t machine +. (xc *. Instance.w t.inst task machine) +. extra
+
+let assign_task ?(extra = 0.0) t ~task ~machine =
+  check_task t task;
+  check_machine t machine;
+  if t.assign.(task) >= 0 then invalid_arg "State.assign_task: task already assigned";
+  let xi = x_succ t task /. (1.0 -. Instance.f t.inst task machine) in
+  refresh_period t;
+  let prev_sum, prev_comp = Kahan.snapshot t.load.(machine) in
+  let op =
+    Assigned
+      {
+        task;
+        machine;
+        prev_sum;
+        prev_comp;
+        prev_extra = t.extra.(machine);
+        prev_period = t.period;
+      }
+  in
+  t.assign.(task) <- machine;
+  t.x.(task) <- xi;
+  Kahan.add t.load.(machine) ((xi *. Instance.w t.inst task machine) +. extra);
+  t.extra.(machine) <- t.extra.(machine) +. extra;
+  let ti = (machine * t.p) + Workflow.ttype t.wf task in
+  t.tcount.(ti) <- t.tcount.(ti) + 1;
+  t.ntasks.(machine) <- t.ntasks.(machine) + 1;
+  (* Loads only grow under assignment, so the cached max updates in O(1). *)
+  let lu = Kahan.total t.load.(machine) in
+  if lu > t.period then t.period <- lu;
+  t.journal <- op :: t.journal;
+  t.depth <- t.depth + 1
+
+(* ------------------------------------------------------------------ *)
+(* Tentative evaluation machinery                                      *)
+(* ------------------------------------------------------------------ *)
+
+let begin_eval t =
+  t.mgen <- t.mgen + 1;
+  t.n_touched <- 0;
+  t.tgen <- t.tgen + 1;
+  t.n_aff <- 0
+
+let touch t v =
+  if t.mstamp.(v) <> t.mgen then begin
+    t.mstamp.(v) <- t.mgen;
+    t.mold.(v) <- Kahan.total t.load.(v);
+    t.mdelta.(v) <- 0.0;
+    t.touched.(t.n_touched) <- v;
+    t.n_touched <- t.n_touched + 1
+  end
+
+let stamp_task t j xj' =
+  if t.tstamp.(j) <> t.tgen then begin
+    t.tstamp.(j) <- t.tgen;
+    t.aff.(t.n_aff) <- j;
+    t.n_aff <- t.n_aff + 1
+  end;
+  t.xnew.(j) <- xj'
+
+(* Tentative system period from the scratch deltas.  When none of the
+   touched machines attained the cached maximum, the untouched maximum is
+   the cached period itself and no scan is needed; otherwise one O(m) pass
+   over the untouched machines recovers it. *)
+let tentative_period t =
+  refresh_period t;
+  let mx = ref 0.0 in
+  let touched_had_max = ref false in
+  for k = 0 to t.n_touched - 1 do
+    let v = t.touched.(k) in
+    if t.mold.(v) >= t.period then touched_had_max := true;
+    let nv = t.mold.(v) +. t.mdelta.(v) in
+    if nv > !mx then mx := nv
+  done;
+  if not !touched_had_max then Float.max t.period !mx
+  else begin
+    let best = ref !mx in
+    for v = 0 to t.m - 1 do
+      if t.mstamp.(v) <> t.mgen then begin
+        let lv = Kahan.total t.load.(v) in
+        if lv > !best then best := lv
+      end
+    done;
+    Float.max 0.0 !best
+  end
+
+(* Walk the upstream subtree of [task] for a move to [machine].  Every x
+   in the subtree is the product of the per-task factors on its path to
+   the sink; only [task]'s factor changes, so they all scale by the same
+   ratio [r].  Unassigned tasks (partial states) are skipped: by the
+   downstream-closure invariant their whole upstream cone is unassigned. *)
+let eval_move t ~task ~machine =
+  check_task t task;
+  check_machine t machine;
+  if t.assign.(task) < 0 then invalid_arg "State: task not assigned";
+  begin_eval t;
+  let old_u = t.assign.(task) in
+  let r =
+    (1.0 -. Instance.f t.inst task old_u) /. (1.0 -. Instance.f t.inst task machine)
+  in
+  let xi = t.x.(task) in
+  let xi' = xi *. r in
+  stamp_task t task xi';
+  touch t old_u;
+  t.mdelta.(old_u) <- t.mdelta.(old_u) -. (xi *. Instance.w t.inst task old_u);
+  touch t machine;
+  t.mdelta.(machine) <- t.mdelta.(machine) +. (xi' *. Instance.w t.inst task machine);
+  let sp = ref 0 in
+  let push j =
+    t.stack.(!sp) <- j;
+    incr sp
+  in
+  List.iter push (Workflow.predecessors t.wf task);
+  while !sp > 0 do
+    decr sp;
+    let j = t.stack.(!sp) in
+    if t.assign.(j) >= 0 then begin
+      let v = t.assign.(j) in
+      let xj = t.x.(j) in
+      let xj' = xj *. r in
+      stamp_task t j xj';
+      touch t v;
+      t.mdelta.(v) <- t.mdelta.(v) +. ((xj' -. xj) *. Instance.w t.inst j v);
+      List.iter push (Workflow.predecessors t.wf j)
+    end
+  done
+
+(* Group swap: every assigned task on [u] or [v] changes machine, and any
+   task whose successor's x changed must be re-derived too.  One pass in
+   backward order visits successors before predecessors. *)
+let eval_swap t ~u ~v =
+  check_machine t u;
+  check_machine t v;
+  begin_eval t;
+  for k = 0 to t.n - 1 do
+    let j = t.order.(k) in
+    let uj = t.assign.(j) in
+    if uj >= 0 then begin
+      let nj = if uj = u then v else if uj = v then u else uj in
+      let succ_affected =
+        match Workflow.successor t.wf j with
+        | None -> false
+        | Some s -> t.tstamp.(s) = t.tgen
+      in
+      if nj <> uj || succ_affected then begin
+        let xs =
+          match Workflow.successor t.wf j with
+          | None -> 1.0
+          | Some s -> if t.tstamp.(s) = t.tgen then t.xnew.(s) else t.x.(s)
+        in
+        let xj' = xs /. (1.0 -. Instance.f t.inst j nj) in
+        stamp_task t j xj';
+        touch t uj;
+        t.mdelta.(uj) <- t.mdelta.(uj) -. (t.x.(j) *. Instance.w t.inst j uj);
+        touch t nj;
+        t.mdelta.(nj) <- t.mdelta.(nj) +. (xj' *. Instance.w t.inst j nj)
+      end
+    end
+  done
+
+let try_move t ~task ~machine =
+  eval_move t ~task ~machine;
+  tentative_period t
+
+let try_swap t ~u ~v =
+  eval_swap t ~u ~v;
+  tentative_period t
+
+(* Commit the scratch evaluation: journal the touched footprint, write the
+   new x values, fold each machine's aggregated delta into its compensated
+   load, and apply the assignment changes ([changes] lists task ->
+   new machine; entries whose machine is unchanged are ignored). *)
+let commit t changes =
+  let xs =
+    Array.init t.n_aff (fun k ->
+        let j = t.aff.(k) in
+        (j, t.x.(j)))
+  in
+  let loads =
+    Array.init t.n_touched (fun k ->
+        let v = t.touched.(k) in
+        let s, c = Kahan.snapshot t.load.(v) in
+        (v, s, c))
+  in
+  let assigns = ref [] and tcounts = ref [] and ntasks = ref [] in
+  List.iter
+    (fun (i, nu) ->
+      let ou = t.assign.(i) in
+      if nu <> ou then begin
+        let ty = Workflow.ttype t.wf i in
+        assigns := (i, ou) :: !assigns;
+        t.assign.(i) <- nu;
+        let oi = (ou * t.p) + ty and ni = (nu * t.p) + ty in
+        tcounts := (oi, t.tcount.(oi)) :: !tcounts;
+        t.tcount.(oi) <- t.tcount.(oi) - 1;
+        tcounts := (ni, t.tcount.(ni)) :: !tcounts;
+        t.tcount.(ni) <- t.tcount.(ni) + 1;
+        ntasks := (ou, t.ntasks.(ou)) :: !ntasks;
+        t.ntasks.(ou) <- t.ntasks.(ou) - 1;
+        ntasks := (nu, t.ntasks.(nu)) :: !ntasks;
+        t.ntasks.(nu) <- t.ntasks.(nu) + 1
+      end)
+    changes;
+  for k = 0 to t.n_aff - 1 do
+    let j = t.aff.(k) in
+    t.x.(j) <- t.xnew.(j)
+  done;
+  for k = 0 to t.n_touched - 1 do
+    let v = t.touched.(k) in
+    Kahan.add t.load.(v) t.mdelta.(v)
+  done;
+  t.journal <-
+    Bulk
+      {
+        xs;
+        loads;
+        assigns = !assigns;
+        tcounts = !tcounts;
+        ntasks = !ntasks;
+        prev_period = t.period;
+        prev_valid = t.period_valid;
+      }
+    :: t.journal;
+  t.depth <- t.depth + 1;
+  t.period_valid <- false
+
+let apply_move t ~task ~machine =
+  eval_move t ~task ~machine;
+  commit t [ (task, machine) ]
+
+let apply_swap t ~u ~v =
+  eval_swap t ~u ~v;
+  let changes = ref [] in
+  for k = 0 to t.n_aff - 1 do
+    let j = t.aff.(k) in
+    if t.assign.(j) = u then changes := (j, v) :: !changes
+    else if t.assign.(j) = v then changes := (j, u) :: !changes
+  done;
+  commit t !changes
+
+let undo t =
+  match t.journal with
+  | [] -> invalid_arg "State.undo: empty journal"
+  | op :: rest ->
+    t.journal <- rest;
+    t.depth <- t.depth - 1;
+    (match op with
+    | Assigned { task; machine; prev_sum; prev_comp; prev_extra; prev_period } ->
+      t.assign.(task) <- -1;
+      t.x.(task) <- nan;
+      Kahan.restore t.load.(machine) (prev_sum, prev_comp);
+      t.extra.(machine) <- prev_extra;
+      let ti = (machine * t.p) + Workflow.ttype t.wf task in
+      t.tcount.(ti) <- t.tcount.(ti) - 1;
+      t.ntasks.(machine) <- t.ntasks.(machine) - 1;
+      t.period <- prev_period;
+      t.period_valid <- true
+    | Bulk b ->
+      Array.iter (fun (j, xv) -> t.x.(j) <- xv) b.xs;
+      Array.iter (fun (v, s, c) -> Kahan.restore t.load.(v) (s, c)) b.loads;
+      List.iter (fun (i, ou) -> t.assign.(i) <- ou) b.assigns;
+      List.iter (fun (idx, c) -> t.tcount.(idx) <- c) b.tcounts;
+      List.iter (fun (u, c) -> t.ntasks.(u) <- c) b.ntasks;
+      t.period <- b.prev_period;
+      t.period_valid <- b.prev_valid)
+
+(* ------------------------------------------------------------------ *)
+(* Consistency check (debug/test)                                      *)
+(* ------------------------------------------------------------------ *)
+
+let check ?(tol = 1e-9) t =
+  let fail fmt = Printf.ksprintf failwith fmt in
+  let close a b = Float.abs (a -. b) <= tol *. Float.max 1.0 (Float.abs b) in
+  let x_ref = Array.make t.n nan in
+  Array.iter
+    (fun i ->
+      if t.assign.(i) >= 0 then begin
+        let u = t.assign.(i) in
+        let downstream =
+          match Workflow.successor t.wf i with
+          | None -> 1.0
+          | Some j ->
+            if t.assign.(j) < 0 then
+              fail "State.check: task %d assigned but its successor %d is not" i j
+            else x_ref.(j)
+        in
+        x_ref.(i) <- downstream /. (1.0 -. Instance.f t.inst i u);
+        if not (close t.x.(i) x_ref.(i)) then
+          fail "State.check: x(%d) drifted: %.17g vs %.17g" i t.x.(i) x_ref.(i)
+      end)
+    t.order;
+  let acc = Array.init t.m (fun _ -> Kahan.create ()) in
+  for i = 0 to t.n - 1 do
+    let u = t.assign.(i) in
+    if u >= 0 then Kahan.add acc.(u) (x_ref.(i) *. Instance.w t.inst i u)
+  done;
+  let ref_count = Array.make (t.m * t.p) 0 and ref_ntasks = Array.make t.m 0 in
+  for i = 0 to t.n - 1 do
+    let u = t.assign.(i) in
+    if u >= 0 then begin
+      let ti = (u * t.p) + Workflow.ttype t.wf i in
+      ref_count.(ti) <- ref_count.(ti) + 1;
+      ref_ntasks.(u) <- ref_ntasks.(u) + 1
+    end
+  done;
+  let max_load = ref 0.0 in
+  for u = 0 to t.m - 1 do
+    let expect = Kahan.total acc.(u) +. t.extra.(u) in
+    let got = Kahan.total t.load.(u) in
+    if not (close got expect) then
+      fail "State.check: load(%d) drifted: %.17g vs %.17g" u got expect;
+    if got > !max_load then max_load := got;
+    if t.ntasks.(u) <> ref_ntasks.(u) then
+      fail "State.check: ntasks(%d) = %d, expected %d" u t.ntasks.(u) ref_ntasks.(u);
+    for ty = 0 to t.p - 1 do
+      let ti = (u * t.p) + ty in
+      if t.tcount.(ti) <> ref_count.(ti) then
+        fail "State.check: tcount(%d, %d) = %d, expected %d" u ty t.tcount.(ti)
+          ref_count.(ti)
+    done
+  done;
+  if t.period_valid && not (close t.period !max_load) then
+    fail "State.check: cached period %.17g, loads say %.17g" t.period !max_load

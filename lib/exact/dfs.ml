@@ -3,6 +3,7 @@ module Workflow = Mf_core.Workflow
 module Mapping = Mf_core.Mapping
 module Period = Mf_core.Period
 module Registry = Mf_heuristics.Registry
+module State = Mf_eval.State
 
 type result = { mapping : Mf_core.Mapping.t; period : float; optimal : bool; nodes : int }
 
@@ -100,9 +101,9 @@ let solve ?(node_budget = 20_000_000) ?(setup = 0.0) ~rule inst =
   (* The incumbent is specialized (or injective), so it pays no setup. *)
   let seed_p = seed_p0 in
   let best_mp = ref seed_mp and best_p = ref seed_p in
-  let a = Array.make n (-1) in
-  let x = Array.make n nan in
-  let load = Array.make m 0.0 in
+  (* x, allocation and load bookkeeping live in the shared incremental
+     state; assignments are journalled and backtracked with State.undo. *)
+  let st = State.create inst in
   (* For Specialized: type a machine is locked to (-1 = free); for
      One_to_one: any non-negative value marks the machine taken; unused for
      General. *)
@@ -128,43 +129,41 @@ let solve ?(node_budget = 20_000_000) ?(setup = 0.0) ~rule inst =
     else if k = n then begin
       if current_max < !best_p then begin
         best_p := current_max;
-        best_mp := Mapping.of_array inst a
+        best_mp := State.mapping st
       end
     end
     else begin
       let task = order.(k) in
       let ty = Workflow.ttype wf task in
-      let x_succ = match Workflow.successor wf task with None -> 1.0 | Some j -> x.(j) in
       let candidates = ref [] in
       for u = m - 1 downto 0 do
         if machine_allowed u ty then begin
-          let xi = x_succ /. (1.0 -. Instance.f inst task u) in
-          let exec = load.(u) +. (xi *. Instance.w inst task u) +. setup_cost u ty in
-          if exec < !best_p then candidates := (exec, u, xi) :: !candidates
+          (* The reconfiguration penalty is folded into the load via
+             [~extra], so deeper levels and the leaf period see it. *)
+          let extra = setup_cost u ty in
+          let exec = State.try_assign st ~extra ~task ~machine:u in
+          if exec < !best_p then candidates := (exec, u, extra) :: !candidates
         end
       done;
       let sorted = List.sort (fun (e1, _, _) (e2, _, _) -> Float.compare e1 e2) !candidates in
       List.iter
-        (fun (exec, u, xi) ->
+        (fun (exec, u, extra) ->
           if (not !exhausted) && exec < !best_p
              && Float.max (Float.max current_max exec) suffix_lb.(k + 1) < !best_p
           then begin
             incr nodes;
-            let saved_ded = dedicated.(u) and saved_load = load.(u) in
+            let saved_ded = dedicated.(u) in
             let saved_types = hosted_types.(u) in
             (match rule with
             | Mapping.Specialized | Mapping.One_to_one -> dedicated.(u) <- ty
             | Mapping.General ->
               if not (List.mem ty hosted_types.(u)) then
                 hosted_types.(u) <- ty :: hosted_types.(u));
-            load.(u) <- exec;
-            a.(task) <- u;
-            x.(task) <- xi;
+            State.assign_task st ~extra ~task ~machine:u;
             go (k + 1) (Float.max current_max exec);
+            State.undo st;
             dedicated.(u) <- saved_ded;
-            load.(u) <- saved_load;
-            hosted_types.(u) <- saved_types;
-            a.(task) <- -1
+            hosted_types.(u) <- saved_types
           end)
         sorted
     end

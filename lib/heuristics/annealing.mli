@@ -19,8 +19,21 @@ type params = {
 val default_params : params
 
 (** [run ?params rng inst mp] anneals from the given specialized mapping.
+    Proposals are scored incrementally through {!Mf_eval.State}; accepted
+    ones are committed with [apply_move]/[apply_swap].
     @raise Invalid_argument if [mp] is not specialized for [inst]. *)
 val run :
+  ?params:params ->
+  Mf_prng.Rng.t ->
+  Mf_core.Instance.t ->
+  Mf_core.Mapping.t ->
+  Mf_core.Mapping.t
+
+(** [run_reference] is the original implementation scoring every proposal
+    by a from-scratch [Period.period].  It consumes the RNG draw for draw
+    like {!run} and, up to floating-point noise, follows the same
+    trajectory; kept for differential testing and benchmarking. *)
+val run_reference :
   ?params:params ->
   Mf_prng.Rng.t ->
   Mf_core.Instance.t ->

@@ -1,14 +1,16 @@
 module Instance = Mf_core.Instance
 module Workflow = Mf_core.Workflow
-module Mapping = Mf_core.Mapping
+module State = Mf_eval.State
 
+(* The x/load bookkeeping lives in the shared incremental-evaluation state
+   (Mf_eval.State); the engine keeps only what is specific to the
+   backward-assignment heuristics: the specialized-rule dedication of
+   machines to types and the feasibility reservation counters. *)
 type t = {
   inst : Instance.t;
   order : int array;
+  st : State.t;
   dedicated : int array; (* machine -> type, or -1 *)
-  load : float array;
-  x : float array; (* product counts of assigned tasks *)
-  assignment : int array; (* task -> machine, or -1 *)
   type_covered : bool array;
   mutable free_machines : int;
   mutable n_types_to_go : int;
@@ -22,10 +24,8 @@ let create inst =
   {
     inst;
     order = Workflow.backward_order (Instance.workflow inst);
+    st = State.create inst;
     dedicated = Array.make m (-1);
-    load = Array.make m 0.0;
-    x = Array.make (Instance.task_count inst) nan;
-    assignment = Array.make (Instance.task_count inst) (-1);
     type_covered = Array.make p false;
     free_machines = m;
     n_types_to_go = p;
@@ -35,8 +35,9 @@ let instance eng = eng.inst
 let order eng = Array.copy eng.order
 
 let load eng u =
-  if u < 0 || u >= Array.length eng.load then invalid_arg "Engine.load: machine out of range";
-  eng.load.(u)
+  if u < 0 || u >= Array.length eng.dedicated then
+    invalid_arg "Engine.load: machine out of range";
+  State.machine_load eng.st u
 
 let dedicated eng u =
   if u < 0 || u >= Array.length eng.dedicated then
@@ -47,15 +48,15 @@ let x_succ eng task =
   match Workflow.successor (Instance.workflow eng.inst) task with
   | None -> 1.0
   | Some j ->
-    if eng.assignment.(j) < 0 then
+    if State.machine_of eng.st j < 0 then
       invalid_arg "Engine: successor not yet assigned (backward order violated)"
-    else eng.x.(j)
+    else State.x eng.st j
 
 let x_candidate eng ~task ~machine =
   x_succ eng task /. (1.0 -. Instance.f eng.inst task machine)
 
 let exec_if eng ~task ~machine =
-  eng.load.(machine)
+  State.machine_load eng.st machine
   +. (x_candidate eng ~task ~machine *. Instance.w eng.inst task machine)
 
 let eligible eng ~task ~machine =
@@ -71,11 +72,14 @@ let eligible_machines eng ~task =
     (List.init (Instance.machines eng.inst) Fun.id)
 
 let assign eng ~task ~machine =
-  if eng.assignment.(task) >= 0 then invalid_arg "Engine.assign: task already assigned";
+  if State.machine_of eng.st task >= 0 then
+    invalid_arg "Engine.assign: task already assigned";
   if not (eligible eng ~task ~machine) then
     invalid_arg "Engine.assign: machine not eligible for this task";
   let ty = Workflow.ttype (Instance.workflow eng.inst) task in
-  let x = x_candidate eng ~task ~machine in
+  (* Raises the engine's backward-order diagnostic when the successor is
+     still unassigned, before the state is touched. *)
+  ignore (x_succ eng task);
   if eng.dedicated.(machine) < 0 then begin
     eng.dedicated.(machine) <- ty;
     eng.free_machines <- eng.free_machines - 1;
@@ -84,23 +88,19 @@ let assign eng ~task ~machine =
       eng.n_types_to_go <- eng.n_types_to_go - 1
     end
   end;
-  eng.x.(task) <- x;
-  eng.assignment.(task) <- machine;
-  eng.load.(machine) <- eng.load.(machine) +. (x *. Instance.w eng.inst task machine)
+  State.assign_task eng.st ~task ~machine
 
 let reset eng =
+  State.reset eng.st;
   Array.fill eng.dedicated 0 (Array.length eng.dedicated) (-1);
-  Array.fill eng.load 0 (Array.length eng.load) 0.0;
-  Array.fill eng.x 0 (Array.length eng.x) nan;
-  Array.fill eng.assignment 0 (Array.length eng.assignment) (-1);
   Array.fill eng.type_covered 0 (Array.length eng.type_covered) false;
   eng.free_machines <- Instance.machines eng.inst;
   eng.n_types_to_go <- Instance.type_count eng.inst
 
 let mapping eng =
-  if Array.exists (fun u -> u < 0) eng.assignment then
+  if not (State.is_complete eng.st) then
     invalid_arg "Engine.mapping: incomplete assignment";
-  Mapping.of_array eng.inst eng.assignment
+  State.mapping eng.st
 
 let free_machines eng = eng.free_machines
 let types_to_go eng = eng.n_types_to_go

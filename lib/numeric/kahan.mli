@@ -17,6 +17,15 @@ val total : t -> float
 (** [reset acc] clears the accumulator back to [0.0]. *)
 val reset : t -> unit
 
+(** [snapshot acc] is the internal (running sum, compensation) pair, for
+    callers that must save and later {e exactly} restore accumulator state
+    — the incremental evaluator's undo journal. *)
+val snapshot : t -> float * float
+
+(** [restore acc s] resets [acc] to a state previously captured with
+    {!snapshot}. *)
+val restore : t -> float * float -> unit
+
 (** [sum xs] is the compensated sum of an array. *)
 val sum : float array -> float
 

@@ -32,7 +32,19 @@ let of_float f =
     if e >= 0 then of_bigint (Bigint.shift_left mi e)
     else make mi (Bigint.shift_left Bigint.one (-e))
 
-let to_float x = Bigint.to_float x.num /. Bigint.to_float x.den
+let to_float x =
+  (* The naive [num /. den] turns into inf /. inf = nan once either side
+     exceeds the float range (products over deep chains reach thousands of
+     bits).  Truncate both sides to their top 128 bits and rescale: each
+     operand keeps a relative error below 2^-127, and ldexp handles the
+     genuine overflow/underflow cases correctly. *)
+  let bn = Bigint.bit_length x.num and bd = Bigint.bit_length x.den in
+  let sn = Stdlib.max 0 (bn - 128) and sd = Stdlib.max 0 (bd - 128) in
+  let q =
+    Bigint.to_float (Bigint.shift_right x.num sn)
+    /. Bigint.to_float (Bigint.shift_right x.den sd)
+  in
+  Float.ldexp q (sn - sd)
 let num x = x.num
 let den x = x.den
 let sign x = Bigint.sign x.num

@@ -195,6 +195,25 @@ let test_local_search_fixed_point_of_optimum () =
   let improved = Local_search.improve inst opt_mp in
   Alcotest.(check (float 1e-9)) "optimum unchanged" opt (Period.period inst improved)
 
+(* The incremental search must follow the reference full-recomputation
+   search move for move: same enumeration order, same tie-breaking, and
+   x/load deltas exact enough that no comparison flips. *)
+let test_local_search_matches_reference () =
+  for seed = 1 to 8 do
+    let inst = make_instance ~seed ~n:20 ~p:4 ~m:8 () in
+    let mp = Registry.solve ~seed Registry.H1 inst in
+    let inc = Local_search.improve inst mp in
+    let reference = Local_search.improve_reference inst mp in
+    Alcotest.(check (array int))
+      (Printf.sprintf "same mapping (seed %d)" seed)
+      (Mapping.to_array reference) (Mapping.to_array inc);
+    let pi = Period.period inst inc and pr = Period.period inst reference in
+    Alcotest.(check bool)
+      (Printf.sprintf "same period (seed %d)" seed)
+      true
+      (Float.abs (pi -. pr) <= 1e-9 *. pr)
+  done
+
 (* ------------------------------------------------------------------ *)
 (* Prose variants of H2/H3                                             *)
 (* ------------------------------------------------------------------ *)
@@ -267,6 +286,25 @@ let test_annealing_rejects_invalid_start () =
     | _ -> Alcotest.fail "expected Invalid_argument"
   end
 
+(* Same contract as the local-search differential test: the incremental
+   annealer consumes the RNG draw for draw like the reference one, so on a
+   shared seed both follow the same trajectory. *)
+let test_annealing_matches_reference () =
+  for seed = 1 to 6 do
+    let inst = make_instance ~seed ~n:15 ~p:3 ~m:6 () in
+    let mp = Registry.solve ~seed Registry.H1 inst in
+    let inc = Annealing.run (Rng.create (seed * 7)) inst mp in
+    let reference = Annealing.run_reference (Rng.create (seed * 7)) inst mp in
+    (* Ulp-level differences in the evaluated period can snapshot the best
+       state at a different step, yielding a machine-relabelled mapping
+       with the same period - so compare periods, not allocations. *)
+    let pi = Period.period inst inc and pr = Period.period inst reference in
+    Alcotest.(check bool)
+      (Printf.sprintf "same period (seed %d)" seed)
+      true
+      (Float.abs (pi -. pr) <= 1e-9 *. pr)
+  done
+
 let test_annealing_deterministic_given_rng () =
   let inst = make_instance ~seed:4 ~n:12 ~p:3 ~m:5 () in
   let mp = Registry.solve Registry.H3 inst in
@@ -333,6 +371,7 @@ let () =
         [
           Alcotest.test_case "never degrades" `Quick test_local_search_never_degrades;
           Alcotest.test_case "optimum is a fixed point" `Quick test_local_search_fixed_point_of_optimum;
+          Alcotest.test_case "matches reference" `Quick test_local_search_matches_reference;
         ] );
       ( "h2-variants",
         [
@@ -343,6 +382,7 @@ let () =
         [
           Alcotest.test_case "never degrades" `Quick test_annealing_never_degrades;
           Alcotest.test_case "improves H1" `Slow test_annealing_improves_h1_on_average;
+          Alcotest.test_case "matches reference" `Quick test_annealing_matches_reference;
           Alcotest.test_case "rejects invalid start" `Quick test_annealing_rejects_invalid_start;
           Alcotest.test_case "deterministic" `Quick test_annealing_deterministic_given_rng;
         ] );

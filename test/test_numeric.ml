@@ -234,6 +234,36 @@ let test_rat_of_float () =
   Alcotest.check_raises "nan" (Invalid_argument "Rat.of_float: not finite") (fun () ->
       ignore (R.of_float Float.nan))
 
+(* to_float must stay accurate when numerator and denominator individually
+   overflow the float range (thousands of bits): the naive num/.den would
+   yield inf/inf = nan. *)
+let test_rat_to_float_huge () =
+  let pow r k = R.make (B.pow (R.num r) k) (B.pow (R.den r) k) in
+  let float_pow f k =
+    let acc = ref 1.0 in
+    for _ = 1 to k do
+      acc := !acc *. f
+    done;
+    !acc
+  in
+  (* (1/3)^150 ~ 1e-72: both sides huge, value tiny but representable. *)
+  let small = R.to_float (pow (R.of_ints 1 3) 150) in
+  let expect = float_pow (1.0 /. 3.0) 150 in
+  Alcotest.(check bool) "tiny quotient" true
+    (Float.abs (small -. expect) <= 1e-12 *. expect);
+  (* (10/3)^150 ~ 1e78: huge on both sides, quotient large. *)
+  let big = R.to_float (pow (R.of_ints 10 3) 150) in
+  let expect = float_pow (10.0 /. 3.0) 150 in
+  Alcotest.(check bool) "large quotient" true
+    (Float.abs (big -. expect) <= 1e-12 *. expect);
+  (* Genuine overflow / underflow must saturate, not go nan. *)
+  Alcotest.(check bool) "overflow is inf" true
+    (R.to_float (pow (R.of_ints 10 3) 2000) = Float.infinity);
+  Alcotest.(check bool) "underflow is zero" true
+    (R.to_float (pow (R.of_ints 3 10) 2000) = 0.0);
+  Alcotest.(check bool) "negative sign kept" true
+    (R.to_float (pow (R.of_ints (-10) 3) 151) < 0.0)
+
 let test_rat_string () =
   check_r "parse frac" "7/3" (R.of_string "7/3");
   check_r "parse int" "-4" (R.of_string "-4");
@@ -394,6 +424,7 @@ let () =
           Alcotest.test_case "arithmetic" `Quick test_rat_arith;
           Alcotest.test_case "compare" `Quick test_rat_compare;
           Alcotest.test_case "of_float" `Quick test_rat_of_float;
+          Alcotest.test_case "to_float huge" `Quick test_rat_to_float_huge;
           Alcotest.test_case "strings" `Quick test_rat_string;
         ] );
       qsuite "rat-props"
