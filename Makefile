@@ -2,7 +2,7 @@
 # No ocamlformat in the toolchain image — formatting is by convention
 # (see DESIGN.md §5), so there is no fmt target.
 
-.PHONY: all build test verify bench clean
+.PHONY: all build test verify bench bench-quick clean
 
 all: build
 
@@ -12,12 +12,24 @@ build:
 test:
 	dune runtest
 
+# Gate: build + tests, then the parallel-determinism check — the same
+# experiment grid at --jobs 1 and --jobs 4 must produce byte-identical CSV.
 verify:
 	dune build && dune runtest
+	dune exec bin/mfopt.exe -- experiment fig6 --replicates 2 --jobs 1 --csv > _build/verify_j1.csv
+	dune exec bin/mfopt.exe -- experiment fig6 --replicates 2 --jobs 4 --csv > _build/verify_j4.csv
+	cmp _build/verify_j1.csv _build/verify_j4.csv
+	@echo "verify OK: tests green, --jobs 1 and --jobs 4 byte-identical"
 
-# Full benchmark run (figures + BENCH_eval.json + bechamel micro-benchmarks).
+# Full benchmark run (figures + BENCH_eval.json + BENCH_parallel.json +
+# bechamel micro-benchmarks).
 bench:
 	dune exec bench/main.exe
+
+# Small-size benchmark: quick figure grids plus the parallel section,
+# skipping the slow bechamel micro-benchmarks.
+bench-quick:
+	dune exec bench/main.exe -- --quick --skip-micro
 
 clean:
 	dune clean

@@ -9,7 +9,9 @@
      --skip-micro   skip the bechamel micro-benchmark section
      --skip-ablation skip the ablation section
      --skip-eval    skip the incremental-evaluation benchmark
-                    (which also writes machine-readable BENCH_eval.json) *)
+                    (which also writes machine-readable BENCH_eval.json)
+     --skip-parallel skip the multicore-runner benchmark
+                    (which also writes machine-readable BENCH_parallel.json) *)
 
 module Figures = Mf_experiments.Figures
 module Report = Mf_experiments.Report
@@ -25,6 +27,7 @@ let only : string list ref = ref []
 let skip_micro = ref false
 let skip_ablation = ref false
 let skip_eval = ref false
+let skip_parallel = ref false
 
 let parse_args () =
   let rec go = function
@@ -43,6 +46,9 @@ let parse_args () =
       go rest
     | "--skip-eval" :: rest ->
       skip_eval := true;
+      go rest
+    | "--skip-parallel" :: rest ->
+      skip_parallel := true;
       go rest
     | arg :: _ ->
       Printf.eprintf "unknown argument %s\n" arg;
@@ -169,8 +175,9 @@ let ablation_h2_interpretations () =
 let ablation_reconfiguration () =
   section "Ablation: reconfiguration costs vs general mappings (Section 6 remark)";
   Printf.printf
-    "exact general-mapping optimum (with a per-extra-type setup penalty) vs the\n\
-     exact specialized optimum; mean over 8 instances (n=6, p=3, m=3)\n";
+    "exact general-mapping optimum (cyclic setup penalty: k type switches per\n\
+     period on a k-type machine) vs the exact specialized optimum; mean over 8\n\
+     instances (n=6, p=3, m=3)\n";
   let trials = 8 in
   let spec = ref 0.0 in
   let insts =
@@ -317,6 +324,74 @@ let bench_eval () =
   ignore !sink
 
 (* ------------------------------------------------------------------ *)
+(* Multicore experiment-runner benchmark                                *)
+(* ------------------------------------------------------------------ *)
+
+(* End-to-end wall-clock time of a fig5-shaped figure grid (the heaviest
+   heuristic-only fan-out of Section 7) through the experiment runner at
+   1/2/4/8 domains.  CPU time is useless here - domains sum into it - so
+   this section is the one place the bench reads the wall clock.  The
+   serial figure is the reference: every parallel run must reproduce it
+   bit-for-bit, which is asserted, recorded in the JSON and printed. *)
+let bench_parallel () =
+  section "Multicore runner: Mf_parallel.Pool speedup over the serial grid";
+  let xs = if !quick then [ 50; 80 ] else List.init 11 (fun i -> 50 + (10 * i)) in
+  let replicates = if !quick then 3 else 30 in
+  let run_grid ~jobs =
+    Runner.run ~id:"bench-par" ~title:"fig5-shaped grid" ~x_label:"tasks" ~jobs ~xs ~replicates
+      ~gen:(fun ~x ~seed ->
+        Gen.chain (Rng.create seed) (Gen.default ~tasks:x ~types:5 ~machines:50))
+      ~algos:(List.map Runner.heuristic Registry.all)
+      ()
+  in
+  let time_grid ~jobs =
+    let t0 = Unix.gettimeofday () in
+    let fig = run_grid ~jobs in
+    (fig, Unix.gettimeofday () -. t0)
+  in
+  let cores = Mf_parallel.Pool.default_jobs () in
+  Printf.printf
+    "  grid: n in {%s}, %d replicates x %d algorithms per point; %d cores recommended\n"
+    (String.concat ", " (List.map string_of_int xs))
+    replicates (List.length Registry.all) cores;
+  let serial, serial_s = time_grid ~jobs:1 in
+  Printf.printf "  %-8s %10s %10s %12s\n" "jobs" "wall (s)" "speedup" "identical";
+  Printf.printf "  %-8d %10.3f %10s %12s\n" 1 serial_s "1.00x" "reference";
+  let rows =
+    List.map
+      (fun jobs ->
+        let fig, secs = time_grid ~jobs in
+        let identical = Stdlib.compare serial fig = 0 in
+        Printf.printf "  %-8d %10.3f %9.2fx %12b\n" jobs secs (serial_s /. secs) identical;
+        (jobs, secs, identical))
+      [ 2; 4; 8 ]
+  in
+  let all_identical = List.for_all (fun (_, _, ok) -> ok) rows in
+  Printf.printf "  (all parallel figures byte-identical to the serial one: %b)\n" all_identical;
+  let json = "BENCH_parallel.json" in
+  let oc = open_out json in
+  Printf.fprintf oc
+    "{\n\
+    \  \"grid\": { \"xs\": [%s], \"replicates\": %d, \"algos\": %d, \"machines\": 50, \"types\": 5 },\n\
+    \  \"recommended_domain_count\": %d,\n\
+    \  \"serial_s\": %.6f,\n\
+    \  \"runs\": [\n%s\n  ],\n\
+    \  \"all_identical_to_serial\": %b\n\
+     }\n"
+    (String.concat ", " (List.map string_of_int xs))
+    replicates (List.length Registry.all) cores serial_s
+    (String.concat ",\n"
+       (List.map
+          (fun (jobs, secs, identical) ->
+            Printf.sprintf
+              "    { \"jobs\": %d, \"wall_s\": %.6f, \"speedup\": %.3f, \"identical\": %b }"
+              jobs secs (serial_s /. secs) identical)
+          rows))
+    all_identical;
+  close_out oc;
+  Printf.printf "  (machine-readable copy written to %s)\n" json
+
+(* ------------------------------------------------------------------ *)
 (* Bechamel micro-benchmarks                                            *)
 (* ------------------------------------------------------------------ *)
 
@@ -413,5 +488,6 @@ let () =
     simulator_validation ()
   end;
   if not !skip_eval then bench_eval ();
+  if not !skip_parallel then bench_parallel ();
   if not !skip_micro then micro_benchmarks ();
   print_newline ()

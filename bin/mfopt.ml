@@ -134,7 +134,9 @@ let solve_cmd =
     Arg.(
       value & opt float 0.0
       & info [ "setup" ] ~docv:"MS"
-          ~doc:"Reconfiguration time per extra task type on a machine (general rule).")
+          ~doc:
+            "Reconfiguration time per type switch (general rule): a machine cycling through \
+             k >= 2 task types pays k switches per period.")
   in
   let local_search =
     Arg.(value & flag & info [ "local-search" ] ~doc:"Post-optimise with local search.")
@@ -168,7 +170,7 @@ let solve_cmd =
         Printf.printf "       (%s rule, %s after %d nodes%s)\n" (Mapping.rule_name rule)
           (if r.Mf_exact.Dfs.optimal then "proved optimal" else "node budget exhausted")
           r.Mf_exact.Dfs.nodes
-          (if setup > 0.0 then Printf.sprintf ", %.0fms setup per extra type" setup else "")
+          (if setup > 0.0 then Printf.sprintf ", %.0fms setup per type switch" setup else "")
       | exception Invalid_argument msg -> Printf.printf "exact solver unavailable: %s\n" msg
     end;
     if x_out > 0 then
@@ -251,8 +253,21 @@ let experiment_cmd =
       & info [ "replicates" ] ~docv:"R" ~doc:"Replicates per point (default: the paper's).")
   in
   let csv = Arg.(value & flag & info [ "csv" ] ~doc:"CSV output instead of a table.") in
-  let run figure replicates csv =
-    match List.assoc_opt figure (Mf_experiments.Figures.all ?replicates ()) with
+  let jobs =
+    Arg.(
+      value
+      & opt int (Mf_parallel.Pool.default_jobs ())
+      & info [ "j"; "jobs" ] ~docv:"N"
+          ~doc:
+            "Worker domains for the replicate grid (default: the recommended domain count; \
+             1 forces serial execution).  Figures are byte-identical for any value.")
+  in
+  let run figure replicates csv jobs =
+    if jobs < 1 then begin
+      Printf.eprintf "--jobs must be at least 1\n";
+      exit 2
+    end;
+    match List.assoc_opt figure (Mf_experiments.Figures.all ?replicates ~jobs ()) with
     | None ->
       Printf.eprintf "unknown figure %s (fig5..fig12)\n" figure;
       exit 2
@@ -262,7 +277,7 @@ let experiment_cmd =
       else print_string (Mf_experiments.Report.to_string fig)
   in
   let doc = "Regenerate one of the paper's figures." in
-  Cmd.v (Cmd.info "experiment" ~doc) Term.(const run $ figure $ replicates $ csv)
+  Cmd.v (Cmd.info "experiment" ~doc) Term.(const run $ figure $ replicates $ csv $ jobs)
 
 (* ------------------------------------------------------------------ *)
 (* lp                                                                   *)

@@ -45,7 +45,12 @@ let with_setup inst mp ~setup =
       List.sort_uniq Stdlib.compare
         (List.map (Workflow.ttype wf) (Mapping.tasks_on mp ~u))
     in
-    let reconfigurations = Stdlib.max 0 (List.length types - 1) in
+    (* Cyclic steady state: a machine serving k >= 2 distinct types cycles
+       through them and back to the first every period — k switches, not
+       k-1 (the one-pass count, which forgets the switch closing the
+       cycle).  Dfs's general-rule search charges the same convention. *)
+    let k = List.length types in
+    let reconfigurations = if k >= 2 then k else 0 in
     worst := Float.max !worst (periods.(u) +. (float_of_int reconfigurations *. setup))
   done;
   !worst

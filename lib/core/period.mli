@@ -28,11 +28,15 @@ val period_exact : Instance.t -> Mapping.t -> Mf_numeric.Rat.t
 val period_with_x : Instance.t -> Mapping.t -> float array -> float
 
 (** [with_setup inst mp ~setup] is the system period when a machine running
-    several task {e types} must be reconfigured between types: each type
-    beyond the first on a machine adds [setup] time units to that machine's
-    period (the machine batches its work by type once per produced unit).
-    Specialized and one-to-one mappings are unaffected.  This quantifies the
-    paper's Section 6 remark that general mappings are impractical "because
-    of the unaffordable reconfiguration costs".
+    several task {e types} must be reconfigured between types.  In the
+    cyclic steady state a machine batching [k >= 2] distinct types cycles
+    through them and back to its first type every period, so it pays
+    [k * setup] time units per period ([k] switches — including the one
+    closing the cycle — not the one-pass [k - 1]).  Machines hosting a
+    single type (hence specialized and one-to-one mappings) are unaffected.
+    [Exact.Dfs.general ~setup] charges the same convention, and a unit test
+    pins the two against each other.  This quantifies the paper's Section 6
+    remark that general mappings are impractical "because of the
+    unaffordable reconfiguration costs".
     @raise Invalid_argument if [setup < 0]. *)
 val with_setup : Instance.t -> Mapping.t -> setup:float -> float

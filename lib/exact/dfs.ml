@@ -67,23 +67,43 @@ let check_rule_feasible rule inst =
       invalid_arg "Dfs: fewer machines than tasks - no one-to-one mapping exists"
   | Mapping.General -> ()
 
-let incumbent rule inst =
+(* Every task on the single machine minimising the resulting penalised
+   period — the only heuristic-free general mapping always available, used
+   when m < p leaves the specialized heuristics infeasible. *)
+let best_single_machine ~setup inst =
+  let n = Instance.task_count inst and m = Instance.machines inst in
+  let best = ref None in
+  for u = 0 to m - 1 do
+    let mp = Mapping.of_array inst (Array.make n u) in
+    let p = Period.with_setup inst mp ~setup in
+    match !best with
+    | Some (_, bp) when bp <= p -> ()
+    | _ -> best := Some (mp, p)
+  done;
+  match !best with Some r -> r | None -> assert false
+
+let incumbent ~setup rule inst =
   match rule with
   | Mapping.One_to_one ->
     let mp = greedy_one_to_one inst in
     (mp, Period.period inst mp)
   | Mapping.Specialized | Mapping.General ->
-    (* A specialized mapping is also a valid general mapping. *)
-    let pick =
-      List.fold_left
-        (fun acc h ->
-          let mp = Registry.solve h inst in
-          let p = Period.period inst mp in
-          match acc with Some (_, bp) when bp <= p -> acc | _ -> Some (mp, p))
-        None
-        [ Registry.H2; Registry.H3; Registry.H4w ]
-    in
-    (match pick with Some r -> r | None -> assert false)
+    if rule = Mapping.General && Instance.machines inst < Instance.type_count inst then
+      best_single_machine ~setup inst
+    else begin
+      (* A specialized mapping is also a valid general mapping, and hosts
+         one type per machine so it pays no setup. *)
+      let pick =
+        List.fold_left
+          (fun acc h ->
+            let mp = Registry.solve h inst in
+            let p = Period.period inst mp in
+            match acc with Some (_, bp) when bp <= p -> acc | _ -> Some (mp, p))
+          None
+          [ Registry.H2; Registry.H3; Registry.H4w ]
+      in
+      match pick with Some r -> r | None -> assert false
+    end
 
 let solve ?(node_budget = 20_000_000) ?(setup = 0.0) ~rule inst =
   if setup < 0.0 then invalid_arg "Dfs.solve: negative setup time";
@@ -97,9 +117,7 @@ let solve ?(node_budget = 20_000_000) ?(setup = 0.0) ~rule inst =
   for k = n - 1 downto 0 do
     suffix_lb.(k) <- Float.max suffix_lb.(k + 1) contrib_lb.(order.(k))
   done;
-  let seed_mp, seed_p0 = incumbent rule inst in
-  (* The incumbent is specialized (or injective), so it pays no setup. *)
-  let seed_p = seed_p0 in
+  let seed_mp, seed_p = incumbent ~setup rule inst in
   let best_mp = ref seed_mp and best_p = ref seed_p in
   (* x, allocation and load bookkeeping live in the shared incremental
      state; assignments are journalled and backtracked with State.undo. *)
@@ -111,10 +129,19 @@ let solve ?(node_budget = 20_000_000) ?(setup = 0.0) ~rule inst =
   (* Distinct types currently hosted per machine (General rule only, for
      the reconfiguration penalty). *)
   let hosted_types = Array.make m [] in
+  (* Cyclic steady-state convention (see Period.with_setup): a machine
+     ending up with k >= 2 distinct types pays k switches per period.
+     Charged incrementally as types arrive: the second distinct type costs
+     2*setup (the switch to it and the switch closing the cycle), each
+     further one costs setup — totals telescope to k*setup. *)
   let setup_cost u ty =
     if rule <> Mapping.General || setup = 0.0 then 0.0
-    else if hosted_types.(u) = [] || List.mem ty hosted_types.(u) then 0.0
-    else setup
+    else
+      match hosted_types.(u) with
+      | [] -> 0.0
+      | tys when List.mem ty tys -> 0.0
+      | [ _ ] -> 2.0 *. setup
+      | _ -> setup
   in
   let nodes = ref 0 in
   let exhausted = ref false in

@@ -40,11 +40,14 @@ val solve :
 val specialized : ?node_budget:int -> Mf_core.Instance.t -> result
 
 (** [general ?node_budget ?setup inst] is [solve ~rule:General].  With
-    [setup > 0], each additional task {e type} hosted by a machine adds
-    [setup] time units to its period (see
-    {!Mf_core.Period.with_setup}) and the search optimises the penalised
-    period — quantifying when reconfiguration costs erase the advantage of
-    general mappings. *)
+    [setup > 0], a machine hosting [k >= 2] distinct task {e types} pays
+    [k * setup] time units per period — the cyclic steady-state convention
+    of {!Mf_core.Period.with_setup}, with which the reported period agrees
+    exactly — and the search optimises the penalised period, quantifying
+    when reconfiguration costs erase the advantage of general mappings.
+    Unlike the other rules, [m >= p] is {e not} required: when the
+    specialized heuristics cannot seed the incumbent, the best
+    single-machine mapping does. *)
 val general : ?node_budget:int -> ?setup:float -> Mf_core.Instance.t -> result
 
 (** [one_to_one ?node_budget inst] is [solve ~rule:One_to_one]. *)

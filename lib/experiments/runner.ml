@@ -39,31 +39,51 @@ let exact_dfs ~node_budget =
         if r.Mf_exact.Dfs.optimal then Some r.Mf_exact.Dfs.period else None);
   }
 
-let derive_seed ~id ~x ~rep =
-  let sm = Mf_prng.Splitmix64.create (Int64.of_int (Hashtbl.hash (id, x, rep))) in
-  Int64.to_int (Int64.logand (Mf_prng.Splitmix64.next sm) 0x3FFFFFFFFFFFFFFFL)
+(* One Splitmix64 finalisation per absorbed word.  The finaliser is a
+   bijection of [acc xor v], so every absorbed byte/integer feeds the full
+   64-bit state — unlike [Hashtbl.hash], which folds to 30 bits and
+   collides across (x, rep) pairs, silently correlating replicates. *)
+let absorb acc v =
+  Mf_prng.Splitmix64.next (Mf_prng.Splitmix64.create (Int64.logxor acc v))
 
-let run ~id ~title ~x_label ?(notes = []) ~xs ~replicates ~gen ~algos () =
+let derive_seed ~id ~x ~rep =
+  (* Absorbing the length first domain-separates the id bytes from the
+     x/rep integers ("fig51", x=0 must not alias "fig5", x=10). *)
+  let acc = ref (absorb 0x6D61702D72756E65L (Int64.of_int (String.length id))) in
+  String.iter (fun c -> acc := absorb !acc (Int64.of_int (Char.code c))) id;
+  acc := absorb !acc (Int64.of_int x);
+  acc := absorb !acc (Int64.of_int rep);
+  Int64.to_int (Int64.logand !acc 0x3FFFFFFFFFFFFFFFL)
+
+let run ~id ~title ~x_label ?(notes = []) ?(jobs = 1) ~xs ~replicates ~gen ~algos () =
+  let algos = Array.of_list algos in
+  let n_algos = Array.length algos in
+  Mf_parallel.Pool.with_pool ~domains:jobs @@ fun pool ->
   let points =
     List.map
       (fun x ->
-        let per_algo = List.map (fun (a : algo) -> (a, Array.make replicates None)) algos in
-        for rep = 0 to replicates - 1 do
-          let seed = derive_seed ~id ~x ~rep in
-          let inst = gen ~x ~seed in
-          List.iter (fun (a, slots) -> slots.(rep) <- a.solve inst ~seed) per_algo
-        done;
+        (* One unit of work per (algorithm, replicate) cell of the grid.
+           Each unit rederives its seed and regenerates its instance, so it
+           is a pure function of (id, x, rep) and the results — placed by
+           index — are identical for any pool size. *)
+        let units = Array.init (n_algos * replicates) Fun.id in
+        let slots =
+          Mf_parallel.Pool.map_array pool units ~f:(fun k ->
+              let rep = k mod replicates in
+              let seed = derive_seed ~id ~x ~rep in
+              let inst = gen ~x ~seed in
+              algos.(k / replicates).solve inst ~seed)
+        in
         let cells =
-          List.map
-            (fun ((a : algo), slots) ->
+          List.init n_algos (fun ai ->
+              let values = Array.sub slots (ai * replicates) replicates in
               {
-                label = a.label;
-                values = slots;
+                label = algos.(ai).label;
+                values;
                 successes =
-                  Array.fold_left (fun acc v -> if Option.is_some v then acc + 1 else acc) 0 slots;
+                  Array.fold_left (fun acc v -> if Option.is_some v then acc + 1 else acc) 0 values;
                 trials = replicates;
               })
-            per_algo
         in
         { x; cells })
       xs

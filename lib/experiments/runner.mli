@@ -49,12 +49,21 @@ val exact_dfs : node_budget:int -> algo
 
 (** [run ~id ~title ~x_label ~xs ~replicates ~gen ~algos ()] runs the full
     grid.  [gen] receives the x value and a derived seed and must return
-    the instance. *)
+    the instance.
+
+    [jobs] (default 1: serial in the calling domain) fans the
+    [replicates x algos] grid of every point out over a
+    {!Mf_parallel.Pool} of that many domains.  Each unit of work derives
+    its own seed from [(id, x, rep)] and regenerates its instance, so the
+    returned figure is {e identical} — same floats, same order — for any
+    [jobs] value; [gen] and the algorithms must be pure functions of their
+    arguments (all of this repository's are). *)
 val run :
   id:string ->
   title:string ->
   x_label:string ->
   ?notes:string list ->
+  ?jobs:int ->
   xs:int list ->
   replicates:int ->
   gen:(x:int -> seed:int -> Mf_core.Instance.t) ->
@@ -63,7 +72,10 @@ val run :
   figure
 
 (** [derive_seed ~id ~x ~rep] is the deterministic instance seed used by
-    {!run} (exposed for tests). *)
+    {!run} (exposed for tests): the figure id's length and bytes, then [x]
+    and [rep], absorbed through successive Splitmix64 finalisations —
+    collision-free on the paper's grids and stable across OCaml versions,
+    unlike the [Hashtbl.hash]-based derivation it replaces. *)
 val derive_seed : id:string -> x:int -> rep:int -> int
 
 (** [mean cell] is the mean period of successful replicates ([nan] when

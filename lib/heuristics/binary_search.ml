@@ -29,7 +29,12 @@ let run inst policy =
   in
   let lo = ref 0.0 and hi = ref upper in
   let rounds = ref 0 in
-  while !hi -. !lo > 1.0 && !rounds < 64 do
+  (* Relative convergence: an absolute 1 ms gap never lets instances with
+     period bounds <= 1 ms into the loop (they would keep the unbounded
+     mapping) and wastes all 64 rounds on large-scale ones.  1e-6 relative
+     closes the bracket in ~20-50 rounds at any scale. *)
+  let rel = 1e-6 in
+  while !hi -. !lo > rel *. !hi && !rounds < 64 do
     incr rounds;
     let mid = !lo +. ((!hi -. !lo) /. 2.0) in
     match try_assign_all eng policy ~budget:mid with

@@ -6,7 +6,12 @@
     candidate period, tasks are assigned backward by a caller-supplied
     policy that must respect the period budget; a successful full
     assignment tightens the upper bound, a failure raises the lower bound.
-    As in the paper, the search stops when the bracket closes below 1 ms. *)
+    The search stops when the bracket closes below a 1e-6 {e relative}
+    tolerance (or after 64 rounds).  The paper stops at an absolute 1 ms,
+    which is scale-dependent: instances whose period bound is below 1 ms
+    would never search at all, and very large ones would burn every round
+    without converging — the relative stop makes the search
+    scale-invariant. *)
 
 (** A policy picks a machine for [task] given the current engine state and
     the period budget, or returns [None] when no machine fits. *)

@@ -1,0 +1,120 @@
+type shared = {
+  mutex : Mutex.t;
+  work_available : Condition.t;
+  queue : (unit -> unit) Queue.t;
+  mutable stop : bool;
+}
+
+type t =
+  | Serial
+  | Parallel of { shared : shared; workers : unit Domain.t array; mutable alive : bool }
+
+let default_jobs () = Domain.recommended_domain_count ()
+
+(* Workers loop on the queue; jobs are closures that never raise (the
+   submitter wraps user code).  The queue lock is never held while a job
+   runs. *)
+let worker shared =
+  let rec next_job () =
+    if not (Queue.is_empty shared.queue) then Some (Queue.pop shared.queue)
+    else if shared.stop then None
+    else begin
+      Condition.wait shared.work_available shared.mutex;
+      next_job ()
+    end
+  in
+  let rec loop () =
+    Mutex.lock shared.mutex;
+    let job = next_job () in
+    Mutex.unlock shared.mutex;
+    match job with
+    | None -> ()
+    | Some job ->
+      job ();
+      loop ()
+  in
+  loop ()
+
+let create ~domains =
+  if domains < 1 then invalid_arg "Pool.create: need at least one domain";
+  if domains = 1 then Serial
+  else begin
+    let shared =
+      {
+        mutex = Mutex.create ();
+        work_available = Condition.create ();
+        queue = Queue.create ();
+        stop = false;
+      }
+    in
+    let workers = Array.init domains (fun _ -> Domain.spawn (fun () -> worker shared)) in
+    Parallel { shared; workers; alive = true }
+  end
+
+let domains = function Serial -> 1 | Parallel { workers; _ } -> Array.length workers
+
+let shutdown = function
+  | Serial -> ()
+  | Parallel p ->
+    if p.alive then begin
+      p.alive <- false;
+      Mutex.lock p.shared.mutex;
+      p.shared.stop <- true;
+      Condition.broadcast p.shared.work_available;
+      Mutex.unlock p.shared.mutex;
+      Array.iter Domain.join p.workers
+    end
+
+let map_array t ~f arr =
+  match t with
+  | Serial -> Array.map f arr
+  | Parallel { alive = false; _ } -> invalid_arg "Pool.map_array: pool has been shut down"
+  | Parallel { shared; _ } ->
+    let n = Array.length arr in
+    if n = 0 then [||]
+    else begin
+      let results = Array.make n None in
+      (* Completion latch and failure list live under their own lock so
+         finishing workers never contend with the queue. *)
+      let latch_mutex = Mutex.create () in
+      let finished = Condition.create () in
+      let remaining = ref n in
+      let failures = ref [] in
+      let unit_of_work i () =
+        (match f arr.(i) with
+        | v -> results.(i) <- Some v
+        | exception e ->
+          let bt = Printexc.get_raw_backtrace () in
+          Mutex.lock latch_mutex;
+          failures := (i, e, bt) :: !failures;
+          Mutex.unlock latch_mutex);
+        Mutex.lock latch_mutex;
+        decr remaining;
+        if !remaining = 0 then Condition.signal finished;
+        Mutex.unlock latch_mutex
+      in
+      Mutex.lock shared.mutex;
+      for i = 0 to n - 1 do
+        Queue.push (unit_of_work i) shared.queue
+      done;
+      Condition.broadcast shared.work_available;
+      Mutex.unlock shared.mutex;
+      Mutex.lock latch_mutex;
+      while !remaining > 0 do
+        Condition.wait finished latch_mutex
+      done;
+      Mutex.unlock latch_mutex;
+      (* The whole batch has drained; report the smallest failing index so
+         the raised exception is scheduling-independent. *)
+      match List.sort (fun (i, _, _) (j, _, _) -> compare i j) !failures with
+      | (_, e, bt) :: _ -> Printexc.raise_with_backtrace e bt
+      | [] ->
+        Array.map (function Some v -> v | None -> assert false) results
+    end
+
+let map_reduce t ~f ~combine ~init arr =
+  Array.fold_left combine init (map_array t ~f arr)
+
+let with_pool ~domains f =
+  let pool = create ~domains in
+  Fun.protect ~finally:(fun () -> shutdown pool) (fun () -> f pool)

@@ -1,0 +1,67 @@
+(** Fixed-size domain pool for deterministic experiment fan-out.
+
+    The pool runs independent units of work on OCaml 5 domains.  It is
+    built for the experiment runner's contract: callers split a grid into
+    {e indexed} tasks whose results land in a pre-sized array by index, so
+    the output of {!map_array} (and anything folded from it with
+    {!map_reduce}) is independent of the number of domains and of the
+    order in which workers drain the queue.  Determinism is the caller's
+    other half of the bargain: each unit of work must be a pure function
+    of its input (in this repository, every unit derives its own PRNG
+    stream from its identity — see [Mf_experiments.Runner.derive_seed]).
+
+    Architecture: [create ~domains:d] spawns [d] worker domains blocked on
+    a mutex/condition work queue ([d = 1] spawns none and runs everything
+    in the calling domain — forced serial).  {!map_array} pushes one
+    closure per element, wakes the workers, and blocks the submitting
+    domain until the per-call completion latch reaches zero.  Worker
+    domains never hold the queue lock while running user code.
+
+    Exceptions raised by units of work are caught on the worker, recorded
+    with their index, and re-raised in the submitting domain after the
+    whole batch has drained (so the pool is left clean); when several
+    units fail, the one with the {e smallest index} wins — again
+    independent of scheduling.
+
+    Calls must not be nested: a unit of work must not itself call
+    {!map_array} on the same pool (the submitting domain does not help
+    drain the queue, so nested submission can deadlock once all workers
+    block on inner batches). *)
+
+type t
+
+(** [default_jobs ()] is [Domain.recommended_domain_count ()] — the
+    default for [--jobs] flags. *)
+val default_jobs : unit -> int
+
+(** [create ~domains] makes a pool of [domains] workers.  [domains = 1]
+    is the forced-serial pool: no domain is spawned and all work runs in
+    the calling domain.
+    @raise Invalid_argument if [domains < 1]. *)
+val create : domains:int -> t
+
+(** [domains t] is the worker count the pool was created with. *)
+val domains : t -> int
+
+(** [map_array t ~f arr] is [Array.map f arr], computed on the pool.
+    Results are written into a pre-sized array by index, so the result is
+    identical for any pool size.  If some [f arr.(i)] raises, the batch
+    still drains completely and the exception of the smallest failing
+    index is re-raised here.
+    @raise Invalid_argument if the pool has been shut down. *)
+val map_array : t -> f:('a -> 'b) -> 'a array -> 'b array
+
+(** [map_reduce t ~f ~combine ~init arr] folds the results of
+    [map_array t ~f arr] left-to-right in index order:
+    [combine (... (combine init r0) ...) r(n-1)].  Deterministic for any
+    pool size, including non-commutative [combine]. *)
+val map_reduce : t -> f:('a -> 'b) -> combine:('acc -> 'b -> 'acc) -> init:'acc -> 'a array -> 'acc
+
+(** [shutdown t] drains nothing: it asks the workers to exit once the
+    queue is empty and joins them.  Idempotent; the pool is unusable
+    afterwards. *)
+val shutdown : t -> unit
+
+(** [with_pool ~domains f] runs [f] on a fresh pool and shuts it down on
+    the way out, whether [f] returns or raises. *)
+val with_pool : domains:int -> (t -> 'a) -> 'a

@@ -266,13 +266,25 @@ let test_period_with_setup () =
       ~w:(Array.make_matrix 3 2 100.0)
       ~f:(Array.make_matrix 3 2 0.0)
   in
-  (* General mapping with two types on M0. *)
+  (* General mapping with two types on M0: in the cyclic steady state the
+     machine switches type0 -> type1 -> type0 every period, two switches. *)
   let mixed = Mapping.of_array inst [| 0; 0; 1 |] in
   let base = Period.period inst mixed in
   Alcotest.(check (float 1e-9)) "setup 0 is plain period" base
     (Period.with_setup inst mixed ~setup:0.0);
-  Alcotest.(check (float 1e-9)) "one reconfiguration" (base +. 50.0)
+  Alcotest.(check (float 1e-9)) "two types cycle: two switches" (base +. 100.0)
     (Period.with_setup inst mixed ~setup:50.0);
+  (* Three types on one machine: three switches per period. *)
+  let wf3 = Workflow.chain ~types:[| 0; 1; 2 |] in
+  let inst3 =
+    Instance.create ~workflow:wf3 ~machines:1
+      ~w:(Array.make_matrix 3 1 100.0)
+      ~f:(Array.make_matrix 3 1 0.0)
+  in
+  let all_on_0 = Mapping.of_array inst3 [| 0; 0; 0 |] in
+  Alcotest.(check (float 1e-9)) "three types: three switches"
+    (Period.period inst3 all_on_0 +. 150.0)
+    (Period.with_setup inst3 all_on_0 ~setup:50.0);
   (* Specialized mapping: no penalty whatever the setup. *)
   let spec = Mapping.of_array inst [| 0; 1; 0 |] in
   Alcotest.(check (float 1e-9)) "specialized unaffected"

@@ -223,6 +223,32 @@ let test_dfs_general_setup_crossover () =
       mid.Dfs.period
   done
 
+(* Pins the setup-accounting convention: on a 2-type/1-machine instance the
+   single machine hosts both types and cycles back to the first every
+   period, so the exact search and Period.with_setup must both charge two
+   switches. *)
+let test_dfs_general_setup_cyclic_convention () =
+  let wf = Workflow.chain ~types:[| 0; 1 |] in
+  let inst =
+    Instance.create ~workflow:wf ~machines:1
+      ~w:[| [| 100.0 |]; [| 200.0 |] |]
+      ~f:[| [| 0.2 |]; [| 0.1 |] |]
+  in
+  let setup = 50.0 in
+  let r = Dfs.general ~setup inst in
+  let mp = Mapping.of_array inst [| 0; 0 |] in
+  (* x_1 = 1/0.9, x_0 = x_1/0.8; load = x_0*100 + x_1*200, plus 2 switches. *)
+  let x1 = 1.0 /. 0.9 in
+  let x0 = x1 /. 0.8 in
+  let expected = (x0 *. 100.0) +. (x1 *. 200.0) +. (2.0 *. setup) in
+  Alcotest.(check bool) "optimal" true r.Dfs.optimal;
+  Alcotest.(check (float 1e-9)) "with_setup charges the cycle" expected
+    (Mf_core.Period.with_setup inst mp ~setup);
+  Alcotest.(check (float 1e-9)) "dfs reports the same penalised period" expected r.Dfs.period;
+  Alcotest.(check (float 1e-9)) "dfs mapping agrees with with_setup"
+    (Mf_core.Period.with_setup inst r.Dfs.mapping ~setup)
+    r.Dfs.period
+
 (* Cross-solver consistency properties. *)
 
 let arb_small_setup =
@@ -347,6 +373,8 @@ let () =
           Alcotest.test_case "rule ordering" `Slow test_dfs_rule_ordering;
           Alcotest.test_case "one-to-one precondition" `Quick test_dfs_one_to_one_requires_machines;
           Alcotest.test_case "reconfiguration crossover" `Slow test_dfs_general_setup_crossover;
+          Alcotest.test_case "setup cyclic convention" `Quick
+            test_dfs_general_setup_cyclic_convention;
         ] );
       ( "reduction",
         [

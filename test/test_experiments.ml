@@ -22,6 +22,41 @@ let test_derive_seed_deterministic () =
     (a <> Runner.derive_seed ~id:"figY" ~x:10 ~rep:3);
   Alcotest.(check bool) "non-negative" true (a >= 0)
 
+(* The previous Hashtbl.hash-based derivation folded (id, x, rep) to 30
+   bits and collided on grids of this size, silently running the same
+   instance for distinct replicates.  The Splitmix64 absorption must give
+   every (figure id, x, rep) of every paper figure a distinct seed. *)
+let test_derive_seed_no_collisions () =
+  let range lo hi step = List.init (((hi - lo) / step) + 1) (fun i -> lo + (i * step)) in
+  (* The exact grids of Figures.fig5..fig12 (fig11 reuses fig10's runs). *)
+  let grids =
+    [
+      ("fig5", range 50 150 10, 30);
+      ("fig6", range 10 100 10, 30);
+      ("fig7", range 100 200 10, 30);
+      ("fig8", range 10 100 10, 30);
+      ("fig9", range 20 100 10, 100);
+      ("fig10", range 2 15 1, 30);
+      ("fig12", range 5 20 1, 30);
+    ]
+  in
+  let seen = Hashtbl.create 4096 in
+  List.iter
+    (fun (id, xs, replicates) ->
+      List.iter
+        (fun x ->
+          for rep = 0 to replicates - 1 do
+            let seed = Runner.derive_seed ~id ~x ~rep in
+            (match Hashtbl.find_opt seen seed with
+            | Some other ->
+              Alcotest.failf "seed collision: (%s, %d, %d) vs %s" id x rep other
+            | None -> ());
+            Hashtbl.add seen seed (Printf.sprintf "(%s, %d, %d)" id x rep)
+          done)
+        xs)
+    grids;
+  Alcotest.(check bool) "covered the full grid" true (Hashtbl.length seen > 3000)
+
 let tiny_figure () =
   Runner.run ~id:"tiny" ~title:"tiny" ~x_label:"n" ~xs:[ 4; 6 ] ~replicates:3
     ~gen:(fun ~x ~seed ->
@@ -264,6 +299,7 @@ let () =
       ( "runner",
         [
           Alcotest.test_case "seed derivation" `Quick test_derive_seed_deterministic;
+          Alcotest.test_case "seed collisions" `Quick test_derive_seed_no_collisions;
           Alcotest.test_case "structure" `Quick test_runner_structure;
           Alcotest.test_case "reproducible" `Quick test_runner_reproducible;
           Alcotest.test_case "failure accounting" `Quick test_runner_failure_accounting;

@@ -137,6 +137,50 @@ let test_heuristics_not_worse_than_upper_bound () =
       Alcotest.(check bool) (Registry.name h ^ " below UB") true (p <= ub))
     Registry.all
 
+(* Regression for the binary-search stopping rule.  The old absolute stop
+   (hi - lo > 1.0 ms) never opened the bracket on instances whose period
+   upper bound is below ~1 ms, so H2/H3 silently returned the
+   unbounded-budget mapping.  Scaling every w by a power of two scales the
+   whole computation (bounds, midpoints, loads) bit-for-bit, so with the
+   relative stop the searched mapping - and hence the period, rescaled -
+   must be identical at both scales. *)
+let scale_w inst c =
+  let n = Instance.task_count inst and m = Instance.machines inst in
+  Instance.create
+    ~workflow:(Instance.workflow inst)
+    ~machines:m
+    ~w:(Array.init n (fun i -> Array.init m (fun u -> c *. Instance.w inst i u)))
+    ~f:(Array.init n (fun i -> Array.init m (fun u -> Instance.f inst i u)))
+
+let test_binary_search_scale_invariant () =
+  let c = 1.0 /. 16384.0 in
+  (* 2^-14: w ~ U[100,1000) lands in [0.006, 0.062) - all below 0.1 ms. *)
+  List.iter
+    (fun seed ->
+      let inst = make_instance ~seed ~n:12 ~p:3 ~m:6 () in
+      let tiny = scale_w inst c in
+      for i = 0 to Instance.task_count tiny - 1 do
+        for u = 0 to Instance.machines tiny - 1 do
+          Alcotest.(check bool) "w < 0.1" true (Instance.w tiny i u < 0.1)
+        done
+      done;
+      List.iter
+        (fun h ->
+          let p_big = Period.period inst (Registry.solve h inst) in
+          let p_tiny = Period.period tiny (Registry.solve h tiny) in
+          Alcotest.(check (float 1e-9))
+            (Printf.sprintf "%s scale-invariant (seed %d)" (Registry.name h) seed)
+            p_big
+            (p_tiny /. c);
+          (* The search must actually tighten the budget below the trivial
+             upper bound, not fall back to the unbounded mapping. *)
+          Alcotest.(check bool)
+            (Printf.sprintf "%s tightens (seed %d)" (Registry.name h) seed)
+            true
+            (p_tiny < Instance.period_upper_bound tiny))
+        [ Registry.H2; Registry.H3 ])
+    [ 1; 2; 3; 4; 5 ]
+
 (* On average over instances, H4w must clearly beat the random baseline -
    this is the paper's headline qualitative claim. *)
 let test_h4w_beats_h1_on_average () =
@@ -364,6 +408,8 @@ let () =
           Alcotest.test_case "registry" `Quick test_registry_names;
           Alcotest.test_case "H1 determinism" `Quick test_h1_deterministic_given_seed;
           Alcotest.test_case "below upper bound" `Quick test_heuristics_not_worse_than_upper_bound;
+          Alcotest.test_case "binary search scale invariance" `Quick
+            test_binary_search_scale_invariant;
           Alcotest.test_case "H4w beats H1" `Slow test_h4w_beats_h1_on_average;
           Alcotest.test_case "vs brute force" `Slow test_heuristics_vs_brute_force;
         ] );

@@ -1,0 +1,149 @@
+(* Tests for mf_parallel: the domain pool's determinism contract (results
+   identical for any pool size), exception propagation, shutdown, and the
+   jobs-invariance of the experiment runner built on top of it. *)
+
+module Pool = Mf_parallel.Pool
+module Runner = Mf_experiments.Runner
+module Registry = Mf_heuristics.Registry
+
+exception Boom of int
+
+let jobs_grid = [ 1; 2; 4 ]
+
+(* ------------------------------------------------------------------ *)
+(* Pool                                                                *)
+(* ------------------------------------------------------------------ *)
+
+let test_map_array_matches_serial () =
+  let input = Array.init 500 (fun i -> i) in
+  let f i = (i * i) + (i mod 7) in
+  let expected = Array.map f input in
+  List.iter
+    (fun jobs ->
+      Pool.with_pool ~domains:jobs (fun pool ->
+          Alcotest.(check (array int))
+            (Printf.sprintf "jobs=%d equals serial" jobs)
+            expected
+            (Pool.map_array pool ~f input)))
+    jobs_grid
+
+let test_map_array_empty_and_single () =
+  Pool.with_pool ~domains:4 (fun pool ->
+      Alcotest.(check (array int)) "empty" [||] (Pool.map_array pool ~f:(fun x -> x) [||]);
+      Alcotest.(check (array int)) "single" [| 9 |]
+        (Pool.map_array pool ~f:(fun x -> x * x) [| 3 |]))
+
+let test_map_reduce_index_order () =
+  (* A non-commutative combine exposes any ordering leak. *)
+  let input = Array.init 64 string_of_int in
+  let expected = Array.fold_left ( ^ ) "" input in
+  List.iter
+    (fun jobs ->
+      Pool.with_pool ~domains:jobs (fun pool ->
+          Alcotest.(check string)
+            (Printf.sprintf "jobs=%d concatenation in index order" jobs)
+            expected
+            (Pool.map_reduce pool ~f:Fun.id ~combine:( ^ ) ~init:"" input)))
+    jobs_grid
+
+let test_exception_propagation () =
+  List.iter
+    (fun jobs ->
+      Pool.with_pool ~domains:jobs (fun pool ->
+          (* Many tiny tasks, one raising: the batch drains, the exception
+             reaches the submitter, and the pool stays usable. *)
+          let input = Array.init 1000 (fun i -> i) in
+          (try
+             ignore
+               (Pool.map_array pool input ~f:(fun i -> if i = 321 then raise (Boom i) else i));
+             Alcotest.fail "exception not propagated"
+           with Boom i -> Alcotest.(check int) "boom index" 321 i);
+          Alcotest.(check (array int)) "pool usable after failure"
+            (Array.map (fun i -> i + 1) input)
+            (Pool.map_array pool input ~f:(fun i -> i + 1))))
+    jobs_grid
+
+let test_exception_smallest_index_wins () =
+  (* Several failing units: the re-raised exception must be the one of the
+     smallest index, whatever the scheduling. *)
+  List.iter
+    (fun jobs ->
+      Pool.with_pool ~domains:jobs (fun pool ->
+          let input = Array.init 200 (fun i -> i) in
+          try
+            ignore
+              (Pool.map_array pool input ~f:(fun i ->
+                   if i mod 50 = 17 then raise (Boom i) else i));
+            Alcotest.fail "exception not propagated"
+          with Boom i -> Alcotest.(check int) "smallest failing index" 17 i))
+    jobs_grid
+
+let test_stress_many_small_batches () =
+  (* Many batches of tiny tasks through one pool: exercises the queue
+     wake-ups and the per-call completion latch. *)
+  Pool.with_pool ~domains:4 (fun pool ->
+      for round = 1 to 50 do
+        let n = 1 + (round mod 7) * 37 in
+        let out = Pool.map_array pool ~f:(fun i -> i * 2) (Array.init n (fun i -> i)) in
+        Alcotest.(check int) "length" n (Array.length out);
+        Array.iteri (fun i v -> Alcotest.(check int) "value" (2 * i) v) out
+      done)
+
+let test_shutdown () =
+  let pool = Pool.create ~domains:3 in
+  Alcotest.(check int) "domains" 3 (Pool.domains pool);
+  ignore (Pool.map_array pool ~f:succ (Array.init 10 (fun i -> i)));
+  Pool.shutdown pool;
+  (* Idempotent, and the pool refuses further work once its domains are
+     joined. *)
+  Pool.shutdown pool;
+  Alcotest.check_raises "unusable after shutdown"
+    (Invalid_argument "Pool.map_array: pool has been shut down") (fun () ->
+      ignore (Pool.map_array pool ~f:succ [| 1 |]));
+  let serial = Pool.create ~domains:1 in
+  Alcotest.(check int) "serial pool" 1 (Pool.domains serial);
+  Pool.shutdown serial;
+  Alcotest.check_raises "at least one domain" (Invalid_argument "Pool.create: need at least one domain")
+    (fun () -> ignore (Pool.create ~domains:0))
+
+(* ------------------------------------------------------------------ *)
+(* Runner jobs-invariance                                              *)
+(* ------------------------------------------------------------------ *)
+
+let small_figure ~jobs =
+  Runner.run ~id:"par" ~title:"par" ~x_label:"n" ~jobs ~xs:[ 4; 6; 8 ] ~replicates:4
+    ~gen:(fun ~x ~seed ->
+      Mf_workload.Gen.chain (Mf_prng.Rng.create seed)
+        (Mf_workload.Gen.default ~tasks:x ~types:2 ~machines:4))
+    ~algos:[ Runner.heuristic Registry.H4w; Runner.heuristic Registry.H2; Runner.heuristic Registry.H1 ]
+    ()
+
+let test_runner_jobs_invariant () =
+  let serial = small_figure ~jobs:1 in
+  List.iter
+    (fun jobs ->
+      let fig = small_figure ~jobs in
+      (* Structural equality down to the raw float bits of every replicate:
+         the whole point of per-unit seed derivation. *)
+      Alcotest.(check bool)
+        (Printf.sprintf "jobs=%d figure identical to serial" jobs)
+        true
+        (Stdlib.compare serial fig = 0))
+    [ 2; 4 ]
+
+let () =
+  Alcotest.run "mf_parallel"
+    [
+      ( "pool",
+        [
+          Alcotest.test_case "map_array = serial map" `Quick test_map_array_matches_serial;
+          Alcotest.test_case "empty and single" `Quick test_map_array_empty_and_single;
+          Alcotest.test_case "map_reduce index order" `Quick test_map_reduce_index_order;
+          Alcotest.test_case "exception propagation" `Quick test_exception_propagation;
+          Alcotest.test_case "smallest index wins" `Quick test_exception_smallest_index_wins;
+          Alcotest.test_case "stress small batches" `Quick test_stress_many_small_batches;
+          Alcotest.test_case "shutdown" `Quick test_shutdown;
+        ] );
+      ( "runner",
+        [ Alcotest.test_case "jobs-invariant figure" `Quick test_runner_jobs_invariant ] );
+    ]
