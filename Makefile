@@ -2,7 +2,7 @@
 # No ocamlformat in the toolchain image — formatting is by convention
 # (see DESIGN.md §5), so there is no fmt target.
 
-.PHONY: all build test verify bench bench-quick clean
+.PHONY: all build test verify bench bench-quick bench-exact clean
 
 all: build
 
@@ -13,13 +13,17 @@ test:
 	dune runtest
 
 # Gate: build + tests, then the parallel-determinism check — the same
-# experiment grid at --jobs 1 and --jobs 4 must produce byte-identical CSV.
+# experiment grid at --jobs 1 and --jobs 4 must produce byte-identical CSV —
+# and the exact branch-and-bound differential suite (all pruning rules
+# against brute force) under a timeout so a pruning regression that blows
+# the search up fails fast instead of hanging the gate.
 verify:
 	dune build && dune runtest
 	dune exec bin/mfopt.exe -- experiment fig6 --replicates 2 --jobs 1 --csv > _build/verify_j1.csv
 	dune exec bin/mfopt.exe -- experiment fig6 --replicates 2 --jobs 4 --csv > _build/verify_j4.csv
 	cmp _build/verify_j1.csv _build/verify_j4.csv
-	@echo "verify OK: tests green, --jobs 1 and --jobs 4 byte-identical"
+	timeout 60 dune exec test/test_exact.exe -- test dfs-differential
+	@echo "verify OK: tests green, --jobs 1/4 byte-identical, exact differential suite green"
 
 # Full benchmark run (figures + BENCH_eval.json + BENCH_parallel.json +
 # bechamel micro-benchmarks).
@@ -30,6 +34,11 @@ bench:
 # skipping the slow bechamel micro-benchmarks.
 bench-quick:
 	dune exec bench/main.exe -- --quick --skip-micro
+
+# Exact-search benchmark only (writes BENCH_exact.json): node reduction vs
+# the static baseline, solvable-size scan, --jobs identity, pruning ablation.
+bench-exact:
+	dune exec bench/main.exe -- --only none --skip-micro --skip-ablation --skip-eval --skip-parallel
 
 clean:
 	dune clean

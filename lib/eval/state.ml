@@ -4,21 +4,17 @@ module Mapping = Mf_core.Mapping
 module Products = Mf_core.Products
 module Kahan = Mf_numeric.Kahan
 
-(* Undo journal entries.  [Assigned] is the lightweight O(1) record of a
-   backward-order assignment (the branch-and-bound hot path); [Bulk] covers
-   moves and swaps, whose footprint is exactly the set of x entries and
-   machine loads the operation touched.  The assign/tcount/ntasks lists are
+(* Undo journal.  Backward-order assignments — the branch-and-bound hot
+   path, executed millions of times per search — are journalled in flat
+   parallel arrays so that assign/undo allocate nothing (boxed journal
+   records were the dominant allocation of the exact search, and in
+   OCaml 5 every minor collection synchronises all domains, so hot-path
+   allocation destroys parallel scaling).  [Bulk] covers moves and swaps,
+   whose footprint is exactly the set of x entries and machine loads the
+   operation touched.  The assign/tcount/ntasks lists are
    head-most-recent, so restoring them front to back rewinds duplicated
    indices correctly. *)
 type op =
-  | Assigned of {
-      task : int;
-      machine : int;
-      prev_sum : float;
-      prev_comp : float;
-      prev_extra : float;
-      prev_period : float;
-    }
   | Bulk of {
       xs : (int * float) array; (* task, previous x *)
       loads : (int * float * float) array; (* machine, previous (sum, comp) *)
@@ -27,7 +23,12 @@ type op =
       ntasks : (int * int) list; (* machine, previous task count *)
       prev_period : float;
       prev_valid : bool;
+      prev_tload : float * float;
     }
+
+(* Floats per flat journal entry: previous (load sum, load comp, extra,
+   period, tload sum, tload comp) of the assigned machine. *)
+let ja_floats = 6
 
 type t = {
   inst : Instance.t;
@@ -39,12 +40,21 @@ type t = {
   assign : int array; (* task -> machine, -1 = unassigned *)
   x : float array; (* product counts; nan when unassigned *)
   load : Kahan.t array; (* per-machine compensated loads *)
+  tload : Kahan.t; (* compensated sum of all machine loads *)
   extra : float array; (* flat costs injected via assign_task ?extra *)
   tcount : int array; (* (u * p + ty) -> tasks of type ty on u *)
   ntasks : int array; (* tasks per machine *)
   mutable period : float; (* cached max load; meaningful when valid *)
   mutable period_valid : bool;
-  mutable journal : op list;
+  mutable journal : op list; (* Bulk ops only *)
+  (* Flat journal of backward-order assignments.  At most [n] tasks are
+     assigned at once, so capacity [n] suffices; [jtag.(d)] records
+     whether depth [d] was a flat assignment or a Bulk op. *)
+  mutable jtag : Bytes.t; (* depth -> '\000' flat, '\001' Bulk; grows *)
+  ja_task : int array; (* flat entries: assigned task *)
+  ja_machine : int array; (* flat entries: its machine *)
+  ja_f : float array; (* ja_floats floats per flat entry *)
+  mutable ja_len : int; (* live flat entries *)
   mutable depth : int;
   (* Evaluation scratch, reused across calls so try_* allocates nothing.
      Stamps compare against a generation counter instead of being cleared. *)
@@ -60,6 +70,12 @@ type t = {
   aff : int array; (* affected tasks *)
   mutable n_aff : int;
   stack : int array; (* DFS stack over predecessors *)
+  (* Private copies of the instance's w and f matrices: Instance.w/f
+     bounds-check and box their result on every call, which dominates
+     the branch-and-bound inner loop; a plain nested array read here
+     compiles to two loads. *)
+  wrow : float array array;
+  frow : float array array;
 }
 
 let create inst =
@@ -75,12 +91,18 @@ let create inst =
     assign = Array.make n (-1);
     x = Array.make n nan;
     load = Array.init m (fun _ -> Kahan.create ());
+    tload = Kahan.create ();
     extra = Array.make m 0.0;
     tcount = Array.make (m * p) 0;
     ntasks = Array.make m 0;
     period = 0.0;
     period_valid = true;
     journal = [];
+    jtag = Bytes.make (max 16 (2 * n)) '\000';
+    ja_task = Array.make (max 1 n) 0;
+    ja_machine = Array.make (max 1 n) 0;
+    ja_f = Array.make (max 1 (ja_floats * n)) 0.0;
+    ja_len = 0;
     depth = 0;
     mgen = 0;
     mstamp = Array.make m 0;
@@ -94,6 +116,8 @@ let create inst =
     aff = Array.make n 0;
     n_aff = 0;
     stack = Array.make n 0;
+    wrow = Array.init n (fun i -> Array.init m (fun u -> Instance.w inst i u));
+    frow = Array.init n (fun i -> Array.init m (fun u -> Instance.f inst i u));
   }
 
 let check_task t i = if i < 0 || i >= t.n then invalid_arg "State: task out of range"
@@ -108,13 +132,15 @@ let x t i =
   check_task t i;
   t.x.(i)
 
-let machine_load t u =
+let[@inline] machine_load t u =
   check_machine t u;
   Kahan.total t.load.(u)
 
-let tasks_on t u =
+let[@inline] tasks_on t u =
   check_machine t u;
   t.ntasks.(u)
+
+let[@inline] total_load t = Kahan.total t.tload
 
 let hosts_type t ~machine ~ty =
   check_machine t machine;
@@ -156,12 +182,14 @@ let reset t =
   Array.fill t.assign 0 t.n (-1);
   Array.fill t.x 0 t.n nan;
   Array.iter Kahan.reset t.load;
+  Kahan.reset t.tload;
   Array.fill t.extra 0 t.m 0.0;
   Array.fill t.tcount 0 (t.m * t.p) 0;
   Array.fill t.ntasks 0 t.m 0;
   t.period <- 0.0;
   t.period_valid <- true;
   t.journal <- [];
+  t.ja_len <- 0;
   t.depth <- 0
 
 let of_mapping inst mp =
@@ -174,6 +202,7 @@ let of_mapping inst mp =
     t.assign.(i) <- u;
     t.x.(i) <- xs.(i);
     Kahan.add t.load.(u) (xs.(i) *. Instance.w inst i u);
+    Kahan.add t.tload (xs.(i) *. Instance.w inst i u);
     let ti = (u * t.p) + Workflow.ttype t.wf i in
     t.tcount.(ti) <- t.tcount.(ti) + 1;
     t.ntasks.(u) <- t.ntasks.(u) + 1
@@ -186,43 +215,60 @@ let of_mapping inst mp =
 (* Backward-order assignment                                           *)
 (* ------------------------------------------------------------------ *)
 
-let x_succ t task =
+let[@inline] x_succ t task =
   match Workflow.successor t.wf task with
   | None -> 1.0
   | Some j ->
     if t.assign.(j) < 0 then invalid_arg "State: successor not yet assigned"
     else t.x.(j)
 
-let x_candidate t ~task ~machine =
+let[@inline] x_candidate t ~task ~machine =
   check_task t task;
   check_machine t machine;
-  x_succ t task /. (1.0 -. Instance.f t.inst task machine)
+  x_succ t task /. (1.0 -. t.frow.(task).(machine))
 
-let try_assign ?(extra = 0.0) t ~task ~machine =
+(* Non-optional variant for the branch-and-bound inner loop: an optional
+   float argument wraps in [Some] (an allocation) at every call site. *)
+let[@inline] try_assign_with t ~extra ~task ~machine =
   let xc = x_candidate t ~task ~machine in
-  machine_load t machine +. (xc *. Instance.w t.inst task machine) +. extra
+  machine_load t machine +. (xc *. t.wrow.(task).(machine)) +. extra
 
-let assign_task ?(extra = 0.0) t ~task ~machine =
+let try_assign ?(extra = 0.0) t ~task ~machine = try_assign_with t ~extra ~task ~machine
+
+(* The [jtag] byte per depth is the only journal structure whose size is
+   not bounded by [n] (Bulk ops from long local searches accumulate); grow
+   it by doubling. *)
+let ensure_tag_capacity t =
+  if t.depth >= Bytes.length t.jtag then begin
+    let nb = Bytes.make (2 * Bytes.length t.jtag) '\000' in
+    Bytes.blit t.jtag 0 nb 0 (Bytes.length t.jtag);
+    t.jtag <- nb
+  end
+
+let assign_task_with t ~extra ~task ~machine =
   check_task t task;
   check_machine t machine;
   if t.assign.(task) >= 0 then invalid_arg "State.assign_task: task already assigned";
-  let xi = x_succ t task /. (1.0 -. Instance.f t.inst task machine) in
+  let xi = x_succ t task /. (1.0 -. t.frow.(task).(machine)) in
   refresh_period t;
-  let prev_sum, prev_comp = Kahan.snapshot t.load.(machine) in
-  let op =
-    Assigned
-      {
-        task;
-        machine;
-        prev_sum;
-        prev_comp;
-        prev_extra = t.extra.(machine);
-        prev_period = t.period;
-      }
-  in
+  ensure_tag_capacity t;
+  (* Journal into the flat arrays: no allocation on this path. *)
+  Bytes.unsafe_set t.jtag t.depth '\000';
+  let e = t.ja_len in
+  t.ja_task.(e) <- task;
+  t.ja_machine.(e) <- machine;
+  let base = ja_floats * e in
+  t.ja_f.(base) <- Kahan.raw_sum t.load.(machine);
+  t.ja_f.(base + 1) <- Kahan.raw_comp t.load.(machine);
+  t.ja_f.(base + 2) <- t.extra.(machine);
+  t.ja_f.(base + 3) <- t.period;
+  t.ja_f.(base + 4) <- Kahan.raw_sum t.tload;
+  t.ja_f.(base + 5) <- Kahan.raw_comp t.tload;
+  t.ja_len <- e + 1;
   t.assign.(task) <- machine;
   t.x.(task) <- xi;
-  Kahan.add t.load.(machine) ((xi *. Instance.w t.inst task machine) +. extra);
+  Kahan.add t.load.(machine) ((xi *. t.wrow.(task).(machine)) +. extra);
+  Kahan.add t.tload ((xi *. t.wrow.(task).(machine)) +. extra);
   t.extra.(machine) <- t.extra.(machine) +. extra;
   let ti = (machine * t.p) + Workflow.ttype t.wf task in
   t.tcount.(ti) <- t.tcount.(ti) + 1;
@@ -230,8 +276,9 @@ let assign_task ?(extra = 0.0) t ~task ~machine =
   (* Loads only grow under assignment, so the cached max updates in O(1). *)
   let lu = Kahan.total t.load.(machine) in
   if lu > t.period then t.period <- lu;
-  t.journal <- op :: t.journal;
   t.depth <- t.depth + 1
+
+let assign_task ?(extra = 0.0) t ~task ~machine = assign_task_with t ~extra ~task ~machine
 
 (* ------------------------------------------------------------------ *)
 (* Tentative evaluation machinery                                      *)
@@ -298,15 +345,15 @@ let eval_move t ~task ~machine =
   begin_eval t;
   let old_u = t.assign.(task) in
   let r =
-    (1.0 -. Instance.f t.inst task old_u) /. (1.0 -. Instance.f t.inst task machine)
+    (1.0 -. t.frow.(task).(old_u)) /. (1.0 -. t.frow.(task).(machine))
   in
   let xi = t.x.(task) in
   let xi' = xi *. r in
   stamp_task t task xi';
   touch t old_u;
-  t.mdelta.(old_u) <- t.mdelta.(old_u) -. (xi *. Instance.w t.inst task old_u);
+  t.mdelta.(old_u) <- t.mdelta.(old_u) -. (xi *. t.wrow.(task).(old_u));
   touch t machine;
-  t.mdelta.(machine) <- t.mdelta.(machine) +. (xi' *. Instance.w t.inst task machine);
+  t.mdelta.(machine) <- t.mdelta.(machine) +. (xi' *. t.wrow.(task).(machine));
   let sp = ref 0 in
   let push j =
     t.stack.(!sp) <- j;
@@ -322,7 +369,7 @@ let eval_move t ~task ~machine =
       let xj' = xj *. r in
       stamp_task t j xj';
       touch t v;
-      t.mdelta.(v) <- t.mdelta.(v) +. ((xj' -. xj) *. Instance.w t.inst j v);
+      t.mdelta.(v) <- t.mdelta.(v) +. ((xj' -. xj) *. t.wrow.(j).(v));
       List.iter push (Workflow.predecessors t.wf j)
     end
   done
@@ -350,12 +397,12 @@ let eval_swap t ~u ~v =
           | None -> 1.0
           | Some s -> if t.tstamp.(s) = t.tgen then t.xnew.(s) else t.x.(s)
         in
-        let xj' = xs /. (1.0 -. Instance.f t.inst j nj) in
+        let xj' = xs /. (1.0 -. t.frow.(j).(nj)) in
         stamp_task t j xj';
         touch t uj;
-        t.mdelta.(uj) <- t.mdelta.(uj) -. (t.x.(j) *. Instance.w t.inst j uj);
+        t.mdelta.(uj) <- t.mdelta.(uj) -. (t.x.(j) *. t.wrow.(j).(uj));
         touch t nj;
-        t.mdelta.(nj) <- t.mdelta.(nj) +. (xj' *. Instance.w t.inst j nj)
+        t.mdelta.(nj) <- t.mdelta.(nj) +. (xj' *. t.wrow.(j).(nj))
       end
     end
   done
@@ -407,10 +454,14 @@ let commit t changes =
     let j = t.aff.(k) in
     t.x.(j) <- t.xnew.(j)
   done;
+  let prev_tload = Kahan.snapshot t.tload in
   for k = 0 to t.n_touched - 1 do
     let v = t.touched.(k) in
-    Kahan.add t.load.(v) t.mdelta.(v)
+    Kahan.add t.load.(v) t.mdelta.(v);
+    Kahan.add t.tload t.mdelta.(v)
   done;
+  ensure_tag_capacity t;
+  Bytes.unsafe_set t.jtag t.depth '\001';
   t.journal <-
     Bulk
       {
@@ -421,6 +472,7 @@ let commit t changes =
         ntasks = !ntasks;
         prev_period = t.period;
         prev_valid = t.period_valid;
+        prev_tload;
       }
     :: t.journal;
   t.depth <- t.depth + 1;
@@ -441,30 +493,38 @@ let apply_swap t ~u ~v =
   commit t !changes
 
 let undo t =
-  match t.journal with
-  | [] -> invalid_arg "State.undo: empty journal"
-  | op :: rest ->
-    t.journal <- rest;
-    t.depth <- t.depth - 1;
-    (match op with
-    | Assigned { task; machine; prev_sum; prev_comp; prev_extra; prev_period } ->
-      t.assign.(task) <- -1;
-      t.x.(task) <- nan;
-      Kahan.restore t.load.(machine) (prev_sum, prev_comp);
-      t.extra.(machine) <- prev_extra;
-      let ti = (machine * t.p) + Workflow.ttype t.wf task in
-      t.tcount.(ti) <- t.tcount.(ti) - 1;
-      t.ntasks.(machine) <- t.ntasks.(machine) - 1;
-      t.period <- prev_period;
-      t.period_valid <- true
-    | Bulk b ->
+  if t.depth = 0 then invalid_arg "State.undo: empty journal";
+  t.depth <- t.depth - 1;
+  if Bytes.unsafe_get t.jtag t.depth = '\000' then begin
+    (* Flat assignment entry: restore from the parallel arrays. *)
+    let e = t.ja_len - 1 in
+    t.ja_len <- e;
+    let task = t.ja_task.(e) and machine = t.ja_machine.(e) in
+    let base = ja_floats * e in
+    t.assign.(task) <- -1;
+    t.x.(task) <- nan;
+    Kahan.restore_raw t.load.(machine) ~sum:t.ja_f.(base) ~comp:t.ja_f.(base + 1);
+    t.extra.(machine) <- t.ja_f.(base + 2);
+    t.period <- t.ja_f.(base + 3);
+    Kahan.restore_raw t.tload ~sum:t.ja_f.(base + 4) ~comp:t.ja_f.(base + 5);
+    let ti = (machine * t.p) + Workflow.ttype t.wf task in
+    t.tcount.(ti) <- t.tcount.(ti) - 1;
+    t.ntasks.(machine) <- t.ntasks.(machine) - 1;
+    t.period_valid <- true
+  end
+  else
+    match t.journal with
+    | [] -> assert false
+    | Bulk b :: rest ->
+      t.journal <- rest;
       Array.iter (fun (j, xv) -> t.x.(j) <- xv) b.xs;
       Array.iter (fun (v, s, c) -> Kahan.restore t.load.(v) (s, c)) b.loads;
+      Kahan.restore t.tload b.prev_tload;
       List.iter (fun (i, ou) -> t.assign.(i) <- ou) b.assigns;
       List.iter (fun (idx, c) -> t.tcount.(idx) <- c) b.tcounts;
       List.iter (fun (u, c) -> t.ntasks.(u) <- c) b.ntasks;
       t.period <- b.prev_period;
-      t.period_valid <- b.prev_valid)
+      t.period_valid <- b.prev_valid
 
 (* ------------------------------------------------------------------ *)
 (* Consistency check (debug/test)                                      *)
@@ -522,4 +582,10 @@ let check ?(tol = 1e-9) t =
     done
   done;
   if t.period_valid && not (close t.period !max_load) then
-    fail "State.check: cached period %.17g, loads say %.17g" t.period !max_load
+    fail "State.check: cached period %.17g, loads say %.17g" t.period !max_load;
+  let tsum = ref 0.0 in
+  for u = 0 to t.m - 1 do
+    tsum := !tsum +. Kahan.total t.load.(u)
+  done;
+  if not (close (Kahan.total t.tload) !tsum) then
+    fail "State.check: total load drifted: %.17g vs %.17g" (Kahan.total t.tload) !tsum

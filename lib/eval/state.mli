@@ -63,6 +63,13 @@ val machine_load : t -> int -> float
 (** [tasks_on st u] is the number of tasks currently assigned to [u]. *)
 val tasks_on : t -> int -> int
 
+(** [total_load st] is the sum of all machine loads (including injected
+    {e extra} costs), maintained incrementally in a compensated
+    accumulator and restored bit-for-bit by {!undo}.  Dividing by the
+    machine count gives the averaging ("packing") lower bound used by the
+    exact branch-and-bound. *)
+val total_load : t -> float
+
 (** [hosts_type st ~machine ~ty] is true when some task of type [ty] is
     currently assigned to [machine]. *)
 val hosts_type : t -> machine:int -> ty:int -> bool
@@ -100,6 +107,14 @@ val x_candidate : t -> task:int -> machine:int -> float
     e.g. a reconfiguration penalty) — the [exec_u] of the paper's
     Algorithms 2–6. *)
 val try_assign : ?extra:float -> t -> task:int -> machine:int -> float
+
+(** [try_assign_with] / [assign_task_with] are the same operations with a
+    required [~extra] argument: the optional argument forces a [Some]
+    allocation at every call, which matters in the branch-and-bound inner
+    loop. *)
+val try_assign_with : t -> extra:float -> task:int -> machine:int -> float
+
+val assign_task_with : t -> extra:float -> task:int -> machine:int -> unit
 
 (** [assign_task ?extra st ~task ~machine] commits the assignment of a
     currently-unassigned task, journalling it for {!undo}.  O(1).

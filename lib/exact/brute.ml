@@ -5,7 +5,7 @@ module Period = Mf_core.Period
 
 type constraint_kind = Spec | Gen | Oto
 
-let enumerate kind inst =
+let enumerate ?(period_of = Period.period) kind inst =
   let n = Instance.task_count inst and m = Instance.machines inst in
   let wf = Instance.workflow inst in
   let a = Array.make n 0 in
@@ -16,7 +16,7 @@ let enumerate kind inst =
   let rec go idx =
     if idx = n then begin
       let mp = Mapping.of_array inst a in
-      let p = Period.period inst mp in
+      let p = period_of inst mp in
       if p < !best_period then begin
         best_period := p;
         best := Some mp
@@ -53,7 +53,10 @@ let specialized inst =
     invalid_arg "Brute.specialized: fewer machines than types";
   enumerate Spec inst
 
-let general inst = enumerate Gen inst
+let general ?(setup = 0.0) inst =
+  if setup < 0.0 then invalid_arg "Brute.general: negative setup time";
+  if setup = 0.0 then enumerate Gen inst
+  else enumerate ~period_of:(fun inst mp -> Period.with_setup inst mp ~setup) Gen inst
 
 let one_to_one inst =
   if Instance.machines inst < Instance.task_count inst then

@@ -10,8 +10,12 @@
     @raise Invalid_argument when no specialized mapping exists ([m < p]). *)
 val specialized : Mf_core.Instance.t -> Mf_core.Mapping.t * float
 
-(** [general inst] enumerates all [m^n] allocations. *)
-val general : Mf_core.Instance.t -> Mf_core.Mapping.t * float
+(** [general ?setup inst] enumerates all [m^n] allocations.  With
+    [setup > 0] the objective is {!Mf_core.Period.with_setup} (the cyclic
+    reconfiguration penalty), making this the differential oracle for
+    [Dfs.general ~setup].
+    @raise Invalid_argument when [setup < 0]. *)
+val general : ?setup:float -> Mf_core.Instance.t -> Mf_core.Mapping.t * float
 
 (** [one_to_one inst] enumerates injective allocations.
     @raise Invalid_argument when [m < n]. *)

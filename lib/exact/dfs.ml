@@ -4,8 +4,36 @@ module Mapping = Mf_core.Mapping
 module Period = Mf_core.Period
 module Registry = Mf_heuristics.Registry
 module State = Mf_eval.State
+module Pool = Mf_parallel.Pool
 
-type result = { mapping : Mf_core.Mapping.t; period : float; optimal : bool; nodes : int }
+type stats = {
+  bound_prunes : int;
+  dominance_prunes : int;
+  dominance_states : int;
+  symmetry_skips : int;
+  best_at_node : int;
+  root_subtrees : int;
+  certify_nodes : int;
+}
+
+let zero_stats =
+  {
+    bound_prunes = 0;
+    dominance_prunes = 0;
+    dominance_states = 0;
+    symmetry_skips = 0;
+    best_at_node = 0;
+    root_subtrees = 1;
+    certify_nodes = 0;
+  }
+
+type result = {
+  mapping : Mf_core.Mapping.t;
+  period : float;
+  optimal : bool;
+  nodes : int;
+  stats : stats;
+}
 
 (* Static lower bound: the cheapest possible contribution of each task,
    using the most optimistic downstream failure rates. *)
@@ -82,7 +110,9 @@ let best_single_machine ~setup inst =
   done;
   match !best with Some r -> r | None -> assert false
 
-let incumbent ~setup rule inst =
+(* Incumbent of the PR-2 engine, kept verbatim so [solve_static] stays the
+   bench baseline it was: best of H2/H3/H4w only. *)
+let incumbent_static ~setup rule inst =
   match rule with
   | Mapping.One_to_one ->
     let mp = greedy_one_to_one inst in
@@ -105,8 +135,27 @@ let incumbent ~setup rule inst =
       match pick with Some r -> r | None -> assert false
     end
 
-let solve ?(node_budget = 20_000_000) ?(setup = 0.0) ~rule inst =
-  if setup < 0.0 then invalid_arg "Dfs.solve: negative setup time";
+(* Branch-and-bound incumbent: the best mapping over the whole heuristic
+   registry.  Heuristic mappings are specialized, hence valid general
+   mappings paying no setup; one-to-one still needs its own greedy seed
+   because no registry heuristic is injective. *)
+let incumbent ~setup rule inst =
+  match rule with
+  | Mapping.One_to_one ->
+    let mp = greedy_one_to_one inst in
+    (mp, Period.period inst mp)
+  | Mapping.Specialized | Mapping.General ->
+    if rule = Mapping.General && Instance.machines inst < Instance.type_count inst then
+      best_single_machine ~setup inst
+    else Registry.best inst
+
+(* ------------------------------------------------------------------ *)
+(* PR-2 engine: static suffix bound only.  Kept as the bench baseline   *)
+(* ("unpruned" reference) and as an independent differential witness.   *)
+(* ------------------------------------------------------------------ *)
+
+let solve_static ?(node_budget = 20_000_000) ?(setup = 0.0) ~rule inst =
+  if setup < 0.0 then invalid_arg "Dfs.solve_static: negative setup time";
   let n = Instance.task_count inst and m = Instance.machines inst in
   let wf = Instance.workflow inst in
   check_rule_feasible rule inst;
@@ -117,7 +166,7 @@ let solve ?(node_budget = 20_000_000) ?(setup = 0.0) ~rule inst =
   for k = n - 1 downto 0 do
     suffix_lb.(k) <- Float.max suffix_lb.(k + 1) contrib_lb.(order.(k))
   done;
-  let seed_mp, seed_p = incumbent ~setup rule inst in
+  let seed_mp, seed_p = incumbent_static ~setup rule inst in
   let best_mp = ref seed_mp and best_p = ref seed_p in
   (* x, allocation and load bookkeeping live in the shared incremental
      state; assignments are journalled and backtracked with State.undo. *)
@@ -196,8 +245,753 @@ let solve ?(node_budget = 20_000_000) ?(setup = 0.0) ~rule inst =
     end
   in
   go 0 0.0;
-  { mapping = !best_mp; period = !best_p; optimal = not !exhausted; nodes = !nodes }
+  { mapping = !best_mp; period = !best_p; optimal = not !exhausted; nodes = !nodes; stats = zero_stats }
 
-let specialized ?node_budget inst = solve ?node_budget ~rule:Mapping.Specialized inst
-let general ?node_budget ?setup inst = solve ?node_budget ?setup ~rule:Mapping.General inst
-let one_to_one ?node_budget inst = solve ?node_budget ~rule:Mapping.One_to_one inst
+(* ------------------------------------------------------------------ *)
+(* Branch-and-bound engine: incremental refined bounds, dominance       *)
+(* memoization, machine symmetry breaking, deterministic root splitting *)
+(* ------------------------------------------------------------------ *)
+
+(* Read-only per-solve context, shared by every root subtree (and safe to
+   share across domains: nothing here is mutated after construction). *)
+type ctx = {
+  inst : Instance.t;
+  rule : Mapping.rule;
+  setup : float;
+  n : int;
+  m : int;
+  fm : float;
+  wf : Workflow.t;
+  order : int array;  (* backward assignment order *)
+  pos : int array;  (* pos.(order.(k)) = k *)
+  preds : int array array;
+  mpp : int array;  (* max position over predecessors; -1 if none *)
+  contrib_lb : float array;  (* static per-task lower bounds *)
+  ratio_min : float array;  (* min_u w(i,u) / (1 - f(i,u)) *)
+  rem0 : float;  (* sum of contrib_lb *)
+  rmax0 : float;  (* max of contrib_lb *)
+  classes : int array;  (* machine symmetry classes (Symmetry) *)
+  cands : int array array;  (* type -> machines by increasing static w *)
+  dominance : bool;
+  symmetry : bool;
+}
+
+let make_ctx ~rule ~setup ~dominance ~symmetry inst =
+  let n = Instance.task_count inst and m = Instance.machines inst in
+  let wf = Instance.workflow inst in
+  let order = Workflow.backward_order wf in
+  let pos = Array.make n 0 in
+  Array.iteri (fun k t -> pos.(t) <- k) order;
+  let preds = Array.init n (fun i -> Array.of_list (Workflow.predecessors wf i)) in
+  let mpp =
+    Array.init n (fun i -> Array.fold_left (fun acc p -> max acc pos.(p)) (-1) preds.(i))
+  in
+  let contrib_lb = min_contribution inst in
+  let ratio_min =
+    Array.init n (fun i ->
+        let best = ref infinity in
+        for u = 0 to m - 1 do
+          let r = Instance.w inst i u /. (1.0 -. Instance.f inst i u) in
+          if r < !best then best := r
+        done;
+        !best)
+  in
+  let rem0 = Array.fold_left ( +. ) 0.0 contrib_lb in
+  let rmax0 = Array.fold_left Float.max 0.0 contrib_lb in
+  let classes = Symmetry.machine_classes inst in
+  let cands =
+    Array.init (Instance.type_count inst) (fun ty ->
+        let ms = Array.init m Fun.id in
+        Array.sort
+          (fun u v ->
+            let d = Float.compare (Instance.w_of_type inst ty u) (Instance.w_of_type inst ty v) in
+            if d <> 0 then d else compare u v)
+          ms;
+        ms)
+  in
+  {
+    inst;
+    rule;
+    setup;
+    n;
+    m;
+    fm = float_of_int m;
+    wf;
+    order;
+    pos;
+    preds;
+    mpp;
+    contrib_lb;
+    ratio_min;
+    rem0;
+    rmax0;
+    classes;
+    cands;
+    dominance;
+    symmetry;
+  }
+
+(* Phase 1 minimises; phase 2 re-derives the canonical optimal mapping by
+   hunting the first leaf (in fixed serial order) whose period is
+   bit-equal to the proven optimum. *)
+type mode = Optimize | Certify of float
+
+type search = {
+  ctx : ctx;
+  st : State.t;
+  dedicated : int array;
+  hosted : int list array;
+  lb_ref : float array;  (* refined per-task lower bounds (journalled) *)
+  class_rep : int array;  (* scratch: class -> lowest unused member *)
+  shared_best : float Atomic.t;
+  mutable local_best_p : float;
+  mutable local_best : int array option;
+  mutable nodes : int;
+  budget : int;
+  mutable exhausted : bool;
+  mutable stop : bool;
+  mode : mode;
+  (* Machines this subtree is pinned to for the first [Array.length pins]
+     depths — the deterministic root split.  Empty for the certify pass. *)
+  pins : int array;
+  use_dominance : bool;
+  table : (string, float array list ref) Hashtbl.t;
+  mutable table_states : int;
+  mutable bound_prunes : int;
+  mutable dom_prunes : int;
+  mutable sym_skips : int;
+  mutable best_at : int;
+  sigbuf : Buffer.t;
+  (* Per-depth scratch, preallocated so expand/child allocate nothing:
+     candidate buffers (row k of an n x m matrix), the saved predecessor
+     bounds journal, and a 2-float out-param slot for the refine loop.
+     Hot-path allocation is poison under OCaml 5 parallelism — every
+     minor collection synchronises all domains. *)
+  cand_exec : float array;
+  cand_u : int array;
+  cand_extra : float array;
+  cand_n : int array;  (* candidates collected at depth k *)
+  saved_lb : float array array;  (* depth k -> one slot per pred of order.(k) *)
+  fscratch : float array;  (* [| rmax'; rem' |] *)
+  (* The recursion's (cmax, rmax, rem) triple per depth.  Kept in flat
+     float arrays instead of function arguments: without flambda every
+     float argument is boxed at every call, and bnb/expand/child run once
+     per node. *)
+  path_cmax : float array;
+  path_rmax : float array;
+  path_rem : float array;
+}
+
+(* Caps keeping the dominance table's memory bounded: at most 8 stored
+   load vectors per signature and 200k vectors overall (~tens of MB). *)
+let table_entry_cap = 8
+let table_state_cap = 200_000
+
+let make_search ctx ~shared ~budget ~seed_p ~mode ~pins =
+  {
+    ctx;
+    st = State.create ctx.inst;
+    dedicated = Array.make ctx.m (-1);
+    hosted = Array.make ctx.m [];
+    lb_ref = Array.copy ctx.contrib_lb;
+    class_rep = Array.make ctx.m (-1);
+    shared_best = shared;
+    local_best_p = seed_p;
+    local_best = None;
+    nodes = 0;
+    budget;
+    exhausted = false;
+    stop = false;
+    mode;
+    pins;
+    use_dominance = (match mode with Optimize -> ctx.dominance | Certify _ -> false);
+    table = Hashtbl.create 4096;
+    table_states = 0;
+    bound_prunes = 0;
+    dom_prunes = 0;
+    sym_skips = 0;
+    best_at = 0;
+    sigbuf = Buffer.create 256;
+    cand_exec = Array.make (ctx.n * ctx.m) 0.0;
+    cand_u = Array.make (ctx.n * ctx.m) 0;
+    cand_extra = Array.make (ctx.n * ctx.m) 0.0;
+    cand_n = Array.make ctx.n 0;
+    saved_lb =
+      Array.init ctx.n (fun k -> Array.make (Array.length ctx.preds.(ctx.order.(k))) 0.0);
+    fscratch = Array.make 2 0.0;
+    path_cmax =
+      (let a = Array.make (ctx.n + 1) 0.0 in
+       a);
+    path_rmax =
+      (let a = Array.make (ctx.n + 1) 0.0 in
+       a.(0) <- ctx.rmax0;
+       a);
+    path_rem =
+      (let a = Array.make (ctx.n + 1) 0.0 in
+       a.(0) <- ctx.rem0;
+       a);
+  }
+
+(* Lock-free monotone minimum over the shared incumbent.  CAS on the
+   physically-read boxed float is the standard OCaml 5 min-loop. *)
+let rec atomic_min a v =
+  let cur = Atomic.get a in
+  if v < cur && not (Atomic.compare_and_set a cur v) then atomic_min a v
+
+(* Candidate/bound admission.  In Optimize mode both are strict against
+   the freshest incumbent (local never beats shared, so shared suffices).
+   In Certify mode candidates may tie the target and bounds get a hair of
+   relative slack: the refined bounds re-associate products the leaf
+   evaluates in a different order, so they are admissible only up to ulps. *)
+let[@inline] admits s v =
+  match s.mode with Optimize -> v < Atomic.get s.shared_best | Certify p -> v <= p
+
+let[@inline] bound_ok s b =
+  match s.mode with
+  | Optimize -> b < Atomic.get s.shared_best
+  | Certify p -> b <= p *. (1.0 +. 1e-12)
+
+let[@inline] rule_allows s u ty =
+  match s.ctx.rule with
+  | Mapping.General -> true
+  | Mapping.Specialized -> s.dedicated.(u) < 0 || s.dedicated.(u) = ty
+  | Mapping.One_to_one -> s.dedicated.(u) < 0
+
+(* Same telescoping k*setup convention as solve_static. *)
+let[@inline] setup_cost s u ty =
+  let c = s.ctx in
+  if c.rule <> Mapping.General || c.setup = 0.0 then 0.0
+  else
+    match s.hosted.(u) with
+    | [] -> 0.0
+    | tys when List.mem ty tys -> 0.0
+    | [ _ ] -> 2.0 *. c.setup
+    | _ -> c.setup
+
+let record_leaf s =
+  let cmax = s.path_cmax.(s.ctx.n) in
+  match s.mode with
+  | Optimize ->
+    if cmax < s.local_best_p then begin
+      s.local_best_p <- cmax;
+      s.local_best <- Some (State.to_array s.st);
+      s.best_at <- s.nodes;
+      atomic_min s.shared_best cmax
+    end
+  | Certify p ->
+    if cmax = p then begin
+      s.local_best <- Some (State.to_array s.st);
+      s.stop <- true
+    end
+
+let leq_all a b =
+  let len = Array.length a in
+  let rec go i = i >= len || (a.(i) <= b.(i) && go (i + 1)) in
+  go 0
+
+(* Canonical frontier signature at depth k.  The assigned set is fixed by
+   k (backward order), so the key is: k, the x of every frontier task
+   (assigned, with an unassigned predecessor — everything the remaining
+   subproblem reads from the prefix), and the machines' (symmetry class,
+   rule commitment) sequence after canonical sorting.  Loads are the
+   value: within a (class, commitment) group they are sorted ascending, so
+   componentwise <= between equal-key states certifies a dominating
+   machine matching. *)
+let signature s k =
+  let c = s.ctx in
+  let buf = s.sigbuf in
+  Buffer.clear buf;
+  Buffer.add_uint16_le buf k;
+  for j = 0 to c.n - 1 do
+    if c.pos.(j) < k && k <= c.mpp.(j) then
+      Buffer.add_int64_le buf (Int64.bits_of_float (State.x s.st j))
+  done;
+  let recs =
+    Array.init c.m (fun u ->
+        let comm =
+          match c.rule with
+          | Mapping.Specialized -> [| s.dedicated.(u) + 1 |]
+          | Mapping.One_to_one -> [| (if s.dedicated.(u) >= 0 then 1 else 0) |]
+          | Mapping.General ->
+            if c.setup > 0.0 then Array.of_list (List.sort compare s.hosted.(u)) else [||]
+        in
+        (c.classes.(u), comm, State.machine_load s.st u, u))
+  in
+  Array.sort
+    (fun (c1, a1, l1, u1) (c2, a2, l2, u2) ->
+      let d = compare c1 c2 in
+      if d <> 0 then d
+      else
+        let d = Stdlib.compare a1 a2 in
+        if d <> 0 then d
+        else
+          let d = Float.compare l1 l2 in
+          if d <> 0 then d else compare u1 u2)
+    recs;
+  let loads = Array.make c.m 0.0 in
+  Array.iteri
+    (fun idx (cl, comm, load, _) ->
+      loads.(idx) <- load;
+      Buffer.add_uint16_le buf cl;
+      Buffer.add_uint16_le buf (Array.length comm);
+      Array.iter (fun v -> Buffer.add_uint16_le buf (v land 0xffff)) comm)
+    recs;
+  (Buffer.contents buf, loads)
+
+(* Record a fully-explored state, evicting entries it dominates. *)
+let table_note s entries key loads =
+  if s.table_states < table_state_cap then
+    match entries with
+    | Some l ->
+      let before = List.length !l in
+      let kept = List.filter (fun v -> not (leq_all loads v)) !l in
+      s.table_states <- s.table_states - (before - List.length kept);
+      if List.length kept < table_entry_cap then begin
+        l := loads :: kept;
+        s.table_states <- s.table_states + 1
+      end
+      else l := kept
+    | None ->
+      Hashtbl.add s.table key (ref [ loads ]);
+      s.table_states <- s.table_states + 1
+
+(* The search proper.  The per-depth state (read at depth k, written for
+   depth k+1 by [child]) lives in the path_* arrays:
+   - path_cmax: max committed machine load;
+   - path_rmax: running max over every refined per-task bound seen on
+     this path (entries of already-assigned tasks stay valid: their bound
+     is <= their contribution <= some load <= the final period);
+   - path_rem:  sum of lb_ref over unassigned tasks.
+   The child bound is max(cmax', rmax', (total_load' + rem') / m); the
+   averaging term is the packing argument — all remaining work must fit
+   somewhere, so the mean final load already bounds the period. *)
+let rec bnb s k =
+  if s.stop then ()
+  else if s.nodes >= s.budget then s.exhausted <- true
+  else if k = s.ctx.n then record_leaf s
+  else if not (s.use_dominance && k > 0) then expand s k
+  else begin
+    let key, loads = signature s k in
+    let entries = Hashtbl.find_opt s.table key in
+    let dominated =
+      match entries with Some l -> List.exists (fun v -> leq_all v loads) !l | None -> false
+    in
+    if dominated then s.dom_prunes <- s.dom_prunes + 1
+    else begin
+      expand s k;
+      (* Insert only complete subtrees: a budget-truncated exploration
+         proves nothing about the states it would dominate. *)
+      if not (s.exhausted || s.stop) then table_note s entries key loads
+    end
+  end
+
+and expand s k =
+  let c = s.ctx in
+  let task = c.order.(k) in
+  let ty = Workflow.ttype c.wf task in
+  if c.symmetry then begin
+    Array.fill s.class_rep 0 c.m (-1);
+    for u = 0 to c.m - 1 do
+      if State.tasks_on s.st u = 0 then begin
+        let cl = c.classes.(u) in
+        if s.class_rep.(cl) < 0 then s.class_rep.(cl) <- u
+      end
+    done
+  end;
+  let cands = c.cands.(ty) in
+  let base = k * c.m in
+  let cnt = ref 0 in
+  for idx = 0 to Array.length cands - 1 do
+    let u = cands.(idx) in
+    let picked = k >= Array.length s.pins || u = s.pins.(k) in
+    if picked && rule_allows s u ty then begin
+      (* Unused machines of one symmetry class are interchangeable:
+         branch only on the lowest-index one. *)
+      if c.symmetry && State.tasks_on s.st u = 0 && s.class_rep.(c.classes.(u)) <> u then
+        s.sym_skips <- s.sym_skips + 1
+      else begin
+        let extra = setup_cost s u ty in
+        let exec = State.try_assign_with s.st ~extra ~task ~machine:u in
+        if admits s exec then begin
+          let j = base + !cnt in
+          s.cand_exec.(j) <- exec;
+          s.cand_u.(j) <- u;
+          s.cand_extra.(j) <- extra;
+          incr cnt
+        end
+        else s.bound_prunes <- s.bound_prunes + 1
+      end
+    end
+  done;
+  let cnt = !cnt in
+  s.cand_n.(k) <- cnt;
+  (* In-place insertion sort by (exec, machine): every exec is positive so
+     plain comparison agrees with Float.compare, and the machine tiebreak
+     makes the order total, hence schedule-independent. *)
+  for i = 1 to cnt - 1 do
+    let e = s.cand_exec.(base + i)
+    and u = s.cand_u.(base + i)
+    and x = s.cand_extra.(base + i) in
+    let j = ref (i - 1) in
+    while
+      !j >= 0
+      &&
+      let ej = s.cand_exec.(base + !j) in
+      ej > e || (ej = e && s.cand_u.(base + !j) > u)
+    do
+      s.cand_exec.(base + !j + 1) <- s.cand_exec.(base + !j);
+      s.cand_u.(base + !j + 1) <- s.cand_u.(base + !j);
+      s.cand_extra.(base + !j + 1) <- s.cand_extra.(base + !j);
+      decr j
+    done;
+    s.cand_exec.(base + !j + 1) <- e;
+    s.cand_u.(base + !j + 1) <- u;
+    s.cand_extra.(base + !j + 1) <- x
+  done;
+  for i = 0 to cnt - 1 do
+    child s k task ty (base + i)
+  done
+
+and child s k task ty slot =
+  if not (s.exhausted || s.stop) then begin
+    let exec = s.cand_exec.(slot) in
+    let u = s.cand_u.(slot) in
+    let extra = s.cand_extra.(slot) in
+    if not (admits s exec) then s.bound_prunes <- s.bound_prunes + 1
+    else begin
+      let c = s.ctx in
+      (* Assigning [task] fixes its product count, so each unassigned
+         predecessor's bound tightens from the static optimum to
+         x * ratio_min — O(preds) per child, journalled in [saved].  The
+         running (rmax', rem') pair lives in the fscratch float array
+         (unboxed stores); it is written into the depth-(k+1) path slots
+         before recursing, so the deeper child reusing fscratch is
+         harmless. *)
+      let xc = State.x_candidate s.st ~task ~machine:u in
+      let preds = c.preds.(task) in
+      let np = Array.length preds in
+      let saved = s.saved_lb.(k) in
+      let fs = s.fscratch in
+      fs.(0) <- Float.max s.path_rmax.(k) exec;
+      fs.(1) <- s.path_rem.(k) -. s.lb_ref.(task);
+      for pi = 0 to np - 1 do
+        let i = preds.(pi) in
+        saved.(pi) <- s.lb_ref.(i);
+        let nb = xc *. c.ratio_min.(i) in
+        let ob = s.lb_ref.(i) in
+        if nb > ob then begin
+          s.lb_ref.(i) <- nb;
+          fs.(1) <- fs.(1) +. (nb -. ob);
+          if nb > fs.(0) then fs.(0) <- nb
+        end
+      done;
+      let rmax' = fs.(0) and rem' = fs.(1) in
+      let cmax' = Float.max s.path_cmax.(k) exec in
+      let saved_ded = s.dedicated.(u) in
+      let saved_host = s.hosted.(u) in
+      (match c.rule with
+      | Mapping.Specialized | Mapping.One_to_one -> s.dedicated.(u) <- ty
+      | Mapping.General ->
+        if not (List.mem ty s.hosted.(u)) then s.hosted.(u) <- ty :: s.hosted.(u));
+      State.assign_task_with s.st ~extra ~task ~machine:u;
+      let bound =
+        Float.max (Float.max cmax' rmax') ((State.total_load s.st +. rem') /. c.fm)
+      in
+      if bound_ok s bound then begin
+        s.nodes <- s.nodes + 1;
+        s.path_cmax.(k + 1) <- cmax';
+        s.path_rmax.(k + 1) <- rmax';
+        s.path_rem.(k + 1) <- rem';
+        bnb s (k + 1)
+      end
+      else s.bound_prunes <- s.bound_prunes + 1;
+      State.undo s.st;
+      s.dedicated.(u) <- saved_ded;
+      s.hosted.(u) <- saved_host;
+      for pi = 0 to np - 1 do
+        s.lb_ref.(preds.(pi)) <- saved.(pi)
+      done
+    end
+  end
+
+(* Dominance auto-policy predicate: do two same-type tasks share a
+   bit-identical failure row?  Equal product counts — the precondition for
+   any frontier-signature collision — require exactly that (plus matching
+   downstream structure, which this cheap necessary test ignores). *)
+let has_repeated_task_profiles inst =
+  let n = Instance.task_count inst and m = Instance.machines inst in
+  let wf = Instance.workflow inst in
+  let same i j =
+    Workflow.ttype wf i = Workflow.ttype wf j
+    &&
+    let eq = ref true in
+    (try
+       for u = 0 to m - 1 do
+         if Instance.f inst i u <> Instance.f inst j u then begin
+           eq := false;
+           raise Exit
+         end
+       done
+     with Exit -> ());
+    !eq
+  in
+  let found = ref false in
+  (try
+     for i = 0 to n - 1 do
+       for j = i + 1 to n - 1 do
+         if same i j then begin
+           found := true;
+           raise Exit
+         end
+       done
+     done
+   with Exit -> ());
+  !found
+
+(* Root subtrees: machine prefixes for the first two tasks in assignment
+   order (first task only when n = 1), restricted to rule-allowed and
+   symmetry-canonical choices and sorted by (load, index) per level — the
+   same canonical order [expand] branches in.  Splitting two levels deep
+   yields ~m^2 subtrees instead of m, which is what makes parallel root
+   distribution balance: with single-task roots one subtree tends to hold
+   nearly all the nodes.  The list is a pure function of the instance —
+   identical for every --jobs value — and incumbent pruning is deliberately
+   not applied here, so a prunable prefix just dies at its first node.  *)
+let root_prefixes ctx =
+  let s =
+    make_search ctx ~shared:(Atomic.make infinity) ~budget:max_int ~seed_p:infinity
+      ~mode:Optimize ~pins:[||]
+  in
+  let by_load_then_index (e1, u1) (e2, u2) =
+    let d = Float.compare e1 e2 in
+    if d <> 0 then d else compare u1 u2
+  in
+  let task0 = ctx.order.(0) in
+  let ty0 = Workflow.ttype ctx.wf task0 in
+  let skips = ref 0 in
+  let level0 = ref [] in
+  for u = ctx.m - 1 downto 0 do
+    if ctx.symmetry && ctx.classes.(u) <> u then incr skips
+    else begin
+      let exec = State.try_assign s.st ~task:task0 ~machine:u in
+      level0 := (exec, u) :: !level0
+    end
+  done;
+  let level0 = List.sort by_load_then_index !level0 in
+  if ctx.n < 2 then (Array.of_list (List.map (fun (_, u) -> [| u |]) level0), !skips)
+  else begin
+    let task1 = ctx.order.(1) in
+    let ty1 = Workflow.ttype ctx.wf task1 in
+    let prefixes = ref [] in
+    List.iter
+      (fun (_, u0) ->
+        (match ctx.rule with
+        | Mapping.Specialized | Mapping.One_to_one -> s.dedicated.(u0) <- ty0
+        | Mapping.General ->
+          if not (List.mem ty0 s.hosted.(u0)) then s.hosted.(u0) <- ty0 :: s.hosted.(u0));
+        State.assign_task s.st ~task:task0 ~machine:u0;
+        (* Lowest unused machine of each symmetry class, as [expand] sees
+           it one level down. *)
+        Array.fill s.class_rep 0 ctx.m (-1);
+        for u = 0 to ctx.m - 1 do
+          if State.tasks_on s.st u = 0 then begin
+            let cl = ctx.classes.(u) in
+            if s.class_rep.(cl) < 0 then s.class_rep.(cl) <- u
+          end
+        done;
+        let level1 = ref [] in
+        for u = ctx.m - 1 downto 0 do
+          if rule_allows s u ty1 then begin
+            if ctx.symmetry && State.tasks_on s.st u = 0 && s.class_rep.(ctx.classes.(u)) <> u
+            then incr skips
+            else begin
+              let extra = setup_cost s u ty1 in
+              let exec = State.try_assign_with s.st ~extra ~task:task1 ~machine:u in
+              level1 := (exec, u) :: !level1
+            end
+          end
+        done;
+        List.iter
+          (fun (_, u1) -> prefixes := [| u0; u1 |] :: !prefixes)
+          (List.sort by_load_then_index !level1);
+        State.undo s.st;
+        s.dedicated.(u0) <- -1;
+        s.hosted.(u0) <- [])
+      level0;
+    (Array.of_list (List.rev !prefixes), !skips)
+  end
+
+type sub_result = {
+  r_best_p : float;
+  r_alloc : int array option;
+  r_nodes : int;
+  r_bound : int;
+  r_dom : int;
+  r_dom_states : int;
+  r_sym : int;
+  r_best_at : int;
+  r_exhausted : bool;
+}
+
+let run_subtree ctx ~shared ~budget ~seed_p prefix =
+  let s = make_search ctx ~shared ~budget ~seed_p ~mode:Optimize ~pins:prefix in
+  expand s 0;
+  {
+    r_best_p = s.local_best_p;
+    r_alloc = s.local_best;
+    r_nodes = s.nodes;
+    r_bound = s.bound_prunes;
+    r_dom = s.dom_prunes;
+    r_dom_states = s.table_states;
+    r_sym = s.sym_skips;
+    r_best_at = s.best_at;
+    r_exhausted = s.exhausted;
+  }
+
+(* Phase 2: serial, jobs-independent reconstruction of the mapping behind
+   the proven optimal value.  Hunts the first leaf in canonical DFS order
+   whose period is bit-equal to p_star; the first-improving leaf of the
+   serial run is always such a leaf, so this terminates fast and the
+   mapping reported for --jobs N matches --jobs 1 exactly. *)
+let certify ctx ~p_star ~budget =
+  let s =
+    make_search ctx ~shared:(Atomic.make infinity) ~budget ~seed_p:infinity
+      ~mode:(Certify p_star) ~pins:[||]
+  in
+  expand s 0;
+  (s.local_best, s.nodes)
+
+let solve ?(node_budget = 20_000_000) ?(setup = 0.0) ?(jobs = 1) ?dominance ?(symmetry = true)
+    ~rule inst =
+  if setup < 0.0 then invalid_arg "Dfs.solve: negative setup time";
+  if jobs < 1 then invalid_arg "Dfs.solve: jobs must be >= 1";
+  check_rule_feasible rule inst;
+  (* Signature maintenance costs ~10x a plain node, so the dominance table
+     defaults to on only where frontier signatures can actually repeat:
+     product counts of two tasks coincide bit-for-bit only when the tasks
+     share failure behaviour, so the table needs same-type task pairs with
+     identical f rows (constant or quantized rates, replicated subtrees).
+     With continuous random rates every prefix has a unique signature and
+     the table is pure overhead.  Explicit ~dominance overrides either way. *)
+  let dominance =
+    match dominance with Some d -> d | None -> has_repeated_task_profiles inst
+  in
+  let ctx = make_ctx ~rule ~setup ~dominance ~symmetry inst in
+  let seed_mp, seed_p = incumbent ~setup rule inst in
+  let roots, root_skips = root_prefixes ctx in
+  let nroots = Array.length roots in
+  (* Each subtree searches against its own incumbent cell seeded from the
+     deterministic best so far, so every run is a pure function of
+     (instance, prefix, incumbent, budget) — node counts, prune counters
+     and the exhaustion flag are bit-identical for every --jobs value,
+     not just the period.  Cross-subtree incumbent sharing is recovered
+     between rounds: the budget not consumed by subtrees that close is
+     redistributed over the exhausted ones, which restart with the
+     tightened incumbent.  The round structure itself only depends on
+     deterministic aggregates, so it too is --jobs-independent. *)
+  let results : sub_result option array = Array.make nroots None in
+  (* Nodes of attempts discarded by a re-run round: real explored work,
+     kept in the totals. *)
+  let discarded = ref 0 in
+  let best_p = ref seed_p in
+  let budget_left = ref node_budget in
+  let pending = ref (List.init nroots Fun.id) in
+  let last_per = ref 0 in
+  let continue_rounds = ref true in
+  while !continue_rounds do
+    let np = List.length !pending in
+    let per = max 1 (!budget_left / np) in
+    last_per := per;
+    let seed_round = !best_p in
+    let idxs = Array.of_list !pending in
+    let run i =
+      (i, run_subtree ctx ~shared:(Atomic.make seed_round) ~budget:per ~seed_p:seed_round roots.(i))
+    in
+    let round =
+      if jobs = 1 then Array.map run idxs
+      else Pool.with_pool ~domains:jobs (fun pool -> Pool.map_array ~chunk:1 pool ~f:run idxs)
+    in
+    Array.iter
+      (fun (i, r) ->
+        (match results.(i) with Some prev -> discarded := !discarded + prev.r_nodes | None -> ());
+        results.(i) <- Some r;
+        budget_left := !budget_left - r.r_nodes;
+        if r.r_best_p < !best_p then best_p := r.r_best_p)
+      round;
+    let still =
+      List.filter
+        (fun i -> match results.(i) with Some r -> r.r_exhausted | None -> true)
+        !pending
+    in
+    pending := still;
+    (* Re-run only while the redistributed slice actually grows; the
+       budget spent on a discarded attempt stays charged. *)
+    continue_rounds :=
+      still <> [] && !budget_left > 0 && max 1 (!budget_left / List.length still) > !last_per
+  done;
+  let nodes = ref !discarded
+  and bound_prunes = ref 0
+  and dom_prunes = ref 0
+  and dom_states = ref 0
+  and sym_skips = ref root_skips
+  and exhausted = ref false
+  and best_at = ref 0 in
+  let p_star = ref seed_p and chosen = ref None in
+  Array.iter
+    (fun ro ->
+      let r = match ro with Some r -> r | None -> assert false in
+      nodes := !nodes + r.r_nodes;
+      bound_prunes := !bound_prunes + r.r_bound;
+      dom_prunes := !dom_prunes + r.r_dom;
+      dom_states := !dom_states + r.r_dom_states;
+      sym_skips := !sym_skips + r.r_sym;
+      if r.r_exhausted then exhausted := true;
+      if r.r_best_p < !p_star then begin
+        p_star := r.r_best_p;
+        chosen := r.r_alloc;
+        best_at := r.r_best_at
+      end)
+    results;
+  let optimal = not !exhausted in
+  let certify_nodes = ref 0 in
+  let mapping, period =
+    if !p_star >= seed_p then (seed_mp, seed_p)
+    else begin
+      let fallback () =
+        match !chosen with Some a -> Mapping.of_array inst a | None -> assert false
+      in
+      if optimal then begin
+        match certify ctx ~p_star:!p_star ~budget:node_budget with
+        | Some a, cn ->
+          certify_nodes := cn;
+          (Mapping.of_array inst a, !p_star)
+        | None, cn ->
+          certify_nodes := cn;
+          (fallback (), !p_star)
+      end
+      else (fallback (), !p_star)
+    end
+  in
+  {
+    mapping;
+    period;
+    optimal;
+    nodes = !nodes;
+    stats =
+      {
+        bound_prunes = !bound_prunes;
+        dominance_prunes = !dom_prunes;
+        dominance_states = !dom_states;
+        symmetry_skips = !sym_skips;
+        best_at_node = !best_at;
+        root_subtrees = nroots;
+        certify_nodes = !certify_nodes;
+      };
+  }
+
+let specialized ?node_budget ?jobs inst = solve ?node_budget ?jobs ~rule:Mapping.Specialized inst
+
+let general ?node_budget ?setup ?jobs inst =
+  solve ?node_budget ?setup ?jobs ~rule:Mapping.General inst
+
+let one_to_one ?node_budget ?jobs inst = solve ?node_budget ?jobs ~rule:Mapping.One_to_one inst

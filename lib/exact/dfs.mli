@@ -1,54 +1,115 @@
-(** Exact specialized-mapping solver by depth-first branch-and-bound.
+(** Exact mapping solver by depth-first branch-and-bound.
 
     Plays the role CPLEX plays in the paper's Section 7.3: computing the
-    optimal specialized mapping on small instances.  Tasks are assigned in
-    backward order (successors first) so the product counts [x_i] are exact
-    at every node; branches try machines by increasing resulting load and
-    are pruned against the incumbent (seeded with the best heuristic
-    mapping) and a static per-task lower bound.
+    optimal mapping on small instances.  Tasks are assigned in backward
+    order (successors first) so the product counts [x_i] are exact at
+    every node; branches try machines by increasing resulting load.
 
-    For the General rule an optional reconfiguration penalty is supported
-    (see {!general}).
+    The engine prunes with, in increasing order of sophistication:
+
+    - the incumbent, seeded with the best mapping over the whole
+      {!Mf_heuristics.Registry} (greedy injective seed for one-to-one);
+    - an {e incremental} lower bound maintained during descent: committing
+      a task fixes its product count and tightens each unassigned
+      predecessor's optimistic contribution from the static optimum to
+      [x * min_u w/(1-f)] in O(preds) per node, combined with the packing
+      bound [(committed load + remaining optimistic load) / m];
+    - a {e dominance table} keyed on the canonical frontier signature
+      (depth, product counts crossing the frontier, machine symmetry
+      class and rule commitment sequence): a state whose canonical load
+      vector is componentwise >= a fully-explored one cannot improve the
+      incumbent;
+    - {e machine symmetry breaking}: machines with bit-identical [(w, f)]
+      columns (see {!Reduction.machine_classes}) are interchangeable, so
+      only the lowest-index unused member of each class is branched on.
+
+    The root level is always split into one subtree per (canonical)
+    machine of the first task, each with a jobs-independent node budget;
+    with [jobs > 1] the subtrees run on a {!Mf_parallel.Pool} sharing the
+    incumbent through an atomic.  The optimal {e value} is independent of
+    the schedule, and the reported {e mapping} is re-derived by a serial
+    canonical reconstruction pass, so results for any [--jobs] agree with
+    the serial run bit-for-bit whenever the search proves optimality.
 
     Like the paper's MIP runs — which "with more than 15 tasks ... is not
     able to find solutions anymore" — the search carries a node budget;
     when it is exhausted the best mapping found so far is returned with
     [optimal = false]. *)
 
+(** Search counters, for benches and tests. *)
+type stats = {
+  bound_prunes : int;  (** children cut by incumbent or lower bound *)
+  dominance_prunes : int;  (** states cut by the dominance table *)
+  dominance_states : int;  (** load vectors stored in the table *)
+  symmetry_skips : int;  (** branches skipped by symmetry breaking *)
+  best_at_node : int;
+      (** node count (within its root subtree) when the winning incumbent
+          was found; 0 when the heuristic seed was never improved *)
+  root_subtrees : int;  (** number of root-level subtrees *)
+  certify_nodes : int;
+      (** nodes spent by the serial mapping-reconstruction pass, counted
+          separately from [nodes] (which measures the optimization search
+          only, so node counts compare like-for-like with
+          {!solve_static}) *)
+}
+
 type result = {
   mapping : Mf_core.Mapping.t;
   period : float;
   optimal : bool;  (** true when the search space was exhausted *)
   nodes : int;  (** number of branch nodes explored *)
+  stats : stats;
 }
 
-(** [solve ?node_budget ~rule inst] solves the mapping problem exactly
-    under any of the paper's three rules (default budget: 20 million
-    nodes).  The incumbent is seeded with the best heuristic mapping for
-    the specialized and general rules, and with a greedy injective
-    assignment for one-to-one.
+(** [solve ?node_budget ?setup ?jobs ?dominance ?symmetry ~rule inst]
+    solves the mapping problem exactly under any of the paper's three
+    rules (default budget: 20 million nodes, split evenly over the root
+    subtrees).  [jobs] (default 1) runs the root subtrees on that many
+    domains; [symmetry] (default true) and [dominance] toggle the
+    corresponding pruning rules, for ablation.  [dominance] defaults to
+    {e auto}: on exactly when two same-type tasks share a bit-identical
+    failure row — the necessary condition for frontier signatures to
+    repeat across prefixes and the table to hit (on fully heterogeneous
+    instances every signature is unique and maintenance would be pure
+    overhead).
     @raise Invalid_argument when no mapping satisfying [rule] exists
-    ([m < p] for specialized, [m < n] for one-to-one). *)
+    ([m < p] for specialized, [m < n] for one-to-one), or [jobs < 1], or
+    [setup < 0]. *)
 val solve :
+  ?node_budget:int ->
+  ?setup:float ->
+  ?jobs:int ->
+  ?dominance:bool ->
+  ?symmetry:bool ->
+  rule:Mf_core.Mapping.rule ->
+  Mf_core.Instance.t ->
+  result
+
+(** [solve_static ?node_budget ?setup ~rule inst] is the previous
+    generation of the solver — incumbent plus a {e static} per-task
+    suffix bound only, serial, incumbent seeded from H2/H3/H4w.  Kept as
+    the baseline the bench's node-reduction factors are measured against
+    and as an independent witness for the differential tests. *)
+val solve_static :
   ?node_budget:int ->
   ?setup:float ->
   rule:Mf_core.Mapping.rule ->
   Mf_core.Instance.t ->
   result
 
-(** [specialized ?node_budget inst] is [solve ~rule:Specialized]. *)
-val specialized : ?node_budget:int -> Mf_core.Instance.t -> result
+(** [specialized ?node_budget ?jobs inst] is [solve ~rule:Specialized]. *)
+val specialized : ?node_budget:int -> ?jobs:int -> Mf_core.Instance.t -> result
 
-(** [general ?node_budget ?setup inst] is [solve ~rule:General].  With
-    [setup > 0], a machine hosting [k >= 2] distinct task {e types} pays
-    [k * setup] time units per period — the cyclic steady-state convention
-    of {!Mf_core.Period.with_setup}, with which the reported period agrees
-    exactly — and the search optimises the penalised period, quantifying
-    when reconfiguration costs erase the advantage of general mappings.
-    Unlike the other rules, [m >= p] is {e not} required: when the
-    specialized heuristics cannot seed the incumbent, the best
-    single-machine mapping does. *)
-val general : ?node_budget:int -> ?setup:float -> Mf_core.Instance.t -> result
+(** [general ?node_budget ?setup ?jobs inst] is [solve ~rule:General].
+    With [setup > 0], a machine hosting [k >= 2] distinct task {e types}
+    pays [k * setup] time units per period — the cyclic steady-state
+    convention of {!Mf_core.Period.with_setup}, with which the reported
+    period agrees exactly — and the search optimises the penalised
+    period, quantifying when reconfiguration costs erase the advantage of
+    general mappings.  Unlike the other rules, [m >= p] is {e not}
+    required: when the specialized heuristics cannot seed the incumbent,
+    the best single-machine mapping does. *)
+val general : ?node_budget:int -> ?setup:float -> ?jobs:int -> Mf_core.Instance.t -> result
 
-(** [one_to_one ?node_budget inst] is [solve ~rule:One_to_one]. *)
-val one_to_one : ?node_budget:int -> Mf_core.Instance.t -> result
+(** [one_to_one ?node_budget ?jobs inst] is [solve ~rule:One_to_one]. *)
+val one_to_one : ?node_budget:int -> ?jobs:int -> Mf_core.Instance.t -> result

@@ -1,0 +1,45 @@
+module Instance = Mf_core.Instance
+
+let machine_classes inst =
+  let n = Instance.task_count inst in
+  let m = Instance.machines inst in
+  let p = Instance.type_count inst in
+  (* Two machines are interchangeable when their whole (w, f) columns
+     coincide bit for bit: same processing time for every type and same
+     failure rate for every task.  Bit equality (not tolerance) is what
+     makes relabelling a symmetry of the floating-point objective, not
+     just of the real-valued one. *)
+  let identical u v =
+    let ok = ref true in
+    (try
+       for j = 0 to p - 1 do
+         if Instance.w_of_type inst j u <> Instance.w_of_type inst j v then begin
+           ok := false;
+           raise Exit
+         end
+       done;
+       for i = 0 to n - 1 do
+         if Instance.f inst i u <> Instance.f inst i v then begin
+           ok := false;
+           raise Exit
+         end
+       done
+     with Exit -> ());
+    !ok
+  in
+  let cls = Array.make m (-1) in
+  for u = 0 to m - 1 do
+    if cls.(u) < 0 then begin
+      cls.(u) <- u;
+      for v = u + 1 to m - 1 do
+        if cls.(v) < 0 && identical u v then cls.(v) <- u
+      done
+    end
+  done;
+  cls
+
+let has_machine_symmetry inst =
+  let cls = machine_classes inst in
+  let found = ref false in
+  Array.iteri (fun u r -> if r <> u then found := true) cls;
+  !found

@@ -1,0 +1,16 @@
+(** Machine symmetry detection (shared by {!Dfs} and re-exported as part
+    of the instance reductions in {!Reduction}).
+
+    Lives in its own compilation unit because {!Reduction} depends on
+    {!Dfs} (the Theorem 2 oracle solves instances exactly), while the
+    search needs the class partition — this unit breaks the cycle. *)
+
+(** [machine_classes inst] partitions machines into symmetry equivalence
+    classes: [classes.(u)] is the smallest machine index [v] such that
+    machines [u] and [v] have bit-identical [(w, f)] columns.  See
+    {!Reduction.machine_classes} for the full contract. *)
+val machine_classes : Mf_core.Instance.t -> int array
+
+(** [has_machine_symmetry inst] is true when some class has >= 2
+    members. *)
+val has_machine_symmetry : Mf_core.Instance.t -> bool

@@ -37,3 +37,14 @@ let solve ?(seed = 0) h inst =
   | H4 -> H4_family.h4 inst
   | H4w -> H4_family.h4w inst
   | H4f -> H4_family.h4f inst
+
+let best ?seed inst =
+  let pick =
+    List.fold_left
+      (fun acc h ->
+        let mp = solve ?seed h inst in
+        let p = Mf_core.Period.period inst mp in
+        match acc with Some (_, bp) when bp <= p -> acc | _ -> Some (mp, p))
+      None all
+  in
+  match pick with Some r -> r | None -> assert false

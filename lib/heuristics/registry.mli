@@ -21,3 +21,12 @@ val description : t -> string
     randomised H1 (default 0).
     @raise Invalid_argument when [m < p]. *)
 val solve : ?seed:int -> t -> Mf_core.Instance.t -> Mf_core.Mapping.t
+
+(** [best ?seed inst] runs {e every} heuristic of {!all} and returns the
+    mapping with the smallest period together with that period.  Ties keep
+    the earliest heuristic in the catalogue order, so the result is
+    deterministic.  This is the incumbent seed of the exact
+    branch-and-bound: a tighter initial incumbent prunes exponentially
+    more of the search tree than the cost of the extra heuristic runs.
+    @raise Invalid_argument when [m < p]. *)
+val best : ?seed:int -> Mf_core.Instance.t -> Mf_core.Mapping.t * float

@@ -88,15 +88,38 @@ module Make (F : Mf_numeric.Ordered_field.S) = struct
     end
     else begin
       let cols = n + rows in
+      (* Row equilibration: divide every row (and its rhs) by its largest
+         coefficient magnitude, so the absolute [F.eps] thresholds below
+         mean the same thing whatever the problem's scale.  Mixing unit
+         flow rows with load rows whose coefficients sit in the thousands
+         otherwise leaves phase 1 unable to pivot on small-but-genuine
+         elements, and it reports spurious infeasibility.  Solutions are
+         unaffected.  Exact fields ([eps] = 0) compare exactly at any
+         scale and are left alone: the scaling divisions would balloon
+         rational numerators and denominators for no benefit. *)
+      let inexact = F.compare F.eps F.zero > 0 in
+      let abs v = if F.compare v F.zero < 0 then F.neg v else v in
+      let scale =
+        Array.init rows (fun i ->
+            if not inexact then F.one
+            else begin
+              let s = ref (abs b.(i)) in
+              for j = 0 to n - 1 do
+                let v = abs a.(i).(j) in
+                if F.compare v !s > 0 then s := v
+              done;
+              if F.compare !s F.zero > 0 then F.div F.one !s else F.one
+            end)
+      in
       (* Columns n..n+rows-1 are the phase-1 artificials. *)
       let t =
         Array.init rows (fun i ->
             let negate = F.compare b.(i) F.zero < 0 in
             let flip v = if negate then F.neg v else v in
             Array.init (cols + 1) (fun j ->
-                if j < n then flip a.(i).(j)
+                if j < n then flip (F.mul scale.(i) a.(i).(j))
                 else if j < cols then (if j - n = i then F.one else F.zero)
-                else flip b.(i)))
+                else flip (F.mul scale.(i) b.(i))))
       in
       let basis = Array.init rows (fun i -> n + i) in
       (* Phase 1: minimize the sum of artificials.  Reduced costs start as

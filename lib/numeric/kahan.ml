@@ -5,14 +5,14 @@ type t = { mutable sum : float; mutable comp : float }
 
 let create () = { sum = 0.0; comp = 0.0 }
 
-let add acc x =
+let[@inline] add acc x =
   let t = acc.sum +. x in
   if Float.abs acc.sum >= Float.abs x then
     acc.comp <- acc.comp +. ((acc.sum -. t) +. x)
   else acc.comp <- acc.comp +. ((x -. t) +. acc.sum);
   acc.sum <- t
 
-let total acc = acc.sum +. acc.comp
+let[@inline] total acc = acc.sum +. acc.comp
 
 let reset acc =
   acc.sum <- 0.0;
@@ -21,6 +21,13 @@ let reset acc =
 let snapshot acc = (acc.sum, acc.comp)
 
 let restore acc (sum, comp) =
+  acc.sum <- sum;
+  acc.comp <- comp
+
+let[@inline] raw_sum acc = acc.sum
+let[@inline] raw_comp acc = acc.comp
+
+let restore_raw acc ~sum ~comp =
   acc.sum <- sum;
   acc.comp <- comp
 

@@ -26,6 +26,15 @@ val snapshot : t -> float * float
     {!snapshot}. *)
 val restore : t -> float * float -> unit
 
+(** [raw_sum] / [raw_comp] are the components of {!snapshot} exposed
+    separately, and [restore_raw] their counterpart: allocation-free
+    save/restore for journals that store the pair in flat float arrays
+    (the branch-and-bound hot path). *)
+val raw_sum : t -> float
+
+val raw_comp : t -> float
+val restore_raw : t -> sum:float -> comp:float -> unit
+
 (** [sum xs] is the compensated sum of an array. *)
 val sum : float array -> float
 

@@ -65,37 +65,51 @@ let shutdown = function
       Array.iter Domain.join p.workers
     end
 
-let map_array t ~f arr =
+let map_array ?chunk t ~f arr =
   match t with
   | Serial -> Array.map f arr
   | Parallel { alive = false; _ } -> invalid_arg "Pool.map_array: pool has been shut down"
-  | Parallel { shared; _ } ->
+  | Parallel { shared; workers; _ } ->
     let n = Array.length arr in
     if n = 0 then [||]
     else begin
+      (* Dispatching one queue entry per element makes the mutex traffic
+         dominate on cheap work units (the BENCH_parallel small-grid
+         regression); contiguous chunks amortise it while keeping results
+         slotted by index, so the output stays scheduling-independent. *)
+      let chunk =
+        match chunk with
+        | Some c ->
+          if c < 1 then invalid_arg "Pool.map_array: chunk must be positive" else c
+        | None -> max 1 (n / (8 * Array.length workers))
+      in
+      let nchunks = (n + chunk - 1) / chunk in
       let results = Array.make n None in
       (* Completion latch and failure list live under their own lock so
          finishing workers never contend with the queue. *)
       let latch_mutex = Mutex.create () in
       let finished = Condition.create () in
-      let remaining = ref n in
+      let remaining = ref nchunks in
       let failures = ref [] in
-      let unit_of_work i () =
-        (match f arr.(i) with
-        | v -> results.(i) <- Some v
-        | exception e ->
-          let bt = Printexc.get_raw_backtrace () in
-          Mutex.lock latch_mutex;
-          failures := (i, e, bt) :: !failures;
-          Mutex.unlock latch_mutex);
+      let unit_of_work c () =
+        let lo = c * chunk and hi = min n ((c + 1) * chunk) in
+        let local_failures = ref [] in
+        for i = lo to hi - 1 do
+          match f arr.(i) with
+          | v -> results.(i) <- Some v
+          | exception e ->
+            let bt = Printexc.get_raw_backtrace () in
+            local_failures := (i, e, bt) :: !local_failures
+        done;
         Mutex.lock latch_mutex;
+        failures := List.rev_append !local_failures !failures;
         decr remaining;
         if !remaining = 0 then Condition.signal finished;
         Mutex.unlock latch_mutex
       in
       Mutex.lock shared.mutex;
-      for i = 0 to n - 1 do
-        Queue.push (unit_of_work i) shared.queue
+      for c = 0 to nchunks - 1 do
+        Queue.push (unit_of_work c) shared.queue
       done;
       Condition.broadcast shared.work_available;
       Mutex.unlock shared.mutex;
@@ -112,8 +126,8 @@ let map_array t ~f arr =
         Array.map (function Some v -> v | None -> assert false) results
     end
 
-let map_reduce t ~f ~combine ~init arr =
-  Array.fold_left combine init (map_array t ~f arr)
+let map_reduce ?chunk t ~f ~combine ~init arr =
+  Array.fold_left combine init (map_array ?chunk t ~f arr)
 
 let with_pool ~domains f =
   let pool = create ~domains in

@@ -292,6 +292,181 @@ let prop_splitting_lp_below_general_exact =
       lp <= general *. (1.0 +. 1e-6) && general <= special *. (1.0 +. 1e-6))
 
 (* ------------------------------------------------------------------ *)
+(* Branch-and-bound differential suite: the full engine (every pruning  *)
+(* rule on) against brute force, and against itself with pruning off.   *)
+(* ------------------------------------------------------------------ *)
+
+(* Deterministic shapes covering chains and in-trees, n <= 8, m <= 4. *)
+let differential_instance ~rule i =
+  let seed = i in
+  let n, p, m =
+    match rule with
+    | Mapping.One_to_one ->
+      let n = 2 + (i mod 3) in
+      (n, 1 + (i mod 2), max n (2 + (i mod 3)))
+    | Mapping.Specialized | Mapping.General ->
+      let p = 1 + (i mod 3) in
+      let n = max p (2 + (i mod 7)) in
+      (n, p, p + (i mod (5 - p)))
+  in
+  let params = Gen.default ~tasks:n ~types:p ~machines:m in
+  let params =
+    if i mod 5 = 0 then { params with Gen.task_attached_failures = true } else params
+  in
+  if i mod 2 = 0 then Gen.chain (Rng.create seed) params
+  else Gen.in_tree (Rng.create seed) params
+
+let brute_of_rule = function
+  | Mapping.Specialized -> Brute.specialized
+  | Mapping.General -> Brute.general ?setup:None
+  | Mapping.One_to_one -> Brute.one_to_one
+
+(* 200 instances per rule: the all-pruning engine must reproduce the
+   brute-force optimum, and never explore more nodes than itself with
+   dominance and symmetry off. *)
+let test_differential rule () =
+  for i = 1 to 200 do
+    let inst = differential_instance ~rule i in
+    let _, expected = brute_of_rule rule inst in
+    let pruned = Dfs.solve ~dominance:true ~symmetry:true ~rule inst in
+    let unpruned = Dfs.solve ~dominance:false ~symmetry:false ~rule inst in
+    Alcotest.(check bool)
+      (Printf.sprintf "optimal flag (%s, i=%d)" (Mapping.rule_name rule) i)
+      true pruned.Dfs.optimal;
+    Alcotest.(check bool)
+      (Printf.sprintf "pruned = brute (%s, i=%d): %.9g vs %.9g" (Mapping.rule_name rule) i
+         pruned.Dfs.period expected)
+      true
+      (Float.abs (pruned.Dfs.period -. expected) <= 1e-9 *. expected);
+    Alcotest.(check bool)
+      (Printf.sprintf "pruned nodes <= unpruned nodes (%s, i=%d)" (Mapping.rule_name rule) i)
+      true
+      (pruned.Dfs.nodes <= unpruned.Dfs.nodes);
+    Alcotest.(check bool)
+      (Printf.sprintf "mapping valid (%s, i=%d)" (Mapping.rule_name rule) i)
+      true
+      (Mapping.satisfies inst pruned.Dfs.mapping rule);
+    Alcotest.(check bool)
+      (Printf.sprintf "period consistent (%s, i=%d)" (Mapping.rule_name rule) i)
+      true
+      (Float.abs (Period.period inst pruned.Dfs.mapping -. pruned.Dfs.period)
+      <= 1e-9 *. pruned.Dfs.period)
+  done
+
+let test_differential_specialized () = test_differential Mapping.Specialized ()
+let test_differential_general () = test_differential Mapping.General ()
+let test_differential_one_to_one () = test_differential Mapping.One_to_one ()
+
+(* General rule with a reconfiguration penalty, against the brute-force
+   oracle evaluating Period.with_setup. *)
+let test_differential_general_setup () =
+  for i = 1 to 60 do
+    let inst = differential_instance ~rule:Mapping.General i in
+    let setup = [| 25.0; 100.0; 400.0 |].(i mod 3) in
+    let _, expected = Brute.general ~setup inst in
+    let r = Dfs.solve ~setup ~dominance:true ~symmetry:true ~rule:Mapping.General inst in
+    Alcotest.(check bool)
+      (Printf.sprintf "setup differential (i=%d, setup=%.0f): %.9g vs %.9g" i setup r.Dfs.period
+         expected)
+      true
+      (Float.abs (r.Dfs.period -. expected) <= 1e-9 *. expected);
+    Alcotest.(check bool) "penalised period consistent" true
+      (Float.abs (Period.with_setup inst r.Dfs.mapping ~setup -. r.Dfs.period)
+      <= 1e-9 *. r.Dfs.period)
+  done
+
+(* --jobs must not change anything observable: the optimal value is
+   schedule-independent and the mapping is re-derived canonically. *)
+let test_jobs_identity () =
+  List.iter
+    (fun (seed, n, p, m) ->
+      let inst = chain_instance ~seed ~n ~p ~m () in
+      let r1 = Dfs.solve ~jobs:1 ~rule:Mapping.Specialized inst in
+      let r4 = Dfs.solve ~jobs:4 ~rule:Mapping.Specialized inst in
+      Alcotest.(check bool) (Printf.sprintf "optimal (seed %d)" seed) true r1.Dfs.optimal;
+      Alcotest.(check bool)
+        (Printf.sprintf "period bit-identical (seed %d): %h vs %h" seed r1.Dfs.period
+           r4.Dfs.period)
+        true
+        (r1.Dfs.period = r4.Dfs.period);
+      Alcotest.(check bool)
+        (Printf.sprintf "mapping identical (seed %d)" seed)
+        true
+        (Mapping.to_array r1.Dfs.mapping = Mapping.to_array r4.Dfs.mapping))
+    [ (1, 12, 3, 5); (2, 13, 3, 4); (3, 14, 2, 5); (4, 11, 4, 6); (5, 12, 3, 6) ]
+
+(* An in-tree whose same-type siblings share bit-identical failure rows:
+   frontier signatures collide, so the dominance table must both fire and
+   preserve the optimum; the auto policy must switch it on by itself. *)
+let dominance_forest () =
+  let n = 14 and m = 5 and p = 3 in
+  let types = Array.init n (fun i -> i / 2 mod p) in
+  let successor = Array.init n (fun i -> if i mod 2 = 0 then Some (i + 1) else None) in
+  let wf = Workflow.in_forest ~types ~successor in
+  let rng = Rng.create 11 in
+  let wcol =
+    Array.init p (fun _ -> Array.init m (fun _ -> 100.0 +. (900.0 *. Rng.float rng 1.0)))
+  in
+  let w = Array.init n (fun i -> Array.copy wcol.(types.(i))) in
+  let f = Array.init n (fun _ -> Array.make m 0.01) in
+  Instance.create ~workflow:wf ~machines:m ~w ~f
+
+let test_dominance_fires () =
+  let inst = dominance_forest () in
+  let off = Dfs.solve ~dominance:false ~rule:Mapping.Specialized inst in
+  let on = Dfs.solve ~dominance:true ~rule:Mapping.Specialized inst in
+  let auto = Dfs.solve ~rule:Mapping.Specialized inst in
+  Alcotest.(check bool) "dominance prunes something" true
+    (on.Dfs.stats.Dfs.dominance_prunes > 0);
+  Alcotest.(check bool) "fewer nodes with dominance" true (on.Dfs.nodes < off.Dfs.nodes);
+  Alcotest.(check bool) "same optimum bit-for-bit" true (on.Dfs.period = off.Dfs.period);
+  Alcotest.(check bool) "auto policy enables the table" true
+    (auto.Dfs.stats.Dfs.dominance_prunes > 0)
+
+(* Machines 0=1 and 2=3 are bit-identical: symmetry breaking must skip
+   branches yet keep the brute-force optimum. *)
+let test_symmetry_fires () =
+  let n = 7 and m = 4 and p = 2 in
+  let rng = Rng.create 3 in
+  let types = Array.init n (fun i -> i mod p) in
+  let wf = Workflow.chain ~types in
+  let half ty = 100.0 +. (500.0 *. Rng.float rng 1.0) +. (37.0 *. float_of_int ty) in
+  let wA = Array.init p (fun ty -> half ty) and wB = Array.init p (fun ty -> half ty) in
+  let w = Array.init n (fun i ->
+      let a = wA.(types.(i)) and b = wB.(types.(i)) in
+      [| a; a; b; b |])
+  in
+  let f = Array.init n (fun i ->
+      let fa = 0.005 +. (0.002 *. float_of_int (i mod 5)) in
+      let fb = 0.006 +. (0.003 *. float_of_int (i mod 4)) in
+      [| fa; fa; fb; fb |])
+  in
+  let inst = Instance.create ~workflow:wf ~machines:m ~w ~f in
+  Alcotest.(check bool) "classes detected" true (Mf_exact.Reduction.has_machine_symmetry inst);
+  let _, expected = Brute.specialized inst in
+  let on = Dfs.solve ~symmetry:true ~rule:Mapping.Specialized inst in
+  let off = Dfs.solve ~symmetry:false ~rule:Mapping.Specialized inst in
+  Alcotest.(check bool) "symmetry skips branches" true (on.Dfs.stats.Dfs.symmetry_skips > 0);
+  Alcotest.(check bool) "fewer nodes with symmetry" true (on.Dfs.nodes <= off.Dfs.nodes);
+  Alcotest.(check bool) "matches brute" true
+    (Float.abs (on.Dfs.period -. expected) <= 1e-9 *. expected);
+  Alcotest.(check bool) "matches unbroken search bit-for-bit" true
+    (on.Dfs.period = off.Dfs.period)
+
+(* The previous-generation engine must agree with the new one — they share
+   nothing but the problem definition, so this is a strong differential. *)
+let test_static_agrees_with_bnb () =
+  for seed = 1 to 25 do
+    let inst = chain_instance ~seed ~n:10 ~p:3 ~m:5 () in
+    let st = Dfs.solve_static ~rule:Mapping.Specialized inst in
+    let bb = Dfs.solve ~rule:Mapping.Specialized inst in
+    Alcotest.(check bool)
+      (Printf.sprintf "static = bnb (seed %d): %.9g vs %.9g" seed st.Dfs.period bb.Dfs.period)
+      true
+      (Float.abs (st.Dfs.period -. bb.Dfs.period) <= 1e-9 *. st.Dfs.period)
+  done
+
+(* ------------------------------------------------------------------ *)
 (* Theorem 2: the 3-PARTITION reduction, executed                       *)
 (* ------------------------------------------------------------------ *)
 
@@ -391,6 +566,17 @@ let () =
             prop_oto_bottleneck_equals_dfs;
             prop_splitting_lp_below_general_exact;
           ] );
+      ( "dfs-differential",
+        [
+          Alcotest.test_case "specialized vs brute (200)" `Slow test_differential_specialized;
+          Alcotest.test_case "general vs brute (200)" `Slow test_differential_general;
+          Alcotest.test_case "one-to-one vs brute (200)" `Slow test_differential_one_to_one;
+          Alcotest.test_case "general+setup vs brute" `Slow test_differential_general_setup;
+          Alcotest.test_case "jobs 1 = jobs 4" `Slow test_jobs_identity;
+          Alcotest.test_case "dominance fires and is safe" `Quick test_dominance_fires;
+          Alcotest.test_case "symmetry fires and is safe" `Quick test_symmetry_fires;
+          Alcotest.test_case "static engine agrees" `Slow test_static_agrees_with_bnb;
+        ] );
       ( "oto",
         [
           Alcotest.test_case "theorem 1 optimal" `Slow test_theorem1_matches_brute;

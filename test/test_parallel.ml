@@ -78,6 +78,48 @@ let test_exception_smallest_index_wins () =
           with Boom i -> Alcotest.(check int) "smallest failing index" 17 i))
     jobs_grid
 
+let test_chunk_matches_serial () =
+  (* Explicit chunk sizes — including degenerate ones larger than the
+     input — must not change results or ordering. *)
+  let input = Array.init 257 (fun i -> i) in
+  let f i = (i * 31) mod 101 in
+  let expected = Array.map f input in
+  List.iter
+    (fun jobs ->
+      Pool.with_pool ~domains:jobs (fun pool ->
+          List.iter
+            (fun chunk ->
+              Alcotest.(check (array int))
+                (Printf.sprintf "jobs=%d chunk=%d map_array" jobs chunk)
+                expected
+                (Pool.map_array pool ~chunk ~f input);
+              Alcotest.(check int)
+                (Printf.sprintf "jobs=%d chunk=%d map_reduce" jobs chunk)
+                (Array.fold_left ( + ) 0 expected)
+                (Pool.map_reduce pool ~chunk ~f ~combine:( + ) ~init:0 input))
+            [ 1; 3; 64; 1000 ]))
+    jobs_grid
+
+let test_chunk_smallest_index_wins () =
+  (* The smallest-failing-index guarantee must survive chunked dispatch. *)
+  List.iter
+    (fun chunk ->
+      Pool.with_pool ~domains:4 (fun pool ->
+          let input = Array.init 200 (fun i -> i) in
+          try
+            ignore
+              (Pool.map_array pool ~chunk input ~f:(fun i ->
+                   if i mod 50 = 17 then raise (Boom i) else i));
+            Alcotest.fail "exception not propagated"
+          with Boom i -> Alcotest.(check int) "smallest failing index" 17 i))
+    [ 1; 3; 64; 1000 ]
+
+let test_chunk_validation () =
+  Pool.with_pool ~domains:2 (fun pool ->
+      Alcotest.check_raises "chunk must be positive"
+        (Invalid_argument "Pool.map_array: chunk must be positive") (fun () ->
+          ignore (Pool.map_array pool ~chunk:0 ~f:Fun.id [| 1 |])))
+
 let test_stress_many_small_batches () =
   (* Many batches of tiny tasks through one pool: exercises the queue
      wake-ups and the per-call completion latch. *)
@@ -141,6 +183,9 @@ let () =
           Alcotest.test_case "map_reduce index order" `Quick test_map_reduce_index_order;
           Alcotest.test_case "exception propagation" `Quick test_exception_propagation;
           Alcotest.test_case "smallest index wins" `Quick test_exception_smallest_index_wins;
+          Alcotest.test_case "chunked dispatch = serial map" `Quick test_chunk_matches_serial;
+          Alcotest.test_case "chunked smallest index wins" `Quick test_chunk_smallest_index_wins;
+          Alcotest.test_case "chunk validation" `Quick test_chunk_validation;
           Alcotest.test_case "stress small batches" `Quick test_stress_many_small_batches;
           Alcotest.test_case "shutdown" `Quick test_shutdown;
         ] );
