@@ -434,7 +434,8 @@ let bench_exact () =
   let reduction = float_of_int static.Dfs.nodes /. float_of_int (max 1 bnb.Dfs.nodes) in
   Printf.printf
     "  branch-and-bound reaches period %.3f ms in %d nodes (budget %d): %.0fx fewer\n\
-    \  (prunes: %d bound, %d dominance, %d symmetry; incumbent final at node %d)\n"
+    \  (prunes: %d bound, %d dominance, %d symmetry; incumbent final at node %d of its \
+     subtree)\n"
     bnb.Dfs.period bnb.Dfs.nodes matched_budget reduction bnb.Dfs.stats.Dfs.bound_prunes
     bnb.Dfs.stats.Dfs.dominance_prunes bnb.Dfs.stats.Dfs.symmetry_skips
     bnb.Dfs.stats.Dfs.best_at_node;

@@ -404,7 +404,13 @@ let make_search ctx ~shared ~budget ~seed_p ~mode ~pins =
     stop = false;
     mode;
     pins;
-    use_dominance = (match mode with Optimize -> ctx.dominance | Certify _ -> false);
+    (* Dominance stays on in Certify mode: a stored state's subtree was
+       fully explored (ties admitted) without stopping, so it holds no
+       leaf with period <= p_star; any p_star completion of a dominated
+       state maps to a completion of the stored state with period <=
+       p_star — impossible.  Without the table, a tree the optimize phase
+       closed mainly via dominance could exhaust certify's budget. *)
+    use_dominance = ctx.dominance;
     table = Hashtbl.create 4096;
     table_states = 0;
     bound_prunes = 0;
@@ -501,7 +507,10 @@ let signature s k =
   let c = s.ctx in
   let buf = s.sigbuf in
   Buffer.clear buf;
-  Buffer.add_uint16_le buf k;
+  (* 32-bit fields: 16-bit writes would silently wrap for n or m >= 65536
+     and let distinct frontier states share a key, making the pruning
+     unsound exactly when it must be exact. *)
+  Buffer.add_int32_le buf (Int32.of_int k);
   for j = 0 to c.n - 1 do
     if c.pos.(j) < k && k <= c.mpp.(j) then
       Buffer.add_int64_le buf (Int64.bits_of_float (State.x s.st j))
@@ -532,9 +541,9 @@ let signature s k =
   Array.iteri
     (fun idx (cl, comm, load, _) ->
       loads.(idx) <- load;
-      Buffer.add_uint16_le buf cl;
-      Buffer.add_uint16_le buf (Array.length comm);
-      Array.iter (fun v -> Buffer.add_uint16_le buf (v land 0xffff)) comm)
+      Buffer.add_int32_le buf (Int32.of_int cl);
+      Buffer.add_int32_le buf (Int32.of_int (Array.length comm));
+      Array.iter (fun v -> Buffer.add_int32_le buf (Int32.of_int v)) comm)
     recs;
   (Buffer.contents buf, loads)
 
@@ -849,10 +858,13 @@ let run_subtree ctx ~shared ~budget ~seed_p prefix =
   }
 
 (* Phase 2: serial, jobs-independent reconstruction of the mapping behind
-   the proven optimal value.  Hunts the first leaf in canonical DFS order
-   whose period is bit-equal to p_star; the first-improving leaf of the
-   serial run is always such a leaf, so this terminates fast and the
-   mapping reported for --jobs N matches --jobs 1 exactly. *)
+   the proven optimal value.  Hunts the first leaf in canonical
+   (dominance-pruned) DFS order whose period is bit-equal to p_star; the
+   first-improving leaf of the serial run is always such a leaf, so this
+   terminates fast and the mapping reported for --jobs N matches --jobs 1
+   exactly.  Budget exhaustion here is still possible in principle; the
+   caller then falls back to the (equally jobs-independent) incumbent
+   allocation. *)
 let certify ctx ~p_star ~budget =
   let s =
     make_search ctx ~shared:(Atomic.make infinity) ~budget ~seed_p:infinity
@@ -894,6 +906,13 @@ let solve ?(node_budget = 20_000_000) ?(setup = 0.0) ?(jobs = 1) ?dominance ?(sy
      kept in the totals. *)
   let discarded = ref 0 in
   let best_p = ref seed_p in
+  (* Incumbent allocation and its subtree-local node stamp, maintained
+     monotonically with [best_p] across rounds.  A re-run of an exhausted
+     subtree is seeded with the already-improved incumbent, so its result
+     can tie [best_p] while carrying no allocation; only strict
+     improvements — which always carry one — may overwrite the pair. *)
+  let best_alloc = ref None in
+  let best_at = ref 0 in
   let budget_left = ref node_budget in
   let pending = ref (List.init nroots Fun.id) in
   let last_per = ref 0 in
@@ -916,7 +935,13 @@ let solve ?(node_budget = 20_000_000) ?(setup = 0.0) ?(jobs = 1) ?dominance ?(sy
         (match results.(i) with Some prev -> discarded := !discarded + prev.r_nodes | None -> ());
         results.(i) <- Some r;
         budget_left := !budget_left - r.r_nodes;
-        if r.r_best_p < !best_p then best_p := r.r_best_p)
+        if r.r_best_p < !best_p then
+          match r.r_alloc with
+          | Some _ as a ->
+            best_p := r.r_best_p;
+            best_alloc := a;
+            best_at := r.r_best_at
+          | None -> ())
       round;
     let still =
       List.filter
@@ -934,9 +959,7 @@ let solve ?(node_budget = 20_000_000) ?(setup = 0.0) ?(jobs = 1) ?dominance ?(sy
   and dom_prunes = ref 0
   and dom_states = ref 0
   and sym_skips = ref root_skips
-  and exhausted = ref false
-  and best_at = ref 0 in
-  let p_star = ref seed_p and chosen = ref None in
+  and exhausted = ref false in
   Array.iter
     (fun ro ->
       let r = match ro with Some r -> r | None -> assert false in
@@ -945,31 +968,32 @@ let solve ?(node_budget = 20_000_000) ?(setup = 0.0) ?(jobs = 1) ?dominance ?(sy
       dom_prunes := !dom_prunes + r.r_dom;
       dom_states := !dom_states + r.r_dom_states;
       sym_skips := !sym_skips + r.r_sym;
-      if r.r_exhausted then exhausted := true;
-      if r.r_best_p < !p_star then begin
-        p_star := r.r_best_p;
-        chosen := r.r_alloc;
-        best_at := r.r_best_at
-      end)
+      if r.r_exhausted then exhausted := true)
     results;
+  let p_star = !best_p in
   let optimal = not !exhausted in
   let certify_nodes = ref 0 in
   let mapping, period =
-    if !p_star >= seed_p then (seed_mp, seed_p)
+    if p_star >= seed_p then (seed_mp, seed_p)
     else begin
+      (* [best_alloc] is [Some] whenever [best_p] improved on the seed,
+         so the [None] arm is unreachable; it degrades to the seed rather
+         than crash should that invariant ever break. *)
       let fallback () =
-        match !chosen with Some a -> Mapping.of_array inst a | None -> assert false
+        match !best_alloc with
+        | Some a -> (Mapping.of_array inst a, p_star)
+        | None -> (seed_mp, seed_p)
       in
       if optimal then begin
-        match certify ctx ~p_star:!p_star ~budget:node_budget with
+        match certify ctx ~p_star ~budget:node_budget with
         | Some a, cn ->
           certify_nodes := cn;
-          (Mapping.of_array inst a, !p_star)
+          (Mapping.of_array inst a, p_star)
         | None, cn ->
           certify_nodes := cn;
-          (fallback (), !p_star)
+          fallback ()
       end
-      else (fallback (), !p_star)
+      else fallback ()
     end
   in
   {

@@ -88,17 +88,40 @@ module Make (F : Mf_numeric.Ordered_field.S) = struct
     end
     else begin
       let cols = n + rows in
-      (* Row equilibration: divide every row (and its rhs) by its largest
-         coefficient magnitude, so the absolute [F.eps] thresholds below
-         mean the same thing whatever the problem's scale.  Mixing unit
-         flow rows with load rows whose coefficients sit in the thousands
-         otherwise leaves phase 1 unable to pivot on small-but-genuine
-         elements, and it reports spurious infeasibility.  Solutions are
-         unaffected.  Exact fields ([eps] = 0) compare exactly at any
-         scale and are left alone: the scaling divisions would balloon
-         rational numerators and denominators for no benefit. *)
+      (* Row equilibration: scale every row (and its rhs) by the inverse
+         of the power of two nearest its largest coefficient magnitude,
+         so the absolute [F.eps] thresholds below mean the same thing
+         whatever the problem's scale.  Mixing unit flow rows with load
+         rows whose coefficients sit in the thousands otherwise leaves
+         phase 1 unable to pivot on small-but-genuine elements, and it
+         reports spurious infeasibility.  A power of two — rather than
+         1/max itself, which rounds — keeps the scaling multiplications
+         exact in binary floating point, so pivot decisions and the
+         reported solution are genuinely unperturbed.  Exact fields
+         ([eps] = 0) compare exactly at any scale and are left alone: the
+         scaling would balloon rational numerators and denominators for
+         no benefit. *)
       let inexact = F.compare F.eps F.zero > 0 in
       let abs v = if F.compare v F.zero < 0 then F.neg v else v in
+      let two = F.add F.one F.one in
+      let half = F.div F.one two in
+      (* Largest 1/2^k with s/2^k in [1, 2).  The iteration guard only
+         matters for non-finite [s], where the loops cannot make
+         progress; 5000 halvings cover any double exponent many times
+         over. *)
+      let pow2_inv s =
+        let inv = ref F.one in
+        let guard = ref 0 in
+        while !guard < 5000 && F.compare (F.mul s !inv) two >= 0 do
+          inv := F.mul !inv half;
+          incr guard
+        done;
+        while !guard < 5000 && F.compare (F.mul s !inv) F.one < 0 do
+          inv := F.mul !inv two;
+          incr guard
+        done;
+        !inv
+      in
       let scale =
         Array.init rows (fun i ->
             if not inexact then F.one
@@ -108,7 +131,7 @@ module Make (F : Mf_numeric.Ordered_field.S) = struct
                 let v = abs a.(i).(j) in
                 if F.compare v !s > 0 then s := v
               done;
-              if F.compare !s F.zero > 0 then F.div F.one !s else F.one
+              if F.compare !s F.zero > 0 then pow2_inv !s else F.one
             end)
       in
       (* Columns n..n+rows-1 are the phase-1 artificials. *)
@@ -137,8 +160,12 @@ module Make (F : Mf_numeric.Ordered_field.S) = struct
       done;
       match iterate t z1 basis ~eligible:(fun _ -> true) with
       | `Unbounded ->
-        (* Phase-1 objective is bounded below by 0; cannot happen. *)
-        assert false
+        (* The phase-1 objective is bounded below by 0, so a genuine ray
+           cannot exist: reaching here means the [eps] thresholds lied —
+           an "improving" column with no pivotable row entry, seen on
+           numerically hard mixed-scale instances.  Report the system as
+           infeasible-at-this-precision rather than crash. *)
+        Infeasible
       | `Optimal ->
         let phase1_obj = F.neg z1.(cols) in
         if is_pos phase1_obj then Infeasible

@@ -395,6 +395,40 @@ let test_jobs_identity () =
         (Mapping.to_array r1.Dfs.mapping = Mapping.to_array r4.Dfs.mapping))
     [ (1, 12, 3, 5); (2, 13, 3, 4); (3, 14, 2, 5); (4, 11, 4, 6); (5, 12, 3, 6) ]
 
+(* Budget-exhausted multi-round runs: a re-run of the subtree holding the
+   incumbent is seeded with its own best period, so it can never re-find
+   the corresponding leaf and its recorded result carries no allocation.
+   The incumbent (period, allocation) pair must therefore be carried
+   monotonically across rounds — on these (seed, n, m, budget)
+   configurations the previous aggregation, which re-derived the pair
+   from the final per-subtree results, crashed on [assert false]. *)
+let test_exhausted_rerun_keeps_incumbent () =
+  List.iter
+    (fun (seed, n, m, budget) ->
+      let inst = chain_instance ~seed ~n ~p:3 ~m () in
+      let r = Dfs.solve ~node_budget:budget ~rule:Mapping.Specialized inst in
+      Alcotest.(check bool) (Printf.sprintf "non-optimal (seed %d)" seed) false r.Dfs.optimal;
+      Alcotest.(check bool)
+        (Printf.sprintf "mapping valid (seed %d)" seed)
+        true
+        (Mapping.satisfies inst r.Dfs.mapping Mapping.Specialized);
+      Alcotest.(check bool)
+        (Printf.sprintf "period consistent with mapping (seed %d)" seed)
+        true
+        (Float.abs (Period.period inst r.Dfs.mapping -. r.Dfs.period) <= 1e-9 *. r.Dfs.period);
+      (* The fallback allocation comes out of the deterministic round
+         structure, so exhaustion must not break the --jobs identity. *)
+      let r4 = Dfs.solve ~node_budget:budget ~jobs:4 ~rule:Mapping.Specialized inst in
+      Alcotest.(check bool)
+        (Printf.sprintf "period bit-identical under exhaustion (seed %d)" seed)
+        true
+        (r.Dfs.period = r4.Dfs.period);
+      Alcotest.(check bool)
+        (Printf.sprintf "mapping identical under exhaustion (seed %d)" seed)
+        true
+        (Mapping.to_array r.Dfs.mapping = Mapping.to_array r4.Dfs.mapping))
+    [ (1, 14, 6, 16_000); (3, 14, 6, 8_000); (4, 14, 6, 8_000) ]
+
 (* An in-tree whose same-type siblings share bit-identical failure rows:
    frontier signatures collide, so the dominance table must both fire and
    preserve the optimum; the auto policy must switch it on by itself. *)
@@ -573,6 +607,8 @@ let () =
           Alcotest.test_case "one-to-one vs brute (200)" `Slow test_differential_one_to_one;
           Alcotest.test_case "general+setup vs brute" `Slow test_differential_general_setup;
           Alcotest.test_case "jobs 1 = jobs 4" `Slow test_jobs_identity;
+          Alcotest.test_case "exhausted re-runs keep the incumbent" `Quick
+            test_exhausted_rerun_keeps_incumbent;
           Alcotest.test_case "dominance fires and is safe" `Quick test_dominance_fires;
           Alcotest.test_case "symmetry fires and is safe" `Quick test_symmetry_fires;
           Alcotest.test_case "static engine agrees" `Slow test_static_agrees_with_bnb;
