@@ -2,7 +2,7 @@
 # No ocamlformat in the toolchain image — formatting is by convention
 # (see DESIGN.md §5), so there is no fmt target.
 
-.PHONY: all build test verify bench bench-quick bench-exact clean
+.PHONY: all build test verify bench bench-quick bench-exact bench-lp clean
 
 all: build
 
@@ -14,16 +14,19 @@ test:
 
 # Gate: build + tests, then the parallel-determinism check — the same
 # experiment grid at --jobs 1 and --jobs 4 must produce byte-identical CSV —
-# and the exact branch-and-bound differential suite (all pruning rules
-# against brute force) under a timeout so a pruning regression that blows
-# the search up fails fast instead of hanging the gate.
+# and the two differential suites under timeouts so a regression that blows
+# a search or a simplex up fails fast instead of hanging the gate: the exact
+# branch-and-bound one (all pruning rules against brute force) and the LP one
+# (float simplex against the exact-rational solver on 208 in-forest
+# instances).
 verify:
 	dune build && dune runtest
 	dune exec bin/mfopt.exe -- experiment fig6 --replicates 2 --jobs 1 --csv > _build/verify_j1.csv
 	dune exec bin/mfopt.exe -- experiment fig6 --replicates 2 --jobs 4 --csv > _build/verify_j4.csv
 	cmp _build/verify_j1.csv _build/verify_j4.csv
 	timeout 60 dune exec test/test_exact.exe -- test dfs-differential
-	@echo "verify OK: tests green, --jobs 1/4 byte-identical, exact differential suite green"
+	timeout 60 dune exec test/test_lp.exe -- test lp-differential
+	@echo "verify OK: tests green, --jobs 1/4 byte-identical, both differential suites green"
 
 # Full benchmark run (figures + BENCH_eval.json + BENCH_parallel.json +
 # bechamel micro-benchmarks).
@@ -38,7 +41,14 @@ bench-quick:
 # Exact-search benchmark only (writes BENCH_exact.json): node reduction vs
 # the static baseline, solvable-size scan, --jobs identity, pruning ablation.
 bench-exact:
-	dune exec bench/main.exe -- --only none --skip-micro --skip-ablation --skip-eval --skip-parallel
+	dune exec bench/main.exe -- --only none --skip-micro --skip-ablation --skip-eval --skip-parallel --skip-lp
+
+# Splitting-LP benchmark only (writes BENCH_lp.json): solve time and pivot
+# counts for n in {10, 20, 40, 80} under the throughput-form Devex solver,
+# the Bland baseline on the same tableau, and the seed period-form + Bland
+# combination, plus the fraction of seeds taking the rational fallback.
+bench-lp:
+	dune exec bench/main.exe -- --only none --skip-micro --skip-ablation --skip-eval --skip-parallel --skip-exact
 
 clean:
 	dune clean

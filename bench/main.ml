@@ -13,7 +13,9 @@
      --skip-parallel skip the multicore-runner benchmark
                     (which also writes machine-readable BENCH_parallel.json)
      --skip-exact   skip the exact branch-and-bound benchmark
-                    (which also writes machine-readable BENCH_exact.json) *)
+                    (which also writes machine-readable BENCH_exact.json)
+     --skip-lp      skip the splitting-LP simplex benchmark
+                    (which also writes machine-readable BENCH_lp.json) *)
 
 module Figures = Mf_experiments.Figures
 module Report = Mf_experiments.Report
@@ -31,6 +33,7 @@ let skip_ablation = ref false
 let skip_eval = ref false
 let skip_parallel = ref false
 let skip_exact = ref false
+let skip_lp = ref false
 
 let parse_args () =
   let rec go = function
@@ -55,6 +58,9 @@ let parse_args () =
       go rest
     | "--skip-exact" :: rest ->
       skip_exact := true;
+      go rest
+    | "--skip-lp" :: rest ->
+      skip_lp := true;
       go rest
     | arg :: _ ->
       Printf.eprintf "unknown argument %s\n" arg;
@@ -148,8 +154,8 @@ let ablation_splitting () =
   for seed = 1 to 8 do
     let inst = Gen.chain (Rng.create seed) (Gen.default ~tasks:8 ~types:3 ~machines:4) in
     let exact = (Mf_exact.Dfs.specialized inst).Mf_exact.Dfs.period in
-    let lp = Mf_lp.Splitting.solve inst in
-    let _, rounded = Mf_lp.Splitting.round inst lp in
+    let lp = Mf_lp.Splitting.solve_exn inst in
+    let _, rounded = Mf_lp.Splitting.round_exn inst lp in
     Printf.printf "  %4d %12.1f %12.1f %12.1f %9.1f%%\n" seed exact lp.Mf_lp.Splitting.period
       rounded
       (100.0 *. (exact -. lp.Mf_lp.Splitting.period) /. exact)
@@ -568,6 +574,164 @@ let bench_exact () =
   Printf.printf "  (machine-readable copy written to %s)\n" json
 
 (* ------------------------------------------------------------------ *)
+(* Splitting-LP / simplex benchmark                                     *)
+(* ------------------------------------------------------------------ *)
+
+(* The seed solver posed the splitting LP in period form (minimize K) and
+   solved it with Bland's rule under absolute tolerances; every non-sink
+   flow row and every load row then has rhs 0, so the simplex starts at a
+   massively degenerate vertex and at n >= 40 the pivot budget dies on a
+   zero-step plateau.  Three arms on the same instances:
+
+   - devex: the shipping configuration — throughput-form tableau,
+     Devex pricing with the Bland stall fallback, relative tolerances;
+   - bland: the same tableau under the Bland/absolute-eps baseline
+     ([solve_bland]), isolating the pricing-and-tolerance effect;
+   - seed baseline: the period-form model solved with [solve_bland] —
+     the seed combination, rebuilt here so the stall it suffers from
+     stays measurable after the library moved on. *)
+let bench_lp () =
+  section "Splitting LP: throughput-form Devex vs the Bland baselines";
+  let module Splitting = Mf_lp.Splitting in
+  let module Model = Mf_lp.Model in
+  let module Linexpr = Mf_lp.Linexpr in
+  let module Std = Mf_lp.Standardize in
+  let module FS = Mf_lp.Simplex.Float_solver in
+  let module Instance = Mf_core.Instance in
+  let module Workflow = Mf_core.Workflow in
+  (* The period-form LP exactly as the seed posed it. *)
+  let period_model inst =
+    let n = Instance.task_count inst in
+    let m = Instance.machines inst in
+    let wf = Instance.workflow inst in
+    let model = Model.create () in
+    let nv =
+      Array.init n (fun i ->
+          Array.init m (fun u ->
+              Model.add_var model ~name:(Printf.sprintf "n_%d_%d" i u) Model.Continuous))
+    in
+    let k = Model.add_var model ~name:"K" Model.Continuous in
+    for i = 0 to n - 1 do
+      let successes =
+        Linexpr.of_terms (List.init m (fun u -> (1.0 -. Instance.f inst i u, nv.(i).(u)))) 0.0
+      in
+      match Workflow.successor wf i with
+      | None -> Model.add_constraint model successes Model.Eq 1.0
+      | Some j ->
+        let demand = Linexpr.of_terms (List.init m (fun u -> (1.0, nv.(j).(u)))) 0.0 in
+        Model.add_constraint model (Linexpr.sub successes demand) Model.Eq 0.0
+    done;
+    for u = 0 to m - 1 do
+      let load =
+        Linexpr.of_terms (List.init n (fun i -> (Instance.w inst i u, nv.(i).(u)))) 0.0
+      in
+      Model.add_constraint model (Linexpr.sub load (Linexpr.var k)) Model.Le 0.0
+    done;
+    Model.set_objective model ~minimize:true (Linexpr.var k);
+    model
+  in
+  let sizes = if !quick then [ 10; 20; 40 ] else [ 10; 20; 40; 80 ] in
+  let seeds = if !quick then [ 1; 2 ] else [ 1; 2; 3 ] in
+  let nseeds = List.length seeds in
+  let outcome_name = function
+    | FS.Optimal _ -> "optimal"
+    | FS.Infeasible -> "infeasible"
+    | FS.Unbounded -> "unbounded"
+    | FS.Stalled -> "stalled"
+  in
+  Printf.printf "  %4s | %22s | %22s | %22s | %s\n" "n" "devex (new)"
+    "bland, same tableau" "seed baseline" "certified path";
+  let rows =
+    List.map
+      (fun n ->
+        let arm_stats = Hashtbl.create 4 in
+        let record arm outcome pivots wall =
+          let opt, stall, piv, time =
+            try Hashtbl.find arm_stats arm with Not_found -> (0, 0, 0, 0.0)
+          in
+          let opt = if outcome = "optimal" then opt + 1 else opt in
+          let stall = if outcome = "stalled" then stall + 1 else stall in
+          Hashtbl.replace arm_stats arm (opt, stall, piv + pivots, time +. wall)
+        in
+        let rational = ref 0 in
+        let certified_time = ref 0.0 in
+        List.iter
+          (fun seed ->
+            let inst =
+              Gen.chain (Rng.create seed) (Gen.default ~tasks:n ~types:4 ~machines:8)
+            in
+            let run arm std solver =
+              match std with
+              | None -> record arm "infeasible" 0 0.0
+              | Some std ->
+                let t0 = Unix.gettimeofday () in
+                let d : FS.detail = solver std in
+                let wall = Unix.gettimeofday () -. t0 in
+                record arm (outcome_name d.FS.outcome) d.FS.iterations wall
+            in
+            let throughput_std = Std.build (Splitting.model inst) in
+            run "devex" throughput_std (fun std ->
+                FS.solve_detailed ~a:std.Std.a ~b:std.Std.b ~c:std.Std.c ());
+            run "bland" throughput_std (fun std ->
+                FS.solve_bland_detailed ~a:std.Std.a ~b:std.Std.b ~c:std.Std.c ());
+            run "seed" (Std.build (period_model inst)) (fun std ->
+                FS.solve_bland_detailed ~a:std.Std.a ~b:std.Std.b ~c:std.Std.c ());
+            let t0 = Unix.gettimeofday () in
+            (match Splitting.solve inst with
+            | Ok r -> ( match r.Splitting.path with `Rational -> incr rational | `Float -> ())
+            | Error _ -> ());
+            certified_time := !certified_time +. (Unix.gettimeofday () -. t0))
+          seeds;
+        let cell arm =
+          let opt, stall, piv, time =
+            try Hashtbl.find arm_stats arm with Not_found -> (0, 0, 0, 0.0)
+          in
+          ( opt,
+            stall,
+            float_of_int piv /. float_of_int nseeds,
+            time /. float_of_int nseeds )
+        in
+        let pp (opt, stall, piv, time) =
+          Printf.sprintf "%d/%d ok %5.0fpiv %6.3fs"
+            opt nseeds piv time
+          ^ if stall > 0 then Printf.sprintf " (%d stall)" stall else ""
+        in
+        let devex = cell "devex" and bland = cell "bland" and seed = cell "seed" in
+        Printf.printf "  %4d | %22s | %22s | %22s | %d/%d rational, %.3fs avg\n" n (pp devex)
+          (pp bland) (pp seed) !rational nseeds
+          (!certified_time /. float_of_int nseeds);
+        (n, devex, bland, seed, !rational, !certified_time /. float_of_int nseeds))
+      sizes
+  in
+  let json = "BENCH_lp.json" in
+  let oc = open_out json in
+  let arm_json (opt, stall, piv, time) =
+    Printf.sprintf
+      "{ \"optimal\": %d, \"stalled\": %d, \"mean_pivots\": %.1f, \"mean_wall_s\": %.6f }" opt
+      stall piv time
+  in
+  Printf.fprintf oc
+    "{\n\
+    \  \"instances\": { \"types\": 4, \"machines\": 8, \"application\": \"chain\", \"seeds\": %d },\n\
+    \  \"arms\": [\"devex_throughput_form\", \"bland_same_tableau\", \"seed_bland_period_form\"],\n\
+    \  \"rows\": [\n%s\n  ]\n\
+     }\n"
+    nseeds
+    (String.concat ",\n"
+       (List.map
+          (fun (n, devex, bland, seed, rational, cert_time) ->
+            Printf.sprintf
+              "    { \"n\": %d,\n\
+              \      \"devex_throughput_form\": %s,\n\
+              \      \"bland_same_tableau\": %s,\n\
+              \      \"seed_bland_period_form\": %s,\n\
+              \      \"certified\": { \"rational_fallbacks\": %d, \"mean_wall_s\": %.6f } }"
+              n (arm_json devex) (arm_json bland) (arm_json seed) rational cert_time)
+          rows));
+  close_out oc;
+  Printf.printf "  (machine-readable copy written to %s)\n" json
+
+(* ------------------------------------------------------------------ *)
 (* Bechamel micro-benchmarks                                            *)
 (* ------------------------------------------------------------------ *)
 
@@ -666,5 +830,6 @@ let () =
   if not !skip_eval then bench_eval ();
   if not !skip_parallel then bench_parallel ();
   if not !skip_exact then bench_exact ();
+  if not !skip_lp then bench_lp ();
   if not !skip_micro then micro_benchmarks ();
   print_newline ()

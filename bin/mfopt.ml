@@ -240,16 +240,42 @@ let exact_cmd =
   let no_symmetry =
     Arg.(value & flag & info [ "no-symmetry" ] ~doc:"Disable machine symmetry breaking.")
   in
-  let run file rule setup jobs node_budget no_dominance no_symmetry =
+  let lp_bound =
+    Arg.(
+      value & flag
+      & info [ "lp-bound" ]
+          ~doc:
+            "Pre-compute the divisible-workload LP lower bound (rational-certified) and stop \
+             the search as soon as the incumbent meets it.")
+  in
+  let run file rule setup jobs node_budget no_dominance no_symmetry lp_bound =
     let inst = Instance_io.read_file file in
     Printf.printf "instance: n=%d p=%d m=%d, rule %s%s\n" (Instance.task_count inst)
       (Instance.type_count inst) (Instance.machines inst) (Mapping.rule_name rule)
       (if setup > 0.0 then Printf.sprintf ", %.0fms setup per type switch" setup else "");
     let dominance = if no_dominance then Some false else None in
+    let lower_bound =
+      if not lp_bound then None
+      else
+        match Mf_lp.Splitting.solve inst with
+        | Error e ->
+          Printf.printf "       (LP bound unavailable: %s)\n" (Mf_lp.Splitting.describe_error e);
+          None
+        | Ok r ->
+          (* Shave one relative ulp-margin off the bound: the float-path
+             optimum (and the rational one after float conversion) can sit
+             a hair above the true infimum, and a lower bound must err
+             low to stay a certificate. *)
+          let margin = match r.Mf_lp.Splitting.path with `Rational -> 1e-9 | `Float -> 1e-6 in
+          let lb = r.Mf_lp.Splitting.period *. (1.0 -. margin) in
+          Printf.printf "       LP lower bound %.2f ms (%s path)\n" r.Mf_lp.Splitting.period
+            (match r.Mf_lp.Splitting.path with `Float -> "float" | `Rational -> "rational");
+          Some lb
+    in
     let t0 = Unix.gettimeofday () in
     match
       Mf_exact.Dfs.solve ~node_budget ~setup ~jobs ?dominance ~symmetry:(not no_symmetry)
-        ~rule inst
+        ?lower_bound ~rule inst
     with
     | r ->
       let dt = Unix.gettimeofday () -. t0 in
@@ -273,7 +299,7 @@ let exact_cmd =
     (Cmd.info "exact" ~doc)
     Term.(
       const run $ instance_arg $ rule $ setup $ jobs $ node_budget $ no_dominance
-      $ no_symmetry)
+      $ no_symmetry $ lp_bound)
 
 (* ------------------------------------------------------------------ *)
 (* simulate                                                             *)
@@ -383,12 +409,21 @@ let lp_cmd =
   in
   let run file mip node_budget =
     let inst = Instance_io.read_file file in
-    let r = Mf_lp.Splitting.solve inst in
-    Printf.printf "divisible-workload LP bound: %.2f ms period (%.6f /ms)\n"
-      r.Mf_lp.Splitting.period (1.0 /. r.Mf_lp.Splitting.period);
-    let mp, rounded = Mf_lp.Splitting.round inst r in
-    print_solution inst "round" mp;
-    ignore rounded;
+    (match Mf_lp.Splitting.solve inst with
+    | Error e ->
+      Printf.eprintf "LP failed: %s\n" (Mf_lp.Splitting.describe_error e);
+      exit 1
+    | Ok r ->
+      Printf.printf "divisible-workload LP bound: %.2f ms period (%.6f /ms)%s\n"
+        r.Mf_lp.Splitting.period
+        (1.0 /. r.Mf_lp.Splitting.period)
+        (match r.Mf_lp.Splitting.path with
+        | `Float -> ""
+        | `Rational -> "  [rational-certified fallback]");
+      (match Mf_lp.Splitting.round inst r with
+      | Ok (mp, _rounded) -> print_solution inst "round" mp
+      | Error e ->
+        Printf.printf "round: skipped — %s\n" (Mf_lp.Splitting.describe_round_error e)));
     if mip then begin
       let res = Mf_lp.Micro_mip.solve ~node_budget inst in
       match (res.Mf_lp.Micro_mip.mapping, res.Mf_lp.Micro_mip.period) with

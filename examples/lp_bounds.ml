@@ -35,8 +35,9 @@ let () =
 
   (* 4. Future work: divisible workloads.  The LP bound shows how much
      throughput is left on the table by unsplittable tasks. *)
-  let lp = Mf_lp.Splitting.solve inst in
-  Printf.printf "divisible-workload LP bound: %.2f ms\n" lp.Mf_lp.Splitting.period;
+  let lp = Mf_lp.Splitting.solve_exn inst in
+  Printf.printf "divisible-workload LP bound: %.2f ms (%s path)\n" lp.Mf_lp.Splitting.period
+    (match lp.Mf_lp.Splitting.path with `Float -> "float" | `Rational -> "rational-certified");
   Printf.printf "throughput headroom vs exact: %.1f%%\n"
     (100.0 *. (dfs.Mf_exact.Dfs.period -. lp.Mf_lp.Splitting.period) /. dfs.Mf_exact.Dfs.period);
   Printf.printf "\nshares of each task per machine (rows: tasks, columns: machines):\n";
@@ -46,6 +47,6 @@ let () =
       Array.iter (fun s -> Printf.printf " %5.2f" s) row;
       print_newline ())
     lp.Mf_lp.Splitting.shares;
-  let mp, rounded = Mf_lp.Splitting.round inst lp in
+  let mp, rounded = Mf_lp.Splitting.round_exn inst lp in
   Printf.printf "\nrounded back to a specialized mapping: period %.2f ms (%s)\n" rounded
     (Format.asprintf "%a" Mf_core.Mapping.pp mp)

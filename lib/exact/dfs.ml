@@ -874,10 +874,14 @@ let certify ctx ~p_star ~budget =
   (s.local_best, s.nodes)
 
 let solve ?(node_budget = 20_000_000) ?(setup = 0.0) ?(jobs = 1) ?dominance ?(symmetry = true)
-    ~rule inst =
+    ?lower_bound ~rule inst =
   if setup < 0.0 then invalid_arg "Dfs.solve: negative setup time";
   if jobs < 1 then invalid_arg "Dfs.solve: jobs must be >= 1";
   check_rule_feasible rule inst;
+  (* A caller-supplied certified lower bound (e.g. the divisible-workload
+     LP optimum of [Mf_lp.Splitting]) turns "incumbent meets the bound"
+     into an optimality certificate without exhausting the tree. *)
+  let met_bound p = match lower_bound with Some lb -> p <= lb | None -> false in
   (* Signature maintenance costs ~10x a plain node, so the dominance table
      defaults to on only where frontier signatures can actually repeat:
      product counts of two tasks coincide bit-for-bit only when the tasks
@@ -890,6 +894,9 @@ let solve ?(node_budget = 20_000_000) ?(setup = 0.0) ?(jobs = 1) ?dominance ?(sy
   in
   let ctx = make_ctx ~rule ~setup ~dominance ~symmetry inst in
   let seed_mp, seed_p = incumbent ~setup rule inst in
+  if met_bound seed_p then
+    { mapping = seed_mp; period = seed_p; optimal = true; nodes = 0; stats = zero_stats }
+  else begin
   let roots, root_skips = root_prefixes ctx in
   let nroots = Array.length roots in
   (* Each subtree searches against its own incumbent cell seeded from the
@@ -999,7 +1006,9 @@ let solve ?(node_budget = 20_000_000) ?(setup = 0.0) ?(jobs = 1) ?dominance ?(sy
   {
     mapping;
     period;
-    optimal;
+    (* An exhausted budget still proves optimality when the incumbent
+       meets the caller's certified lower bound. *)
+    optimal = optimal || met_bound period;
     nodes = !nodes;
     stats =
       {
@@ -1012,6 +1021,7 @@ let solve ?(node_budget = 20_000_000) ?(setup = 0.0) ?(jobs = 1) ?dominance ?(sy
         certify_nodes = !certify_nodes;
       };
   }
+  end
 
 let specialized ?node_budget ?jobs inst = solve ?node_budget ?jobs ~rule:Mapping.Specialized inst
 

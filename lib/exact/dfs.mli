@@ -72,6 +72,16 @@ type result = {
     repeat across prefixes and the table to hit (on fully heterogeneous
     instances every signature is unique and maintenance would be pure
     overhead).
+
+    [lower_bound] is a {e certified} lower bound on the optimal period —
+    typically the divisible-workload LP optimum from
+    [Mf_lp.Splitting.solve] (kept caller-supplied so this library never
+    depends on the LP stack).  When the incumbent meets it the search
+    stops with [optimal = true] immediately (the seed incumbent meeting
+    it reports [nodes = 0]), and a budget-exhausted run whose best
+    period meets it is upgraded to [optimal = true].  Soundness is the
+    caller's contract: a bound that is not actually a lower bound can
+    certify a suboptimal mapping.
     @raise Invalid_argument when no mapping satisfying [rule] exists
     ([m < p] for specialized, [m < n] for one-to-one), or [jobs < 1], or
     [setup < 0]. *)
@@ -81,6 +91,7 @@ val solve :
   ?jobs:int ->
   ?dominance:bool ->
   ?symmetry:bool ->
+  ?lower_bound:float ->
   rule:Mf_core.Mapping.rule ->
   Mf_core.Instance.t ->
   result

@@ -47,6 +47,17 @@ val oto_bottleneck : algo
     optimality — reproducing the MIP's behaviour on large instances. *)
 val exact_dfs : node_budget:int -> algo
 
+(** [lp_bound] wraps the divisible-workload LP lower bound
+    ({!Mf_lp.Splitting.solve}).  A failed solve — unreachable after the
+    rational-certified fallback, but typed — records [None] for that grid
+    cell instead of aborting the sweep. *)
+val lp_bound : algo
+
+(** [lp_round] wraps the LP-guided rounding heuristic: solve the
+    splitting LP, then assign each task to its largest-share eligible
+    machine.  [None] when the LP fails or no specialized mapping exists. *)
+val lp_round : algo
+
 (** [run ~id ~title ~x_label ~xs ~replicates ~gen ~algos ()] runs the full
     grid.  [gen] receives the x value and a derived seed and must return
     the instance.

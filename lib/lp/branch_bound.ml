@@ -19,14 +19,33 @@ let solve ?(node_budget = 200_000) ?(int_tol = 1e-6) model =
   let root_lo = Array.init nvars (Model.var_lo model) in
   let root_hi = Array.init nvars (Model.var_hi model) in
   let relax ~lo ~hi =
+    let module FS = Simplex.Float_solver in
+    let module RS = Simplex.Rat_solver in
     match Standardize.build ~lo ~hi model with
     | None -> `Infeasible
     | Some std -> (
-      match Simplex.Float_solver.solve ~a:std.Standardize.a ~b:std.Standardize.b ~c:std.Standardize.c with
-      | Simplex.Float_solver.Infeasible -> `Infeasible
-      | Simplex.Float_solver.Unbounded -> `Unbounded
-      | Simplex.Float_solver.Optimal (x, obj) ->
-        `Optimal (std.Standardize.recover x, obj +. std.Standardize.obj_offset))
+      let d = FS.solve_detailed ~a:std.Standardize.a ~b:std.Standardize.b ~c:std.Standardize.c () in
+      match d.FS.outcome with
+      | FS.Infeasible -> `Infeasible
+      | FS.Unbounded -> `Unbounded
+      | FS.Optimal (x, obj) ->
+        `Optimal (std.Standardize.recover x, obj +. std.Standardize.obj_offset)
+      | FS.Stalled ->
+        (* An exhausted pivot budget must neither loop nor prune unsoundly:
+           certify the node exactly, warm-started from the float basis. *)
+        let module R = Mf_numeric.Rat in
+        let a = Array.map (Array.map R.of_float) std.Standardize.a in
+        let b = Array.map R.of_float std.Standardize.b in
+        let c = Array.map R.of_float std.Standardize.c in
+        let rd = RS.solve_from_basis ~a ~b ~c ~basis:d.FS.basis () in
+        (match rd.RS.outcome with
+        | RS.Infeasible -> `Infeasible
+        | RS.Unbounded -> `Unbounded
+        | RS.Optimal (x, obj) ->
+          `Optimal
+            ( std.Standardize.recover (Array.map R.to_float x),
+              R.to_float obj +. std.Standardize.obj_offset )
+        | RS.Stalled -> assert false))
   in
   let most_fractional x =
     let best = ref None in

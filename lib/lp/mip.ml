@@ -1,5 +1,13 @@
 let solve ?node_budget model = Branch_bound.solve ?node_budget model
 
+type path = [ `Float | `Rational ]
+
+type certified_stats = {
+  float_iterations : int;
+  exact_iterations : int;
+  path : path;
+}
+
 let solve_relaxation model =
   match Standardize.build model with
   | None -> `Infeasible
@@ -10,22 +18,64 @@ let solve_relaxation model =
     with
     | Simplex.Float_solver.Infeasible -> `Infeasible
     | Simplex.Float_solver.Unbounded -> `Unbounded
+    | Simplex.Float_solver.Stalled -> `Stalled
     | Simplex.Float_solver.Optimal (x, obj) ->
       `Optimal (std.Standardize.recover x, Standardize.model_objective std obj))
+
+let rat_of_std std =
+  let module R = Mf_numeric.Rat in
+  ( Array.map (Array.map R.of_float) std.Standardize.a,
+    Array.map R.of_float std.Standardize.b,
+    Array.map R.of_float std.Standardize.c )
 
 let solve_relaxation_exact model =
   match Standardize.build model with
   | None -> `Infeasible
   | Some std ->
     let module R = Mf_numeric.Rat in
-    let conv = Array.map (Array.map R.of_float) in
-    (match
-       Simplex.Rat_solver.solve ~a:(conv std.Standardize.a)
-         ~b:(Array.map R.of_float std.Standardize.b)
-         ~c:(Array.map R.of_float std.Standardize.c)
-     with
+    let a, b, c = rat_of_std std in
+    (match Simplex.Rat_solver.solve ~a ~b ~c with
     | Simplex.Rat_solver.Infeasible -> `Infeasible
     | Simplex.Rat_solver.Unbounded -> `Unbounded
+    | Simplex.Rat_solver.Stalled ->
+      (* The exact instance runs with an unlimited pivot budget. *)
+      assert false
     | Simplex.Rat_solver.Optimal (x, obj) ->
       let xf = Array.map R.to_float x in
       `Optimal (std.Standardize.recover xf, Standardize.model_objective std (R.to_float obj)))
+
+let solve_relaxation_certified model =
+  let module FS = Simplex.Float_solver in
+  let module RS = Simplex.Rat_solver in
+  let module R = Mf_numeric.Rat in
+  match Standardize.build model with
+  | None -> (`Infeasible, { float_iterations = 0; exact_iterations = 0; path = `Float })
+  | Some std -> (
+    let d =
+      FS.solve_detailed ~a:std.Standardize.a ~b:std.Standardize.b ~c:std.Standardize.c ()
+    in
+    match d.FS.outcome with
+    | FS.Optimal (x, obj) ->
+      ( `Optimal (std.Standardize.recover x, Standardize.model_objective std obj),
+        { float_iterations = d.FS.iterations; exact_iterations = 0; path = `Float } )
+    | FS.Infeasible | FS.Unbounded | FS.Stalled ->
+      (* The float path failed (or lied): certify with the exact solver,
+         warm-started from the float basis so phase 1 — the dominant
+         rational cost — is skipped whenever that basis is realizable. *)
+      let a, b, c = rat_of_std std in
+      let rd = RS.solve_from_basis ~a ~b ~c ~basis:d.FS.basis () in
+      let stats =
+        {
+          float_iterations = d.FS.iterations;
+          exact_iterations = rd.RS.iterations;
+          path = `Rational;
+        }
+      in
+      (match rd.RS.outcome with
+      | RS.Optimal (x, obj) ->
+        let xf = Array.map R.to_float x in
+        ( `Optimal (std.Standardize.recover xf, Standardize.model_objective std (R.to_float obj)),
+          stats )
+      | RS.Infeasible -> (`Infeasible, stats)
+      | RS.Unbounded -> (`Unbounded, stats)
+      | RS.Stalled -> assert false))

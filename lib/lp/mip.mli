@@ -4,13 +4,36 @@
     branch-and-bound over simplex relaxations (see {!Branch_bound}). *)
 val solve : ?node_budget:int -> Model.t -> Branch_bound.result
 
-(** [solve_relaxation model] solves the continuous relaxation only.
-    Returns the model-space solution and objective. *)
+(** Which solver produced a certified answer: the float simplex alone,
+    or the exact-rational fallback it warm-started. *)
+type path = [ `Float | `Rational ]
+
+type certified_stats = {
+  float_iterations : int;  (** pivots of the float attempt *)
+  exact_iterations : int;  (** pivots of the rational fallback (0 on the float path) *)
+  path : path;
+}
+
+(** [solve_relaxation model] solves the continuous relaxation with the
+    float simplex only.  Returns the model-space solution and objective.
+    [`Stalled] reports an exhausted pivot budget (see
+    {!Simplex.Make.outcome}); callers that must not fail should use
+    {!solve_relaxation_certified} instead. *)
 val solve_relaxation :
-  Model.t -> [ `Optimal of float array * float | `Infeasible | `Unbounded ]
+  Model.t -> [ `Optimal of float array * float | `Infeasible | `Unbounded | `Stalled ]
 
 (** [solve_relaxation_exact model] solves the relaxation with the
-    exact-rational simplex — slower, bit-exact; used to validate the float
-    path. *)
+    exact-rational simplex from scratch — slower, bit-exact; used to
+    validate the float path. *)
 val solve_relaxation_exact :
   Model.t -> [ `Optimal of float array * float | `Infeasible | `Unbounded ]
+
+(** [solve_relaxation_certified model] is {!solve_relaxation} with the
+    failure modes removed: when the float path reports [`Infeasible],
+    [`Unbounded] or [`Stalled], the relaxation is re-solved by the
+    exact-rational simplex warm-started from the float solver's final
+    basis, and that verdict is final.  The stats record which path
+    produced the answer and how many pivots each solver spent. *)
+val solve_relaxation_certified :
+  Model.t ->
+  [ `Optimal of float array * float | `Infeasible | `Unbounded ] * certified_stats

@@ -1,130 +1,316 @@
+(* Two-phase primal simplex, functorised over an ordered field.
+
+   Numerical discipline (inexact fields only; exact fields have
+   [eps] = [rel_eps] = 0 and every test below degenerates to an exact
+   comparison):
+
+   - rows are equilibrated by the power of two nearest their largest
+     coefficient magnitude, so row norms start in [1, 2);
+   - every threshold is relative: a value is "zero" against
+     [eps + rel_eps * norm] where the norm of each row (and of the
+     reduced-cost row) is maintained across pivots, not frozen at its
+     initial value — fill-in during pivoting is what broke the absolute
+     thresholds this file used to rely on;
+   - pricing is Devex by default, falling back to Bland's rule when a
+     stall detector sees no objective progress over a window of
+     degenerate pivots, and returning to Devex as soon as the objective
+     moves again.  Bland's rule terminates from any tableau and strict
+     objective improvements can never revisit a basis, so the
+     combination keeps the anti-cycling guarantee while avoiding
+     Bland's pathological pivot counts on large degenerate tableaus;
+   - a pivot budget bounds the whole solve; exhausting it is reported
+     as the typed [Stalled] outcome instead of looping forever. *)
+
+(* Raised on NaN/infinite input coefficients, which would otherwise
+   silently corrupt the row equilibration and every tolerance after it.
+   [row] >= 0 names the offending constraint row ([col = n] meaning its
+   right-hand side); [row = -1] is the objective. *)
+exception Non_finite of { row : int; col : int }
+
+type pricing = Devex | Bland
+
 module Make (F : Mf_numeric.Ordered_field.S) = struct
-  type outcome = Optimal of F.t array * F.t | Infeasible | Unbounded
+  type outcome =
+    | Optimal of F.t array * F.t
+    | Infeasible
+    | Unbounded
+    | Stalled
+
+  type detail = {
+    outcome : outcome;
+    basis : int array;
+    iterations : int;
+    degenerate : int;
+    bland_pivots : int;
+  }
+
+  let exact = F.compare F.eps F.zero = 0 && F.compare F.rel_eps F.zero = 0
 
   (* The tableau holds the constraint rows [t] (each of length [cols+1],
      the last entry being the rhs) and the reduced-cost row [z] (length
      [cols+1], with [z.(cols) = -objective]).  [basis.(i)] is the variable
-     basic in row [i]. *)
+     basic in row [i].  [norms.(i)] tracks the largest coefficient
+     magnitude of row [i] (rhs excluded); [znorm] likewise for [z]. *)
 
-  let neg_eps = F.neg F.eps
-  let is_pos x = F.compare x F.eps > 0
-  let is_neg x = F.compare x neg_eps < 0
+  let tol_for ~relative norm =
+    if relative then F.add F.eps (F.mul F.rel_eps norm) else F.eps
 
-  let pivot t z basis ~row ~col =
+  let pivot t z basis norms znorm ~row ~col =
     let cols = Array.length z - 1 in
     let piv = t.(row).(col) in
     let inv = F.div F.one piv in
-    for j = 0 to cols do
-      t.(row).(j) <- F.mul t.(row).(j) inv
-    done;
+    (let r = t.(row) in
+     let mx = ref F.zero in
+     for j = 0 to cols do
+       r.(j) <- F.mul r.(j) inv;
+       if j < cols then begin
+         let v = F.abs r.(j) in
+         if F.compare v !mx > 0 then mx := v
+       end
+     done;
+     norms.(row) <- !mx);
     Array.iteri
       (fun r tr ->
         if r <> row then begin
           let factor = tr.(col) in
-          if F.compare factor F.zero <> 0 then
+          if F.compare factor F.zero <> 0 then begin
+            let mx = ref F.zero in
             for j = 0 to cols do
-              tr.(j) <- F.sub tr.(j) (F.mul factor t.(row).(j))
-            done
+              tr.(j) <- F.sub tr.(j) (F.mul factor t.(row).(j));
+              if j < cols then begin
+                let v = F.abs tr.(j) in
+                if F.compare v !mx > 0 then mx := v
+              end
+            done;
+            (* The eliminated entry is zero by construction; storing the
+               exact zero (rather than the rounding residue) is what
+               makes basic columns unit columns. *)
+            tr.(col) <- F.zero;
+            norms.(r) <- !mx
+          end
         end)
       t;
     let factor = z.(col) in
-    if F.compare factor F.zero <> 0 then
+    if F.compare factor F.zero <> 0 then begin
+      let mx = ref F.zero in
       for j = 0 to cols do
-        z.(j) <- F.sub z.(j) (F.mul factor t.(row).(j))
+        z.(j) <- F.sub z.(j) (F.mul factor t.(row).(j));
+        if j < cols then begin
+          let v = F.abs z.(j) in
+          if F.compare v !mx > 0 then mx := v
+        end
       done;
+      z.(col) <- F.zero;
+      znorm := !mx
+    end;
     basis.(row) <- col
 
-  (* Bland's rule: entering = lowest-index improving column among
-     [eligible]; leaving = lowest-basis-variable row among ratio-test ties. *)
-  let iterate t z basis ~eligible =
+  type counters = { mutable iters : int; mutable degen : int; mutable bland : int }
+
+  (* One phase of the simplex: pivot until optimal/unbounded or the
+     budget runs out.  [weights] are the Devex reference weights, kept as
+     plain machine floats even for exact fields — they only *rank*
+     candidate columns, so their precision cannot affect correctness,
+     and keeping them out of [F] avoids ballooning exact rationals. *)
+  let iterate t z basis norms znorm weights counters ~eligible ~relative ~pricing
+      ~iter_budget ~stall_k =
     let rows = Array.length t in
     let cols = Array.length z - 1 in
+    let mode = ref pricing in
+    let since_improve = ref 0 in
+    let best_obj = ref (F.neg z.(cols)) in
     let rec loop () =
-      let entering = ref (-1) in
-      (let j = ref 0 in
-       while !entering < 0 && !j < cols do
-         if eligible !j && is_neg z.(!j) then entering := !j;
-         incr j
-       done);
-      if !entering < 0 then `Optimal
+      if counters.iters >= iter_budget then `Stalled
       else begin
-        let col = !entering in
-        let leaving = ref (-1) in
-        let best_ratio = ref F.zero in
-        for i = 0 to rows - 1 do
-          if is_pos t.(i).(col) then begin
-            let ratio = F.div t.(i).(cols) t.(i).(col) in
-            let better =
-              !leaving < 0
-              || F.compare ratio !best_ratio < 0
-              || (F.compare ratio !best_ratio = 0 && basis.(i) < basis.(!leaving))
-            in
-            if better then begin
-              leaving := i;
-              best_ratio := ratio
-            end
-          end
-        done;
-        if !leaving < 0 then `Unbounded
+        let ztol = tol_for ~relative !znorm in
+        let neg_ztol = F.neg ztol in
+        let entering =
+          match !mode with
+          | Bland ->
+            let e = ref (-1) in
+            let j = ref 0 in
+            while !e < 0 && !j < cols do
+              if eligible !j && F.compare z.(!j) neg_ztol < 0 then e := !j;
+              incr j
+            done;
+            !e
+          | Devex ->
+            let e = ref (-1) and best = ref 0.0 in
+            for j = 0 to cols - 1 do
+              if eligible j && F.compare z.(j) neg_ztol < 0 then begin
+                let zf = F.to_float z.(j) in
+                let score = zf *. zf /. weights.(j) in
+                if score > !best then begin
+                  best := score;
+                  e := j
+                end
+              end
+            done;
+            !e
+        in
+        if entering < 0 then `Optimal
         else begin
-          pivot t z basis ~row:!leaving ~col;
-          loop ()
+          let col = entering in
+          let leaving = ref (-1) in
+          let best_ratio = ref F.zero in
+          for i = 0 to rows - 1 do
+            let a = t.(i).(col) in
+            if F.compare a (tol_for ~relative norms.(i)) > 0 then begin
+              let num = t.(i).(cols) in
+              (* Clamp tiny negative rhs (degenerate drift) to a zero
+                 ratio instead of letting it push the pivot negative. *)
+              let ratio = if F.compare num F.zero <= 0 then F.zero else F.div num a in
+              let better =
+                !leaving < 0
+                ||
+                let cr = F.compare ratio !best_ratio in
+                cr < 0
+                || cr = 0
+                   &&
+                   (match !mode with
+                   | Bland -> basis.(i) < basis.(!leaving)
+                   | Devex ->
+                     (* Among ratio ties, take the numerically largest
+                        pivot element — the stable choice. *)
+                     F.compare (F.abs a) (F.abs t.(!leaving).(col)) > 0)
+              in
+              if better then begin
+                leaving := i;
+                best_ratio := ratio
+              end
+            end
+          done;
+          if !leaving < 0 then `Unbounded
+          else begin
+            let row = !leaving in
+            let piv = t.(row).(col) in
+            let leaving_col = basis.(row) in
+            pivot t z basis norms znorm ~row ~col;
+            counters.iters <- counters.iters + 1;
+            (match !mode with
+            | Bland -> counters.bland <- counters.bland + 1
+            | Devex ->
+              (* Classic Devex update: with the pivot row now normalised,
+                 t.(row).(j) = a_rj / a_rq. *)
+              let gamma = Float.max weights.(col) 1.0 in
+              let pf = F.to_float piv in
+              let wr = Float.max (gamma /. (pf *. pf)) 1.0 in
+              let tr = t.(row) in
+              let overflow = ref false in
+              for j = 0 to cols - 1 do
+                if j <> col then begin
+                  let aj = F.to_float tr.(j) in
+                  if aj <> 0.0 then begin
+                    let cand = aj *. aj *. gamma in
+                    if cand > weights.(j) then weights.(j) <- cand;
+                    if weights.(j) > 1e12 then overflow := true
+                  end
+                end
+              done;
+              weights.(leaving_col) <- wr;
+              (* Reference-framework restart once weights degrade. *)
+              if !overflow then Array.fill weights 0 (Array.length weights) 1.0);
+            let obj = F.neg z.(cols) in
+            let itol = tol_for ~relative (F.abs !best_obj) in
+            if F.compare obj (F.sub !best_obj itol) < 0 then begin
+              best_obj := obj;
+              since_improve := 0;
+              (* Progress resumed: back to the fast pricing. *)
+              mode := pricing
+            end
+            else begin
+              incr since_improve;
+              counters.degen <- counters.degen + 1;
+              (* No objective progress over a whole window of pivots:
+                 assume degenerate cycling territory and switch to
+                 Bland's rule, whose termination proof needs no
+                 tolerance assumptions. *)
+              if !since_improve >= stall_k then mode := Bland
+            end;
+            loop ()
+          end
         end
       end
     in
     loop ()
 
-  let solve ~a ~b ~c =
+  let check_dims ~a ~b ~c =
     let rows = Array.length a in
     let n = Array.length c in
     if Array.length b <> rows then invalid_arg "Simplex.solve: b length mismatch";
     Array.iter
       (fun row -> if Array.length row <> n then invalid_arg "Simplex.solve: ragged matrix")
       a;
+    (rows, n)
+
+  (* Reject NaN/infinite coefficients up front: they would otherwise make
+     the row-equilibration loop spin without progress and leave a silently
+     wrong scale behind (the old 5000-iteration guard exited with the
+     scale it had).  Exact fields are always finite; the scan is skipped. *)
+  let check_finite ~a ~b ~c ~rows ~n =
+    if not exact then begin
+      for i = 0 to rows - 1 do
+        let row = a.(i) in
+        for j = 0 to n - 1 do
+          if not (F.is_finite row.(j)) then raise (Non_finite { row = i; col = j })
+        done;
+        if not (F.is_finite b.(i)) then raise (Non_finite { row = i; col = n })
+      done;
+      for j = 0 to n - 1 do
+        if not (F.is_finite c.(j)) then raise (Non_finite { row = -1; col = j })
+      done
+    end
+
+  (* Largest power of two [2^-k] with [s * 2^-k] in [1, 2).  A power of
+     two — rather than [1/s] itself, which rounds — keeps the scaling
+     multiplications exact in binary floating point, so pivot decisions
+     and the reported solution are genuinely unperturbed.  Inputs are
+     finite and positive here ([check_finite] ran first), so [frexp] is
+     total; the exponent clamp keeps the scale finite for subnormal
+     magnitudes. *)
+  let pow2_inv s =
+    let _, e = Float.frexp (F.to_float s) in
+    (* s = m * 2^e, m in [0.5, 1)  ->  s * 2^(1-e) = 2m in [1, 2) *)
+    F.of_float (Float.ldexp 1.0 (Stdlib.min 1023 (1 - e)))
+
+  (* A float pivot costs microseconds while the rational fallback a stall
+     triggers costs orders of magnitude more, so the budget errs generous:
+     it exists to bound genuinely cycling-adjacent runs, not to race
+     honest degenerate plateaus (which can need thousands of Bland steps
+     on heavily tied tableaus). *)
+  let default_budget ~rows ~cols =
+    if exact then max_int else Stdlib.max 4_000 ((100 * rows) + (10 * cols))
+
+  let no_weights = [||]
+
+  let solve_detailed ?(pricing = Devex) ?(relative = true) ?iter_budget ~a ~b ~c () =
+    let rows, n = check_dims ~a ~b ~c in
+    check_finite ~a ~b ~c ~rows ~n;
+    let is_neg_abs x = F.compare x (F.neg F.eps) < 0 in
     if rows = 0 then begin
       (* No constraints: minimum is at the origin unless some cost is
          negative, in which case that coordinate runs off to infinity. *)
-      if Array.exists is_neg c then Unbounded else Optimal (Array.make n F.zero, F.zero)
+      let outcome =
+        if Array.exists is_neg_abs c then Unbounded
+        else Optimal (Array.make n F.zero, F.zero)
+      in
+      { outcome; basis = [||]; iterations = 0; degenerate = 0; bland_pivots = 0 }
     end
     else begin
       let cols = n + rows in
-      (* Row equilibration: scale every row (and its rhs) by the inverse
-         of the power of two nearest its largest coefficient magnitude,
-         so the absolute [F.eps] thresholds below mean the same thing
-         whatever the problem's scale.  Mixing unit flow rows with load
-         rows whose coefficients sit in the thousands otherwise leaves
-         phase 1 unable to pivot on small-but-genuine elements, and it
-         reports spurious infeasibility.  A power of two — rather than
-         1/max itself, which rounds — keeps the scaling multiplications
-         exact in binary floating point, so pivot decisions and the
-         reported solution are genuinely unperturbed.  Exact fields
-         ([eps] = 0) compare exactly at any scale and are left alone: the
-         scaling would balloon rational numerators and denominators for
-         no benefit. *)
-      let inexact = F.compare F.eps F.zero > 0 in
-      let abs v = if F.compare v F.zero < 0 then F.neg v else v in
-      let two = F.add F.one F.one in
-      let half = F.div F.one two in
-      (* Largest 1/2^k with s/2^k in [1, 2).  The iteration guard only
-         matters for non-finite [s], where the loops cannot make
-         progress; 5000 halvings cover any double exponent many times
-         over. *)
-      let pow2_inv s =
-        let inv = ref F.one in
-        let guard = ref 0 in
-        while !guard < 5000 && F.compare (F.mul s !inv) two >= 0 do
-          inv := F.mul !inv half;
-          incr guard
-        done;
-        while !guard < 5000 && F.compare (F.mul s !inv) F.one < 0 do
-          inv := F.mul !inv two;
-          incr guard
-        done;
-        !inv
+      let iter_budget =
+        match iter_budget with Some k -> k | None -> default_budget ~rows ~cols
       in
+      let stall_k = Stdlib.max 32 rows in
+      (* Row equilibration (inexact fields only — exact fields compare
+         exactly at any scale, and scaling would balloon rational
+         numerators for no benefit).  The max is taken over the
+         coefficients *and* the rhs, so scaled rows live in [-2, 2]
+         throughout phase 1. *)
+      let abs v = if F.compare v F.zero < 0 then F.neg v else v in
       let scale =
         Array.init rows (fun i ->
-            if not inexact then F.one
+            if exact then F.one
             else begin
               let s = ref (abs b.(i)) in
               for j = 0 to n - 1 do
@@ -141,13 +327,33 @@ module Make (F : Mf_numeric.Ordered_field.S) = struct
             let flip v = if negate then F.neg v else v in
             Array.init (cols + 1) (fun j ->
                 if j < n then flip (F.mul scale.(i) a.(i).(j))
-                else if j < cols then (if j - n = i then F.one else F.zero)
+                else if j < cols then if j - n = i then F.one else F.zero
                 else flip (F.mul scale.(i) b.(i))))
       in
       let basis = Array.init rows (fun i -> n + i) in
-      (* Phase 1: minimize the sum of artificials.  Reduced costs start as
-         [1] on artificials, reduced against the artificial basis: z_j =
-         -(sum of rows) on structural columns, 0 on artificials. *)
+      let norms =
+        Array.init rows (fun i ->
+            let mx = ref F.zero in
+            for j = 0 to cols - 1 do
+              let v = F.abs t.(i).(j) in
+              if F.compare v !mx > 0 then mx := v
+            done;
+            !mx)
+      in
+      let counters = { iters = 0; degen = 0; bland = 0 } in
+      let weights = if pricing = Devex then Array.make cols 1.0 else no_weights in
+      let finish outcome =
+        {
+          outcome;
+          basis = Array.copy basis;
+          iterations = counters.iters;
+          degenerate = counters.degen;
+          bland_pivots = counters.bland;
+        }
+      in
+      (* Phase 1: minimize the sum of artificials.  Reduced costs start
+         as [1] on artificials, reduced against the artificial basis:
+         z_j = -(sum of rows) on structural columns, 0 on artificials. *)
       let z1 = Array.make (cols + 1) F.zero in
       for j = 0 to cols do
         if j < n || j = cols then begin
@@ -158,28 +364,47 @@ module Make (F : Mf_numeric.Ordered_field.S) = struct
           z1.(j) <- F.neg !s
         end
       done;
-      match iterate t z1 basis ~eligible:(fun _ -> true) with
+      let znorm =
+        ref
+          (let mx = ref F.zero in
+           for j = 0 to cols - 1 do
+             let v = F.abs z1.(j) in
+             if F.compare v !mx > 0 then mx := v
+           done;
+           !mx)
+      in
+      let relative = relative && not exact in
+      match
+        iterate t z1 basis norms znorm weights counters ~eligible:(fun _ -> true)
+          ~relative ~pricing ~iter_budget ~stall_k
+      with
+      | `Stalled -> finish Stalled
       | `Unbounded ->
         (* The phase-1 objective is bounded below by 0, so a genuine ray
-           cannot exist: reaching here means the [eps] thresholds lied —
-           an "improving" column with no pivotable row entry, seen on
-           numerically hard mixed-scale instances.  Report the system as
-           infeasible-at-this-precision rather than crash. *)
-        Infeasible
+           cannot exist: reaching here means the thresholds lied — an
+           "improving" column with no pivotable row entry.  Report the
+           system as infeasible-at-this-precision; certified callers
+           re-solve exactly. *)
+        finish Infeasible
       | `Optimal ->
         let phase1_obj = F.neg z1.(cols) in
-        if is_pos phase1_obj then Infeasible
+        (* Scaled rhs magnitudes are <= 2, so the artificial sum of a
+           genuinely feasible system settles within [rows] rounding
+           units. *)
+        let feas_tol = tol_for ~relative (F.of_int (2 * rows)) in
+        if F.compare phase1_obj feas_tol > 0 then finish Infeasible
         else begin
           (* Drive any artificial still basic out of the basis. *)
           for i = 0 to rows - 1 do
             if basis.(i) >= n then begin
+              let tol = tol_for ~relative norms.(i) in
               let found = ref (-1) in
               for j = 0 to n - 1 do
-                if !found < 0 && (is_pos t.(i).(j) || is_neg t.(i).(j)) then found := j
+                if !found < 0 && F.compare (F.abs t.(i).(j)) tol > 0 then found := j
               done;
-              if !found >= 0 then pivot t z1 basis ~row:i ~col:!found
-              (* Otherwise the row is redundant; the artificial stays basic
-                 at value zero and is barred from re-entering. *)
+              if !found >= 0 then pivot t z1 basis norms znorm ~row:i ~col:!found
+              (* Otherwise the row is redundant; the artificial stays
+                 basic at value zero and is barred from re-entering. *)
             end
           done;
           (* Phase 2: real costs, reduced against the current basis. *)
@@ -195,13 +420,137 @@ module Make (F : Mf_numeric.Ordered_field.S) = struct
                 done
             end
           done;
-          match iterate t z2 basis ~eligible:(fun j -> j < n) with
-          | `Unbounded -> Unbounded
+          znorm :=
+            (let mx = ref F.zero in
+             for j = 0 to cols - 1 do
+               let v = F.abs z2.(j) in
+               if F.compare v !mx > 0 then mx := v
+             done;
+             !mx);
+          if pricing = Devex then Array.fill weights 0 cols 1.0;
+          match
+            iterate t z2 basis norms znorm weights counters ~eligible:(fun j -> j < n)
+              ~relative ~pricing ~iter_budget ~stall_k
+          with
+          | `Stalled -> finish Stalled
+          | `Unbounded -> finish Unbounded
           | `Optimal ->
             let x = Array.make n F.zero in
             Array.iteri (fun i bj -> if bj < n then x.(bj) <- t.(i).(cols)) basis;
-            Optimal (x, F.neg z2.(cols))
+            finish (Optimal (x, F.neg z2.(cols)))
         end
+    end
+
+  let solve ~a ~b ~c = (solve_detailed ~a ~b ~c ()).outcome
+
+  (* The pre-Devex solver: Bland's rule under absolute thresholds (plus
+     the power-of-two row equilibration it already had), with a pivot
+     budget so a stall terminates instead of hanging.  Kept as the
+     baseline the bench's before/after comparison is measured against. *)
+  let solve_bland_detailed ?iter_budget ~a ~b ~c () =
+    solve_detailed ~pricing:Bland ~relative:false ?iter_budget ~a ~b ~c ()
+
+  let solve_bland ~a ~b ~c = (solve_bland_detailed ~a ~b ~c ()).outcome
+
+  (* Warm start: realize a proposed basis (typically the float solver's
+     final one) by direct elimination, then run phase 2 only.  Any
+     failure to realize it — singular basis, primal-infeasible vertex, a
+     basic artificial carrying a nonzero value — falls back to the full
+     two-phase solve, so the result is always as trustworthy as
+     [solve]. *)
+  let solve_from_basis ?iter_budget ~a ~b ~c ~basis:proposed () =
+    let rows, n = check_dims ~a ~b ~c in
+    check_finite ~a ~b ~c ~rows ~n;
+    let cols = n + rows in
+    let full () = solve_detailed ?iter_budget ~a ~b ~c () in
+    if rows = 0 then full ()
+    else if
+      Array.length proposed <> rows
+      || Array.exists (fun col -> col < 0 || col >= cols) proposed
+    then full ()
+    else begin
+      let t =
+        Array.init rows (fun i ->
+            let negate = F.compare b.(i) F.zero < 0 in
+            let flip v = if negate then F.neg v else v in
+            Array.init (cols + 1) (fun j ->
+                if j < n then flip a.(i).(j)
+                else if j < cols then if j - n = i then F.one else F.zero
+                else flip b.(i)))
+      in
+      let basis = Array.make rows (-1) in
+      let norms = Array.make rows F.zero in
+      let znorm = ref F.zero in
+      let zdummy = Array.make (cols + 1) F.zero in
+      let assigned = Array.make rows false in
+      let ok = ref true in
+      Array.iter
+        (fun target ->
+          if !ok then begin
+            (* Find an unassigned row with a nonzero entry in the target
+               column and eliminate there. *)
+            let r = ref (-1) in
+            for i = 0 to rows - 1 do
+              if !r < 0 && (not assigned.(i)) && F.compare t.(i).(target) F.zero <> 0
+              then r := i
+            done;
+            match !r with
+            | -1 -> ok := false
+            | row ->
+              pivot t zdummy basis norms znorm ~row ~col:target;
+              assigned.(row) <- true
+          end)
+        proposed;
+      (* Primal feasibility of the proposed vertex, exactly: every rhs
+         nonnegative, and any basic artificial stuck at zero. *)
+      if !ok then
+        for i = 0 to rows - 1 do
+          if
+            (not assigned.(i))
+            || F.compare t.(i).(cols) F.zero < 0
+            || (basis.(i) >= n && F.compare t.(i).(cols) F.zero <> 0)
+          then ok := false
+        done;
+      if not !ok then full ()
+      else begin
+        let iter_budget =
+          match iter_budget with Some k -> k | None -> default_budget ~rows ~cols
+        in
+        let z2 = Array.make (cols + 1) F.zero in
+        Array.blit c 0 z2 0 n;
+        for i = 0 to rows - 1 do
+          let bj = basis.(i) in
+          if bj < n then begin
+            let cost = z2.(bj) in
+            if F.compare cost F.zero <> 0 then
+              for j = 0 to cols do
+                z2.(j) <- F.sub z2.(j) (F.mul cost t.(i).(j))
+              done
+          end
+        done;
+        let counters = { iters = 0; degen = 0; bland = 0 } in
+        let finish outcome =
+          {
+            outcome;
+            basis = Array.copy basis;
+            iterations = counters.iters;
+            degenerate = counters.degen;
+            bland_pivots = counters.bland;
+          }
+        in
+        match
+          iterate t z2 basis norms znorm no_weights counters
+            ~eligible:(fun j -> j < n)
+            ~relative:(not exact) ~pricing:Bland ~iter_budget
+            ~stall_k:(Stdlib.max 32 rows)
+        with
+        | `Stalled -> finish Stalled
+        | `Unbounded -> finish Unbounded
+        | `Optimal ->
+          let x = Array.make n F.zero in
+          Array.iteri (fun i bj -> if bj < n then x.(bj) <- t.(i).(cols)) basis;
+          finish (Optimal (x, F.neg z2.(cols)))
+      end
     end
 end
 

@@ -1,30 +1,121 @@
 (** Two-phase primal simplex on the full tableau, functorised over an
     ordered field.
 
-    The float instance solves the LP relaxations inside branch-and-bound;
-    the exact-rational instance ({!Mf_numeric.Ordered_field.Rat_field})
-    cross-checks it in the test-suite, where "numerically zero" really
-    means zero.
+    The float instance solves the LP relaxations inside branch-and-bound
+    and {!Splitting}; the exact-rational instance
+    ({!Mf_numeric.Ordered_field.Rat_field}) certifies it — both in the
+    test-suite and at runtime, through the warm-started
+    {!Make.solve_from_basis} fallback taken when the float path reports
+    [Infeasible] or [Stalled] on a system known to be feasible.
 
-    Bland's anti-cycling rule is used throughout, so termination is
-    guaranteed.  Problems must be given in standard form
+    Numerical discipline of the inexact instance: rows are equilibrated
+    by exact powers of two, every threshold is {e relative} to row /
+    reduced-cost-row norms maintained across pivots, pricing is Devex
+    with a stall detector that falls back to Bland's rule (whose
+    anti-cycling argument needs no tolerance assumptions), and a pivot
+    budget turns the remaining failure mode into the typed {!Make.Stalled}
+    outcome.  Exact fields ([eps = rel_eps = 0]) run unscaled with exact
+    comparisons and an unbounded default budget: termination is
+    guaranteed because Bland's rule terminates from any tableau and a
+    strict objective improvement can never revisit a basis.
+
+    Problems must be given in standard form
     [min c'x  s.t.  Ax = b, x >= 0]; {!Standardize} converts general
     models. *)
+
+(** Raised when an input coefficient is NaN or infinite (inexact fields
+    only): such values would corrupt the row equilibration silently.
+    [row >= 0] names the offending constraint row, with [col = n]
+    (the column count) denoting its right-hand side; [row = -1] is the
+    objective vector. *)
+exception Non_finite of { row : int; col : int }
+
+(** Pricing rule: Devex (default, fast on large degenerate tableaus) or
+    Bland (lowest-index, the anti-cycling and baseline rule). *)
+type pricing = Devex | Bland
 
 module Make (F : Mf_numeric.Ordered_field.S) : sig
   type outcome =
     | Optimal of F.t array * F.t  (** primal solution and objective value *)
     | Infeasible
     | Unbounded
+    | Stalled
+        (** the pivot budget ran out before optimality — the typed
+            replacement for the former behaviour of looping (or cycling)
+            forever on numerically hard instances *)
+
+  (** Full solver report. *)
+  type detail = {
+    outcome : outcome;
+    basis : int array;
+        (** final basis, [basis.(i)] = column basic in row [i]; columns
+            [>= n] are phase-1 artificials (redundant rows).  Feed it to
+            {!solve_from_basis} of the exact instance to certify a float
+            result without redoing phase 1. *)
+    iterations : int;  (** pivots performed, both phases *)
+    degenerate : int;  (** pivots with no objective progress *)
+    bland_pivots : int;  (** pivots taken under the Bland fallback *)
+  }
 
   (** [solve ~a ~b ~c] minimizes [c'x] subject to [a x = b], [x >= 0].
       Rows with negative [b] are negated internally.
-      @raise Invalid_argument on dimension mismatches. *)
+      @raise Invalid_argument on dimension mismatches.
+      @raise Non_finite on NaN/infinite coefficients (inexact fields). *)
   val solve : a:F.t array array -> b:F.t array -> c:F.t array -> outcome
+
+  (** [solve_detailed ?pricing ?relative ?iter_budget ~a ~b ~c ()] is
+      {!solve} with the full report.  [relative] (default [true])
+      selects norm-relative thresholds; [false] restores the absolute
+      [F.eps] tests of the baseline solver.  [iter_budget] defaults to
+      [max 2000 (40 rows + 4 cols)] for inexact fields and unlimited for
+      exact ones. *)
+  val solve_detailed :
+    ?pricing:pricing ->
+    ?relative:bool ->
+    ?iter_budget:int ->
+    a:F.t array array ->
+    b:F.t array ->
+    c:F.t array ->
+    unit ->
+    detail
+
+  (** The previous generation of the solver — Bland's rule under
+      absolute [F.eps] thresholds (row equilibration kept) — plus a
+      pivot budget so its stalls terminate.  Kept as the baseline the
+      bench's before/after comparison ([make bench-lp]) is measured
+      against, the way {!Mf_exact.Dfs.solve_static} anchors the exact
+      bench. *)
+  val solve_bland : a:F.t array array -> b:F.t array -> c:F.t array -> outcome
+
+  val solve_bland_detailed :
+    ?iter_budget:int ->
+    a:F.t array array ->
+    b:F.t array ->
+    c:F.t array ->
+    unit ->
+    detail
+
+  (** [solve_from_basis ~a ~b ~c ~basis ()] warm-starts from a proposed
+      basis — typically the float solver's final [detail.basis] — by
+      realizing it with direct elimination and running phase 2 only,
+      skipping the artificial-variable phase 1 entirely.  If the basis
+      cannot be realized (singular, primal infeasible, or a basic
+      artificial carrying flow), it silently falls back to the full
+      two-phase solve, so the result is always as trustworthy as
+      {!solve}.  Intended for the exact instance, where phase 1 is the
+      dominant cost of certifying a float answer. *)
+  val solve_from_basis :
+    ?iter_budget:int ->
+    a:F.t array array ->
+    b:F.t array ->
+    c:F.t array ->
+    basis:int array ->
+    unit ->
+    detail
 end
 
-(** Float instance, used by {!Branch_bound}. *)
+(** Float instance, used by {!Branch_bound} and {!Splitting}. *)
 module Float_solver : module type of Make (Mf_numeric.Ordered_field.Float_field)
 
-(** Exact rational instance. *)
+(** Exact rational instance: the certification path. *)
 module Rat_solver : module type of Make (Mf_numeric.Ordered_field.Rat_field)

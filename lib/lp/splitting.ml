@@ -3,13 +3,34 @@ module Workflow = Mf_core.Workflow
 module Mapping = Mf_core.Mapping
 module Period = Mf_core.Period
 
+type path = [ `Float | `Rational ]
+
 type result = {
   period : float;
   shares : float array array;
   loads : float array;
+  path : path;
+  stats : Mip.certified_stats;
 }
 
-let solve inst =
+type error = [ `Infeasible | `Unbounded ]
+
+let describe_error = function
+  | `Infeasible -> "LP reported infeasible"
+  | `Unbounded -> "LP reported unbounded"
+
+(* The LP is posed in *throughput* form: with [y(i,u)] the per-time-unit
+   processing rates and [rho] the system throughput (finished products per
+   time unit), maximize [rho] subject to flow conservation and unit
+   machine capacity.  This is the period form under the substitution
+   [y = x / K], [rho = 1 / K] — same optimum, same shares — but the
+   period form starts phase 1 at a massively degenerate vertex (every
+   non-sink flow row and every load row has rhs 0, and the period
+   variable starts at 0), which sent the simplex onto plateaus of tens
+   of thousands of zero-step pivots at n >= 40.  In throughput form the
+   load rows have rhs 1, so the initial vertex is non-degenerate on the
+   capacity side and the objective moves from the first pivots. *)
+let build_model inst =
   let n = Instance.task_count inst in
   let m = Instance.machines inst in
   let wf = Instance.workflow inst in
@@ -17,37 +38,52 @@ let solve inst =
   let nv =
     Array.init n (fun i ->
         Array.init m (fun u ->
-            Model.add_var model ~name:(Printf.sprintf "n_%d_%d" i u) Model.Continuous))
+            Model.add_var model ~name:(Printf.sprintf "y_%d_%d" i u) Model.Continuous))
   in
-  let k = Model.add_var model ~name:"K" Model.Continuous in
-  (* Flow conservation: successes of task i equal downstream demand. *)
+  let rho = Model.add_var model ~name:"rho" Model.Continuous in
+  (* Flow conservation: successes of task i equal downstream demand —
+     the successor's total intake, or the output rate [rho] at a sink. *)
   for i = 0 to n - 1 do
     let successes =
       Linexpr.of_terms
         (List.init m (fun u -> (1.0 -. Instance.f inst i u, nv.(i).(u))))
         0.0
     in
-    match Workflow.successor wf i with
-    | None -> Model.add_constraint model ~name:(Printf.sprintf "flow_%d" i) successes Model.Eq 1.0
-    | Some j ->
-      let demand = Linexpr.of_terms (List.init m (fun u -> (1.0, nv.(j).(u)))) 0.0 in
-      Model.add_constraint model
-        ~name:(Printf.sprintf "flow_%d" i)
-        (Linexpr.sub successes demand) Model.Eq 0.0
+    let demand =
+      match Workflow.successor wf i with
+      | None -> Linexpr.var rho
+      | Some j -> Linexpr.of_terms (List.init m (fun u -> (1.0, nv.(j).(u)))) 0.0
+    in
+    Model.add_constraint model
+      ~name:(Printf.sprintf "flow_%d" i)
+      (Linexpr.sub successes demand) Model.Eq 0.0
   done;
-  (* Machine loads bounded by the period. *)
+  (* Unit machine capacity. *)
   for u = 0 to m - 1 do
     let load = Linexpr.of_terms (List.init n (fun i -> (Instance.w inst i u, nv.(i).(u)))) 0.0 in
-    Model.add_constraint model
-      ~name:(Printf.sprintf "load_%d" u)
-      (Linexpr.sub load (Linexpr.var k))
-      Model.Le 0.0
+    Model.add_constraint model ~name:(Printf.sprintf "load_%d" u) load Model.Le 1.0
   done;
-  Model.set_objective model ~minimize:true (Linexpr.var k);
-  match Mip.solve_relaxation model with
-  | `Infeasible | `Unbounded -> failwith "Splitting.solve: LP unexpectedly unsolvable"
-  | `Optimal (sol, period) ->
-    let counts = Array.init n (fun i -> Array.init m (fun u -> sol.(nv.(i).(u)))) in
+  Model.set_objective model ~minimize:false (Linexpr.var rho);
+  (model, nv)
+
+let model inst = fst (build_model inst)
+
+let solve inst =
+  let n = Instance.task_count inst in
+  let m = Instance.machines inst in
+  let model, nv = build_model inst in
+  match Mip.solve_relaxation_certified model with
+  | `Infeasible, _ -> Error `Infeasible
+  | `Unbounded, _ -> Error `Unbounded
+  | `Optimal (_, rho), _ when rho <= 0.0 ->
+    (* Zero throughput cannot happen for a well-formed instance (w > 0,
+       f < 1 guarantee a positive-rate schedule); keep the function
+       total anyway. *)
+    Error `Infeasible
+  | `Optimal (sol, rho), stats ->
+    let period = 1.0 /. rho in
+    (* Back to period-form product counts: x = y / rho. *)
+    let counts = Array.init n (fun i -> Array.init m (fun u -> sol.(nv.(i).(u)) /. rho)) in
     let shares =
       Array.map
         (fun row ->
@@ -64,23 +100,65 @@ let solve inst =
           done;
           !acc)
     in
-    { period; shares; loads }
+    Ok { period; shares; loads; path = stats.Mip.path; stats }
+
+let solve_exn inst =
+  match solve inst with
+  | Ok r -> r
+  | Error e ->
+    failwith
+      (Printf.sprintf
+         "Splitting.solve: %s — impossible for a well-formed instance even after rational \
+          certification"
+         (describe_error e))
+
+let solve_exact inst =
+  match Mip.solve_relaxation_exact (model inst) with
+  | `Optimal (_, rho) when rho > 0.0 -> Ok (1.0 /. rho)
+  | `Optimal _ | `Infeasible -> Error `Infeasible
+  | `Unbounded -> Error `Unbounded
+
+type round_error =
+  | No_specialized_mapping
+  | No_eligible_machine of int
+
+let describe_round_error = function
+  | No_specialized_mapping ->
+    "no specialized mapping exists (fewer machines than task types)"
+  | No_eligible_machine task ->
+    Printf.sprintf "task %d has no eligible machine under the specialized rule" task
+
+exception Round_failed of round_error
 
 let round inst r =
-  let eng = Mf_heuristics.Engine.create inst in
-  Array.iter
-    (fun task ->
-      let best = ref (-1) and best_share = ref neg_infinity in
-      List.iter
-        (fun u ->
-          let s = r.shares.(task).(u) in
-          if s > !best_share then begin
-            best := u;
-            best_share := s
-          end)
-        (Mf_heuristics.Engine.eligible_machines eng ~task);
-      assert (!best >= 0);
-      Mf_heuristics.Engine.assign eng ~task ~machine:!best)
-    (Mf_heuristics.Engine.order eng);
-  let mp = Mf_heuristics.Engine.mapping eng in
-  (mp, Period.period inst mp)
+  try
+    let eng =
+      try Mf_heuristics.Engine.create inst
+      with Invalid_argument _ -> raise (Round_failed No_specialized_mapping)
+    in
+    Array.iter
+      (fun task ->
+        let best = ref (-1) and best_share = ref neg_infinity in
+        List.iter
+          (fun u ->
+            let s = r.shares.(task).(u) in
+            (* Strict [>] keeps the lowest machine index among equal
+               shares ([eligible_machines] lists machines in increasing
+               index order), so rounding is bit-identical however the
+               surrounding sweep is parallelised. *)
+            if !best < 0 || s > !best_share then begin
+              best := u;
+              best_share := s
+            end)
+          (Mf_heuristics.Engine.eligible_machines eng ~task);
+        if !best < 0 then raise (Round_failed (No_eligible_machine task));
+        Mf_heuristics.Engine.assign eng ~task ~machine:!best)
+      (Mf_heuristics.Engine.order eng);
+    let mp = Mf_heuristics.Engine.mapping eng in
+    Ok (mp, Period.period inst mp)
+  with Round_failed e -> Error e
+
+let round_exn inst r =
+  match round inst r with
+  | Ok v -> v
+  | Error e -> failwith (Printf.sprintf "Splitting.round: %s" (describe_round_error e))

@@ -5,39 +5,92 @@
     task would be divided and the throughput could be improved."
     (Conclusion of the paper.)
 
-    With divisible workloads the problem becomes a pure linear program:
-    let [n(i,u) >= 0] be the average number of products of task [i]
-    processed on machine [u] per finished product.  Flow conservation ties
-    successes to downstream demand, and the period is the largest machine
-    load:
+    With divisible workloads the problem becomes a pure linear program,
+    posed here in {e throughput} form: let [y(i,u) >= 0] be the rate at
+    which machine [u] processes task [i] (products per time unit) and
+    [rho] the system throughput:
 
-    {v minimize K
-      s.t.  sum_u n(i,u) * (1 - f(i,u)) = demand(i)          (flow)
-            demand(i) = sum_u n(succ_inv...)                  (see below)
-            sum_i n(i,u) * w(i,u) <= K                        (period) v}
+    {v maximize rho
+      s.t.  sum_u y(i,u) * (1 - f(i,u)) = demand(i)          (flow)
+            sum_i y(i,u) * w(i,u) <= 1                        (capacity) v}
 
-    where [demand(i)] is 1 for the final task and the total workload
-    [sum_u n(j,u)] of its successor [j] otherwise (one product from each
-    predecessor per assembled output).
+    where [demand(i)] is [rho] for a sink task and the successor's total
+    intake [sum_u y(j,u)] otherwise (one product from each predecessor
+    per assembled output).  The reported period is [K = 1/rho], and the
+    per-product counts are [x = y/K] — the classical period-minimization
+    LP under the substitution [y = x/K].  The throughput form is chosen
+    deliberately: in period form every non-sink flow row and every load
+    row has rhs 0, so the simplex starts at a massively degenerate
+    vertex and large instances stall on zero-step plateaus; with unit
+    capacity rows the start vertex is non-degenerate on the machine side
+    and solve times stay polynomial in practice through n = 100.
 
     The LP optimum is a {e lower bound} for every mapping rule of the
     paper (any specialized mapping is the special case where each task
     uses a single machine), and [round] turns the shares into a feasible
-    specialized mapping, giving an LP-guided heuristic. *)
+    specialized mapping, giving an LP-guided heuristic.
+
+    Solving goes through {!Mip.solve_relaxation_certified}: the float
+    simplex answers almost always, and any float-path failure is
+    re-solved by the exact-rational simplex warm-started from the float
+    basis.  [solve] therefore returns a typed result instead of raising,
+    and the result records which path produced it — sweeps over large
+    grids never abort on a numerically hard seed. *)
+
+(** Which solver produced the answer (see {!Mip.path}). *)
+type path = [ `Float | `Rational ]
 
 type result = {
   period : float;  (** the LP optimum — a bound no integral mapping beats *)
   shares : float array array;
       (** [shares.(i).(u)]: fraction of task [i]'s workload on machine [u] *)
   loads : float array;  (** per-machine time per finished product *)
+  path : path;  (** [`Rational] when the float simplex needed certification *)
+  stats : Mip.certified_stats;  (** pivot counts of both attempts *)
 }
 
-(** [solve inst] solves the divisible-workload LP.
-    @raise Failure if the LP solver fails unexpectedly (it cannot: the
-    problem is always feasible and bounded). *)
-val solve : Mf_core.Instance.t -> result
+(** Why an LP solve failed.  Unreachable for well-formed instances — the
+    flow-conservation structure guarantees a feasible, bounded LP — but
+    typed so grid sweeps record the failure instead of crashing. *)
+type error = [ `Infeasible | `Unbounded ]
+
+val describe_error : error -> string
+
+(** [solve inst] solves the divisible-workload LP.  Never raises on
+    well-formed instances; a numerically hard tableau takes the
+    rational-certified path instead of failing. *)
+val solve : Mf_core.Instance.t -> (result, error) Stdlib.result
+
+(** [solve_exn inst] is [solve] for callers that treat failure as a
+    program error (tests, examples).
+    @raise Failure on [Error _]. *)
+val solve_exn : Mf_core.Instance.t -> result
+
+(** [solve_exact inst] solves the same LP entirely in exact rational
+    arithmetic (no float attempt, no warm start) and returns the optimum
+    period.  Ground truth for the [lp-differential] suite. *)
+val solve_exact : Mf_core.Instance.t -> (float, error) Stdlib.result
+
+(** [model inst] is the LP as a {!Model.t}, exposed so the bench can
+    drive the simplex backends directly on the standardized tableau. *)
+val model : Mf_core.Instance.t -> Model.t
+
+(** Why rounding failed: the instance admits no specialized mapping at
+    all ([m < p]), or some task has an empty eligible-machine list. *)
+type round_error =
+  | No_specialized_mapping
+  | No_eligible_machine of int  (** the task index with no eligible machine *)
+
+val describe_round_error : round_error -> string
 
 (** [round inst r] builds a feasible {e specialized} mapping by walking
     tasks backward and assigning each to its largest-share eligible
-    machine.  Returns the mapping and its (integral) period. *)
-val round : Mf_core.Instance.t -> result -> Mf_core.Mapping.t * float
+    machine, breaking share ties toward the lowest machine index so the
+    result is deterministic.  Returns the mapping and its (integral)
+    period. *)
+val round :
+  Mf_core.Instance.t -> result -> (Mf_core.Mapping.t * float, round_error) Stdlib.result
+
+(** [round_exn inst r] is [round], raising on failure.
+    @raise Failure on [Error _]. *)
+val round_exn : Mf_core.Instance.t -> result -> Mf_core.Mapping.t * float

@@ -250,24 +250,91 @@ let bit_length x =
     (hi * base_bits) + width 0 d
   end
 
-(* Long division on magnitudes via binary shift-and-subtract.
+(* Long division on magnitudes, Knuth's Algorithm D: one estimated
+   quotient digit per position from the top two remainder digits against
+   the normalised divisor's top digit, corrected by at most two
+   subtract-backs — O(la * lb) digit operations, against O(bits * la) for
+   the bit-by-bit shift-and-subtract it replaces (the old loop made
+   every [Rat] normalisation, and hence every exact simplex pivot,
+   quadratically slower than needed).
    Returns (quotient, remainder) with |a| = q*|b| + r, 0 <= r < |b|. *)
 let divmod_mag a b =
-  let la = { sign = 1; mag = a } and lb = { sign = 1; mag = b } in
-  if compare_mag a b < 0 then (zero, la)
-  else begin
-    let shift = bit_length la - bit_length lb in
-    let q = Array.make (shift / base_bits + 1) 0 in
-    let r = ref la in
-    let d = ref (shift_left lb shift) in
-    for k = shift downto 0 do
-      if compare_mag !r.mag !d.mag >= 0 then begin
-        r := normalize 1 (sub_mag !r.mag !d.mag);
-        q.(k / base_bits) <- q.(k / base_bits) lor (1 lsl (k mod base_bits))
-      end;
-      d := shift_right !d 1
+  let lb = Array.length b in
+  if compare_mag a b < 0 then (zero, normalize 1 (Array.copy a))
+  else if lb = 1 then begin
+    (* Single-digit divisor: one linear pass. *)
+    let d = b.(0) in
+    let la = Array.length a in
+    let q = Array.make la 0 in
+    let r = ref 0 in
+    for i = la - 1 downto 0 do
+      let cur = (!r lsl base_bits) lor a.(i) in
+      q.(i) <- cur / d;
+      r := cur mod d
     done;
-    (normalize 1 q, !r)
+    (normalize 1 q, of_int !r)
+  end
+  else begin
+    (* Normalise so the divisor's top digit is >= base/2; the estimate
+       from the top two remainder digits is then off by at most 2. *)
+    let rec width w v = if v = 0 then w else width (w + 1) (v lsr 1) in
+    let s = base_bits - width 0 b.(lb - 1) in
+    (* [shift_left_mag] always appends one extra digit, giving [u] the
+       spare top digit Algorithm D needs. *)
+    let u = shift_left_mag a s in
+    let v = normalize 1 (shift_left_mag b s) in
+    let v = v.mag in
+    let lv = Array.length v in
+    let m = Array.length u - lv in
+    let q = Array.make m 0 in
+    let vtop = v.(lv - 1) in
+    let vsecond = v.(lv - 2) in
+    for j = m - 1 downto 0 do
+      let u2 = (u.(j + lv) lsl base_bits) lor u.(j + lv - 1) in
+      let qhat = ref (if u.(j + lv) = vtop then base_mask else u2 / vtop) in
+      let rhat = ref (u2 - (!qhat * vtop)) in
+      let adjusting = ref true in
+      while !adjusting && !rhat < base do
+        if !qhat * vsecond > (!rhat lsl base_bits) lor u.(j + lv - 2) then begin
+          decr qhat;
+          rhat := !rhat + vtop
+        end
+        else adjusting := false
+      done;
+      (* u[j .. j+lv] -= qhat * v *)
+      let borrow = ref 0 and carry = ref 0 in
+      for i = 0 to lv - 1 do
+        let p = (!qhat * v.(i)) + !carry in
+        carry := p lsr base_bits;
+        let d = u.(j + i) - (p land base_mask) - !borrow in
+        if d < 0 then begin
+          u.(j + i) <- d + base;
+          borrow := 1
+        end
+        else begin
+          u.(j + i) <- d;
+          borrow := 0
+        end
+      done;
+      let top = u.(j + lv) - !carry - !borrow in
+      if top < 0 then begin
+        (* Estimate was one too large (probability ~2/base): add back. *)
+        decr qhat;
+        let c = ref 0 in
+        for i = 0 to lv - 1 do
+          let s = u.(j + i) + v.(i) + !c in
+          u.(j + i) <- s land base_mask;
+          c := s lsr base_bits
+        done;
+        (* [top] is exactly -1 when the subtraction went negative, and
+           the add-back's carry restores it to 0. *)
+        u.(j + lv) <- top + !c
+      end
+      else u.(j + lv) <- top;
+      q.(j) <- !qhat
+    done;
+    let r = shift_right (normalize 1 (Array.sub u 0 lv)) s in
+    (normalize 1 q, r)
   end
 
 let divmod a b =
@@ -283,8 +350,41 @@ let divmod a b =
 let div a b = fst (divmod a b)
 let rem a b = snd (divmod a b)
 
-let rec gcd_aux a b = if is_zero b then a else gcd_aux b (rem a b)
-let gcd a b = gcd_aux (abs a) (abs b)
+(* Trailing zero bits of a non-zero value. *)
+let trailing_zeros x =
+  let mag = x.mag in
+  let i = ref 0 in
+  while mag.(!i) = 0 do
+    incr i
+  done;
+  let rec low k v = if v land 1 = 1 then k else low (k + 1) (v lsr 1) in
+  (!i * base_bits) + low 0 mag.(!i)
+
+(* Binary (Stein) GCD: shifts and subtractions only.  Euclid's algorithm
+   with full divisions cost O(bits) divmods of O(bits * digits) each; a
+   whole binary gcd is O(bits * digits) — the difference dominates the
+   running time of exact rational pivoting, where every [Rat.make]
+   normalises through here. *)
+let gcd a b =
+  if is_zero a then abs b
+  else if is_zero b then abs a
+  else begin
+    let sa = trailing_zeros a and sb = trailing_zeros b in
+    let common = Stdlib.min sa sb in
+    let a = ref (shift_right (abs a) sa) in
+    let b = ref (shift_right (abs b) sb) in
+    (* Invariant: both odd. *)
+    while not (is_zero !b) do
+      if compare_mag !a.mag !b.mag > 0 then begin
+        let t = !a in
+        a := !b;
+        b := t
+      end;
+      b := normalize 1 (sub_mag !b.mag !a.mag);
+      if not (is_zero !b) then b := shift_right !b (trailing_zeros !b)
+    done;
+    shift_left !a common
+  end
 
 let pow x k =
   if k < 0 then invalid_arg "Bigint.pow: negative exponent"

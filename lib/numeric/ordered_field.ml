@@ -23,6 +23,17 @@ module type S = sig
       Exact fields use [zero]. *)
   val eps : t
 
+  (** Relative comparison tolerance: algorithms that keep row/column
+      norms alongside their data (notably {!Mf_lp.Simplex}) test values
+      against [eps + rel_eps * norm], so a threshold means the same
+      thing whatever the scale of the row it guards.  Exact fields use
+      [zero], making every such test exact. *)
+  val rel_eps : t
+
+  (** [is_finite x] is false only for non-finite inexact values (float
+      nan/infinities).  Exact fields are always finite. *)
+  val is_finite : t -> bool
+
   val to_string : t -> string
 end
 
@@ -44,6 +55,8 @@ module Float_field : S with type t = float = struct
   let compare = Float.compare
   let equal = Float.equal
   let eps = 1e-9
+  let rel_eps = 1e-9
+  let is_finite = Float.is_finite
   let to_string = string_of_float
 end
 
@@ -65,5 +78,7 @@ module Rat_field : S with type t = Rat.t = struct
   let compare = Rat.compare
   let equal = Rat.equal
   let eps = Rat.zero
+  let rel_eps = Rat.zero
+  let is_finite _ = true
   let to_string = Rat.to_string
 end

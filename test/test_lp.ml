@@ -304,7 +304,7 @@ module Splitting = Mf_lp.Splitting
 let test_splitting_lower_bound () =
   for seed = 1 to 8 do
     let inst = Gen.chain (Rng.create seed) (Gen.default ~tasks:5 ~types:2 ~machines:3) in
-    let r = Splitting.solve inst in
+    let r = Splitting.solve_exn inst in
     let _, opt = Mf_exact.Brute.specialized inst in
     Alcotest.(check bool)
       (Printf.sprintf "LP %.2f <= exact %.2f (seed %d)" r.Splitting.period opt seed)
@@ -315,14 +315,14 @@ let test_splitting_lower_bound () =
 let test_splitting_single_machine_exact () =
   (* With one machine the LP and the unique mapping coincide. *)
   let inst = Gen.chain (Rng.create 3) (Gen.default ~tasks:4 ~types:1 ~machines:1) in
-  let r = Splitting.solve inst in
+  let r = Splitting.solve_exn inst in
   let mp = Mapping.of_array inst [| 0; 0; 0; 0 |] in
   Alcotest.(check bool) "LP equals single-machine period" true
     (Float.abs (r.Splitting.period -. Period.period inst mp) <= 1e-6 *. r.Splitting.period)
 
 let test_splitting_shares_normalised () =
   let inst = Gen.chain (Rng.create 7) (Gen.default ~tasks:6 ~types:2 ~machines:4) in
-  let r = Splitting.solve inst in
+  let r = Splitting.solve_exn inst in
   Array.iteri
     (fun i row ->
       let total = Array.fold_left ( +. ) 0.0 row in
@@ -333,7 +333,7 @@ let test_splitting_shares_normalised () =
 
 let test_splitting_loads_below_period () =
   let inst = Gen.chain (Rng.create 9) (Gen.default ~tasks:6 ~types:2 ~machines:4) in
-  let r = Splitting.solve inst in
+  let r = Splitting.solve_exn inst in
   Array.iter
     (fun load ->
       Alcotest.(check bool) "load <= K" true (load <= r.Splitting.period +. 1e-6))
@@ -342,13 +342,258 @@ let test_splitting_loads_below_period () =
 let test_splitting_round_feasible () =
   for seed = 1 to 8 do
     let inst = Gen.chain (Rng.create seed) (Gen.default ~tasks:8 ~types:3 ~machines:4) in
-    let r = Splitting.solve inst in
-    let mp, period = Splitting.round inst r in
+    let r = Splitting.solve_exn inst in
+    let mp, period = Splitting.round_exn inst r in
     Alcotest.(check bool) "specialized" true (Mapping.satisfies inst mp Mapping.Specialized);
     Alcotest.(check bool) "integral period >= LP bound" true
       (period >= r.Splitting.period -. (1e-6 *. period));
     Alcotest.(check (float 1e-9)) "period consistent" (Period.period inst mp) period
   done
+
+(* ------------------------------------------------------------------ *)
+(* New-solver unit tests: non-finite rejection, stall budget, warm     *)
+(* start, Bland baseline agreement                                     *)
+(* ------------------------------------------------------------------ *)
+
+module Simplex = Mf_lp.Simplex
+module Rat = Mf_numeric.Rat
+
+let test_simplex_rejects_non_finite () =
+  let module S = Simplex.Float_solver in
+  let expect name (row, col) f =
+    match f () with
+    | exception Simplex.Non_finite loc ->
+      Alcotest.(check (pair int int)) name (row, col) (loc.row, loc.col)
+    | _ -> Alcotest.fail (name ^ ": expected Non_finite")
+  in
+  expect "nan in a row" (1, 0) (fun () ->
+      S.solve ~a:[| [| 1.0; 0.0 |]; [| Float.nan; 1.0 |] |] ~b:[| 1.0; 1.0 |] ~c:[| 1.0; 1.0 |]);
+  expect "infinite rhs reported as col n" (0, 2) (fun () ->
+      S.solve ~a:[| [| 1.0; 0.0 |] |] ~b:[| Float.infinity |] ~c:[| 1.0; 1.0 |]);
+  expect "nan objective reported as row -1" (-1, 1) (fun () ->
+      S.solve ~a:[| [| 1.0; 1.0 |] |] ~b:[| 1.0 |] ~c:[| 0.0; Float.nan |])
+
+let test_simplex_stall_budget () =
+  let module S = Simplex.Float_solver in
+  let a = [| [| 1.0; 1.0; 1.0; 0.0 |]; [| 1.0; 3.0; 0.0; 1.0 |] |] in
+  let b = [| 4.0; 6.0 |] in
+  let c = [| -3.0; -2.0; 0.0; 0.0 |] in
+  let d = S.solve_detailed ~iter_budget:1 ~a ~b ~c () in
+  (match d.S.outcome with
+  | S.Stalled -> ()
+  | _ -> Alcotest.fail "expected Stalled under a 1-pivot budget");
+  match S.solve ~a ~b ~c with
+  | S.Optimal _ -> ()
+  | _ -> Alcotest.fail "expected Optimal under the default budget"
+
+(* Random dense standard-form LPs, feasible by construction: coefficients
+   live on the 1/64 grid, and [b = A x0] for a random nonnegative [x0] on
+   the same grid — products and row sums are then exact in double, so the
+   system is feasible in float and in rational arithmetic alike.  Strictly
+   positive rows keep it bounded, so every backend must report Optimal. *)
+let random_standard_lp rng ~rows ~n =
+  let grid lo hi = float_of_int (lo + Rng.int rng (hi - lo)) /. 64.0 in
+  let a = Array.init rows (fun _ -> Array.init n (fun _ -> grid 32 608)) in
+  let x0 = Array.init n (fun _ -> grid 0 192) in
+  let b =
+    Array.map (fun row -> Array.fold_left ( +. ) 0.0 (Array.map2 ( *. ) row x0)) a
+  in
+  let c = Array.init n (fun _ -> grid (-320) 320) in
+  (a, b, c)
+
+let test_simplex_warm_start_agrees () =
+  let module FS = Simplex.Float_solver in
+  let module RS = Simplex.Rat_solver in
+  let rng = Rng.create 99 in
+  for case = 1 to 25 do
+    let a, b, c = random_standard_lp rng ~rows:3 ~n:6 in
+    let d = FS.solve_detailed ~a ~b ~c () in
+    let ra = Array.map (Array.map Rat.of_float) a in
+    let rb = Array.map Rat.of_float b in
+    let rc = Array.map Rat.of_float c in
+    let warm = RS.solve_from_basis ~a:ra ~b:rb ~c:rc ~basis:d.FS.basis () in
+    match (d.FS.outcome, warm.RS.outcome, RS.solve ~a:ra ~b:rb ~c:rc) with
+    | FS.Optimal (_, fobj), RS.Optimal (_, wobj), RS.Optimal (_, cobj) ->
+      Alcotest.(check bool)
+        (Printf.sprintf "case %d: warm start = cold exact optimum" case)
+        true
+        (Rat.compare wobj cobj = 0);
+      let exact = Rat.to_float cobj in
+      Alcotest.(check bool)
+        (Printf.sprintf "case %d: float within 1e-9 of exact" case)
+        true
+        (Float.abs (fobj -. exact) <= 1e-9 *. Float.max 1.0 (Float.abs exact))
+    | _ -> Alcotest.fail (Printf.sprintf "case %d: expected Optimal on all paths" case)
+  done
+
+let test_simplex_bland_baseline_agrees () =
+  let module S = Simplex.Float_solver in
+  let rng = Rng.create 2718 in
+  for case = 1 to 25 do
+    let a, b, c = random_standard_lp rng ~rows:4 ~n:8 in
+    match (S.solve ~a ~b ~c, S.solve_bland ~a ~b ~c) with
+    | S.Optimal (_, devex), S.Optimal (_, bland) ->
+      Alcotest.(check bool)
+        (Printf.sprintf "case %d: Devex = Bland" case)
+        true
+        (Float.abs (devex -. bland) <= 1e-7 *. Float.max 1.0 (Float.abs bland))
+    | _ -> Alcotest.fail (Printf.sprintf "case %d: expected Optimal from both" case)
+  done
+
+(* ------------------------------------------------------------------ *)
+(* Splitting.round typed errors and deterministic tie-breaking         *)
+(* ------------------------------------------------------------------ *)
+
+let test_splitting_round_no_specialized_mapping () =
+  (* Three types on two machines: the divisible LP still solves (splitting
+     ignores the specialized rule) but rounding has no mapping to build. *)
+  let inst = Gen.chain (Rng.create 5) (Gen.default ~tasks:6 ~types:3 ~machines:2) in
+  match Splitting.solve inst with
+  | Error e -> Alcotest.fail (Splitting.describe_error e)
+  | Ok r -> (
+    match Splitting.round inst r with
+    | Error Splitting.No_specialized_mapping -> ()
+    | Ok _ | Error _ -> Alcotest.fail "expected No_specialized_mapping")
+
+let test_splitting_round_tie_breaks_low () =
+  (* All-equal shares: every tie must resolve to the lowest eligible
+     machine index, so with 2 types the mapping uses exactly machines
+     {0, 1} out of 4. *)
+  let inst = Gen.chain (Rng.create 11) (Gen.default ~tasks:4 ~types:2 ~machines:4) in
+  let n = Instance.task_count inst in
+  let m = Instance.machines inst in
+  let r =
+    {
+      Splitting.period = 1.0;
+      shares = Array.make_matrix n m (1.0 /. float_of_int m);
+      loads = Array.make m 0.0;
+      path = `Float;
+      stats = { Mip.float_iterations = 0; exact_iterations = 0; path = `Float };
+    }
+  in
+  match Splitting.round inst r with
+  | Error e -> Alcotest.fail (Splitting.describe_round_error e)
+  | Ok (mp, _) ->
+    let used =
+      List.sort_uniq compare (List.init n (fun i -> Mapping.machine mp i))
+    in
+    Alcotest.(check (list int)) "ties land on the lowest machine indices" [ 0; 1 ] used
+
+(* ------------------------------------------------------------------ *)
+(* lp-differential: the float path against the exact-rational solver   *)
+(* on mixed-scale in-forest instances (the tableaus that stalled the   *)
+(* previous Bland-under-absolute-eps solver)                           *)
+(* ------------------------------------------------------------------ *)
+
+(* Dyadic mixed-scale instances: integer "small" workloads in [1, 32]
+   times a per-machine power-of-two scale up to [2^kmax], failure rates
+   snapped to the 1/64 grid.  Every coefficient is exactly representable
+   in both float and rational, so the float path faces genuinely
+   mixed-scale, heavily tied (degenerate) tableaus while the exact
+   ground truth stays affordable: tableau entries are ratios of
+   small-numerator minors instead of the 52-bit monsters that
+   [Rat.of_float] makes of uniform draws. *)
+let dyadic_instance ~tasks ~machines ~kmax seed =
+  let base =
+    (if seed mod 2 = 0 then Gen.chain else Gen.in_tree)
+      (Rng.create seed)
+      (Gen.with_high_failures
+         (Gen.default ~tasks ~types:(min tasks 4) ~machines))
+  in
+  let n = Instance.task_count base in
+  let m = Instance.machines base in
+  let w =
+    Array.init n (fun i ->
+        Array.init m (fun u ->
+            (* w ~ U[100,1000) -> integer in [1, 32], then machine scale. *)
+            let small = Float.max 1.0 (Float.round (Instance.w base i u /. 31.25)) in
+            let k = if m = 1 then 0 else u * kmax / (m - 1) in
+            small *. Float.ldexp 1.0 k))
+  in
+  let f =
+    Array.init n (fun i ->
+        Array.init m (fun u ->
+            Float.min 0.984375 (Float.round (Instance.f base i u *. 64.0) /. 64.0)))
+  in
+  Instance.create ~workflow:(Instance.workflow base) ~machines:m ~w ~f
+
+(* Small tier: cold exact ground truth (full two-phase rational solve). *)
+let lp_differential_small = 200
+
+let small_tier_instance i =
+  dyadic_instance
+    ~tasks:(4 + (i mod 9))
+    ~machines:(2 + (i mod 4))
+    ~kmax:(i mod 11)
+    i
+
+(* Large tier: sizes where a cold rational solve is unaffordable; ground
+   truth is the rational solver warm-started from the float basis (the
+   certification path itself, checked end to end against the float
+   objective). *)
+let lp_differential_large = [ (16, 4); (20, 4); (25, 4); (30, 4); (16, 6); (20, 6); (25, 6); (30, 6) ]
+
+let lp_differential_total = lp_differential_small + List.length lp_differential_large
+
+let check_rel name float_period exact_period =
+  let rel =
+    Float.abs (float_period -. exact_period) /. Float.max 1.0 (Float.abs exact_period)
+  in
+  if rel > 1e-9 then
+    Alcotest.fail
+      (Printf.sprintf "%s: period %.17g vs exact %.17g (rel %.3g)" name float_period
+         exact_period rel)
+
+let test_lp_differential () =
+  let rational = ref 0 in
+  let solved inst name =
+    match Splitting.solve inst with
+    | Error e -> Alcotest.fail (Printf.sprintf "%s: spurious %s" name (Splitting.describe_error e))
+    | Ok r ->
+      (match r.Splitting.path with `Rational -> incr rational | `Float -> ());
+      r
+  in
+  for i = 0 to lp_differential_small - 1 do
+    let name = Printf.sprintf "small %d" i in
+    let inst = small_tier_instance i in
+    let r = solved inst name in
+    match Splitting.solve_exact inst with
+    | Error e ->
+      Alcotest.fail (Printf.sprintf "%s: exact solver says %s" name (Splitting.describe_error e))
+    | Ok exact -> check_rel name r.Splitting.period exact
+  done;
+  List.iteri
+    (fun idx (n, m) ->
+      let name = Printf.sprintf "large %dx%d" n m in
+      let inst = dyadic_instance ~tasks:n ~machines:m ~kmax:10 (1000 + idx) in
+      let r = solved inst name in
+      (* Warm-started exact certification as ground truth: realize the
+         float solver's final basis in rational arithmetic and finish
+         with exact phase-2 pivots. *)
+      let module FS = Simplex.Float_solver in
+      let module RS = Simplex.Rat_solver in
+      let module Std = Mf_lp.Standardize in
+      match Std.build (Splitting.model inst) with
+      | None -> Alcotest.fail (name ^ ": standardize failed")
+      | Some std -> (
+        let d = FS.solve_detailed ~a:std.Std.a ~b:std.Std.b ~c:std.Std.c () in
+        let ra = Array.map (Array.map Rat.of_float) std.Std.a in
+        let rb = Array.map Rat.of_float std.Std.b in
+        let rc = Array.map Rat.of_float std.Std.c in
+        let warm = RS.solve_from_basis ~a:ra ~b:rb ~c:rc ~basis:d.FS.basis () in
+        match warm.RS.outcome with
+        | RS.Optimal (_, obj) ->
+          let rho = Std.model_objective std (Rat.to_float obj) in
+          Alcotest.(check bool) (name ^ ": positive throughput") true (rho > 0.0);
+          check_rel name r.Splitting.period (1.0 /. rho)
+        | _ -> Alcotest.fail (name ^ ": warm-started exact solve not Optimal")))
+    lp_differential_large;
+  (* The fallback is a safety net, not the common path: the float solver
+     should certify the overwhelming majority of the suite on its own. *)
+  Alcotest.(check bool)
+    (Printf.sprintf "rational fallback rare (%d/%d)" !rational lp_differential_total)
+    true
+    (10 * !rational <= lp_differential_total)
 
 let () =
   Alcotest.run "mf_lp"
@@ -368,6 +613,10 @@ let () =
           Alcotest.test_case "unbounded" `Quick test_lp_unbounded;
           Alcotest.test_case "degenerate" `Quick test_lp_degenerate;
           Alcotest.test_case "float vs exact" `Slow test_float_vs_exact_simplex;
+          Alcotest.test_case "rejects non-finite" `Quick test_simplex_rejects_non_finite;
+          Alcotest.test_case "stall budget" `Quick test_simplex_stall_budget;
+          Alcotest.test_case "warm start" `Slow test_simplex_warm_start_agrees;
+          Alcotest.test_case "bland baseline" `Quick test_simplex_bland_baseline_agrees;
         ] );
       ( "branch-bound",
         [
@@ -383,7 +632,12 @@ let () =
           Alcotest.test_case "shares normalised" `Quick test_splitting_shares_normalised;
           Alcotest.test_case "loads below period" `Quick test_splitting_loads_below_period;
           Alcotest.test_case "rounding feasible" `Quick test_splitting_round_feasible;
+          Alcotest.test_case "round without specialized mapping" `Quick
+            test_splitting_round_no_specialized_mapping;
+          Alcotest.test_case "round tie-breaks low" `Quick test_splitting_round_tie_breaks_low;
         ] );
+      ( "lp-differential",
+        [ Alcotest.test_case "float path vs exact (208)" `Slow test_lp_differential ] );
       ( "micro-mip",
         [
           Alcotest.test_case "matches brute force" `Slow test_micro_mip_matches_brute;
