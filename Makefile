@@ -2,7 +2,8 @@
 # No ocamlformat in the toolchain image — formatting is by convention
 # (see DESIGN.md §5), so there is no fmt target.
 
-.PHONY: all build test verify bench bench-quick bench-exact bench-lp clean
+.PHONY: all build test verify bench bench-quick bench-exact bench-lp clean \
+  fuzz fuzz-quick fuzz-replay
 
 all: build
 
@@ -26,7 +27,27 @@ verify:
 	cmp _build/verify_j1.csv _build/verify_j4.csv
 	timeout 60 dune exec test/test_exact.exe -- test dfs-differential
 	timeout 60 dune exec test/test_lp.exe -- test lp-differential
-	@echo "verify OK: tests green, --jobs 1/4 byte-identical, both differential suites green"
+	$(MAKE) fuzz-quick
+	@echo "verify OK: tests green, --jobs 1/4 byte-identical, differential suites green, fuzz matrix green"
+
+# Quick fuzz tier (deterministic, fixed seeds, <= 30 s): the full oracle
+# matrix — eval, heuristics, exact-vs-brute, lp-vs-exact, sim-vs-analytic,
+# metamorphic — plus the injected-bug canary and a replay of the committed
+# seed corpus.  See DESIGN.md §12.
+fuzz-quick:
+	timeout 30 dune exec test/fuzz/fuzz_main.exe -- --quick
+
+# Time-budgeted fuzz (default 120 s, override: make fuzz FUZZ_TIME=600).
+# Each round draws fresh seeds; a failure writes a .repro seed file into
+# test/fuzz/corpus — commit it to pin the regression.
+FUZZ_TIME ?= 120
+fuzz:
+	dune build test/fuzz/fuzz_main.exe
+	dune exec test/fuzz/fuzz_main.exe -- --time $(FUZZ_TIME)
+
+# Replay the committed corpus only (fast; part of fuzz-quick as well).
+fuzz-replay:
+	dune exec test/fuzz/fuzz_main.exe -- --replay
 
 # Full benchmark run (figures + BENCH_eval.json + BENCH_parallel.json +
 # bechamel micro-benchmarks).

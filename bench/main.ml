@@ -774,6 +774,20 @@ let micro_benchmarks () =
                ignore
                  (Mf_sim.Desim.run ~warmup:1.0e4 ~horizon:1.0e5 ~seed:1 instance_small
                     (Registry.solve Registry.H4w instance_small))));
+        Test.make ~name:"proptest/instance-gen-tree"
+          (Staged.stage
+             (let gen =
+                Mf_proptest.Instances.instance ~max_tasks:8 ~max_machines:4 ()
+              in
+              fun () ->
+                ignore
+                  (Mf_proptest.Tree.root
+                     (Mf_proptest.Gen.run gen (Mf_prng.Rng.create 7)))));
+        Test.make ~name:"proptest/oracle-eval-case"
+          (Staged.stage
+             (let eval_oracle = Option.get (Mf_proptest.Oracle.find "eval") in
+              fun () ->
+                ignore (Mf_proptest.Oracle.replay eval_oracle ~case_seed:123456)));
         Test.make ~name:"numeric/bigint-mul-200digits"
           (Staged.stage (fun () -> ignore (Mf_numeric.Bigint.mul big big)));
         Test.make ~name:"graph/hungarian-100x100"

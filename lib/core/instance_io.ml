@@ -31,9 +31,17 @@ let to_string inst =
   done;
   Buffer.contents buf
 
-let fail line msg = invalid_arg (Printf.sprintf "Instance_io: line %d: %s" line msg)
+type error = { line : int; message : string }
 
-let of_string text =
+let describe_error e =
+  if e.line = 0 then Printf.sprintf "Instance_io: %s" e.message
+  else Printf.sprintf "Instance_io: line %d: %s" e.line e.message
+
+exception Parse_error of error
+
+let fail line message = raise (Parse_error { line; message })
+
+let of_string_exn text =
   let lines =
     String.split_on_char '\n' text
     |> List.mapi (fun idx l -> (idx + 1, String.trim l))
@@ -46,11 +54,17 @@ let of_string text =
   let parse_float lineno s =
     match float_of_string_opt s with Some v -> v | None -> fail lineno ("bad float " ^ s)
   in
+  (* Peel the three header lines one at a time so a missing or mangled
+     types/successors line is reported as such, not as a bad header. *)
+  let demand_line what = function
+    | (lineno, keyword :: ws) :: rest when keyword = what -> (lineno, ws, rest)
+    | (lineno, _) :: _ -> fail lineno (Printf.sprintf "expected a '%s ...' line" what)
+    | [] -> fail 0 (Printf.sprintf "missing '%s ...' line" what)
+  in
   match List.map words lines with
-  | (l1, [ "tasks"; n_s; "machines"; m_s ])
-    :: (l2, "types" :: type_words)
-    :: (l3, "successors" :: succ_words)
-    :: rest ->
+  | (l1, [ "tasks"; n_s; "machines"; m_s ]) :: rest ->
+    let l2, type_words, rest = demand_line "types" rest in
+    let l3, succ_words, rest = demand_line "successors" rest in
     let n = parse_int l1 n_s and m = parse_int l1 m_s in
     if List.length type_words <> n then fail l2 "expected one type per task";
     if List.length succ_words <> n then fail l3 "expected one successor per task";
@@ -83,7 +97,21 @@ let of_string text =
     let workflow = Workflow.in_forest ~types ~successor in
     Instance.create ~workflow ~machines:m ~w ~f
   | (lineno, _) :: _ -> fail lineno "expected header 'tasks <n> machines <m>'"
-  | [] -> invalid_arg "Instance_io: empty input"
+  | [] -> fail 0 "empty input"
+
+let of_string_result text =
+  match of_string_exn text with
+  | inst -> Ok inst
+  | exception Parse_error e -> Error e
+  (* The Workflow/Instance smart constructors reject semantic problems
+     (successor cycles, type-inconsistent w, f outside [0, 1)) that
+     line-level parsing cannot see. *)
+  | exception Invalid_argument message -> Error { line = 0; message }
+
+let of_string text =
+  match of_string_result text with
+  | Ok inst -> inst
+  | Error e -> invalid_arg (describe_error e)
 
 let write_file path inst =
   let oc = open_out path in

@@ -14,6 +14,19 @@
 
 val to_string : Instance.t -> string
 
+(** A parse or validation failure: [line] is 1-based, or 0 when the
+    problem concerns the document as a whole (empty input, a missing
+    row, a workflow/instance invariant violated by consistent-looking
+    lines). *)
+type error = { line : int; message : string }
+
+val describe_error : error -> string
+
+(** [of_string_result text] parses an instance, reporting malformed
+    input — including values the {!Instance} and {!Workflow} smart
+    constructors reject — as a typed [Error] rather than an exception. *)
+val of_string_result : string -> (Instance.t, error) result
+
 (** @raise Invalid_argument on malformed input (with a line diagnostic). *)
 val of_string : string -> Instance.t
 

@@ -1,0 +1,57 @@
+type entry = { oracle : string; case_seed : int; path : string }
+
+let load_file path =
+  match In_channel.with_open_text path In_channel.input_lines with
+  | exception Sys_error msg -> Error msg
+  | lines ->
+    let oracle = ref None and seed = ref None and err = ref None in
+    List.iteri
+      (fun lineno line ->
+        let line =
+          match String.index_opt line '#' with
+          | Some i -> String.sub line 0 i
+          | None -> line
+        in
+        match String.split_on_char ' ' (String.trim line) |> List.filter (( <> ) "") with
+        | [] -> ()
+        | [ "oracle"; name ] -> oracle := Some name
+        | [ "seed"; s ] -> (
+          match int_of_string_opt s with
+          | Some v when v >= 0 -> seed := Some v
+          | _ ->
+            if !err = None then
+              err := Some (Printf.sprintf "%s:%d: bad seed %S" path (lineno + 1) s))
+        | _ ->
+          if !err = None then
+            err := Some (Printf.sprintf "%s:%d: unrecognised line" path (lineno + 1)))
+      lines;
+    (match (!err, !oracle, !seed) with
+    | Some e, _, _ -> Error e
+    | None, Some oracle, Some case_seed -> Ok { oracle; case_seed; path }
+    | None, None, _ -> Error (path ^ ": missing 'oracle' line")
+    | None, _, None -> Error (path ^ ": missing 'seed' line"))
+
+let load_dir dir =
+  if not (Sys.file_exists dir) then ([], [])
+  else
+    let files =
+      Sys.readdir dir |> Array.to_list
+      |> List.filter (fun f -> Filename.check_suffix f ".repro")
+      |> List.sort String.compare
+    in
+    List.fold_left
+      (fun (entries, errors) f ->
+        match load_file (Filename.concat dir f) with
+        | Ok e -> (e :: entries, errors)
+        | Error msg -> (entries, msg :: errors))
+      ([], []) files
+    |> fun (entries, errors) -> (List.rev entries, List.rev errors)
+
+let save ~dir ~oracle ~case_seed ~note =
+  if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
+  let path = Filename.concat dir (Printf.sprintf "%s-%d.repro" oracle case_seed) in
+  Out_channel.with_open_text path (fun oc ->
+      String.split_on_char '\n' note
+      |> List.iter (fun line -> Printf.fprintf oc "# %s\n" line);
+      Printf.fprintf oc "oracle %s\nseed %d\n" oracle case_seed);
+  path

@@ -1,0 +1,33 @@
+(** The on-disk seed corpus.
+
+    An entry is a tiny text file pinning one oracle case: the oracle
+    name and the case seed that regenerates the (unshrunk) input through
+    the deterministic generators.  When the fuzzer finds a failure it
+    writes the shrunk counterexample next to the seed as comment lines;
+    committing the file turns the crash into a permanent regression case
+    replayed by [make fuzz-replay] and [make fuzz-quick].
+
+    Format ([#] starts a comment, blank lines ignored):
+    {v # optional provenance notes
+      oracle eval
+      seed 123456789 v} *)
+
+type entry = {
+  oracle : string;
+  case_seed : int;
+  path : string;  (** file the entry was loaded from, or will be saved to *)
+}
+
+(** [load_file path] parses one entry. *)
+val load_file : string -> (entry, string) result
+
+(** [load_dir dir] loads every [*.repro] file, sorted by name; a missing
+    directory is an empty corpus.  Malformed files are reported as
+    [Error]s alongside the good entries. *)
+val load_dir : string -> entry list * string list
+
+(** [save ~dir ~oracle ~case_seed ~note] writes
+    [dir/<oracle>-<case_seed>.repro] with [note] (the failure message and
+    shrunk counterexample) as comments, creating [dir] if needed, and
+    returns the path. *)
+val save : dir:string -> oracle:string -> case_seed:int -> note:string -> string

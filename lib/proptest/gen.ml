@@ -1,0 +1,74 @@
+module Rng = Mf_prng.Rng
+
+type 'a t = Rng.t -> 'a Tree.t
+
+let run g rng = g rng
+let root ~case_seed g = Tree.root (g (Rng.create case_seed))
+let return x _rng = Tree.pure x
+let map f g rng = Tree.map f (g rng)
+
+(* Split the state so every re-run of the continuation — one per shrink
+   candidate of the outer value — starts from an identical copy. *)
+let bind g f rng =
+  let r1 = Rng.split rng in
+  let r2 = Rng.split rng in
+  Tree.bind (g r1) (fun x -> f x (Rng.copy r2))
+
+let pair ga gb rng =
+  let r1 = Rng.split rng in
+  let r2 = Rng.split rng in
+  Tree.product (ga r1) (gb r2)
+
+let map2 f ga gb = map (fun (a, b) -> f a b) (pair ga gb)
+let ( let* ) = bind
+let ( let+ ) g f = map f g
+
+let int_range ?dest lo hi rng =
+  if hi < lo then invalid_arg "Gen.int_range: empty range";
+  let dest = Option.value dest ~default:lo in
+  if dest < lo || dest > hi then invalid_arg "Gen.int_range: dest outside range";
+  Tree.int_towards ~dest (Rng.int_range rng ~lo ~hi)
+
+let float_range lo hi rng =
+  if hi <= lo then Tree.pure lo
+  else Tree.float_towards ~dest:lo ~fuel:24 (Rng.uniform rng ~lo ~hi)
+
+let bool rng =
+  Tree.map (fun i -> i = 1) (Tree.int_towards ~dest:0 (if Rng.bool rng then 1 else 0))
+
+let choose gens =
+  let n = Array.length gens in
+  if n = 0 then invalid_arg "Gen.choose: no alternatives";
+  bind (int_range 0 (n - 1)) (fun i -> gens.(i))
+
+let frequency alts =
+  let total = List.fold_left (fun acc (w, _) -> acc + max 0 w) 0 alts in
+  if total <= 0 then invalid_arg "Gen.frequency: no positive weight";
+  bind (int_range 0 (total - 1)) (fun ticket ->
+      let rec pick ticket = function
+        | [] -> assert false
+        | (w, g) :: rest -> if ticket < w then g else pick (ticket - w) rest
+      in
+      pick ticket alts)
+
+let no_shrink g rng = Tree.pure (Tree.root (g rng))
+let array_n n g rng = Tree.array_of_trees (Array.init n (fun _ -> g rng))
+let sequence gens rng = Tree.array_of_trees (Array.map (fun g -> g rng) gens)
+let array_sized ~min ~max g = bind (int_range min max) (fun len -> array_n len g)
+
+(* Index j picks among the (n - j) values still unused; any index array
+   with entries in those ranges decodes to a permutation, so element-wise
+   shrinking (toward 0 = "keep the smallest remaining") stays valid. *)
+let permutation_indices n rng =
+  Tree.array_of_trees
+    (Array.init n (fun j -> Tree.int_towards ~dest:0 (Rng.int rng (n - j))))
+
+let apply_permutation_indices idx =
+  let n = Array.length idx in
+  let remaining = Array.init n Fun.id in
+  Array.init n (fun j ->
+      let k = idx.(j) in
+      let v = remaining.(k) in
+      (* Drop slot k; only the first (n - j - 1) slots remain meaningful. *)
+      Array.blit remaining (k + 1) remaining k (n - k - 1);
+      v)

@@ -1,0 +1,92 @@
+(** Generator combinators with integrated shrinking.
+
+    A generator maps a deterministic {!Mf_prng.Rng} state to a lazy
+    {!Tree} of values: the root is the generated value, the children are
+    its shrink candidates.  Shrinking therefore needs no separate
+    [shrink] function and — crucially for this repository's constrained
+    domain values (type-consistent instances, in-forest workflows,
+    rule-feasible mappings) — every shrink candidate is produced by the
+    same smart constructors as the original, so it satisfies the same
+    invariants by construction.
+
+    Composition follows Hedgehog: {!bind} splits the generator state so
+    that when an outer value shrinks (an instance size, a sequence
+    length), the dependent inner generator re-runs from an identical
+    state copy, keeping shrink candidates deterministic and — for
+    prefix-stable generators such as {!array_sized} — structurally
+    related to the original. *)
+
+type 'a t
+
+(** [run g rng] generates one tree, advancing [rng]. *)
+val run : 'a t -> Mf_prng.Rng.t -> 'a Tree.t
+
+(** [root ~case_seed g] is the root value of the tree generated from a
+    fresh state seeded with [case_seed] — what a replay produces. *)
+val root : case_seed:int -> 'a t -> 'a
+
+(** {1 Monad} *)
+
+val return : 'a -> 'a t
+val map : ('a -> 'b) -> 'a t -> 'b t
+val map2 : ('a -> 'b -> 'c) -> 'a t -> 'b t -> 'c t
+val bind : 'a t -> ('a -> 'b t) -> 'b t
+val pair : 'a t -> 'b t -> ('a * 'b) t
+val ( let* ) : 'a t -> ('a -> 'b t) -> 'b t
+val ( let+ ) : 'a t -> ('a -> 'b) -> 'b t
+
+(** {1 Primitives} *)
+
+(** [int_range ?dest lo hi] draws uniformly from the inclusive range and
+    shrinks toward [dest] (default [lo]).
+    @raise Invalid_argument if [hi < lo] or [dest] is outside the range. *)
+val int_range : ?dest:int -> int -> int -> int t
+
+(** [float_range lo hi] draws uniformly from [[lo, hi)] ([lo] when the
+    range is empty) and shrinks toward [lo] by binary halving. *)
+val float_range : float -> float -> float t
+
+(** Fair coin, shrinking toward [false]. *)
+val bool : bool t
+
+(** [choose gens] picks one alternative uniformly; the choice index
+    shrinks toward the first alternative.
+    @raise Invalid_argument on an empty array. *)
+val choose : 'a t array -> 'a t
+
+(** [frequency alts] picks an alternative with probability proportional
+    to its weight; the choice shrinks toward the first alternative.
+    @raise Invalid_argument if no weight is positive. *)
+val frequency : (int * 'a t) list -> 'a t
+
+(** [no_shrink g] generates like [g] but never shrinks — for seeds and
+    other values whose magnitude carries no meaning. *)
+val no_shrink : 'a t -> 'a t
+
+(** {1 Collections} *)
+
+(** [array_n n g] is [n] independent draws; shrinking replaces one
+    element at a time by one of its candidates. *)
+val array_n : int -> 'a t -> 'a array t
+
+(** [array_sized ~min ~max g] draws the length from [[min, max]] and
+    then the elements.  The length shrinks before the elements, and
+    because all lengths replay the same element stream, a shorter
+    candidate is a prefix of the original. *)
+val array_sized : min:int -> max:int -> 'a t -> 'a array t
+
+(** [sequence gens] runs one generator per slot — for arrays whose
+    element distribution depends on the index (successor edges). *)
+val sequence : 'a t array -> 'a array t
+
+(** [permutation_indices n] draws the Fisher–Yates index sequence of a
+    uniform permutation of [0..n-1]: element [j] is an index into the
+    machines still unused at step [j].  Feeding it to
+    {!apply_permutation_indices} yields the permutation; every shrink
+    candidate is again a valid index sequence (so the decoded array is
+    always a permutation), and shrinking moves toward the identity. *)
+val permutation_indices : int -> int array t
+
+(** [apply_permutation_indices idx] decodes the index sequence into the
+    permutation array [perm] with [perm.(j)] = image of [j]. *)
+val apply_permutation_indices : int array -> int array

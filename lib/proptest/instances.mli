@@ -1,0 +1,89 @@
+(** Domain generators: in-forest workflows, heterogeneous instances,
+    rule-respecting mappings, journaled move sequences — all with
+    integrated shrinking, all valid by construction at every shrink step.
+
+    Instances are {e dyadic}: processing times are small integers scaled
+    by powers of two and failure rates live on the 1/64 grid, so every
+    coefficient is exactly representable in binary floating point and in
+    rationals (the same trick as the [lp-differential] suite).  Generated
+    populations deliberately cover the regimes that have bitten solvers
+    before: mixed per-machine scales, degenerate [f = 0] rows, repeated
+    task-type failure profiles (the dominance-table trigger), machine
+    columns duplicated bit-for-bit (the symmetry trigger), forests with
+    several roots, and single-task / single-machine corner cases.
+
+    This module also hosts the {e deterministic indexed families} the
+    [dfs-differential] and [lp-differential] suites enumerate, so the
+    fuzzer and those suites draw from one shared pool. *)
+
+(** One step of a journaled evaluation sequence.  Interpreters skip an
+    [Undo] issued against an empty journal. *)
+type op =
+  | Move of { task : int; machine : int }
+  | Swap of { u : int; v : int }
+  | Undo
+
+val op_to_string : op -> string
+
+(** {1 Shrinking generators} *)
+
+(** [instance ()] draws a heterogeneous dyadic instance.  [max_types]
+    bounds the drawn type count [p] (the actual [p] is derived from the
+    drawn type labels, so it shrinks with them); [machines_cover_types]
+    forces [m >= p] (heuristics and specialized solvers need it);
+    [duplicate_machine] appends, with probability 1/2, one machine whose
+    [(w, f)] column is a bit-identical copy of machine 0 — guaranteeing
+    {!Mf_exact.Symmetry.machine_classes} coverage.  [forest] (default
+    true) permits several sinks; pass [false] for the paper's single
+    final product (the simulation oracle needs it: a machine hosting two
+    independent sinks may pace them unevenly, which the analytic period
+    does not model).  [kmax] caps the power-of-two machine scale. *)
+val instance :
+  ?min_tasks:int ->
+  ?max_tasks:int ->
+  ?max_types:int ->
+  ?min_machines:int ->
+  ?max_machines:int ->
+  ?machines_cover_types:bool ->
+  ?duplicate_machine:bool ->
+  ?forest:bool ->
+  ?kmax:int ->
+  unit ->
+  Mf_core.Instance.t Gen.t
+
+(** [allocation inst] draws an arbitrary (general-rule) mapping;
+    machines shrink toward index 0. *)
+val allocation : Mf_core.Instance.t -> Mf_core.Mapping.t Gen.t
+
+(** [specialized_allocation inst] draws an injective type-to-machine
+    assignment — always specialized-feasible.
+    @raise Invalid_argument when [m < p]. *)
+val specialized_allocation : Mf_core.Instance.t -> Mf_core.Mapping.t Gen.t
+
+(** [ops inst ~max_ops] draws a journaled move/swap/undo sequence; the
+    length shrinks first (shorter sequences are prefixes), then the
+    individual steps. *)
+val ops : Mf_core.Instance.t -> max_ops:int -> op array Gen.t
+
+(** {1 Printers for counterexamples} *)
+
+val print_instance : Mf_core.Instance.t -> string
+val print_with_mapping : Mf_core.Instance.t -> Mf_core.Mapping.t -> string
+
+val print_case :
+  Mf_core.Instance.t -> Mf_core.Mapping.t -> op array -> string
+
+(** {1 Deterministic indexed families (shared with the differential suites)} *)
+
+(** [differential_instance ~rule i] is the [i]-th instance of the
+    [dfs-differential] enumeration: chains and in-trees, [n <= 8],
+    [m <= 4], sized so brute force stays affordable under [rule], every
+    fifth instance task-attached. *)
+val differential_instance : rule:Mf_core.Mapping.rule -> int -> Mf_core.Instance.t
+
+(** [dyadic_lp_instance ~tasks ~machines ~kmax seed] is the mixed-scale
+    dyadic family of the [lp-differential] suite: integer base workloads
+    in [1, 32] scaled by per-machine powers of two up to [2^kmax],
+    failure rates snapped to the 1/64 grid. *)
+val dyadic_lp_instance :
+  tasks:int -> machines:int -> kmax:int -> int -> Mf_core.Instance.t

@@ -1,0 +1,519 @@
+module Instance = Mf_core.Instance
+module Workflow = Mf_core.Workflow
+module Mapping = Mf_core.Mapping
+module Period = Mf_core.Period
+module State = Mf_eval.State
+module Registry = Mf_heuristics.Registry
+module Dfs = Mf_exact.Dfs
+module Brute = Mf_exact.Brute
+module Symmetry = Mf_exact.Symmetry
+module Splitting = Mf_lp.Splitting
+module Desim = Mf_sim.Desim
+module Rat = Mf_numeric.Rat
+open Gen
+
+type outcome = { oracle : string; cases : int; failed : failed option }
+
+and failed = {
+  case_index : int;
+  case_seed : int;
+  shrink_steps : int;
+  message : string;
+  repr : string;
+}
+
+type t =
+  | Oracle : {
+      name : string;
+      description : string;
+      quick_cases : int;
+      gen : 'a Gen.t;
+      prop : 'a Prop.property;
+      print : 'a -> string;
+    }
+      -> t
+
+let name (Oracle o) = o.name
+let description (Oracle o) = o.description
+let quick_cases (Oracle o) = o.quick_cases
+
+(* Properties are written with an internal failure exception so checks
+   chain without result plumbing; [prop_of] converts to the runner's
+   result type (other exceptions are caught by [Prop.eval]). *)
+exception Fail of string
+
+let failf fmt = Printf.ksprintf (fun s -> raise (Fail s)) fmt
+let check b fmt = Printf.ksprintf (fun s -> if not b then raise (Fail s)) fmt
+let prop_of f x = match f x with () -> Ok () | exception Fail m -> Error m
+
+let rel_close ?(tol = 1e-9) a b =
+  Float.abs (a -. b) <= tol *. Float.max 1.0 (Float.max (Float.abs a) (Float.abs b))
+
+let exact_period inst mp = Rat.to_float (Period.period_exact inst mp)
+
+(* ------------------------------------------------------------------ *)
+(* eval: State vs Period under journaled move/swap/undo sequences       *)
+(* ------------------------------------------------------------------ *)
+
+let eval_gen =
+  let* inst = Instances.instance ~max_tasks:8 ~max_machines:4 () in
+  let* mp = Instances.allocation inst in
+  let* steps = Instances.ops inst ~max_ops:12 in
+  return (inst, mp, steps)
+
+let eval_prop (inst, mp, steps) =
+  let st = State.of_mapping inst mp in
+  let p0 = State.period st in
+  check (p0 = Period.period inst mp) "of_mapping period %h <> Period.period %h" p0
+    (Period.period inst mp);
+  check
+    (rel_close p0 (exact_period inst mp))
+    "float period %.17g vs exact %.17g" p0 (exact_period inst mp);
+  let alloc = ref (Mapping.to_array mp) in
+  let saved = ref [] in
+  Array.iteri
+    (fun k op ->
+      match op with
+      | Instances.Undo ->
+        if State.undo_depth st > 0 then begin
+          State.undo st;
+          match !saved with
+          | prev :: rest ->
+            alloc := prev;
+            saved := rest
+          | [] -> assert false
+        end
+      | Instances.Move { task; machine } ->
+        let predicted = State.try_move st ~task ~machine in
+        saved := !alloc :: !saved;
+        let next = Array.copy !alloc in
+        next.(task) <- machine;
+        alloc := next;
+        State.apply_move st ~task ~machine;
+        let got = State.period st in
+        let reference = Period.period inst (Mapping.of_array inst !alloc) in
+        check (rel_close predicted got) "step %d (%s): try_move %.17g vs applied %.17g" k
+          (Instances.op_to_string op) predicted got;
+        check (rel_close got reference) "step %d (%s): state %.17g vs reference %.17g" k
+          (Instances.op_to_string op) got reference
+      | Instances.Swap { u; v } ->
+        let predicted = State.try_swap st ~u ~v in
+        saved := !alloc :: !saved;
+        alloc :=
+          Array.map (fun m -> if m = u then v else if m = v then u else m) !alloc;
+        State.apply_swap st ~u ~v;
+        let got = State.period st in
+        let reference = Period.period inst (Mapping.of_array inst !alloc) in
+        check (rel_close predicted got) "step %d (%s): try_swap %.17g vs applied %.17g" k
+          (Instances.op_to_string op) predicted got;
+        check (rel_close got reference) "step %d (%s): state %.17g vs reference %.17g" k
+          (Instances.op_to_string op) got reference)
+    steps;
+  State.check ~tol:1e-9 st;
+  check
+    (rel_close (State.period st) (exact_period inst (Mapping.of_array inst !alloc)))
+    "final float period %.17g vs exact %.17g" (State.period st)
+    (exact_period inst (Mapping.of_array inst !alloc));
+  (* The journal stores exact accumulator snapshots: rewinding everything
+     must restore the initial period bit-for-bit, not just approximately. *)
+  while State.undo_depth st > 0 do
+    State.undo st
+  done;
+  check (State.period st = p0) "full undo: %h <> initial %h" (State.period st) p0
+
+let eval_oracle =
+  Oracle
+    {
+      name = "eval";
+      description = "State move/swap/undo journal vs Period.period / period_exact";
+      quick_cases = 300;
+      gen = eval_gen;
+      prop = prop_of eval_prop;
+      print = (fun (i, m, s) -> Instances.print_case i m s);
+    }
+
+(* ------------------------------------------------------------------ *)
+(* heuristics: every registry algorithm is feasible and truly scored    *)
+(* ------------------------------------------------------------------ *)
+
+let heuristics_gen =
+  Instances.instance ~max_tasks:8 ~max_machines:5 ~machines_cover_types:true
+    ~duplicate_machine:true ()
+
+let heuristics_prop inst =
+  let periods =
+    List.map
+      (fun h ->
+        let mp = Registry.solve ~seed:0 h inst in
+        check
+          (Mapping.satisfies inst mp Mapping.Specialized)
+          "%s returned a non-specialized mapping" (Registry.name h);
+        let p = Period.period inst mp in
+        check
+          (rel_close p (exact_period inst mp))
+          "%s: float period %.17g vs exact %.17g" (Registry.name h) p
+          (exact_period inst mp);
+        p)
+      Registry.all
+  in
+  let best_mp, best_p = Registry.best ~seed:0 inst in
+  check
+    (Mapping.satisfies inst best_mp Mapping.Specialized)
+    "best returned a non-specialized mapping";
+  check
+    (best_p = Period.period inst best_mp)
+    "best period %h <> evaluation of its mapping %h" best_p
+    (Period.period inst best_mp);
+  let min_p = List.fold_left Float.min infinity periods in
+  check (best_p = min_p) "best period %h <> catalogue minimum %h" best_p min_p
+
+let heuristics_oracle =
+  Oracle
+    {
+      name = "heuristics";
+      description = "Registry: rule-feasible mappings, periods match reference";
+      quick_cases = 250;
+      gen = heuristics_gen;
+      prop = prop_of heuristics_prop;
+      print = Instances.print_instance;
+    }
+
+(* ------------------------------------------------------------------ *)
+(* exact-vs-brute: Dfs.solve = exhaustive enumeration, all three rules  *)
+(* ------------------------------------------------------------------ *)
+
+let exact_gen =
+  Instances.instance ~max_tasks:5 ~max_machines:4 ~machines_cover_types:true
+    ~duplicate_machine:true ()
+
+let brute_of_rule = function
+  | Mapping.Specialized -> Brute.specialized
+  | Mapping.General -> Brute.general ?setup:None
+  | Mapping.One_to_one -> Brute.one_to_one
+
+let exact_prop inst =
+  let n = Instance.task_count inst in
+  let m = Instance.machines inst in
+  let rules =
+    [ Mapping.Specialized; Mapping.General ]
+    @ (if m >= n then [ Mapping.One_to_one ] else [])
+  in
+  List.iter
+    (fun rule ->
+      let _, expected = brute_of_rule rule inst in
+      let r = Dfs.solve ~rule inst in
+      check r.Dfs.optimal "%s: search not optimal" (Mapping.rule_name rule);
+      check
+        (rel_close r.Dfs.period expected)
+        "%s: dfs %.17g vs brute %.17g" (Mapping.rule_name rule) r.Dfs.period expected;
+      check
+        (Mapping.satisfies inst r.Dfs.mapping rule)
+        "%s: reported mapping violates the rule" (Mapping.rule_name rule);
+      check
+        (rel_close (Period.period inst r.Dfs.mapping) r.Dfs.period)
+        "%s: reported period %.17g vs evaluation of reported mapping %.17g"
+        (Mapping.rule_name rule) r.Dfs.period
+        (Period.period inst r.Dfs.mapping))
+    rules
+
+let exact_oracle =
+  Oracle
+    {
+      name = "exact-vs-brute";
+      description = "Dfs.solve = Brute under all three rules on small instances";
+      quick_cases = 200;
+      gen = exact_gen;
+      prop = prop_of exact_prop;
+      print = Instances.print_instance;
+    }
+
+(* ------------------------------------------------------------------ *)
+(* lp-vs-exact: the splitting LP bound never exceeds the true optimum   *)
+(* ------------------------------------------------------------------ *)
+
+let lp_gen =
+  Instances.instance ~max_tasks:5 ~max_machines:4 ~machines_cover_types:true ()
+
+let lp_prop inst =
+  let _, optimum = Brute.general inst in
+  let lp = Splitting.solve_exn inst in
+  check (lp.Splitting.period > 0.0) "LP period %.17g not positive" lp.Splitting.period;
+  check
+    (lp.Splitting.period <= optimum *. (1.0 +. 1e-9))
+    "LP bound %.17g exceeds exact optimum %.17g" lp.Splitting.period optimum;
+  match Splitting.solve_exact inst with
+  | Error e -> failf "exact LP failed: %s" (Splitting.describe_error e)
+  | Ok exact ->
+    check
+      (rel_close ~tol:1e-6 lp.Splitting.period exact)
+      "float LP %.17g vs exact-rational LP %.17g" lp.Splitting.period exact;
+    check
+      (exact <= optimum *. (1.0 +. 1e-12))
+      "certified LP bound %.17g exceeds exact optimum %.17g" exact optimum
+
+let lp_oracle =
+  Oracle
+    {
+      name = "lp-vs-exact";
+      description = "Splitting LP certified bound <= exact optimum";
+      quick_cases = 150;
+      gen = lp_gen;
+      prop = prop_of lp_prop;
+      print = Instances.print_instance;
+    }
+
+(* ------------------------------------------------------------------ *)
+(* sim-vs-analytic: simulated throughput and loss rates in z = 6 bands  *)
+(* ------------------------------------------------------------------ *)
+
+let sim_gen =
+  let* inst =
+    Instances.instance ~max_tasks:5 ~max_machines:3 ~machines_cover_types:true
+      ~forest:false ~kmax:2 ()
+  in
+  let* mp = Instances.allocation inst in
+  let* seed = no_shrink (int_range 0 1_000_000) in
+  return (inst, mp, seed)
+
+(* Target ~2500 outputs inside the measurement window.  Throughput band:
+   z = 6 (one-sided tail < 1e-9) under the documented cv <= 1 assumption
+   for the inter-output time, plus 1% systematic slack for the fill
+   transient and an 8-output floor for window-boundary effects.  Loss
+   band: Wilson score interval at z = 6 on whole-run execution counts;
+   f = 0 tasks must lose exactly nothing.  See DESIGN.md section 12 for
+   the false-positive budget accounting. *)
+let sim_prop (inst, mp, seed) =
+  let p = Period.period inst mp in
+  let horizon = p *. 3125.0 in
+  let r = Desim.run ~horizon ~seed inst mp in
+  let expected = r.Desim.window /. p in
+  let band = (6.0 *. sqrt expected) +. (0.01 *. expected) +. 8.0 in
+  check
+    (Float.abs (float_of_int r.Desim.outputs -. expected) <= band)
+    "outputs %d vs expected %.1f (band %.1f, seed %d)" r.Desim.outputs expected band
+    seed;
+  for i = 0 to Instance.task_count inst - 1 do
+    let fi = Instance.f inst i (Mapping.machine mp i) in
+    let e = r.Desim.executions.(i) and l = r.Desim.lost.(i) in
+    if fi = 0.0 then
+      check (l = 0) "task %d: %d losses with configured f = 0" i l
+    else if e > 0 then begin
+      let z = 6.0 in
+      let e' = float_of_int e in
+      let phat = float_of_int l /. e' in
+      let denom = 1.0 +. (z *. z /. e') in
+      let centre = (phat +. (z *. z /. (2.0 *. e'))) /. denom in
+      let half =
+        z /. denom
+        *. sqrt ((phat *. (1.0 -. phat) /. e') +. (z *. z /. (4.0 *. e' *. e')))
+      in
+      check
+        (Float.abs (fi -. centre) <= half)
+        "task %d: configured f = %.6f outside Wilson band %.6f +- %.6f (%d/%d, seed %d)"
+        i fi centre half l e seed
+    end
+  done
+
+let sim_oracle =
+  Oracle
+    {
+      name = "sim-vs-analytic";
+      description = "Desim throughput and loss rates within z = 6 bands of 1/period";
+      quick_cases = 120;
+      gen = sim_gen;
+      prop = prop_of sim_prop;
+      print = (fun (i, m, _) -> Instances.print_with_mapping i m);
+    }
+
+(* ------------------------------------------------------------------ *)
+(* metamorphic: permutation invariance, w-scaling, f-monotonicity       *)
+(* ------------------------------------------------------------------ *)
+
+let w_matrix inst =
+  let n = Instance.task_count inst and m = Instance.machines inst in
+  Array.init n (fun i -> Array.init m (Instance.w inst i))
+
+let f_matrix inst =
+  let n = Instance.task_count inst and m = Instance.machines inst in
+  Array.init n (fun i -> Array.init m (Instance.f inst i))
+
+let meta_gen =
+  let* inst =
+    Instances.instance ~max_tasks:6 ~max_machines:4 ~duplicate_machine:true ()
+  in
+  let* mp = Instances.allocation inst in
+  let* idx = permutation_indices (Instance.machines inst) in
+  let* k = int_range 0 8 in
+  let* task = int_range 0 (Instance.task_count inst - 1) in
+  let* bump = int_range 1 8 in
+  return (inst, mp, apply_permutation_indices idx, k, task, bump)
+
+let meta_prop (inst, mp, perm, k, task, bump) =
+  let n = Instance.task_count inst and m = Instance.machines inst in
+  let p = Period.period inst mp in
+  let w = w_matrix inst and f = f_matrix inst in
+  let wf = Instance.workflow inst in
+  (* (a) Renaming machines by any permutation — and the mapping with
+     them — changes nothing.  Each machine's Kahan sum sees the same
+     operands in the same (task) order, so the equality is bit-exact. *)
+  let permute row =
+    let out = Array.make m 0.0 in
+    Array.iteri (fun u v -> out.(v) <- row.(u)) perm;
+    out
+  in
+  let inst' =
+    Instance.create ~workflow:wf ~machines:m ~w:(Array.map permute w)
+      ~f:(Array.map permute f)
+  in
+  let mp' =
+    Mapping.of_array inst'
+      (Array.map (fun u -> perm.(u)) (Mapping.to_array mp))
+  in
+  let p' = Period.period inst' mp' in
+  check (p' = p) "machine permutation changed the period: %h vs %h" p' p;
+  (* Symmetry.machine_classes must agree exactly with bit-identical
+     column equality (the generator plants duplicated columns). *)
+  let classes = Symmetry.machine_classes inst in
+  let columns_equal u v =
+    let eq = ref true in
+    for i = 0 to n - 1 do
+      if w.(i).(u) <> w.(i).(v) || f.(i).(u) <> f.(i).(v) then eq := false
+    done;
+    !eq
+  in
+  for u = 0 to m - 1 do
+    check (classes.(u) <= u) "class representative %d above member %d" classes.(u) u;
+    for v = 0 to m - 1 do
+      check
+        (classes.(u) = classes.(v) = columns_equal u v)
+        "machine_classes disagrees with column equality on (%d, %d)" u v
+    done
+  done;
+  (* (b) Scaling every workload by 2^k scales the period by exactly 2^k:
+     every intermediate float scales by a power of two, which only
+     shifts exponents. *)
+  let scale = Float.ldexp 1.0 k in
+  let inst_scaled =
+    Instance.create ~workflow:wf ~machines:m
+      ~w:(Array.map (Array.map (fun x -> x *. scale)) w)
+      ~f
+  in
+  let p_scaled = Period.period inst_scaled mp in
+  check (p_scaled = p *. scale) "w * 2^%d scaled period to %h, expected %h" k p_scaled
+    (p *. scale);
+  (* (c) Raising the failure rate of the machine actually running [task]
+     can only raise the period (never increases throughput). *)
+  let u = Mapping.machine mp task in
+  let f_raised = Array.map Array.copy f in
+  f_raised.(task).(u) <-
+    Float.min 0.96875 (f_raised.(task).(u) +. (float_of_int bump /. 64.0));
+  let inst_raised = Instance.create ~workflow:wf ~machines:m ~w ~f:f_raised in
+  let p_raised = Period.period inst_raised mp in
+  check
+    (p_raised >= p *. (1.0 -. 1e-12))
+    "raising f(%d, %d) to %.6f lowered the period: %.17g -> %.17g" task u
+    f_raised.(task).(u) p p_raised
+
+let meta_oracle =
+  Oracle
+    {
+      name = "metamorphic";
+      description =
+        "machine-permutation invariance, 2^k w-scaling, f-monotonicity";
+      quick_cases = 250;
+      gen = meta_gen;
+      prop = prop_of meta_prop;
+      print = (fun (i, m, _, _, _, _) -> Instances.print_with_mapping i m);
+    }
+
+(* ------------------------------------------------------------------ *)
+(* Matrix plumbing                                                      *)
+(* ------------------------------------------------------------------ *)
+
+let all =
+  [ eval_oracle; heuristics_oracle; exact_oracle; lp_oracle; sim_oracle; meta_oracle ]
+
+let find n = List.find_opt (fun o -> name o = n) all
+
+let outcome_of ~name ~print (r : _ Prop.report) =
+  {
+    oracle = name;
+    cases = r.Prop.cases;
+    failed =
+      Option.map
+        (fun (f : _ Prop.failure) ->
+          {
+            case_index = f.Prop.case_index;
+            case_seed = f.Prop.case_seed;
+            shrink_steps = f.Prop.shrink_steps;
+            message = f.Prop.message;
+            repr = print f.Prop.value;
+          })
+        r.Prop.failure;
+  }
+
+let run ?count ~seed (Oracle o) =
+  let count = Option.value count ~default:o.quick_cases in
+  outcome_of ~name:o.name ~print:o.print
+    (Prop.check ~count ~name:o.name ~seed o.gen o.prop)
+
+let replay (Oracle o) ~case_seed =
+  outcome_of ~name:o.name ~print:o.print
+    (Prop.check_case ~name:o.name ~case_seed o.gen o.prop)
+
+(* ------------------------------------------------------------------ *)
+(* Canary                                                               *)
+(* ------------------------------------------------------------------ *)
+
+(* A local copy of the product-count recurrence with the success
+   probability sign flipped — the mutation the harness must catch and
+   shrink (never called by production code). *)
+let buggy_period inst mp =
+  let wf = Instance.workflow inst in
+  let n = Instance.task_count inst in
+  let x = Array.make n 0.0 in
+  Array.iter
+    (fun i ->
+      let u = Mapping.machine mp i in
+      let factor = 1.0 /. (1.0 +. Instance.f inst i u) in
+      let downstream =
+        match Workflow.successor wf i with None -> 1.0 | Some j -> x.(j)
+      in
+      x.(i) <- downstream *. factor)
+    (Workflow.backward_order wf);
+  let loads = Array.make (Instance.machines inst) 0.0 in
+  for i = 0 to n - 1 do
+    let u = Mapping.machine mp i in
+    loads.(u) <- loads.(u) +. (x.(i) *. Instance.w inst i u)
+  done;
+  Array.fold_left Float.max 0.0 loads
+
+let canary_gen =
+  let* inst = Instances.instance ~max_tasks:8 ~max_machines:4 () in
+  let* mp = Instances.allocation inst in
+  return (inst, mp)
+
+let canary_prop (inst, mp) =
+  let reference = Period.period inst mp in
+  let buggy = buggy_period inst mp in
+  check (rel_close buggy reference)
+    "mutated-sign evaluation %.17g disagrees with Period.period %.17g" buggy reference
+
+let canary =
+  Oracle
+    {
+      name = "canary";
+      description = "injected-bug self-test: a 1/(1+f) period copy must be caught";
+      quick_cases = 50;
+      gen = canary_gen;
+      prop = prop_of canary_prop;
+      print = (fun (i, m) -> Instances.print_with_mapping i m);
+    }
+
+let canary_check ~seed =
+  let r = Prop.check ~count:50 ~name:"canary" ~seed canary_gen (prop_of canary_prop) in
+  match r.Prop.failure with
+  | None -> Error "canary evaluation bug was NOT caught"
+  | Some f ->
+    let inst, _ = f.Prop.value in
+    Ok (Instance.task_count inst, Instance.machines inst)

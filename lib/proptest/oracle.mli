@@ -1,0 +1,74 @@
+(** The cross-solver oracle matrix.
+
+    Each oracle packages a generator, a property and a counterexample
+    printer behind an existential, so the fuzz driver can run the whole
+    matrix uniformly, replay single cases from a corpus seed, and report
+    shrunk counterexamples as replayable text.
+
+    The matrix (see DESIGN.md section 12):
+
+    - [eval] — {!Mf_eval.State} under random journaled move/swap/undo
+      sequences against from-scratch {!Mf_core.Period.period} and the
+      exact-rational {!Mf_core.Period.period_exact};
+    - [heuristics] — every {!Mf_heuristics.Registry} algorithm returns a
+      rule-feasible mapping whose period matches reference evaluation;
+    - [exact-vs-brute] — {!Mf_exact.Dfs.solve} equals {!Mf_exact.Brute}
+      under all three mapping rules on small instances;
+    - [lp-vs-exact] — the {!Mf_lp.Splitting} certified bound never
+      exceeds the exact optimum;
+    - [sim-vs-analytic] — {!Mf_sim.Desim.run} throughput and per-task
+      loss rates stay inside z = 6 confidence bands around the analytic
+      values (false-positive probability < 1e-9 per check; deterministic
+      under fixed seeds);
+    - [metamorphic] — machine-permutation invariance (bit-exact, plus
+      {!Mf_exact.Symmetry.machine_classes} consistency), power-of-two
+      workload scaling (bit-exact), and failure-rate monotonicity. *)
+
+type outcome = {
+  oracle : string;
+  cases : int;  (** cases executed (including the failing one, if any) *)
+  failed : failed option;
+}
+
+and failed = {
+  case_index : int;
+  case_seed : int;  (** replay key: regenerates the unshrunk case *)
+  shrink_steps : int;
+  message : string;
+  repr : string;  (** printed shrunk counterexample *)
+}
+
+type t
+
+val name : t -> string
+val description : t -> string
+
+(** Cases per oracle in the quick (CI) tier. *)
+val quick_cases : t -> int
+
+(** The oracle matrix, in reporting order. *)
+val all : t list
+
+(** [find name] looks an oracle up by exact name. *)
+val find : string -> t option
+
+(** [run ?count ~seed o] runs [o] on [count] cases (default
+    [quick_cases o]) derived deterministically from [seed], shrinking the
+    first failure. *)
+val run : ?count:int -> seed:int -> t -> outcome
+
+(** [replay o ~case_seed] re-executes exactly one case — the one a
+    corpus or repro file recorded — without shrinking on success. *)
+val replay : t -> case_seed:int -> outcome
+
+(** The canary: a deliberately broken period evaluation (the success
+    probability sign flipped in a local copy of the product-count
+    recurrence, [1/(1+f)] instead of [1/(1-f)]).  Running it must produce
+    a failure and shrink it to a tiny repro — the self-test that the
+    harness can actually catch and minimise evaluation bugs. *)
+val canary : t
+
+(** [canary_check ~seed] runs the canary and demands a failure: [Ok
+    (tasks, machines)] gives the size of the shrunk repro, [Error _]
+    means the harness failed to catch the injected bug. *)
+val canary_check : seed:int -> (int * int, string) result

@@ -1,0 +1,65 @@
+type 'a property = 'a -> (unit, string) result
+
+type 'a failure = {
+  case_index : int;
+  case_seed : int;
+  shrink_steps : int;
+  value : 'a;
+  message : string;
+}
+
+type 'a report = { name : string; cases : int; failure : 'a failure option }
+
+let eval prop x =
+  match prop x with
+  | r -> r
+  | exception e -> Error ("exception: " ^ Printexc.to_string e)
+
+(* Greedy descent: take the first failing child, repeat. *)
+let shrink ~max_shrinks prop tree first_message =
+  let rec go tree message steps =
+    if steps >= max_shrinks then (Tree.root tree, message, steps)
+    else
+      let rec first_failing s =
+        match s () with
+        | Seq.Nil -> None
+        | Seq.Cons (child, rest) -> (
+          match eval prop (Tree.root child) with
+          | Error m -> Some (child, m)
+          | Ok () -> first_failing rest)
+      in
+      match first_failing (Tree.children tree) with
+      | Some (child, m) -> go child m (steps + 1)
+      | None -> (Tree.root tree, message, steps)
+  in
+  go tree first_message 0
+
+let case_seeds ~seed ~count =
+  let stream = Mf_prng.Splitmix64.create (Int64.of_int seed) in
+  Array.init count (fun _ ->
+      Int64.to_int (Mf_prng.Splitmix64.next stream) land max_int)
+
+let run_case ?(max_shrinks = 4096) ~name ~case_index ~case_seed gen prop =
+  let tree = Gen.run gen (Mf_prng.Rng.create case_seed) in
+  match eval prop (Tree.root tree) with
+  | Ok () -> { name; cases = case_index + 1; failure = None }
+  | Error message ->
+    let value, message, shrink_steps = shrink ~max_shrinks prop tree message in
+    {
+      name;
+      cases = case_index + 1;
+      failure = Some { case_index; case_seed; shrink_steps; value; message };
+    }
+
+let check ?(count = 100) ?max_shrinks ~name ~seed gen prop =
+  let seeds = case_seeds ~seed ~count in
+  let rec go i =
+    if i >= count then { name; cases = count; failure = None }
+    else
+      let r = run_case ?max_shrinks ~name ~case_index:i ~case_seed:seeds.(i) gen prop in
+      match r.failure with None -> go (i + 1) | Some _ -> r
+  in
+  go 0
+
+let check_case ?max_shrinks ~name ~case_seed gen prop =
+  run_case ?max_shrinks ~name ~case_index:0 ~case_seed gen prop

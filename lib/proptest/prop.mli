@@ -1,0 +1,49 @@
+(** Property runner: deterministic case generation, greedy integrated
+    shrinking, replayable failures.
+
+    Each case draws its own 64-bit {e case seed} from a SplitMix64 stream
+    over the run's base seed; a failure reports the case seed, which
+    regenerates the identical tree — that is the whole replay protocol
+    ({!check_case}, {!Corpus}).  Shrinking descends the tree greedily:
+    repeatedly move to the first child that still fails, until no child
+    fails or the step budget runs out. *)
+
+(** A property either holds or explains why it does not.  Exceptions
+    raised by the property are caught and treated as failures. *)
+type 'a property = 'a -> (unit, string) result
+
+type 'a failure = {
+  case_index : int;  (** which case of the run failed (0-based) *)
+  case_seed : int;  (** regenerates the failing tree — store this to replay *)
+  shrink_steps : int;  (** accepted shrink steps to reach the minimum *)
+  value : 'a;  (** the minimal (fully shrunk) counterexample *)
+  message : string;  (** the property's complaint on the minimal value *)
+}
+
+type 'a report = {
+  name : string;
+  cases : int;  (** cases executed (including the failing one) *)
+  failure : 'a failure option;
+}
+
+(** [check ~name ~seed ~count gen prop] runs [count] cases.  Stops at the
+    first failure and shrinks it ([max_shrinks] accepted steps, default
+    4096). *)
+val check :
+  ?count:int ->
+  ?max_shrinks:int ->
+  name:string ->
+  seed:int ->
+  'a Gen.t ->
+  'a property ->
+  'a report
+
+(** [check_case ~name ~case_seed gen prop] replays exactly one stored
+    case seed (shrinking again on failure, which is cheap and
+    deterministic). *)
+val check_case :
+  ?max_shrinks:int -> name:string -> case_seed:int -> 'a Gen.t -> 'a property -> 'a report
+
+(** [case_seeds ~seed ~count] is the case-seed stream [check] uses —
+    exposed so drivers can print or persist individual seeds. *)
+val case_seeds : seed:int -> count:int -> int array

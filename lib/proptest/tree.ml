@@ -1,0 +1,63 @@
+type 'a t = Node of 'a * 'a t Seq.t
+
+let root (Node (x, _)) = x
+let children (Node (_, cs)) = cs
+let pure x = Node (x, Seq.empty)
+
+let rec map f (Node (x, cs)) = Node (f x, Seq.map (map f) cs)
+
+(* Outer shrinks first: re-running the continuation on a shrunk outer
+   value regenerates the inner structure deterministically (Gen.bind
+   hands every invocation a copy of the same generator state). *)
+let rec bind (Node (x, xs)) f =
+  let (Node (y, ys)) = f x in
+  Node (y, Seq.append (Seq.map (fun tx -> bind tx f) xs) ys)
+
+let rec product (Node (a, sa) as ta) (Node (b, sb) as tb) =
+  Node
+    ( (a, b),
+      Seq.append
+        (Seq.map (fun ta' -> product ta' tb) sa)
+        (Seq.map (fun tb' -> product ta tb') sb) )
+
+let rec int_towards ~dest v =
+  Node (v, int_shrinks ~dest v)
+
+and int_shrinks ~dest v =
+  if v = dest then Seq.empty
+  else
+    (* d, d/2, d/4, ... — the first candidate is [dest] itself. *)
+    let rec halves d () =
+      if d = 0 then Seq.Nil
+      else Seq.Cons (int_towards ~dest (v - d), halves (d / 2))
+    in
+    halves (v - dest)
+
+let rec float_towards ~dest ~fuel v =
+  Node (v, float_shrinks ~dest ~fuel v)
+
+and float_shrinks ~dest ~fuel v =
+  if fuel <= 0 || not (Float.is_finite v) || v = dest then Seq.empty
+  else
+    let rec halves d () =
+      let c = v -. d in
+      (* Stop once halving no longer moves the candidate. *)
+      if c = v || not (Float.is_finite c) then Seq.Nil
+      else Seq.Cons (float_towards ~dest ~fuel:(fuel - 1) c, halves (d /. 2.0))
+    in
+    halves (v -. dest)
+
+let rec array_of_trees ts =
+  let n = Array.length ts in
+  let shrinks =
+    Seq.concat_map
+      (fun i ->
+        Seq.map
+          (fun c ->
+            let ts' = Array.copy ts in
+            ts'.(i) <- c;
+            array_of_trees ts')
+          (children ts.(i)))
+      (Seq.init n Fun.id)
+  in
+  Node (Array.map root ts, shrinks)

@@ -1,0 +1,43 @@
+(** Lazy rose trees — the carrier of integrated shrinking.
+
+    A generated value is the root of a tree whose children are its shrink
+    candidates, each again a full tree.  Because every combinator builds
+    the tree alongside the value ({!Gen}), shrink candidates satisfy the
+    same structural invariants as the original by construction: shrinking
+    an instance never produces an inconsistent one, shrinking a move
+    sequence never produces out-of-range indices.  Children are a lazy
+    {!Seq.t}; nothing below the root is computed until the property
+    fails and the runner starts descending. *)
+
+type 'a t = Node of 'a * 'a t Seq.t
+
+val root : 'a t -> 'a
+val children : 'a t -> 'a t Seq.t
+
+(** [pure x] has no shrink candidates. *)
+val pure : 'a -> 'a t
+
+val map : ('a -> 'b) -> 'a t -> 'b t
+
+(** Monadic composition in the Hedgehog style: outer shrinks are tried
+    before inner ones, so structural parameters (sizes, counts) reduce
+    before the values they control. *)
+val bind : 'a t -> ('a -> 'b t) -> 'b t
+
+(** [product ta tb] pairs two independent trees; shrinks try the left
+    component first, then the right. *)
+val product : 'a t -> 'b t -> ('a * 'b) t
+
+(** [int_towards ~dest v] is the classical shrink tree for integers:
+    first candidate [dest] itself, then binary approach from [dest]
+    toward [v]. *)
+val int_towards : dest:int -> int -> int t
+
+(** [float_towards ~dest ~fuel v] is the analogue for floats, halving the
+    distance at most [fuel] times per level. *)
+val float_towards : dest:float -> fuel:int -> float -> float t
+
+(** [array_of_trees ts] turns per-element trees into a tree of arrays;
+    shrinks replace one element at a time by one of its candidates
+    (element order, then candidate order). *)
+val array_of_trees : 'a t array -> 'a array t

@@ -1,10 +1,20 @@
 (** Discrete-event simulation of a micro-factory under a mapping.
 
     Products stream through the application graph: every machine repeatedly
-    picks a ready task among those allocated to it (preferring tasks
-    closest to the system output, which keeps work-in-progress bounded),
-    consumes one product from each predecessor buffer, works for [w(i,u)]
-    time units, and loses the product with probability [f(i,u)].  Source
+    picks a ready task among those allocated to it — the one furthest
+    behind its required share of surviving production (survivors divided
+    by the analytic product count of the task's successor), ties broken
+    toward the system output.  This proportional-share dispatch runs
+    every branch of an assembly at the failure-adjusted rate its
+    successor needs; simpler policies all failed fuzzing (each failure
+    is pinned in [test/fuzz/corpus]): static downstream-first priority
+    starved sibling branches sharing a machine, emptiest-output-buffer
+    livelocked when another machine drained a buffer the instant it was
+    filled, and unweighted production balancing underfed high-loss
+    branches that must run more often than their siblings.  The chosen
+    task consumes one product from
+    each predecessor buffer, works for [w(i,u)] time units, and loses the
+    product with probability [f(i,u)].  Source
     tasks draw from an unlimited raw-material supply, matching the paper's
     throughput regime ("a large number of products must be produced",
     initialization and clean-up phases abstracted away).
@@ -45,5 +55,10 @@ val run :
   result
 
 (** [measured_loss_rate r ~task] is the empirical failure rate of a task
-    over the whole run ([nan] when the task never executed). *)
+    over the whole run.  A task that never executed has no estimate: the
+    result is [nan] (0/0), {e deliberately} — averaging it with other
+    rates or comparing it would silently poison the result, so callers
+    must test [executions.(task) > 0] first (or use
+    {!Metrics.loss_summary}, which reports the missing estimate as
+    [None] and renders it as n/a). *)
 val measured_loss_rate : result -> task:int -> float

@@ -27,7 +27,13 @@ let bottleneck inst mp r =
 let loss_summary inst mp r =
   List.map
     (fun i ->
-      let empirical = Desim.measured_loss_rate r ~task:i in
+      (* measured_loss_rate is nan for a task that never executed (0/0 has
+         no empirical estimate); surface that as None so downstream
+         arithmetic and rendering never meet a silent nan. *)
+      let empirical =
+        if r.Desim.executions.(i) = 0 then None
+        else Some (Desim.measured_loss_rate r ~task:i)
+      in
       (i, empirical, Instance.f inst i (Mapping.machine mp i)))
     (List.init (Instance.task_count inst) Fun.id)
 
@@ -51,7 +57,9 @@ let report inst mp r =
     (fun (i, empirical, configured) ->
       Buffer.add_string buf
         (Printf.sprintf "  T%d: %s vs %.4f\n" i
-           (if Float.is_nan empirical then "n/a" else Printf.sprintf "%.4f" empirical)
+           (match empirical with
+           | None -> "n/a"
+           | Some rate -> Printf.sprintf "%.4f" rate)
            configured))
     (loss_summary inst mp r);
   Buffer.contents buf

@@ -19,9 +19,15 @@ val machine_stats :
 val bottleneck : Mf_core.Instance.t -> Mf_core.Mapping.t -> Desim.result -> int
 
 (** [loss_summary inst mp result] pairs each task with its empirical and
-    configured failure rates. *)
+    configured failure rates.  The empirical rate is [None] for a task
+    that never executed ({!Desim.measured_loss_rate} returns [nan]
+    there — 0/0 has no estimate); {!report} renders such tasks as
+    [n/a]. *)
 val loss_summary :
-  Mf_core.Instance.t -> Mf_core.Mapping.t -> Desim.result -> (int * float * float) list
+  Mf_core.Instance.t ->
+  Mf_core.Mapping.t ->
+  Desim.result ->
+  (int * float option * float) list
 
 (** [report inst mp result] renders everything as text. *)
 val report : Mf_core.Instance.t -> Mf_core.Mapping.t -> Desim.result -> string

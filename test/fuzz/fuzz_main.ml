@@ -1,0 +1,190 @@
+(* Cross-solver differential fuzzer: runs the Mf_proptest.Oracle matrix,
+   replays the committed seed corpus, and self-tests the harness with the
+   injected-bug canary.
+
+     fuzz_main --quick            CI tier: fixed seeds, bounded counts
+     fuzz_main --time 120         time-budgeted tier with fresh seeds
+     fuzz_main --replay           corpus replay only
+     fuzz_main --canary           harness self-test only
+     fuzz_main --oracle NAME      restrict the matrix to one oracle
+     fuzz_main --seed N --count N override the defaults
+     fuzz_main --list             print the matrix and exit
+
+   Any failure prints the shrunk counterexample, writes a .repro seed
+   file into the corpus directory (commit it to pin the regression) and
+   exits non-zero. *)
+
+module Oracle = Mf_proptest.Oracle
+module Corpus = Mf_proptest.Corpus
+
+let default_seed = 0x5eed_2026
+let default_corpus = Filename.concat (Filename.concat "test" "fuzz") "corpus"
+
+type mode = Quick | Timed of float | Replay | Canary_only | List
+
+let usage () =
+  prerr_endline
+    "usage: fuzz_main [--quick | --time SECS | --replay | --canary | --list]\n\
+    \                 [--oracle NAME] [--seed N] [--count N] [--corpus DIR]";
+  exit 2
+
+let parse_args () =
+  let mode = ref Quick in
+  let oracle = ref None in
+  let seed = ref default_seed in
+  let count = ref None in
+  let corpus = ref default_corpus in
+  let rec go = function
+    | [] -> ()
+    | "--quick" :: rest -> mode := Quick; go rest
+    | "--time" :: v :: rest -> (
+      match float_of_string_opt v with
+      | Some t when t > 0.0 -> mode := Timed t; go rest
+      | _ -> usage ())
+    | "--replay" :: rest -> mode := Replay; go rest
+    | "--canary" :: rest -> mode := Canary_only; go rest
+    | "--list" :: rest -> mode := List; go rest
+    | "--oracle" :: v :: rest -> oracle := Some v; go rest
+    | "--seed" :: v :: rest -> (
+      match int_of_string_opt v with Some s -> seed := s; go rest | None -> usage ())
+    | "--count" :: v :: rest -> (
+      match int_of_string_opt v with
+      | Some c when c > 0 -> count := Some c; go rest
+      | _ -> usage ())
+    | "--corpus" :: v :: rest -> corpus := v; go rest
+    | _ -> usage ()
+  in
+  go (List.tl (Array.to_list Sys.argv));
+  (!mode, !oracle, !seed, !count, !corpus)
+
+let selected = function
+  | None -> Oracle.all
+  | Some name -> (
+    match Oracle.find name with
+    | Some o -> [ o ]
+    | None ->
+      Printf.eprintf "unknown oracle %S; known: %s\n" name
+        (String.concat ", " (List.map Oracle.name Oracle.all));
+      exit 2)
+
+let report_failure ~corpus_dir (f : Oracle.failed) ~oracle =
+  Printf.printf "  FAIL case %d (seed %d, %d shrink steps): %s\n" f.Oracle.case_index
+    f.Oracle.case_seed f.Oracle.shrink_steps f.Oracle.message;
+  print_string
+    (String.concat "\n"
+       (List.map (fun l -> "    | " ^ l)
+          (String.split_on_char '\n' (String.trim f.Oracle.repr))));
+  print_newline ();
+  let note =
+    Printf.sprintf "%s\nshrunk counterexample:\n%s" f.Oracle.message
+      (String.trim f.Oracle.repr)
+  in
+  let path =
+    Corpus.save ~dir:corpus_dir ~oracle ~case_seed:f.Oracle.case_seed ~note
+  in
+  Printf.printf "  repro saved to %s (commit it to pin the regression)\n" path;
+  Printf.printf "  replay: fuzz_main --replay --corpus %s\n" corpus_dir
+
+let run_matrix ~oracles ~seed ~count ~corpus_dir =
+  List.fold_left
+    (fun failures o ->
+      let t0 = Unix.gettimeofday () in
+      let outcome = Oracle.run ?count ~seed o in
+      let dt = Unix.gettimeofday () -. t0 in
+      match outcome.Oracle.failed with
+      | None ->
+        Printf.printf "ok   %-16s %4d cases  %5.2fs  (seed %d)\n" (Oracle.name o)
+          outcome.Oracle.cases dt seed;
+        failures
+      | Some f ->
+        Printf.printf "FAIL %-16s after %d cases  (seed %d)\n" (Oracle.name o)
+          outcome.Oracle.cases seed;
+        report_failure ~corpus_dir f ~oracle:(Oracle.name o);
+        failures + 1)
+    0 oracles
+
+let run_replay ~oracles ~corpus_dir =
+  let entries, errors = Corpus.load_dir corpus_dir in
+  List.iter (fun e -> Printf.printf "corpus: %s\n" e) errors;
+  let wanted = List.map Oracle.name oracles in
+  let failures =
+    List.fold_left
+      (fun failures (e : Corpus.entry) ->
+        if not (List.mem e.Corpus.oracle wanted) then failures
+        else
+          match Oracle.find e.Corpus.oracle with
+          | None ->
+            Printf.printf "FAIL %s: unknown oracle %S\n" e.Corpus.path e.Corpus.oracle;
+            failures + 1
+          | Some o -> (
+            let outcome = Oracle.replay o ~case_seed:e.Corpus.case_seed in
+            match outcome.Oracle.failed with
+            | None ->
+              Printf.printf "ok   replay %-16s seed %-12d (%s)\n" e.Corpus.oracle
+                e.Corpus.case_seed
+                (Filename.basename e.Corpus.path);
+              failures
+            | Some f ->
+              Printf.printf "FAIL replay %-16s seed %d (%s)\n" e.Corpus.oracle
+                e.Corpus.case_seed e.Corpus.path;
+              report_failure ~corpus_dir f ~oracle:e.Corpus.oracle;
+              failures + 1))
+      0 entries
+  in
+  (List.length errors + failures, List.length entries)
+
+let run_canary ~seed =
+  match Oracle.canary_check ~seed with
+  | Error msg ->
+    Printf.printf "FAIL canary: %s\n" msg;
+    1
+  | Ok (tasks, machines) ->
+    Printf.printf "ok   canary caught the injected bug; shrunk repro: %d task%s, %d machine%s\n"
+      tasks (if tasks = 1 then "" else "s")
+      machines (if machines = 1 then "" else "s");
+    if tasks <= 6 && machines <= 3 then 0
+    else begin
+      Printf.printf "FAIL canary: shrunk repro too large (want <= 6 tasks, <= 3 machines)\n";
+      1
+    end
+
+let () =
+  let mode, oracle, seed, count, corpus_dir = parse_args () in
+  let oracles = selected oracle in
+  let failures =
+    match mode with
+    | List ->
+      List.iter
+        (fun o ->
+          Printf.printf "%-16s %4d quick cases  %s\n" (Oracle.name o)
+            (Oracle.quick_cases o) (Oracle.description o))
+        (Oracle.all @ [ Oracle.canary ]);
+      0
+    | Canary_only -> run_canary ~seed
+    | Replay ->
+      let failures, total = run_replay ~oracles ~corpus_dir in
+      Printf.printf "replayed %d corpus entr%s\n" total (if total = 1 then "y" else "ies");
+      failures
+    | Quick ->
+      let f = run_matrix ~oracles ~seed ~count ~corpus_dir in
+      let f = f + (if oracle = None then run_canary ~seed else 0) in
+      let replay_failures, total = run_replay ~oracles ~corpus_dir in
+      Printf.printf "replayed %d corpus entr%s\n" total (if total = 1 then "y" else "ies");
+      f + replay_failures
+    | Timed budget ->
+      let t0 = Unix.gettimeofday () in
+      let failures = ref 0 in
+      let round = ref 0 in
+      while Unix.gettimeofday () -. t0 < budget && !failures = 0 do
+        let round_seed = seed + (1_000_003 * !round) in
+        Printf.printf "--- round %d (seed %d, %.0fs elapsed)\n" !round round_seed
+          (Unix.gettimeofday () -. t0);
+        failures := !failures + run_matrix ~oracles ~seed:round_seed ~count ~corpus_dir;
+        incr round
+      done;
+      !failures + (if oracle = None then run_canary ~seed else 0)
+  in
+  if failures > 0 then begin
+    Printf.printf "%d failure%s\n" failures (if failures = 1 then "" else "s");
+    exit 1
+  end

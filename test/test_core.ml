@@ -358,6 +358,58 @@ let test_io_comments_and_blank_lines () =
   let loaded = Instance_io.of_string text in
   Alcotest.(check bool) "tolerates comments" true (same_instance inst loaded)
 
+(* parse o print = id over the fuzzer's heterogeneous instance pool
+   (mixed dyadic scales, degenerate f = 0 rows, repeated type profiles,
+   forests) — shrunk counterexamples print as replayable instance text. *)
+let test_io_roundtrip_property () =
+  let module P = Mf_proptest in
+  let report =
+    P.Prop.check ~count:300 ~name:"io-roundtrip" ~seed:1202
+      (P.Instances.instance ~max_tasks:10 ~max_machines:5 ~duplicate_machine:true ())
+      (fun inst ->
+        match Instance_io.of_string_result (Instance_io.to_string inst) with
+        | Error e -> Error (Instance_io.describe_error e)
+        | Ok loaded ->
+          if same_instance inst loaded then Ok ()
+          else Error "parse (print inst) differs from inst")
+  in
+  match report.P.Prop.failure with
+  | None -> ()
+  | Some f ->
+    Alcotest.fail
+      (Printf.sprintf "roundtrip failed (seed %d): %s\n%s" f.P.Prop.case_seed
+         f.P.Prop.message
+         (Instance_io.to_string f.P.Prop.value))
+
+(* Malformed input comes back as a typed error with a usable line
+   number — not as an exception. *)
+let test_io_typed_errors () =
+  let check_error text want_line =
+    match Instance_io.of_string_result text with
+    | Ok _ -> Alcotest.fail ("accepted malformed input: " ^ String.escaped text)
+    | Error e ->
+      Alcotest.(check int)
+        (Printf.sprintf "error line for %s (%s)" (String.escaped text)
+           (Instance_io.describe_error e))
+        want_line e.Instance_io.line;
+      Alcotest.(check bool) "message non-empty" true
+        (String.length e.Instance_io.message > 0)
+  in
+  check_error "" 0;
+  check_error "nonsense" 1;
+  check_error "tasks 2 machines 1\ntypes 0\nsuccessors -1" 2;
+  (* Missing or mis-labelled header lines are named, not reported as a
+     bad 'tasks ... machines ...' header. *)
+  check_error "tasks 2 machines 1" 0;
+  check_error "tasks 2 machines 1\ntypes 0 0" 0;
+  check_error "tasks 2 machines 1\nsuccessors 1 -1" 2;
+  check_error "tasks 1 machines 1\ntypes 0\nsuccessors -1\nw 0 oops\nf 0 0" 4;
+  check_error "tasks 1 machines 1\ntypes 0\nsuccessors -1\nw 0 1.0" 0;
+  (* Semantic errors caught by the smart constructors, not the parser:
+     a successor cycle and an out-of-range failure probability. *)
+  check_error "tasks 2 machines 1\ntypes 0 0\nsuccessors 1 0\nw 0 1\nw 1 1\nf 0 0\nf 1 0" 0;
+  check_error "tasks 1 machines 1\ntypes 0\nsuccessors -1\nw 0 1\nf 0 1.5" 0
+
 (* ------------------------------------------------------------------ *)
 (* Properties on random instances                                      *)
 (* ------------------------------------------------------------------ *)
@@ -463,6 +515,8 @@ let () =
           Alcotest.test_case "file roundtrip" `Quick test_io_file_roundtrip;
           Alcotest.test_case "rejects garbage" `Quick test_io_rejects_garbage;
           Alcotest.test_case "comments" `Quick test_io_comments_and_blank_lines;
+          Alcotest.test_case "roundtrip property" `Quick test_io_roundtrip_property;
+          Alcotest.test_case "typed errors" `Quick test_io_typed_errors;
         ] );
       ( "props",
         List.map QCheck_alcotest.to_alcotest

@@ -296,25 +296,10 @@ let prop_splitting_lp_below_general_exact =
 (* rule on) against brute force, and against itself with pruning off.   *)
 (* ------------------------------------------------------------------ *)
 
-(* Deterministic shapes covering chains and in-trees, n <= 8, m <= 4. *)
-let differential_instance ~rule i =
-  let seed = i in
-  let n, p, m =
-    match rule with
-    | Mapping.One_to_one ->
-      let n = 2 + (i mod 3) in
-      (n, 1 + (i mod 2), max n (2 + (i mod 3)))
-    | Mapping.Specialized | Mapping.General ->
-      let p = 1 + (i mod 3) in
-      let n = max p (2 + (i mod 7)) in
-      (n, p, p + (i mod (5 - p)))
-  in
-  let params = Gen.default ~tasks:n ~types:p ~machines:m in
-  let params =
-    if i mod 5 = 0 then { params with Gen.task_attached_failures = true } else params
-  in
-  if i mod 2 = 0 then Gen.chain (Rng.create seed) params
-  else Gen.in_tree (Rng.create seed) params
+(* Deterministic shapes covering chains and in-trees, n <= 8, m <= 4 —
+   the family lives in Mf_proptest.Instances so the fuzz driver and this
+   suite enumerate the same pool. *)
+let differential_instance = Mf_proptest.Instances.differential_instance
 
 let brute_of_rule = function
   | Mapping.Specialized -> Brute.specialized

@@ -492,30 +492,10 @@ let test_splitting_round_tie_breaks_low () =
    mixed-scale, heavily tied (degenerate) tableaus while the exact
    ground truth stays affordable: tableau entries are ratios of
    small-numerator minors instead of the 52-bit monsters that
-   [Rat.of_float] makes of uniform draws. *)
-let dyadic_instance ~tasks ~machines ~kmax seed =
-  let base =
-    (if seed mod 2 = 0 then Gen.chain else Gen.in_tree)
-      (Rng.create seed)
-      (Gen.with_high_failures
-         (Gen.default ~tasks ~types:(min tasks 4) ~machines))
-  in
-  let n = Instance.task_count base in
-  let m = Instance.machines base in
-  let w =
-    Array.init n (fun i ->
-        Array.init m (fun u ->
-            (* w ~ U[100,1000) -> integer in [1, 32], then machine scale. *)
-            let small = Float.max 1.0 (Float.round (Instance.w base i u /. 31.25)) in
-            let k = if m = 1 then 0 else u * kmax / (m - 1) in
-            small *. Float.ldexp 1.0 k))
-  in
-  let f =
-    Array.init n (fun i ->
-        Array.init m (fun u ->
-            Float.min 0.984375 (Float.round (Instance.f base i u *. 64.0) /. 64.0)))
-  in
-  Instance.create ~workflow:(Instance.workflow base) ~machines:m ~w ~f
+   [Rat.of_float] makes of uniform draws.  The family lives in
+   Mf_proptest.Instances so the fuzz driver and this suite enumerate the
+   same pool. *)
+let dyadic_instance = Mf_proptest.Instances.dyadic_lp_instance
 
 (* Small tier: cold exact ground truth (full two-phase rational solve). *)
 let lp_differential_small = 200

@@ -1,0 +1,251 @@
+(* Tests for the property-based fuzzing subsystem itself: shrinking
+   actually minimises, generators keep their invariants at every shrink
+   step, the runner is deterministic, the corpus round-trips, and the
+   injected-bug canary is caught and shrunk to a tiny repro (the
+   acceptance bar of the fuzz harness). *)
+
+module Gen = Mf_proptest.Gen
+module Prop = Mf_proptest.Prop
+module Instances = Mf_proptest.Instances
+module Oracle = Mf_proptest.Oracle
+module Corpus = Mf_proptest.Corpus
+module Instance = Mf_core.Instance
+module Mapping = Mf_core.Mapping
+module Workflow = Mf_core.Workflow
+
+(* ------------------------------------------------------------------ *)
+(* Shrinking                                                           *)
+(* ------------------------------------------------------------------ *)
+
+(* The greedy shrinker must land exactly on the boundary of the failing
+   region: the smallest int >= 600 in [0, 1000]. *)
+let test_shrink_int_to_boundary () =
+  let report =
+    Prop.check ~count:200 ~name:"int boundary" ~seed:7
+      (Gen.int_range 0 1000)
+      (fun v -> if v >= 600 then Error "too big" else Ok ())
+  in
+  match report.Prop.failure with
+  | None -> Alcotest.fail "no failure found in 200 cases"
+  | Some f -> Alcotest.(check int) "shrunk to the boundary" 600 f.Prop.value
+
+(* Failing on long arrays must shrink to the minimal length: length
+   shrinks replay the same element stream, so candidates are prefixes. *)
+let test_shrink_array_to_minimal_length () =
+  let report =
+    Prop.check ~count:200 ~name:"array length" ~seed:11
+      (Gen.array_sized ~min:0 ~max:20 (Gen.int_range 0 9))
+      (fun a -> if Array.length a >= 5 then Error "too long" else Ok ())
+  in
+  match report.Prop.failure with
+  | None -> Alcotest.fail "no failure found"
+  | Some f ->
+    Alcotest.(check int) "minimal failing length" 5 (Array.length f.Prop.value);
+    Array.iter (fun v -> Alcotest.(check bool) "elements shrunk" true (v = 0)) f.Prop.value
+
+(* Same seed, same generator, same property => bit-identical report. *)
+let test_runner_deterministic () =
+  let gen = Instances.instance ~max_tasks:6 () in
+  let prop inst =
+    if Instance.task_count inst >= 4 then Error "big" else Ok ()
+  in
+  let r1 = Prop.check ~count:100 ~name:"det" ~seed:42 gen prop in
+  let r2 = Prop.check ~count:100 ~name:"det" ~seed:42 gen prop in
+  match (r1.Prop.failure, r2.Prop.failure) with
+  | Some a, Some b ->
+    Alcotest.(check int) "same case seed" a.Prop.case_seed b.Prop.case_seed;
+    Alcotest.(check int) "same shrink count" a.Prop.shrink_steps b.Prop.shrink_steps;
+    Alcotest.(check bool) "same shrunk instance" true
+      (Mf_core.Instance_io.to_string a.Prop.value
+      = Mf_core.Instance_io.to_string b.Prop.value)
+  | _ -> Alcotest.fail "expected both runs to fail identically"
+
+(* ------------------------------------------------------------------ *)
+(* Generator invariants (hold for roots AND for shrink candidates)      *)
+(* ------------------------------------------------------------------ *)
+
+let check_instance_invariants ?(need_cover = false) inst =
+  let n = Instance.task_count inst in
+  let p = Instance.type_count inst in
+  let m = Instance.machines inst in
+  let wf = Instance.workflow inst in
+  if n < 1 || p < 1 || p > n || m < 1 then Error "bad dimensions"
+  else if need_cover && m < p then Error "machines do not cover types"
+  else
+    (* Types contiguous from 0 in order of first appearance. *)
+    let seen = ref 0 in
+    let rec go i =
+      if i >= n then Ok ()
+      else
+        let t = Workflow.ttype wf i in
+        if t > !seen then Error "type labels not first-appearance contiguous"
+        else begin
+          if t = !seen then incr seen;
+          go (i + 1)
+        end
+    in
+    go 0
+
+(* Walk the first shrink levels of generated trees and re-validate every
+   candidate: shrinking must stay inside the constructor invariants. *)
+let test_instance_shrinks_stay_valid () =
+  let module T = Mf_proptest.Tree in
+  let gen = Instances.instance ~max_tasks:6 ~machines_cover_types:true () in
+  let rng = Mf_prng.Rng.create 99 in
+  for _ = 1 to 25 do
+    let tree = Gen.run gen rng in
+    let rec walk depth tree =
+      (match check_instance_invariants ~need_cover:true (T.root tree) with
+      | Ok () -> ()
+      | Error msg -> Alcotest.fail msg);
+      if depth > 0 then
+        (* Cap the fan-out: lazy trees can be wide. *)
+        let rec take k s =
+          if k = 0 then ()
+          else
+            match s () with
+            | Seq.Nil -> ()
+            | Seq.Cons (child, rest) ->
+              walk (depth - 1) child;
+              take (k - 1) rest
+        in
+        take 5 (T.children tree)
+    in
+    walk 2 tree
+  done
+
+let test_specialized_allocation_feasible () =
+  let gen =
+    Gen.bind (Instances.instance ~max_tasks:7 ~machines_cover_types:true ())
+      (fun inst ->
+        Gen.map (fun mp -> (inst, mp)) (Instances.specialized_allocation inst))
+  in
+  let report =
+    Prop.check ~count:300 ~name:"specialized feasible" ~seed:5 gen
+      (fun (inst, mp) ->
+        if Mapping.satisfies inst mp Mapping.Specialized then Ok ()
+        else Error "not specialized")
+  in
+  match report.Prop.failure with
+  | None -> ()
+  | Some f -> Alcotest.fail ("infeasible: " ^ f.Prop.message)
+
+let test_permutation_decode () =
+  let rng = Mf_prng.Rng.create 3 in
+  for n = 1 to 8 do
+    for _ = 1 to 20 do
+      let idx = Mf_proptest.Tree.root (Gen.run (Gen.permutation_indices n) rng) in
+      let perm = Gen.apply_permutation_indices idx in
+      let seen = Array.make n false in
+      Array.iter (fun v -> seen.(v) <- true) perm;
+      Alcotest.(check bool)
+        (Printf.sprintf "n=%d decodes to a permutation" n)
+        true
+        (Array.for_all Fun.id seen)
+    done
+  done
+
+(* ------------------------------------------------------------------ *)
+(* Corpus                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let test_corpus_roundtrip () =
+  let dir = Filename.temp_file "mf_corpus" "" in
+  Sys.remove dir;
+  let path =
+    Corpus.save ~dir ~oracle:"eval" ~case_seed:123456
+      ~note:"a failure message\nwith two lines"
+  in
+  Fun.protect
+    ~finally:(fun () ->
+      Array.iter (fun f -> Sys.remove (Filename.concat dir f)) (Sys.readdir dir);
+      Sys.rmdir dir)
+    (fun () ->
+      (match Corpus.load_file path with
+      | Ok e ->
+        Alcotest.(check string) "oracle" "eval" e.Corpus.oracle;
+        Alcotest.(check int) "seed" 123456 e.Corpus.case_seed
+      | Error msg -> Alcotest.fail msg);
+      let entries, errors = Corpus.load_dir dir in
+      Alcotest.(check int) "one entry" 1 (List.length entries);
+      Alcotest.(check int) "no errors" 0 (List.length errors))
+
+let test_corpus_rejects_malformed () =
+  let path = Filename.temp_file "mf_corpus" ".repro" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      Out_channel.with_open_text path (fun oc ->
+          output_string oc "oracle eval\nseed not-a-number\n");
+      match Corpus.load_file path with
+      | Ok _ -> Alcotest.fail "accepted malformed seed"
+      | Error _ -> ())
+
+(* ------------------------------------------------------------------ *)
+(* Oracle matrix plumbing and the canary                               *)
+(* ------------------------------------------------------------------ *)
+
+(* A cheap deterministic spin through every oracle: a handful of cases
+   each, so tier-1 exercises the full matrix without the fuzz budget. *)
+let test_oracle_matrix_smoke () =
+  List.iter
+    (fun o ->
+      let outcome = Oracle.run ~count:3 ~seed:2026 o in
+      match outcome.Oracle.failed with
+      | None -> ()
+      | Some f ->
+        Alcotest.fail
+          (Printf.sprintf "%s failed (seed %d): %s\n%s" (Oracle.name o)
+             f.Oracle.case_seed f.Oracle.message f.Oracle.repr))
+    Oracle.all
+
+let test_oracle_replay_matches_run () =
+  let o = List.hd Oracle.all in
+  let a = Oracle.replay o ~case_seed:987654321 in
+  let b = Oracle.replay o ~case_seed:987654321 in
+  Alcotest.(check bool) "replay deterministic" true
+    (a.Oracle.failed = None && b.Oracle.failed = None)
+
+(* The acceptance bar: a deliberately injected sign flip in a copy of
+   the period evaluation must be caught and shrunk to a repro of at most
+   6 tasks on at most 3 machines. *)
+let test_canary_caught_and_shrunk () =
+  match Oracle.canary_check ~seed:1 with
+  | Error msg -> Alcotest.fail msg
+  | Ok (tasks, machines) ->
+    Alcotest.(check bool)
+      (Printf.sprintf "shrunk repro small enough: %d tasks, %d machines" tasks machines)
+      true
+      (tasks <= 6 && machines <= 3)
+
+let () =
+  Alcotest.run "mf_proptest"
+    [
+      ( "shrinking",
+        [
+          Alcotest.test_case "int boundary" `Quick test_shrink_int_to_boundary;
+          Alcotest.test_case "array minimal length" `Quick
+            test_shrink_array_to_minimal_length;
+          Alcotest.test_case "deterministic runner" `Quick test_runner_deterministic;
+        ] );
+      ( "generators",
+        [
+          Alcotest.test_case "instance shrinks valid" `Quick
+            test_instance_shrinks_stay_valid;
+          Alcotest.test_case "specialized feasible" `Quick
+            test_specialized_allocation_feasible;
+          Alcotest.test_case "permutation decode" `Quick test_permutation_decode;
+        ] );
+      ( "corpus",
+        [
+          Alcotest.test_case "roundtrip" `Quick test_corpus_roundtrip;
+          Alcotest.test_case "rejects malformed" `Quick test_corpus_rejects_malformed;
+        ] );
+      ( "oracles",
+        [
+          Alcotest.test_case "matrix smoke" `Quick test_oracle_matrix_smoke;
+          Alcotest.test_case "replay deterministic" `Quick test_oracle_replay_matches_run;
+          Alcotest.test_case "canary caught and shrunk" `Quick
+            test_canary_caught_and_shrunk;
+        ] );
+    ]

@@ -251,6 +251,109 @@ let test_sim_buffer_capacity_throughput_monotone () =
   Alcotest.(check bool) (Printf.sprintf "t4 %.6f <= inf %.6f (+tol)" t4 tinf) true
     (t4 <= tinf *. 1.05)
 
+(* Same seed, same instance: blocking can only slow the line down.  The
+   instance is failure-free so the claim is exact — under losses the two
+   runs consume the shared Bernoulli stream in different schedule
+   orders, and the bounded run can luckily edge ahead by a few outputs
+   (the stochastic side is covered by the monotonicity-with-tolerance
+   test above). *)
+let test_sim_bounded_never_beats_unbounded () =
+  let wf = Workflow.chain ~types:(Array.make 6 0) in
+  let inst =
+    Instance.create ~workflow:wf ~machines:3
+      ~w:(Array.make_matrix 6 3 100.0)
+      ~f:(Array.make_matrix 6 3 0.0)
+  in
+  (* The lone source on machine 0 overproduces freely when unbounded. *)
+  let mp = Mapping.of_array inst [| 0; 1; 1; 1; 2; 2 |] in
+  let unbounded = Desim.run ~warmup:5.0e4 ~horizon:1.0e6 ~seed:7 inst mp in
+  let bounded =
+    Desim.run ~warmup:5.0e4 ~horizon:1.0e6 ~seed:7 ~buffer_capacity:1 inst mp
+  in
+  Alcotest.(check bool)
+    (Printf.sprintf "bounded %d <= unbounded %d" bounded.Desim.outputs
+       unbounded.Desim.outputs)
+    true
+    (bounded.Desim.outputs <= unbounded.Desim.outputs);
+  Alcotest.(check bool) "bounded still progresses" true (bounded.Desim.outputs > 0)
+
+(* Capacity 1 on a chain whose tasks share machines: the tightest
+   blocking configuration must still make progress (no deadlock). *)
+let test_sim_capacity_one_chain_progress () =
+  let wf = Workflow.chain ~types:[| 0; 0; 0; 0; 0 |] in
+  let inst =
+    Instance.create ~workflow:wf ~machines:2
+      ~w:(Array.make_matrix 5 2 10.0)
+      ~f:(Array.make_matrix 5 2 0.1)
+  in
+  let mp = Mapping.of_array inst [| 0; 1; 0; 1; 0 |] in
+  let r = Desim.run ~warmup:0.0 ~horizon:1.0e5 ~seed:3 ~buffer_capacity:1 inst mp in
+  Alcotest.(check bool)
+    (Printf.sprintf "outputs %d > 100" r.Desim.outputs)
+    true (r.Desim.outputs > 100);
+  Array.iteri
+    (fun i e ->
+      Alcotest.(check bool) (Printf.sprintf "task %d executed" i) true (e > 0))
+    r.Desim.executions
+
+(* Regression (found by the sim-vs-analytic fuzz oracle): a machine
+   hosting both branches of an assembly used to run the first source
+   branch forever — it is always ready — so the sibling branch starved
+   and the join never fired: 0 outputs instead of window / period.  The
+   emptiest-output-buffer policy must keep all branches moving. *)
+let test_sim_assembly_shared_machine_no_starvation () =
+  let wf =
+    Workflow.in_forest ~types:[| 0; 0; 0 |] ~successor:[| Some 2; Some 2; None |]
+  in
+  let inst =
+    Instance.create ~workflow:wf ~machines:1
+      ~w:(Array.make_matrix 3 1 1.0)
+      ~f:(Array.make_matrix 3 1 0.0)
+  in
+  let mp = Mapping.of_array inst [| 0; 0; 0 |] in
+  let analytic = Period.throughput inst mp in
+  let r = Desim.run ~horizon:10000.0 ~seed:1 inst mp in
+  Array.iteri
+    (fun i e ->
+      Alcotest.(check bool) (Printf.sprintf "task %d executed" i) true (e > 0))
+    r.Desim.executions;
+  Alcotest.(check bool)
+    (Printf.sprintf "throughput %.6g within 5%% of analytic %.6g" r.Desim.throughput
+       analytic)
+    true
+    (relative_error r.Desim.throughput analytic < 0.05)
+
+(* Regression pinned by test/fuzz/corpus/sim-vs-analytic-431066338797847534:
+   two chains 0 -> 3 -> 4 and 1 -> 2 -> 4 with both sources on one machine
+   and the rest on another.  Task 3 drains task 0's buffer within the same
+   wake cycle, so the emptiest-buffer policy alone sees a permanent 0-0 tie
+   on the source machine and the index tie-break runs task 0 forever: task 1
+   starves across machines and the join never fires.  Scheduling on
+   cumulative surviving production (monotone, so consumption cannot erase
+   it) must keep both branches moving. *)
+let test_sim_cross_machine_livelock () =
+  let wf =
+    Workflow.in_forest ~types:[| 0; 0; 0; 0; 1 |]
+      ~successor:[| Some 3; Some 2; Some 4; Some 4; None |]
+  in
+  let inst =
+    Instance.create ~workflow:wf ~machines:3
+      ~w:(Array.make_matrix 5 3 1.0)
+      ~f:(Array.make_matrix 5 3 0.0)
+  in
+  let mp = Mapping.of_array inst [| 2; 2; 0; 0; 0 |] in
+  let analytic = Period.throughput inst mp in
+  let r = Desim.run ~horizon:10000.0 ~seed:1 inst mp in
+  Array.iteri
+    (fun i e ->
+      Alcotest.(check bool) (Printf.sprintf "task %d executed" i) true (e > 0))
+    r.Desim.executions;
+  Alcotest.(check bool)
+    (Printf.sprintf "throughput %.6g within 5%% of analytic %.6g" r.Desim.throughput
+       analytic)
+    true
+    (relative_error r.Desim.throughput analytic < 0.05)
+
 let test_sim_buffer_capacity_validation () =
   let inst = Gen.chain (Rng.create 1) (Gen.default ~tasks:2 ~types:1 ~machines:1) in
   let mp = Mapping.of_array inst [| 0; 0 |] in
@@ -296,11 +399,44 @@ let test_metrics_loss_summary () =
   let r = Desim.run ~warmup:0.0 ~horizon:5.0e5 ~seed:3 inst mp in
   List.iter
     (fun (task, empirical, configured) ->
-      Alcotest.(check bool)
-        (Printf.sprintf "task %d empirical %.4f near configured %.4f" task empirical configured)
-        true
-        (Float.abs (empirical -. configured) < 0.01))
+      match empirical with
+      | None -> Alcotest.fail (Printf.sprintf "task %d unexpectedly never executed" task)
+      | Some empirical ->
+        Alcotest.(check bool)
+          (Printf.sprintf "task %d empirical %.4f near configured %.4f" task empirical
+             configured)
+          true
+          (Float.abs (empirical -. configured) < 0.01))
     (Metrics.loss_summary inst mp r)
+
+(* A task that never executes has no empirical loss estimate:
+   measured_loss_rate is nan (0/0), loss_summary reports None, and the
+   report renders n/a instead of propagating the nan. *)
+let test_metrics_loss_summary_never_executed () =
+  let wf = Workflow.chain ~types:[| 0; 1 |] in
+  let inst =
+    Instance.create ~workflow:wf ~machines:2
+      ~w:[| [| 10.0; 10.0 |]; [| 1000.0; 1000.0 |] |]
+      ~f:(Array.make_matrix 2 2 0.0)
+  in
+  let mp = Mapping.of_array inst [| 0; 1 |] in
+  (* Task 1 starts at t = 10 and would finish at 1010, past the horizon. *)
+  let r = Desim.run ~warmup:0.0 ~horizon:50.0 ~seed:1 inst mp in
+  Alcotest.(check int) "task 1 never executed" 0 r.Desim.executions.(1);
+  Alcotest.(check bool) "measured_loss_rate is nan" true
+    (Float.is_nan (Desim.measured_loss_rate r ~task:1));
+  (match Metrics.loss_summary inst mp r with
+  | [ (0, Some rate0, _); (1, None, _) ] ->
+    Alcotest.(check bool) "task 0 estimated" true (rate0 >= 0.0)
+  | _ -> Alcotest.fail "expected Some for task 0 and None for task 1");
+  let text = Metrics.report inst mp r in
+  let contains needle hay =
+    let nl = String.length needle and hl = String.length hay in
+    let rec go i = i + nl <= hl && (String.sub hay i nl = needle || go (i + 1)) in
+    go 0
+  in
+  Alcotest.(check bool) "report renders n/a" true (contains "n/a" text);
+  Alcotest.(check bool) "report has no nan" false (contains "nan" text)
 
 let test_metrics_report_renders () =
   let inst = Gen.chain (Rng.create 2) (Gen.default ~tasks:5 ~types:2 ~machines:3) in
@@ -343,12 +479,22 @@ let () =
         [
           Alcotest.test_case "capacity blocks" `Quick test_sim_buffer_capacity_blocks;
           Alcotest.test_case "throughput monotone" `Quick test_sim_buffer_capacity_throughput_monotone;
+          Alcotest.test_case "bounded never beats unbounded" `Quick
+            test_sim_bounded_never_beats_unbounded;
+          Alcotest.test_case "capacity 1 chain progress" `Quick
+            test_sim_capacity_one_chain_progress;
+          Alcotest.test_case "assembly no starvation" `Quick
+            test_sim_assembly_shared_machine_no_starvation;
+          Alcotest.test_case "cross-machine livelock" `Quick
+            test_sim_cross_machine_livelock;
           Alcotest.test_case "validation" `Quick test_sim_buffer_capacity_validation;
         ] );
       ( "metrics",
         [
           Alcotest.test_case "utilisation" `Quick test_metrics_utilisation;
           Alcotest.test_case "loss summary" `Quick test_metrics_loss_summary;
+          Alcotest.test_case "loss summary n/a" `Quick
+            test_metrics_loss_summary_never_executed;
           Alcotest.test_case "report" `Quick test_metrics_report_renders;
         ] );
       ("props", List.map QCheck_alcotest.to_alcotest [ prop_sim_close_to_analytic ]);
