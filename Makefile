@@ -2,8 +2,8 @@
 # No ocamlformat in the toolchain image — formatting is by convention
 # (see DESIGN.md §5), so there is no fmt target.
 
-.PHONY: all build test verify bench bench-quick bench-exact bench-lp clean \
-  fuzz fuzz-quick fuzz-replay
+.PHONY: all build test verify bench bench-quick bench-exact bench-lp \
+  bench-solve clean fuzz fuzz-quick fuzz-replay
 
 all: build
 
@@ -27,6 +27,7 @@ verify:
 	cmp _build/verify_j1.csv _build/verify_j4.csv
 	timeout 60 dune exec test/test_exact.exe -- test dfs-differential
 	timeout 60 dune exec test/test_lp.exe -- test lp-differential
+	timeout 60 dune exec test/test_solve.exe -- test portfolio-differential
 	$(MAKE) fuzz-quick
 	@echo "verify OK: tests green, --jobs 1/4 byte-identical, differential suites green, fuzz matrix green"
 
@@ -62,14 +63,21 @@ bench-quick:
 # Exact-search benchmark only (writes BENCH_exact.json): node reduction vs
 # the static baseline, solvable-size scan, --jobs identity, pruning ablation.
 bench-exact:
-	dune exec bench/main.exe -- --only none --skip-micro --skip-ablation --skip-eval --skip-parallel --skip-lp
+	dune exec bench/main.exe -- --only none --skip-micro --skip-ablation --skip-eval --skip-parallel --skip-lp --skip-solve
 
 # Splitting-LP benchmark only (writes BENCH_lp.json): solve time and pivot
 # counts for n in {10, 20, 40, 80} under the throughput-form Devex solver,
 # the Bland baseline on the same tableau, and the seed period-form + Bland
 # combination, plus the fraction of seeds taking the rational fallback.
 bench-lp:
-	dune exec bench/main.exe -- --only none --skip-micro --skip-ablation --skip-eval --skip-parallel --skip-exact
+	dune exec bench/main.exe -- --only none --skip-micro --skip-ablation --skip-eval --skip-parallel --skip-exact --skip-solve
+
+# Unified-solver benchmark only (writes BENCH_solve.json): portfolio
+# solves/sec and latency percentiles under a near-duplicate request storm
+# (machine permutations + type relabelings of a few base instances), the
+# canonical-cache hit rate, and a sampled cached-vs-fresh bit-identity check.
+bench-solve:
+	dune exec bench/main.exe -- --only none --skip-micro --skip-ablation --skip-eval --skip-parallel --skip-exact --skip-lp
 
 clean:
 	dune clean

@@ -15,7 +15,9 @@
      --skip-exact   skip the exact branch-and-bound benchmark
                     (which also writes machine-readable BENCH_exact.json)
      --skip-lp      skip the splitting-LP simplex benchmark
-                    (which also writes machine-readable BENCH_lp.json) *)
+                    (which also writes machine-readable BENCH_lp.json)
+     --skip-solve   skip the unified-solver benchmark
+                    (which also writes machine-readable BENCH_solve.json) *)
 
 module Figures = Mf_experiments.Figures
 module Report = Mf_experiments.Report
@@ -34,6 +36,7 @@ let skip_eval = ref false
 let skip_parallel = ref false
 let skip_exact = ref false
 let skip_lp = ref false
+let skip_solve = ref false
 
 let parse_args () =
   let rec go = function
@@ -61,6 +64,9 @@ let parse_args () =
       go rest
     | "--skip-lp" :: rest ->
       skip_lp := true;
+      go rest
+    | "--skip-solve" :: rest ->
+      skip_solve := true;
       go rest
     | arg :: _ ->
       Printf.eprintf "unknown argument %s\n" arg;
@@ -154,7 +160,11 @@ let ablation_splitting () =
   for seed = 1 to 8 do
     let inst = Gen.chain (Rng.create seed) (Gen.default ~tasks:8 ~types:3 ~machines:4) in
     let exact = (Mf_exact.Dfs.specialized inst).Mf_exact.Dfs.period in
-    let lp = Mf_lp.Splitting.solve_exn inst in
+    let lp =
+      match Mf_lp.Splitting.solve inst with
+      | Ok r -> r
+      | Error e -> failwith (Mf_lp.Splitting.describe_error e)
+    in
     let _, rounded = Mf_lp.Splitting.round_exn inst lp in
     Printf.printf "  %4d %12.1f %12.1f %12.1f %9.1f%%\n" seed exact lp.Mf_lp.Splitting.period
       rounded
@@ -732,6 +742,121 @@ let bench_lp () =
   Printf.printf "  (machine-readable copy written to %s)\n" json
 
 (* ------------------------------------------------------------------ *)
+(* Unified solver: portfolio throughput under a near-duplicate storm    *)
+(* ------------------------------------------------------------------ *)
+
+let bench_solve () =
+  section "Unified solver: portfolio + canonical answer cache";
+  let module Instance = Mf_core.Instance in
+  let module Workflow = Mf_core.Workflow in
+  let module Mapping = Mf_core.Mapping in
+  let module Solver = Mf_solve.Solver in
+  let module Portfolio = Mf_solve.Portfolio in
+  let module Cache = Mf_solve.Cache in
+  let bases = if !quick then 4 else 8 in
+  let variants = if !quick then 4 else 8 in
+  let passes = 2 in
+  (* Variant k of an instance: machines rotated by k, type labels rotated
+     by k — a near-duplicate that canonicalizes to the same key. *)
+  let variant k inst =
+    let n = Instance.task_count inst in
+    let m = Instance.machines inst in
+    let p = Instance.type_count inst in
+    let wf = Instance.workflow inst in
+    let perm u = (u + k) mod m in
+    let w = Array.init n (fun i -> Array.init m (fun u -> Instance.w inst i (perm u))) in
+    let f = Array.init n (fun i -> Array.init m (fun u -> Instance.f inst i (perm u))) in
+    let types = Array.init n (fun i -> (Workflow.ttype wf i + k) mod p) in
+    let successor = Array.init n (Workflow.successor wf) in
+    Instance.create ~workflow:(Workflow.in_forest ~types ~successor) ~machines:m ~w ~f
+  in
+  let base b = Gen.chain (Rng.create (1000 + b)) (Gen.default ~tasks:12 ~types:3 ~machines:6) in
+  let requests =
+    (* interleave: pass over all bases for each variant index, so hits do
+       not trivially follow their miss back-to-back *)
+    List.concat_map
+      (fun _pass ->
+        List.concat_map
+          (fun k -> List.init bases (fun b -> variant k (base b)))
+          (List.init variants Fun.id))
+      (List.init passes Fun.id)
+  in
+  let budget = Solver.Nodes 200_000 in
+  let cache = Cache.create () in
+  let latencies = ref [] in
+  let t_all0 = Unix.gettimeofday () in
+  let outcomes =
+    List.map
+      (fun inst ->
+        let t0 = Unix.gettimeofday () in
+        let out = Portfolio.solve ~cache (Solver.request ~budget inst) in
+        latencies := (Unix.gettimeofday () -. t0) :: !latencies;
+        (inst, out))
+      requests
+  in
+  let wall = Unix.gettimeofday () -. t_all0 in
+  let total = List.length requests in
+  let stats = Cache.stats cache in
+  let solves_per_s = float_of_int total /. wall in
+  let lat = Array.of_list !latencies in
+  Array.sort compare lat;
+  let percentile q =
+    lat.(min (Array.length lat - 1) (int_of_float (ceil (q *. float_of_int (Array.length lat - 1)))))
+  in
+  let p50 = percentile 0.50 and p99 = percentile 0.99 in
+  let hit_rate = Cache.hit_rate cache in
+  (* Bit-identity: every cached answer must equal a fresh no-cache solve
+     of the same (near-duplicate) instance, bit for bit. *)
+  let identical = ref 0 in
+  let sampled =
+    List.filteri (fun i _ -> i mod 7 = 0) (List.filter (fun (_, o) -> o.Solver.stats.Solver.cache_hit) outcomes)
+  in
+  List.iter
+    (fun (inst, (cached : Solver.outcome)) ->
+      let fresh = Portfolio.solve (Solver.request ~budget inst) in
+      let same_mapping =
+        match (cached.Solver.mapping, fresh.Solver.mapping) with
+        | Some a, Some b -> Mapping.to_array a = Mapping.to_array b
+        | None, None -> true
+        | _ -> false
+      in
+      if
+        same_mapping
+        && cached.Solver.status = fresh.Solver.status
+        && cached.Solver.period = fresh.Solver.period
+        && cached.Solver.lower_bound = fresh.Solver.lower_bound
+      then incr identical
+      else
+        Printf.printf "  BIT-IDENTITY VIOLATION: cached answer differs from fresh solve\n")
+    sampled;
+  Printf.printf
+    "  %d requests (%d bases x %d variants x %d passes): %.0f solves/s\n\
+    \  latency p50 %.3f ms, p99 %.3f ms\n\
+    \  cache: %d hits / %d lookups (%.1f%% hit rate), %d entries\n\
+    \  bit-identity vs fresh solve: %d/%d sampled cache hits identical\n"
+    total bases variants passes solves_per_s (1000.0 *. p50) (1000.0 *. p99) stats.Cache.hits
+    (stats.Cache.hits + stats.Cache.misses)
+    (100.0 *. hit_rate) stats.Cache.length !identical (List.length sampled);
+  let json = "BENCH_solve.json" in
+  let oc = open_out json in
+  Printf.fprintf oc
+    "{\n\
+    \  \"workload\": { \"bases\": %d, \"variants\": %d, \"passes\": %d,\n\
+    \                \"instance\": { \"tasks\": 12, \"types\": 3, \"machines\": 6, \
+     \"application\": \"chain\" },\n\
+    \                \"node_budget\": 200000 },\n\
+    \  \"requests\": %d,\n\
+    \  \"solves_per_s\": %.1f,\n\
+    \  \"latency_ms\": { \"p50\": %.4f, \"p99\": %.4f },\n\
+    \  \"cache\": { \"hits\": %d, \"misses\": %d, \"evictions\": %d, \"hit_rate\": %.4f },\n\
+    \  \"bit_identity\": { \"sampled\": %d, \"identical\": %d }\n\
+     }\n"
+    bases variants passes total solves_per_s (1000.0 *. p50) (1000.0 *. p99) stats.Cache.hits
+    stats.Cache.misses stats.Cache.evictions hit_rate (List.length sampled) !identical;
+  close_out oc;
+  Printf.printf "  (machine-readable copy written to %s)\n" json
+
+(* ------------------------------------------------------------------ *)
 (* Bechamel micro-benchmarks                                            *)
 (* ------------------------------------------------------------------ *)
 
@@ -845,5 +970,6 @@ let () =
   if not !skip_parallel then bench_parallel ();
   if not !skip_exact then bench_exact ();
   if not !skip_lp then bench_lp ();
+  if not !skip_solve then bench_solve ();
   if not !skip_micro then micro_benchmarks ();
   print_newline ()

@@ -108,14 +108,25 @@ let print_solution inst label mp =
   print_newline ()
 
 let solve_cmd =
-  let heuristic =
+  let module Solver = Mf_solve.Solver in
+  let engine =
+    let engine_conv =
+      Arg.enum
+        [
+          ("auto", `Auto);
+          ("heuristics", `Heuristics);
+          ("lp", `Lp);
+          ("exact", `Exact);
+          ("brute", `Brute);
+        ]
+    in
     Arg.(
-      value
-      & opt (some heuristic_conv) None
-      & info [ "heuristic" ] ~docv:"H" ~doc:"Run a single heuristic (H1, H2, H3, H4, H4w, H4f).")
-  in
-  let exact =
-    Arg.(value & flag & info [ "exact" ] ~doc:"Also run the exact branch-and-bound solver.")
+      value & opt engine_conv `Auto
+      & info [ "engine" ] ~docv:"ENGINE"
+          ~doc:
+            "Which engine to run: $(b,auto) (default: the anytime portfolio — heuristics, \
+             then the certified LP bound, then exact search on the remaining budget), or a \
+             single engine: $(b,heuristics), $(b,lp), $(b,exact), $(b,brute).")
   in
   let rule =
     let rule_conv =
@@ -129,7 +140,7 @@ let solve_cmd =
     Arg.(
       value & opt rule_conv Mapping.Specialized
       & info [ "rule" ] ~docv:"RULE"
-          ~doc:"Mapping rule for --exact: specialized (default), general, or oto.")
+          ~doc:"Mapping rule: specialized (default), general, or oto.")
   in
   let setup =
     Arg.(
@@ -139,8 +150,27 @@ let solve_cmd =
             "Reconfiguration time per type switch (general rule): a machine cycling through \
              k >= 2 task types pays k switches per period.")
   in
-  let local_search =
-    Arg.(value & flag & info [ "local-search" ] ~doc:"Post-optimise with local search.")
+  let deadline =
+    Arg.(
+      value & opt (some float) None
+      & info [ "deadline" ] ~docv:"MS"
+          ~doc:
+            "Work budget as a deadline, mapped deterministically onto engine budgets \
+             (node-equivalents) — not a wall clock, so results replay exactly.")
+  in
+  let node_budget =
+    Arg.(
+      value & opt (some int) None
+      & info [ "node-budget" ] ~docv:"NODES"
+          ~doc:"Work budget in node-equivalents (exclusive with --deadline).")
+  in
+  let certificate =
+    Arg.(
+      value & flag
+      & info [ "certificate" ]
+          ~doc:
+            "Demand a certified lower bound: the LP stage runs even when the budget says to \
+             skip it, and gaps are reported against the certified bound.")
   in
   let x_out =
     Arg.(
@@ -148,48 +178,66 @@ let solve_cmd =
       & info [ "inputs-for" ] ~docv:"X"
           ~doc:"Also report the raw products needed to output X finished products.")
   in
-  let run file heuristic exact rule setup local_search x_out seed =
+  let run file engine rule setup deadline node_budget certificate x_out seed =
     let inst = Instance_io.read_file file in
     Printf.printf "instance: n=%d p=%d m=%d\n" (Instance.task_count inst)
       (Instance.type_count inst) (Instance.machines inst);
-    let heuristics = match heuristic with Some h -> [ h ] | None -> Registry.all in
-    let best = ref None in
-    List.iter
-      (fun h ->
-        let mp = Registry.solve ~seed h inst in
-        let mp = if local_search then Mf_heuristics.Local_search.improve inst mp else mp in
-        print_solution inst (Registry.name h) mp;
-        let p = Period.period inst mp in
-        match !best with
-        | Some (_, bp) when bp <= p -> ()
-        | _ -> best := Some (mp, p))
-      heuristics;
-    if exact then begin
-      match Mf_exact.Dfs.solve ~setup ~rule inst with
-      | r ->
-        print_solution inst "exact" r.Mf_exact.Dfs.mapping;
-        Printf.printf "       (%s rule, %s after %d nodes%s)\n" (Mapping.rule_name rule)
-          (if r.Mf_exact.Dfs.optimal then "proved optimal" else "node budget exhausted")
-          r.Mf_exact.Dfs.nodes
-          (if setup > 0.0 then Printf.sprintf ", %.0fms setup per type switch" setup else "")
-      | exception Invalid_argument msg -> Printf.printf "exact solver unavailable: %s\n" msg
-    end;
-    if x_out > 0 then
-      match !best with
-      | Some (mp, _) ->
-        List.iter
-          (fun (src, count) ->
-            Printf.printf "feed %d raw products at source task T%d to output %d products\n"
-              count src x_out)
-          (Products.inputs_needed inst mp ~x_out)
-      | None -> ()
+    match (deadline, node_budget) with
+    | Some _, Some _ ->
+      prerr_endline "mfopt solve: --deadline and --node-budget are exclusive";
+      exit 2
+    | _ ->
+      let budget =
+        match (deadline, node_budget) with
+        | Some d, _ -> Solver.Deadline_ms d
+        | _, Some k -> Solver.Nodes k
+        | None, None -> Solver.Unlimited
+      in
+      let req =
+        Solver.request ~rule ~seed ~budget ~want_certificate:certificate ~setup inst
+      in
+      let out =
+        match engine with
+        | `Auto -> Mf_solve.Portfolio.solve req
+        | `Heuristics -> Mf_solve.Engine.heuristics req
+        | `Lp -> Mf_solve.Engine.lp req
+        | `Exact -> Mf_solve.Engine.exact req
+        | `Brute -> Mf_solve.Engine.brute req
+      in
+      (match out.Solver.mapping with
+      | Some mp -> print_solution inst "best" mp
+      | None -> ());
+      Printf.printf "status: %s (%s rule%s)\n"
+        (Solver.status_to_string out.Solver.status)
+        (Mapping.rule_name rule)
+        (if setup > 0.0 then Printf.sprintf ", %.0fms setup per type switch" setup else "");
+      (match out.Solver.lower_bound with
+      | Some lb -> Printf.printf "certified lower bound: %.2f ms\n" lb
+      | None -> ());
+      let s = out.Solver.stats in
+      Printf.printf "engines: %s   work: %d heuristic runs, %d LP pivots (%s path), %d nodes\n"
+        (match out.Solver.engines with
+        | [] -> "none"
+        | es -> String.concat " -> " (List.map Solver.engine_name es))
+        s.Solver.heuristic_runs s.Solver.lp_pivots
+        (Solver.lp_path_name s.Solver.lp_path)
+        s.Solver.exact_nodes;
+      if x_out > 0 then
+        match out.Solver.mapping with
+        | Some mp ->
+          List.iter
+            (fun (src, count) ->
+              Printf.printf "feed %d raw products at source task T%d to output %d products\n"
+                count src x_out)
+            (Products.inputs_needed inst mp ~x_out)
+        | None -> ()
   in
-  let doc = "Run mapping heuristics (and optionally the exact solver) on an instance." in
+  let doc = "Solve an instance through the unified solver (portfolio or a single engine)." in
   Cmd.v
     (Cmd.info "solve" ~doc)
     Term.(
-      const run $ instance_arg $ heuristic $ exact $ rule $ setup $ local_search $ x_out
-      $ seed_arg)
+      const run $ instance_arg $ engine $ rule $ setup $ deadline $ node_budget $ certificate
+      $ x_out $ seed_arg)
 
 (* ------------------------------------------------------------------ *)
 (* exact                                                                *)

@@ -35,7 +35,11 @@ let () =
 
   (* 4. Future work: divisible workloads.  The LP bound shows how much
      throughput is left on the table by unsplittable tasks. *)
-  let lp = Mf_lp.Splitting.solve_exn inst in
+  let lp =
+    match Mf_lp.Splitting.solve inst with
+    | Ok r -> r
+    | Error e -> failwith (Mf_lp.Splitting.describe_error e)
+  in
   Printf.printf "divisible-workload LP bound: %.2f ms (%s path)\n" lp.Mf_lp.Splitting.period
     (match lp.Mf_lp.Splitting.path with `Float -> "float" | `Rational -> "rational-certified");
   Printf.printf "throughput headroom vs exact: %.1f%%\n"

@@ -61,6 +61,7 @@ let min_contribution inst =
    tasks, each to the unused machine with the smallest x*w. *)
 let greedy_one_to_one inst =
   let n = Instance.task_count inst and m = Instance.machines inst in
+  if m < n then invalid_arg "Dfs.greedy_one_to_one: fewer machines than tasks";
   let wf = Instance.workflow inst in
   let a = Array.make n (-1) in
   let x = Array.make n nan in
@@ -139,7 +140,7 @@ let incumbent_static ~setup rule inst =
    registry.  Heuristic mappings are specialized, hence valid general
    mappings paying no setup; one-to-one still needs its own greedy seed
    because no registry heuristic is injective. *)
-let incumbent ~setup rule inst =
+let seed_incumbent ~setup rule inst =
   match rule with
   | Mapping.One_to_one ->
     let mp = greedy_one_to_one inst in
@@ -874,7 +875,7 @@ let certify ctx ~p_star ~budget =
   (s.local_best, s.nodes)
 
 let solve ?(node_budget = 20_000_000) ?(setup = 0.0) ?(jobs = 1) ?dominance ?(symmetry = true)
-    ?lower_bound ~rule inst =
+    ?lower_bound ?incumbent ~rule inst =
   if setup < 0.0 then invalid_arg "Dfs.solve: negative setup time";
   if jobs < 1 then invalid_arg "Dfs.solve: jobs must be >= 1";
   check_rule_feasible rule inst;
@@ -893,7 +894,18 @@ let solve ?(node_budget = 20_000_000) ?(setup = 0.0) ?(jobs = 1) ?dominance ?(sy
     match dominance with Some d -> d | None -> has_repeated_task_profiles inst
   in
   let ctx = make_ctx ~rule ~setup ~dominance ~symmetry inst in
-  let seed_mp, seed_p = incumbent ~setup rule inst in
+  let seed_mp, seed_p = seed_incumbent ~setup rule inst in
+  (* A caller-supplied incumbent (the portfolio's shared best-so-far) is
+     merged by strict minimum, so it can only tighten the seed.  It must
+     satisfy [rule] — checked, because an infeasible incumbent would let
+     the search "prove" a period no legal mapping attains. *)
+  let seed_mp, seed_p =
+    match incumbent with
+    | Some (mp, p) when p < seed_p ->
+      Mapping.check inst mp rule;
+      (mp, p)
+    | _ -> (seed_mp, seed_p)
+  in
   if met_bound seed_p then
     { mapping = seed_mp; period = seed_p; optimal = true; nodes = 0; stats = zero_stats }
   else begin

@@ -82,9 +82,19 @@ type result = {
     period meets it is upgraded to [optimal = true].  Soundness is the
     caller's contract: a bound that is not actually a lower bound can
     certify a suboptimal mapping.
+
+    [incumbent] is a caller-supplied starting incumbent — the shared
+    best-so-far of [Mf_solve.Portfolio]'s earlier stages — merged with
+    the internal heuristic seed by strict minimum, so it can only
+    tighten the search.  The pair is [(mapping, period)] where [period]
+    is the mapping's {e penalised} period under the same [setup]
+    convention the search optimises ({!Mf_core.Period.with_setup} for
+    the general rule, {!Mf_core.Period.period} otherwise); supplying a
+    period {e below} the mapping's true one is unsound for the reported
+    mapping the same way a wrong [lower_bound] is.
     @raise Invalid_argument when no mapping satisfying [rule] exists
     ([m < p] for specialized, [m < n] for one-to-one), or [jobs < 1], or
-    [setup < 0]. *)
+    [setup < 0], or [incumbent] violates [rule]. *)
 val solve :
   ?node_budget:int ->
   ?setup:float ->
@@ -92,6 +102,7 @@ val solve :
   ?dominance:bool ->
   ?symmetry:bool ->
   ?lower_bound:float ->
+  ?incumbent:Mf_core.Mapping.t * float ->
   rule:Mf_core.Mapping.rule ->
   Mf_core.Instance.t ->
   result
@@ -107,6 +118,14 @@ val solve_static :
   rule:Mf_core.Mapping.rule ->
   Mf_core.Instance.t ->
   result
+
+(** [greedy_one_to_one inst] is the injective greedy seed of the
+    one-to-one search: tasks in backward order, each to the unused
+    machine minimising its [x * w] contribution.  Exposed so the
+    unified solver's heuristic stage has a one-to-one entry (no registry
+    heuristic is injective).
+    @raise Invalid_argument when [m < n]. *)
+val greedy_one_to_one : Mf_core.Instance.t -> Mf_core.Mapping.t
 
 (** [specialized ?node_budget ?jobs inst] is [solve ~rule:Specialized]. *)
 val specialized : ?node_budget:int -> ?jobs:int -> Mf_core.Instance.t -> result

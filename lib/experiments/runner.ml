@@ -62,6 +62,17 @@ let lp_round =
           | Error _ -> None));
   }
 
+let portfolio ~node_budget =
+  {
+    label = "Portfolio";
+    solve =
+      (fun inst ~seed ->
+        let req =
+          Mf_solve.Solver.request ~seed ~budget:(Mf_solve.Solver.Nodes node_budget) inst
+        in
+        (Mf_solve.Portfolio.solve req).Mf_solve.Solver.period);
+  }
+
 (* One Splitmix64 finalisation per absorbed word.  The finaliser is a
    bijection of [acc xor v], so every absorbed byte/integer feeds the full
    64-bit state — unlike [Hashtbl.hash], which folds to 30 bits and

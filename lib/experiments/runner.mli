@@ -58,6 +58,15 @@ val lp_bound : algo
     machine.  [None] when the LP fails or no specialized mapping exists. *)
 val lp_round : algo
 
+(** [portfolio ~node_budget] wraps the unified anytime portfolio
+    ({!Mf_solve.Portfolio.solve}) under the specialized rule with a
+    node-equivalent budget: the best period the staged
+    heuristics → LP bound → exact pipeline reaches within the budget,
+    [None] only when the rule is infeasible.  The replicate seed is
+    threaded into the request, so grid cells stay pure functions of
+    [(id, x, rep)]. *)
+val portfolio : node_budget:int -> algo
+
 (** [run ~id ~title ~x_label ~xs ~replicates ~gen ~algos ()] runs the full
     grid.  [gen] receives the x value and a derived seed and must return
     the instance.

@@ -102,16 +102,6 @@ let solve inst =
     in
     Ok { period; shares; loads; path = stats.Mip.path; stats }
 
-let solve_exn inst =
-  match solve inst with
-  | Ok r -> r
-  | Error e ->
-    failwith
-      (Printf.sprintf
-         "Splitting.solve: %s — impossible for a well-formed instance even after rational \
-          certification"
-         (describe_error e))
-
 let solve_exact inst =
   match Mip.solve_relaxation_exact (model inst) with
   | `Optimal (_, rho) when rho > 0.0 -> Ok (1.0 /. rho)

@@ -58,13 +58,10 @@ val describe_error : error -> string
 
 (** [solve inst] solves the divisible-workload LP.  Never raises on
     well-formed instances; a numerically hard tableau takes the
-    rational-certified path instead of failing. *)
+    rational-certified path instead of failing.  This is the only entry
+    point — the untyped [solve_exn] escape hatch is gone, so every
+    caller handles (or consciously converts) the typed failure. *)
 val solve : Mf_core.Instance.t -> (result, error) Stdlib.result
-
-(** [solve_exn inst] is [solve] for callers that treat failure as a
-    program error (tests, examples).
-    @raise Failure on [Error _]. *)
-val solve_exn : Mf_core.Instance.t -> result
 
 (** [solve_exact inst] solves the same LP entirely in exact rational
     arithmetic (no float attempt, no warm start) and returns the optimum

@@ -236,7 +236,11 @@ let lp_gen =
 
 let lp_prop inst =
   let _, optimum = Brute.general inst in
-  let lp = Splitting.solve_exn inst in
+  let lp =
+    match Splitting.solve inst with
+    | Ok r -> r
+    | Error e -> failf "LP failed: %s" (Splitting.describe_error e)
+  in
   check (lp.Splitting.period > 0.0) "LP period %.17g not positive" lp.Splitting.period;
   check
     (lp.Splitting.period <= optimum *. (1.0 +. 1e-9))
@@ -427,11 +431,112 @@ let meta_oracle =
     }
 
 (* ------------------------------------------------------------------ *)
+(* cache: canonical answer-cache hits vs fresh portfolio solves         *)
+(* ------------------------------------------------------------------ *)
+
+module Solver = Mf_solve.Solver
+module Portfolio = Mf_solve.Portfolio
+module Cache = Mf_solve.Cache
+
+let cache_gen =
+  let* inst =
+    Instances.instance ~max_tasks:6 ~max_machines:4 ~machines_cover_types:true
+      ~duplicate_machine:true ()
+  in
+  let* midx = permutation_indices (Instance.machines inst) in
+  let* tidx = permutation_indices (Instance.type_count inst) in
+  return (inst, apply_permutation_indices midx, apply_permutation_indices tidx)
+
+let opt_bits = Option.map Int64.bits_of_float
+
+(* Warm the cache with a near-duplicate (machines permuted, type labels
+   relabeled), then solve the original through the cache: the lookup
+   must hit, and the answer must be bit-for-bit the fresh no-cache
+   solve — same status, same period and bound bits, same mapping, same
+   engine trail — with only the cache_hit flag differing. *)
+let cache_prop (inst, mperm, tperm) =
+  let n = Instance.task_count inst and m = Instance.machines inst in
+  let wf = Instance.workflow inst in
+  let permute row =
+    let out = Array.make m 0.0 in
+    Array.iteri (fun u v -> out.(v) <- row.(u)) mperm;
+    out
+  in
+  let inst' =
+    Instance.create
+      ~workflow:
+        (Workflow.in_forest
+           ~types:(Array.init n (fun i -> tperm.(Workflow.ttype wf i)))
+           ~successor:(Array.init n (Workflow.successor wf)))
+      ~machines:m
+      ~w:(Array.map permute (w_matrix inst))
+      ~f:(Array.map permute (f_matrix inst))
+  in
+  let req i = Solver.request ~budget:(Solver.Nodes 100_000) i in
+  let cache = Cache.create () in
+  let warm = Portfolio.solve ~cache (req inst') in
+  check (not warm.Solver.stats.Solver.cache_hit) "warm-up solve reported a cache hit";
+  let cached = Portfolio.solve ~cache (req inst) in
+  let fresh = Portfolio.solve (req inst) in
+  check cached.Solver.stats.Solver.cache_hit
+    "near-duplicate warm-up did not make the original hit the cache";
+  let s = Cache.stats cache in
+  check
+    (s.Cache.hits = 1 && s.Cache.misses = 1)
+    "cache counters: %d hits / %d misses, expected 1 / 1" s.Cache.hits s.Cache.misses;
+  check (cached.Solver.status = fresh.Solver.status) "cached status differs from fresh";
+  check
+    (opt_bits cached.Solver.period = opt_bits fresh.Solver.period)
+    "cached period not bit-identical to fresh";
+  check
+    (opt_bits cached.Solver.lower_bound = opt_bits fresh.Solver.lower_bound)
+    "cached lower bound not bit-identical to fresh";
+  check
+    (Option.map Mapping.to_array cached.Solver.mapping
+    = Option.map Mapping.to_array fresh.Solver.mapping)
+    "cached mapping differs from fresh";
+  check (cached.Solver.engines = fresh.Solver.engines) "cached engine trail differs";
+  check
+    ({ cached.Solver.stats with Solver.cache_hit = false } = fresh.Solver.stats)
+    "cached stats differ from fresh beyond the cache_hit flag";
+  (* and the mapped-back answer must actually be a valid mapping of the
+     original instance achieving the reported period (1e-9 relative, the
+     Dfs convention: its incremental evaluation can sit 1 ulp off the
+     from-scratch period) *)
+  match (cached.Solver.mapping, cached.Solver.period) with
+  | Some mp, Some p ->
+    check
+      (rel_close (Period.period inst mp) p)
+      "cached mapping's period %h does not match reported %h" (Period.period inst mp) p
+  | _ -> ()
+
+let cache_oracle =
+  Oracle
+    {
+      name = "cache";
+      description =
+        "answer-cache hits across machine permutations and type relabelings are \
+         bit-identical to fresh portfolio solves";
+      quick_cases = 60;
+      gen = cache_gen;
+      prop = prop_of cache_prop;
+      print = (fun (i, _, _) -> Instances.print_instance i);
+    }
+
+(* ------------------------------------------------------------------ *)
 (* Matrix plumbing                                                      *)
 (* ------------------------------------------------------------------ *)
 
 let all =
-  [ eval_oracle; heuristics_oracle; exact_oracle; lp_oracle; sim_oracle; meta_oracle ]
+  [
+    eval_oracle;
+    heuristics_oracle;
+    exact_oracle;
+    lp_oracle;
+    sim_oracle;
+    meta_oracle;
+    cache_oracle;
+  ]
 
 let find n = List.find_opt (fun o -> name o = n) all
 

@@ -22,7 +22,12 @@
       under fixed seeds);
     - [metamorphic] — machine-permutation invariance (bit-exact, plus
       {!Mf_exact.Symmetry.machine_classes} consistency), power-of-two
-      workload scaling (bit-exact), and failure-rate monotonicity. *)
+      workload scaling (bit-exact), and failure-rate monotonicity;
+    - [cache] — warming the {!Mf_solve.Cache} with a near-duplicate
+      instance (machines permuted, type labels relabeled) makes the
+      original request hit, and the mapped-back cached answer is
+      bit-identical to a fresh no-cache {!Mf_solve.Portfolio} solve
+      (status, period bits, bound bits, mapping, engine trail). *)
 
 type outcome = {
   oracle : string;

@@ -1,0 +1,48 @@
+module Lru = Mf_structures.Lru.Make (struct
+  type t = string
+
+  let equal = String.equal
+  let hash = Hashtbl.hash
+end)
+
+type entry = {
+  status : Solver.status;
+  period : float option;
+  alloc : int array option;
+  lower_bound : float option;
+  engines : Solver.engine_id list;
+  stats : Solver.stats;
+}
+
+type t = entry Lru.t
+
+let default_capacity = 4096
+let create ?(capacity = default_capacity) () = Lru.create ~capacity
+
+let request_key (canon : Mf_core.Canon.t) (req : Solver.request) =
+  (* %h renders floats exactly (hex), so setup never aliases under
+     formatting; the canonical key already pins the instance bits *)
+  Printf.sprintf "%s|rule=%s|seed=%d|setup=%h|budget=%s|cert=%b" canon.Mf_core.Canon.key
+    (Mf_core.Mapping.rule_name req.Solver.rule)
+    req.Solver.seed req.Solver.setup
+    (Solver.budget_repr req.Solver.budget)
+    req.Solver.want_certificate
+
+let find = Lru.find
+let add = Lru.add
+let clear = Lru.clear
+
+type stats = { hits : int; misses : int; evictions : int; length : int; capacity : int }
+
+let stats c =
+  {
+    hits = Lru.hits c;
+    misses = Lru.misses c;
+    evictions = Lru.evictions c;
+    length = Lru.length c;
+    capacity = Lru.capacity c;
+  }
+
+let hit_rate c =
+  let h = Lru.hits c and m = Lru.misses c in
+  if h + m = 0 then 0.0 else float_of_int h /. float_of_int (h + m)

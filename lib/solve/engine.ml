@@ -1,0 +1,169 @@
+module Instance = Mf_core.Instance
+module Mapping = Mf_core.Mapping
+module Period = Mf_core.Period
+module Registry = Mf_heuristics.Registry
+module Splitting = Mf_lp.Splitting
+module Dfs = Mf_exact.Dfs
+open Solver
+
+let infeasible engine =
+  {
+    status = Infeasible;
+    period = None;
+    mapping = None;
+    lower_bound = None;
+    engines = [ engine ];
+    stats = zero_stats;
+  }
+
+(* Best single-machine mapping: the general-rule fallback when no
+   specialized heuristic applies (m < p).  Mirrors the seed used inside
+   Dfs.general. *)
+let best_single_machine (req : request) =
+  let inst = req.instance in
+  let n = Instance.task_count inst and m = Instance.machines inst in
+  let best = ref None in
+  for u = 0 to m - 1 do
+    let mp = Mapping.of_array inst (Array.make n u) in
+    let p = score req mp in
+    match !best with
+    | Some (_, bp) when bp <= p -> ()
+    | _ -> best := Some (mp, p)
+  done;
+  (Option.get !best, m)
+
+let heuristics (req : request) =
+  let inst = req.instance in
+  if not (feasible req.rule inst) then infeasible Heuristics
+  else
+    let (mp, p), runs =
+      match req.rule with
+      | Mapping.Specialized ->
+        (Registry.best ~seed:req.seed inst, List.length Registry.all)
+      | Mapping.General ->
+        if Instance.machines inst >= Instance.type_count inst then
+          let mp, _ = Registry.best ~seed:req.seed inst in
+          (* re-score: the registry reports the raw period, the general
+             objective may carry a setup penalty *)
+          ((mp, score req mp), List.length Registry.all)
+        else best_single_machine req
+      | Mapping.One_to_one ->
+        let mp = Dfs.greedy_one_to_one inst in
+        ((mp, score req mp), 1)
+    in
+    {
+      status = Feasible infinity;
+      period = Some p;
+      mapping = Some mp;
+      lower_bound = None;
+      engines = [ Heuristics ];
+      stats = { zero_stats with heuristic_runs = runs };
+    }
+
+let certified_lower_bound (r : Splitting.result) =
+  let margin = match r.Splitting.path with `Rational -> 1e-9 | `Float -> 1e-6 in
+  r.Splitting.period *. (1.0 -. margin)
+
+let lp_stats (r : Splitting.result) =
+  let s = r.Splitting.stats in
+  {
+    zero_stats with
+    lp_pivots = s.Mf_lp.Mip.float_iterations + s.Mf_lp.Mip.exact_iterations;
+    lp_path =
+      (match r.Splitting.path with `Float -> Float_path | `Rational -> Rational_path);
+  }
+
+let lp (req : request) =
+  let inst = req.instance in
+  match Splitting.solve inst with
+  | Error _ -> infeasible Lp
+  | Ok r -> (
+    let lb = certified_lower_bound r in
+    let stats = lp_stats r in
+    let bound_only =
+      {
+        status = Bound_only lb;
+        period = None;
+        mapping = None;
+        lower_bound = Some lb;
+        engines = [ Lp ];
+        stats;
+      }
+    in
+    match req.rule with
+    | Mapping.One_to_one -> bound_only
+    | Mapping.Specialized | Mapping.General -> (
+      match Splitting.round inst r with
+      | Error _ -> bound_only
+      | Ok (mp, _) ->
+        (* the rounded mapping is specialized, hence pays no setup under
+           the general rule either; still score through the request for
+           one uniform convention *)
+        let p = score req mp in
+        let status = if p <= lb then Optimal else Feasible ((p -. lb) /. lb) in
+        {
+          status;
+          period = Some p;
+          mapping = Some mp;
+          lower_bound = Some lb;
+          engines = [ Lp ];
+          stats;
+        }))
+
+let exact ?lower_bound ?incumbent (req : request) =
+  let inst = req.instance in
+  if not (feasible req.rule inst) then infeasible Exact
+  else
+    let node_budget = node_allowance req.budget in
+    let r =
+      Dfs.solve ?node_budget ~setup:req.setup ?lower_bound ?incumbent ~rule:req.rule inst
+    in
+    let status =
+      if r.Dfs.optimal then Optimal
+      else
+        match lower_bound with
+        | Some lb when lb > 0.0 -> Feasible ((r.Dfs.period -. lb) /. lb)
+        | _ -> Budget_exhausted
+    in
+    {
+      status;
+      period = Some r.Dfs.period;
+      mapping = Some r.Dfs.mapping;
+      lower_bound;
+      engines = [ Exact ];
+      stats = { zero_stats with exact_nodes = r.Dfs.nodes };
+    }
+
+let brute (req : request) =
+  let inst = req.instance in
+  if not (feasible req.rule inst) then infeasible Brute
+  else
+    let mp, p =
+      match req.rule with
+      | Mapping.Specialized -> Mf_exact.Brute.specialized inst
+      | Mapping.General -> Mf_exact.Brute.general ~setup:req.setup inst
+      | Mapping.One_to_one -> Mf_exact.Brute.one_to_one inst
+    in
+    {
+      status = Optimal;
+      period = Some p;
+      mapping = Some mp;
+      lower_bound = Some p;
+      engines = [ Brute ];
+      stats = zero_stats;
+    }
+
+(* Cost model: fixed node-equivalent prices (calibrated once against
+   BENCH_exact/BENCH_lp, never measured at runtime — determinism). *)
+
+let pivot_node_cost = 50
+
+let heuristic_cost inst =
+  (* every registry heuristic is O(n * m)-ish; the whole stage costs
+     about one n*m sweep per heuristic *)
+  (List.length Registry.all * Instance.task_count inst * Instance.machines inst) + 1
+
+let lp_cost_estimate inst =
+  (* the splitting LP has n*m + m + 1-ish columns and typically
+     converges in a small multiple of (n + m) pivots *)
+  4 * (Instance.task_count inst + Instance.machines inst) * pivot_node_cost

@@ -1,0 +1,66 @@
+(** Engine adapters: each existing solving stack wrapped behind the
+    uniform {!Solver.request} → {!Solver.outcome} interface.
+
+    Every adapter is total — rule-infeasible instances come back as
+    [Infeasible] outcomes, LP failures as typed statuses — and
+    deterministic for a fixed request (see the contract in {!Solver}). *)
+
+(** Best mapping from the heuristic stack under the request's rule:
+
+    - [Specialized]: best over the whole {!Mf_heuristics.Registry}
+      (requires [m >= p]);
+    - [General]: the registry best when [m >= p], otherwise the best
+      single-machine mapping (always feasible), scored with the
+      request's setup penalty;
+    - [One_to_one]: the injective greedy seed
+      {!Mf_exact.Dfs.greedy_one_to_one} (requires [m >= n]).
+
+    Status is always [Feasible infinity] (no certified bound) or
+    [Infeasible]. *)
+val heuristics : Solver.request -> Solver.outcome
+
+(** Divisible-workload splitting LP: a certified lower bound for every
+    rule, shaved by a relative margin (see {!certified_lower_bound}),
+    plus — for the specialized and general rules — the rounded feasible
+    mapping when rounding succeeds.  Statuses: [Optimal] when the
+    rounded period meets the shaved bound, [Feasible gap] when rounding
+    succeeds, [Bound_only] under one-to-one (rounding does not apply)
+    or when rounding fails ([m < p]), [Infeasible] when the LP is. *)
+val lp : Solver.request -> Solver.outcome
+
+(** Exact branch-and-bound ({!Mf_exact.Dfs.solve}).  The request budget
+    maps to the node budget through {!Solver.node_allowance}
+    ([Unlimited] uses the Dfs default of 20 million nodes).
+    [lower_bound] and [incumbent] are threaded through to the search —
+    the portfolio's shared-incumbent hooks. *)
+val exact :
+  ?lower_bound:float ->
+  ?incumbent:Mf_core.Mapping.t * float ->
+  Solver.request ->
+  Solver.outcome
+
+(** Exhaustive enumeration ({!Mf_exact.Brute}) — [Optimal] or
+    [Infeasible], never budgeted.  Ground truth for tiny instances. *)
+val brute : Solver.request -> Solver.outcome
+
+(** [certified_lower_bound r] shaves one relative margin off the LP
+    optimum — [1e-9] on the rational-certified path, [1e-6] on the
+    float path — so the returned value errs low and stays a certificate
+    even when the simplex optimum sits a hair above the true infimum. *)
+val certified_lower_bound : Mf_lp.Splitting.result -> float
+
+(** {1 Deterministic cost model}
+
+    Node-equivalent prices the portfolio uses to budget its stages
+    (fixed constants — see the calibration note in {!Solver}). *)
+
+(** Node-equivalents one simplex pivot costs. *)
+val pivot_node_cost : int
+
+(** [heuristic_cost inst] prices the whole heuristic stage. *)
+val heuristic_cost : Mf_core.Instance.t -> int
+
+(** [lp_cost_estimate inst] prices an LP solve {e before} running it
+    (the usual pivot count is a small multiple of [n + m]); the
+    portfolio charges actual pivots afterwards. *)
+val lp_cost_estimate : Mf_core.Instance.t -> int

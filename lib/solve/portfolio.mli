@@ -1,0 +1,32 @@
+(** The anytime portfolio: heuristics → certified LP bound → exact
+    branch-and-bound, chained through a shared incumbent, over a
+    canonical-instance answer cache.
+
+    {b Staging.}  For a feasible request the portfolio always runs the
+    heuristic stage (cheap, yields the first incumbent), then decides
+    the LP stage by budget: it runs when the remaining node-equivalent
+    allowance exceeds {!Engine.lp_cost_estimate} — or unconditionally
+    when [want_certificate] is set.  The LP contributes a certified
+    (shaved) lower bound and, when rounding succeeds and improves the
+    incumbent, a better mapping.  If the incumbent already meets the
+    bound the answer is [Optimal] with no search at all.  Otherwise the
+    exact stage receives the {e remaining} allowance as its node budget
+    together with the incumbent and the bound, and the best answer at
+    exhaustion is returned with an honest status ([Feasible gap] when a
+    bound exists, [Budget_exhausted] when not).
+
+    {b Determinism.}  Every stage decision is made against the
+    deterministic node-equivalent ledger (never the wall clock), so a
+    fixed request always produces the same outcome — see {!Solver}.
+
+    {b Cache.}  With [?cache] the portfolio solves in canonical space
+    and keys the answer by {!Cache.request_key}; a hit returns the
+    stored answer mapped back through the inverse machine permutation,
+    bit-for-bit equal to a fresh solve except for the [cache_hit] flag.
+    Misses are stored after solving, so near-duplicate request storms
+    (machine permutations, type relabelings of the same instance) hit
+    after the first representative. *)
+
+(** [solve ?cache req] — see above.  Infeasible rules return
+    [Infeasible] without touching any engine or the cache. *)
+val solve : ?cache:Cache.t -> Solver.request -> Solver.outcome

@@ -1,0 +1,102 @@
+module Instance = Mf_core.Instance
+module Mapping = Mf_core.Mapping
+module Period = Mf_core.Period
+
+type budget = Unlimited | Deadline_ms of float | Nodes of int
+
+type request = {
+  instance : Instance.t;
+  rule : Mapping.rule;
+  seed : int;
+  budget : budget;
+  want_certificate : bool;
+  setup : float;
+}
+
+let request ?(rule = Mapping.Specialized) ?(seed = Mf_heuristics.Registry.default_seed)
+    ?(budget = Unlimited) ?(want_certificate = false) ?(setup = 0.0) instance =
+  (match budget with
+  | Unlimited -> ()
+  | Deadline_ms d ->
+    if not (d > 0.0) then invalid_arg "Solver.request: deadline must be positive"
+  | Nodes k -> if k < 1 then invalid_arg "Solver.request: node budget must be >= 1");
+  if setup < 0.0 then invalid_arg "Solver.request: setup must be non-negative";
+  { instance; rule; seed; budget; want_certificate; setup }
+
+type status =
+  | Optimal
+  | Feasible of float
+  | Bound_only of float
+  | Infeasible
+  | Budget_exhausted
+
+type engine_id = Heuristics | Lp | Exact | Brute
+type lp_path = No_lp | Float_path | Rational_path
+
+type stats = {
+  heuristic_runs : int;
+  lp_pivots : int;
+  lp_path : lp_path;
+  exact_nodes : int;
+  cache_hit : bool;
+}
+
+type outcome = {
+  status : status;
+  period : float option;
+  mapping : Mapping.t option;
+  lower_bound : float option;
+  engines : engine_id list;
+  stats : stats;
+}
+
+let zero_stats =
+  { heuristic_runs = 0; lp_pivots = 0; lp_path = No_lp; exact_nodes = 0; cache_hit = false }
+
+let score req mp =
+  if req.rule = Mapping.General && req.setup > 0.0 then
+    Period.with_setup req.instance mp ~setup:req.setup
+  else Period.period req.instance mp
+
+let feasible rule inst =
+  match (rule : Mapping.rule) with
+  | Mapping.Specialized -> Instance.machines inst >= Instance.type_count inst
+  | Mapping.One_to_one -> Instance.machines inst >= Instance.task_count inst
+  | Mapping.General -> true
+
+(* Calibration: one node-equivalent is one branch-and-bound node of the
+   allocation-free [Dfs] hot path (~0.5 us on the reference machine, see
+   BENCH_exact.json).  Deliberately a fixed constant, never a runtime
+   measurement — deadlines must map to the same engine budgets on every
+   run for outcomes to replay bit-for-bit. *)
+let nodes_per_ms = 2000.0
+
+let node_allowance = function
+  | Unlimited -> None
+  | Deadline_ms d ->
+    (* ceil so that any positive deadline grants at least one node *)
+    Some (max 1 (int_of_float (ceil (d *. nodes_per_ms))))
+  | Nodes k -> Some k
+
+let budget_repr = function
+  | Unlimited -> "U"
+  | Deadline_ms d -> Printf.sprintf "D%h" d
+  | Nodes k -> Printf.sprintf "N%d" k
+
+let status_to_string = function
+  | Optimal -> "optimal"
+  | Feasible gap -> Printf.sprintf "feasible (gap <= %.3g%%)" (100.0 *. gap)
+  | Bound_only lb -> Printf.sprintf "bound-only (>= %.6g)" lb
+  | Infeasible -> "infeasible"
+  | Budget_exhausted -> "budget-exhausted"
+
+let engine_name = function
+  | Heuristics -> "heuristics"
+  | Lp -> "lp"
+  | Exact -> "exact"
+  | Brute -> "brute"
+
+let lp_path_name = function
+  | No_lp -> "none"
+  | Float_path -> "float"
+  | Rational_path -> "rational"

@@ -1,0 +1,125 @@
+(** The unified solver interface: one typed request, one typed outcome,
+    for every engine of the stack (heuristic registry, splitting LP,
+    exact branch-and-bound, brute force) and for the {!Portfolio} that
+    chains them.
+
+    {b Determinism contract.}  Every engine adapter and the portfolio
+    are pure functions of the request: same instance, rule, seed, budget
+    and flags — same outcome, bit for bit, on any machine.  This is why
+    a {!budget} deadline is {e not} enforced by the wall clock: it is
+    mapped through fixed calibration constants onto the engines' own
+    deterministic budgets (branch-and-bound node budgets, simplex pivot
+    counts), so a request under a deadline still replays exactly.  The
+    same property is what makes the canonical answer cache sound — a
+    cache hit must be indistinguishable from a fresh solve. *)
+
+(** How much work the solver may spend.
+
+    [Deadline_ms d] is translated into node-equivalents via
+    {!nodes_per_ms} (a fixed, deterministic calibration — intentionally
+    not a wall-clock measurement); [Nodes k] budgets the exact search
+    directly. *)
+type budget = Unlimited | Deadline_ms of float | Nodes of int
+
+type request = {
+  instance : Mf_core.Instance.t;
+  rule : Mf_core.Mapping.rule;  (** default [Specialized] *)
+  seed : int;  (** threaded to every randomized component (H1); default 0 *)
+  budget : budget;  (** default [Unlimited] *)
+  want_certificate : bool;
+      (** demand a certified lower bound: the LP stage becomes mandatory
+          (even when the budget heuristically says to skip it) and
+          optimality/gap claims are made only against certified bounds;
+          default false *)
+  setup : float;  (** reconfiguration time per type switch (general rule); default 0 *)
+}
+
+(** [request inst] builds a request with the defaults above.
+    @raise Invalid_argument on a non-positive deadline or node budget,
+    or negative [setup]. *)
+val request :
+  ?rule:Mf_core.Mapping.rule ->
+  ?seed:int ->
+  ?budget:budget ->
+  ?want_certificate:bool ->
+  ?setup:float ->
+  Mf_core.Instance.t ->
+  request
+
+(** What the solver established.
+
+    - [Optimal]: the mapping is proved optimal (search space exhausted,
+      or the incumbent met a certified lower bound).
+    - [Feasible gap]: a mapping plus a certified lower bound, not proved
+      optimal; [gap = (period - bound) / bound >= 0].
+    - [Bound_only b]: a certified lower bound [b] but no feasible
+      mapping from this engine (e.g. the LP under the one-to-one rule,
+      where rounding does not apply).
+    - [Infeasible]: no mapping satisfies the rule ([m < p] specialized,
+      [m < n] one-to-one), or the engine's LP was infeasible.
+    - [Budget_exhausted]: the budget ran out with no certified lower
+      bound to gap against; [period]/[mapping] still carry the best
+      anytime answer when one exists. *)
+type status =
+  | Optimal
+  | Feasible of float
+  | Bound_only of float
+  | Infeasible
+  | Budget_exhausted
+
+type engine_id = Heuristics | Lp | Exact | Brute
+
+(** Which simplex path produced the LP bound, if the LP ran. *)
+type lp_path = No_lp | Float_path | Rational_path
+
+(** Deterministic work counters (no wall-clock entries — outcomes must
+    replay bit-for-bit).  [cache_hit] is provenance, not work: it is the
+    only field a cache hit changes relative to the fresh solve. *)
+type stats = {
+  heuristic_runs : int;
+  lp_pivots : int;
+  lp_path : lp_path;
+  exact_nodes : int;
+  cache_hit : bool;
+}
+
+type outcome = {
+  status : status;
+  period : float option;  (** achieved period of [mapping], when one exists *)
+  mapping : Mf_core.Mapping.t option;
+  lower_bound : float option;  (** certified lower bound, when one was computed *)
+  engines : engine_id list;  (** stages executed, in execution order *)
+  stats : stats;
+}
+
+val zero_stats : stats
+
+(** [score request mp] evaluates a mapping under the request's
+    objective: {!Mf_core.Period.with_setup} for the general rule with
+    positive setup, the plain period otherwise. *)
+val score : request -> Mf_core.Mapping.t -> float
+
+(** [feasible rule inst] tells whether any mapping satisfies [rule]. *)
+val feasible : Mf_core.Mapping.rule -> Mf_core.Instance.t -> bool
+
+(** {1 Deadline calibration}
+
+    Fixed constants translating wall-clock deadlines into the engines'
+    deterministic budgets.  One {e node-equivalent} is one
+    branch-and-bound node of the allocation-free [Dfs] hot path. *)
+
+(** Node-equivalents granted per millisecond of deadline. *)
+val nodes_per_ms : float
+
+(** [node_allowance budget] is the total node-equivalent allowance;
+    [None] means unlimited. *)
+val node_allowance : budget -> int option
+
+(** Stable textual form of a budget, part of the answer-cache key. *)
+val budget_repr : budget -> string
+
+(** {1 Rendering} *)
+
+val status_to_string : status -> string
+val engine_name : engine_id -> string
+val lp_path_name : lp_path -> string

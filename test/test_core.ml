@@ -381,6 +381,138 @@ let test_io_roundtrip_property () =
          f.P.Prop.message
          (Instance_io.to_string f.P.Prop.value))
 
+(* ------------------------------------------------------------------ *)
+(* Canon: canonical instance form                                      *)
+(* ------------------------------------------------------------------ *)
+
+module Canon = Mf_core.Canon
+
+(* Hand-checkable unit case: permuting machines and relabeling types
+   leaves the canonical key unchanged, and the inverse permutations
+   round-trip allocations. *)
+let test_canon_unit () =
+  let w = [| [| 4.0; 2.0 |]; [| 1.0; 3.0 |]; [| 4.0; 2.0 |] |] in
+  let f = [| [| 0.0; 0.125 |]; [| 0.0625; 0.0 |]; [| 0.0; 0.0 |] |] in
+  let workflow =
+    Workflow.in_forest ~types:[| 1; 0; 1 |] ~successor:[| Some 2; Some 2; None |]
+  in
+  let inst = Instance.create ~workflow ~machines:2 ~w ~f in
+  let swap row = [| row.(1); row.(0) |] in
+  let workflow' =
+    (* relabel types by the swap 0 <-> 1 *)
+    Workflow.in_forest ~types:[| 0; 1; 0 |] ~successor:[| Some 2; Some 2; None |]
+  in
+  let inst' =
+    Instance.create ~workflow:workflow' ~machines:2 ~w:(Array.map swap w)
+      ~f:(Array.map swap f)
+  in
+  Alcotest.(check string) "keys equal" (Canon.key inst) (Canon.key inst');
+  let c = Canon.canonicalize inst in
+  Alcotest.(check string) "key field agrees" (Canon.key inst) c.Canon.key;
+  (* canonicalization is idempotent: the canonical instance is its own
+     canonical form *)
+  Alcotest.(check string) "idempotent" c.Canon.key (Canon.key c.Canon.instance);
+  (* of_canon / to_canon are mutually inverse *)
+  let m = Instance.machines inst in
+  for u = 0 to m - 1 do
+    Alcotest.(check int) "to(of(c)) = c" u c.Canon.to_canon.(c.Canon.of_canon.(u));
+    Alcotest.(check int) "of(to(u)) = u" u c.Canon.of_canon.(c.Canon.to_canon.(u))
+  done;
+  let alloc = [| 0; 1; 1 |] in
+  Alcotest.(check (array int)) "map round-trip" alloc
+    (Canon.map_from_canon c (Canon.map_to_canon c alloc))
+
+(* Property: the key is invariant under any machine permutation composed
+   with any type relabeling, and a mapping pushed through to_canon
+   achieves the same period (bit-for-bit) on the canonical instance. *)
+let test_canon_invariance_property () =
+  let module P = Mf_proptest in
+  let gen =
+    let open P.Gen in
+    let* inst =
+      P.Instances.instance ~max_tasks:8 ~max_machines:5 ~duplicate_machine:true ()
+    in
+    let* mp = P.Instances.allocation inst in
+    let* midx = permutation_indices (Instance.machines inst) in
+    let* tidx = permutation_indices (Instance.type_count inst) in
+    return (inst, mp, apply_permutation_indices midx, apply_permutation_indices tidx)
+  in
+  let report =
+    P.Prop.check ~count:300 ~name:"canon-invariance" ~seed:1303 gen
+      (fun (inst, mp, mperm, tperm) ->
+        let n = Instance.task_count inst and m = Instance.machines inst in
+        let wf = Instance.workflow inst in
+        let permute row =
+          let out = Array.make m 0.0 in
+          Array.iteri (fun u v -> out.(v) <- row.(u)) mperm;
+          out
+        in
+        let variant =
+          Instance.create
+            ~workflow:
+              (Workflow.in_forest
+                 ~types:(Array.init n (fun i -> tperm.(Workflow.ttype wf i)))
+                 ~successor:(Array.init n (Workflow.successor wf)))
+            ~machines:m
+            ~w:(Array.init n (fun i -> permute (Array.init m (Instance.w inst i))))
+            ~f:(Array.init n (fun i -> permute (Array.init m (Instance.f inst i))))
+        in
+        if Canon.key variant <> Canon.key inst then
+          Error "canonical key not invariant under machine permutation + type relabeling"
+        else
+          let c = Canon.canonicalize inst in
+          let p = Period.period inst mp in
+          let p_canon =
+            Period.period c.Canon.instance
+              (Mapping.of_array c.Canon.instance
+                 (Canon.map_to_canon c (Mapping.to_array mp)))
+          in
+          if p_canon <> p then
+            Error
+              (Printf.sprintf "period not preserved into the canonical frame: %h vs %h"
+                 p_canon p)
+          else Ok ())
+  in
+  match report.P.Prop.failure with
+  | None -> ()
+  | Some f ->
+    let inst, _, _, _ = f.P.Prop.value in
+    Alcotest.fail
+      (Printf.sprintf "canon invariance failed (seed %d): %s\n%s" f.P.Prop.case_seed
+         f.P.Prop.message (P.Instances.print_instance inst))
+
+(* The canonical machine order groups symmetry classes contiguously:
+   Symmetry.machine_classes on the canonical instance always points at a
+   contiguous run of bit-identical columns. *)
+let test_canon_classes_contiguous () =
+  let module P = Mf_proptest in
+  let report =
+    P.Prop.check ~count:300 ~name:"canon-classes" ~seed:1404
+      (P.Instances.instance ~max_tasks:8 ~max_machines:5 ~duplicate_machine:true ())
+      (fun inst ->
+        let c = Canon.canonicalize inst in
+        let classes = Mf_exact.Symmetry.machine_classes c.Canon.instance in
+        let m = Instance.machines c.Canon.instance in
+        let ok = ref (Ok ()) in
+        for u = 1 to m - 1 do
+          (* each machine either continues the previous machine's class
+             or opens a fresh one rooted at itself *)
+          if classes.(u) <> classes.(u - 1) && classes.(u) <> u then
+            ok :=
+              Error
+                (Printf.sprintf "class of canonical machine %d is %d: not contiguous" u
+                   classes.(u))
+        done;
+        !ok)
+  in
+  match report.P.Prop.failure with
+  | None -> ()
+  | Some f ->
+    Alcotest.fail
+      (Printf.sprintf "canon classes failed (seed %d): %s\n%s" f.P.Prop.case_seed
+         f.P.Prop.message
+         (P.Instances.print_instance f.P.Prop.value))
+
 (* Malformed input comes back as a typed error with a usable line
    number — not as an exception. *)
 let test_io_typed_errors () =
@@ -517,6 +649,12 @@ let () =
           Alcotest.test_case "comments" `Quick test_io_comments_and_blank_lines;
           Alcotest.test_case "roundtrip property" `Quick test_io_roundtrip_property;
           Alcotest.test_case "typed errors" `Quick test_io_typed_errors;
+        ] );
+      ( "canon",
+        [
+          Alcotest.test_case "unit round-trip" `Quick test_canon_unit;
+          Alcotest.test_case "key invariance (300)" `Quick test_canon_invariance_property;
+          Alcotest.test_case "classes contiguous (300)" `Quick test_canon_classes_contiguous;
         ] );
       ( "props",
         List.map QCheck_alcotest.to_alcotest

@@ -286,7 +286,11 @@ let prop_splitting_lp_below_general_exact =
   QCheck.Test.make ~name:"exact: splitting LP <= general optimum <= specialized optimum"
     ~count:40 arb_small_setup (fun (seed, n, p, m) ->
       let inst = chain_instance ~seed ~n ~p ~m () in
-      let lp = (Mf_lp.Splitting.solve_exn inst).Mf_lp.Splitting.period in
+      let lp =
+        match Mf_lp.Splitting.solve inst with
+        | Ok r -> r.Mf_lp.Splitting.period
+        | Error e -> failwith (Mf_lp.Splitting.describe_error e)
+      in
       let general = (Dfs.general inst).Dfs.period in
       let special = (Dfs.specialized inst).Dfs.period in
       lp <= general *. (1.0 +. 1e-6) && general <= special *. (1.0 +. 1e-6))

@@ -115,12 +115,53 @@ let test_registry_names () =
       | Some h' -> Alcotest.(check string) "roundtrip" (Registry.name h) (Registry.name h')
       | None -> Alcotest.fail "name roundtrip failed")
     Registry.all;
+  (* of_name is the exact inverse of name over the whole registry — by
+     construction now (of_name searches [all] by [name]), pinned here *)
+  List.iter
+    (fun h ->
+      Alcotest.(check bool)
+        (Printf.sprintf "of_name (name %s) = %s" (Registry.name h) (Registry.name h))
+        true
+        (Registry.of_name (Registry.name h) = Some h);
+      Alcotest.(check bool) "lowercase accepted" true
+        (Registry.of_name (String.lowercase_ascii (Registry.name h)) = Some h);
+      Alcotest.(check bool) "whitespace trimmed" true
+        (Registry.of_name (" " ^ Registry.name h ^ " ") = Some h))
+    Registry.all;
   Alcotest.(check bool) "unknown name" true (Registry.of_name "nope" = None);
   Alcotest.(check bool) "case-insensitive" true (Registry.of_name "h4W" = Some Registry.H4w);
   List.iter
     (fun h ->
       Alcotest.(check bool) "described" true (String.length (Registry.description h) > 0))
     Registry.all
+
+(* best threads one seed uniformly: it equals the explicit minimum over
+   per-heuristic solves with that same seed, mapping included. *)
+let test_best_threads_seed_uniformly () =
+  let inst = make_instance ~n:15 ~p:3 ~m:6 () in
+  List.iter
+    (fun seed ->
+      let mp, p = Registry.best ~seed inst in
+      let expected_mp, expected_p =
+        List.fold_left
+          (fun (bmp, bp) h ->
+            let mp = Registry.solve ~seed h inst in
+            let p = Period.period inst mp in
+            if p < bp then (mp, p) else (bmp, bp))
+          (mp, infinity) Registry.all
+      in
+      Alcotest.(check bool)
+        (Printf.sprintf "best period is the min (seed %d): %h vs %h" seed p expected_p)
+        true (p = expected_p);
+      Alcotest.(check (array int))
+        (Printf.sprintf "best mapping achieves it (seed %d)" seed)
+        (Mapping.to_array expected_mp) (Mapping.to_array mp))
+    [ 0; 1; 42 ];
+  (* default seed is the documented constant *)
+  let d, _ = Registry.best inst in
+  let e, _ = Registry.best ~seed:Registry.default_seed inst in
+  Alcotest.(check (array int)) "default seed = default_seed" (Mapping.to_array e)
+    (Mapping.to_array d)
 
 let test_h1_deterministic_given_seed () =
   let inst = make_instance ~n:15 ~p:3 ~m:6 () in
@@ -406,6 +447,7 @@ let () =
         [
           Alcotest.test_case "valid mappings" `Quick test_all_heuristics_produce_specialized_mappings;
           Alcotest.test_case "registry" `Quick test_registry_names;
+          Alcotest.test_case "best threads seed" `Quick test_best_threads_seed_uniformly;
           Alcotest.test_case "H1 determinism" `Quick test_h1_deterministic_given_seed;
           Alcotest.test_case "below upper bound" `Quick test_heuristics_not_worse_than_upper_bound;
           Alcotest.test_case "binary search scale invariance" `Quick

@@ -301,10 +301,17 @@ let test_micro_mip_build_shape () =
 
 module Splitting = Mf_lp.Splitting
 
+(* Unwrap the typed result; a failure is a test failure with the typed
+   diagnostic (the untyped [solve_exn] escape hatch no longer exists). *)
+let splitting_solve inst =
+  match Splitting.solve inst with
+  | Ok r -> r
+  | Error e -> Alcotest.failf "Splitting.solve failed: %s" (Splitting.describe_error e)
+
 let test_splitting_lower_bound () =
   for seed = 1 to 8 do
     let inst = Gen.chain (Rng.create seed) (Gen.default ~tasks:5 ~types:2 ~machines:3) in
-    let r = Splitting.solve_exn inst in
+    let r = splitting_solve inst in
     let _, opt = Mf_exact.Brute.specialized inst in
     Alcotest.(check bool)
       (Printf.sprintf "LP %.2f <= exact %.2f (seed %d)" r.Splitting.period opt seed)
@@ -315,14 +322,14 @@ let test_splitting_lower_bound () =
 let test_splitting_single_machine_exact () =
   (* With one machine the LP and the unique mapping coincide. *)
   let inst = Gen.chain (Rng.create 3) (Gen.default ~tasks:4 ~types:1 ~machines:1) in
-  let r = Splitting.solve_exn inst in
+  let r = splitting_solve inst in
   let mp = Mapping.of_array inst [| 0; 0; 0; 0 |] in
   Alcotest.(check bool) "LP equals single-machine period" true
     (Float.abs (r.Splitting.period -. Period.period inst mp) <= 1e-6 *. r.Splitting.period)
 
 let test_splitting_shares_normalised () =
   let inst = Gen.chain (Rng.create 7) (Gen.default ~tasks:6 ~types:2 ~machines:4) in
-  let r = Splitting.solve_exn inst in
+  let r = splitting_solve inst in
   Array.iteri
     (fun i row ->
       let total = Array.fold_left ( +. ) 0.0 row in
@@ -333,7 +340,7 @@ let test_splitting_shares_normalised () =
 
 let test_splitting_loads_below_period () =
   let inst = Gen.chain (Rng.create 9) (Gen.default ~tasks:6 ~types:2 ~machines:4) in
-  let r = Splitting.solve_exn inst in
+  let r = splitting_solve inst in
   Array.iter
     (fun load ->
       Alcotest.(check bool) "load <= K" true (load <= r.Splitting.period +. 1e-6))
@@ -342,7 +349,7 @@ let test_splitting_loads_below_period () =
 let test_splitting_round_feasible () =
   for seed = 1 to 8 do
     let inst = Gen.chain (Rng.create seed) (Gen.default ~tasks:8 ~types:3 ~machines:4) in
-    let r = Splitting.solve_exn inst in
+    let r = splitting_solve inst in
     let mp, period = Splitting.round_exn inst r in
     Alcotest.(check bool) "specialized" true (Mapping.satisfies inst mp Mapping.Specialized);
     Alcotest.(check bool) "integral period >= LP bound" true

@@ -1,9 +1,16 @@
-(* Tests for mf_structures: Binary_heap, Bitset, Dyn_array, Matrix. *)
+(* Tests for mf_structures: Binary_heap, Bitset, Dyn_array, Matrix, Lru. *)
 
 module Heap = Mf_structures.Binary_heap
 module Bitset = Mf_structures.Bitset
 module Ds = Mf_structures.Dyn_array
 module Matrix = Mf_structures.Matrix
+
+module Lru = Mf_structures.Lru.Make (struct
+  type t = string
+
+  let equal = String.equal
+  let hash = Hashtbl.hash
+end)
 
 (* ------------------------------------------------------------------ *)
 (* Binary_heap                                                         *)
@@ -179,6 +186,93 @@ let test_matrix_copy_isolated () =
   Matrix.set m 0 0 5.0;
   Alcotest.(check (float 0.0)) "copy unaffected" 0.0 (Matrix.get c 0 0)
 
+(* ------------------------------------------------------------------ *)
+(* Lru                                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let test_lru_basic () =
+  let c = Lru.create ~capacity:2 in
+  Alcotest.(check int) "empty" 0 (Lru.length c);
+  Alcotest.(check int) "capacity" 2 (Lru.capacity c);
+  Lru.add c "a" 1;
+  Lru.add c "b" 2;
+  Alcotest.(check (option int)) "find a" (Some 1) (Lru.find c "a");
+  Alcotest.(check (option int)) "find b" (Some 2) (Lru.find c "b");
+  Alcotest.(check (option int)) "find missing" None (Lru.find c "z");
+  Alcotest.(check int) "hits" 2 (Lru.hits c);
+  Alcotest.(check int) "misses" 1 (Lru.misses c)
+
+let test_lru_eviction_order () =
+  let c = Lru.create ~capacity:2 in
+  Lru.add c "a" 1;
+  Lru.add c "b" 2;
+  (* touch a so b becomes least-recently-used *)
+  ignore (Lru.find c "a");
+  Lru.add c "c" 3;
+  Alcotest.(check int) "one eviction" 1 (Lru.evictions c);
+  Alcotest.(check (option int)) "b evicted" None (Lru.find c "b");
+  Alcotest.(check (option int)) "a kept" (Some 1) (Lru.find c "a");
+  Alcotest.(check (option int)) "c kept" (Some 3) (Lru.find c "c");
+  Alcotest.(check (list string)) "mru order" [ "c"; "a" ]
+    (List.map fst (Lru.to_list c))
+
+let test_lru_replace () =
+  let c = Lru.create ~capacity:2 in
+  Lru.add c "a" 1;
+  Lru.add c "b" 2;
+  (* replacing a key must not evict anything *)
+  Lru.add c "a" 10;
+  Alcotest.(check int) "no eviction on replace" 0 (Lru.evictions c);
+  Alcotest.(check int) "length still 2" 2 (Lru.length c);
+  Alcotest.(check (option int)) "new value" (Some 10) (Lru.find c "a");
+  (* the replace promoted a, so b is now the eviction victim *)
+  Lru.add c "c" 3;
+  Alcotest.(check (option int)) "b evicted after replace-promotion" None (Lru.find c "b")
+
+let test_lru_mem_remove_clear () =
+  let c = Lru.create ~capacity:3 in
+  Lru.add c "a" 1;
+  (* mem neither promotes nor counts *)
+  Alcotest.(check bool) "mem" true (Lru.mem c "a");
+  Alcotest.(check int) "mem does not count hits" 0 (Lru.hits c);
+  Lru.remove c "a";
+  Alcotest.(check bool) "removed" false (Lru.mem c "a");
+  Lru.add c "b" 2;
+  ignore (Lru.find c "b");
+  Lru.clear c;
+  Alcotest.(check int) "cleared" 0 (Lru.length c);
+  (* counters survive clear: they describe the cache's lifetime *)
+  Alcotest.(check int) "hits survive clear" 1 (Lru.hits c)
+
+let test_lru_capacity_validation () =
+  Alcotest.check_raises "capacity 0" (Invalid_argument "Lru.create: capacity must be >= 1")
+    (fun () -> ignore (Lru.create ~capacity:0))
+
+(* Against a naive association-list model over random op sequences. *)
+let prop_lru_model =
+  QCheck.Test.make ~count:300 ~name:"lru: matches a naive model"
+    QCheck.(list (pair (int_bound 7) small_int))
+    (fun ops ->
+      let capacity = 3 in
+      let c = Lru.create ~capacity in
+      (* model: MRU-first assoc list, truncated at capacity *)
+      let model = ref [] in
+      List.iter
+        (fun (k, v) ->
+          let key = string_of_int k in
+          Lru.add c key v;
+          let rest = List.remove_assoc key !model in
+          let rest =
+            if List.mem_assoc key !model then rest
+            else if List.length rest >= capacity then
+              List.filteri (fun i _ -> i < capacity - 1) rest
+            else rest
+          in
+          model := (key, v) :: rest)
+        ops;
+      List.map fst (Lru.to_list c) = List.map fst !model
+      && List.for_all (fun (k, v) -> Lru.find c k = Some v) !model)
+
 let () =
   Alcotest.run "mf_structures"
     [
@@ -205,6 +299,15 @@ let () =
           Alcotest.test_case "conversions" `Quick test_dyn_array_conversions;
         ] );
       ("dyn_array-props", List.map QCheck_alcotest.to_alcotest [ prop_dyn_array_push_to_array ]);
+      ( "lru",
+        [
+          Alcotest.test_case "basic" `Quick test_lru_basic;
+          Alcotest.test_case "eviction order" `Quick test_lru_eviction_order;
+          Alcotest.test_case "replace" `Quick test_lru_replace;
+          Alcotest.test_case "mem/remove/clear" `Quick test_lru_mem_remove_clear;
+          Alcotest.test_case "capacity validation" `Quick test_lru_capacity_validation;
+        ] );
+      ("lru-props", List.map QCheck_alcotest.to_alcotest [ prop_lru_model ]);
       ( "matrix",
         [
           Alcotest.test_case "basic" `Quick test_matrix_basic;
