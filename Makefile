@@ -3,7 +3,7 @@
 # (see DESIGN.md §5), so there is no fmt target.
 
 .PHONY: all build test verify bench bench-quick bench-exact bench-lp \
-  bench-solve clean fuzz fuzz-quick fuzz-replay
+  bench-solve bench-parallel clean fuzz fuzz-quick fuzz-replay
 
 all: build
 
@@ -15,7 +15,9 @@ test:
 
 # Gate: build + tests, then the parallel-determinism check — the same
 # experiment grid at --jobs 1 and --jobs 4 must produce byte-identical CSV —
-# and the two differential suites under timeouts so a regression that blows
+# the pool stress suite (shutdown-while-busy, concurrent/nested map_array,
+# exception-index determinism across chunk sizes) and the differential
+# suites under timeouts so a regression that blows
 # a search or a simplex up fails fast instead of hanging the gate: the exact
 # branch-and-bound one (all pruning rules against brute force) and the LP one
 # (float simplex against the exact-rational solver on 208 in-forest
@@ -25,6 +27,7 @@ verify:
 	dune exec bin/mfopt.exe -- experiment fig6 --replicates 2 --jobs 1 --csv > _build/verify_j1.csv
 	dune exec bin/mfopt.exe -- experiment fig6 --replicates 2 --jobs 4 --csv > _build/verify_j4.csv
 	cmp _build/verify_j1.csv _build/verify_j4.csv
+	timeout 60 dune exec test/test_parallel.exe -- test pool-stress
 	timeout 60 dune exec test/test_exact.exe -- test dfs-differential
 	timeout 60 dune exec test/test_lp.exe -- test lp-differential
 	timeout 60 dune exec test/test_solve.exe -- test portfolio-differential
@@ -71,6 +74,13 @@ bench-exact:
 # combination, plus the fraction of seeds taking the rational fallback.
 bench-lp:
 	dune exec bench/main.exe -- --only none --skip-micro --skip-ablation --skip-eval --skip-parallel --skip-exact --skip-solve
+
+# Parallel-runtime benchmark only (writes BENCH_parallel.json): the
+# fig5-shaped heuristic grid through the work-stealing pool at jobs
+# 1/2/4/8 with the byte-identity assertion.  Always runs; on a 1-core
+# machine the ratios are labelled overhead (speedup is not measurable).
+bench-parallel:
+	dune exec bench/main.exe -- --only none --skip-micro --skip-ablation --skip-eval --skip-exact --skip-lp --skip-solve
 
 # Unified-solver benchmark only (writes BENCH_solve.json): portfolio
 # solves/sec and latency percentiles under a near-duplicate request storm

@@ -178,7 +178,15 @@ let solve_cmd =
       & info [ "inputs-for" ] ~docv:"X"
           ~doc:"Also report the raw products needed to output X finished products.")
   in
-  let run file engine rule setup deadline node_budget certificate x_out seed =
+  let jobs =
+    Arg.(
+      value & opt int 1
+      & info [ "j"; "jobs" ] ~docv:"N"
+          ~doc:
+            "Domains for the exact stage's root subtrees (process-wide shared pool; the \
+             outcome is bit-identical for any N, only wall time changes).")
+  in
+  let run file engine rule setup deadline node_budget certificate x_out jobs seed =
     let inst = Instance_io.read_file file in
     Printf.printf "instance: n=%d p=%d m=%d\n" (Instance.task_count inst)
       (Instance.type_count inst) (Instance.machines inst);
@@ -193,15 +201,22 @@ let solve_cmd =
         | _, Some k -> Solver.Nodes k
         | None, None -> Solver.Unlimited
       in
+      if jobs < 1 then begin
+        prerr_endline "mfopt solve: --jobs must be at least 1";
+        exit 2
+      end;
       let req =
         Solver.request ~rule ~seed ~budget ~want_certificate:certificate ~setup inst
       in
+      let pool =
+        if jobs > 1 then Some (Mf_parallel.Pool.shared ~domains:jobs) else None
+      in
       let out =
         match engine with
-        | `Auto -> Mf_solve.Portfolio.solve req
+        | `Auto -> Mf_solve.Portfolio.solve ?pool req
         | `Heuristics -> Mf_solve.Engine.heuristics req
         | `Lp -> Mf_solve.Engine.lp req
-        | `Exact -> Mf_solve.Engine.exact req
+        | `Exact -> Mf_solve.Engine.exact ?pool req
         | `Brute -> Mf_solve.Engine.brute req
       in
       (match out.Solver.mapping with
@@ -237,7 +252,7 @@ let solve_cmd =
     (Cmd.info "solve" ~doc)
     Term.(
       const run $ instance_arg $ engine $ rule $ setup $ deadline $ node_budget $ certificate
-      $ x_out $ seed_arg)
+      $ x_out $ jobs $ seed_arg)
 
 (* ------------------------------------------------------------------ *)
 (* exact                                                                *)

@@ -758,78 +758,75 @@ let has_repeated_task_profiles inst =
    with Exit -> ());
   !found
 
-(* Root subtrees: machine prefixes for the first two tasks in assignment
-   order (first task only when n = 1), restricted to rule-allowed and
-   symmetry-canonical choices and sorted by (load, index) per level — the
-   same canonical order [expand] branches in.  Splitting two levels deep
-   yields ~m^2 subtrees instead of m, which is what makes parallel root
-   distribution balance: with single-task roots one subtree tends to hold
-   nearly all the nodes.  The list is a pure function of the instance —
-   identical for every --jobs value — and incumbent pruning is deliberately
-   not applied here, so a prunable prefix just dies at its first node.  *)
-let root_prefixes ctx =
+(* Children of a prefix: extend the pinned machine sequence by one level.
+   The candidates for the task at depth [length prefix] are the
+   rule-allowed, symmetry-canonical machine choices, sorted by
+   (load, machine) — the same canonical order [expand] branches in.
+   Incumbent pruning is deliberately not applied, so the child list is a
+   pure function of (instance, prefix) — identical for every --jobs
+   value; a prunable child just dies at its first node.  [child_prefixes]
+   with the empty prefix yields the initial root split; re-splitting
+   exhausted subtrees drives the dynamic redistribution in [solve].
+
+   Never empty when [length prefix < n]: General always admits every
+   machine; Specialized locks at most [type_count - 1 < m] machines to
+   types other than the current one (or the current type's own machine is
+   allowed); One_to_one has used [length prefix < n <= m] machines.  So a
+   split always deepens the pending prefixes — progress is guaranteed. *)
+let child_prefixes ctx prefix =
   let s =
     make_search ctx ~shared:(Atomic.make infinity) ~budget:max_int ~seed_p:infinity
       ~mode:Optimize ~pins:[||]
   in
-  let by_load_then_index (e1, u1) (e2, u2) =
-    let d = Float.compare e1 e2 in
-    if d <> 0 then d else compare u1 u2
-  in
-  let task0 = ctx.order.(0) in
-  let ty0 = Workflow.ttype ctx.wf task0 in
+  let len = Array.length prefix in
+  (* Replay the pinned assignments with the same rule/setup bookkeeping
+     as [child], so candidate enumeration below sees the exact search
+     state this subtree starts from. *)
+  for k = 0 to len - 1 do
+    let task = ctx.order.(k) in
+    let ty = Workflow.ttype ctx.wf task in
+    let u = prefix.(k) in
+    let extra = setup_cost s u ty in
+    (match ctx.rule with
+    | Mapping.Specialized | Mapping.One_to_one -> s.dedicated.(u) <- ty
+    | Mapping.General ->
+      if not (List.mem ty s.hosted.(u)) then s.hosted.(u) <- ty :: s.hosted.(u));
+    State.assign_task_with s.st ~extra ~task ~machine:u
+  done;
+  let task = ctx.order.(len) in
+  let ty = Workflow.ttype ctx.wf task in
+  if ctx.symmetry then begin
+    (* Lowest unused machine of each symmetry class, as [expand] sees it
+       at this depth. *)
+    Array.fill s.class_rep 0 ctx.m (-1);
+    for u = 0 to ctx.m - 1 do
+      if State.tasks_on s.st u = 0 then begin
+        let cl = ctx.classes.(u) in
+        if s.class_rep.(cl) < 0 then s.class_rep.(cl) <- u
+      end
+    done
+  end;
   let skips = ref 0 in
-  let level0 = ref [] in
+  let cands = ref [] in
   for u = ctx.m - 1 downto 0 do
-    if ctx.symmetry && ctx.classes.(u) <> u then incr skips
-    else begin
-      let exec = State.try_assign s.st ~task:task0 ~machine:u in
-      level0 := (exec, u) :: !level0
+    if rule_allows s u ty then begin
+      if ctx.symmetry && State.tasks_on s.st u = 0 && s.class_rep.(ctx.classes.(u)) <> u then
+        incr skips
+      else begin
+        let extra = setup_cost s u ty in
+        let exec = State.try_assign_with s.st ~extra ~task ~machine:u in
+        cands := (exec, u) :: !cands
+      end
     end
   done;
-  let level0 = List.sort by_load_then_index !level0 in
-  if ctx.n < 2 then (Array.of_list (List.map (fun (_, u) -> [| u |]) level0), !skips)
-  else begin
-    let task1 = ctx.order.(1) in
-    let ty1 = Workflow.ttype ctx.wf task1 in
-    let prefixes = ref [] in
-    List.iter
-      (fun (_, u0) ->
-        (match ctx.rule with
-        | Mapping.Specialized | Mapping.One_to_one -> s.dedicated.(u0) <- ty0
-        | Mapping.General ->
-          if not (List.mem ty0 s.hosted.(u0)) then s.hosted.(u0) <- ty0 :: s.hosted.(u0));
-        State.assign_task s.st ~task:task0 ~machine:u0;
-        (* Lowest unused machine of each symmetry class, as [expand] sees
-           it one level down. *)
-        Array.fill s.class_rep 0 ctx.m (-1);
-        for u = 0 to ctx.m - 1 do
-          if State.tasks_on s.st u = 0 then begin
-            let cl = ctx.classes.(u) in
-            if s.class_rep.(cl) < 0 then s.class_rep.(cl) <- u
-          end
-        done;
-        let level1 = ref [] in
-        for u = ctx.m - 1 downto 0 do
-          if rule_allows s u ty1 then begin
-            if ctx.symmetry && State.tasks_on s.st u = 0 && s.class_rep.(ctx.classes.(u)) <> u
-            then incr skips
-            else begin
-              let extra = setup_cost s u ty1 in
-              let exec = State.try_assign_with s.st ~extra ~task:task1 ~machine:u in
-              level1 := (exec, u) :: !level1
-            end
-          end
-        done;
-        List.iter
-          (fun (_, u1) -> prefixes := [| u0; u1 |] :: !prefixes)
-          (List.sort by_load_then_index !level1);
-        State.undo s.st;
-        s.dedicated.(u0) <- -1;
-        s.hosted.(u0) <- [])
-      level0;
-    (Array.of_list (List.rev !prefixes), !skips)
-  end
+  let sorted =
+    List.sort
+      (fun (e1, u1) (e2, u2) ->
+        let d = Float.compare e1 e2 in
+        if d <> 0 then d else compare u1 u2)
+      !cands
+  in
+  (Array.of_list (List.map (fun (_, u) -> Array.append prefix [| u |]) sorted), !skips)
 
 type sub_result = {
   r_best_p : float;
@@ -874,8 +871,13 @@ let certify ctx ~p_star ~budget =
   expand s 0;
   (s.local_best, s.nodes)
 
-let solve ?(node_budget = 20_000_000) ?(setup = 0.0) ?(jobs = 1) ?dominance ?(symmetry = true)
-    ?lower_bound ?incumbent ~rule inst =
+(* Pending prefixes are capped so a pathological split cascade cannot
+   build an unbounded frontier: once the cap is reached, exhausted
+   subtrees re-run undivided (the pre-split behaviour). *)
+let pending_cap = 4096
+
+let solve ?(node_budget = 20_000_000) ?(setup = 0.0) ?(jobs = 1) ?pool ?dominance
+    ?(symmetry = true) ?lower_bound ?incumbent ~rule inst =
   if setup < 0.0 then invalid_arg "Dfs.solve: negative setup time";
   if jobs < 1 then invalid_arg "Dfs.solve: jobs must be >= 1";
   check_rule_feasible rule inst;
@@ -909,8 +911,7 @@ let solve ?(node_budget = 20_000_000) ?(setup = 0.0) ?(jobs = 1) ?dominance ?(sy
   if met_bound seed_p then
     { mapping = seed_mp; period = seed_p; optimal = true; nodes = 0; stats = zero_stats }
   else begin
-  let roots, root_skips = root_prefixes ctx in
-  let nroots = Array.length roots in
+  let roots, root_skips = child_prefixes ctx [||] in
   (* Each subtree searches against its own incumbent cell seeded from the
      deterministic best so far, so every run is a pure function of
      (instance, prefix, incumbent, budget) — node counts, prune counters
@@ -918,12 +919,13 @@ let solve ?(node_budget = 20_000_000) ?(setup = 0.0) ?(jobs = 1) ?dominance ?(sy
      not just the period.  Cross-subtree incumbent sharing is recovered
      between rounds: the budget not consumed by subtrees that close is
      redistributed over the exhausted ones, which restart with the
-     tightened incumbent.  The round structure itself only depends on
-     deterministic aggregates, so it too is --jobs-independent. *)
-  let results : sub_result option array = Array.make nroots None in
-  (* Nodes of attempts discarded by a re-run round: real explored work,
-     kept in the totals. *)
-  let discarded = ref 0 in
+     tightened incumbent.  Exhausted subtrees are additionally {e split}
+     into their children ([child_prefixes]) before the next round —
+     dynamic redistribution, replacing the old fixed depth-2 root split —
+     so an unbalanced tree sheds its heavy subtree into finer pieces that
+     spread across domains.  Splits depend only on the deterministic
+     (exhausted?, canonical order) data of the previous round, so the
+     round structure too is --jobs-independent. *)
   let best_p = ref seed_p in
   (* Incumbent allocation and its subtree-local node stamp, maintained
      monotonically with [best_p] across rounds.  A re-run of an exhausted
@@ -932,28 +934,45 @@ let solve ?(node_budget = 20_000_000) ?(setup = 0.0) ?(jobs = 1) ?dominance ?(sy
      improvements — which always carry one — may overwrite the pair. *)
   let best_alloc = ref None in
   let best_at = ref 0 in
+  (* Every explored node is counted the moment its round finishes —
+     including work a later re-run or split supersedes: it was real
+     exploration and stays charged against the budget. *)
+  let nodes = ref 0
+  and bound_prunes = ref 0
+  and dom_prunes = ref 0
+  and dom_states = ref 0
+  and sym_skips = ref root_skips
+  and subtrees = ref (Array.length roots) in
   let budget_left = ref node_budget in
-  let pending = ref (List.init nroots Fun.id) in
+  let pending = ref (Array.to_list roots) in
   let last_per = ref 0 in
-  let continue_rounds = ref true in
+  let run_round =
+    let on_pool pool prefixes ~f = Pool.map_array ~chunk:1 pool ~f prefixes in
+    match pool with
+    | Some pool -> on_pool pool
+    | None ->
+      if jobs = 1 then fun prefixes ~f -> Array.map f prefixes
+      else on_pool (Pool.shared ~domains:jobs)
+  in
+  let continue_rounds = ref (!pending <> []) in
   while !continue_rounds do
     let np = List.length !pending in
     let per = max 1 (!budget_left / np) in
     last_per := per;
     let seed_round = !best_p in
-    let idxs = Array.of_list !pending in
-    let run i =
-      (i, run_subtree ctx ~shared:(Atomic.make seed_round) ~budget:per ~seed_p:seed_round roots.(i))
-    in
+    let prefixes = Array.of_list !pending in
     let round =
-      if jobs = 1 then Array.map run idxs
-      else Pool.with_pool ~domains:jobs (fun pool -> Pool.map_array ~chunk:1 pool ~f:run idxs)
+      run_round prefixes ~f:(fun prefix ->
+          run_subtree ctx ~shared:(Atomic.make seed_round) ~budget:per ~seed_p:seed_round prefix)
     in
     Array.iter
-      (fun (i, r) ->
-        (match results.(i) with Some prev -> discarded := !discarded + prev.r_nodes | None -> ());
-        results.(i) <- Some r;
+      (fun r ->
         budget_left := !budget_left - r.r_nodes;
+        nodes := !nodes + r.r_nodes;
+        bound_prunes := !bound_prunes + r.r_bound;
+        dom_prunes := !dom_prunes + r.r_dom;
+        dom_states := !dom_states + r.r_dom_states;
+        sym_skips := !sym_skips + r.r_sym;
         if r.r_best_p < !best_p then
           match r.r_alloc with
           | Some _ as a ->
@@ -963,34 +982,52 @@ let solve ?(node_budget = 20_000_000) ?(setup = 0.0) ?(jobs = 1) ?dominance ?(sy
           | None -> ())
       round;
     let still =
-      List.filter
-        (fun i -> match results.(i) with Some r -> r.r_exhausted | None -> true)
-        !pending
+      List.filteri (fun i _ -> round.(i).r_exhausted) (Array.to_list prefixes)
     in
+    (* Split exhausted subtrees into their children, newest at the same
+       canonical position their parent held, under [pending_cap].  The
+       cap check counts the children plus every unprocessed entry, so the
+       decision sequence is a pure function of the (ordered) exhausted
+       list — deterministic, hence --jobs-independent. *)
+    let split_happened = ref false in
+    let next = ref [] in
+    (* reversed *)
+    let emitted = ref 0 in
+    List.iteri
+      (fun i prefix ->
+        let remaining_after = List.length still - i - 1 in
+        let len = Array.length prefix in
+        if len < ctx.n && !budget_left > 0 then begin
+          let children, skips = child_prefixes ctx prefix in
+          let nc = Array.length children in
+          if !emitted + nc + remaining_after <= pending_cap then begin
+            split_happened := true;
+            sym_skips := !sym_skips + skips;
+            subtrees := !subtrees + nc;
+            emitted := !emitted + nc;
+            Array.iter (fun c -> next := c :: !next) children
+          end
+          else begin
+            emitted := !emitted + 1;
+            next := prefix :: !next
+          end
+        end
+        else begin
+          emitted := !emitted + 1;
+          next := prefix :: !next
+        end)
+      still;
+    let still = List.rev !next in
     pending := still;
-    (* Re-run only while the redistributed slice actually grows; the
-       budget spent on a discarded attempt stays charged. *)
+    (* Re-run while the partition got finer or the redistributed slice
+       actually grows; the budget spent on a superseded attempt stays
+       charged. *)
     continue_rounds :=
-      still <> [] && !budget_left > 0 && max 1 (!budget_left / List.length still) > !last_per
+      still <> [] && !budget_left > 0
+      && (!split_happened || max 1 (!budget_left / List.length still) > !last_per)
   done;
-  let nodes = ref !discarded
-  and bound_prunes = ref 0
-  and dom_prunes = ref 0
-  and dom_states = ref 0
-  and sym_skips = ref root_skips
-  and exhausted = ref false in
-  Array.iter
-    (fun ro ->
-      let r = match ro with Some r -> r | None -> assert false in
-      nodes := !nodes + r.r_nodes;
-      bound_prunes := !bound_prunes + r.r_bound;
-      dom_prunes := !dom_prunes + r.r_dom;
-      dom_states := !dom_states + r.r_dom_states;
-      sym_skips := !sym_skips + r.r_sym;
-      if r.r_exhausted then exhausted := true)
-    results;
   let p_star = !best_p in
-  let optimal = not !exhausted in
+  let optimal = !pending = [] in
   let certify_nodes = ref 0 in
   let mapping, period =
     if p_star >= seed_p then (seed_mp, seed_p)
@@ -1029,15 +1066,17 @@ let solve ?(node_budget = 20_000_000) ?(setup = 0.0) ?(jobs = 1) ?dominance ?(sy
         dominance_states = !dom_states;
         symmetry_skips = !sym_skips;
         best_at_node = !best_at;
-        root_subtrees = nroots;
+        root_subtrees = !subtrees;
         certify_nodes = !certify_nodes;
       };
   }
   end
 
-let specialized ?node_budget ?jobs inst = solve ?node_budget ?jobs ~rule:Mapping.Specialized inst
+let specialized ?node_budget ?jobs ?pool inst =
+  solve ?node_budget ?jobs ?pool ~rule:Mapping.Specialized inst
 
-let general ?node_budget ?setup ?jobs inst =
-  solve ?node_budget ?setup ?jobs ~rule:Mapping.General inst
+let general ?node_budget ?setup ?jobs ?pool inst =
+  solve ?node_budget ?setup ?jobs ?pool ~rule:Mapping.General inst
 
-let one_to_one ?node_budget ?jobs inst = solve ?node_budget ?jobs ~rule:Mapping.One_to_one inst
+let one_to_one ?node_budget ?jobs ?pool inst =
+  solve ?node_budget ?jobs ?pool ~rule:Mapping.One_to_one inst

@@ -23,13 +23,21 @@
       columns (see {!Reduction.machine_classes}) are interchangeable, so
       only the lowest-index unused member of each class is branched on.
 
-    The root level is always split into one subtree per (canonical)
-    machine of the first task, each with a jobs-independent node budget;
-    with [jobs > 1] the subtrees run on a {!Mf_parallel.Pool} sharing the
-    incumbent through an atomic.  The optimal {e value} is independent of
-    the schedule, and the reported {e mapping} is re-derived by a serial
-    canonical reconstruction pass, so results for any [--jobs] agree with
-    the serial run bit-for-bit whenever the search proves optimality.
+    The root level is split into one subtree per (canonical) machine of
+    the first task, each with a jobs-independent node budget; with
+    [jobs > 1] (or an external [pool]) the subtrees run on a
+    {!Mf_parallel.Pool}.  Subtrees that exhaust their slice are {e split
+    into their children} and re-run with the redistributed budget —
+    dynamic redistribution, so an unbalanced tree sheds its heavy subtree
+    into finer pieces that spread across domains.  Split decisions and
+    per-subtree budgets depend only on deterministic aggregates of the
+    previous round, and each subtree searches against its own incumbent
+    seeded from the deterministic round start, so node counts, prune
+    counters and the exhaustion flag — not just the period — are
+    bit-identical for every [--jobs] value.  The reported {e mapping} is
+    re-derived by a serial canonical reconstruction pass, so results for
+    any [--jobs] agree with the serial run bit-for-bit whenever the
+    search proves optimality.
 
     Like the paper's MIP runs — which "with more than 15 tasks ... is not
     able to find solutions anymore" — the search carries a node budget;
@@ -45,7 +53,9 @@ type stats = {
   best_at_node : int;
       (** node count (within its root subtree) when the winning incumbent
           was found; 0 when the heuristic seed was never improved *)
-  root_subtrees : int;  (** number of root-level subtrees *)
+  root_subtrees : int;
+      (** total subtrees spawned over all rounds: the initial root split
+          plus every child emitted by dynamic re-splitting *)
   certify_nodes : int;
       (** nodes spent by the serial mapping-reconstruction pass, counted
           separately from [nodes] (which measures the optimization search
@@ -61,11 +71,15 @@ type result = {
   stats : stats;
 }
 
-(** [solve ?node_budget ?setup ?jobs ?dominance ?symmetry ~rule inst]
+(** [solve ?node_budget ?setup ?jobs ?pool ?dominance ?symmetry ~rule inst]
     solves the mapping problem exactly under any of the paper's three
     rules (default budget: 20 million nodes, split evenly over the root
-    subtrees).  [jobs] (default 1) runs the root subtrees on that many
-    domains; [symmetry] (default true) and [dominance] toggle the
+    subtrees).  [jobs] (default 1) runs the root subtrees on the
+    process-wide {!Mf_parallel.Pool.shared} pool of that many domains —
+    amortized across solves, no domain spawn/join per call; [pool] runs
+    them on that external pool instead (the portfolio and the bench
+    thread one through), ignoring [jobs].  [symmetry] (default true) and
+    [dominance] toggle the
     corresponding pruning rules, for ablation.  [dominance] defaults to
     {e auto}: on exactly when two same-type tasks share a bit-identical
     failure row — the necessary condition for frontier signatures to
@@ -99,6 +113,7 @@ val solve :
   ?node_budget:int ->
   ?setup:float ->
   ?jobs:int ->
+  ?pool:Mf_parallel.Pool.t ->
   ?dominance:bool ->
   ?symmetry:bool ->
   ?lower_bound:float ->
@@ -127,8 +142,9 @@ val solve_static :
     @raise Invalid_argument when [m < n]. *)
 val greedy_one_to_one : Mf_core.Instance.t -> Mf_core.Mapping.t
 
-(** [specialized ?node_budget ?jobs inst] is [solve ~rule:Specialized]. *)
-val specialized : ?node_budget:int -> ?jobs:int -> Mf_core.Instance.t -> result
+(** [specialized ?node_budget ?jobs ?pool inst] is [solve ~rule:Specialized]. *)
+val specialized :
+  ?node_budget:int -> ?jobs:int -> ?pool:Mf_parallel.Pool.t -> Mf_core.Instance.t -> result
 
 (** [general ?node_budget ?setup ?jobs inst] is [solve ~rule:General].
     With [setup > 0], a machine hosting [k >= 2] distinct task {e types}
@@ -139,7 +155,14 @@ val specialized : ?node_budget:int -> ?jobs:int -> Mf_core.Instance.t -> result
     general mappings.  Unlike the other rules, [m >= p] is {e not}
     required: when the specialized heuristics cannot seed the incumbent,
     the best single-machine mapping does. *)
-val general : ?node_budget:int -> ?setup:float -> ?jobs:int -> Mf_core.Instance.t -> result
+val general :
+  ?node_budget:int ->
+  ?setup:float ->
+  ?jobs:int ->
+  ?pool:Mf_parallel.Pool.t ->
+  Mf_core.Instance.t ->
+  result
 
-(** [one_to_one ?node_budget ?jobs inst] is [solve ~rule:One_to_one]. *)
-val one_to_one : ?node_budget:int -> ?jobs:int -> Mf_core.Instance.t -> result
+(** [one_to_one ?node_budget ?jobs ?pool inst] is [solve ~rule:One_to_one]. *)
+val one_to_one :
+  ?node_budget:int -> ?jobs:int -> ?pool:Mf_parallel.Pool.t -> Mf_core.Instance.t -> result

@@ -89,28 +89,41 @@ let derive_seed ~id ~x ~rep =
   acc := absorb !acc (Int64.of_int rep);
   Int64.to_int (Int64.logand !acc 0x3FFFFFFFFFFFFFFFL)
 
-let run ~id ~title ~x_label ?(notes = []) ?(jobs = 1) ~xs ~replicates ~gen ~algos () =
+let run ~id ~title ~x_label ?(notes = []) ?(jobs = 1) ?pool ?chunk ~xs ~replicates ~gen ~algos ()
+    =
   let algos = Array.of_list algos in
   let n_algos = Array.length algos in
-  Mf_parallel.Pool.with_pool ~domains:jobs @@ fun pool ->
+  let xs_arr = Array.of_list xs in
+  let nx = Array.length xs_arr in
+  (* One unit of work per (x, replicate) pair of the whole grid — not per
+     (algorithm, replicate) of one point: the instance is generated once
+     and solved by every algorithm in registration order, and fanning the
+     entire grid out in a single batch gives the pool coarse chunks to
+     amortise synchronisation over.  Each unit is a pure function of
+     (id, x, rep), and results are placed by index, so the figure is
+     identical for any jobs and chunk value. *)
+  let solve_unit k =
+    let xi = k / replicates and rep = k mod replicates in
+    let x = xs_arr.(xi) in
+    let seed = derive_seed ~id ~x ~rep in
+    let inst = gen ~x ~seed in
+    Array.map (fun algo -> algo.solve inst ~seed) algos
+  in
+  let units = Array.init (nx * replicates) Fun.id in
+  let slots =
+    match pool with
+    | Some pool -> Mf_parallel.Pool.map_array ?chunk pool units ~f:solve_unit
+    | None ->
+      if jobs <= 1 then Array.map solve_unit units
+      else
+        Mf_parallel.Pool.map_array ?chunk (Mf_parallel.Pool.shared ~domains:jobs) units
+          ~f:solve_unit
+  in
   let points =
-    List.map
-      (fun x ->
-        (* One unit of work per (algorithm, replicate) cell of the grid.
-           Each unit rederives its seed and regenerates its instance, so it
-           is a pure function of (id, x, rep) and the results — placed by
-           index — are identical for any pool size. *)
-        let units = Array.init (n_algos * replicates) Fun.id in
-        let slots =
-          Mf_parallel.Pool.map_array pool units ~f:(fun k ->
-              let rep = k mod replicates in
-              let seed = derive_seed ~id ~x ~rep in
-              let inst = gen ~x ~seed in
-              algos.(k / replicates).solve inst ~seed)
-        in
+    List.init nx (fun xi ->
         let cells =
           List.init n_algos (fun ai ->
-              let values = Array.sub slots (ai * replicates) replicates in
+              let values = Array.init replicates (fun rep -> slots.((xi * replicates) + rep).(ai)) in
               {
                 label = algos.(ai).label;
                 values;
@@ -119,8 +132,7 @@ let run ~id ~title ~x_label ?(notes = []) ?(jobs = 1) ~xs ~replicates ~gen ~algo
                 trials = replicates;
               })
         in
-        { x; cells })
-      xs
+        { x = xs_arr.(xi); cells })
   in
   { id; title; x_label; points; notes }
 

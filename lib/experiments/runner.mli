@@ -71,19 +71,29 @@ val portfolio : node_budget:int -> algo
     grid.  [gen] receives the x value and a derived seed and must return
     the instance.
 
-    [jobs] (default 1: serial in the calling domain) fans the
-    [replicates x algos] grid of every point out over a
-    {!Mf_parallel.Pool} of that many domains.  Each unit of work derives
-    its own seed from [(id, x, rep)] and regenerates its instance, so the
-    returned figure is {e identical} — same floats, same order — for any
-    [jobs] value; [gen] and the algorithms must be pure functions of their
-    arguments (all of this repository's are). *)
+    The unit of parallel work is one [(x, replicate)] pair: the instance
+    is generated {e once} and solved by every algorithm in registration
+    order (the old per-(algorithm, replicate) fan-out regenerated each
+    instance [algos] times), and the whole grid goes out as a single
+    batch so the pool can amortise synchronisation over coarse chunks.
+    Each unit derives its own seed from [(id, x, rep)], so the returned
+    figure is {e identical} — same floats, same order — for any [jobs],
+    [pool] and [chunk] value; [gen] and the algorithms must be pure
+    functions of their arguments (all of this repository's are).
+
+    [pool] runs the grid on that pool, ignoring [jobs].  Otherwise
+    [jobs] (default 1: serial in the calling domain) runs it on the
+    process-wide {!Mf_parallel.Pool.shared} pool of that many domains —
+    amortized across figures, no spawn/join per call.  [chunk] is passed
+    through to {!Mf_parallel.Pool.map_array}. *)
 val run :
   id:string ->
   title:string ->
   x_label:string ->
   ?notes:string list ->
   ?jobs:int ->
+  ?pool:Mf_parallel.Pool.t ->
+  ?chunk:int ->
   xs:int list ->
   replicates:int ->
   gen:(x:int -> seed:int -> Mf_core.Instance.t) ->

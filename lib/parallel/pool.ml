@@ -1,134 +1,274 @@
-type shared = {
-  mutex : Mutex.t;
-  work_available : Condition.t;
-  queue : (unit -> unit) Queue.t;
-  mutable stop : bool;
+(* Chunked work-stealing executor.  See pool.mli for the contract and
+   DESIGN.md §14 for the architecture rationale.
+
+   A pool of [size] domains is the calling domain plus [size - 1] spawned
+   workers.  Every [map_array] call builds one batch: the input is cut
+   into contiguous chunks, the chunks are pre-placed into [size] strips
+   (one per domain slot - the "per-domain deque"), and each strip carries
+   an atomic cursor.  Taking a chunk - from the own strip or by stealing
+   from another slot's strip - is one CAS on that cursor: lock-free and
+   allocation-free.  The submitting domain does not wait on a latch while
+   others work; it drains chunks like any worker and only blocks once no
+   chunk of its batch is left to claim. *)
+
+type batch = {
+  strip : int array;  (* strip.(d) .. strip.(d+1) - 1: chunk indices owned by slot d *)
+  cursor : int Atomic.t array;  (* next unclaimed chunk of each strip *)
+  run : int -> unit;  (* execute chunk [c]; never raises (wrapped by the submitter) *)
+  remaining : int Atomic.t;  (* chunks not yet finished *)
+  done_mutex : Mutex.t;
+  done_cond : Condition.t;  (* signalled when [remaining] reaches 0 *)
 }
 
-type t =
-  | Serial
-  | Parallel of { shared : shared; workers : unit Domain.t array; mutable alive : bool }
+type t = {
+  size : int;  (* participating domains, the caller included *)
+  mutable workers : unit Domain.t array;  (* [size - 1] spawned domains *)
+  batches : batch list Atomic.t;  (* in-flight batches, newest first *)
+  sleep_mutex : Mutex.t;
+  work_cond : Condition.t;  (* signalled on batch submission and shutdown *)
+  stop : bool Atomic.t;
+  alive : bool Atomic.t;
+}
 
 let default_jobs () = Domain.recommended_domain_count ()
+let domains t = t.size
+let spawned t = Array.length t.workers
 
-(* Workers loop on the queue; jobs are closures that never raise (the
-   submitter wraps user code).  The queue lock is never held while a job
-   runs. *)
-let worker shared =
-  let rec next_job () =
-    if not (Queue.is_empty shared.queue) then Some (Queue.pop shared.queue)
-    else if shared.stop then None
-    else begin
-      Condition.wait shared.work_available shared.mutex;
-      next_job ()
-    end
+(* ---- chunk claiming (the steal path) ------------------------------ *)
+
+(* Claim the next chunk of strip [d]: one CAS, no allocation.  Returns -1
+   when the strip is drained.  The cursor never overshoots [hi] by more
+   than the number of concurrent claimants, and only a successful CAS
+   moves it, so repeated polling of an empty strip is read-only. *)
+let rec claim_strip b d =
+  let c = Atomic.get b.cursor.(d) in
+  if c >= b.strip.(d + 1) then -1
+  else if Atomic.compare_and_set b.cursor.(d) c (c + 1) then c
+  else claim_strip b d
+
+(* One unit of progress for the domain sitting in slot [slot]: first its
+   own strip, then the other slots' strips in cyclic order (the steal).
+   Returns true when a chunk was run. *)
+let try_batch slot b =
+  let nd = Array.length b.cursor in
+  let rec go i =
+    if i >= nd then false
+    else
+      let c = claim_strip b ((slot + i) mod nd) in
+      if c >= 0 then begin
+        b.run c;
+        true
+      end
+      else go (i + 1)
   in
+  go 0
+
+let rec try_batches slot = function
+  | [] -> false
+  | b :: rest -> try_batch slot b || try_batches slot rest
+
+let batch_claimable b =
+  let nd = Array.length b.cursor in
+  let rec go d = d < nd && (Atomic.get b.cursor.(d) < b.strip.(d + 1) || go (d + 1)) in
+  go 0
+
+let claimable t = List.exists batch_claimable (Atomic.get t.batches)
+
+(* ---- workers ------------------------------------------------------ *)
+
+let worker t slot =
   let rec loop () =
-    Mutex.lock shared.mutex;
-    let job = next_job () in
-    Mutex.unlock shared.mutex;
-    match job with
-    | None -> ()
-    | Some job ->
-      job ();
-      loop ()
+    if not (Atomic.get t.stop) then
+      if try_batches slot (Atomic.get t.batches) then loop ()
+      else begin
+        (* Nothing claimable: sleep until a submission.  The re-check
+           happens under the mutex, and submitters broadcast under the
+           same mutex after publishing, so the wakeup cannot be lost. *)
+        Mutex.lock t.sleep_mutex;
+        if (not (Atomic.get t.stop)) && not (claimable t) then
+          Condition.wait t.work_cond t.sleep_mutex;
+        Mutex.unlock t.sleep_mutex;
+        loop ()
+      end
   in
   loop ()
 
+(* ---- lifecycle ---------------------------------------------------- *)
+
 let create ~domains =
   if domains < 1 then invalid_arg "Pool.create: need at least one domain";
-  if domains = 1 then Serial
-  else begin
-    let shared =
-      {
-        mutex = Mutex.create ();
-        work_available = Condition.create ();
-        queue = Queue.create ();
-        stop = false;
-      }
-    in
-    let workers = Array.init domains (fun _ -> Domain.spawn (fun () -> worker shared)) in
-    Parallel { shared; workers; alive = true }
+  let t =
+    {
+      size = domains;
+      workers = [||];
+      batches = Atomic.make [];
+      sleep_mutex = Mutex.create ();
+      work_cond = Condition.create ();
+      stop = Atomic.make false;
+      alive = Atomic.make true;
+    }
+  in
+  (* The caller occupies slot 0; spawned workers take slots 1 .. size-1.
+     domains = 1 spawns nothing and [map_array] degenerates to serial. *)
+  t.workers <- Array.init (domains - 1) (fun i -> Domain.spawn (fun () -> worker t (i + 1)));
+  t
+
+let shutdown t =
+  if Atomic.get t.alive then begin
+    Atomic.set t.alive false;
+    Atomic.set t.stop true;
+    Mutex.lock t.sleep_mutex;
+    Condition.broadcast t.work_cond;
+    Mutex.unlock t.sleep_mutex;
+    Array.iter Domain.join t.workers;
+    t.workers <- [||]
   end
-
-let domains = function Serial -> 1 | Parallel { workers; _ } -> Array.length workers
-
-let shutdown = function
-  | Serial -> ()
-  | Parallel p ->
-    if p.alive then begin
-      p.alive <- false;
-      Mutex.lock p.shared.mutex;
-      p.shared.stop <- true;
-      Condition.broadcast p.shared.work_available;
-      Mutex.unlock p.shared.mutex;
-      Array.iter Domain.join p.workers
-    end
-
-let map_array ?chunk t ~f arr =
-  match t with
-  | Serial -> Array.map f arr
-  | Parallel { alive = false; _ } -> invalid_arg "Pool.map_array: pool has been shut down"
-  | Parallel { shared; workers; _ } ->
-    let n = Array.length arr in
-    if n = 0 then [||]
-    else begin
-      (* Dispatching one queue entry per element makes the mutex traffic
-         dominate on cheap work units (the BENCH_parallel small-grid
-         regression); contiguous chunks amortise it while keeping results
-         slotted by index, so the output stays scheduling-independent. *)
-      let chunk =
-        match chunk with
-        | Some c ->
-          if c < 1 then invalid_arg "Pool.map_array: chunk must be positive" else c
-        | None -> max 1 (n / (8 * Array.length workers))
-      in
-      let nchunks = (n + chunk - 1) / chunk in
-      let results = Array.make n None in
-      (* Completion latch and failure list live under their own lock so
-         finishing workers never contend with the queue. *)
-      let latch_mutex = Mutex.create () in
-      let finished = Condition.create () in
-      let remaining = ref nchunks in
-      let failures = ref [] in
-      let unit_of_work c () =
-        let lo = c * chunk and hi = min n ((c + 1) * chunk) in
-        let local_failures = ref [] in
-        for i = lo to hi - 1 do
-          match f arr.(i) with
-          | v -> results.(i) <- Some v
-          | exception e ->
-            let bt = Printexc.get_raw_backtrace () in
-            local_failures := (i, e, bt) :: !local_failures
-        done;
-        Mutex.lock latch_mutex;
-        failures := List.rev_append !local_failures !failures;
-        decr remaining;
-        if !remaining = 0 then Condition.signal finished;
-        Mutex.unlock latch_mutex
-      in
-      Mutex.lock shared.mutex;
-      for c = 0 to nchunks - 1 do
-        Queue.push (unit_of_work c) shared.queue
-      done;
-      Condition.broadcast shared.work_available;
-      Mutex.unlock shared.mutex;
-      Mutex.lock latch_mutex;
-      while !remaining > 0 do
-        Condition.wait finished latch_mutex
-      done;
-      Mutex.unlock latch_mutex;
-      (* The whole batch has drained; report the smallest failing index so
-         the raised exception is scheduling-independent. *)
-      match List.sort (fun (i, _, _) (j, _, _) -> compare i j) !failures with
-      | (_, e, bt) :: _ -> Printexc.raise_with_backtrace e bt
-      | [] ->
-        Array.map (function Some v -> v | None -> assert false) results
-    end
-
-let map_reduce ?chunk t ~f ~combine ~init arr =
-  Array.fold_left combine init (map_array ?chunk t ~f arr)
 
 let with_pool ~domains f =
   let pool = create ~domains in
   Fun.protect ~finally:(fun () -> shutdown pool) (fun () -> f pool)
+
+(* ---- batch submission --------------------------------------------- *)
+
+let rec push_batch t b =
+  let cur = Atomic.get t.batches in
+  if not (Atomic.compare_and_set t.batches cur (b :: cur)) then push_batch t b
+
+let rec remove_batch t b =
+  let cur = Atomic.get t.batches in
+  let next = List.filter (fun b' -> b' != b) cur in
+  if not (Atomic.compare_and_set t.batches cur next) then remove_batch t b
+
+let map_array ?chunk t ~f arr =
+  if not (Atomic.get t.alive) then invalid_arg "Pool.map_array: pool has been shut down";
+  (match chunk with
+  | Some c when c < 1 -> invalid_arg "Pool.map_array: chunk must be positive"
+  | _ -> ());
+  let n = Array.length arr in
+  if n = 0 then [||]
+  else if t.size = 1 then Array.map f arr
+  else begin
+    (* One queue entry per element makes synchronisation dominate on cheap
+       work units (the sub-1x speedups the old bench measured); contiguous
+       chunks amortise it while keeping results slotted by index, so the
+       output stays scheduling-independent. *)
+    let chunk =
+      match chunk with Some c -> c | None -> max 1 (n / (8 * t.size))
+    in
+    let nchunks = (n + chunk - 1) / chunk in
+    let results = Array.make n None in
+    let failures = ref [] in
+    (* protected by done_mutex *)
+    let remaining = Atomic.make nchunks in
+    let done_mutex = Mutex.create () in
+    let done_cond = Condition.create () in
+    let run c =
+      let lo = c * chunk and hi = min n ((c + 1) * chunk) in
+      let local_failures = ref [] in
+      for i = lo to hi - 1 do
+        match f arr.(i) with
+        | v -> results.(i) <- Some v
+        | exception e ->
+          let bt = Printexc.get_raw_backtrace () in
+          local_failures := (i, e, bt) :: !local_failures
+      done;
+      if !local_failures <> [] then begin
+        Mutex.lock done_mutex;
+        failures := List.rev_append !local_failures !failures;
+        Mutex.unlock done_mutex
+      end;
+      (* The decrement publishes this chunk's result writes (SC atomics):
+         whoever observes remaining = 0 sees every slot filled. *)
+      if Atomic.fetch_and_add remaining (-1) = 1 then begin
+        Mutex.lock done_mutex;
+        Condition.broadcast done_cond;
+        Mutex.unlock done_mutex
+      end
+    in
+    (* Pre-place the chunks into one contiguous strip per domain slot.
+       The submitter owns slot 0 and starts on its own strip; idle workers
+       wake and drain theirs, stealing across strips once done. *)
+    let strip =
+      Array.init (t.size + 1) (fun d -> d * nchunks / t.size)
+    in
+    let b =
+      {
+        strip;
+        cursor = Array.init t.size (fun d -> Atomic.make strip.(d));
+        run;
+        remaining;
+        done_mutex;
+        done_cond;
+      }
+    in
+    push_batch t b;
+    Mutex.lock t.sleep_mutex;
+    Condition.broadcast t.work_cond;
+    Mutex.unlock t.sleep_mutex;
+    (* Caller participation: drain this batch like any worker instead of
+       blocking - [with_pool ~domains:d] therefore uses d cores, not
+       d busy plus one blocked. *)
+    while try_batch 0 b do
+      ()
+    done;
+    (* Every chunk is claimed; wait for thieves still running theirs. *)
+    Mutex.lock done_mutex;
+    while Atomic.get remaining > 0 do
+      Condition.wait done_cond done_mutex
+    done;
+    Mutex.unlock done_mutex;
+    remove_batch t b;
+    (* The whole batch has drained; report the smallest failing index so
+       the raised exception is scheduling-independent. *)
+    match List.sort (fun (i, _, _) (j, _, _) -> compare i j) !failures with
+    | (_, e, bt) :: _ -> Printexc.raise_with_backtrace e bt
+    | [] -> Array.map (function Some v -> v | None -> assert false) results
+  end
+
+let map_reduce ?chunk t ~f ~combine ~init arr =
+  Array.fold_left combine init (map_array ?chunk t ~f arr)
+
+(* ---- long-lived shared pools -------------------------------------- *)
+
+(* One pool per effective size, created on first use and reused for the
+   rest of the process: repeated solves stop paying domain spawn/join.
+   The table lock is taken once per [shared] call, never on work paths.
+
+   [shared] is the policy layer behind every --jobs flag, and it clamps
+   the request to [recommended_domain_count]: domains beyond the
+   physical cores cannot add parallelism, they only add minor-GC
+   stop-the-world handshakes and scheduler churn (measured at 1.3-2.2x
+   *slowdown* on a 1-core host).  Results are unaffected - [map_array]
+   is bit-identical for any domain count - so clamping changes wall
+   time only.  Callers that really want an oversubscribed pool (tests,
+   benchmarks of the machinery itself) use [create], which spawns
+   exactly what was asked. *)
+let shared_mutex = Mutex.create ()
+let shared_pools : (int, t) Hashtbl.t = Hashtbl.create 4
+let cleanup_registered = ref false
+
+let shutdown_shared () =
+  Mutex.lock shared_mutex;
+  let pools = Hashtbl.fold (fun _ p acc -> p :: acc) shared_pools [] in
+  Hashtbl.reset shared_pools;
+  Mutex.unlock shared_mutex;
+  List.iter shutdown pools
+
+let shared ~domains =
+  if domains < 1 then invalid_arg "Pool.shared: need at least one domain";
+  let domains = min domains (default_jobs ()) in
+  Mutex.lock shared_mutex;
+  let pool =
+    match Hashtbl.find_opt shared_pools domains with
+    | Some p when Atomic.get p.alive -> p
+    | _ ->
+      let p = create ~domains in
+      Hashtbl.replace shared_pools domains p;
+      if not !cleanup_registered then begin
+        cleanup_registered := true;
+        at_exit shutdown_shared
+      end;
+      p
+  in
+  Mutex.unlock shared_mutex;
+  pool

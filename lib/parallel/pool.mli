@@ -1,32 +1,39 @@
-(** Fixed-size domain pool for deterministic experiment fan-out.
+(** Chunked work-stealing domain pool for deterministic fan-out.
 
     The pool runs independent units of work on OCaml 5 domains.  It is
     built for the experiment runner's contract: callers split a grid into
     {e indexed} tasks whose results land in a pre-sized array by index, so
     the output of {!map_array} (and anything folded from it with
-    {!map_reduce}) is independent of the number of domains and of the
-    order in which workers drain the queue.  Determinism is the caller's
-    other half of the bargain: each unit of work must be a pure function
-    of its input (in this repository, every unit derives its own PRNG
-    stream from its identity — see [Mf_experiments.Runner.derive_seed]).
+    {!map_reduce}) is independent of the number of domains, of the chunk
+    size, and of the order in which chunks are claimed or stolen.
+    Determinism is the caller's other half of the bargain: each unit of
+    work must be a pure function of its input (in this repository, every
+    unit derives its own PRNG stream from its identity — see
+    [Mf_experiments.Runner.derive_seed]).
 
-    Architecture: [create ~domains:d] spawns [d] worker domains blocked on
-    a mutex/condition work queue ([d = 1] spawns none and runs everything
-    in the calling domain — forced serial).  {!map_array} pushes one
-    closure per element, wakes the workers, and blocks the submitting
-    domain until the per-call completion latch reaches zero.  Worker
-    domains never hold the queue lock while running user code.
+    Architecture (DESIGN.md §14): a pool of [domains = d] is the {e
+    calling domain plus d - 1 spawned workers} ([d = 1] spawns none —
+    forced serial).  {!map_array} cuts the input into contiguous chunks,
+    pre-places them into one strip per domain, and publishes the batch;
+    each strip has an atomic cursor, so claiming a chunk — from the own
+    strip or by stealing from another domain's — is a single CAS, with no
+    allocation and no lock on the steal path.  The submitting domain
+    participates: it drains chunks like any worker and only blocks once
+    every chunk of its batch has been claimed, so [with_pool ~domains:d]
+    uses [d] cores, not [d] busy plus one blocked.
 
-    Exceptions raised by units of work are caught on the worker, recorded
-    with their index, and re-raised in the submitting domain after the
-    whole batch has drained (so the pool is left clean); when several
-    units fail, the one with the {e smallest index} wins — again
+    Exceptions raised by units of work are caught where they run,
+    recorded with their index, and re-raised in the submitting domain
+    after the whole batch has drained (so the pool is left clean); when
+    several units fail, the one with the {e smallest index} wins — again
     independent of scheduling.
 
-    Calls must not be nested: a unit of work must not itself call
-    {!map_array} on the same pool (the submitting domain does not help
-    drain the queue, so nested submission can deadlock once all workers
-    block on inner batches). *)
+    Nested {!map_array} on the same pool is safe: the submitter can
+    always drain its own batch itself, so an inner call makes progress
+    even when every other domain is busy (at worst it degenerates to
+    serial execution of the inner batch).  Concurrent {!map_array} calls
+    from different domains are also safe; idle domains steal across all
+    in-flight batches. *)
 
 type t
 
@@ -34,14 +41,20 @@ type t
     default for [--jobs] flags. *)
 val default_jobs : unit -> int
 
-(** [create ~domains] makes a pool of [domains] workers.  [domains = 1]
-    is the forced-serial pool: no domain is spawned and all work runs in
-    the calling domain.
+(** [create ~domains] makes a pool of [domains] participating domains:
+    the caller plus [domains - 1] spawned workers.  [domains = 1] is the
+    forced-serial pool: no domain is spawned and all work runs in the
+    calling domain.
     @raise Invalid_argument if [domains < 1]. *)
 val create : domains:int -> t
 
-(** [domains t] is the worker count the pool was created with. *)
+(** [domains t] is the participating-domain count the pool was created
+    with (caller included). *)
 val domains : t -> int
+
+(** [spawned t] is the number of worker domains actually spawned:
+    [domains t - 1], or [0] after {!shutdown}. *)
+val spawned : t -> int
 
 (** [map_array ?chunk t ~f arr] is [Array.map f arr], computed on the pool.
     Results are written into a pre-sized array by index, so the result is
@@ -49,12 +62,12 @@ val domains : t -> int
     [f arr.(i)] raises, the batch still drains completely and the
     exception of the smallest failing index is re-raised here.
 
-    Elements are dispatched to workers in contiguous chunks of [chunk]
-    elements (default [max 1 (length arr / (8 * domains))]) so that cheap
-    work units do not pay one mutex round-trip each — the cause of the
-    sub-1x speedups the bench measured on small grids.  Pass [~chunk:1]
-    when units are few and individually heavy (e.g. exact-search root
-    subtrees) so they spread across all domains.
+    Elements are dispatched in contiguous chunks of [chunk] elements
+    (default [max 1 (length arr / (8 * domains))]) so that cheap work
+    units do not pay one synchronisation round-trip each — the cause of
+    the sub-1x speedups the bench measured on small grids.  Pass
+    [~chunk:1] when units are few and individually heavy (e.g.
+    exact-search root subtrees) so they spread across all domains.
     @raise Invalid_argument if the pool has been shut down or
     [chunk < 1]. *)
 val map_array : ?chunk:int -> t -> f:('a -> 'b) -> 'a array -> 'b array
@@ -66,11 +79,35 @@ val map_array : ?chunk:int -> t -> f:('a -> 'b) -> 'a array -> 'b array
 val map_reduce :
   ?chunk:int -> t -> f:('a -> 'b) -> combine:('acc -> 'b -> 'acc) -> init:'acc -> 'a array -> 'acc
 
-(** [shutdown t] drains nothing: it asks the workers to exit once the
-    queue is empty and joins them.  Idempotent; the pool is unusable
-    afterwards. *)
+(** [shutdown t] asks the spawned workers to exit and joins them.
+    Safe while batches are in flight: the submitting domain of any
+    in-flight batch can always finish the batch itself.  Idempotent; the
+    pool rejects new {!map_array} calls afterwards. *)
 val shutdown : t -> unit
 
 (** [with_pool ~domains f] runs [f] on a fresh pool and shuts it down on
     the way out, whether [f] returns or raises. *)
 val with_pool : domains:int -> (t -> 'a) -> 'a
+
+(** [shared ~domains] returns a process-wide long-lived pool, creating
+    it on first use.  Repeated solves and experiment runs reuse it
+    instead of paying domain spawn/join per call (the old
+    [with_pool]-per-solve lifecycle).
+
+    [shared] is the policy layer behind the [--jobs] flags, and it
+    clamps [domains] to {!default_jobs}: domains beyond the physical
+    cores cannot add parallelism, only minor-GC handshake and scheduler
+    overhead, so on a 1-core host [shared ~domains:4] is the serial
+    pool.  Results never depend on the clamp — {!map_array} is
+    bit-identical for any domain count — only wall time does.  Use
+    {!create} to get an exactly-sized (possibly oversubscribed) pool.
+
+    Shared pools are shut down automatically at process exit; calling
+    {!shutdown} on one earlier is allowed, and the next [shared] call
+    replaces it.
+    @raise Invalid_argument if [domains < 1]. *)
+val shared : domains:int -> t
+
+(** [shutdown_shared ()] shuts down every pool created by {!shared}.
+    Mostly for tests; normal code relies on the [at_exit] hook. *)
+val shutdown_shared : unit -> unit

@@ -524,6 +524,84 @@ let cache_oracle =
     }
 
 (* ------------------------------------------------------------------ *)
+(* pool: map_array = serial map for every (jobs, chunk), exceptions     *)
+(* included                                                             *)
+(* ------------------------------------------------------------------ *)
+
+module Mpool = Mf_parallel.Pool
+
+exception Pool_boom of int
+
+(* Pools are created once per size and cached for the whole run, so the
+   matrix exercises batch submission and stealing — not domain
+   spawn/join churn.  [Mpool.create] (not [shared]) on purpose: [shared]
+   clamps to the physical core count, and on a 1-core CI host that would
+   quietly reduce every case to the serial fast path, fuzzing nothing. *)
+let pool_cache : (int, Mpool.t) Hashtbl.t = Hashtbl.create 4
+
+let pool_for jobs =
+  match Hashtbl.find_opt pool_cache jobs with
+  | Some p -> p
+  | None ->
+    let p = Mpool.create ~domains:jobs in
+    Hashtbl.add pool_cache jobs p;
+    p
+
+let pool_gen =
+  let* n = int_range 0 150 in
+  let* jobs = int_range 1 4 in
+  let* chunk = int_range 1 40 in
+  let* fail_mod = int_range 0 7 in
+  return (n, jobs, chunk, fail_mod)
+
+let pool_prop (n, jobs, chunk, fail_mod) =
+  let input = Array.init n (fun i -> i) in
+  let f i = ((i * 31) mod 97) + (i mod (jobs + chunk)) in
+  let pool = pool_for jobs in
+  let out = Mpool.map_array ~chunk pool ~f input in
+  check
+    (out = Array.map f input)
+    "map_array (jobs=%d, chunk=%d, n=%d) differs from serial map" jobs chunk n;
+  (* Non-commutative combine: any ordering leak breaks the equality. *)
+  let serial_cat = Array.fold_left (fun acc i -> acc ^ string_of_int (f i)) "" input in
+  let pooled_cat =
+    Mpool.map_reduce ~chunk pool ~f:(fun i -> string_of_int (f i)) ~combine:( ^ ) ~init:""
+      input
+  in
+  check (pooled_cat = serial_cat) "map_reduce (jobs=%d, chunk=%d, n=%d) out of order" jobs
+    chunk n;
+  (* Failure injection: the raised exception must be the smallest failing
+     index — exactly what serial Array.map would raise — for every
+     (jobs, chunk) schedule. *)
+  if fail_mod > 0 then begin
+    let g i = if i mod fail_mod = fail_mod - 1 then raise (Pool_boom i) else i in
+    match Mpool.map_array ~chunk pool ~f:g input with
+    | _ ->
+      check (fail_mod - 1 >= n)
+        "no exception raised (jobs=%d, chunk=%d, n=%d, fail_mod=%d)" jobs chunk n fail_mod
+    | exception Pool_boom i ->
+      check
+        (i = fail_mod - 1)
+        "raised index %d, smallest failing is %d (jobs=%d, chunk=%d, n=%d)" i (fail_mod - 1)
+        jobs chunk n
+  end
+
+let pool_oracle =
+  Oracle
+    {
+      name = "pool";
+      description =
+        "Pool.map_array/map_reduce = serial for every (jobs, chunk), smallest-index \
+         exception included";
+      quick_cases = 120;
+      gen = pool_gen;
+      prop = prop_of pool_prop;
+      print =
+        (fun (n, jobs, chunk, fail_mod) ->
+          Printf.sprintf "n=%d jobs=%d chunk=%d fail_mod=%d" n jobs chunk fail_mod);
+    }
+
+(* ------------------------------------------------------------------ *)
 (* Matrix plumbing                                                      *)
 (* ------------------------------------------------------------------ *)
 
@@ -536,6 +614,7 @@ let all =
     sim_oracle;
     meta_oracle;
     cache_oracle;
+    pool_oracle;
   ]
 
 let find n = List.find_opt (fun o -> name o = n) all

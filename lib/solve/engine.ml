@@ -110,13 +110,14 @@ let lp (req : request) =
           stats;
         }))
 
-let exact ?lower_bound ?incumbent (req : request) =
+let exact ?lower_bound ?incumbent ?pool (req : request) =
   let inst = req.instance in
   if not (feasible req.rule inst) then infeasible Exact
   else
     let node_budget = node_allowance req.budget in
     let r =
-      Dfs.solve ?node_budget ~setup:req.setup ?lower_bound ?incumbent ~rule:req.rule inst
+      Dfs.solve ?node_budget ~setup:req.setup ?pool ?lower_bound ?incumbent ~rule:req.rule
+        inst
     in
     let status =
       if r.Dfs.optimal then Optimal

@@ -32,10 +32,14 @@ val lp : Solver.request -> Solver.outcome
     maps to the node budget through {!Solver.node_allowance}
     ([Unlimited] uses the Dfs default of 20 million nodes).
     [lower_bound] and [incumbent] are threaded through to the search —
-    the portfolio's shared-incumbent hooks. *)
+    the portfolio's shared-incumbent hooks.  [pool] runs the search's
+    root subtrees on that {!Mf_parallel.Pool}; the outcome is
+    bit-identical either way (the Dfs --jobs invariant), only the wall
+    time changes. *)
 val exact :
   ?lower_bound:float ->
   ?incumbent:Mf_core.Mapping.t * float ->
+  ?pool:Mf_parallel.Pool.t ->
   Solver.request ->
   Solver.outcome
 

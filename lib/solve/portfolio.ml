@@ -7,7 +7,7 @@ open Solver
 (* [run_stages req] solves a feasible request whose instance is already
    canonical.  All budget decisions read a deterministic ledger of
    node-equivalents; the wall clock is never consulted. *)
-let run_stages (req : request) =
+let run_stages ?pool (req : request) =
   let allowance = node_allowance req.budget in
   let spent = ref 0 in
   let charge k = spent := !spent + k in
@@ -57,7 +57,7 @@ let run_stages (req : request) =
           match allowance with None -> Unlimited | Some _ -> Nodes (remaining ())
         in
         let e =
-          Engine.exact ?lower_bound ~incumbent:(inc_mp, inc_p)
+          Engine.exact ?lower_bound ?pool ~incumbent:(inc_mp, inc_p)
             { req with budget = ebudget }
         in
         {
@@ -102,7 +102,7 @@ let outcome_of_entry (req : request) (canon : Canon.t) ~cache_hit (e : Cache.ent
     stats = { e.Cache.stats with cache_hit };
   }
 
-let solve ?cache (req : request) =
+let solve ?cache ?pool (req : request) =
   if not (feasible req.rule req.instance) then
     {
       status = Infeasible;
@@ -118,7 +118,7 @@ let solve ?cache (req : request) =
     match Option.bind cache (fun c -> Cache.find c key) with
     | Some e -> outcome_of_entry req canon ~cache_hit:true e
     | None ->
-      let out = run_stages { req with instance = canon.Canon.instance } in
+      let out = run_stages ?pool { req with instance = canon.Canon.instance } in
       let e = entry_of_outcome out in
       (match cache with Some c -> Cache.add c key e | None -> ());
       outcome_of_entry req canon ~cache_hit:false e

@@ -27,6 +27,8 @@
     (machine permutations, type relabelings of the same instance) hit
     after the first representative. *)
 
-(** [solve ?cache req] — see above.  Infeasible rules return
-    [Infeasible] without touching any engine or the cache. *)
-val solve : ?cache:Cache.t -> Solver.request -> Solver.outcome
+(** [solve ?cache ?pool req] — see above.  Infeasible rules return
+    [Infeasible] without touching any engine or the cache.  [pool] is
+    handed to the exact stage ({!Engine.exact}); outcomes — and hence
+    cache entries — are bit-identical with or without it. *)
+val solve : ?cache:Cache.t -> ?pool:Mf_parallel.Pool.t -> Solver.request -> Solver.outcome

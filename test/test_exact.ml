@@ -365,24 +365,37 @@ let test_differential_general_setup () =
   done
 
 (* --jobs must not change anything observable: the optimal value is
-   schedule-independent and the mapping is re-derived canonically. *)
+   schedule-independent and the mapping is re-derived canonically.  The
+   [~pool] run uses an explicitly created 3-domain pool because the
+   [~jobs] path clamps to the physical core count — on a 1-core CI host
+   only the external pool actually exercises workers and stealing. *)
 let test_jobs_identity () =
-  List.iter
-    (fun (seed, n, p, m) ->
-      let inst = chain_instance ~seed ~n ~p ~m () in
-      let r1 = Dfs.solve ~jobs:1 ~rule:Mapping.Specialized inst in
-      let r4 = Dfs.solve ~jobs:4 ~rule:Mapping.Specialized inst in
-      Alcotest.(check bool) (Printf.sprintf "optimal (seed %d)" seed) true r1.Dfs.optimal;
-      Alcotest.(check bool)
-        (Printf.sprintf "period bit-identical (seed %d): %h vs %h" seed r1.Dfs.period
-           r4.Dfs.period)
-        true
-        (r1.Dfs.period = r4.Dfs.period);
-      Alcotest.(check bool)
-        (Printf.sprintf "mapping identical (seed %d)" seed)
-        true
-        (Mapping.to_array r1.Dfs.mapping = Mapping.to_array r4.Dfs.mapping))
-    [ (1, 12, 3, 5); (2, 13, 3, 4); (3, 14, 2, 5); (4, 11, 4, 6); (5, 12, 3, 6) ]
+  Mf_parallel.Pool.with_pool ~domains:3 (fun pool ->
+      List.iter
+        (fun (seed, n, p, m) ->
+          let inst = chain_instance ~seed ~n ~p ~m () in
+          let r1 = Dfs.solve ~jobs:1 ~rule:Mapping.Specialized inst in
+          let r4 = Dfs.solve ~jobs:4 ~rule:Mapping.Specialized inst in
+          let rp = Dfs.solve ~pool ~rule:Mapping.Specialized inst in
+          Alcotest.(check bool) (Printf.sprintf "optimal (seed %d)" seed) true r1.Dfs.optimal;
+          Alcotest.(check bool)
+            (Printf.sprintf "period bit-identical (seed %d): %h vs %h" seed r1.Dfs.period
+               r4.Dfs.period)
+            true
+            (r1.Dfs.period = r4.Dfs.period);
+          Alcotest.(check bool)
+            (Printf.sprintf "mapping identical (seed %d)" seed)
+            true
+            (Mapping.to_array r1.Dfs.mapping = Mapping.to_array r4.Dfs.mapping);
+          Alcotest.(check bool)
+            (Printf.sprintf "period bit-identical via external pool (seed %d)" seed)
+            true
+            (r1.Dfs.period = rp.Dfs.period);
+          Alcotest.(check bool)
+            (Printf.sprintf "mapping identical via external pool (seed %d)" seed)
+            true
+            (Mapping.to_array r1.Dfs.mapping = Mapping.to_array rp.Dfs.mapping))
+        [ (1, 12, 3, 5); (2, 13, 3, 4); (3, 14, 2, 5); (4, 11, 4, 6); (5, 12, 3, 6) ])
 
 (* Budget-exhausted multi-round runs: a re-run of the subtree holding the
    incumbent is seeded with its own best period, so it can never re-find
@@ -406,8 +419,12 @@ let test_exhausted_rerun_keeps_incumbent () =
         true
         (Float.abs (Period.period inst r.Dfs.mapping -. r.Dfs.period) <= 1e-9 *. r.Dfs.period);
       (* The fallback allocation comes out of the deterministic round
-         structure, so exhaustion must not break the --jobs identity. *)
-      let r4 = Dfs.solve ~node_budget:budget ~jobs:4 ~rule:Mapping.Specialized inst in
+         structure, so exhaustion must not break the --jobs identity.
+         An explicit pool, not ~jobs: see [test_jobs_identity]. *)
+      let r4 =
+        Mf_parallel.Pool.with_pool ~domains:4 (fun pool ->
+            Dfs.solve ~node_budget:budget ~pool ~rule:Mapping.Specialized inst)
+      in
       Alcotest.(check bool)
         (Printf.sprintf "period bit-identical under exhaustion (seed %d)" seed)
         true
@@ -416,7 +433,7 @@ let test_exhausted_rerun_keeps_incumbent () =
         (Printf.sprintf "mapping identical under exhaustion (seed %d)" seed)
         true
         (Mapping.to_array r.Dfs.mapping = Mapping.to_array r4.Dfs.mapping))
-    [ (1, 14, 6, 16_000); (3, 14, 6, 8_000); (4, 14, 6, 8_000) ]
+    [ (1, 14, 6, 16_000); (3, 14, 6, 4_000); (4, 14, 6, 8_000) ]
 
 (* An in-tree whose same-type siblings share bit-identical failure rows:
    frontier signatures collide, so the dominance table must both fire and

@@ -149,11 +149,133 @@ let test_shutdown () =
     (fun () -> ignore (Pool.create ~domains:0))
 
 (* ------------------------------------------------------------------ *)
+(* Pool stress: adversarial schedules                                  *)
+(* ------------------------------------------------------------------ *)
+
+(* A little data-dependent spin so units finish at scrambled times and
+   steal interleavings vary between repetitions. *)
+let spin i =
+  let rounds = 50 + (i * 37 mod 11) * 120 in
+  let acc = ref 0 in
+  for k = 1 to rounds do
+    acc := (!acc + (k * i)) mod 1_000_003
+  done;
+  !acc
+
+let test_shutdown_while_busy () =
+  (* Shutdown racing an in-flight batch submitted from another domain:
+     the submitter can always drain its own batch, so the map completes
+     correctly even though the workers are being joined under it. *)
+  for _round = 1 to 5 do
+    let pool = Pool.create ~domains:4 in
+    let started = Atomic.make false in
+    let input = Array.init 400 (fun i -> i) in
+    let submitter =
+      Domain.spawn (fun () ->
+          Pool.map_array pool input ~f:(fun i ->
+              Atomic.set started true;
+              ignore (spin i);
+              i * 2))
+    in
+    while not (Atomic.get started) do
+      Domain.cpu_relax ()
+    done;
+    Pool.shutdown pool;
+    let out = Domain.join submitter in
+    Alcotest.(check (array int)) "batch completed despite shutdown"
+      (Array.map (fun i -> i * 2) input)
+      out
+  done
+
+let test_concurrent_map_array () =
+  (* Two domains submitting batches to one pool at once: results slot by
+     index per batch, idle domains steal across both. *)
+  Pool.with_pool ~domains:3 (fun pool ->
+      for _round = 1 to 5 do
+        let inp1 = Array.init 300 (fun i -> i) in
+        let inp2 = Array.init 211 (fun i -> i + 1000) in
+        let other =
+          Domain.spawn (fun () ->
+              Pool.map_array pool inp2 ~f:(fun i ->
+                  ignore (spin i);
+                  i - 1000))
+        in
+        let out1 =
+          Pool.map_array pool inp1 ~f:(fun i ->
+              ignore (spin i);
+              i * 3)
+        in
+        let out2 = Domain.join other in
+        Alcotest.(check (array int)) "batch 1" (Array.map (fun i -> i * 3) inp1) out1;
+        Alcotest.(check (array int)) "batch 2" (Array.init 211 Fun.id) out2
+      done)
+
+let test_nested_map_array () =
+  (* A unit of work submitting an inner batch on the same pool: the inner
+     submitter drains its own batch, so this cannot deadlock even with
+     every other domain busy on the outer batch. *)
+  Pool.with_pool ~domains:2 (fun pool ->
+      let outer = Array.init 20 (fun i -> i) in
+      let expected =
+        Array.map (fun i -> Array.fold_left ( + ) 0 (Array.init 30 (fun j -> i + j))) outer
+      in
+      let out =
+        Pool.map_array pool outer ~f:(fun i ->
+            let inner = Pool.map_array pool ~chunk:4 (Array.init 30 (fun j -> j)) ~f:(fun j -> i + j) in
+            Array.fold_left ( + ) 0 inner)
+      in
+      Alcotest.(check (array int)) "nested map_array" expected out)
+
+let test_exception_determinism_across_schedules () =
+  (* Smallest-failing-index must hold for every (jobs, chunk) pair and
+     every steal interleaving; the spin scrambles completion order. *)
+  List.iter
+    (fun jobs ->
+      Pool.with_pool ~domains:jobs (fun pool ->
+          List.iter
+            (fun chunk ->
+              for _round = 1 to 3 do
+                let input = Array.init 200 (fun i -> i) in
+                try
+                  ignore
+                    (Pool.map_array pool ~chunk input ~f:(fun i ->
+                         ignore (spin i);
+                         if i mod 50 = 17 then raise (Boom i) else i));
+                  Alcotest.fail "exception not propagated"
+                with Boom i ->
+                  Alcotest.(check int)
+                    (Printf.sprintf "jobs=%d chunk=%d smallest index" jobs chunk)
+                    17 i
+              done)
+            [ 1; 3; 64 ]))
+    [ 2; 4 ]
+
+let test_shared_pools () =
+  (* [shared] clamps to default_jobs (no oversubscription), so the
+     expected effective size depends on the host's core count. *)
+  let eff = min 2 (Pool.default_jobs ()) in
+  let p2 = Pool.shared ~domains:2 in
+  Alcotest.(check bool) "same pool returned" true (p2 == Pool.shared ~domains:2);
+  Alcotest.(check int) "size" eff (Pool.domains p2);
+  Alcotest.(check int) "spawned workers" (eff - 1) (Pool.spawned p2);
+  let out = Pool.map_array p2 ~f:succ (Array.init 64 (fun i -> i)) in
+  Alcotest.(check (array int)) "works" (Array.init 64 succ) out;
+  (* An explicitly shut-down shared pool is replaced on next request. *)
+  Pool.shutdown p2;
+  let p2' = Pool.shared ~domains:2 in
+  Alcotest.(check bool) "replaced after shutdown" true (p2 != p2');
+  ignore (Pool.map_array p2' ~f:succ [| 1 |]);
+  Pool.shutdown_shared ();
+  let p1 = Pool.shared ~domains:1 in
+  Alcotest.(check int) "serial shared pool" 0 (Pool.spawned p1)
+
+(* ------------------------------------------------------------------ *)
 (* Runner jobs-invariance                                              *)
 (* ------------------------------------------------------------------ *)
 
-let small_figure ~jobs =
-  Runner.run ~id:"par" ~title:"par" ~x_label:"n" ~jobs ~xs:[ 4; 6; 8 ] ~replicates:4
+let small_figure ?jobs ?pool ?chunk () =
+  Runner.run ~id:"par" ~title:"par" ~x_label:"n" ?jobs ?pool ?chunk ~xs:[ 4; 6; 8 ]
+    ~replicates:4
     ~gen:(fun ~x ~seed ->
       Mf_workload.Gen.chain (Mf_prng.Rng.create seed)
         (Mf_workload.Gen.default ~tasks:x ~types:2 ~machines:4))
@@ -161,10 +283,10 @@ let small_figure ~jobs =
     ()
 
 let test_runner_jobs_invariant () =
-  let serial = small_figure ~jobs:1 in
+  let serial = small_figure ~jobs:1 () in
   List.iter
     (fun jobs ->
-      let fig = small_figure ~jobs in
+      let fig = small_figure ~jobs () in
       (* Structural equality down to the raw float bits of every replicate:
          the whole point of per-unit seed derivation. *)
       Alcotest.(check bool)
@@ -172,6 +294,26 @@ let test_runner_jobs_invariant () =
         true
         (Stdlib.compare serial fig = 0))
     [ 2; 4 ]
+
+let test_runner_chunk_invariant () =
+  (* The figure must also be bit-identical across chunk sizes and on an
+     external pool — the acceptance pin for the coarse-chunked runner. *)
+  let serial = small_figure ~jobs:1 () in
+  List.iter
+    (fun chunk ->
+      List.iter
+        (fun jobs ->
+          let fig = small_figure ~jobs ~chunk () in
+          Alcotest.(check bool)
+            (Printf.sprintf "jobs=%d chunk=%d identical to serial" jobs chunk)
+            true
+            (Stdlib.compare serial fig = 0))
+        [ 2; 4 ])
+    [ 1; 7 ];
+  Pool.with_pool ~domains:3 (fun pool ->
+      let fig = small_figure ~pool () in
+      Alcotest.(check bool) "external pool identical to serial" true
+        (Stdlib.compare serial fig = 0))
 
 let () =
   Alcotest.run "mf_parallel"
@@ -189,6 +331,18 @@ let () =
           Alcotest.test_case "stress small batches" `Quick test_stress_many_small_batches;
           Alcotest.test_case "shutdown" `Quick test_shutdown;
         ] );
+      ( "pool-stress",
+        [
+          Alcotest.test_case "shutdown while busy" `Quick test_shutdown_while_busy;
+          Alcotest.test_case "concurrent map_array" `Quick test_concurrent_map_array;
+          Alcotest.test_case "nested map_array" `Quick test_nested_map_array;
+          Alcotest.test_case "exception determinism across schedules" `Quick
+            test_exception_determinism_across_schedules;
+          Alcotest.test_case "shared pools" `Quick test_shared_pools;
+        ] );
       ( "runner",
-        [ Alcotest.test_case "jobs-invariant figure" `Quick test_runner_jobs_invariant ] );
+        [
+          Alcotest.test_case "jobs-invariant figure" `Quick test_runner_jobs_invariant;
+          Alcotest.test_case "chunk-invariant figure" `Quick test_runner_chunk_invariant;
+        ] );
     ]
