@@ -3,7 +3,7 @@
 # (see DESIGN.md §5), so there is no fmt target.
 
 .PHONY: all build test verify bench bench-quick bench-exact bench-lp \
-  bench-solve bench-parallel clean fuzz fuzz-quick fuzz-replay
+  bench-solve bench-parallel bench-regress clean fuzz fuzz-quick fuzz-replay
 
 all: build
 
@@ -32,7 +32,8 @@ verify:
 	timeout 60 dune exec test/test_lp.exe -- test lp-differential
 	timeout 60 dune exec test/test_solve.exe -- test portfolio-differential
 	$(MAKE) fuzz-quick
-	@echo "verify OK: tests green, --jobs 1/4 byte-identical, differential suites green, fuzz matrix green"
+	$(MAKE) bench-regress
+	@echo "verify OK: tests green, --jobs 1/4 byte-identical, differential suites green, fuzz matrix green, bench-regress green"
 
 # Quick fuzz tier (deterministic, fixed seeds, <= 30 s): the full oracle
 # matrix — eval, heuristics, exact-vs-brute, lp-vs-exact, sim-vs-analytic,
@@ -88,6 +89,15 @@ bench-parallel:
 # canonical-cache hit rate, and a sampled cached-vs-fresh bit-identity check.
 bench-solve:
 	dune exec bench/main.exe -- --only none --skip-micro --skip-ablation --skip-eval --skip-parallel --skip-exact --skip-lp
+
+# Regression gate over the committed benchmark numbers: re-runs the
+# quick-tier reference measurements (revised-simplex pivot counts, the
+# n=200 scaling row, and the LP-bound exact-search scan at n in
+# {14, 16, 18} / 500k nodes) and fails when any degrades past the
+# tolerances recorded in the "regress" sections of BENCH_lp.json /
+# BENCH_exact.json.  Part of `make verify`.
+bench-regress:
+	timeout 300 dune exec bench/main.exe -- --regress
 
 clean:
 	dune clean

@@ -311,7 +311,15 @@ let exact_cmd =
             "Pre-compute the divisible-workload LP lower bound (rational-certified) and stop \
              the search as soon as the incumbent meets it.")
   in
-  let run file rule setup jobs node_budget no_dominance no_symmetry lp_bound =
+  let no_node_lp =
+    Arg.(
+      value & flag
+      & info [ "no-node-lp" ]
+          ~doc:
+            "Disable the per-node warm-started LP bound (default: automatic, on from 14 \
+             tasks — the measured crossover).")
+  in
+  let run file rule setup jobs node_budget no_dominance no_symmetry lp_bound no_node_lp =
     let inst = Instance_io.read_file file in
     Printf.printf "instance: n=%d p=%d m=%d, rule %s%s\n" (Instance.task_count inst)
       (Instance.type_count inst) (Instance.machines inst) (Mapping.rule_name rule)
@@ -335,10 +343,17 @@ let exact_cmd =
             (match r.Mf_lp.Splitting.path with `Float -> "float" | `Rational -> "rational");
           Some lb
     in
+    let node_bound, nb_pivots =
+      if no_node_lp || Instance.task_count inst < Mf_solve.Engine.lp_bound_threshold then
+        (None, fun () -> 0)
+      else
+        let factory, pivots = Mf_solve.Engine.node_bound_factory ~rule inst in
+        (Some factory, pivots)
+    in
     let t0 = Unix.gettimeofday () in
     match
       Mf_exact.Dfs.solve ~node_budget ~setup ~jobs ?dominance ~symmetry:(not no_symmetry)
-        ?lower_bound ~rule inst
+        ?lower_bound ?node_bound ~rule inst
     with
     | r ->
       let dt = Unix.gettimeofday () -. t0 in
@@ -354,7 +369,11 @@ let exact_cmd =
         s.Mf_exact.Dfs.best_at_node;
       Printf.printf "       prunes: %d bound, %d dominance (%d states), %d symmetry skips\n"
         s.Mf_exact.Dfs.bound_prunes s.Mf_exact.Dfs.dominance_prunes
-        s.Mf_exact.Dfs.dominance_states s.Mf_exact.Dfs.symmetry_skips
+        s.Mf_exact.Dfs.dominance_states s.Mf_exact.Dfs.symmetry_skips;
+      if s.Mf_exact.Dfs.lp_solves > 0 then
+        Printf.printf "       node LP: %d solves, %d prunes, %d pivots, %d no-goods\n"
+          s.Mf_exact.Dfs.lp_solves s.Mf_exact.Dfs.lp_prunes (nb_pivots ())
+          s.Mf_exact.Dfs.nogood_records
     | exception Invalid_argument msg -> Printf.printf "exact solver unavailable: %s\n" msg
   in
   let doc = "Solve an instance exactly with the branch-and-bound engine." in
@@ -362,7 +381,7 @@ let exact_cmd =
     (Cmd.info "exact" ~doc)
     Term.(
       const run $ instance_arg $ rule $ setup $ jobs $ node_budget $ no_dominance
-      $ no_symmetry $ lp_bound)
+      $ no_symmetry $ lp_bound $ no_node_lp)
 
 (* ------------------------------------------------------------------ *)
 (* simulate                                                             *)
@@ -483,6 +502,15 @@ let lp_cmd =
         (match r.Mf_lp.Splitting.path with
         | `Float -> ""
         | `Rational -> "  [rational-certified fallback]");
+      (let s = r.Mf_lp.Splitting.stats in
+       Printf.printf
+         "       (%d pivots%s; basis reuse: %d eta updates / %d factorizations, %d forced \
+          refactorizations)\n"
+         s.Mf_lp.Mip.float_iterations
+         (if s.Mf_lp.Mip.exact_iterations > 0 then
+            Printf.sprintf " + %d exact" s.Mf_lp.Mip.exact_iterations
+          else "")
+         s.Mf_lp.Mip.eta_updates s.Mf_lp.Mip.factorizations s.Mf_lp.Mip.refactorizations);
       (match Mf_lp.Splitting.round inst r with
       | Ok (mp, _rounded) -> print_solution inst "round" mp
       | Error e ->

@@ -14,6 +14,9 @@ type stats = {
   best_at_node : int;
   root_subtrees : int;
   certify_nodes : int;
+  lp_solves : int;
+  lp_prunes : int;
+  nogood_records : int;
 }
 
 let zero_stats =
@@ -25,7 +28,25 @@ let zero_stats =
     best_at_node = 0;
     root_subtrees = 1;
     certify_nodes = 0;
+    lp_solves = 0;
+    lp_prunes = 0;
+    nogood_records = 0;
   }
+
+(* Per-node LP bound oracle, injected by callers that can pay for an LP
+   stack — this library deliberately does not depend on [Mf_lp], so the
+   oracle arrives as three closures (see [Mf_lp.Node_bound] for the
+   canonical implementation).  The contract: after a sequence of
+   [nb_push] calls mirroring the search's assignment prefix, [nb_bound]
+   returns a sound lower bound on the period of every completion of that
+   prefix (0.0 when it has nothing to say), and [nb_pop] undoes the most
+   recent push.  The bound must be a pure function of the pushed prefix:
+   determinism across [--jobs] values relies on it. *)
+type node_bound = {
+  nb_push : task:int -> machine:int -> unit;
+  nb_pop : unit -> unit;
+  nb_bound : cutoff:float -> float;
+}
 
 type result = {
   mapping : Mf_core.Mapping.t;
@@ -275,9 +296,12 @@ type ctx = {
   cands : int array array;  (* type -> machines by increasing static w *)
   dominance : bool;
   symmetry : bool;
+  (* Factory, not instance: every search gets a fresh oracle so parallel
+     subtrees never share LP state. *)
+  lp_factory : (unit -> node_bound) option;
 }
 
-let make_ctx ~rule ~setup ~dominance ~symmetry inst =
+let make_ctx ~rule ~setup ~dominance ~symmetry ~node_bound inst =
   let n = Instance.task_count inst and m = Instance.machines inst in
   let wf = Instance.workflow inst in
   let order = Workflow.backward_order wf in
@@ -330,6 +354,7 @@ let make_ctx ~rule ~setup ~dominance ~symmetry inst =
     cands;
     dominance;
     symmetry;
+    lp_factory = node_bound;
   }
 
 (* Phase 1 minimises; phase 2 re-derives the canonical optimal mapping by
@@ -362,6 +387,11 @@ type search = {
   mutable dom_prunes : int;
   mutable sym_skips : int;
   mutable best_at : int;
+  (* Per-node LP bound oracle (one per search) and its counters. *)
+  nb : node_bound option;
+  mutable lp_solves : int;
+  mutable lp_prunes : int;
+  mutable nogood_records : int;
   sigbuf : Buffer.t;
   (* Per-depth scratch, preallocated so expand/child allocate nothing:
      candidate buffers (row k of an n x m matrix), the saved predecessor
@@ -388,7 +418,7 @@ type search = {
 let table_entry_cap = 8
 let table_state_cap = 200_000
 
-let make_search ctx ~shared ~budget ~seed_p ~mode ~pins =
+let make_search ?(with_lp = true) ctx ~shared ~budget ~seed_p ~mode ~pins =
   {
     ctx;
     st = State.create ctx.inst;
@@ -418,6 +448,10 @@ let make_search ctx ~shared ~budget ~seed_p ~mode ~pins =
     dom_prunes = 0;
     sym_skips = 0;
     best_at = 0;
+    nb = (if with_lp then Option.map (fun f -> f ()) ctx.lp_factory else None);
+    lp_solves = 0;
+    lp_prunes = 0;
+    nogood_records = 0;
     sigbuf = Buffer.create 256;
     cand_exec = Array.make (ctx.n * ctx.m) 0.0;
     cand_u = Array.make (ctx.n * ctx.m) 0;
@@ -579,7 +613,9 @@ let rec bnb s k =
   if s.stop then ()
   else if s.nodes >= s.budget then s.exhausted <- true
   else if k = s.ctx.n then record_leaf s
-  else if not (s.use_dominance && k > 0) then expand s k
+  else if not (s.use_dominance && k > 0) then begin
+    if lp_check s k then expand s k
+  end
   else begin
     let key, loads = signature s k in
     let entries = Hashtbl.find_opt s.table key in
@@ -587,6 +623,15 @@ let rec bnb s k =
       match entries with Some l -> List.exists (fun v -> leq_all v loads) !l | None -> false
     in
     if dominated then s.dom_prunes <- s.dom_prunes + 1
+    else if not (lp_check s k) then begin
+      (* No-good: the LP certifies that no completion of this frontier
+         improves the incumbent (or ties the certify target) — exactly
+         the contract of a recorded table state, so identical-key
+         frontiers with componentwise >= loads now prune without
+         re-solving the LP. *)
+      table_note s entries key loads;
+      s.nogood_records <- s.nogood_records + 1
+    end
     else begin
       expand s k;
       (* Insert only complete subtrees: a budget-truncated exploration
@@ -594,6 +639,30 @@ let rec bnb s k =
       if not (s.exhausted || s.stop) then table_note s entries key loads
     end
   end
+
+(* Per-node LP bound, evaluated after the dominance test (the signature
+   is ~10x cheaper than a warm-started solve).  At the root there is
+   nothing pushed and the global LP bound is the caller's [lower_bound]
+   business, so k = 0 is exempt. *)
+and lp_check s k =
+  match s.nb with
+  | None -> true
+  | Some _ when k = 0 -> true
+  | Some nb ->
+    s.lp_solves <- s.lp_solves + 1;
+    (* The cutoff mirrors [bound_ok]: any oracle value below it cannot
+       prune, which lets the oracle stop early; values at or above it
+       must be sound bounds, and the prune below stays exact. *)
+    let cutoff =
+      match s.mode with
+      | Optimize -> Atomic.get s.shared_best
+      | Certify p -> p *. (1.0 +. 1e-12)
+    in
+    let lpb = nb.nb_bound ~cutoff in
+    bound_ok s lpb
+    ||
+    (s.lp_prunes <- s.lp_prunes + 1;
+     false)
 
 and expand s k =
   let c = s.ctx in
@@ -712,7 +781,11 @@ and child s k task ty slot =
         s.path_cmax.(k + 1) <- cmax';
         s.path_rmax.(k + 1) <- rmax';
         s.path_rem.(k + 1) <- rem';
-        bnb s (k + 1)
+        (* The LP oracle's journal mirrors the State journal: push the
+           assignment for the subtree, pop on unwind. *)
+        (match s.nb with Some nb -> nb.nb_push ~task ~machine:u | None -> ());
+        bnb s (k + 1);
+        (match s.nb with Some nb -> nb.nb_pop () | None -> ())
       end
       else s.bound_prunes <- s.bound_prunes + 1;
       State.undo s.st;
@@ -774,9 +847,10 @@ let has_repeated_task_profiles inst =
    allowed); One_to_one has used [length prefix < n <= m] machines.  So a
    split always deepens the pending prefixes — progress is guaranteed. *)
 let child_prefixes ctx prefix =
+  (* Candidate enumeration never evaluates bounds: skip the LP oracle. *)
   let s =
-    make_search ctx ~shared:(Atomic.make infinity) ~budget:max_int ~seed_p:infinity
-      ~mode:Optimize ~pins:[||]
+    make_search ~with_lp:false ctx ~shared:(Atomic.make infinity) ~budget:max_int
+      ~seed_p:infinity ~mode:Optimize ~pins:[||]
   in
   let len = Array.length prefix in
   (* Replay the pinned assignments with the same rule/setup bookkeeping
@@ -838,6 +912,9 @@ type sub_result = {
   r_sym : int;
   r_best_at : int;
   r_exhausted : bool;
+  r_lp_solves : int;
+  r_lp_prunes : int;
+  r_nogood : int;
 }
 
 let run_subtree ctx ~shared ~budget ~seed_p prefix =
@@ -853,6 +930,9 @@ let run_subtree ctx ~shared ~budget ~seed_p prefix =
     r_sym = s.sym_skips;
     r_best_at = s.best_at;
     r_exhausted = s.exhausted;
+    r_lp_solves = s.lp_solves;
+    r_lp_prunes = s.lp_prunes;
+    r_nogood = s.nogood_records;
   }
 
 (* Phase 2: serial, jobs-independent reconstruction of the mapping behind
@@ -877,7 +957,7 @@ let certify ctx ~p_star ~budget =
 let pending_cap = 4096
 
 let solve ?(node_budget = 20_000_000) ?(setup = 0.0) ?(jobs = 1) ?pool ?dominance
-    ?(symmetry = true) ?lower_bound ?incumbent ~rule inst =
+    ?(symmetry = true) ?lower_bound ?incumbent ?node_bound ~rule inst =
   if setup < 0.0 then invalid_arg "Dfs.solve: negative setup time";
   if jobs < 1 then invalid_arg "Dfs.solve: jobs must be >= 1";
   check_rule_feasible rule inst;
@@ -893,9 +973,16 @@ let solve ?(node_budget = 20_000_000) ?(setup = 0.0) ?(jobs = 1) ?pool ?dominanc
      With continuous random rates every prefix has a unique signature and
      the table is pure overhead.  Explicit ~dominance overrides either way. *)
   let dominance =
-    match dominance with Some d -> d | None -> has_repeated_task_profiles inst
+    match dominance with
+    | Some d -> d
+    | None ->
+      (* With an LP oracle the table doubles as the no-good store, and
+         signatures can collide across prefixes that permute machines of
+         one symmetry class — worth the maintenance even on fully
+         heterogeneous instances. *)
+      node_bound <> None || has_repeated_task_profiles inst
   in
-  let ctx = make_ctx ~rule ~setup ~dominance ~symmetry inst in
+  let ctx = make_ctx ~rule ~setup ~dominance ~symmetry ~node_bound inst in
   let seed_mp, seed_p = seed_incumbent ~setup rule inst in
   (* A caller-supplied incumbent (the portfolio's shared best-so-far) is
      merged by strict minimum, so it can only tighten the seed.  It must
@@ -942,9 +1029,14 @@ let solve ?(node_budget = 20_000_000) ?(setup = 0.0) ?(jobs = 1) ?pool ?dominanc
   and dom_prunes = ref 0
   and dom_states = ref 0
   and sym_skips = ref root_skips
+  and lp_solves = ref 0
+  and lp_prunes = ref 0
+  and nogoods = ref 0
   and subtrees = ref (Array.length roots) in
   let budget_left = ref node_budget in
-  let pending = ref (Array.to_list roots) in
+  (* Each pending entry carries whether it already got its one unsplit
+     re-run (see the retry rule below). *)
+  let pending = ref (List.map (fun p -> (p, false)) (Array.to_list roots)) in
   let last_per = ref 0 in
   let run_round =
     let on_pool pool prefixes ~f = Pool.map_array ~chunk:1 pool ~f prefixes in
@@ -962,7 +1054,7 @@ let solve ?(node_budget = 20_000_000) ?(setup = 0.0) ?(jobs = 1) ?pool ?dominanc
     let seed_round = !best_p in
     let prefixes = Array.of_list !pending in
     let round =
-      run_round prefixes ~f:(fun prefix ->
+      run_round prefixes ~f:(fun (prefix, _) ->
           run_subtree ctx ~shared:(Atomic.make seed_round) ~budget:per ~seed_p:seed_round prefix)
     in
     Array.iter
@@ -973,6 +1065,9 @@ let solve ?(node_budget = 20_000_000) ?(setup = 0.0) ?(jobs = 1) ?pool ?dominanc
         dom_prunes := !dom_prunes + r.r_dom;
         dom_states := !dom_states + r.r_dom_states;
         sym_skips := !sym_skips + r.r_sym;
+        lp_solves := !lp_solves + r.r_lp_solves;
+        lp_prunes := !lp_prunes + r.r_lp_prunes;
+        nogoods := !nogoods + r.r_nogood;
         if r.r_best_p < !best_p then
           match r.r_alloc with
           | Some _ as a ->
@@ -984,47 +1079,70 @@ let solve ?(node_budget = 20_000_000) ?(setup = 0.0) ?(jobs = 1) ?pool ?dominanc
     let still =
       List.filteri (fun i _ -> round.(i).r_exhausted) (Array.to_list prefixes)
     in
-    (* Split exhausted subtrees into their children, newest at the same
-       canonical position their parent held, under [pending_cap].  The
-       cap check counts the children plus every unprocessed entry, so the
-       decision sequence is a pure function of the (ordered) exhausted
-       list — deterministic, hence --jobs-independent. *)
+    (* Retry rule: an exhausted subtree whose projected next slice at
+       least doubles gets one re-run {e unsplit} before being split.
+       Even redistribution starves a single heavy subtree — every
+       under-budgeted attempt is waste charged against the budget — so
+       when most siblings closed, the freed budget is offered to the
+       heavy subtree whole once; only if it exhausts that too is it
+       fragmented.  The projection uses the unsplit pending count, so
+       the rule, like the split rule below, is a pure function of the
+       previous round's deterministic aggregates. *)
+    let projected =
+      match still with
+      | [] -> 0
+      | l -> max 1 (!budget_left / List.length l)
+    in
+    (* Split the remaining exhausted subtrees into their children, newest
+       at the same canonical position their parent held, under
+       [pending_cap].  The cap check counts the children plus every
+       unprocessed entry, so the decision sequence is a pure function of
+       the (ordered) exhausted list — deterministic, hence
+       --jobs-independent. *)
     let split_happened = ref false in
+    let retry_happened = ref false in
     let next = ref [] in
     (* reversed *)
     let emitted = ref 0 in
     List.iteri
-      (fun i prefix ->
+      (fun i (prefix, retried) ->
         let remaining_after = List.length still - i - 1 in
         let len = Array.length prefix in
-        if len < ctx.n && !budget_left > 0 then begin
-          let children, skips = child_prefixes ctx prefix in
-          let nc = Array.length children in
-          if !emitted + nc + remaining_after <= pending_cap then begin
-            split_happened := true;
-            sym_skips := !sym_skips + skips;
-            subtrees := !subtrees + nc;
-            emitted := !emitted + nc;
-            Array.iter (fun c -> next := c :: !next) children
+        if len < ctx.n && !budget_left > 0 then
+          if (not retried) && projected >= 2 * !last_per then begin
+            retry_happened := true;
+            emitted := !emitted + 1;
+            next := (prefix, true) :: !next
           end
           else begin
-            emitted := !emitted + 1;
-            next := prefix :: !next
+            let children, skips = child_prefixes ctx prefix in
+            let nc = Array.length children in
+            if !emitted + nc + remaining_after <= pending_cap then begin
+              split_happened := true;
+              sym_skips := !sym_skips + skips;
+              subtrees := !subtrees + nc;
+              emitted := !emitted + nc;
+              Array.iter (fun c -> next := (c, false) :: !next) children
+            end
+            else begin
+              emitted := !emitted + 1;
+              next := (prefix, retried) :: !next
+            end
           end
-        end
         else begin
           emitted := !emitted + 1;
-          next := prefix :: !next
+          next := (prefix, retried) :: !next
         end)
       still;
     let still = List.rev !next in
     pending := still;
-    (* Re-run while the partition got finer or the redistributed slice
-       actually grows; the budget spent on a superseded attempt stays
-       charged. *)
+    (* Re-run while the partition got finer, a retry was granted, or the
+       redistributed slice actually grows; the budget spent on a
+       superseded attempt stays charged. *)
     continue_rounds :=
       still <> [] && !budget_left > 0
-      && (!split_happened || max 1 (!budget_left / List.length still) > !last_per)
+      && (!split_happened || !retry_happened
+         || max 1 (!budget_left / List.length still) > !last_per)
   done;
   let p_star = !best_p in
   let optimal = !pending = [] in
@@ -1068,6 +1186,9 @@ let solve ?(node_budget = 20_000_000) ?(setup = 0.0) ?(jobs = 1) ?pool ?dominanc
         best_at_node = !best_at;
         root_subtrees = !subtrees;
         certify_nodes = !certify_nodes;
+        lp_solves = !lp_solves;
+        lp_prunes = !lp_prunes;
+        nogood_records = !nogoods;
       };
   }
   end

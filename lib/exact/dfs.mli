@@ -29,8 +29,14 @@
     {!Mf_parallel.Pool}.  Subtrees that exhaust their slice are {e split
     into their children} and re-run with the redistributed budget —
     dynamic redistribution, so an unbalanced tree sheds its heavy subtree
-    into finer pieces that spread across domains.  Split decisions and
-    per-subtree budgets depend only on deterministic aggregates of the
+    into finer pieces that spread across domains.  One exception: an
+    exhausted subtree whose projected next-round slice is at least twice
+    the slice it just failed on gets a single {e unsplit retry} before
+    being split — when most siblings finished cheaply, the freed budget
+    often closes a heavy subtree whole, where splitting it would throw
+    away the partial exploration and re-pay the prefix from scratch.
+    Split and retry decisions and per-subtree budgets depend only on
+    deterministic aggregates of the
     previous round, and each subtree searches against its own incumbent
     seeded from the deterministic round start, so node counts, prune
     counters and the exhaustion flag — not just the period — are
@@ -61,6 +67,30 @@ type stats = {
           separately from [nodes] (which measures the optimization search
           only, so node counts compare like-for-like with
           {!solve_static}) *)
+  lp_solves : int;
+      (** per-node LP bound evaluations (0 without a [node_bound] oracle) *)
+  lp_prunes : int;
+      (** nodes cut by the LP bound after the cheap incremental bound and
+          the dominance test both passed *)
+  nogood_records : int;
+      (** LP-pruned frontiers recorded into the dominance table as
+          no-goods, so identical-key frontiers with componentwise >=
+          loads later prune without re-solving the LP *)
+}
+
+(** Per-node LP bound oracle (see {!solve}'s [node_bound]).  This
+    library deliberately does not depend on [Mf_lp], so the oracle is
+    three closures; [Mf_lp.Node_bound] is the canonical implementation,
+    wired up by [Mf_solve.Engine] and the bench.  Contract: after
+    [nb_push]ing the search's assignment prefix (task, machine) pair by
+    pair, [nb_bound] returns a sound lower bound on the period of every
+    completion of that prefix — [0.0] when it has nothing to say — and
+    [nb_pop] undoes the latest push.  The bound must be a pure function
+    of the pushed prefix; [--jobs] determinism relies on it. *)
+type node_bound = {
+  nb_push : task:int -> machine:int -> unit;
+  nb_pop : unit -> unit;
+  nb_bound : cutoff:float -> float;
 }
 
 type result = {
@@ -106,6 +136,18 @@ type result = {
     the general rule, {!Mf_core.Period.period} otherwise); supplying a
     period {e below} the mapping's true one is unsound for the reported
     mapping the same way a wrong [lower_bound] is.
+
+    [node_bound] is a factory for per-node LP bound oracles: when
+    supplied, every node below the root evaluates a warm-started LP
+    bound of its assignment prefix (after the incremental bound and the
+    dominance test, which are much cheaper) and is pruned when the bound
+    cannot beat the incumbent; pruned frontiers are recorded into the
+    dominance table as no-goods.  A {e factory} rather than an oracle:
+    it is invoked once per search, so parallel subtrees never share
+    mutable LP state and [--jobs] byte-identity is preserved.  Supplying
+    [node_bound] also flips the [dominance] auto-default to on (the
+    table doubles as the no-good store).  Soundness is the caller's
+    contract, exactly as for [lower_bound].
     @raise Invalid_argument when no mapping satisfying [rule] exists
     ([m < p] for specialized, [m < n] for one-to-one), or [jobs < 1], or
     [setup < 0], or [incumbent] violates [rule]. *)
@@ -118,6 +160,7 @@ val solve :
   ?symmetry:bool ->
   ?lower_bound:float ->
   ?incumbent:Mf_core.Mapping.t * float ->
+  ?node_bound:(unit -> node_bound) ->
   rule:Mf_core.Mapping.rule ->
   Mf_core.Instance.t ->
   result

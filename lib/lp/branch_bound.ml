@@ -24,7 +24,10 @@ let solve ?(node_budget = 200_000) ?(int_tol = 1e-6) model =
     match Standardize.build ~lo ~hi model with
     | None -> `Infeasible
     | Some std -> (
-      let d = FS.solve_detailed ~a:std.Standardize.a ~b:std.Standardize.b ~c:std.Standardize.c () in
+      let d =
+        FS.solve_sparse_detailed ~a:std.Standardize.a ~b:std.Standardize.b
+          ~c:std.Standardize.c ()
+      in
       match d.FS.outcome with
       | FS.Infeasible -> `Infeasible
       | FS.Unbounded -> `Unbounded
@@ -34,10 +37,10 @@ let solve ?(node_budget = 200_000) ?(int_tol = 1e-6) model =
         (* An exhausted pivot budget must neither loop nor prune unsoundly:
            certify the node exactly, warm-started from the float basis. *)
         let module R = Mf_numeric.Rat in
-        let a = Array.map (Array.map R.of_float) std.Standardize.a in
+        let a = Sparse.map_values R.of_float std.Standardize.a in
         let b = Array.map R.of_float std.Standardize.b in
         let c = Array.map R.of_float std.Standardize.c in
-        let rd = RS.solve_from_basis ~a ~b ~c ~basis:d.FS.basis () in
+        let rd = RS.solve_sparse_from_basis ~a ~b ~c ~basis:d.FS.basis () in
         (match rd.RS.outcome with
         | RS.Infeasible -> `Infeasible
         | RS.Unbounded -> `Unbounded

@@ -1,0 +1,54 @@
+(** Sparse LU factorisation of a simplex basis with a product-form eta
+    file, the engine room of the revised simplex ({!Simplex}).
+
+    [factorize] runs a left-looking Gilbert–Peierls elimination with
+    Markowitz-flavoured pivoting: columns in order of increasing entry
+    count, pivot rows by (magnitude threshold, fewest original entries,
+    lowest index) — every tie-break deterministic, as the search layer's
+    bit-identity contract requires.  [ftran]/[btran] solve with B and
+    B^T through the factors and the eta file; [update] absorbs one basis
+    exchange as a product-form eta.  The caller refactorises when
+    [update] refuses (eta pivot below its floor), when {!eta_count}
+    passes its cap, or when the maintained basic solution drifts — see
+    DESIGN.md §15. *)
+
+exception Singular of int
+(** No acceptable pivot at the given elimination step: the proposed
+    basis is (numerically) singular. *)
+
+module Make (F : Mf_numeric.Ordered_field.S) : sig
+  type t
+
+  (** [factorize ~dim ~col ~basis] factorises the [dim] x [dim] matrix
+      whose [p]-th column is the entries produced by [col basis.(p)].
+      [col j f] must call [f row value] once per stored entry of column
+      [j] of the full constraint matrix (artificials included).
+      @raise Singular when the basis is (numerically) singular.
+      @raise Invalid_argument when [basis] has the wrong length. *)
+  val factorize : dim:int -> col:(int -> (int -> F.t -> unit) -> unit) -> basis:int array -> t
+
+  val dim : t -> int
+
+  (** Etas absorbed since factorisation. *)
+  val eta_count : t -> int
+
+  (** Stored entries of L + U (diagonal included) — the fill trigger. *)
+  val fill : t -> int
+
+  (** [ftran t ~rhs ~out] writes B^-1 [rhs] to [out]; [rhs] is indexed
+      by row, [out] by basis position.  [rhs] is not modified; [out]
+      must not alias [rhs]. *)
+  val ftran : t -> rhs:F.t array -> out:F.t array -> unit
+
+  (** [btran t ~cvec ~out] writes B^-T [cvec] to [out]; [cvec] is
+      indexed by basis position, [out] by row.  [cvec] is not modified;
+      [out] must not alias [cvec]. *)
+  val btran : t -> cvec:F.t array -> out:F.t array -> unit
+
+  (** [update t ~w ~pos] absorbs the basis exchange that replaces the
+      column at basis position [pos] by an entering column whose FTRAN
+      image is [w].  Returns [false] — leaving [t] unchanged — when the
+      eta pivot [w.(pos)] is too small to divide by safely; the caller
+      must then refactorise. *)
+  val update : t -> w:F.t array -> pos:int -> bool
+end

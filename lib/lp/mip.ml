@@ -5,15 +5,28 @@ type path = [ `Float | `Rational ]
 type certified_stats = {
   float_iterations : int;
   exact_iterations : int;
+  factorizations : int;
+  eta_updates : int;
+  refactorizations : int;
   path : path;
 }
+
+let zero_stats =
+  {
+    float_iterations = 0;
+    exact_iterations = 0;
+    factorizations = 0;
+    eta_updates = 0;
+    refactorizations = 0;
+    path = `Float;
+  }
 
 let solve_relaxation model =
   match Standardize.build model with
   | None -> `Infeasible
   | Some std -> (
     match
-      Simplex.Float_solver.solve ~a:std.Standardize.a ~b:std.Standardize.b
+      Simplex.Float_solver.solve_sparse ~a:std.Standardize.a ~b:std.Standardize.b
         ~c:std.Standardize.c
     with
     | Simplex.Float_solver.Infeasible -> `Infeasible
@@ -22,9 +35,11 @@ let solve_relaxation model =
     | Simplex.Float_solver.Optimal (x, obj) ->
       `Optimal (std.Standardize.recover x, Standardize.model_objective std obj))
 
+(* The rational copy of a standardized system shares the float matrix's
+   index arrays: only the value array is converted. *)
 let rat_of_std std =
   let module R = Mf_numeric.Rat in
-  ( Array.map (Array.map R.of_float) std.Standardize.a,
+  ( Sparse.map_values R.of_float std.Standardize.a,
     Array.map R.of_float std.Standardize.b,
     Array.map R.of_float std.Standardize.c )
 
@@ -34,7 +49,7 @@ let solve_relaxation_exact model =
   | Some std ->
     let module R = Mf_numeric.Rat in
     let a, b, c = rat_of_std std in
-    (match Simplex.Rat_solver.solve ~a ~b ~c with
+    (match Simplex.Rat_solver.solve_sparse ~a ~b ~c with
     | Simplex.Rat_solver.Infeasible -> `Infeasible
     | Simplex.Rat_solver.Unbounded -> `Unbounded
     | Simplex.Rat_solver.Stalled ->
@@ -49,25 +64,36 @@ let solve_relaxation_certified model =
   let module RS = Simplex.Rat_solver in
   let module R = Mf_numeric.Rat in
   match Standardize.build model with
-  | None -> (`Infeasible, { float_iterations = 0; exact_iterations = 0; path = `Float })
+  | None -> (`Infeasible, zero_stats)
   | Some std -> (
     let d =
-      FS.solve_detailed ~a:std.Standardize.a ~b:std.Standardize.b ~c:std.Standardize.c ()
+      FS.solve_sparse_detailed ~a:std.Standardize.a ~b:std.Standardize.b
+        ~c:std.Standardize.c ()
     in
     match d.FS.outcome with
     | FS.Optimal (x, obj) ->
       ( `Optimal (std.Standardize.recover x, Standardize.model_objective std obj),
-        { float_iterations = d.FS.iterations; exact_iterations = 0; path = `Float } )
+        {
+          float_iterations = d.FS.iterations;
+          exact_iterations = 0;
+          factorizations = d.FS.factorizations;
+          eta_updates = d.FS.eta_updates;
+          refactorizations = d.FS.refactorizations;
+          path = `Float;
+        } )
     | FS.Infeasible | FS.Unbounded | FS.Stalled ->
       (* The float path failed (or lied): certify with the exact solver,
          warm-started from the float basis so phase 1 — the dominant
          rational cost — is skipped whenever that basis is realizable. *)
       let a, b, c = rat_of_std std in
-      let rd = RS.solve_from_basis ~a ~b ~c ~basis:d.FS.basis () in
+      let rd = RS.solve_sparse_from_basis ~a ~b ~c ~basis:d.FS.basis () in
       let stats =
         {
           float_iterations = d.FS.iterations;
           exact_iterations = rd.RS.iterations;
+          factorizations = d.FS.factorizations + rd.RS.factorizations;
+          eta_updates = d.FS.eta_updates + rd.RS.eta_updates;
+          refactorizations = d.FS.refactorizations + rd.RS.refactorizations;
           path = `Rational;
         }
       in

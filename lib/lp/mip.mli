@@ -11,8 +11,20 @@ type path = [ `Float | `Rational ]
 type certified_stats = {
   float_iterations : int;  (** pivots of the float attempt *)
   exact_iterations : int;  (** pivots of the rational fallback (0 on the float path) *)
+  factorizations : int;
+      (** LU basis factorisations across both attempts (revised simplex) *)
+  eta_updates : int;
+      (** basis exchanges absorbed by product-form eta updates — the
+          cheap path; the ratio of [eta_updates] to [factorizations]
+          is the basis-reuse rate *)
+  refactorizations : int;
+      (** factorisations forced mid-solve by the eta cap, fill growth,
+          or a refused eta pivot *)
   path : path;
 }
+
+(** All-zero stats record, the identity for aggregation. *)
+val zero_stats : certified_stats
 
 (** [solve_relaxation model] solves the continuous relaxation with the
     float simplex only.  Returns the model-space solution and objective.

@@ -1,0 +1,82 @@
+(** Incremental divisible-workload LP bound for exact-search nodes.
+
+    One [t] tracks a branch-and-bound assignment prefix through
+    {!push}/{!pop} calls mirroring the search's assign/undo journal, and
+    {!bound} solves the {e reduced} splitting LP of the remaining
+    subproblem: because the search assigns tasks in backward order
+    (successors first), every committed task's product count [x] is
+    exact at push time, so the committed region collapses into
+    per-machine load coefficients on the throughput column and the LP
+    keeps one flow row and [m] rate columns {e per uncommitted task
+    only}.  The LP shrinks as the search descends — smallest exactly
+    where node counts explode.
+
+    The relaxation is rule-aware.  Committing a task to a machine locks
+    that machine under the search's mapping rule — to the task's type
+    (specialized) or entirely (one-to-one) — and locked-out rate
+    columns are fixed to zero.  Every completion of the prefix that
+    satisfies the rule is a feasible point of the restricted LP, so the
+    optimum [rho*] upper-bounds every completion's throughput and
+    [1/rho*] — deflated by a small safety factor covering float
+    tolerance — is a sound period lower bound for pruning.  Under the
+    general rule no columns are excluded and the bound is the plain
+    splitting relaxation of the remaining subproblem.
+
+    Each solve is warm-started from the basis recorded by the previous
+    solve at the same depth (a per-depth basis stack): sibling nodes
+    share their uncommitted task set, so their LPs have identical shape
+    and differ only in load and lock coefficients.  A basis the solver
+    cannot realize falls back to the cold two-phase solve inside
+    {!Simplex.Make.solve_sparse_from_basis} — staleness costs pivots,
+    never soundness.  All arithmetic is the deterministic float
+    simplex: for a fixed prefix the bound is a pure function of the
+    instance and rule, independent of thread schedule — parallel
+    searches using one oracle per subtree stay byte-identical across
+    [--jobs]. *)
+
+type t
+
+(** [create ?rule inst] builds the oracle; [rule] (default
+    [General]) must match the search's rule — a stricter rule yields
+    tighter, still sound, bounds for that rule's completions only.
+    O(n + m) state; no solve yet. *)
+val create : ?rule:Mf_core.Mapping.rule -> Mf_core.Instance.t -> t
+
+(** [push t ~task ~machine] commits [task] to [machine].
+    @raise Invalid_argument when [task] is already committed or its
+    successor is not ([push]es must follow the backward assignment
+    order — the product count of [task] is computed from its
+    successor's). *)
+val push : t -> task:int -> machine:int -> unit
+
+(** [pop t] undoes the most recent {!push} (bit-exactly: journalled
+    state is restored verbatim, not recomputed).
+    @raise Invalid_argument when the journal is empty. *)
+val pop : t -> unit
+
+(** [bound t ~cutoff] evaluates the current reduced LP (warm-started)
+    and returns either a period lower bound valid for every
+    rule-respecting completion of the pushed prefix, or a value
+    [< cutoff].  The caller prunes when the result reaches [cutoff]
+    (its incumbent threshold); any returned value that does reach
+    [cutoff] is a sound bound, while a smaller value only witnesses
+    that the node cannot be pruned — the distinction lets the
+    specialized-rule enumeration over free-machine type assignments
+    stop at the first variant that cannot prune.  [0.0] (no pruning
+    power) when the LP stalls, degenerates to zero throughput, or
+    fails. *)
+val bound : t -> cutoff:float -> float
+
+(** Number of LP solves performed so far. *)
+val solves : t -> int
+
+(** Work counters, cumulative over the oracle's lifetime. *)
+type stats = {
+  solves : int;  (** LP solves actually performed *)
+  reuses : int;  (** evaluations answered by the parent's optimum, no solve *)
+  warm_starts : int;  (** solves started from a recorded sibling basis *)
+  pivots : int;  (** simplex iterations across all solves *)
+  factorizations : int;  (** LU factorizations across all solves *)
+}
+
+val stats : t -> stats

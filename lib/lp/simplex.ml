@@ -42,6 +42,9 @@ module Make (F : Mf_numeric.Ordered_field.S) = struct
     iterations : int;
     degenerate : int;
     bland_pivots : int;
+    factorizations : int;
+    eta_updates : int;
+    refactorizations : int;
   }
 
   let exact = F.compare F.eps F.zero = 0 && F.compare F.rel_eps F.zero = 0
@@ -105,7 +108,16 @@ module Make (F : Mf_numeric.Ordered_field.S) = struct
     end;
     basis.(row) <- col
 
-  type counters = { mutable iters : int; mutable degen : int; mutable bland : int }
+  type counters = {
+    mutable iters : int;
+    mutable degen : int;
+    mutable bland : int;
+    mutable factz : int;  (* LU factorizations (revised path) *)
+    mutable etaups : int;  (* product-form eta updates (revised path) *)
+    mutable refz : int;  (* refactorizations after the first (revised path) *)
+  }
+
+  let fresh_counters () = { iters = 0; degen = 0; bland = 0; factz = 0; etaups = 0; refz = 0 }
 
   (* One phase of the simplex: pivot until optimal/unbounded or the
      budget runs out.  [weights] are the Devex reference weights, kept as
@@ -283,7 +295,7 @@ module Make (F : Mf_numeric.Ordered_field.S) = struct
 
   let no_weights = [||]
 
-  let solve_detailed ?(pricing = Devex) ?(relative = true) ?iter_budget ~a ~b ~c () =
+  let solve_dense_detailed ?(pricing = Devex) ?(relative = true) ?iter_budget ~a ~b ~c () =
     let rows, n = check_dims ~a ~b ~c in
     check_finite ~a ~b ~c ~rows ~n;
     let is_neg_abs x = F.compare x (F.neg F.eps) < 0 in
@@ -294,7 +306,8 @@ module Make (F : Mf_numeric.Ordered_field.S) = struct
         if Array.exists is_neg_abs c then Unbounded
         else Optimal (Array.make n F.zero, F.zero)
       in
-      { outcome; basis = [||]; iterations = 0; degenerate = 0; bland_pivots = 0 }
+      { outcome; basis = [||]; iterations = 0; degenerate = 0; bland_pivots = 0;
+        factorizations = 0; eta_updates = 0; refactorizations = 0 }
     end
     else begin
       let cols = n + rows in
@@ -340,7 +353,7 @@ module Make (F : Mf_numeric.Ordered_field.S) = struct
             done;
             !mx)
       in
-      let counters = { iters = 0; degen = 0; bland = 0 } in
+      let counters = fresh_counters () in
       let weights = if pricing = Devex then Array.make cols 1.0 else no_weights in
       let finish outcome =
         {
@@ -349,6 +362,9 @@ module Make (F : Mf_numeric.Ordered_field.S) = struct
           iterations = counters.iters;
           degenerate = counters.degen;
           bland_pivots = counters.bland;
+          factorizations = counters.factz;
+          eta_updates = counters.etaups;
+          refactorizations = counters.refz;
         }
       in
       (* Phase 1: minimize the sum of artificials.  Reduced costs start
@@ -441,14 +457,14 @@ module Make (F : Mf_numeric.Ordered_field.S) = struct
         end
     end
 
-  let solve ~a ~b ~c = (solve_detailed ~a ~b ~c ()).outcome
+  let solve_dense ~a ~b ~c = (solve_dense_detailed ~a ~b ~c ()).outcome
 
   (* The pre-Devex solver: Bland's rule under absolute thresholds (plus
      the power-of-two row equilibration it already had), with a pivot
      budget so a stall terminates instead of hanging.  Kept as the
      baseline the bench's before/after comparison is measured against. *)
   let solve_bland_detailed ?iter_budget ~a ~b ~c () =
-    solve_detailed ~pricing:Bland ~relative:false ?iter_budget ~a ~b ~c ()
+    solve_dense_detailed ~pricing:Bland ~relative:false ?iter_budget ~a ~b ~c ()
 
   let solve_bland ~a ~b ~c = (solve_bland_detailed ~a ~b ~c ()).outcome
 
@@ -458,11 +474,11 @@ module Make (F : Mf_numeric.Ordered_field.S) = struct
      basic artificial carrying a nonzero value — falls back to the full
      two-phase solve, so the result is always as trustworthy as
      [solve]. *)
-  let solve_from_basis ?iter_budget ~a ~b ~c ~basis:proposed () =
+  let solve_dense_from_basis ?iter_budget ~a ~b ~c ~basis:proposed () =
     let rows, n = check_dims ~a ~b ~c in
     check_finite ~a ~b ~c ~rows ~n;
     let cols = n + rows in
-    let full () = solve_detailed ?iter_budget ~a ~b ~c () in
+    let full () = solve_dense_detailed ?iter_budget ~a ~b ~c () in
     if rows = 0 then full ()
     else if
       Array.length proposed <> rows
@@ -528,7 +544,7 @@ module Make (F : Mf_numeric.Ordered_field.S) = struct
               done
           end
         done;
-        let counters = { iters = 0; degen = 0; bland = 0 } in
+        let counters = fresh_counters () in
         let finish outcome =
           {
             outcome;
@@ -536,6 +552,9 @@ module Make (F : Mf_numeric.Ordered_field.S) = struct
             iterations = counters.iters;
             degenerate = counters.degen;
             bland_pivots = counters.bland;
+            factorizations = counters.factz;
+            eta_updates = counters.etaups;
+            refactorizations = counters.refz;
           }
         in
         match
@@ -552,6 +571,591 @@ module Make (F : Mf_numeric.Ordered_field.S) = struct
           finish (Optimal (x, F.neg z2.(cols)))
       end
     end
+
+  (* ================================================================== *)
+  (* Revised simplex over a sparse LU-factorised basis.                  *)
+  (*                                                                     *)
+  (* Same two phases, same Devex/Bland pricing and stall detector, same  *)
+  (* typed outcomes as the dense tableau above — but the per-iteration   *)
+  (* work is one BTRAN (duals), one O(nnz) pricing sweep, one FTRAN      *)
+  (* (entering column), an optional BTRAN + sweep for the Devex weight   *)
+  (* update, and a product-form eta append, instead of an O(rows*cols)   *)
+  (* tableau elimination.  The basis is refactorised (Markowitz LU, see  *)
+  (* Lu) when the eta file passes its cap, when its accumulated fill     *)
+  (* overtakes the factor's, or when an eta pivot is too small to        *)
+  (* divide by; the basic solution is recomputed from scratch at every   *)
+  (* refactorisation, which bounds drift.                                *)
+  (* ================================================================== *)
+
+  module Sp = Sparse.Make (F)
+  module Lufac = Lu.Make (F)
+
+  (* Numerical breakdown on the float path (a refactorisation found the
+     basis singular after updates claimed it was fine): surrender to the
+     typed [Stalled] outcome; certified callers re-solve exactly. *)
+  exception Breakdown
+
+  let eta_cap = 64
+
+  type rstate = {
+    dim : int;  (* constraint rows *)
+    ncols : int;  (* structural columns *)
+    amat : Sp.t;  (* scaled, sign-flipped structural matrix *)
+    bvec : F.t array;  (* scaled, flipped rhs (componentwise >= 0) *)
+    basis : int array;  (* basis position -> column id *)
+    vpos : int array;  (* column id -> basis position, -1 if nonbasic *)
+    xb : F.t array;  (* basic values, by basis position *)
+    mutable fac : Lufac.t;
+    weights : float array;  (* Devex reference weights, machine floats *)
+    rhsbuf : F.t array;  (* row-space gather buffer *)
+    wbuf : F.t array;  (* FTRAN image of the entering column *)
+    ybuf : F.t array;  (* BTRAN duals *)
+    cbuf : F.t array;  (* basic-cost gather *)
+    rbuf : F.t array;  (* BTRAN pivot row *)
+    ebuf : F.t array;  (* unit vector for the pivot-row BTRAN *)
+    counters : counters;
+    mutable eta_fill : int;  (* entries accumulated in the eta file *)
+  }
+
+  let[@inline] col_iter st j f =
+    if j < st.ncols then Sp.iter_col st.amat j f else f (j - st.ncols) F.one
+
+  let refactorize st =
+    (match Lufac.factorize ~dim:st.dim ~col:(col_iter st) ~basis:st.basis with
+    | fac -> st.fac <- fac
+    | exception Lu.Singular _ -> raise Breakdown);
+    st.counters.factz <- st.counters.factz + 1;
+    st.eta_fill <- 0;
+    (* Recompute the basic solution from the fresh factors: the cheap
+       incremental x_B updates drift, and this is the drift reset. *)
+    Lufac.ftran st.fac ~rhs:st.bvec ~out:st.xb
+
+  (* Absorb the exchange [basis.(pos) <- entering], whose FTRAN image is
+     in [st.wbuf], into the factorisation — by eta when cheap and sound,
+     by refactorisation otherwise. *)
+  let absorb_exchange st ~pos =
+    let fill =
+      let c = ref 0 in
+      for i = 0 to st.dim - 1 do
+        if F.compare st.wbuf.(i) F.zero <> 0 then incr c
+      done;
+      !c
+    in
+    if
+      Lufac.eta_count st.fac >= eta_cap
+      || st.eta_fill + fill > 2 * Lufac.fill st.fac
+      || not (Lufac.update st.fac ~w:st.wbuf ~pos)
+    then begin
+      if st.counters.factz > 0 then st.counters.refz <- st.counters.refz + 1;
+      refactorize st
+    end
+    else begin
+      st.counters.etaups <- st.counters.etaups + 1;
+      st.eta_fill <- st.eta_fill + fill
+    end
+
+  (* One phase of the revised simplex.  [cost j] is the phase objective
+     coefficient of column [j]; [eligible j] gates entering candidates;
+     [objective ()] evaluates the current phase objective for the stall
+     detector. *)
+  let iterate_rev st ~cost ~eligible ~relative ~pricing ~iter_budget ~stall_k ~objective
+      =
+    let dim = st.dim in
+    let all_cols = st.ncols + dim in
+    let mode = ref pricing in
+    let since_improve = ref 0 in
+    let best_obj = ref (objective ()) in
+    let rec loop () =
+      if st.counters.iters >= iter_budget then `Stalled
+      else begin
+        (* Duals: y = B^-T c_B. *)
+        for i = 0 to dim - 1 do
+          st.cbuf.(i) <- cost st.basis.(i)
+        done;
+        Lufac.btran st.fac ~cvec:st.cbuf ~out:st.ybuf;
+        (* Pricing sweep: d_j = c_j - y . A_j, tested against a tolerance
+           relative to the magnitude of its own computation (the revised
+           analogue of the dense path's maintained row norms). *)
+        let entering = ref (-1) in
+        let best_score = ref 0.0 in
+        let j = ref 0 in
+        let continue_scan = ref true in
+        while !continue_scan && !j < all_cols do
+          let jj = !j in
+          if st.vpos.(jj) < 0 && eligible jj then begin
+            let d = ref (cost jj) in
+            let mag = ref (F.abs !d) in
+            col_iter st jj (fun r v ->
+                let p = F.mul st.ybuf.(r) v in
+                d := F.sub !d p;
+                mag := F.add !mag (F.abs p));
+            let tol = if relative then F.add F.eps (F.mul F.rel_eps !mag) else F.eps in
+            if F.compare !d (F.neg tol) < 0 then begin
+              match !mode with
+              | Bland ->
+                entering := jj;
+                continue_scan := false
+              | Devex ->
+                let df = F.to_float !d in
+                let score = df *. df /. st.weights.(jj) in
+                if score > !best_score then begin
+                  best_score := score;
+                  entering := jj
+                end
+            end
+          end;
+          incr j
+        done;
+        if !entering < 0 then `Optimal
+        else begin
+          let q = !entering in
+          (* FTRAN: w = B^-1 A_q. *)
+          Array.fill st.rhsbuf 0 dim F.zero;
+          col_iter st q (fun r v -> st.rhsbuf.(r) <- v);
+          Lufac.ftran st.fac ~rhs:st.rhsbuf ~out:st.wbuf;
+          let wmax = ref F.zero in
+          for i = 0 to dim - 1 do
+            let v = F.abs st.wbuf.(i) in
+            if F.compare v !wmax > 0 then wmax := v
+          done;
+          let wtol = if relative then F.add F.eps (F.mul F.rel_eps !wmax) else F.eps in
+          let neg_wtol = F.neg wtol in
+          (* Ratio test.  Basic artificials already sitting at zero are
+             additionally kicked out at a zero step whenever the entering
+             column touches them with either sign, so they cannot drift
+             away from zero in phase 2.  (The zero-value gate matters: a
+             zero-step exchange of a basic variable carrying flow would
+             silently break B x_B = b.) *)
+          let zero_tol = tol_for ~relative (F.of_int (2 * dim)) in
+          let leave = ref (-1) in
+          let best_ratio = ref F.zero in
+          for i = 0 to dim - 1 do
+            let wi = st.wbuf.(i) in
+            let art = st.basis.(i) >= st.ncols in
+            let cand, ratio =
+              if F.compare wi wtol > 0 then begin
+                let num = st.xb.(i) in
+                let r = if F.compare num F.zero <= 0 then F.zero else F.div num wi in
+                (true, r)
+              end
+              else if
+                art
+                && F.compare wi neg_wtol < 0
+                && F.compare (F.abs st.xb.(i)) zero_tol <= 0
+              then (true, F.zero)
+              else (false, F.zero)
+            in
+            if cand then begin
+              let better =
+                !leave < 0
+                ||
+                let cr = F.compare ratio !best_ratio in
+                cr < 0
+                || cr = 0
+                   &&
+                   (match !mode with
+                   | Bland -> st.basis.(i) < st.basis.(!leave)
+                   | Devex -> F.compare (F.abs wi) (F.abs st.wbuf.(!leave)) > 0)
+              in
+              if better then begin
+                leave := i;
+                best_ratio := ratio
+              end
+            end
+          done;
+          if !leave < 0 then `Unbounded
+          else begin
+            let pos = !leave in
+            let theta = !best_ratio in
+            let piv = st.wbuf.(pos) in
+            let lcol = st.basis.(pos) in
+            (* Devex weight update needs the pivot row of the *old* basis:
+               alpha = (B^-T e_pos)^T A, one extra BTRAN + sweep. *)
+            (match !mode with
+            | Bland -> ()
+            | Devex ->
+              Array.fill st.ebuf 0 dim F.zero;
+              st.ebuf.(pos) <- F.one;
+              Lufac.btran st.fac ~cvec:st.ebuf ~out:st.rbuf;
+              let gamma = Float.max st.weights.(q) 1.0 in
+              let pf = F.to_float piv in
+              let overflow = ref false in
+              for jj = 0 to all_cols - 1 do
+                if jj <> q && st.vpos.(jj) < 0 && eligible jj then begin
+                  let alpha = ref F.zero in
+                  col_iter st jj (fun r v -> alpha := F.add !alpha (F.mul st.rbuf.(r) v));
+                  let af = F.to_float !alpha /. pf in
+                  if af <> 0.0 then begin
+                    let cand = af *. af *. gamma in
+                    if cand > st.weights.(jj) then st.weights.(jj) <- cand;
+                    if st.weights.(jj) > 1e12 then overflow := true
+                  end
+                end
+              done;
+              st.weights.(lcol) <- Float.max (gamma /. (pf *. pf)) 1.0;
+              if !overflow then Array.fill st.weights 0 all_cols 1.0);
+            (* Apply the step to the basic solution and swap the basis. *)
+            if F.compare theta F.zero <> 0 then
+              for i = 0 to dim - 1 do
+                if F.compare st.wbuf.(i) F.zero <> 0 then
+                  st.xb.(i) <- F.sub st.xb.(i) (F.mul theta st.wbuf.(i))
+              done;
+            st.xb.(pos) <- theta;
+            st.basis.(pos) <- q;
+            st.vpos.(lcol) <- -1;
+            st.vpos.(q) <- pos;
+            absorb_exchange st ~pos;
+            st.counters.iters <- st.counters.iters + 1;
+            (match !mode with
+            | Bland -> st.counters.bland <- st.counters.bland + 1
+            | Devex -> ());
+            let obj = objective () in
+            let itol =
+              if relative then F.add F.eps (F.mul F.rel_eps (F.abs !best_obj)) else F.eps
+            in
+            if F.compare obj (F.sub !best_obj itol) < 0 then begin
+              best_obj := obj;
+              since_improve := 0;
+              mode := pricing
+            end
+            else begin
+              incr since_improve;
+              st.counters.degen <- st.counters.degen + 1;
+              if !since_improve >= stall_k then mode := Bland
+            end;
+            loop ()
+          end
+        end
+      end
+    in
+    loop ()
+
+  let check_finite_sparse ~(a : Sp.t) ~b ~c =
+    if not exact then begin
+      let n = Sp.cols a in
+      for j = 0 to n - 1 do
+        Sp.iter_col a j (fun i v ->
+            if not (F.is_finite v) then raise (Non_finite { row = i; col = j }))
+      done;
+      Array.iteri
+        (fun i v -> if not (F.is_finite v) then raise (Non_finite { row = i; col = n }))
+        b;
+      Array.iteri
+        (fun j v -> if not (F.is_finite v) then raise (Non_finite { row = -1; col = j }))
+        c
+    end
+
+  (* Scale + flip the input into the internal standard form shared by the
+     cold and warm sparse entry points: rows equilibrated by powers of
+     two, negative-rhs rows negated, artificials implicit. *)
+  let make_rstate ~(a : Sp.t) ~b ~pricing =
+    let rows = Sp.rows a in
+    let n = Sp.cols a in
+    let abs v = if F.compare v F.zero < 0 then F.neg v else v in
+    let rowmax = Array.make rows F.zero in
+    if not exact then begin
+      Array.iteri (fun i bi -> rowmax.(i) <- abs bi) b;
+      Array.iteri
+        (fun k v ->
+          let r = a.Sparse.rowind.(k) in
+          let m = abs v in
+          if F.compare m rowmax.(r) > 0 then rowmax.(r) <- m)
+        a.Sparse.values
+    end;
+    let scale =
+      Array.init rows (fun i ->
+          if exact then F.one
+          else if F.compare rowmax.(i) F.zero > 0 then pow2_inv rowmax.(i)
+          else F.one)
+    in
+    let flip = Array.init rows (fun i -> F.compare b.(i) F.zero < 0) in
+    let values =
+      Array.mapi
+        (fun k v ->
+          let r = a.Sparse.rowind.(k) in
+          let v = F.mul scale.(r) v in
+          if flip.(r) then F.neg v else v)
+        a.Sparse.values
+    in
+    let amat = { a with Sparse.values = values } in
+    let bvec =
+      Array.init rows (fun i ->
+          let v = F.mul scale.(i) b.(i) in
+          if flip.(i) then F.neg v else v)
+    in
+    let all_cols = n + rows in
+    {
+      dim = rows;
+      ncols = n;
+      amat;
+      bvec;
+      basis = Array.init rows (fun i -> n + i);
+      vpos =
+        Array.init all_cols (fun j -> if j >= n then j - n else -1);
+      xb = Array.copy bvec;
+      fac = Lufac.factorize ~dim:0 ~col:(fun _ _ -> ()) ~basis:[||];
+      weights = (if pricing = Devex then Array.make all_cols 1.0 else [||]);
+      rhsbuf = Array.make rows F.zero;
+      wbuf = Array.make rows F.zero;
+      ybuf = Array.make rows F.zero;
+      cbuf = Array.make rows F.zero;
+      rbuf = Array.make rows F.zero;
+      ebuf = Array.make rows F.zero;
+      counters = fresh_counters ();
+      eta_fill = 0;
+    }
+
+  let finish_rev st outcome =
+    {
+      outcome;
+      basis = Array.copy st.basis;
+      iterations = st.counters.iters;
+      degenerate = st.counters.degen;
+      bland_pivots = st.counters.bland;
+      factorizations = st.counters.factz;
+      eta_updates = st.counters.etaups;
+      refactorizations = st.counters.refz;
+    }
+
+  let phase2_cost st c j = if j < st.ncols then c.(j) else F.zero
+
+  let phase2_objective st c () =
+    let s = ref F.zero in
+    for i = 0 to st.dim - 1 do
+      let bj = st.basis.(i) in
+      if bj < st.ncols then s := F.add !s (F.mul c.(bj) st.xb.(i))
+    done;
+    !s
+
+  let extract_solution st c =
+    let x = Array.make st.ncols F.zero in
+    for i = 0 to st.dim - 1 do
+      let bj = st.basis.(i) in
+      if bj < st.ncols then x.(bj) <- st.xb.(i)
+    done;
+    (x, phase2_objective st c ())
+
+  (* Pivot any artificial still basic after phase 1 out of the basis:
+     BTRAN its unit vector to get the pivot row, take the first
+     structural nonbasic column with a usable entry, and exchange at a
+     zero step.  Rows with no such entry are redundant; their artificial
+     stays basic at zero, barred from entering and kicked out by the
+     ratio test if an entering column ever touches the row. *)
+  let drive_out_artificials st ~relative =
+    for i = 0 to st.dim - 1 do
+      if st.basis.(i) >= st.ncols then begin
+        Array.fill st.ebuf 0 st.dim F.zero;
+        st.ebuf.(i) <- F.one;
+        Lufac.btran st.fac ~cvec:st.ebuf ~out:st.rbuf;
+        let found = ref (-1) in
+        let fval = ref F.zero in
+        let j = ref 0 in
+        while !found < 0 && !j < st.ncols do
+          let jj = !j in
+          if st.vpos.(jj) < 0 then begin
+            let alpha = ref F.zero in
+            let mag = ref F.zero in
+            col_iter st jj (fun r v ->
+                let p = F.mul st.rbuf.(r) v in
+                alpha := F.add !alpha p;
+                mag := F.add !mag (F.abs p));
+            let tol = if relative then F.add F.eps (F.mul F.rel_eps !mag) else F.eps in
+            if F.compare (F.abs !alpha) tol > 0 then begin
+              found := jj;
+              fval := !alpha
+            end
+          end;
+          incr j
+        done;
+        if !found >= 0 then begin
+          let q = !found in
+          Array.fill st.rhsbuf 0 st.dim F.zero;
+          col_iter st q (fun r v -> st.rhsbuf.(r) <- v);
+          Lufac.ftran st.fac ~rhs:st.rhsbuf ~out:st.wbuf;
+          (* The artificial sits at (numerical) zero, so the step is a
+             degenerate exchange: x_B is unchanged except at [i]. *)
+          let lcol = st.basis.(i) in
+          st.xb.(i) <- F.zero;
+          st.basis.(i) <- q;
+          st.vpos.(lcol) <- -1;
+          st.vpos.(q) <- i;
+          absorb_exchange st ~pos:i
+        end
+      end
+    done
+
+  let solve_sparse_detailed ?(pricing = Devex) ?(relative = true) ?iter_budget
+      ~(a : Sp.t) ~b ~c () =
+    let rows = Sp.rows a in
+    let n = Sp.cols a in
+    if Array.length b <> rows then invalid_arg "Simplex.solve_sparse: b length mismatch";
+    if Array.length c <> n then invalid_arg "Simplex.solve_sparse: c length mismatch";
+    check_finite_sparse ~a ~b ~c;
+    let is_neg_abs x = F.compare x (F.neg F.eps) < 0 in
+    if rows = 0 then begin
+      let outcome =
+        if Array.exists is_neg_abs c then Unbounded
+        else Optimal (Array.make n F.zero, F.zero)
+      in
+      {
+        outcome;
+        basis = [||];
+        iterations = 0;
+        degenerate = 0;
+        bland_pivots = 0;
+        factorizations = 0;
+        eta_updates = 0;
+        refactorizations = 0;
+      }
+    end
+    else begin
+      let iter_budget =
+        match iter_budget with
+        | Some k -> k
+        | None -> default_budget ~rows ~cols:(n + rows)
+      in
+      let stall_k = Stdlib.max 32 rows in
+      let relative = relative && not exact in
+      let st = make_rstate ~a ~b ~pricing in
+      match
+        refactorize st;
+        (* Phase 1: minimize the artificial sum. *)
+        let cost1 j = if j >= st.ncols then F.one else F.zero in
+        let objective1 () =
+          let s = ref F.zero in
+          for i = 0 to st.dim - 1 do
+            if st.basis.(i) >= st.ncols then s := F.add !s st.xb.(i)
+          done;
+          !s
+        in
+        iterate_rev st ~cost:cost1
+          ~eligible:(fun _ -> true)
+          ~relative ~pricing ~iter_budget ~stall_k ~objective:objective1
+      with
+      | exception Breakdown -> finish_rev st Stalled
+      | `Stalled -> finish_rev st Stalled
+      | `Unbounded ->
+        (* Phase 1 is bounded below by 0: a reported ray means the
+           thresholds lied.  Same convention as the dense path. *)
+        finish_rev st Infeasible
+      | `Optimal -> (
+        let phase1_obj =
+          let s = ref F.zero in
+          for i = 0 to st.dim - 1 do
+            if st.basis.(i) >= st.ncols then s := F.add !s st.xb.(i)
+          done;
+          !s
+        in
+        let feas_tol = tol_for ~relative (F.of_int (2 * rows)) in
+        if F.compare phase1_obj feas_tol > 0 then finish_rev st Infeasible
+        else
+          match
+            drive_out_artificials st ~relative;
+            if pricing = Devex then Array.fill st.weights 0 (n + rows) 1.0;
+            iterate_rev st ~cost:(phase2_cost st c)
+              ~eligible:(fun j -> j < n)
+              ~relative ~pricing ~iter_budget ~stall_k
+              ~objective:(phase2_objective st c)
+          with
+          | exception Breakdown -> finish_rev st Stalled
+          | `Stalled -> finish_rev st Stalled
+          | `Unbounded -> finish_rev st Unbounded
+          | `Optimal ->
+            let x, obj = extract_solution st c in
+            finish_rev st (Optimal (x, obj)))
+    end
+
+  let solve_sparse ~a ~b ~c = (solve_sparse_detailed ~a ~b ~c ()).outcome
+
+  (* Warm start on the sparse path: factorize the proposed basis
+     directly (no elimination pass over a dense tableau), recover x_B by
+     one FTRAN, check primal feasibility, and run phase 2 only.  Any
+     failure — wrong shape, duplicate or singular basis, an infeasible
+     vertex, an artificial carrying real flow — falls back to the full
+     two-phase solve, so the result is always as trustworthy as
+     [solve_sparse]. *)
+  let solve_sparse_from_basis ?iter_budget ~(a : Sp.t) ~b ~c ~basis:proposed () =
+    let rows = Sp.rows a in
+    let n = Sp.cols a in
+    if Array.length b <> rows then invalid_arg "Simplex.solve_sparse: b length mismatch";
+    if Array.length c <> n then invalid_arg "Simplex.solve_sparse: c length mismatch";
+    check_finite_sparse ~a ~b ~c;
+    let full () = solve_sparse_detailed ?iter_budget ~a ~b ~c () in
+    let distinct =
+      let seen = Array.make (n + rows) false in
+      Array.for_all
+        (fun col ->
+          col >= 0 && col < n + rows
+          &&
+          if seen.(col) then false
+          else begin
+            seen.(col) <- true;
+            true
+          end)
+        proposed
+    in
+    if rows = 0 then full ()
+    else if Array.length proposed <> rows || not distinct then full ()
+    else begin
+      let st = make_rstate ~a ~b ~pricing:Bland in
+      Array.fill st.vpos 0 (n + rows) (-1);
+      Array.blit proposed 0 st.basis 0 rows;
+      Array.iteri (fun i col -> st.vpos.(col) <- i) st.basis;
+      match Lufac.factorize ~dim:st.dim ~col:(col_iter st) ~basis:st.basis with
+      | exception Lu.Singular _ -> full ()
+      | fac -> (
+        st.fac <- fac;
+        st.counters.factz <- st.counters.factz + 1;
+        Lufac.ftran st.fac ~rhs:st.bvec ~out:st.xb;
+        (* Primal feasibility of the proposed vertex: nonnegative basic
+           values, artificials at zero — within the tolerance of the
+           scaled system, whose rhs lives in [0, 2]. *)
+        let vtol = tol_for ~relative:(not exact) (F.of_int (2 * rows)) in
+        let ok = ref true in
+        for i = 0 to rows - 1 do
+          if F.compare st.xb.(i) (F.neg vtol) < 0 then ok := false
+          else if st.basis.(i) >= n && F.compare (F.abs st.xb.(i)) vtol > 0 then
+            ok := false
+        done;
+        if not !ok then full ()
+        else begin
+          let iter_budget =
+            match iter_budget with
+            | Some k -> k
+            | None -> default_budget ~rows ~cols:(n + rows)
+          in
+          match
+            iterate_rev st ~cost:(phase2_cost st c)
+              ~eligible:(fun j -> j < n)
+              ~relative:(not exact) ~pricing:Bland ~iter_budget
+              ~stall_k:(Stdlib.max 32 rows)
+              ~objective:(phase2_objective st c)
+          with
+          | exception Breakdown -> finish_rev st Stalled
+          | `Stalled -> finish_rev st Stalled
+          | `Unbounded -> finish_rev st Unbounded
+          | `Optimal ->
+            let x, obj = extract_solution st c in
+            finish_rev st (Optimal (x, obj))
+        end)
+    end
+
+  (* The default entry points run the revised path; the dense tableau
+     survives as [solve_dense*] — the differential anchor the
+     sparse-vs-dense fuzz oracle pins the revised path against. *)
+  let solve_detailed ?pricing ?relative ?iter_budget ~a ~b ~c () =
+    let rows, n = check_dims ~a ~b ~c in
+    check_finite ~a ~b ~c ~rows ~n;
+    let sa = Sp.of_dense a ~cols:n in
+    solve_sparse_detailed ?pricing ?relative ?iter_budget ~a:sa ~b ~c ()
+
+  let solve ~a ~b ~c = (solve_detailed ~a ~b ~c ()).outcome
+
+  let solve_from_basis ?iter_budget ~a ~b ~c ~basis () =
+    let rows, n = check_dims ~a ~b ~c in
+    check_finite ~a ~b ~c ~rows ~n;
+    let sa = Sp.of_dense a ~cols:n in
+    solve_sparse_from_basis ?iter_budget ~a:sa ~b ~c ~basis ()
 end
 
 module Float_solver = Make (Mf_numeric.Ordered_field.Float_field)

@@ -1,5 +1,17 @@
-(** Two-phase primal simplex on the full tableau, functorised over an
-    ordered field.
+(** Two-phase primal simplex, functorised over an ordered field.
+
+    The default entry points ({!Make.solve}, {!Make.solve_detailed},
+    {!Make.solve_from_basis}) run a {e revised} simplex over a sparse
+    LU-factorised basis ({!Sparse}, {!Lu}): per iteration one BTRAN for
+    the duals, one O(nnz) pricing sweep, one FTRAN for the entering
+    column and a product-form eta update, with periodic
+    refactorisation.  The former dense-tableau solver survives intact as
+    {!Make.solve_dense} / {!Make.solve_dense_detailed} /
+    {!Make.solve_dense_from_basis} — it is the differential anchor the
+    [sparse-vs-dense] fuzz oracle pins the revised path against.
+    {!Make.solve_sparse_detailed} and {!Make.solve_sparse_from_basis}
+    accept the constraint matrix directly in CSC form, skipping the
+    dense detour entirely — the path the large throughput-form LPs take.
 
     The float instance solves the LP relaxations inside branch-and-bound
     and {!Splitting}; the exact-rational instance
@@ -55,6 +67,15 @@ module Make (F : Mf_numeric.Ordered_field.S) : sig
     iterations : int;  (** pivots performed, both phases *)
     degenerate : int;  (** pivots with no objective progress *)
     bland_pivots : int;  (** pivots taken under the Bland fallback *)
+    factorizations : int;
+        (** LU factorisations of the basis (revised path; 0 on the dense
+            path) *)
+    eta_updates : int;
+        (** basis exchanges absorbed as product-form etas instead of a
+            refactorisation *)
+    refactorizations : int;
+        (** factorisations forced after the first of a phase — by the
+            eta-file cap, accumulated fill, or a refused eta pivot *)
   }
 
   (** [solve ~a ~b ~c] minimizes [c'x] subject to [a x = b], [x >= 0].
@@ -105,6 +126,67 @@ module Make (F : Mf_numeric.Ordered_field.S) : sig
       {!solve}.  Intended for the exact instance, where phase 1 is the
       dominant cost of certifying a float answer. *)
   val solve_from_basis :
+    ?iter_budget:int ->
+    a:F.t array array ->
+    b:F.t array ->
+    c:F.t array ->
+    basis:int array ->
+    unit ->
+    detail
+
+  (** {2 Sparse-input entry points}
+
+      The same solver without the dense detour: [a] is given in
+      compressed-sparse-column form ({!Sparse.Make.of_columns}).  The
+      large throughput-form LPs are ~99% zeros, so this is the only
+      representation that scales past a few hundred tasks. *)
+
+  val solve_sparse :
+    a:F.t Sparse.repr -> b:F.t array -> c:F.t array -> outcome
+
+  val solve_sparse_detailed :
+    ?pricing:pricing ->
+    ?relative:bool ->
+    ?iter_budget:int ->
+    a:F.t Sparse.repr ->
+    b:F.t array ->
+    c:F.t array ->
+    unit ->
+    detail
+
+  (** Warm start on the sparse path: factorise the proposed basis
+      directly, recover the basic solution with one FTRAN, and run
+      phase 2 only — falling back to the full two-phase solve whenever
+      the basis cannot be realised, exactly like {!solve_from_basis}. *)
+  val solve_sparse_from_basis :
+    ?iter_budget:int ->
+    a:F.t Sparse.repr ->
+    b:F.t array ->
+    c:F.t array ->
+    basis:int array ->
+    unit ->
+    detail
+
+  (** {2 Dense tableau baseline}
+
+      The previous core, kept whole: two-phase primal simplex by direct
+      tableau elimination.  Differential anchor for the revised path
+      (they must agree to the oracle's tolerance on every instance) and
+      still the cheapest option for tiny dense systems. *)
+
+  val solve_dense : a:F.t array array -> b:F.t array -> c:F.t array -> outcome
+
+  val solve_dense_detailed :
+    ?pricing:pricing ->
+    ?relative:bool ->
+    ?iter_budget:int ->
+    a:F.t array array ->
+    b:F.t array ->
+    c:F.t array ->
+    unit ->
+    detail
+
+  val solve_dense_from_basis :
     ?iter_budget:int ->
     a:F.t array array ->
     b:F.t array ->

@@ -1,0 +1,50 @@
+(** Compressed-sparse-column matrices for the revised simplex.
+
+    The representation is polymorphic in the value type so that
+    {!map_values} can hand the float path's matrix to the exact-rational
+    certification path structure-intact (the integer index arrays are
+    shared, only the value array is rebuilt).  All numerics beyond
+    construction — triangular solves, factorisation — live in {!Lu}. *)
+
+type 'v repr = {
+  rows : int;
+  cols : int;
+  colptr : int array;  (** length [cols + 1] *)
+  rowind : int array;  (** row index per entry, parallel to [values] *)
+  values : 'v array;
+}
+
+(** Structure-preserving value conversion (e.g. float to rational). *)
+val map_values : ('a -> 'b) -> 'a repr -> 'b repr
+
+module Make (F : Mf_numeric.Ordered_field.S) : sig
+  type t = F.t repr
+
+  val rows : t -> int
+  val cols : t -> int
+  val nnz : t -> int
+
+  (** [iter_col t j f] applies [f row value] to each stored entry of
+      column [j], in storage order (not necessarily sorted by row). *)
+  val iter_col : t -> int -> (int -> F.t -> unit) -> unit
+
+  val col_nnz : t -> int -> int
+
+  (** [of_columns ~rows ~cols columns] builds from per-column entry
+      lists.  @raise Invalid_argument on out-of-range rows or duplicate
+      (row, col) pairs. *)
+  val of_columns : rows:int -> cols:int -> (int * F.t) list array -> t
+
+  (** [of_dense a ~cols] drops exact zeros of a dense row-major matrix.
+      Rows may be longer than [cols]; the excess is ignored (the dense
+      simplex tableau carries an rhs column). *)
+  val of_dense : F.t array array -> cols:int -> t
+
+  val to_dense : t -> F.t array array
+
+  (** Largest absolute value stored in a column ([F.zero] if empty). *)
+  val col_max_abs : t -> int -> F.t
+
+  (** Number of stored entries per row. *)
+  val row_counts : t -> int array
+end

@@ -1,7 +1,8 @@
 module Ds = Mf_structures.Dyn_array
+module Sp = Sparse.Make (Mf_numeric.Ordered_field.Float_field)
 
 type t = {
-  a : float array array;
+  a : float Sparse.repr;
   b : float array;
   c : float array;
   recover : float array -> float array;
@@ -72,17 +73,28 @@ let build ?lo ?hi model =
     in
     let structural = !next in
     let total = structural + slack_count in
-    let rows = Ds.create () in
+    (* The matrix is accumulated column-wise for the revised simplex's
+       CSC form.  Each row contributes at most one entry per column (the
+       per-row Hashtbl coalesces duplicates), and entries are appended in
+       row-creation order, so the storage order — and with it every
+       floating-point accumulation downstream — is deterministic despite
+       the Hashtbl iteration in between. *)
+    let columns = Array.make total [] in
+    let rhs_ds = Ds.create () in
+    let nrows = ref 0 in
     let slack_cursor = ref structural in
     let add_row coeffs rhs slack_sign =
-      let row = Array.make total 0.0 in
-      Hashtbl.iter (fun k c -> row.(k) <- c) coeffs;
+      let r = !nrows in
+      incr nrows;
+      Hashtbl.iter
+        (fun k c -> if c <> 0.0 then columns.(k) <- (r, c) :: columns.(k))
+        coeffs;
       (match slack_sign with
       | 0 -> ()
       | s ->
-        row.(!slack_cursor) <- float_of_int s;
+        columns.(!slack_cursor) <- (r, float_of_int s) :: columns.(!slack_cursor);
         incr slack_cursor);
-      Ds.push rows (row, rhs)
+      Ds.push rhs_ds rhs
     in
     (* Variable upper-bound rows. *)
     Ds.iter
@@ -107,13 +119,10 @@ let build ?lo ?hi model =
     let obj_coeffs, obj_offset = substitute obj_expr in
     let c = Array.make total 0.0 in
     Hashtbl.iter (fun k v -> c.(k) <- v) obj_coeffs;
-    let a = Array.make (Ds.length rows) [||] in
-    let b = Array.make (Ds.length rows) 0.0 in
-    Ds.iteri
-      (fun i (row, rhs) ->
-        a.(i) <- row;
-        b.(i) <- rhs)
-      rows;
+    let a =
+      Sp.of_columns ~rows:!nrows ~cols:total (Array.map List.rev columns)
+    in
+    let b = Array.init (Ds.length rhs_ds) (Ds.get rhs_ds) in
     let recover std =
       Array.init nvars (fun v ->
           match repr.(v) with

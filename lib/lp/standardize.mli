@@ -12,7 +12,11 @@
     [Le]/[Ge] constraints receive slack/surplus columns. *)
 
 type t = {
-  a : float array array;
+  a : float Sparse.repr;
+      (** constraint matrix in compressed-sparse-column form — the
+          representation {!Simplex.Make.solve_sparse_detailed} consumes
+          directly, and the only one that scales to the n ~ 10^3..10^4
+          throughput-form LPs (their tableaus are ~99% zeros) *)
   b : float array;
   c : float array;
   (* [recover std] maps a standard-form solution back to the model's

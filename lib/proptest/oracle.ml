@@ -267,6 +267,61 @@ let lp_oracle =
     }
 
 (* ------------------------------------------------------------------ *)
+(* sparse-vs-dense: the revised-simplex core against the dense tableau  *)
+(* ------------------------------------------------------------------ *)
+
+(* Same standardized throughput-form system through both simplex cores:
+   the sparse revised path (LU basis, eta updates) and the dense-tableau
+   baseline must reach the same verdict, and the same objective to float
+   tolerance when both are optimal.  Paths differ in pivot order, so the
+   solutions may sit on different optimal vertices — only the objective
+   is compared. *)
+
+let sparse_dense_gen =
+  Instances.instance ~max_tasks:6 ~max_machines:4 ~machines_cover_types:true ()
+
+let sparse_dense_prop inst =
+  let module FS = Mf_lp.Simplex.Float_solver in
+  let module FSp = Mf_lp.Sparse.Make (Mf_numeric.Ordered_field.Float_field) in
+  let module Std = Mf_lp.Standardize in
+  match Std.build (Mf_lp.Splitting.model inst) with
+  | None -> failf "standardization failed"
+  | Some std ->
+    let s = FS.solve_sparse_detailed ~a:std.Std.a ~b:std.Std.b ~c:std.Std.c () in
+    let d =
+      FS.solve_dense_detailed ~a:(FSp.to_dense std.Std.a) ~b:std.Std.b ~c:std.Std.c ()
+    in
+    let outcome_name = function
+      | FS.Optimal _ -> "optimal"
+      | FS.Infeasible -> "infeasible"
+      | FS.Unbounded -> "unbounded"
+      | FS.Stalled -> "stalled"
+    in
+    (match (s.FS.outcome, d.FS.outcome) with
+    | FS.Optimal (_, so), FS.Optimal (_, dobj) ->
+      check (rel_close ~tol:1e-6 so dobj) "sparse objective %.17g vs dense %.17g" so dobj
+    | FS.Infeasible, FS.Infeasible | FS.Unbounded, FS.Unbounded -> ()
+    | FS.Stalled, _ | _, FS.Stalled ->
+      (* a stall is a budget artifact, not a verdict — no disagreement *)
+      ()
+    | a, b -> failf "sparse %s vs dense %s" (outcome_name a) (outcome_name b));
+    (* the splitting system always admits a positive-throughput optimum *)
+    check
+      (match s.FS.outcome with FS.Optimal _ -> true | _ -> false)
+      "sparse path did not close a splitting LP (%s)" (outcome_name s.FS.outcome)
+
+let sparse_dense_oracle =
+  Oracle
+    {
+      name = "sparse-vs-dense";
+      description = "revised sparse simplex agrees with the dense tableau core";
+      quick_cases = 120;
+      gen = sparse_dense_gen;
+      prop = prop_of sparse_dense_prop;
+      print = Instances.print_instance;
+    }
+
+(* ------------------------------------------------------------------ *)
 (* sim-vs-analytic: simulated throughput and loss rates in z = 6 bands  *)
 (* ------------------------------------------------------------------ *)
 
@@ -611,6 +666,7 @@ let all =
     heuristics_oracle;
     exact_oracle;
     lp_oracle;
+    sparse_dense_oracle;
     sim_oracle;
     meta_oracle;
     cache_oracle;

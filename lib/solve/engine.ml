@@ -110,14 +110,53 @@ let lp (req : request) =
           stats;
         }))
 
-let exact ?lower_bound ?incumbent ?pool (req : request) =
+(* Per-node LP bounds pay ~500 plain-node-equivalents per evaluation;
+   below this size the plain search exhausts the tree before the first
+   handful of LP solves would pay for themselves (BENCH_exact: the
+   crossover on the solvable-scan family sits between n = 12 and 14). *)
+let lp_bound_threshold = 14
+
+(* Adapt Mf_lp.Node_bound to the Dfs oracle record.  One oracle per
+   subtree search (the factory contract), accumulated under a mutex:
+   subtree searches run on pool domains, and the engine sums the
+   oracles' pivot counters into the outcome stats afterwards. *)
+let node_bound_factory ~rule inst =
+  let oracles = ref [] and guard = Mutex.create () in
+  let factory () =
+    let t = Mf_lp.Node_bound.create ~rule inst in
+    Mutex.protect guard (fun () -> oracles := t :: !oracles);
+    {
+      Dfs.nb_push = (fun ~task ~machine -> Mf_lp.Node_bound.push t ~task ~machine);
+      nb_pop = (fun () -> Mf_lp.Node_bound.pop t);
+      nb_bound = (fun ~cutoff -> Mf_lp.Node_bound.bound t ~cutoff);
+    }
+  in
+  let pivots () =
+    List.fold_left
+      (fun acc t -> acc + (Mf_lp.Node_bound.stats t).Mf_lp.Node_bound.pivots)
+      0 !oracles
+  in
+  (factory, pivots)
+
+let exact ?lower_bound ?incumbent ?pool ?lp_bound (req : request) =
   let inst = req.instance in
   if not (feasible req.rule inst) then infeasible Exact
   else
     let node_budget = node_allowance req.budget in
+    let use_lp =
+      match lp_bound with
+      | Some b -> b
+      | None -> Instance.task_count inst >= lp_bound_threshold
+    in
+    let node_bound, nb_pivots =
+      if use_lp then
+        let factory, pivots = node_bound_factory ~rule:req.rule inst in
+        (Some factory, pivots)
+      else (None, fun () -> 0)
+    in
     let r =
-      Dfs.solve ?node_budget ~setup:req.setup ?pool ?lower_bound ?incumbent ~rule:req.rule
-        inst
+      Dfs.solve ?node_budget ~setup:req.setup ?pool ?lower_bound ?incumbent ?node_bound
+        ~rule:req.rule inst
     in
     let status =
       if r.Dfs.optimal then Optimal
@@ -132,7 +171,7 @@ let exact ?lower_bound ?incumbent ?pool (req : request) =
       mapping = Some r.Dfs.mapping;
       lower_bound;
       engines = [ Exact ];
-      stats = { zero_stats with exact_nodes = r.Dfs.nodes };
+      stats = { zero_stats with exact_nodes = r.Dfs.nodes; lp_pivots = nb_pivots () };
     }
 
 let brute (req : request) =

@@ -28,6 +28,24 @@ val heuristics : Solver.request -> Solver.outcome
     or when rounding fails ([m < p]), [Infeasible] when the LP is. *)
 val lp : Solver.request -> Solver.outcome
 
+(** Task count from which {!exact}'s auto default turns the per-node LP
+    bound on: the measured crossover below which the plain search
+    finishes faster than the LP solves it would save. *)
+val lp_bound_threshold : int
+
+(** [node_bound_factory ~rule inst] adapts {!Mf_lp.Node_bound} to the
+    {!Mf_exact.Dfs.node_bound} oracle record: returns the per-subtree
+    factory to pass as [Dfs.solve ?node_bound] plus a counter reading
+    the simplex iterations spent across all oracles created so far
+    (safe to call after the solve; oracle registration is mutex-guarded
+    because subtree searches run on pool domains).  Exposed for callers
+    driving {!Mf_exact.Dfs} directly ([mfopt exact], the bench); {!exact}
+    wires it automatically. *)
+val node_bound_factory :
+  rule:Mf_core.Mapping.rule ->
+  Mf_core.Instance.t ->
+  (unit -> Mf_exact.Dfs.node_bound) * (unit -> int)
+
 (** Exact branch-and-bound ({!Mf_exact.Dfs.solve}).  The request budget
     maps to the node budget through {!Solver.node_allowance}
     ([Unlimited] uses the Dfs default of 20 million nodes).
@@ -35,11 +53,19 @@ val lp : Solver.request -> Solver.outcome
     the portfolio's shared-incumbent hooks.  [pool] runs the search's
     root subtrees on that {!Mf_parallel.Pool}; the outcome is
     bit-identical either way (the Dfs --jobs invariant), only the wall
-    time changes. *)
+    time changes.
+
+    [lp_bound] toggles the per-node warm-started LP bound oracle
+    ({!Mf_lp.Node_bound}, rule-aware): default {e auto} — on exactly
+    when the instance has at least 14 tasks, the measured crossover
+    below which the plain search finishes faster than the LP solves it
+    would save.  The oracles' simplex iterations are reported in the
+    outcome's [lp_pivots]. *)
 val exact :
   ?lower_bound:float ->
   ?incumbent:Mf_core.Mapping.t * float ->
   ?pool:Mf_parallel.Pool.t ->
+  ?lp_bound:bool ->
   Solver.request ->
   Solver.outcome
 

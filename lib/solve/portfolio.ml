@@ -67,6 +67,9 @@ let run_stages ?pool (req : request) =
             {
               stats with
               exact_nodes = e.stats.exact_nodes;
+              (* splitting-LP pivots plus the exact stage's per-node
+                 bound-oracle pivots: one ledger for all simplex work *)
+              lp_pivots = stats.lp_pivots + e.stats.lp_pivots;
               cache_hit = false;
             };
         }

@@ -565,9 +565,196 @@ let prop_reduction_equivalence =
       let p = { Reduction.z; target = sum / k } in
       Reduction.solvable_by_oracle p = Reduction.brute_force_3partition p)
 
+(* ------------------------------------------------------------------ *)
+(* Per-node LP bound oracle (Mf_lp.Node_bound behind Dfs.node_bound)   *)
+(* ------------------------------------------------------------------ *)
+
+module Node_bound = Mf_lp.Node_bound
+
+let nb_oracle t =
+  {
+    Dfs.nb_push = (fun ~task ~machine -> Node_bound.push t ~task ~machine);
+    nb_pop = (fun () -> Node_bound.pop t);
+    nb_bound = (fun ~cutoff -> Node_bound.bound t ~cutoff);
+  }
+
+(* Exact best completion of a partial assignment ([-1] = unassigned)
+   under [rule], by exhaustive enumeration: the ground truth the LP
+   bound must never exceed. *)
+let best_completion inst ~rule ~assigned =
+  let m = Instance.machines inst in
+  let order = Workflow.backward_order (Instance.workflow inst) in
+  let free =
+    Array.to_list order |> List.filter (fun i -> assigned.(i) < 0)
+  in
+  let best = ref infinity in
+  let rec go = function
+    | [] ->
+        let mp = Mapping.of_array inst (Array.copy assigned) in
+        if Mapping.satisfies inst mp rule then
+          best := Float.min !best (Period.period inst mp)
+    | t :: rest ->
+        for u = 0 to m - 1 do
+          assigned.(t) <- u;
+          go rest;
+          assigned.(t) <- -1
+        done
+  in
+  go free;
+  !best
+
+(* At every prefix of the optimal mapping's assignment path:
+   - a value that reaches its cutoff must be a true lower bound on the
+     best completion (soundness);
+   - with a cutoff strictly above the best completion the oracle can
+     never prune (so the search never cuts the optimum while the
+     incumbent is still beatable). *)
+let test_node_bound_sound_never_prunes_optimum () =
+  let rule = Mapping.Specialized in
+  for seed = 1 to 6 do
+    let inst = chain_instance ~seed ~n:6 ~p:2 ~m:3 () in
+    let opt_mp, _ = Brute.specialized inst in
+    let order = Workflow.backward_order (Instance.workflow inst) in
+    let n = Instance.task_count inst in
+    (* The root certified bound every node LP must dominate: a node's
+       reduced LP is the root relaxation plus lock restrictions, so its
+       feasible set only shrinks and the period bound only rises. *)
+    let root_bound =
+      match Mf_lp.Splitting.solve inst with
+      | Ok r -> r.Mf_lp.Splitting.period
+      | Error _ -> Alcotest.fail "splitting LP failed on generated instance"
+    in
+    let t = Node_bound.create ~rule inst in
+    let assigned = Array.make n (-1) in
+    for k = 0 to n - 2 do
+      let task = order.(k) in
+      let machine = Mapping.machine opt_mp task in
+      Node_bound.push t ~task ~machine;
+      assigned.(task) <- machine;
+      let truth = best_completion inst ~rule ~assigned in
+      let name what =
+        Printf.sprintf "seed %d depth %d: %s" seed (k + 1) what
+      in
+      Alcotest.(check bool) (name "prefix completable") true (Float.is_finite truth);
+      (* Soundness at a beatable cutoff. *)
+      let cutoff = 0.9 *. truth in
+      let b = Node_bound.bound t ~cutoff in
+      if b >= cutoff then begin
+        Alcotest.(check bool)
+          (Printf.sprintf "%s (bound %.9g > truth %.9g)" (name "bound sound") b truth)
+          true
+          (b <= truth *. (1. +. 1e-6));
+        Alcotest.(check bool)
+          (Printf.sprintf "%s (bound %.9g < root %.9g)" (name "dominates root bound") b
+             root_bound)
+          true
+          (b >= root_bound *. (1. -. 1e-6))
+      end;
+      (* No pruning when the best completion beats the cutoff. *)
+      let above = truth *. (1. +. 1e-3) in
+      let b2 = Node_bound.bound t ~cutoff:above in
+      Alcotest.(check bool)
+        (Printf.sprintf "%s (bound %.9g vs %.9g)" (name "optimum survives") b2 above)
+        true (b2 < above)
+    done
+  done
+
+(* Two oracles fed the identical push/bound/pop sequence answer
+   bit-identically — the determinism the --jobs identity contract
+   rests on (each subtree gets its own oracle from the factory). *)
+let test_node_bound_deterministic_replay () =
+  let rule = Mapping.Specialized in
+  let inst = chain_instance ~seed:3 ~n:8 ~p:2 ~m:4 () in
+  let order = Workflow.backward_order (Instance.workflow inst) in
+  let n = Instance.task_count inst in
+  let replay () =
+    let t = Node_bound.create ~rule inst in
+    let out = ref [] in
+    let rng = Rng.create 99 in
+    (* Depth-first excursion pattern: push, bound, sometimes pop and
+       re-push a sibling — the shape of the real search's journal. *)
+    for k = 0 to n - 1 do
+      let task = order.(k) in
+      let u1 = Rng.int rng 4 in
+      Node_bound.push t ~task ~machine:u1;
+      out := Node_bound.bound t ~cutoff:(100.0 +. float_of_int k) :: !out;
+      Node_bound.pop t;
+      let u2 = Rng.int rng 4 in
+      Node_bound.push t ~task ~machine:u2;
+      out := Node_bound.bound t ~cutoff:(200.0 +. float_of_int k) :: !out
+    done;
+    (!out, Node_bound.stats t)
+  in
+  let o1, s1 = replay () in
+  let o2, s2 = replay () in
+  List.iteri
+    (fun i (a, b) ->
+      Alcotest.(check bool)
+        (Printf.sprintf "replay value %d identical (%h vs %h)" i a b)
+        true
+        (Int64.equal (Int64.bits_of_float a) (Int64.bits_of_float b)))
+    (List.combine o1 o2);
+  Alcotest.(check int) "replay solves identical" s1.Node_bound.solves s2.Node_bound.solves;
+  Alcotest.(check int) "replay pivots identical" s1.Node_bound.pivots s2.Node_bound.pivots
+
+let test_node_bound_push_order_contract () =
+  let inst = chain_instance ~seed:1 ~n:5 ~p:2 ~m:3 () in
+  let t = Node_bound.create ~rule:Mapping.Specialized inst in
+  (* Task 0's successor (task 1 in a chain) is uncommitted. *)
+  (try
+     Node_bound.push t ~task:0 ~machine:0;
+     Alcotest.fail "push out of backward order accepted"
+   with Invalid_argument _ -> ());
+  (try
+     Node_bound.pop t;
+     Alcotest.fail "pop of empty journal accepted"
+   with Invalid_argument _ -> ())
+
+(* End-to-end through Dfs: the LP-bound arm returns the same optimum as
+   the plain search, actually evaluates the oracle, and stays
+   byte-identical across jobs. *)
+let test_dfs_node_bound_agrees () =
+  let rule = Mapping.Specialized in
+  for seed = 1 to 8 do
+    let inst = chain_instance ~seed ~n:9 ~p:3 ~m:4 () in
+    let factory () = nb_oracle (Node_bound.create ~rule inst) in
+    let plain = Dfs.solve ~rule inst in
+    let lp = Dfs.solve ~node_bound:factory ~rule inst in
+    let lp4 = Dfs.solve ~jobs:4 ~node_bound:factory ~rule inst in
+    Alcotest.(check bool) (Printf.sprintf "plain optimal (seed %d)" seed) true plain.Dfs.optimal;
+    Alcotest.(check bool) (Printf.sprintf "lp optimal (seed %d)" seed) true lp.Dfs.optimal;
+    Alcotest.(check (float 1e-9))
+      (Printf.sprintf "periods agree (seed %d)" seed)
+      plain.Dfs.period lp.Dfs.period;
+    Alcotest.(check bool)
+      (Printf.sprintf "oracle evaluated (seed %d)" seed)
+      true
+      (lp.Dfs.stats.Dfs.lp_solves > 0);
+    Alcotest.(check int)
+      (Printf.sprintf "j1 = j4 nodes (seed %d)" seed)
+      lp.Dfs.nodes lp4.Dfs.nodes;
+    Alcotest.(check int)
+      (Printf.sprintf "j1 = j4 lp_solves (seed %d)" seed)
+      lp.Dfs.stats.Dfs.lp_solves lp4.Dfs.stats.Dfs.lp_solves;
+    Alcotest.(check int)
+      (Printf.sprintf "j1 = j4 lp_prunes (seed %d)" seed)
+      lp.Dfs.stats.Dfs.lp_prunes lp4.Dfs.stats.Dfs.lp_prunes;
+    Alcotest.(check (float 0.0))
+      (Printf.sprintf "j1 = j4 period (seed %d)" seed)
+      lp.Dfs.period lp4.Dfs.period
+  done
+
 let () =
   Alcotest.run "mf_exact"
     [
+      ( "node-bound",
+        [
+          Alcotest.test_case "sound, never prunes optimum" `Slow
+            test_node_bound_sound_never_prunes_optimum;
+          Alcotest.test_case "deterministic replay" `Quick test_node_bound_deterministic_replay;
+          Alcotest.test_case "push order contract" `Quick test_node_bound_push_order_contract;
+          Alcotest.test_case "dfs arm agrees with plain" `Slow test_dfs_node_bound_agrees;
+        ] );
       ( "brute",
         [
           Alcotest.test_case "single task" `Quick test_brute_single_task;

@@ -475,7 +475,7 @@ let test_splitting_round_tie_breaks_low () =
       shares = Array.make_matrix n m (1.0 /. float_of_int m);
       loads = Array.make m 0.0;
       path = `Float;
-      stats = { Mip.float_iterations = 0; exact_iterations = 0; path = `Float };
+      stats = Mip.zero_stats;
     }
   in
   match Splitting.round inst r with
@@ -502,6 +502,173 @@ let test_splitting_round_tie_breaks_low () =
    [Rat.of_float] makes of uniform draws.  The family lives in
    Mf_proptest.Instances so the fuzz driver and this suite enumerate the
    same pool. *)
+(* ------------------------------------------------------------------ *)
+(* LU factorisation: round trips against dense Gaussian elimination    *)
+(* ------------------------------------------------------------------ *)
+
+module Float_field = Mf_numeric.Ordered_field.Float_field
+module Sparse_f = Mf_lp.Sparse.Make (Float_field)
+module Lu_f = Mf_lp.Lu.Make (Float_field)
+
+(* Dense Gaussian elimination with partial pivoting: the reference
+   solver the LU factors are checked against. *)
+let dense_solve a b =
+  let d = Array.length b in
+  let m = Array.map Array.copy a in
+  let x = Array.copy b in
+  for k = 0 to d - 1 do
+    let piv = ref k in
+    for i = k + 1 to d - 1 do
+      if Float.abs m.(i).(k) > Float.abs m.(!piv).(k) then piv := i
+    done;
+    let tmp = m.(k) in
+    m.(k) <- m.(!piv);
+    m.(!piv) <- tmp;
+    let t = x.(k) in
+    x.(k) <- x.(!piv);
+    x.(!piv) <- t;
+    for i = k + 1 to d - 1 do
+      let f = m.(i).(k) /. m.(k).(k) in
+      if f <> 0.0 then begin
+        for j = k to d - 1 do
+          m.(i).(j) <- m.(i).(j) -. (f *. m.(k).(j))
+        done;
+        x.(i) <- x.(i) -. (f *. x.(k))
+      end
+    done
+  done;
+  for k = d - 1 downto 0 do
+    let s = ref x.(k) in
+    for j = k + 1 to d - 1 do
+      s := !s -. (m.(k).(j) *. x.(j))
+    done;
+    x.(k) <- !s /. m.(k).(k)
+  done;
+  x
+
+(* Diagonally anchored random matrices: diagonal in [1,4), off-diagonal
+   entries present with probability [density] in [-2,2).  Well enough
+   conditioned that a 1e-6 absolute tolerance is meaningful, sparse
+   enough to exercise the Markowitz ordering. *)
+let random_lu_matrix rng d density =
+  let a = Array.make_matrix d d 0.0 in
+  for i = 0 to d - 1 do
+    a.(i).(i) <- Rng.uniform rng ~lo:1.0 ~hi:4.0;
+    for j = 0 to d - 1 do
+      if i <> j && Rng.uniform rng ~lo:0.0 ~hi:1.0 < density then
+        a.(i).(j) <- Rng.uniform rng ~lo:(-2.0) ~hi:2.0
+    done
+  done;
+  a
+
+let lu_factorize_dense a d =
+  let sa = Sparse_f.of_dense a ~cols:d in
+  let basis = Array.init d Fun.id in
+  Lu_f.factorize ~dim:d ~col:(fun j f -> Sparse_f.iter_col sa j f) ~basis
+
+let max_abs_diff got want =
+  let err = ref 0.0 in
+  Array.iteri (fun i g -> err := Float.max !err (Float.abs (g -. want.(i)))) got;
+  !err
+
+let test_lu_ftran_btran_roundtrip () =
+  let rng = Rng.create 46 in
+  for case = 1 to 150 do
+    let d = 2 + Rng.int rng 15 in
+    let a = random_lu_matrix rng d (Rng.uniform rng ~lo:0.1 ~hi:0.9) in
+    let fac = lu_factorize_dense a d in
+    (* With basis.(p) = p, basis-position indexing equals column
+       indexing, so ftran/btran outputs compare directly. *)
+    let b = Array.init d (fun _ -> Rng.uniform rng ~lo:(-5.0) ~hi:5.0) in
+    let out = Array.make d 0.0 in
+    Lu_f.ftran fac ~rhs:b ~out;
+    let ferr = max_abs_diff out (dense_solve a b) in
+    if ferr > 1e-6 then
+      Alcotest.fail (Printf.sprintf "case %d (d=%d): ftran err %g" case d ferr);
+    let c = Array.init d (fun _ -> Rng.uniform rng ~lo:(-5.0) ~hi:5.0) in
+    let y = Array.make d 0.0 in
+    Lu_f.btran fac ~cvec:c ~out:y;
+    let at = Array.init d (fun i -> Array.init d (fun j -> a.(j).(i))) in
+    let berr = max_abs_diff y (dense_solve at c) in
+    if berr > 1e-6 then
+      Alcotest.fail (Printf.sprintf "case %d (d=%d): btran err %g" case d berr)
+  done
+
+let test_lu_eta_update_vs_refactorize () =
+  let rng = Rng.create 47 in
+  let accepted = ref 0 in
+  for case = 1 to 100 do
+    let d = 2 + Rng.int rng 15 in
+    let a = random_lu_matrix rng d (Rng.uniform rng ~lo:0.1 ~hi:0.9) in
+    let fac = lu_factorize_dense a d in
+    (* Apply a few column exchanges through the eta file, tracking the
+       exchanged matrix densely; the updated factors must keep solving
+       the current matrix. *)
+    let acur = Array.map Array.copy a in
+    let steps = 1 + Rng.int rng 5 in
+    for _ = 1 to steps do
+      let pos = Rng.int rng d in
+      let newcol =
+        Array.init d (fun _ ->
+            if Rng.uniform rng ~lo:0.0 ~hi:1.0 < 0.5 then
+              Rng.uniform rng ~lo:(-2.0) ~hi:2.0
+            else 0.0)
+      in
+      (* Anchor the pivot entry so the eta pivot stays away from its
+         floor and the update is (almost) always accepted. *)
+      newcol.(pos) <- newcol.(pos) +. 3.0;
+      let w = Array.make d 0.0 in
+      Lu_f.ftran fac ~rhs:newcol ~out:w;
+      if Lu_f.update fac ~w ~pos then begin
+        incr accepted;
+        for i = 0 to d - 1 do
+          acur.(i).(pos) <- newcol.(i)
+        done
+      end
+    done;
+    let b = Array.init d (fun _ -> Rng.uniform rng ~lo:(-5.0) ~hi:5.0) in
+    let out = Array.make d 0.0 in
+    Lu_f.ftran fac ~rhs:b ~out;
+    let xref = dense_solve acur b in
+    let uerr = max_abs_diff out xref in
+    if uerr > 1e-5 then
+      Alcotest.fail
+        (Printf.sprintf "case %d (d=%d, etas=%d): eta-updated ftran err %g" case d
+           (Lu_f.eta_count fac) uerr);
+    (* A fresh factorization of the exchanged matrix agrees with the
+       eta-updated one. *)
+    let fresh = lu_factorize_dense acur d in
+    let out2 = Array.make d 0.0 in
+    Lu_f.ftran fresh ~rhs:b ~out:out2;
+    Alcotest.(check bool)
+      (Printf.sprintf "case %d: fresh factorization has no etas" case)
+      true
+      (Lu_f.eta_count fresh = 0);
+    let rerr = max_abs_diff out out2 in
+    if rerr > 1e-5 then
+      Alcotest.fail
+        (Printf.sprintf "case %d (d=%d): eta update vs refactorize err %g" case d rerr)
+  done;
+  (* The anchored pivot should make acceptance the norm, not the
+     exception — otherwise the test exercised nothing. *)
+  Alcotest.(check bool)
+    (Printf.sprintf "eta updates mostly accepted (%d)" !accepted)
+    true (!accepted >= 200)
+
+let test_lu_singular_detected () =
+  (* Column 1 = 2 x column 0: structurally rank deficient. *)
+  let a = [| [| 1.0; 2.0; 0.0 |]; [| 3.0; 6.0; 1.0 |]; [| 0.0; 0.0; 1.0 |] |] in
+  (match lu_factorize_dense a 3 with
+  | exception Mf_lp.Lu.Singular _ -> ()
+  | _ -> Alcotest.fail "rank-deficient matrix factorized");
+  (* Zero matrix fails at the first elimination step. *)
+  let z = Array.make_matrix 2 2 0.0 in
+  match lu_factorize_dense z 2 with
+  | exception Mf_lp.Lu.Singular 0 -> ()
+  | exception Mf_lp.Lu.Singular k ->
+      Alcotest.fail (Printf.sprintf "zero matrix singular at step %d, expected 0" k)
+  | _ -> Alcotest.fail "zero matrix factorized"
+
 let dyadic_instance = Mf_proptest.Instances.dyadic_lp_instance
 
 (* Small tier: cold exact ground truth (full two-phase rational solve). *)
@@ -563,11 +730,11 @@ let test_lp_differential () =
       match Std.build (Splitting.model inst) with
       | None -> Alcotest.fail (name ^ ": standardize failed")
       | Some std -> (
-        let d = FS.solve_detailed ~a:std.Std.a ~b:std.Std.b ~c:std.Std.c () in
-        let ra = Array.map (Array.map Rat.of_float) std.Std.a in
+        let d = FS.solve_sparse_detailed ~a:std.Std.a ~b:std.Std.b ~c:std.Std.c () in
+        let ra = Mf_lp.Sparse.map_values Rat.of_float std.Std.a in
         let rb = Array.map Rat.of_float std.Std.b in
         let rc = Array.map Rat.of_float std.Std.c in
-        let warm = RS.solve_from_basis ~a:ra ~b:rb ~c:rc ~basis:d.FS.basis () in
+        let warm = RS.solve_sparse_from_basis ~a:ra ~b:rb ~c:rc ~basis:d.FS.basis () in
         match warm.RS.outcome with
         | RS.Optimal (_, obj) ->
           let rho = Std.model_objective std (Rat.to_float obj) in
@@ -622,6 +789,13 @@ let () =
           Alcotest.test_case "round without specialized mapping" `Quick
             test_splitting_round_no_specialized_mapping;
           Alcotest.test_case "round tie-breaks low" `Quick test_splitting_round_tie_breaks_low;
+        ] );
+      ( "lu",
+        [
+          Alcotest.test_case "ftran/btran vs dense" `Quick test_lu_ftran_btran_roundtrip;
+          Alcotest.test_case "eta update vs refactorize" `Quick
+            test_lu_eta_update_vs_refactorize;
+          Alcotest.test_case "singular detected" `Quick test_lu_singular_detected;
         ] );
       ( "lp-differential",
         [ Alcotest.test_case "float path vs exact (208)" `Slow test_lp_differential ] );
