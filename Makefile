@@ -3,7 +3,8 @@
 # (see DESIGN.md §5), so there is no fmt target.
 
 .PHONY: all build test verify bench bench-quick bench-exact bench-lp \
-  bench-solve bench-parallel bench-regress clean fuzz fuzz-quick fuzz-replay
+  bench-solve bench-parallel bench-daemon bench-regress daemon-smoke clean \
+  fuzz fuzz-quick fuzz-replay
 
 all: build
 
@@ -31,9 +32,10 @@ verify:
 	timeout 60 dune exec test/test_exact.exe -- test dfs-differential
 	timeout 60 dune exec test/test_lp.exe -- test lp-differential
 	timeout 60 dune exec test/test_solve.exe -- test portfolio-differential
+	timeout 60 sh scripts/daemon_smoke.sh
 	$(MAKE) fuzz-quick
 	$(MAKE) bench-regress
-	@echo "verify OK: tests green, --jobs 1/4 byte-identical, differential suites green, fuzz matrix green, bench-regress green"
+	@echo "verify OK: tests green, --jobs 1/4 byte-identical, differential suites green, daemon smoke green, fuzz matrix green, bench-regress green"
 
 # Quick fuzz tier (deterministic, fixed seeds, <= 30 s): the full oracle
 # matrix — eval, heuristics, exact-vs-brute, lp-vs-exact, sim-vs-analytic,
@@ -67,28 +69,41 @@ bench-quick:
 # Exact-search benchmark only (writes BENCH_exact.json): node reduction vs
 # the static baseline, solvable-size scan, --jobs identity, pruning ablation.
 bench-exact:
-	dune exec bench/main.exe -- --only none --skip-micro --skip-ablation --skip-eval --skip-parallel --skip-lp --skip-solve
+	dune exec bench/main.exe -- --only none --skip-micro --skip-ablation --skip-eval --skip-parallel --skip-lp --skip-solve --skip-daemon
 
 # Splitting-LP benchmark only (writes BENCH_lp.json): solve time and pivot
 # counts for n in {10, 20, 40, 80} under the throughput-form Devex solver,
 # the Bland baseline on the same tableau, and the seed period-form + Bland
 # combination, plus the fraction of seeds taking the rational fallback.
 bench-lp:
-	dune exec bench/main.exe -- --only none --skip-micro --skip-ablation --skip-eval --skip-parallel --skip-exact --skip-solve
+	dune exec bench/main.exe -- --only none --skip-micro --skip-ablation --skip-eval --skip-parallel --skip-exact --skip-solve --skip-daemon
 
 # Parallel-runtime benchmark only (writes BENCH_parallel.json): the
 # fig5-shaped heuristic grid through the work-stealing pool at jobs
 # 1/2/4/8 with the byte-identity assertion.  Always runs; on a 1-core
 # machine the ratios are labelled overhead (speedup is not measurable).
 bench-parallel:
-	dune exec bench/main.exe -- --only none --skip-micro --skip-ablation --skip-eval --skip-exact --skip-lp --skip-solve
+	dune exec bench/main.exe -- --only none --skip-micro --skip-ablation --skip-eval --skip-exact --skip-lp --skip-solve --skip-daemon
 
 # Unified-solver benchmark only (writes BENCH_solve.json): portfolio
 # solves/sec and latency percentiles under a near-duplicate request storm
 # (machine permutations + type relabelings of a few base instances), the
 # canonical-cache hit rate, and a sampled cached-vs-fresh bit-identity check.
 bench-solve:
-	dune exec bench/main.exe -- --only none --skip-micro --skip-ablation --skip-eval --skip-parallel --skip-exact --skip-lp
+	dune exec bench/main.exe -- --only none --skip-micro --skip-ablation --skip-eval --skip-parallel --skip-exact --skip-lp --skip-daemon
+
+# Daemon benchmark only (writes BENCH_daemon.json): a concurrent client
+# storm over socketpairs against a live scheduler — wire throughput and
+# latency percentiles plus the shared cross-request cache hit rate.
+bench-daemon:
+	dune exec bench/main.exe -- --only none --skip-micro --skip-ablation --skip-eval --skip-parallel --skip-exact --skip-lp --skip-solve
+
+# Daemon smoke (part of `make verify`, under timeout 60): start mfoptd on
+# a temp socket, run three concurrent clients (solve, mid-solve CANCEL,
+# malformed line), then SIGTERM and require exit 0 with a telemetry dump.
+daemon-smoke:
+	dune build bin/mfopt.exe bin/mfoptd.exe
+	timeout 60 sh scripts/daemon_smoke.sh
 
 # Regression gate over the committed benchmark numbers: re-runs the
 # quick-tier reference measurements (revised-simplex pivot counts, the

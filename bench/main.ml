@@ -41,6 +41,7 @@ let skip_parallel = ref false
 let skip_exact = ref false
 let skip_lp = ref false
 let skip_solve = ref false
+let skip_daemon = ref false
 let regress = ref false
 
 let parse_args () =
@@ -75,6 +76,9 @@ let parse_args () =
       go rest
     | "--skip-solve" :: rest ->
       skip_solve := true;
+      go rest
+    | "--skip-daemon" :: rest ->
+      skip_daemon := true;
       go rest
     | arg :: _ ->
       Printf.eprintf "unknown argument %s\n" arg;
@@ -484,6 +488,7 @@ let exact_node_bound_factory ~rule inst () =
     Mf_exact.Dfs.nb_push = (fun ~task ~machine -> Mf_lp.Node_bound.push t ~task ~machine);
     nb_pop = (fun () -> Mf_lp.Node_bound.pop t);
     nb_bound = (fun ~cutoff -> Mf_lp.Node_bound.bound t ~cutoff);
+    nb_pivots = (fun () -> (Mf_lp.Node_bound.stats t).Mf_lp.Node_bound.pivots);
   }
 
 (* The LP-bound-arm measurement the regress check replays. *)
@@ -1312,7 +1317,7 @@ let bench_solve () =
     List.map
       (fun inst ->
         let t0 = Unix.gettimeofday () in
-        let out = Portfolio.solve ~cache (Solver.request ~budget inst) in
+        let out = Portfolio.solve ~cache (Solver.request_exn ~budget inst) in
         latencies := (Unix.gettimeofday () -. t0) :: !latencies;
         (inst, out))
       requests
@@ -1336,7 +1341,7 @@ let bench_solve () =
   in
   List.iter
     (fun (inst, (cached : Solver.outcome)) ->
-      let fresh = Portfolio.solve (Solver.request ~budget inst) in
+      let fresh = Portfolio.solve (Solver.request_exn ~budget inst) in
       let same_mapping =
         match (cached.Solver.mapping, fresh.Solver.mapping) with
         | Some a, Some b -> Mapping.to_array a = Mapping.to_array b
@@ -1376,6 +1381,92 @@ let bench_solve () =
      }\n"
     bases variants passes total solves_per_s (1000.0 *. p50) (1000.0 *. p99) stats.Cache.hits
     stats.Cache.misses stats.Cache.evictions hit_rate (List.length sampled) !identical;
+  close_out oc;
+  Printf.printf "  (machine-readable copy written to %s)\n" json
+
+(* ------------------------------------------------------------------ *)
+(* Daemon: concurrent wire clients against a live scheduler             *)
+(* ------------------------------------------------------------------ *)
+
+let bench_daemon () =
+  section "Solver daemon: concurrent clients over socketpairs";
+  let module Solver = Mf_solve.Solver in
+  let module Server = Mf_daemon.Server in
+  let module Protocol = Mf_daemon.Protocol in
+  let clients = if !quick then 4 else 8 in
+  let per_client = if !quick then 4 else 8 in
+  let bases = 4 in
+  (* the storm repeats a few base instances, so the shared cross-request
+     cache sees both cold misses and concurrent hits *)
+  let base b = Gen.chain (Rng.create (2000 + b)) (Gen.default ~tasks:10 ~types:3 ~machines:5) in
+  let budget = Mf_solve.Solver.Nodes 50_000 in
+  let srv = Server.create ~config:{ Server.jobs = 1; cache_capacity = 1024; workers = 4 } () in
+  let total = clients * per_client in
+  let latencies = Array.make total 0.0 in
+  let hits = Array.make total false in
+  let t_all0 = Unix.gettimeofday () in
+  let run_client c =
+    let a, b = Unix.socketpair Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+    let reader =
+      Thread.create
+        (fun () ->
+          let ic = Unix.in_channel_of_descr a in
+          let oc = Unix.out_channel_of_descr a in
+          (try Server.serve_client srv ic oc with Sys_error _ | End_of_file -> ());
+          try Unix.close a with Unix.Unix_error _ -> ())
+        ()
+    in
+    let ic = Unix.in_channel_of_descr b in
+    let oc = Unix.out_channel_of_descr b in
+    for r = 0 to per_client - 1 do
+      let req = Solver.request_exn ~budget (base ((c + r) mod bases)) in
+      let id = Printf.sprintf "c%dr%d" c r in
+      let t0 = Unix.gettimeofday () in
+      output_string oc (Protocol.render_solve ~id req);
+      flush oc;
+      let line = input_line ic in
+      latencies.((c * per_client) + r) <- Unix.gettimeofday () -. t0;
+      (* mask_cached rewrites cached=1 lines, so inequality = cache hit *)
+      hits.((c * per_client) + r) <- Protocol.mask_cached line <> line
+    done;
+    (try Unix.close b with Unix.Unix_error _ -> ());
+    Thread.join reader
+  in
+  let threads = List.init clients (fun c -> Thread.create run_client c) in
+  List.iter Thread.join threads;
+  let wall = Unix.gettimeofday () -. t_all0 in
+  Printf.printf "  %s\n" (Server.stats_line srv);
+  let devnull = open_out "/dev/null" in
+  Server.shutdown srv devnull;
+  close_out devnull;
+  Array.sort compare latencies;
+  let percentile q =
+    latencies.(min (total - 1) (int_of_float (ceil (q *. float_of_int (total - 1)))))
+  in
+  let p50 = percentile 0.50 and p99 = percentile 0.99 in
+  let hit_count = Array.fold_left (fun acc h -> if h then acc + 1 else acc) 0 hits in
+  let rps = float_of_int total /. wall in
+  Printf.printf
+    "  %d requests (%d clients x %d each): %.0f responses/s\n\
+    \  wire latency p50 %.3f ms, p99 %.3f ms\n\
+    \  shared cache: %d/%d responses served from cache\n"
+    total clients per_client rps (1000.0 *. p50) (1000.0 *. p99) hit_count total;
+  let json = "BENCH_daemon.json" in
+  let oc = open_out json in
+  Printf.fprintf oc
+    "{\n\
+    \  \"workload\": { \"clients\": %d, \"requests_per_client\": %d, \"bases\": %d,\n\
+    \                \"instance\": { \"tasks\": 10, \"types\": 3, \"machines\": 5, \
+     \"application\": \"chain\" },\n\
+    \                \"node_budget\": 50000, \"workers\": 4 },\n\
+    \  \"requests\": %d,\n\
+    \  \"responses_per_s\": %.1f,\n\
+    \  \"wire_latency_ms\": { \"p50\": %.4f, \"p99\": %.4f },\n\
+    \  \"cache\": { \"hits\": %d, \"misses\": %d, \"hit_rate\": %.4f }\n\
+     }\n"
+    clients per_client bases total rps (1000.0 *. p50) (1000.0 *. p99) hit_count
+    (total - hit_count)
+    (float_of_int hit_count /. float_of_int total);
   close_out oc;
   Printf.printf "  (machine-readable copy written to %s)\n" json
 
@@ -1498,5 +1589,6 @@ let () =
   if not !skip_exact then bench_exact ();
   if not !skip_lp then bench_lp ();
   if not !skip_solve then bench_solve ();
+  if not !skip_daemon then bench_daemon ();
   if not !skip_micro then micro_benchmarks ();
   print_newline ()

@@ -206,7 +206,13 @@ let solve_cmd =
         exit 2
       end;
       let req =
-        Solver.request ~rule ~seed ~budget ~want_certificate:certificate ~setup inst
+        match
+          Solver.make_request ~rule ~seed ~budget ~want_certificate:certificate ~setup inst
+        with
+        | Ok req -> req
+        | Error e ->
+          Printf.eprintf "mfopt solve: %s\n" (Solver.describe_request_error e);
+          exit 2
       in
       let pool =
         if jobs > 1 then Some (Mf_parallel.Pool.shared ~domains:jobs) else None
@@ -534,7 +540,150 @@ let lp_cmd =
   let doc = "LP bounds: the divisible-workload relaxation and the paper's MIP." in
   Cmd.v (Cmd.info "lp" ~doc) Term.(const run $ instance_arg $ mip $ node_budget)
 
+(* ------------------------------------------------------------------ *)
+(* client (talk to a running mfoptd)                                    *)
+(* ------------------------------------------------------------------ *)
+
+let client_cmd =
+  let module Solver = Mf_solve.Solver in
+  let module Protocol = Mf_daemon.Protocol in
+  let socket =
+    Arg.(
+      required
+      & opt (some string) None
+      & info [ "socket" ] ~docv:"PATH" ~doc:"Unix socket of a running $(b,mfoptd).")
+  in
+  let instance =
+    Arg.(
+      value & pos 0 (some file) None
+      & info [] ~docv:"INSTANCE" ~doc:"Instance file to submit (omit with $(b,--raw)).")
+  in
+  let id =
+    Arg.(value & opt string "r0" & info [ "id" ] ~docv:"ID" ~doc:"Request id for the wire.")
+  in
+  let rule =
+    let rule_conv =
+      Arg.enum
+        [
+          ("specialized", Mapping.Specialized);
+          ("general", Mapping.General);
+          ("oto", Mapping.One_to_one);
+        ]
+    in
+    Arg.(
+      value & opt rule_conv Mapping.Specialized
+      & info [ "rule" ] ~docv:"RULE" ~doc:"Mapping rule: specialized (default), general, oto.")
+  in
+  let setup = Arg.(value & opt float 0.0 & info [ "setup" ] ~docv:"MS" ~doc:"Setup time.") in
+  let deadline =
+    Arg.(
+      value & opt (some float) None
+      & info [ "deadline" ] ~docv:"MS" ~doc:"Deadline budget (node-equivalents, not wall clock).")
+  in
+  let node_budget =
+    Arg.(
+      value & opt (some int) None
+      & info [ "node-budget" ] ~docv:"NODES" ~doc:"Node budget (exclusive with --deadline).")
+  in
+  let certificate =
+    Arg.(value & flag & info [ "certificate" ] ~doc:"Demand a certified lower bound.")
+  in
+  let cancel_after =
+    Arg.(
+      value & opt (some float) None
+      & info [ "cancel-after-ms" ] ~docv:"MS"
+          ~doc:"Send CANCEL for the request this many milliseconds after submitting it.")
+  in
+  let raw =
+    Arg.(
+      value & opt (some string) None
+      & info [ "raw" ] ~docv:"LINE"
+          ~doc:"Send this verbatim line instead of a SOLVE and print the one response.")
+  in
+  let run socket instance id rule setup deadline node_budget certificate cancel_after raw seed
+      =
+    let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+    (try Unix.connect fd (Unix.ADDR_UNIX socket)
+     with Unix.Unix_error (e, _, _) ->
+       Printf.eprintf "mfopt client: cannot connect to %s: %s\n" socket (Unix.error_message e);
+       exit 2);
+    let ic = Unix.in_channel_of_descr fd in
+    let oc = Unix.out_channel_of_descr fd in
+    let send s =
+      output_string oc s;
+      flush oc
+    in
+    let is_final line =
+      (* the response that answers our request (or the raw line) *)
+      match String.split_on_char ' ' line with
+      | "OK" :: rid :: _ | "CANCELLED" :: rid :: _ -> rid = id
+      | "ERR" :: _ -> true
+      | ("STATS" | "BYE") :: _ -> true
+      | "CANCELOK" :: _ -> false
+      | _ -> true
+    in
+    let exit_code line =
+      match String.split_on_char ' ' line with "ERR" :: _ -> 1 | _ -> 0
+    in
+    let rec read_until_final () =
+      match input_line ic with
+      | line ->
+        print_endline line;
+        if is_final line then exit_code line else read_until_final ()
+      | exception End_of_file ->
+        prerr_endline "mfopt client: connection closed before a response";
+        1
+    in
+    let code =
+      match raw with
+      | Some line ->
+        send (line ^ "\n");
+        read_until_final ()
+      | None -> (
+        match instance with
+        | None ->
+          prerr_endline "mfopt client: INSTANCE required unless --raw is given";
+          2
+        | Some file -> (
+          let inst = Instance_io.read_file file in
+          let budget =
+            match (deadline, node_budget) with
+            | Some _, Some _ ->
+              prerr_endline "mfopt client: --deadline and --node-budget are exclusive";
+              exit 2
+            | Some d, _ -> Solver.Deadline_ms d
+            | _, Some k -> Solver.Nodes k
+            | None, None -> Solver.Unlimited
+          in
+          match
+            Solver.make_request ~rule ~seed ~budget ~want_certificate:certificate ~setup inst
+          with
+          | Error e ->
+            Printf.eprintf "mfopt client: %s\n" (Solver.describe_request_error e);
+            2
+          | Ok req ->
+            send (Protocol.render_solve ~id req);
+            (match cancel_after with
+            | Some ms ->
+              Unix.sleepf (ms /. 1000.0);
+              send (Printf.sprintf "CANCEL %s\n" id)
+            | None -> ());
+            read_until_final ()))
+    in
+    (try Unix.close fd with Unix.Unix_error _ -> ());
+    exit code
+  in
+  let doc = "Submit a request to a running $(b,mfoptd) over its Unix socket." in
+  Cmd.v
+    (Cmd.info "client" ~doc)
+    Term.(
+      const run $ socket $ instance $ id $ rule $ setup $ deadline $ node_budget $ certificate
+      $ cancel_after $ raw $ seed_arg)
+
 let () =
   let doc = "Throughput optimization for micro-factories subject to failures." in
   let info = Cmd.info "mfopt" ~version:"1.0.0" ~doc in
-  exit (Cmd.eval (Cmd.group info [ generate_cmd; solve_cmd; exact_cmd; simulate_cmd; experiment_cmd; lp_cmd ]))
+  exit
+    (Cmd.eval
+       (Cmd.group info
+          [ generate_cmd; solve_cmd; exact_cmd; simulate_cmd; experiment_cmd; lp_cmd; client_cmd ]))

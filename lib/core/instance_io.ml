@@ -113,6 +113,35 @@ let of_string text =
   | Ok inst -> inst
   | Error e -> invalid_arg (describe_error e)
 
+(* ---- streaming framing (the daemon wire) -------------------------- *)
+
+(* "end" cannot collide with instance content: every body line starts
+   with tasks/types/successors/w/f or '#'. *)
+let end_marker = "end"
+let to_framed_string inst = to_string inst ^ end_marker ^ "\n"
+
+let read_framed next =
+  let buf = Buffer.create 1024 in
+  let rec loop n =
+    match next () with
+    | None ->
+      Error
+        {
+          line = n;
+          message =
+            (if n = 0 then "empty input"
+             else Printf.sprintf "input ended before the '%s' marker" end_marker);
+        }
+    | Some line ->
+      if String.trim line = end_marker then of_string_result (Buffer.contents buf)
+      else begin
+        Buffer.add_string buf line;
+        Buffer.add_char buf '\n';
+        loop (n + 1)
+      end
+  in
+  loop 0
+
 let write_file path inst =
   let oc = open_out path in
   Fun.protect ~finally:(fun () -> close_out oc) (fun () -> output_string oc (to_string inst))

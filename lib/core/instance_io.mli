@@ -30,5 +30,27 @@ val of_string_result : string -> (Instance.t, error) result
 (** @raise Invalid_argument on malformed input (with a line diagnostic). *)
 val of_string : string -> Instance.t
 
+(** {1 Streaming framing}
+
+    Line-oriented framing for long-lived connections (the [mfoptd]
+    wire): an instance block is the {!to_string} text followed by one
+    {!end_marker} line.  The marker cannot appear in instance content
+    (every body line starts with a keyword or [#]). *)
+
+(** The frame terminator line, ["end"]. *)
+val end_marker : string
+
+(** [to_framed_string inst] is [to_string inst] followed by the
+    {!end_marker} line — the exact bytes {!read_framed} accepts. *)
+val to_framed_string : Instance.t -> string
+
+(** [read_framed next] pulls lines (without trailing newlines) from
+    [next] until the {!end_marker} line, then parses the collected
+    block like {!of_string_result}.  [next] returning [None] before the
+    marker is a framing error whose [line] is the count of lines
+    consumed; the stream is left positioned after the marker, so
+    framing survives malformed blocks. *)
+val read_framed : (unit -> string option) -> (Instance.t, error) result
+
 val write_file : string -> Instance.t -> unit
 val read_file : string -> Instance.t

@@ -1,0 +1,188 @@
+module Mapping = Mf_core.Mapping
+module Solver = Mf_solve.Solver
+
+(* ---- requests ----------------------------------------------------- *)
+
+type header = {
+  h_id : string;
+  h_rule : Mapping.rule option;
+  h_seed : int option;
+  h_budget : Solver.budget option;
+  h_cert : bool option;
+  h_setup : float option;
+}
+
+type command = Solve of header | Cancel of string | Stats | Quit
+
+type cmd_error = { ce_id : string option; ce_code : string; ce_message : string }
+
+let err ?id code message = Error { ce_id = id; ce_code = code; ce_message = message }
+
+let rule_of_name = function
+  | "specialized" -> Some Mapping.Specialized
+  | "general" -> Some Mapping.General
+  | "one-to-one" -> Some Mapping.One_to_one
+  | _ -> None
+
+(* Budget syntax mirrors [Solver.budget_repr]: U, D<float> (any
+   [float_of_string] form, %h hex floats included), N<int>.  Range
+   checks are [Solver.make_request]'s business, not the parser's: D-5
+   parses fine and is rejected as [Bad_deadline] — the structured
+   over-range error the wire contract promises. *)
+let budget_of_repr s =
+  let num f tail = Option.map f (tail s) in
+  let tail s = if String.length s < 2 then None else Some (String.sub s 1 (String.length s - 1)) in
+  match s with
+  | "U" -> Some Solver.Unlimited
+  | _ when s.[0] = 'D' ->
+    Option.bind (num Fun.id tail) (fun t ->
+        Option.map (fun d -> Solver.Deadline_ms d) (float_of_string_opt t))
+  | _ when s.[0] = 'N' ->
+    Option.bind (num Fun.id tail) (fun t ->
+        Option.map (fun k -> Solver.Nodes k) (int_of_string_opt t))
+  | _ -> None
+
+let split_words line = String.split_on_char ' ' line |> List.filter (( <> ) "")
+
+let parse_header id kvs =
+  let h =
+    ref { h_id = id; h_rule = None; h_seed = None; h_budget = None; h_cert = None; h_setup = None }
+  in
+  let bad k v = err ~id "bad-header" (Printf.sprintf "bad value %s for key %s" v k) in
+  let rec go = function
+    | [] -> Ok !h
+    | kv :: rest -> (
+      match String.index_opt kv '=' with
+      | None -> err ~id "bad-header" (Printf.sprintf "expected key=value, got %s" kv)
+      | Some i -> (
+        let k = String.sub kv 0 i and v = String.sub kv (i + 1) (String.length kv - i - 1) in
+        match k with
+        | "rule" -> (
+          match rule_of_name v with
+          | Some r ->
+            h := { !h with h_rule = Some r };
+            go rest
+          | None -> bad k v)
+        | "seed" -> (
+          match int_of_string_opt v with
+          | Some s ->
+            h := { !h with h_seed = Some s };
+            go rest
+          | None -> bad k v)
+        | "budget" -> (
+          match budget_of_repr v with
+          | Some b ->
+            h := { !h with h_budget = Some b };
+            go rest
+          | None -> bad k v)
+        | "cert" -> (
+          match v with
+          | "0" | "1" ->
+            h := { !h with h_cert = Some (v = "1") };
+            go rest
+          | _ -> bad k v)
+        | "setup" -> (
+          match float_of_string_opt v with
+          | Some s ->
+            h := { !h with h_setup = Some s };
+            go rest
+          | None -> bad k v)
+        | _ -> err ~id "bad-header" (Printf.sprintf "unknown key %s" k)))
+  in
+  go kvs
+
+let parse_command line =
+  match split_words line with
+  | [] -> err "bad-verb" "empty request line"
+  | "SOLVE" :: id :: kvs -> Result.map (fun h -> Solve h) (parse_header id kvs)
+  | [ "SOLVE" ] -> err "bad-verb" "SOLVE needs a request id"
+  | [ "CANCEL"; id ] -> Ok (Cancel id)
+  | "CANCEL" :: _ -> err "bad-verb" "CANCEL takes exactly one id"
+  | [ "STATS" ] -> Ok Stats
+  | [ "QUIT" ] -> Ok Quit
+  | verb :: _ -> err "bad-verb" (Printf.sprintf "unknown verb %s" verb)
+
+(* [make_request] applies the daemon's defaults exactly like the
+   in-process [Solver.make_request] call the determinism contract
+   compares against: absent keys are absent optional arguments. *)
+let to_request h inst =
+  Solver.make_request ?rule:h.h_rule ?seed:h.h_seed ?budget:h.h_budget
+    ?want_certificate:h.h_cert ?setup:h.h_setup inst
+
+let render_solve ~id (req : Solver.request) =
+  Printf.sprintf "SOLVE %s rule=%s seed=%d budget=%s cert=%d setup=%h\n%s" id
+    (Mapping.rule_name req.Solver.rule)
+    req.Solver.seed
+    (Solver.budget_repr req.Solver.budget)
+    (if req.Solver.want_certificate then 1 else 0)
+    req.Solver.setup
+    (Mf_core.Instance_io.to_framed_string req.Solver.instance)
+
+(* ---- responses ---------------------------------------------------- *)
+
+(* %h (hex) floats: rendering is exact, so a response is a faithful
+   byte-level image of the outcome — the identity the determinism tests
+   compare. *)
+let float_repr = Printf.sprintf "%h"
+
+let status_repr = function
+  | Solver.Optimal -> "optimal"
+  | Solver.Feasible gap -> "feasible:" ^ float_repr gap
+  | Solver.Bound_only lb -> "bound:" ^ float_repr lb
+  | Solver.Infeasible -> "infeasible"
+  | Solver.Budget_exhausted -> "exhausted"
+
+let opt_float_repr = function None -> "-" | Some f -> float_repr f
+
+let mapping_repr = function
+  | None -> "-"
+  | Some mp ->
+    Mapping.to_array mp |> Array.to_list |> List.map string_of_int |> String.concat ","
+
+let engines_repr = function
+  | [] -> "-"
+  | es -> String.concat "+" (List.map Solver.engine_name es)
+
+let render_outcome ~id (o : Solver.outcome) =
+  let s = o.Solver.stats in
+  Printf.sprintf
+    "OK %s status=%s period=%s bound=%s engines=%s hruns=%d pivots=%d lpath=%s nodes=%d \
+     cached=%d mapping=%s"
+    id (status_repr o.Solver.status)
+    (opt_float_repr o.Solver.period)
+    (opt_float_repr o.Solver.lower_bound)
+    (engines_repr o.Solver.engines)
+    s.Solver.heuristic_runs s.Solver.lp_pivots
+    (Solver.lp_path_name s.Solver.lp_path)
+    s.Solver.exact_nodes
+    (if s.Solver.cache_hit then 1 else 0)
+    (mapping_repr o.Solver.mapping)
+
+let sanitize msg =
+  String.map (function '\n' | '\r' -> ' ' | c -> c) msg
+
+let render_error ?id ~code msg =
+  Printf.sprintf "ERR %s %s %s" (Option.value id ~default:"-") code (sanitize msg)
+
+let render_cancelled ~id = "CANCELLED " ^ id
+let render_cancel_ok ~id = "CANCELOK " ^ id
+
+(* [cached=1] is the one field a shared-cache hit may legitimately
+   change relative to an in-process fresh solve; tests mask it through
+   this helper rather than re-parsing the line. *)
+let mask_cached line =
+  let flagged = " cached=1 " in
+  match
+    let rec find i =
+      if i + String.length flagged > String.length line then None
+      else if String.sub line i (String.length flagged) = flagged then Some i
+      else find (i + 1)
+    in
+    find 0
+  with
+  | None -> line
+  | Some i ->
+    String.sub line 0 i ^ " cached=0 "
+    ^ String.sub line
+        (i + String.length flagged)
+        (String.length line - i - String.length flagged)

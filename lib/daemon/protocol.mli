@@ -1,0 +1,85 @@
+(** The [mfoptd] wire protocol: line-oriented, one response line per
+    request line.
+
+    {b Requests.}  A request is one verb line; [SOLVE] is followed by a
+    framed instance block ({!Mf_core.Instance_io.read_framed}):
+
+    {v SOLVE <id> [rule=<name>] [seed=<int>] [budget=U|D<float>|N<int>]
+               [cert=0|1] [setup=<float>]
+       <instance lines>
+       end
+       CANCEL <id>
+       STATS
+       QUIT v}
+
+    Budget syntax round-trips through {!Mf_solve.Solver.budget_repr};
+    absent keys take the solver's defaults, so a wire request maps onto
+    exactly the in-process {!Mf_solve.Solver.make_request} call.
+
+    {b Responses.}  Exactly one line per non-empty request line (empty
+    request lines are ignored):
+
+    {v OK <id> status=<s> period=<%h|-> bound=<%h|-> engines=<e+e|->
+          hruns=<d> pivots=<d> lpath=<p> nodes=<d> cached=<0|1>
+          mapping=<u0,u1,...|->
+       ERR <id|-> <code> <message>
+       CANCELLED <id>        (the solve was torn down)
+       CANCELOK <id>         (the CANCEL verb was accepted)
+       STATS <telemetry>
+       BYE v}
+
+    Floats render with [%h] (hex, exact), so an [OK] line is a faithful
+    byte-level image of the outcome — the identity the determinism
+    tests compare against in-process solves.  Error codes: [bad-verb],
+    [bad-header], [bad-instance], [bad-request], [unknown-id],
+    [duplicate-id], [internal]. *)
+
+type header = {
+  h_id : string;
+  h_rule : Mf_core.Mapping.rule option;
+  h_seed : int option;
+  h_budget : Mf_solve.Solver.budget option;
+  h_cert : bool option;
+  h_setup : float option;
+}
+
+type command = Solve of header | Cancel of string | Stats | Quit
+
+(** [ce_id] is the request id when the line got far enough to carry
+    one; the rendered line uses [-] otherwise. *)
+type cmd_error = { ce_id : string option; ce_code : string; ce_message : string }
+
+(** [parse_command line] parses one verb line.  A [SOLVE] result still
+    owes the connection an instance block — the server must consume it
+    (even after a header error) to stay framed. *)
+val parse_command : string -> (command, cmd_error) result
+
+(** [budget_of_repr s] parses the [U|D<float>|N<int>] budget syntax,
+    inverse of {!Mf_solve.Solver.budget_repr}.  Range checking is left
+    to {!Mf_solve.Solver.make_request}. *)
+val budget_of_repr : string -> Mf_solve.Solver.budget option
+
+(** [to_request h inst] applies the header's explicit keys over the
+    solver defaults — byte-compatible with the in-process call. *)
+val to_request :
+  header -> Mf_core.Instance.t -> (Mf_solve.Solver.request, Mf_solve.Solver.request_error) result
+
+(** [render_solve ~id req] is the full client-side request text: verb
+    line plus framed instance block (used by [mfopt client] and the
+    tests). *)
+val render_solve : id:string -> Mf_solve.Solver.request -> string
+
+(** [render_outcome ~id o] is the [OK] line (no trailing newline). *)
+val render_outcome : id:string -> Mf_solve.Solver.outcome -> string
+
+(** [render_error ?id ~code msg] is the [ERR] line; newlines in [msg]
+    are flattened so the response stays one line. *)
+val render_error : ?id:string -> code:string -> string -> string
+
+val render_cancelled : id:string -> string
+val render_cancel_ok : id:string -> string
+
+(** [mask_cached line] rewrites [cached=1] to [cached=0] in an [OK]
+    line: the shared daemon cache is the one legitimate source of
+    byte-difference against a fresh in-process solve. *)
+val mask_cached : string -> string

@@ -1,0 +1,90 @@
+(* Shutdown/STATS telemetry.  This is the one corner of the solver
+   stack allowed to read the wall clock: latency histograms are
+   observability, not budget — outcomes never depend on them. *)
+
+let bucket_count = 32
+
+type t = {
+  lock : Mutex.t;
+  mutable ok : int;
+  mutable errors : int;
+  mutable cancelled : int;
+  (* engine label -> log2-microsecond latency buckets *)
+  histograms : (string, int array) Hashtbl.t;
+}
+
+let create () =
+  { lock = Mutex.create (); ok = 0; errors = 0; cancelled = 0; histograms = Hashtbl.create 8 }
+
+let locked t f = Mutex.protect t.lock (fun () -> f t)
+
+(* bucket b holds latencies in [2^b, 2^(b+1)) microseconds *)
+let bucket_of_us us =
+  let us = max 1 us in
+  min (bucket_count - 1) (int_of_float (Float.log2 (float_of_int us)))
+
+let record_ok t ~engine ~elapsed_us =
+  locked t (fun t ->
+      t.ok <- t.ok + 1;
+      let h =
+        match Hashtbl.find_opt t.histograms engine with
+        | Some h -> h
+        | None ->
+          let h = Array.make bucket_count 0 in
+          Hashtbl.add t.histograms engine h;
+          h
+      in
+      h.(bucket_of_us elapsed_us) <- h.(bucket_of_us elapsed_us) + 1)
+
+let record_error t = locked t (fun t -> t.errors <- t.errors + 1)
+let record_cancelled t = locked t (fun t -> t.cancelled <- t.cancelled + 1)
+
+let histogram_summary label h =
+  let total = Array.fold_left ( + ) 0 h in
+  if total = 0 then Printf.sprintf "%s:0" label
+  else begin
+    (* p50/p99 as bucket upper bounds: coarse, deterministic to read *)
+    let percentile p =
+      let want = int_of_float (ceil (p *. float_of_int total)) in
+      let rec go i seen =
+        if i >= bucket_count then bucket_count - 1
+        else if seen + h.(i) >= want then i
+        else go (i + 1) (seen + h.(i))
+      in
+      go 0 0
+    in
+    let us_of b = 1 lsl (b + 1) in
+    Printf.sprintf "%s:%d,p50<=%dus,p99<=%dus" label total
+      (us_of (percentile 0.5))
+      (us_of (percentile 0.99))
+  end
+
+let render_cache (cs : Mf_solve.Cache.stats) =
+  Printf.sprintf "cache hits=%d misses=%d evictions=%d length=%d capacity=%d"
+    cs.Mf_solve.Cache.hits cs.Mf_solve.Cache.misses cs.Mf_solve.Cache.evictions
+    cs.Mf_solve.Cache.length cs.Mf_solve.Cache.capacity
+
+let stats_line t cache_stats =
+  locked t (fun t ->
+      let hists =
+        Hashtbl.fold (fun label h acc -> (label, h) :: acc) t.histograms []
+        |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+        |> List.map (fun (label, h) -> histogram_summary label h)
+      in
+      Printf.sprintf "STATS ok=%d errors=%d cancelled=%d %s latency=%s" t.ok t.errors
+        t.cancelled (render_cache cache_stats)
+        (if hists = [] then "-" else String.concat ";" hists))
+
+let dump t cache_stats oc =
+  locked t (fun t ->
+      Printf.fprintf oc "mfoptd telemetry\n";
+      Printf.fprintf oc "  responses: ok=%d errors=%d cancelled=%d\n" t.ok t.errors t.cancelled;
+      Printf.fprintf oc "  %s\n" (render_cache cache_stats);
+      let labels =
+        Hashtbl.fold (fun label h acc -> (label, h) :: acc) t.histograms []
+        |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+      in
+      List.iter
+        (fun (label, h) -> Printf.fprintf oc "  latency %s\n" (histogram_summary label h))
+        labels;
+      flush oc)

@@ -1,0 +1,28 @@
+(** Daemon observability: response counters and per-engine latency
+    histograms (log2-microsecond buckets), mutex-protected for the
+    worker threads.
+
+    This module is the {e only} place in the daemon allowed to read the
+    wall clock — latencies are telemetry, never budget, so the
+    determinism contract (outcomes are pure functions of requests) is
+    untouched. *)
+
+type t
+
+val create : unit -> t
+
+(** [record_ok t ~engine ~elapsed_us] counts one successful response
+    under the histogram labelled [engine] (the outcome's last engine,
+    or ["cached"] for a cache hit). *)
+val record_ok : t -> engine:string -> elapsed_us:int -> unit
+
+val record_error : t -> unit
+val record_cancelled : t -> unit
+
+(** One-line summary for the [STATS] verb: response counters, cache
+    hit/miss/eviction counts, per-engine totals with coarse p50/p99
+    bucket bounds. *)
+val stats_line : t -> Mf_solve.Cache.stats -> string
+
+(** Multi-line shutdown dump (SIGTERM) to [oc], flushed. *)
+val dump : t -> Mf_solve.Cache.stats -> out_channel -> unit

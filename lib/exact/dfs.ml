@@ -46,6 +46,7 @@ type node_bound = {
   nb_push : task:int -> machine:int -> unit;
   nb_pop : unit -> unit;
   nb_bound : cutoff:float -> float;
+  nb_pivots : unit -> int;
 }
 
 type result = {
@@ -299,9 +300,17 @@ type ctx = {
   (* Factory, not instance: every search gets a fresh oracle so parallel
      subtrees never share LP state. *)
   lp_factory : (unit -> node_bound) option;
+  (* Node-equivalents one oracle simplex pivot costs against the budget
+     (0 = pivots are free, the plain-node accounting).  Per-subtree and
+     derived from [nb_pivots] deltas, so the charge is a pure function
+     of each subtree's own search — [--jobs] identity holds. *)
+  pivot_charge : int;
+  (* Cooperative cancellation: polled between nodes; a set token
+     unwinds the search and [solve] raises [Pool.Cancelled]. *)
+  cancel : Pool.token option;
 }
 
-let make_ctx ~rule ~setup ~dominance ~symmetry ~node_bound inst =
+let make_ctx ~rule ~setup ~dominance ~symmetry ~node_bound ~pivot_charge ~cancel inst =
   let n = Instance.task_count inst and m = Instance.machines inst in
   let wf = Instance.workflow inst in
   let order = Workflow.backward_order wf in
@@ -355,6 +364,8 @@ let make_ctx ~rule ~setup ~dominance ~symmetry ~node_bound inst =
     dominance;
     symmetry;
     lp_factory = node_bound;
+    pivot_charge;
+    cancel;
   }
 
 (* Phase 1 minimises; phase 2 re-derives the canonical optimal mapping by
@@ -374,6 +385,10 @@ type search = {
   mutable local_best : int array option;
   mutable nodes : int;
   budget : int;
+  (* Node-equivalents charged for oracle pivots (pivot_charge > 0 only);
+     [nodes + charged] is what the budget check reads. *)
+  mutable charged : int;
+  mutable last_pivots : int;
   mutable exhausted : bool;
   mutable stop : bool;
   mode : mode;
@@ -431,6 +446,8 @@ let make_search ?(with_lp = true) ctx ~shared ~budget ~seed_p ~mode ~pins =
     local_best = None;
     nodes = 0;
     budget;
+    charged = 0;
+    last_pivots = 0;
     exhausted = false;
     stop = false;
     mode;
@@ -611,7 +628,10 @@ let table_note s entries key loads =
    somewhere, so the mean final load already bounds the period. *)
 let rec bnb s k =
   if s.stop then ()
-  else if s.nodes >= s.budget then s.exhausted <- true
+  else if s.nodes + s.charged >= s.budget then s.exhausted <- true
+  else if
+    match s.ctx.cancel with Some tok -> Pool.cancelled tok | None -> false
+  then s.stop <- true
   else if k = s.ctx.n then record_leaf s
   else if not (s.use_dominance && k > 0) then begin
     if lp_check s k then expand s k
@@ -659,6 +679,14 @@ and lp_check s k =
       | Certify p -> p *. (1.0 +. 1e-12)
     in
     let lpb = nb.nb_bound ~cutoff in
+    (* Charge the evaluation's pivots (read as a delta of the oracle's
+       cumulative counter) against the subtree budget — the deadline
+       calibration's missing half: node-LP pivots are real work. *)
+    if s.ctx.pivot_charge > 0 then begin
+      let pv = nb.nb_pivots () in
+      s.charged <- s.charged + ((pv - s.last_pivots) * s.ctx.pivot_charge);
+      s.last_pivots <- pv
+    end;
     bound_ok s lpb
     ||
     (s.lp_prunes <- s.lp_prunes + 1;
@@ -906,6 +934,7 @@ type sub_result = {
   r_best_p : float;
   r_alloc : int array option;
   r_nodes : int;
+  r_charge : int;  (* pivot node-equivalents, charged alongside r_nodes *)
   r_bound : int;
   r_dom : int;
   r_dom_states : int;
@@ -924,6 +953,7 @@ let run_subtree ctx ~shared ~budget ~seed_p prefix =
     r_best_p = s.local_best_p;
     r_alloc = s.local_best;
     r_nodes = s.nodes;
+    r_charge = s.charged;
     r_bound = s.bound_prunes;
     r_dom = s.dom_prunes;
     r_dom_states = s.table_states;
@@ -957,9 +987,11 @@ let certify ctx ~p_star ~budget =
 let pending_cap = 4096
 
 let solve ?(node_budget = 20_000_000) ?(setup = 0.0) ?(jobs = 1) ?pool ?dominance
-    ?(symmetry = true) ?lower_bound ?incumbent ?node_bound ~rule inst =
+    ?(symmetry = true) ?lower_bound ?incumbent ?node_bound ?(pivot_charge = 0) ?cancel
+    ~rule inst =
   if setup < 0.0 then invalid_arg "Dfs.solve: negative setup time";
   if jobs < 1 then invalid_arg "Dfs.solve: jobs must be >= 1";
+  if pivot_charge < 0 then invalid_arg "Dfs.solve: negative pivot charge";
   check_rule_feasible rule inst;
   (* A caller-supplied certified lower bound (e.g. the divisible-workload
      LP optimum of [Mf_lp.Splitting]) turns "incumbent meets the bound"
@@ -982,7 +1014,7 @@ let solve ?(node_budget = 20_000_000) ?(setup = 0.0) ?(jobs = 1) ?pool ?dominanc
          heterogeneous instances. *)
       node_bound <> None || has_repeated_task_profiles inst
   in
-  let ctx = make_ctx ~rule ~setup ~dominance ~symmetry ~node_bound inst in
+  let ctx = make_ctx ~rule ~setup ~dominance ~symmetry ~node_bound ~pivot_charge ~cancel inst in
   let seed_mp, seed_p = seed_incumbent ~setup rule inst in
   (* A caller-supplied incumbent (the portfolio's shared best-so-far) is
      merged by strict minimum, so it can only tighten the seed.  It must
@@ -1039,7 +1071,7 @@ let solve ?(node_budget = 20_000_000) ?(setup = 0.0) ?(jobs = 1) ?pool ?dominanc
   let pending = ref (List.map (fun p -> (p, false)) (Array.to_list roots)) in
   let last_per = ref 0 in
   let run_round =
-    let on_pool pool prefixes ~f = Pool.map_array ~chunk:1 pool ~f prefixes in
+    let on_pool pool prefixes ~f = Pool.map_array ~chunk:1 ?cancel pool ~f prefixes in
     match pool with
     | Some pool -> on_pool pool
     | None ->
@@ -1057,9 +1089,14 @@ let solve ?(node_budget = 20_000_000) ?(setup = 0.0) ?(jobs = 1) ?pool ?dominanc
       run_round prefixes ~f:(fun (prefix, _) ->
           run_subtree ctx ~shared:(Atomic.make seed_round) ~budget:per ~seed_p:seed_round prefix)
     in
+    (* The pool path raises from [map_array] itself; this covers the
+       serial path, where cancelled subtrees stop and return partials. *)
+    (match cancel with
+    | Some tok when Pool.cancelled tok -> raise Pool.Cancelled
+    | _ -> ());
     Array.iter
       (fun r ->
-        budget_left := !budget_left - r.r_nodes;
+        budget_left := !budget_left - r.r_nodes - r.r_charge;
         nodes := !nodes + r.r_nodes;
         bound_prunes := !bound_prunes + r.r_bound;
         dom_prunes := !dom_prunes + r.r_dom;

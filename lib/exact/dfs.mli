@@ -91,6 +91,10 @@ type node_bound = {
   nb_push : task:int -> machine:int -> unit;
   nb_pop : unit -> unit;
   nb_bound : cutoff:float -> float;
+  nb_pivots : unit -> int;
+      (** cumulative simplex pivots this oracle has spent — read as
+          deltas around each [nb_bound] call when [pivot_charge > 0],
+          so oracle work can be charged against the node budget *)
 }
 
 type result = {
@@ -148,9 +152,24 @@ type result = {
     [node_bound] also flips the [dominance] auto-default to on (the
     table doubles as the no-good store).  Soundness is the caller's
     contract, exactly as for [lower_bound].
+
+    [pivot_charge] (default 0) prices one oracle simplex pivot in
+    node-equivalents: each subtree charges its own oracle's pivot
+    deltas ([nb_pivots]) against its budget slice alongside plain
+    nodes, so deadline-derived budgets stay honest when the per-node LP
+    bound is active.  The charge is a pure per-subtree function, so
+    [--jobs] byte-identity is unaffected; 0 reproduces the plain
+    node-count accounting exactly (the convention [Nodes] budgets and
+    the committed BENCH_exact rows assume).
+
+    [cancel] enables cooperative cancellation: the token is polled at
+    every node and between rounds, and a set token makes [solve] raise
+    {!Mf_parallel.Pool.Cancelled} (never a partial result).  Unset or
+    absent tokens change nothing.
     @raise Invalid_argument when no mapping satisfying [rule] exists
     ([m < p] for specialized, [m < n] for one-to-one), or [jobs < 1], or
-    [setup < 0], or [incumbent] violates [rule]. *)
+    [setup < 0], or [pivot_charge < 0], or [incumbent] violates [rule].
+    @raise Mf_parallel.Pool.Cancelled when [cancel]'s token is set. *)
 val solve :
   ?node_budget:int ->
   ?setup:float ->
@@ -161,6 +180,8 @@ val solve :
   ?lower_bound:float ->
   ?incumbent:Mf_core.Mapping.t * float ->
   ?node_bound:(unit -> node_bound) ->
+  ?pivot_charge:int ->
+  ?cancel:Mf_parallel.Pool.token ->
   rule:Mf_core.Mapping.rule ->
   Mf_core.Instance.t ->
   result

@@ -68,7 +68,7 @@ let portfolio ~node_budget =
     solve =
       (fun inst ~seed ->
         let req =
-          Mf_solve.Solver.request ~seed ~budget:(Mf_solve.Solver.Nodes node_budget) inst
+          Mf_solve.Solver.request_exn ~seed ~budget:(Mf_solve.Solver.Nodes node_budget) inst
         in
         (Mf_solve.Portfolio.solve req).Mf_solve.Solver.period);
   }

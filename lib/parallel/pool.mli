@@ -56,6 +56,32 @@ val domains : t -> int
     [domains t - 1], or [0] after {!shutdown}. *)
 val spawned : t -> int
 
+(** {1 Cooperative cancellation}
+
+    A {!token} is a one-shot cancellation flag shared between a
+    submitter and whoever may abort its work (e.g. the daemon's
+    [CANCEL] verb).  Passing it to {!map_array} enables {e task
+    withdrawal}: once the token is set, chunks not yet claimed are
+    skipped instead of run, in-flight chunks complete normally (work
+    functions are never interrupted — long-running units poll the token
+    themselves), and after the batch drains the submitting domain
+    raises {!Cancelled} exactly once.  The pool is left clean: every
+    chunk is claimed and counted down whether it ran or was withdrawn,
+    so concurrent batches and later submissions are unaffected. *)
+
+type token
+
+exception Cancelled
+
+(** [token ()] makes a fresh, unset token. *)
+val token : unit -> token
+
+(** [cancel tok] sets the token.  Idempotent, safe from any domain or
+    (sys)thread; tokens are never reset. *)
+val cancel : token -> unit
+
+val cancelled : token -> bool
+
 (** [map_array ?chunk t ~f arr] is [Array.map f arr], computed on the pool.
     Results are written into a pre-sized array by index, so the result is
     identical for any pool size {e and} any chunk size.  If some
@@ -68,9 +94,15 @@ val spawned : t -> int
     the sub-1x speedups the bench measured on small grids.  Pass
     [~chunk:1] when units are few and individually heavy (e.g.
     exact-search root subtrees) so they spread across all domains.
+
+    [cancel] opts into cooperative cancellation (see the section
+    above): when the token is set by the time the batch drains —
+    whether any chunk was actually withdrawn or not — {!Cancelled} is
+    raised instead of returning a (possibly partial) result.
     @raise Invalid_argument if the pool has been shut down or
-    [chunk < 1]. *)
-val map_array : ?chunk:int -> t -> f:('a -> 'b) -> 'a array -> 'b array
+    [chunk < 1].
+    @raise Cancelled when [cancel]'s token is set. *)
+val map_array : ?chunk:int -> ?cancel:token -> t -> f:('a -> 'b) -> 'a array -> 'b array
 
 (** [map_reduce ?chunk t ~f ~combine ~init arr] folds the results of
     [map_array t ~f arr] left-to-right in index order:

@@ -527,7 +527,7 @@ let cache_prop (inst, mperm, tperm) =
       ~w:(Array.map permute (w_matrix inst))
       ~f:(Array.map permute (f_matrix inst))
   in
-  let req i = Solver.request ~budget:(Solver.Nodes 100_000) i in
+  let req i = Solver.request_exn ~budget:(Solver.Nodes 100_000) i in
   let cache = Cache.create () in
   let warm = Portfolio.solve ~cache (req inst') in
   check (not warm.Solver.stats.Solver.cache_hit) "warm-up solve reported a cache hit";
@@ -657,6 +657,210 @@ let pool_oracle =
     }
 
 (* ------------------------------------------------------------------ *)
+(* daemon: random request interleavings over a socketpair               *)
+(* ------------------------------------------------------------------ *)
+
+module Dprotocol = Mf_daemon.Protocol
+module Dserver = Mf_daemon.Server
+
+(* One wire action: a well-formed solve, a malformed line (with just
+   enough framing to stay parseable past it), or a solve immediately
+   followed by its CANCEL. *)
+type daemon_action =
+  | Dgood of Instance.t * int (* node budget *)
+  | Dbad of int (* index into [daemon_malformed] *)
+  | Dcancel of Instance.t
+
+(* Each entry is the full text to send; every one elicits exactly one
+   ERR.  Malformed SOLVE lines carry an immediate [end] so the server's
+   block skip consumes one line and framing survives. *)
+let daemon_malformed =
+  [|
+    "NOPE 1\n";
+    "SOLVE\nend\n";
+    "SOLVE x budget=Z9\nend\n";
+    "SOLVE x rule=quantum\nend\n";
+    "CANCEL ghost\n";
+    "SOLVE x seed=abc\nend\n";
+  |]
+
+let daemon_gen =
+  let action =
+    frequency
+      [
+        ( 4,
+          let* inst = Instances.instance ~max_tasks:6 ~max_machines:3 () in
+          let* nodes = int_range 500 50_000 in
+          return (Dgood (inst, nodes)) );
+        ( 2,
+          let* k = int_range 0 (Array.length daemon_malformed - 1) in
+          return (Dbad k) );
+        ( 2,
+          let* inst = Instances.instance ~max_tasks:6 ~max_machines:3 () in
+          return (Dcancel inst) );
+      ]
+  in
+  let+ actions = array_sized ~min:1 ~max:5 action in
+  Array.to_list actions
+
+let daemon_print actions =
+  String.concat "; "
+    (List.map
+       (function
+         | Dgood (inst, nodes) ->
+           Printf.sprintf "good(n=%d,m=%d,budget=%d)" (Instance.task_count inst)
+             (Instance.machines inst) nodes
+         | Dbad k -> Printf.sprintf "bad(%s)" (String.trim daemon_malformed.(k))
+         | Dcancel inst ->
+           Printf.sprintf "cancel(n=%d,m=%d)" (Instance.task_count inst)
+             (Instance.machines inst))
+       actions)
+
+let daemon_req inst nodes = Solver.request_exn ~budget:(Solver.Nodes nodes) inst
+
+(* The daemon contract under random interleavings: the server never
+   crashes, every request line gets exactly one response, and every
+   [OK] is byte-identical to the in-process portfolio solve of the same
+   request (modulo the shared-cache [cached] flag). *)
+let daemon_prop actions =
+  let srv =
+    Dserver.create ~config:{ Dserver.jobs = 1; cache_capacity = 64; workers = 2 } ()
+  in
+  let devnull = open_out "/dev/null" in
+  Fun.protect
+    ~finally:(fun () ->
+      Dserver.shutdown srv devnull;
+      close_out devnull)
+    (fun () ->
+      let a, b = Unix.socketpair Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+      let reader =
+        Thread.create
+          (fun () ->
+            let ic = Unix.in_channel_of_descr a in
+            let oc = Unix.out_channel_of_descr a in
+            (try Dserver.serve_client srv ic oc with Sys_error _ | End_of_file -> ());
+            try Unix.close a with Unix.Unix_error _ -> ())
+          ()
+      in
+      let ic = Unix.in_channel_of_descr b in
+      let oc = Unix.out_channel_of_descr b in
+      let send s = output_string oc s in
+      (* send the whole interleaving, then QUIT as the drain barrier *)
+      let expected_lines =
+        List.fold_left
+          (fun acc -> function
+            | Dgood _ -> acc + 1
+            | Dbad _ -> acc + 1
+            | Dcancel _ -> acc + 2 (* CANCELOK|ERR + OK|CANCELLED *))
+          0 actions
+      in
+      List.iteri
+        (fun i act ->
+          match act with
+          | Dgood (inst, nodes) ->
+            send (Dprotocol.render_solve ~id:(Printf.sprintf "g%d" i) (daemon_req inst nodes))
+          | Dbad k -> send daemon_malformed.(k)
+          | Dcancel inst ->
+            let id = Printf.sprintf "k%d" i in
+            send (Dprotocol.render_solve ~id (daemon_req inst 50_000));
+            send (Printf.sprintf "CANCEL %s\n" id))
+        actions;
+      send "QUIT\n";
+      flush oc;
+      let lines = List.init (expected_lines + 1) (fun _ -> input_line ic) in
+      (try Unix.close b with Unix.Unix_error _ -> ());
+      Thread.join reader;
+      (* exactly one response per request: after [expected_lines]
+         responses the next line must be the BYE of the QUIT *)
+      let responses, bye =
+        match List.rev lines with
+        | last :: rev -> (List.rev rev, last)
+        | [] -> assert false
+      in
+      check (bye = "BYE") "expected BYE after %d responses, got %S" expected_lines bye;
+      let answers_for id =
+        List.filter
+          (fun l ->
+            match String.split_on_char ' ' l with
+            | ("OK" | "ERR" | "CANCELLED" | "CANCELOK") :: rid :: _ -> rid = id
+            | _ -> false)
+          responses
+      in
+      List.iteri
+        (fun i act ->
+          match act with
+          | Dgood (inst, nodes) ->
+            let id = Printf.sprintf "g%d" i in
+            let got = answers_for id in
+            check (List.length got = 1) "request %s got %d responses" id (List.length got);
+            let expected =
+              Dprotocol.render_outcome ~id (Portfolio.solve (daemon_req inst nodes))
+            in
+            let got = Dprotocol.mask_cached (List.hd got) in
+            check (got = expected) "response for %s differs from in-process solve:\n%s\n%s" id
+              got expected
+          | Dbad _ -> ()
+          | Dcancel inst ->
+            let id = Printf.sprintf "k%d" i in
+            let got = answers_for id in
+            check (List.length got = 2) "cancelled request %s got %d responses" id
+              (List.length got);
+            let solve_answers, cancel_answers =
+              List.partition
+                (fun l ->
+                  String.starts_with ~prefix:"OK " l
+                  || String.starts_with ~prefix:"CANCELLED " l)
+                got
+            in
+            check
+              (List.length solve_answers = 1)
+              "request %s: expected one OK/CANCELLED, got %d" id (List.length solve_answers);
+            check
+              (List.length cancel_answers = 1)
+              "request %s: expected one CANCELOK/ERR, got %d" id (List.length cancel_answers);
+            (* a solve that outran its CANCEL must still be exact *)
+            List.iter
+              (fun l ->
+                if String.starts_with ~prefix:"OK " l then
+                  let expected =
+                    Dprotocol.render_outcome ~id (Portfolio.solve (daemon_req inst 50_000))
+                  in
+                  check
+                    (Dprotocol.mask_cached l = expected)
+                    "uncancelled response for %s differs from in-process solve" id)
+              solve_answers)
+        actions;
+      (* the malformed count falls out: everything unclaimed is an ERR *)
+      let claimed =
+        List.concat_map
+          (fun (i, act) ->
+            match act with
+            | Dgood _ -> answers_for (Printf.sprintf "g%d" i)
+            | Dcancel _ -> answers_for (Printf.sprintf "k%d" i)
+            | Dbad _ -> [])
+          (List.mapi (fun i a -> (i, a)) actions)
+      in
+      let unclaimed = List.filter (fun l -> not (List.memq l claimed)) responses in
+      List.iter
+        (fun l ->
+          check (String.starts_with ~prefix:"ERR " l) "unclaimed non-error response %S" l)
+        unclaimed)
+
+let daemon_oracle =
+  Oracle
+    {
+      name = "daemon";
+      description =
+        "random interleavings of well-formed, malformed and cancelled requests over a \
+         socketpair: no crash, one response per request, OK lines byte-identical to \
+         in-process solves";
+      quick_cases = 30;
+      gen = daemon_gen;
+      prop = prop_of daemon_prop;
+      print = daemon_print;
+    }
+
+(* ------------------------------------------------------------------ *)
 (* Matrix plumbing                                                      *)
 (* ------------------------------------------------------------------ *)
 
@@ -671,6 +875,7 @@ let all =
     meta_oracle;
     cache_oracle;
     pool_oracle;
+    daemon_oracle;
   ]
 
 let find n = List.find_opt (fun o -> name o = n) all

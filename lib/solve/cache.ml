@@ -14,10 +14,17 @@ type entry = {
   stats : Solver.stats;
 }
 
-type t = entry Lru.t
+(* The recency list behind [Lru] is not thread-safe, and the daemon
+   shares one cache across request worker threads — every operation is
+   mutex-wrapped here (uncontended in single-threaded use). *)
+type t = { lru : entry Lru.t; lock : Mutex.t }
 
 let default_capacity = 4096
-let create ?(capacity = default_capacity) () = Lru.create ~capacity
+
+let create ?(capacity = default_capacity) () =
+  { lru = Lru.create ~capacity; lock = Mutex.create () }
+
+let locked c f = Mutex.protect c.lock (fun () -> f c.lru)
 
 let request_key (canon : Mf_core.Canon.t) (req : Solver.request) =
   (* %h renders floats exactly (hex), so setup never aliases under
@@ -28,21 +35,23 @@ let request_key (canon : Mf_core.Canon.t) (req : Solver.request) =
     (Solver.budget_repr req.Solver.budget)
     req.Solver.want_certificate
 
-let find = Lru.find
-let add = Lru.add
-let clear = Lru.clear
+let find c key = locked c (fun lru -> Lru.find lru key)
+let add c key e = locked c (fun lru -> Lru.add lru key e)
+let clear c = locked c Lru.clear
 
 type stats = { hits : int; misses : int; evictions : int; length : int; capacity : int }
 
 let stats c =
-  {
-    hits = Lru.hits c;
-    misses = Lru.misses c;
-    evictions = Lru.evictions c;
-    length = Lru.length c;
-    capacity = Lru.capacity c;
-  }
+  locked c (fun lru ->
+      {
+        hits = Lru.hits lru;
+        misses = Lru.misses lru;
+        evictions = Lru.evictions lru;
+        length = Lru.length lru;
+        capacity = Lru.capacity lru;
+      })
 
 let hit_rate c =
-  let h = Lru.hits c and m = Lru.misses c in
-  if h + m = 0 then 0.0 else float_of_int h /. float_of_int (h + m)
+  locked c (fun lru ->
+      let h = Lru.hits lru and m = Lru.misses lru in
+      if h + m = 0 then 0.0 else float_of_int h /. float_of_int (h + m))

@@ -12,7 +12,10 @@
     The key is the canonical instance serialization joined with every
     request parameter that can influence the outcome (rule, seed,
     setup, budget, certificate flag) — see {!request_key}.  Eviction is
-    least-recently-used ({!Mf_structures.Lru}). *)
+    least-recently-used ({!Mf_structures.Lru}).
+
+    Every operation is internally mutex-protected: the daemon shares
+    one cache across its request worker threads. *)
 
 type t
 

@@ -129,6 +129,7 @@ let node_bound_factory ~rule inst =
       Dfs.nb_push = (fun ~task ~machine -> Mf_lp.Node_bound.push t ~task ~machine);
       nb_pop = (fun () -> Mf_lp.Node_bound.pop t);
       nb_bound = (fun ~cutoff -> Mf_lp.Node_bound.bound t ~cutoff);
+      nb_pivots = (fun () -> (Mf_lp.Node_bound.stats t).Mf_lp.Node_bound.pivots);
     }
   in
   let pivots () =
@@ -138,7 +139,7 @@ let node_bound_factory ~rule inst =
   in
   (factory, pivots)
 
-let exact ?lower_bound ?incumbent ?pool ?lp_bound (req : request) =
+let exact ?lower_bound ?incumbent ?pool ?lp_bound ?pivot_charge ?cancel (req : request) =
   let inst = req.instance in
   if not (feasible req.rule inst) then infeasible Exact
   else
@@ -156,7 +157,7 @@ let exact ?lower_bound ?incumbent ?pool ?lp_bound (req : request) =
     in
     let r =
       Dfs.solve ?node_budget ~setup:req.setup ?pool ?lower_bound ?incumbent ?node_bound
-        ~rule:req.rule inst
+        ?pivot_charge ?cancel ~rule:req.rule inst
     in
     let status =
       if r.Dfs.optimal then Optimal

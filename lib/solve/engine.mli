@@ -60,12 +60,21 @@ val node_bound_factory :
     when the instance has at least 14 tasks, the measured crossover
     below which the plain search finishes faster than the LP solves it
     would save.  The oracles' simplex iterations are reported in the
-    outcome's [lp_pivots]. *)
+    outcome's [lp_pivots].
+
+    [pivot_charge] (default 0) prices oracle pivots in node-equivalents
+    against the node budget — [Dfs.solve]'s option; the portfolio
+    passes {!Solver.node_lp_pivot_cost} for deadline-derived budgets so
+    [Deadline_ms] requests do not overshoot when the oracle is active.
+    [cancel] is cooperative cancellation, polled per node.
+    @raise Mf_parallel.Pool.Cancelled when [cancel]'s token is set. *)
 val exact :
   ?lower_bound:float ->
   ?incumbent:Mf_core.Mapping.t * float ->
   ?pool:Mf_parallel.Pool.t ->
   ?lp_bound:bool ->
+  ?pivot_charge:int ->
+  ?cancel:Mf_parallel.Pool.token ->
   Solver.request ->
   Solver.outcome
 

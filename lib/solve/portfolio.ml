@@ -7,12 +7,28 @@ open Solver
 (* [run_stages req] solves a feasible request whose instance is already
    canonical.  All budget decisions read a deterministic ledger of
    node-equivalents; the wall clock is never consulted. *)
-let run_stages ?pool (req : request) =
+let run_stages ?pool ?cancel (req : request) =
+  let check_cancel () =
+    match cancel with
+    | Some tok when Mf_parallel.Pool.cancelled tok -> raise Mf_parallel.Pool.Cancelled
+    | _ -> ()
+  in
   let allowance = node_allowance req.budget in
+  (* Deadline budgets charge the exact stage's per-node LP oracle
+     pivots into the same node-equivalent ledger ([Dfs.solve
+     ?pivot_charge]); [Nodes] budgets deliberately stay plain node
+     counts — that is their contract, and the committed BENCH_exact
+     regression rows pin it. *)
+  let pivot_charge =
+    match req.budget with
+    | Deadline_ms _ -> Some node_lp_pivot_cost
+    | Unlimited | Nodes _ -> None
+  in
   let spent = ref 0 in
   let charge k = spent := !spent + k in
   let remaining () = match allowance with None -> max_int | Some k -> k - !spent in
   (* Stage 1: heuristics — always run; first incumbent. *)
+  check_cancel ();
   let h = Engine.heuristics req in
   charge (Engine.heuristic_cost req.instance);
   let inc_mp = Option.get h.mapping and inc_p = Option.get h.period in
@@ -21,6 +37,7 @@ let run_stages ?pool (req : request) =
   else begin
     (* Stage 2: certified LP bound — skipped only when the remaining
        allowance cannot pay for it and no certificate was demanded. *)
+    check_cancel ();
     let run_lp = req.want_certificate || remaining () > Engine.lp_cost_estimate req.instance in
     let lp_out = if run_lp then Some (Engine.lp req) else None in
     (match lp_out with
@@ -57,7 +74,7 @@ let run_stages ?pool (req : request) =
           match allowance with None -> Unlimited | Some _ -> Nodes (remaining ())
         in
         let e =
-          Engine.exact ?lower_bound ?pool ~incumbent:(inc_mp, inc_p)
+          Engine.exact ?lower_bound ?pool ?pivot_charge ?cancel ~incumbent:(inc_mp, inc_p)
             { req with budget = ebudget }
         in
         {
@@ -105,7 +122,7 @@ let outcome_of_entry (req : request) (canon : Canon.t) ~cache_hit (e : Cache.ent
     stats = { e.Cache.stats with cache_hit };
   }
 
-let solve ?cache ?pool (req : request) =
+let solve ?cache ?pool ?cancel (req : request) =
   if not (feasible req.rule req.instance) then
     {
       status = Infeasible;
@@ -121,7 +138,7 @@ let solve ?cache ?pool (req : request) =
     match Option.bind cache (fun c -> Cache.find c key) with
     | Some e -> outcome_of_entry req canon ~cache_hit:true e
     | None ->
-      let out = run_stages ?pool { req with instance = canon.Canon.instance } in
+      let out = run_stages ?pool ?cancel { req with instance = canon.Canon.instance } in
       let e = entry_of_outcome out in
       (match cache with Some c -> Cache.add c key e | None -> ());
       outcome_of_entry req canon ~cache_hit:false e

@@ -25,10 +25,28 @@
     bit-for-bit equal to a fresh solve except for the [cache_hit] flag.
     Misses are stored after solving, so near-duplicate request storms
     (machine permutations, type relabelings of the same instance) hit
-    after the first representative. *)
+    after the first representative.
 
-(** [solve ?cache ?pool req] — see above.  Infeasible rules return
-    [Infeasible] without touching any engine or the cache.  [pool] is
-    handed to the exact stage ({!Engine.exact}); outcomes — and hence
-    cache entries — are bit-identical with or without it. *)
-val solve : ?cache:Cache.t -> ?pool:Mf_parallel.Pool.t -> Solver.request -> Solver.outcome
+    {b Deadline honesty.}  For [Deadline_ms] budgets the exact stage
+    charges its per-node LP bound oracle's simplex pivots into the same
+    node-equivalent ledger at {!Solver.node_lp_pivot_cost} — without
+    this the oracle's work would be free and deadline requests would
+    overshoot wall time roughly 5x on oracle-heavy instances.  [Nodes]
+    budgets keep the plain node-count contract unchanged.
+
+    {b Cancellation.}  With [?cancel], a set token makes [solve] raise
+    {!Mf_parallel.Pool.Cancelled}: the token is checked between stages
+    and polled at every search node, nothing is written to the cache,
+    and no partial outcome escapes. *)
+
+(** [solve ?cache ?pool ?cancel req] — see above.  Infeasible rules
+    return [Infeasible] without touching any engine or the cache.
+    [pool] is handed to the exact stage ({!Engine.exact}); outcomes —
+    and hence cache entries — are bit-identical with or without it.
+    @raise Mf_parallel.Pool.Cancelled when [cancel]'s token is set. *)
+val solve :
+  ?cache:Cache.t ->
+  ?pool:Mf_parallel.Pool.t ->
+  ?cancel:Mf_parallel.Pool.token ->
+  Solver.request ->
+  Solver.outcome

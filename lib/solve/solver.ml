@@ -13,15 +13,36 @@ type request = {
   setup : float;
 }
 
-let request ?(rule = Mapping.Specialized) ?(seed = Mf_heuristics.Registry.default_seed)
+type request_error =
+  | Bad_deadline of float
+  | Bad_node_budget of int
+  | Bad_setup of float
+
+let describe_request_error = function
+  | Bad_deadline d ->
+    if Float.is_nan d then "deadline must not be NaN"
+    else Printf.sprintf "deadline must be positive (got %g ms)" d
+  | Bad_node_budget k -> Printf.sprintf "node budget must be >= 1 (got %d)" k
+  | Bad_setup s ->
+    if Float.is_nan s then "setup must not be NaN"
+    else Printf.sprintf "setup must be non-negative (got %g)" s
+
+let make_request ?(rule = Mapping.Specialized) ?(seed = Mf_heuristics.Registry.default_seed)
     ?(budget = Unlimited) ?(want_certificate = false) ?(setup = 0.0) instance =
-  (match budget with
-  | Unlimited -> ()
-  | Deadline_ms d ->
-    if not (d > 0.0) then invalid_arg "Solver.request: deadline must be positive"
-  | Nodes k -> if k < 1 then invalid_arg "Solver.request: node budget must be >= 1");
-  if setup < 0.0 then invalid_arg "Solver.request: setup must be non-negative";
-  { instance; rule; seed; budget; want_certificate; setup }
+  (* [not (d > 0.0)] (rather than [d <= 0.0]) also rejects NaN: an
+     unordered deadline would otherwise sail through every later
+     comparison and collapse to an arbitrary allowance. *)
+  match budget with
+  | Deadline_ms d when not (d > 0.0) -> Error (Bad_deadline d)
+  | Nodes k when k < 1 -> Error (Bad_node_budget k)
+  | _ ->
+    if not (setup >= 0.0) then Error (Bad_setup setup)
+    else Ok { instance; rule; seed; budget; want_certificate; setup }
+
+let request_exn ?rule ?seed ?budget ?want_certificate ?setup instance =
+  match make_request ?rule ?seed ?budget ?want_certificate ?setup instance with
+  | Ok req -> req
+  | Error e -> invalid_arg ("Solver.request: " ^ describe_request_error e)
 
 type status =
   | Optimal
@@ -71,12 +92,36 @@ let feasible rule inst =
    run for outcomes to replay bit-for-bit. *)
 let nodes_per_ms = 2000.0
 
+(* With the per-node LP bound active, simplex pivots of the bound
+   oracle are real work the plain node count does not see: on the
+   BENCH_exact solvable scan, lp_solves ~ nodes (e.g. n=18: 42729
+   solves for 42857 nodes) and each warm-started evaluation costs ~500
+   plain-node-equivalents (the measured crossover behind
+   [Engine.lp_bound_threshold]) over a few tens of pivots.  Ten
+   node-equivalents per pivot keeps [Deadline_ms] honest under the
+   oracle while charging nothing when it is off.  Fixed for the same
+   replay reason as [nodes_per_ms]. *)
+let node_lp_pivot_cost = 10
+
+(* Allowance ceiling: ~16 years of work at [nodes_per_ms], far beyond
+   any real deadline yet small enough that downstream ledger sums
+   ([spent + charge], per-round redistribution arithmetic) can never
+   overflow 63-bit ints. *)
+let max_node_allowance = 1_000_000_000_000_000
+
 let node_allowance = function
   | Unlimited -> None
   | Deadline_ms d ->
-    (* ceil so that any positive deadline grants at least one node *)
-    Some (max 1 (int_of_float (ceil (d *. nodes_per_ms))))
-  | Nodes k -> Some k
+    (* ceil so that any positive deadline grants at least one node.
+       The clamp comparison is written so an out-of-range float product
+       (1e300 * 2000, infinity — or NaN, should a record literal bypass
+       [make_request]) falls into the clamped branch rather than
+       through [int_of_float]'s unspecified overflow behaviour, which
+       used to collapse huge deadlines to a 1-node budget. *)
+    let raw = ceil (d *. nodes_per_ms) in
+    if raw < float_of_int max_node_allowance then Some (max 1 (int_of_float raw))
+    else Some max_node_allowance
+  | Nodes k -> Some (min k max_node_allowance)
 
 let budget_repr = function
   | Unlimited -> "U"

@@ -34,10 +34,34 @@ type request = {
   setup : float;  (** reconfiguration time per type switch (general rule); default 0 *)
 }
 
-(** [request inst] builds a request with the defaults above.
-    @raise Invalid_argument on a non-positive deadline or node budget,
-    or negative [setup]. *)
-val request :
+(** Why a request was rejected at construction.  [Bad_deadline] covers
+    non-positive {e and} NaN deadlines, [Bad_setup] negative and NaN
+    setups (NaN never enters the solver: it is unordered, so it would
+    slip through every downstream comparison). *)
+type request_error =
+  | Bad_deadline of float
+  | Bad_node_budget of int
+  | Bad_setup of float
+
+val describe_request_error : request_error -> string
+
+(** [make_request inst] builds a request with the defaults above,
+    reporting malformed parameters — the untrusted-boundary
+    constructor the daemon and [mfopt solve] use. *)
+val make_request :
+  ?rule:Mf_core.Mapping.rule ->
+  ?seed:int ->
+  ?budget:budget ->
+  ?want_certificate:bool ->
+  ?setup:float ->
+  Mf_core.Instance.t ->
+  (request, request_error) result
+
+(** [request_exn inst] is {!make_request} for trusted in-process
+    callers.
+    @raise Invalid_argument on a non-positive or NaN deadline, a
+    non-positive node budget, or negative or NaN [setup]. *)
+val request_exn :
   ?rule:Mf_core.Mapping.rule ->
   ?seed:int ->
   ?budget:budget ->
@@ -111,8 +135,25 @@ val feasible : Mf_core.Mapping.rule -> Mf_core.Instance.t -> bool
 (** Node-equivalents granted per millisecond of deadline. *)
 val nodes_per_ms : float
 
-(** [node_allowance budget] is the total node-equivalent allowance;
-    [None] means unlimited. *)
+(** Node-equivalents one simplex pivot of the {e per-node} LP bound
+    oracle costs against a deadline allowance.  Calibrated against
+    BENCH_exact.json: on the solvable scan the oracle evaluates roughly
+    once per node (n=18: 42729 lp_solves over 42857 nodes) at ~500
+    plain-node-equivalents per warm-started evaluation of a few tens of
+    pivots.  [Nodes] budgets are {e not} charged — they count search
+    nodes by contract, and the committed BENCH_exact regression rows
+    pin that accounting. *)
+val node_lp_pivot_cost : int
+
+(** Hard ceiling on any node-equivalent allowance (~16 years of work at
+    {!nodes_per_ms}).  Deadlines whose node-equivalent product reaches
+    it — [Deadline_ms 1e300], infinity — are clamped here instead of
+    overflowing [int_of_float] (which used to collapse them to a 1-node
+    budget). *)
+val max_node_allowance : int
+
+(** [node_allowance budget] is the total node-equivalent allowance,
+    clamped to {!max_node_allowance}; [None] means unlimited. *)
 val node_allowance : budget -> int option
 
 (** Stable textual form of a budget, part of the answer-cache key. *)

@@ -576,6 +576,7 @@ let nb_oracle t =
     Dfs.nb_push = (fun ~task ~machine -> Node_bound.push t ~task ~machine);
     nb_pop = (fun () -> Node_bound.pop t);
     nb_bound = (fun ~cutoff -> Node_bound.bound t ~cutoff);
+    nb_pivots = (fun () -> (Node_bound.stats t).Node_bound.pivots);
   }
 
 (* Exact best completion of a partial assignment ([-1] = unassigned)

@@ -55,7 +55,7 @@ let test_portfolio_vs_engines rule () =
   let budget = Solver.Nodes 500_000 in
   for i = 1 to 60 do
     let inst = differential_instance ~rule i in
-    let req = Solver.request ~rule ~budget inst in
+    let req = Solver.request_exn ~rule ~budget inst in
     let out = Portfolio.solve req in
     let name = Printf.sprintf "(%s, i=%d)" (Mapping.rule_name rule) i in
     Alcotest.(check bool)
@@ -100,7 +100,7 @@ let test_portfolio_one_to_one () = test_portfolio_vs_engines Mapping.One_to_one 
 let test_portfolio_deterministic () =
   for i = 1 to 20 do
     let inst = differential_instance ~rule:Mapping.Specialized i in
-    let req = Solver.request ~budget:(Solver.Nodes 100_000) inst in
+    let req = Solver.request_exn ~budget:(Solver.Nodes 100_000) inst in
     check_outcomes_identical
       (Printf.sprintf "replay (i=%d)" i)
       (Portfolio.solve req) (Portfolio.solve req)
@@ -111,7 +111,7 @@ let test_portfolio_deterministic () =
 let test_portfolio_anytime () =
   let inst = chain ~tasks:14 ~types:4 ~machines:6 7 in
   (* enough for heuristics + LP, not for the exact search *)
-  let out = Portfolio.solve (Solver.request ~budget:(Solver.Nodes 9_000) inst) in
+  let out = Portfolio.solve (Solver.request_exn ~budget:(Solver.Nodes 9_000) inst) in
   (match out.Solver.status with
   | Solver.Feasible gap -> Alcotest.(check bool) "gap >= 0" true (gap >= 0.0)
   | Solver.Optimal -> ()
@@ -120,7 +120,7 @@ let test_portfolio_anytime () =
   Alcotest.(check bool) "anytime mapping valid" true
     (Mapping.satisfies inst mp Mapping.Specialized);
   (* heuristics-only budget: no bound, explicitly exhausted *)
-  let tiny = Portfolio.solve (Solver.request ~budget:(Solver.Nodes 1) inst) in
+  let tiny = Portfolio.solve (Solver.request_exn ~budget:(Solver.Nodes 1) inst) in
   Alcotest.(check bool) "tiny budget exhausted" true
     (tiny.Solver.status = Solver.Budget_exhausted);
   Alcotest.(check bool) "tiny budget still answers" true
@@ -133,7 +133,7 @@ let test_portfolio_anytime () =
 let test_portfolio_certificate () =
   let inst = chain ~tasks:14 ~types:4 ~machines:6 7 in
   let out =
-    Portfolio.solve (Solver.request ~budget:(Solver.Nodes 1) ~want_certificate:true inst)
+    Portfolio.solve (Solver.request_exn ~budget:(Solver.Nodes 1) ~want_certificate:true inst)
   in
   Alcotest.(check bool) "certificate present" true (Option.is_some out.Solver.lower_bound);
   (match out.Solver.status with
@@ -155,13 +155,68 @@ let test_request_validation () =
     | _ -> false
   in
   Alcotest.(check bool) "negative deadline" true
-    (raises (fun () -> Solver.request ~budget:(Solver.Deadline_ms (-1.0)) inst));
+    (raises (fun () -> Solver.request_exn ~budget:(Solver.Deadline_ms (-1.0)) inst));
   Alcotest.(check bool) "zero nodes" true
-    (raises (fun () -> Solver.request ~budget:(Solver.Nodes 0) inst));
+    (raises (fun () -> Solver.request_exn ~budget:(Solver.Nodes 0) inst));
   Alcotest.(check bool) "negative setup" true
-    (raises (fun () -> Solver.request ~setup:(-1.0) inst));
+    (raises (fun () -> Solver.request_exn ~setup:(-1.0) inst));
   Alcotest.(check bool) "defaults fine" true
-    (match Solver.request inst with _ -> true)
+    (match Solver.request_exn inst with _ -> true)
+
+(* The typed constructor reports the same rejections [request_exn]
+   raises, as values — one case per [request_error] variant, NaN
+   included (NaN must never enter the solver: it is unordered, so it
+   would slip through every downstream comparison). *)
+let test_make_request_errors () =
+  let inst = chain ~tasks:4 ~types:2 ~machines:3 1 in
+  let check_error label expect result =
+    Alcotest.(check bool) label true
+      (match result with Error e -> expect e | Ok _ -> false)
+  in
+  let is_bad_deadline = function Solver.Bad_deadline _ -> true | _ -> false in
+  let is_bad_nodes = function Solver.Bad_node_budget _ -> true | _ -> false in
+  let is_bad_setup = function Solver.Bad_setup _ -> true | _ -> false in
+  check_error "NaN deadline" is_bad_deadline
+    (Solver.make_request ~budget:(Solver.Deadline_ms nan) inst);
+  check_error "zero deadline" is_bad_deadline
+    (Solver.make_request ~budget:(Solver.Deadline_ms 0.0) inst);
+  check_error "negative deadline" is_bad_deadline
+    (Solver.make_request ~budget:(Solver.Deadline_ms (-3.0)) inst);
+  check_error "zero node budget" is_bad_nodes
+    (Solver.make_request ~budget:(Solver.Nodes 0) inst);
+  check_error "negative node budget" is_bad_nodes
+    (Solver.make_request ~budget:(Solver.Nodes (-7)) inst);
+  check_error "NaN setup" is_bad_setup (Solver.make_request ~setup:nan inst);
+  check_error "negative setup" is_bad_setup (Solver.make_request ~setup:(-0.5) inst);
+  Alcotest.(check bool) "every error describable" true
+    (List.for_all
+       (fun e -> String.length (Solver.describe_request_error e) > 0)
+       [ Solver.Bad_deadline nan; Solver.Bad_node_budget 0; Solver.Bad_setup (-1.0) ]);
+  Alcotest.(check bool) "valid request accepted" true
+    (Result.is_ok (Solver.make_request ~budget:(Solver.Deadline_ms 5.0) ~setup:1.5 inst))
+
+(* Overflow guard regressions: huge and infinite deadlines clamp to
+   [max_node_allowance] instead of collapsing through [int_of_float]
+   overflow (which used to turn a 1e300 ms deadline into a 1-node
+   budget). *)
+let test_node_allowance_clamp () =
+  let cap = Solver.max_node_allowance in
+  Alcotest.(check bool) "1e300 deadline clamps" true
+    (Solver.node_allowance (Solver.Deadline_ms 1e300) = Some cap);
+  Alcotest.(check bool) "infinite deadline clamps" true
+    (Solver.node_allowance (Solver.Deadline_ms infinity) = Some cap);
+  Alcotest.(check bool) "just above the clamp boundary" true
+    (Solver.node_allowance (Solver.Deadline_ms (2.0 *. float_of_int cap /. Solver.nodes_per_ms))
+    = Some cap);
+  Alcotest.(check bool) "huge node budget clamps" true
+    (Solver.node_allowance (Solver.Nodes max_int) = Some cap);
+  Alcotest.(check bool) "node budget at the cap" true
+    (Solver.node_allowance (Solver.Nodes cap) = Some cap);
+  Alcotest.(check bool) "node budget below the cap passes through" true
+    (Solver.node_allowance (Solver.Nodes (cap - 1)) = Some (cap - 1));
+  (* the cap itself stays comfortably inside the int range so arithmetic
+     like [nodes + charged >= budget] cannot overflow *)
+  Alcotest.(check bool) "cap leaves headroom" true (cap < max_int / 64)
 
 let test_node_allowance () =
   Alcotest.(check bool) "unlimited" true (Solver.node_allowance Solver.Unlimited = None);
@@ -182,19 +237,19 @@ let test_engine_infeasible () =
       Alcotest.(check bool) label true (out.Solver.status = Solver.Infeasible);
       Alcotest.(check bool) (label ^ " no mapping") true (out.Solver.mapping = None))
     [
-      ("heuristics m<p", Engine.heuristics (Solver.request inst));
-      ("exact m<p", Engine.exact (Solver.request inst));
-      ("brute m<p", Engine.brute (Solver.request inst));
-      ("portfolio m<p", Portfolio.solve (Solver.request inst));
+      ("heuristics m<p", Engine.heuristics (Solver.request_exn inst));
+      ("exact m<p", Engine.exact (Solver.request_exn inst));
+      ("brute m<p", Engine.brute (Solver.request_exn inst));
+      ("portfolio m<p", Portfolio.solve (Solver.request_exn inst));
       ( "heuristics m<n oto",
-        Engine.heuristics (Solver.request ~rule:Mapping.One_to_one inst) );
-      ("portfolio m<n oto", Portfolio.solve (Solver.request ~rule:Mapping.One_to_one inst));
+        Engine.heuristics (Solver.request_exn ~rule:Mapping.One_to_one inst) );
+      ("portfolio m<n oto", Portfolio.solve (Solver.request_exn ~rule:Mapping.One_to_one inst));
     ]
 
 (* General rule stays feasible below m < p: the single-machine fallback. *)
 let test_general_below_p () =
   let inst = chain ~tasks:6 ~types:3 ~machines:2 3 in
-  let out = Portfolio.solve (Solver.request ~rule:Mapping.General inst) in
+  let out = Portfolio.solve (Solver.request_exn ~rule:Mapping.General inst) in
   Alcotest.(check bool) "general m<p solves" true (out.Solver.status = Solver.Optimal);
   let mp = Option.get out.Solver.mapping in
   Alcotest.(check bool) "mapping valid" true (Mapping.satisfies inst mp Mapping.General);
@@ -208,14 +263,14 @@ let test_general_below_p () =
 let test_engine_lp_statuses () =
   let inst = chain ~tasks:6 ~types:3 ~machines:4 5 in
   (* one-to-one: bound only, no rounding *)
-  let oto = Engine.lp (Solver.request ~rule:Mapping.One_to_one inst) in
+  let oto = Engine.lp (Solver.request_exn ~rule:Mapping.One_to_one inst) in
   (match oto.Solver.status with
   | Solver.Bound_only lb ->
     Alcotest.(check bool) "bound positive" true (lb > 0.0);
     Alcotest.(check bool) "no mapping" true (oto.Solver.mapping = None)
   | s -> Alcotest.failf "oto lp status %s" (Solver.status_to_string s));
   (* specialized: rounding succeeds, gap against the shaved bound *)
-  let sp = Engine.lp (Solver.request inst) in
+  let sp = Engine.lp (Solver.request_exn inst) in
   (match sp.Solver.status with
   | Solver.Optimal | Solver.Feasible _ -> ()
   | s -> Alcotest.failf "specialized lp status %s" (Solver.status_to_string s));
@@ -238,25 +293,25 @@ let test_engine_lp_statuses () =
 let test_cache_key_sensitivity () =
   let inst = chain ~tasks:5 ~types:2 ~machines:3 11 in
   let canon = Canon.canonicalize inst in
-  let base = Solver.request inst in
+  let base = Solver.request_exn inst in
   let key = Cache.request_key canon base in
   List.iter
     (fun (label, req) ->
       Alcotest.(check bool) label true (Cache.request_key canon req <> key))
     [
-      ("rule", Solver.request ~rule:Mapping.General inst);
-      ("seed", Solver.request ~seed:42 inst);
-      ("setup", Solver.request ~setup:1.5 inst);
-      ("budget", Solver.request ~budget:(Solver.Nodes 10) inst);
-      ("certificate", Solver.request ~want_certificate:true inst);
+      ("rule", Solver.request_exn ~rule:Mapping.General inst);
+      ("seed", Solver.request_exn ~seed:42 inst);
+      ("setup", Solver.request_exn ~setup:1.5 inst);
+      ("budget", Solver.request_exn ~budget:(Solver.Nodes 10) inst);
+      ("certificate", Solver.request_exn ~want_certificate:true inst);
     ];
   Alcotest.(check bool) "same request, same key" true
-    (Cache.request_key canon (Solver.request inst) = key)
+    (Cache.request_key canon (Solver.request_exn inst) = key)
 
 let test_cache_hit_bit_identical () =
   let inst = chain ~tasks:8 ~types:3 ~machines:4 13 in
   let cache = Cache.create () in
-  let req = Solver.request ~budget:(Solver.Nodes 100_000) inst in
+  let req = Solver.request_exn ~budget:(Solver.Nodes 100_000) inst in
   let fresh = Portfolio.solve ~cache req in
   Alcotest.(check bool) "first solve misses" true
     (not fresh.Solver.stats.Solver.cache_hit);
@@ -283,8 +338,8 @@ let test_cache_hit_across_permutation () =
   in
   let cache = Cache.create () in
   let budget = Solver.Nodes 100_000 in
-  let out0 = Portfolio.solve ~cache (Solver.request ~budget inst) in
-  let out1 = Portfolio.solve ~cache (Solver.request ~budget permuted) in
+  let out0 = Portfolio.solve ~cache (Solver.request_exn ~budget inst) in
+  let out1 = Portfolio.solve ~cache (Solver.request_exn ~budget permuted) in
   Alcotest.(check bool) "permuted request hits" true out1.Solver.stats.Solver.cache_hit;
   Alcotest.(check bool) "periods bit-identical" true
     (opt_bits out0.Solver.period = opt_bits out1.Solver.period);
@@ -299,13 +354,13 @@ let test_cache_eviction () =
   let cache = Cache.create ~capacity:2 () in
   let budget = Solver.Nodes 50_000 in
   let insts = List.init 3 (fun k -> chain ~tasks:5 ~types:2 ~machines:3 (100 + k)) in
-  List.iter (fun i -> ignore (Portfolio.solve ~cache (Solver.request ~budget i))) insts;
+  List.iter (fun i -> ignore (Portfolio.solve ~cache (Solver.request_exn ~budget i))) insts;
   let s = Cache.stats cache in
   Alcotest.(check int) "capacity bounds entries" 2 s.Cache.length;
   Alcotest.(check int) "one eviction" 1 s.Cache.evictions;
   (* the evicted (oldest) instance misses; the two recent ones hit *)
   let hit i =
-    (Portfolio.solve ~cache (Solver.request ~budget i)).Solver.stats.Solver.cache_hit
+    (Portfolio.solve ~cache (Solver.request_exn ~budget i)).Solver.stats.Solver.cache_hit
   in
   match insts with
   | [ a; b; c ] ->
@@ -328,7 +383,9 @@ let () =
       ( "solver",
         [
           Alcotest.test_case "request validation" `Quick test_request_validation;
+          Alcotest.test_case "typed request errors" `Quick test_make_request_errors;
           Alcotest.test_case "node allowance" `Quick test_node_allowance;
+          Alcotest.test_case "node allowance overflow clamp" `Quick test_node_allowance_clamp;
           Alcotest.test_case "infeasible rules" `Quick test_engine_infeasible;
           Alcotest.test_case "general below p" `Quick test_general_below_p;
           Alcotest.test_case "lp statuses" `Quick test_engine_lp_statuses;
