@@ -32,15 +32,17 @@ let rule_of_name = function
 let budget_of_repr s =
   let num f tail = Option.map f (tail s) in
   let tail s = if String.length s < 2 then None else Some (String.sub s 1 (String.length s - 1)) in
-  match s with
-  | "U" -> Some Solver.Unlimited
-  | _ when s.[0] = 'D' ->
-    Option.bind (num Fun.id tail) (fun t ->
-        Option.map (fun d -> Solver.Deadline_ms d) (float_of_string_opt t))
-  | _ when s.[0] = 'N' ->
-    Option.bind (num Fun.id tail) (fun t ->
-        Option.map (fun k -> Solver.Nodes k) (int_of_string_opt t))
-  | _ -> None
+  if s = "" then None
+  else
+    match s with
+    | "U" -> Some Solver.Unlimited
+    | _ when s.[0] = 'D' ->
+      Option.bind (num Fun.id tail) (fun t ->
+          Option.map (fun d -> Solver.Deadline_ms d) (float_of_string_opt t))
+    | _ when s.[0] = 'N' ->
+      Option.bind (num Fun.id tail) (fun t ->
+          Option.map (fun k -> Solver.Nodes k) (int_of_string_opt t))
+    | _ -> None
 
 let split_words line = String.split_on_char ' ' line |> List.filter (( <> ) "")
 

@@ -49,9 +49,14 @@ type t = {
   mutable workers : Thread.t list;
 }
 
-let effective_deadline_ms = function
-  | Solver.Deadline_ms d -> d
-  | Solver.Nodes k -> float_of_int k /. Solver.nodes_per_ms
+(* The EDF key is the arrival-adjusted absolute deadline, not the
+   budget magnitude: a bounded job that has waited gains priority over
+   fresher arrivals with shorter budgets, so a steady stream of
+   short-deadline requests cannot starve it.  [Unlimited] stays at
+   infinity and is protected by [starvation_bound] instead. *)
+let effective_deadline_ms ~arrival_ms = function
+  | Solver.Deadline_ms d -> arrival_ms +. d
+  | Solver.Nodes k -> arrival_ms +. (float_of_int k /. Solver.nodes_per_ms)
   | Solver.Unlimited -> infinity
 
 (* A dead client (closed socket) must not take a worker down; the
@@ -159,23 +164,41 @@ let create ?(config = default_config) () =
 
 let enqueue t client ~id req =
   let tok = Pool.token () in
+  let arrival_ms = Unix.gettimeofday () *. 1000. in
   Mutex.protect client.jlock (fun () ->
       Hashtbl.add client.active id tok;
       client.pending <- client.pending + 1);
-  Mutex.protect t.qlock (fun () ->
-      let j =
-        {
-          j_id = id;
-          j_req = req;
-          j_deadline = effective_deadline_ms req.Solver.budget;
-          j_seq = t.seq;
-          j_cancel = tok;
-          j_client = client;
-        }
-      in
-      t.seq <- t.seq + 1;
-      t.queue <- j :: t.queue;
-      Condition.signal t.qcond)
+  let accepted =
+    Mutex.protect t.qlock (fun () ->
+        if Atomic.get t.stop then false
+        else begin
+          let j =
+            {
+              j_id = id;
+              j_req = req;
+              j_deadline = effective_deadline_ms ~arrival_ms req.Solver.budget;
+              j_seq = t.seq;
+              j_cancel = tok;
+              j_client = client;
+            }
+          in
+          t.seq <- t.seq + 1;
+          t.queue <- j :: t.queue;
+          Condition.signal t.qcond;
+          true
+        end)
+  in
+  (* A SOLVE that raced [request_stop] must not land in a queue no
+     worker will ever drain — the client's drain would block forever.
+     Answer it CANCELLED and undo the registration instead. *)
+  if not accepted then begin
+    Telemetry.record_cancelled t.telemetry;
+    Mutex.protect client.jlock (fun () ->
+        Hashtbl.remove client.active id;
+        client.pending <- client.pending - 1;
+        Condition.broadcast client.drained);
+    respond client (Protocol.render_cancelled ~id)
+  end
 
 (* ---- per-connection reader ---------------------------------------- *)
 
@@ -245,31 +268,50 @@ let serve_client t ic oc =
       pending = 0;
     }
   in
+  (* Returns [true] to keep reading.  Any exception this dispatch lets
+     slip would otherwise kill the connection thread silently, with no
+     response for the offending line; mirror [run_job]'s catch-all
+     instead: answer a structured internal error, then close the
+     connection cleanly (after an unexpected failure the framing can no
+     longer be trusted, so continuing could desync).  Connection-level
+     failures ([Sys_error], [End_of_file]) still propagate to the
+     caller's thread-level filter. *)
+  let dispatch line =
+    match Protocol.parse_command line with
+    | Error ce ->
+      if starts_with_solve line then skip_block ic;
+      Telemetry.record_error t.telemetry;
+      respond client
+        (Protocol.render_error ?id:ce.Protocol.ce_id ~code:ce.Protocol.ce_code
+           ce.Protocol.ce_message);
+      true
+    | Ok (Protocol.Solve h) ->
+      handle_solve t client h;
+      true
+    | Ok (Protocol.Cancel id) ->
+      handle_cancel t client id;
+      true
+    | Ok Protocol.Stats ->
+      respond client (Telemetry.stats_line t.telemetry (Cache.stats t.cache));
+      true
+    | Ok Protocol.Quit ->
+      drain client;
+      respond client "BYE";
+      false
+  in
   let rec loop () =
     match read_line_opt ic with
     | None -> drain client
     | Some line when String.trim line = "" -> loop ()
     | Some line -> (
-      match Protocol.parse_command line with
-      | Error ce ->
-        if starts_with_solve line then skip_block ic;
+      match dispatch line with
+      | true -> loop ()
+      | false -> ()
+      | exception ((Sys_error _ | End_of_file) as e) -> raise e
+      | exception exn ->
         Telemetry.record_error t.telemetry;
-        respond client
-          (Protocol.render_error ?id:ce.Protocol.ce_id ~code:ce.Protocol.ce_code
-             ce.Protocol.ce_message);
-        loop ()
-      | Ok (Protocol.Solve h) ->
-        handle_solve t client h;
-        loop ()
-      | Ok (Protocol.Cancel id) ->
-        handle_cancel t client id;
-        loop ()
-      | Ok Protocol.Stats ->
-        respond client (Telemetry.stats_line t.telemetry (Cache.stats t.cache));
-        loop ()
-      | Ok Protocol.Quit ->
-        drain client;
-        respond client "BYE")
+        respond client (Protocol.render_error ~code:"internal" (Printexc.to_string exn));
+        drain client)
   in
   loop ()
 

@@ -4,11 +4,14 @@
 
     {b Scheduling.}  One reader thread per connection parses verb lines
     and enqueues solves; [workers] threads admit queued jobs
-    earliest-effective-deadline-first ([Deadline_ms d] at [d] ms,
-    [Nodes k] at [k / nodes_per_ms] ms, [Unlimited] at infinity; ties by
-    arrival).  After {!starvation_bound} consecutive bounded
-    admissions, the oldest [Unlimited] job is admitted regardless — the
-    fairness guarantee for unbounded work.
+    earliest-absolute-deadline-first, where the key is arrival time plus
+    the budget's effective duration ([Deadline_ms d] adds [d] ms,
+    [Nodes k] adds [k / nodes_per_ms] ms, [Unlimited] is infinity; ties
+    by arrival).  Because the key is arrival-adjusted, a bounded job
+    that has waited eventually outranks any stream of fresh
+    short-deadline arrivals.  After {!starvation_bound} consecutive
+    bounded admissions, the oldest [Unlimited] job is admitted
+    regardless — the fairness guarantee for unbounded work.
 
     {b Determinism.}  Scheduling may reorder {e when} responses are
     written, never their contents: each solve is the in-process

@@ -679,6 +679,7 @@ let daemon_malformed =
     "NOPE 1\n";
     "SOLVE\nend\n";
     "SOLVE x budget=Z9\nend\n";
+    "SOLVE x budget=\nend\n";
     "SOLVE x rule=quantum\nend\n";
     "CANCEL ghost\n";
     "SOLVE x seed=abc\nend\n";

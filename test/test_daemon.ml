@@ -127,6 +127,10 @@ let test_structured_errors () =
       (* bad header value: the instance block must still be consumed *)
       send oc ("SOLVE h1 budget=Q5\n" ^ framed);
       check_prefix "bad budget syntax" "ERR h1 bad-header" (input_line ic);
+      (* empty header value: once indexed past the end of the string and
+         killed the connection instead of answering *)
+      send oc ("SOLVE h1e budget=\n" ^ framed);
+      check_prefix "empty budget value" "ERR h1e bad-header" (input_line ic);
       send oc "SOLVE h2\nthis is not an instance\nend\n";
       check_prefix "broken instance" "ERR h2 bad-instance" (input_line ic);
       (* over-range deadline: parses, rejected by make_request *)
