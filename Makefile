@@ -3,8 +3,8 @@
 # (see DESIGN.md §5), so there is no fmt target.
 
 .PHONY: all build test verify bench bench-quick bench-exact bench-lp \
-  bench-solve bench-parallel bench-daemon bench-regress daemon-smoke clean \
-  fuzz fuzz-quick fuzz-replay
+  bench-solve bench-parallel bench-daemon bench-dynamic bench-regress \
+  daemon-smoke clean fuzz fuzz-quick fuzz-replay
 
 all: build
 
@@ -56,8 +56,8 @@ fuzz:
 fuzz-replay:
 	dune exec test/fuzz/fuzz_main.exe -- --replay
 
-# Full benchmark run (figures + BENCH_eval.json + BENCH_parallel.json +
-# bechamel micro-benchmarks).
+# Full benchmark run (figures + every BENCH_*.json section + bechamel
+# micro-benchmarks).
 bench:
 	dune exec bench/main.exe
 
@@ -69,34 +69,42 @@ bench-quick:
 # Exact-search benchmark only (writes BENCH_exact.json): node reduction vs
 # the static baseline, solvable-size scan, --jobs identity, pruning ablation.
 bench-exact:
-	dune exec bench/main.exe -- --only none --skip-micro --skip-ablation --skip-eval --skip-parallel --skip-lp --skip-solve --skip-daemon
+	dune exec bench/main.exe -- --only none --skip-micro --skip-ablation --skip-eval --skip-parallel --skip-lp --skip-solve --skip-daemon --skip-dynamic
 
 # Splitting-LP benchmark only (writes BENCH_lp.json): solve time and pivot
 # counts for n in {10, 20, 40, 80} under the throughput-form Devex solver,
 # the Bland baseline on the same tableau, and the seed period-form + Bland
 # combination, plus the fraction of seeds taking the rational fallback.
 bench-lp:
-	dune exec bench/main.exe -- --only none --skip-micro --skip-ablation --skip-eval --skip-parallel --skip-exact --skip-solve --skip-daemon
+	dune exec bench/main.exe -- --only none --skip-micro --skip-ablation --skip-eval --skip-parallel --skip-exact --skip-solve --skip-daemon --skip-dynamic
 
 # Parallel-runtime benchmark only (writes BENCH_parallel.json): the
 # fig5-shaped heuristic grid through the work-stealing pool at jobs
 # 1/2/4/8 with the byte-identity assertion.  Always runs; on a 1-core
 # machine the ratios are labelled overhead (speedup is not measurable).
 bench-parallel:
-	dune exec bench/main.exe -- --only none --skip-micro --skip-ablation --skip-eval --skip-exact --skip-lp --skip-solve --skip-daemon
+	dune exec bench/main.exe -- --only none --skip-micro --skip-ablation --skip-eval --skip-exact --skip-lp --skip-solve --skip-daemon --skip-dynamic
 
 # Unified-solver benchmark only (writes BENCH_solve.json): portfolio
 # solves/sec and latency percentiles under a near-duplicate request storm
 # (machine permutations + type relabelings of a few base instances), the
 # canonical-cache hit rate, and a sampled cached-vs-fresh bit-identity check.
 bench-solve:
-	dune exec bench/main.exe -- --only none --skip-micro --skip-ablation --skip-eval --skip-parallel --skip-exact --skip-lp --skip-daemon
+	dune exec bench/main.exe -- --only none --skip-micro --skip-ablation --skip-eval --skip-parallel --skip-exact --skip-lp --skip-daemon --skip-dynamic
 
 # Daemon benchmark only (writes BENCH_daemon.json): a concurrent client
 # storm over socketpairs against a live scheduler — wire throughput and
 # latency percentiles plus the shared cross-request cache hit rate.
 bench-daemon:
-	dune exec bench/main.exe -- --only none --skip-micro --skip-ablation --skip-eval --skip-parallel --skip-exact --skip-lp --skip-solve
+	dune exec bench/main.exe -- --only none --skip-micro --skip-ablation --skip-eval --skip-parallel --skip-exact --skip-lp --skip-solve --skip-dynamic
+
+# Dynamic-simulation benchmark only (writes BENCH_dynamic.json): the
+# balanced 56-task chain under machine-0 breakdowns (mtbf 48 periods,
+# mttr 16, one crew), do-nothing vs the online re-mapper, with the
+# recovered fraction of the availability gap (gate >= 0.8) and a
+# bit-identical replay check.  Quick tier runs as part of `bench-quick`.
+bench-dynamic:
+	dune exec bench/main.exe -- --only none --skip-micro --skip-ablation --skip-eval --skip-parallel --skip-exact --skip-lp --skip-solve --skip-daemon
 
 # Daemon smoke (part of `make verify`, under timeout 60): start mfoptd on
 # a temp socket, run three concurrent clients (solve, mid-solve CANCEL,
@@ -107,10 +115,11 @@ daemon-smoke:
 
 # Regression gate over the committed benchmark numbers: re-runs the
 # quick-tier reference measurements (revised-simplex pivot counts, the
-# n=200 scaling row, and the LP-bound exact-search scan at n in
-# {14, 16, 18} / 500k nodes) and fails when any degrades past the
+# n=200 scaling row, the LP-bound exact-search scan at n in
+# {14, 16, 18} / 500k nodes, and the breakdown/re-mapper scenario with
+# its recovery >= 0.8 gate) and fails when any degrades past the
 # tolerances recorded in the "regress" sections of BENCH_lp.json /
-# BENCH_exact.json.  Part of `make verify`.
+# BENCH_exact.json / BENCH_dynamic.json.  Part of `make verify`.
 bench-regress:
 	timeout 300 dune exec bench/main.exe -- --regress
 

@@ -18,10 +18,13 @@
                     (which also writes machine-readable BENCH_lp.json)
      --skip-solve   skip the unified-solver benchmark
                     (which also writes machine-readable BENCH_solve.json)
+     --skip-dynamic skip the dynamic breakdown/re-mapper benchmark
+                    (which also writes machine-readable BENCH_dynamic.json)
      --regress      run only the regression gate: re-run the quick-tier
                     reference measurements and compare against the
-                    committed BENCH_lp.json / BENCH_exact.json "regress"
-                    sections, exiting non-zero on any regression *)
+                    committed BENCH_lp.json / BENCH_exact.json /
+                    BENCH_dynamic.json "regress" sections, exiting
+                    non-zero on any regression *)
 
 module Figures = Mf_experiments.Figures
 module Report = Mf_experiments.Report
@@ -42,6 +45,7 @@ let skip_exact = ref false
 let skip_lp = ref false
 let skip_solve = ref false
 let skip_daemon = ref false
+let skip_dynamic = ref false
 let regress = ref false
 
 let parse_args () =
@@ -79,6 +83,9 @@ let parse_args () =
       go rest
     | "--skip-daemon" :: rest ->
       skip_daemon := true;
+      go rest
+    | "--skip-dynamic" :: rest ->
+      skip_dynamic := true;
       go rest
     | arg :: _ ->
       Printf.eprintf "unknown argument %s\n" arg;
@@ -1259,10 +1266,225 @@ let regress_exact () =
           "lp-solve regression")
       (array_objects reg "rows")
 
+(* ------------------------------------------------------------------ *)
+(* Dynamic simulation: breakdowns, repairs, online re-mapping           *)
+(* ------------------------------------------------------------------ *)
+
+(* Scenario shared by the bench and the [--regress] check: a balanced
+   single-type chain — 56 tasks, w = 100 ms everywhere, f = 0, 8
+   machines, 7 tasks per machine, period 700 ms — where only machine 0
+   breaks down (mtbf 48 periods of busy time, mttr 16 periods, one
+   repair crew), for a steady-state availability of 48/(48+16) = 0.75.
+   Left static the chain stalls whenever machine 0 is down, so the
+   normalized throughput x = tp*p tends to the availability; the online
+   re-mapper parks the 7 stranded tasks one on each survivor (8 per
+   machine, period 800 ms) and restores the designed mapping after the
+   repair, so the line keeps 7/8 of its speed through every outage and
+   the recovered fraction of the availability gap
+
+     recovery = (x_remap - a) / (1 - a)
+
+   sits near 7/8, minus re-map latency and commit races.  The
+   acceptance gate, re-run by [--regress] against the committed
+   BENCH_dynamic.json, is recovery >= 0.8 at the quick-tier settings. *)
+
+let dynamic_regress_seeds = [ 1; 2; 3 ]
+let dynamic_regress_horizon = 4096.0 (* periods *)
+let dynamic_min_recovery = 0.8
+
+let dynamic_scenario () =
+  let module Instance = Mf_core.Instance in
+  let module Workflow = Mf_core.Workflow in
+  let module Mapping = Mf_core.Mapping in
+  let module Breakdown = Mf_sim.Breakdown in
+  let n = 56 and m = 8 in
+  let inst =
+    Instance.create
+      ~workflow:(Workflow.chain ~types:(Array.make n 0))
+      ~machines:m
+      ~w:(Array.make_matrix n m 100.0)
+      ~f:(Array.make_matrix n m 0.0)
+  in
+  let mp = Mapping.of_array inst (Array.init n (fun i -> i mod m)) in
+  let p = Period.period inst mp in
+  let laws =
+    Array.init m (fun u ->
+        if u = 0 then { Breakdown.mtbf = 48.0 *. p; mttr = 16.0 *. p; wear = 0.0 }
+        else Breakdown.immortal)
+  in
+  (inst, mp, p, Breakdown.make ~crews:1 laws)
+
+(* Normalized throughputs x = tp*p of the do-nothing and re-mapped arms
+   on one breakdown realization (plus the re-mapped raw result). *)
+let dynamic_pair (inst, mp, p, bd) ~horizon_periods ~seed =
+  let horizon = p *. horizon_periods in
+  let x (r : Mf_sim.Desim.result) =
+    p *. float_of_int r.Mf_sim.Desim.outputs /. r.Mf_sim.Desim.window
+  in
+  let st = Mf_sim.Desim.run ~breakdowns:bd ~horizon ~seed inst mp in
+  let rm = Mf_remap.Online.simulate ~breakdowns:bd ~horizon ~seed inst mp in
+  (x st, x rm, rm)
+
+let dynamic_recovery ~avail remap_x = (remap_x -. avail) /. (1.0 -. avail)
+
+let bench_dynamic () =
+  section "Dynamic simulation: breakdowns and the online re-mapper";
+  let module Breakdown = Mf_sim.Breakdown in
+  let ((inst, mp, p, bd) as sc) = dynamic_scenario () in
+  let avail = Breakdown.availability bd.Breakdown.laws.(0) in
+  let seeds = if !quick then dynamic_regress_seeds else [ 1; 2; 3; 4; 5 ] in
+  let horizon_periods = if !quick then dynamic_regress_horizon else 8192.0 in
+  let mode = if !quick then "quick" else "full" in
+  Printf.printf
+    "  chain n=%d on m=%d machines (balanced, period %.0f ms); machine 0: mtbf 48p, mttr \
+     16p, 1 crew, availability %.2f\n\
+    \  horizon %.0f periods, %d seeds, x = tp*p (1.0 = failure-free speed)\n"
+    (Mf_core.Instance.task_count inst)
+    (Mf_core.Instance.machines inst)
+    p avail horizon_periods (List.length seeds);
+  let rows =
+    List.map
+      (fun seed ->
+        let sx, rx, rr = dynamic_pair sc ~horizon_periods ~seed in
+        let rc = dynamic_recovery ~avail rx in
+        Printf.printf "  seed %d: static x %.4f, remap x %.4f, recovery %.3f, %d re-maps\n"
+          seed sx rx rc rr.Mf_sim.Desim.remaps;
+        (seed, sx, rx, rc))
+      seeds
+  in
+  let mean f =
+    List.fold_left (fun acc r -> acc +. f r) 0.0 rows /. float_of_int (List.length rows)
+  in
+  let static_mean = mean (fun (_, sx, _, _) -> sx) in
+  let remap_mean = mean (fun (_, _, rx, _) -> rx) in
+  let recovery_mean = mean (fun (_, _, _, rc) -> rc) in
+  let adjusted_x = p *. Mf_sim.Metrics.adjusted_throughput inst mp bd in
+  (* Bit-identical replay: the same seed must reproduce the same run. *)
+  let replay_identical =
+    let seed = List.hd seeds in
+    let horizon = p *. dynamic_regress_horizon in
+    let a = Mf_remap.Online.simulate ~breakdowns:bd ~horizon ~seed inst mp in
+    let b = Mf_remap.Online.simulate ~breakdowns:bd ~horizon ~seed inst mp in
+    a.Mf_sim.Desim.outputs = b.Mf_sim.Desim.outputs
+    && a.Mf_sim.Desim.remaps = b.Mf_sim.Desim.remaps
+    && a.Mf_sim.Desim.final_mapping = b.Mf_sim.Desim.final_mapping
+    && a.Mf_sim.Desim.busy = b.Mf_sim.Desim.busy
+  in
+  let gate_ok = recovery_mean >= dynamic_min_recovery in
+  Printf.printf
+    "  mean: static x %.4f, remap x %.4f, static analytic bound %.4f\n\
+    \  recovery of the availability gap: %.3f (gate >= %.2f: %s)\n\
+    \  replay bit-identical: %b\n"
+    static_mean remap_mean adjusted_x recovery_mean dynamic_min_recovery
+    (if gate_ok then "ok" else "FAIL")
+    replay_identical;
+  (* The regress reference is always recorded at the quick-tier settings,
+     whatever tier the headline numbers above were measured at. *)
+  let regress_rows =
+    if !quick then rows
+    else
+      List.map
+        (fun seed ->
+          let sx, rx, _ = dynamic_pair sc ~horizon_periods:dynamic_regress_horizon ~seed in
+          (seed, sx, rx, dynamic_recovery ~avail rx))
+        dynamic_regress_seeds
+  in
+  let row_json (seed, sx, rx, rc) =
+    Printf.sprintf "      { \"seed\": %d, \"static_x\": %.6f, \"remap_x\": %.6f, \"recovery\": %.4f }"
+      seed sx rx rc
+  in
+  let json = "BENCH_dynamic.json" in
+  let oc = open_out json in
+  Printf.fprintf oc
+    "{\n\
+    \  \"workload\": { \"tasks\": %d, \"types\": 1, \"machines\": %d, \"application\": \
+     \"chain\",\n\
+    \                \"w_ms\": 100, \"period_ms\": %.1f,\n\
+    \                \"breakdowns\": { \"machine\": 0, \"mtbf_periods\": 48, \
+     \"mttr_periods\": 16, \"wear\": 0, \"crews\": 1 } },\n\
+    \  \"mode\": \"%s\",\n\
+    \  \"note\": \"x = tp*p, throughput normalized by the failure-free period; static \
+     leaves the mapping alone through outages, remap runs the online re-mapper; recovery \
+     = (x_remap - availability) / (1 - availability), the fraction of the availability \
+     gap the re-mapper wins back\",\n\
+    \  \"horizon_periods\": %.0f,\n\
+    \  \"availability\": %.4f,\n\
+    \  \"normalized_throughput\": { \"static\": %.6f, \"remap\": %.6f, \
+     \"adjusted_bound\": %.6f },\n\
+    \  \"recovery\": { \"mean\": %.4f, \"min_required\": %.2f, \"pass\": %b },\n\
+    \  \"replay_identical\": %b,\n\
+    \  \"rows\": [\n%s\n  ],\n\
+    \  \"regress\": {\n\
+    \    \"horizon_periods\": %.0f,\n\
+    \    \"adjusted_bound\": %.6f,\n\
+    \    \"tolerances\": { \"x_abs\": 0.02, \"adjusted_abs\": 0.000001, \"min_recovery\": \
+     %.2f },\n\
+    \    \"rows\": [\n%s\n    ]\n\
+    \  }\n\
+     }\n"
+    (Mf_core.Instance.task_count inst)
+    (Mf_core.Instance.machines inst)
+    p mode horizon_periods avail static_mean remap_mean adjusted_x recovery_mean
+    dynamic_min_recovery gate_ok replay_identical
+    (String.concat ",\n" (List.map row_json rows))
+    dynamic_regress_horizon adjusted_x dynamic_min_recovery
+    (String.concat ",\n" (List.map row_json regress_rows));
+  close_out oc;
+  Printf.printf "  (machine-readable copy written to %s)\n" json
+
+let regress_dynamic () =
+  match try Some (read_file "BENCH_dynamic.json") with Sys_error _ -> None with
+  | None -> regress_check "BENCH_dynamic.json present" false "missing"
+  | Some s -> (
+    match try Some (sub_object s "regress") with Not_found -> None with
+    | None -> regress_check "BENCH_dynamic.json has a regress section" false "missing"
+    | Some reg ->
+      let tol = sub_object reg "tolerances" in
+      let x_abs = num_field tol "x_abs" in
+      let adjusted_abs = num_field tol "adjusted_abs" in
+      let min_recovery = num_field tol "min_recovery" in
+      let horizon_periods = num_field reg "horizon_periods" in
+      let ref_adjusted = num_field reg "adjusted_bound" in
+      let ((inst, mp, p, bd) as sc) = dynamic_scenario () in
+      let avail = Mf_sim.Breakdown.availability bd.Mf_sim.Breakdown.laws.(0) in
+      let adjusted = p *. Mf_sim.Metrics.adjusted_throughput inst mp bd in
+      regress_check
+        (Printf.sprintf "dynamic: analytic bound %.6f matches committed %.6f" adjusted
+           ref_adjusted)
+        (Float.abs (adjusted -. ref_adjusted) <= adjusted_abs)
+        "analytic drift";
+      let recoveries = ref [] in
+      List.iter
+        (fun row ->
+          let seed = int_of_float (num_field row "seed") in
+          let ref_static = num_field row "static_x" in
+          let ref_remap = num_field row "remap_x" in
+          let sx, rx, _ = dynamic_pair sc ~horizon_periods ~seed in
+          recoveries := dynamic_recovery ~avail rx :: !recoveries;
+          regress_check
+            (Printf.sprintf "dynamic seed %d: static x %.4f within %.2f of %.4f" seed sx
+               x_abs ref_static)
+            (Float.abs (sx -. ref_static) <= x_abs)
+            "static-arm drift";
+          regress_check
+            (Printf.sprintf "dynamic seed %d: remap x %.4f within %.2f of %.4f" seed rx
+               x_abs ref_remap)
+            (Float.abs (rx -. ref_remap) <= x_abs)
+            "remap-arm drift")
+        (array_objects reg "rows");
+      let mean =
+        List.fold_left ( +. ) 0.0 !recoveries
+        /. float_of_int (max 1 (List.length !recoveries))
+      in
+      regress_check
+        (Printf.sprintf "dynamic: mean recovery %.3f >= %.2f" mean min_recovery)
+        (mean >= min_recovery) "re-mapper recovers too little of the gap")
+
 let run_regress () =
   section "Regression gate: fresh quick-tier runs vs committed BENCH_*.json";
   regress_lp ();
   regress_exact ();
+  regress_dynamic ();
   if !regress_failures = 0 then Printf.printf "  bench-regress: all checks passed\n"
   else begin
     Printf.printf "  bench-regress: %d check(s) FAILED\n" !regress_failures;
@@ -1590,5 +1812,6 @@ let () =
   if not !skip_lp then bench_lp ();
   if not !skip_solve then bench_solve ();
   if not !skip_daemon then bench_daemon ();
+  if not !skip_dynamic then bench_dynamic ();
   if not !skip_micro then micro_benchmarks ();
   print_newline ()

@@ -394,6 +394,7 @@ let exact_cmd =
 (* ------------------------------------------------------------------ *)
 
 let simulate_cmd =
+  let module Breakdown = Mf_sim.Breakdown in
   let heuristic =
     Arg.(
       value & opt heuristic_conv Registry.H4w
@@ -410,7 +411,70 @@ let simulate_cmd =
   let report =
     Arg.(value & flag & info [ "report" ] ~doc:"Print utilisation and loss statistics.")
   in
-  let run file heuristic horizon trace report seed =
+  let breakdowns_conv =
+    let parse s =
+      match String.split_on_char ':' s with
+      | [ a; b ] | [ a; b; "" ] -> (
+        match (float_of_string_opt a, float_of_string_opt b) with
+        | Some mtbf, Some mttr -> Ok (mtbf, mttr, 0.0)
+        | _ -> Error (`Msg "expected MTBF:MTTR[:WEAR] (numbers, in ms)"))
+      | [ a; b; c ] -> (
+        match (float_of_string_opt a, float_of_string_opt b, float_of_string_opt c) with
+        | Some mtbf, Some mttr, Some wear -> Ok (mtbf, mttr, wear)
+        | _ -> Error (`Msg "expected MTBF:MTTR[:WEAR] (numbers, in ms)"))
+      | _ -> Error (`Msg "expected MTBF:MTTR[:WEAR]")
+    in
+    let print ppf (mtbf, mttr, wear) = Format.fprintf ppf "%g:%g:%g" mtbf mttr wear in
+    Arg.conv (parse, print)
+  in
+  let breakdowns =
+    Arg.(
+      value & opt (some breakdowns_conv) None
+      & info [ "breakdowns" ] ~docv:"MTBF:MTTR[:WEAR]"
+          ~doc:
+            "Enable the availability model: every machine gets mean time between \
+             failures MTBF ms of busy time, mean repair time MTTR ms, and optional \
+             history-based hazard scaling WEAR (failure rate grows by WEAR per unit \
+             produced since the last repair).")
+  in
+  let crews =
+    Arg.(
+      value & opt (some int) None
+      & info [ "crews" ] ~docv:"N"
+          ~doc:"Repair crews (default: one per machine; queueing starts below that).")
+  in
+  let repair_queue =
+    let queue_conv =
+      Arg.conv
+        ( (fun s ->
+            match Breakdown.queue_of_string s with
+            | Some q -> Ok q
+            | None -> Error (`Msg "expected fifo or priority")),
+          fun ppf q -> Format.pp_print_string ppf (Breakdown.queue_name q) )
+    in
+    Arg.(
+      value & opt queue_conv Breakdown.Fifo
+      & info [ "repair-queue" ] ~docv:"POLICY"
+          ~doc:"Crew queueing policy when crews are scarce: fifo or priority \
+                (most-loaded machine first).")
+  in
+  let remap =
+    Arg.(
+      value & flag
+      & info [ "remap" ]
+          ~doc:
+            "Run the online re-mapper: migrate tasks off dead machines, refine \
+             under the evaluation budget, restore the designed mapping after \
+             repairs when it wins.")
+  in
+  let remap_budget =
+    Arg.(
+      value & opt int Mf_remap.Plan.default_budget
+      & info [ "remap-budget" ] ~docv:"N"
+          ~doc:"Evaluation budget per re-mapping decision (default 400).")
+  in
+  let run file heuristic horizon trace report seed breakdowns crews repair_queue remap
+      remap_budget =
     let inst = Instance_io.read_file file in
     let mp = Registry.solve ~seed heuristic inst in
     let analytic = Period.throughput inst mp in
@@ -421,21 +485,60 @@ let simulate_cmd =
         print_endline (Mf_sim.Event.to_string e)
       end
     in
-    let r = Mf_sim.Desim.run ~horizon ~seed ~on_event inst mp in
     Printf.printf "mapping (%s): analytic throughput %.6g /ms, period %.2f ms\n"
       (Registry.name heuristic) analytic (Period.period inst mp);
+    let r, model =
+      match breakdowns with
+      | None -> (Mf_sim.Desim.run ~horizon ~seed ~on_event inst mp, None)
+      | Some (mtbf, mttr, wear) ->
+        let bd =
+          Breakdown.uniform ~machines:(Instance.machines inst) ~mtbf ~mttr ~wear
+            ?crews ~queue:repair_queue ()
+        in
+        let adjusted = Mf_sim.Metrics.adjusted_throughput inst mp bd in
+        Printf.printf
+          "breakdowns: mtbf %g ms, mttr %g ms, wear %g -> availability-adjusted \
+           throughput %.6g /ms\n"
+          mtbf mttr wear adjusted;
+        let r =
+          if remap then
+            Mf_remap.Online.simulate ~budget:remap_budget ~breakdowns:bd ~horizon ~seed
+              ~on_event inst mp
+          else Mf_sim.Desim.run ~breakdowns:bd ~horizon ~seed ~on_event inst mp
+        in
+        (r, Some bd)
+    in
+    let reference =
+      match model with
+      | None -> analytic
+      | Some bd -> Mf_sim.Metrics.adjusted_throughput inst mp bd
+    in
     Printf.printf "simulated: %d outputs in a %.0f ms window -> %.6g /ms (%.2f%% off)\n"
       r.Mf_sim.Desim.outputs r.Mf_sim.Desim.window r.Mf_sim.Desim.throughput
-      (100.0 *. Float.abs (r.Mf_sim.Desim.throughput -. analytic) /. analytic);
+      (100.0 *. Float.abs (r.Mf_sim.Desim.throughput -. reference) /. reference);
     Printf.printf "raw products consumed: %d; per-task losses:" r.Mf_sim.Desim.consumed;
     Array.iteri (fun i l -> Printf.printf " T%d:%d" i l) r.Mf_sim.Desim.lost;
     print_newline ();
-    if report then print_string (Mf_sim.Metrics.report inst mp r)
+    (match model with
+    | Some _ when remap ->
+      Printf.printf "re-maps committed: %d; final mapping:" r.Mf_sim.Desim.remaps;
+      Array.iter (Printf.printf " %d") r.Mf_sim.Desim.final_mapping;
+      print_newline ()
+    | _ -> ());
+    if report then begin
+      match model with
+      | None -> print_string (Mf_sim.Metrics.report inst mp r)
+      | Some bd ->
+        print_string (Mf_sim.Metrics.report inst mp r);
+        print_string (Mf_sim.Metrics.dynamic_report ~model:bd inst mp r)
+    end
   in
   let doc = "Simulate a mapping with the discrete-event engine." in
   Cmd.v
     (Cmd.info "simulate" ~doc)
-    Term.(const run $ instance_arg $ heuristic $ horizon $ trace $ report $ seed_arg)
+    Term.(
+      const run $ instance_arg $ heuristic $ horizon $ trace $ report $ seed_arg
+      $ breakdowns $ crews $ repair_queue $ remap $ remap_budget)
 
 (* ------------------------------------------------------------------ *)
 (* experiment                                                           *)
@@ -443,7 +546,7 @@ let simulate_cmd =
 
 let experiment_cmd =
   let figure =
-    let doc = "Figure to regenerate: fig5 .. fig12." in
+    let doc = "Figure to regenerate: fig5 .. fig12, or the dynamic breakdown experiment." in
     Arg.(required & pos 0 (some string) None & info [] ~docv:"FIGURE" ~doc)
   in
   let replicates =
@@ -468,7 +571,7 @@ let experiment_cmd =
     end;
     match List.assoc_opt figure (Mf_experiments.Figures.all ?replicates ~jobs ()) with
     | None ->
-      Printf.eprintf "unknown figure %s (fig5..fig12)\n" figure;
+      Printf.eprintf "unknown figure %s (fig5..fig12, dynamic)\n" figure;
       exit 2
     | Some f ->
       let fig = f () in

@@ -129,6 +129,77 @@ let fig12 ?(replicates = 30) ?(node_budget = 2_000_000) ?jobs () =
       @ [ Runner.exact_dfs ~node_budget ])
     ()
 
+(* The dynamic experiment is not one of the paper's figures: it pits the
+   static H4w mapping against the same mapping plus the online re-mapper
+   under machine breakdowns, with the availability-adjusted analytic
+   bound as the reference curve.  Periods are *effective*: measurement
+   window over produced outputs, so a dead bottleneck shows up as a
+   longer period exactly like a slow machine would. *)
+let dynamic_mtbf_periods = 48.0
+
+let dynamic_mttr_periods = 16.0
+
+let dynamic_sim label ~remap ~horizon_periods =
+  {
+    Runner.label;
+    solve =
+      (fun inst ~seed ->
+        let mp = Registry.solve ~seed Registry.H4w inst in
+        let p = Mf_core.Period.period inst mp in
+        let bd =
+          Mf_sim.Breakdown.uniform ~machines:(Mf_core.Instance.machines inst)
+            ~mtbf:(dynamic_mtbf_periods *. p) ~mttr:(dynamic_mttr_periods *. p)
+            ~crews:1 ()
+        in
+        let horizon = p *. horizon_periods in
+        let r =
+          if remap then
+            Mf_remap.Online.simulate ~breakdowns:bd ~horizon ~seed inst mp
+          else Mf_sim.Desim.run ~breakdowns:bd ~horizon ~seed inst mp
+        in
+        if r.Mf_sim.Desim.outputs = 0 then None
+        else Some (r.Mf_sim.Desim.window /. float_of_int r.Mf_sim.Desim.outputs))
+  }
+
+let dynamic_bound =
+  {
+    Runner.label = "bound";
+    solve =
+      (fun inst ~seed ->
+        let mp = Registry.solve ~seed Registry.H4w inst in
+        let p = Mf_core.Period.period inst mp in
+        let bd =
+          Mf_sim.Breakdown.uniform ~machines:(Mf_core.Instance.machines inst)
+            ~mtbf:(dynamic_mtbf_periods *. p) ~mttr:(dynamic_mttr_periods *. p)
+            ~crews:1 ()
+        in
+        let tp = Mf_sim.Metrics.adjusted_throughput inst mp bd in
+        if tp > 0.0 then Some (1.0 /. tp) else None)
+  }
+
+let dynamic ?(replicates = 10) ?(horizon_periods = 600.0) ?jobs () =
+  Runner.run ~id:"dynamic" ?jobs
+    ~title:
+      (Printf.sprintf "Breakdowns and online re-mapping, m=6, p=2, mtbf=%gp, mttr=%gp"
+         dynamic_mtbf_periods dynamic_mttr_periods)
+    ~x_label:"number of tasks" ~xs:(range 10 40 10) ~replicates
+    ~notes:
+      [
+        "Effective period: measurement window / outputs under per-machine \
+         breakdowns (uniform law, one repair crew).";
+        "bound is the availability-adjusted analytic period 1 / min_u \
+         avail(u)/load(u); static leaves the H4w mapping alone; remap runs the \
+         online re-mapper.";
+      ]
+    ~gen:(fun ~x ~seed -> chain_gen (Gen.default ~tasks:x ~types:2 ~machines:6) ~x ~seed)
+    ~algos:
+      [
+        dynamic_bound;
+        dynamic_sim "static" ~remap:false ~horizon_periods;
+        dynamic_sim "remap" ~remap:true ~horizon_periods;
+      ]
+    ()
+
 let all ?replicates ?node_budget ?jobs () =
   [
     ("fig5", fun () -> fig5 ?replicates ?jobs ());
@@ -139,4 +210,5 @@ let all ?replicates ?node_budget ?jobs () =
     ("fig10", fun () -> fig10 ?replicates ?node_budget ?jobs ());
     ("fig11", fun () -> fig11 ?replicates ?node_budget ?jobs ());
     ("fig12", fun () -> fig12 ?replicates ?node_budget ?jobs ());
+    ("dynamic", fun () -> dynamic ?replicates ?jobs ());
   ]

@@ -40,7 +40,16 @@ val fig11 : ?replicates:int -> ?node_budget:int -> ?jobs:int -> unit -> Runner.f
     the paper's MIP does past 15 tasks). *)
 val fig12 : ?replicates:int -> ?node_budget:int -> ?jobs:int -> unit -> Runner.figure
 
-(** All eight, in order. *)
+(** The dynamic experiment (not in the paper): effective period —
+    measurement window / outputs — of the H4w mapping under per-machine
+    breakdowns (uniform law, mtbf 48 periods, mttr 16 periods, one
+    repair crew), left static vs re-mapped online, against the
+    availability-adjusted analytic bound.  m=6, p=2, n=10..40.
+    Identical for any [jobs] value, like every figure. *)
+val dynamic :
+  ?replicates:int -> ?horizon_periods:float -> ?jobs:int -> unit -> Runner.figure
+
+(** All eight paper figures plus [dynamic], in order. *)
 val all :
   ?replicates:int ->
   ?node_budget:int ->

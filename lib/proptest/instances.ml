@@ -16,6 +16,12 @@ let op_to_string = function
   | Swap { u; v } -> Printf.sprintf "swap M%d <-> M%d" u v
   | Undo -> "undo"
 
+type avail_op = Down of int | Up of int
+
+let avail_op_to_string = function
+  | Down u -> Printf.sprintf "down M%d" u
+  | Up u -> Printf.sprintf "up M%d" u
+
 (* ------------------------------------------------------------------ *)
 (* Shrinking generators                                                 *)
 (* ------------------------------------------------------------------ *)
@@ -114,6 +120,68 @@ let specialized_allocation inst =
         (Array.init (Instance.task_count inst) (fun i -> perm.(Workflow.ttype wf i))))
     (permutation_indices m)
 
+(* Per-machine breakdown laws on a dyadic grid, expressed as multiples
+   of the mapping's analytic period (the property scales them at run
+   time, once the period is known): mtbf in {8, 16, 32} periods, mttr a
+   ratio in {0, 1/4, 1/2} of mtbf, wear 0.  The mttr = 0 degenerate law
+   (instant repairs, availability 1) carries its own weight and is the
+   shrink target, so counterexamples shrink toward the static model. *)
+let breakdown_profile inst =
+  let one =
+    let* mult = choose [| return 8.0; return 16.0; return 32.0 |] in
+    let* ratio =
+      frequency [ (1, return 0.0); (2, choose [| return 0.25; return 0.5 |]) ]
+    in
+    return (mult, ratio)
+  in
+  array_n (Instance.machines inst) one
+
+let breakdown_profile_to_string profile =
+  String.concat "; "
+    (Array.to_list
+       (Array.mapi
+          (fun u (mult, ratio) ->
+            Printf.sprintf "M%d: mtbf %gp mttr %gp" u mult (mult *. ratio))
+          profile))
+
+(* Availability scripts are drawn raw — (want_down, pick) pairs — and
+   interpreted statefully by [decode_avail], so the raw array and every
+   structural shrink of it (shorter, smaller elements) decodes to a
+   valid breakdown/repair history: a down step picks among the machines
+   currently up, an up step among those currently down, falling back to
+   the other kind when the wanted set is empty. *)
+let avail_script ~max_ops =
+  array_sized ~min:1 ~max:max_ops (pair bool (int_range 0 15))
+
+let decode_avail ~machines script =
+  let down = Array.make machines false in
+  let with_state b =
+    let c = ref [] in
+    for u = machines - 1 downto 0 do
+      if down.(u) = b then c := u :: !c
+    done;
+    !c
+  in
+  Array.map
+    (fun (want_down, pick) ->
+      let take candidates = List.nth candidates (pick mod List.length candidates) in
+      let ups = with_state false and downs = with_state true in
+      let go_down =
+        if want_down then ups <> [] (* fall back to a repair if all down *)
+        else downs = [] (* fall back to a breakdown if all up *)
+      in
+      if go_down then begin
+        let u = take ups in
+        down.(u) <- true;
+        Down u
+      end
+      else begin
+        let u = take downs in
+        down.(u) <- false;
+        Up u
+      end)
+    script
+
 let ops inst ~max_ops =
   let n = Instance.task_count inst in
   let m = Instance.machines inst in
@@ -141,6 +209,16 @@ let print_with_mapping inst mp =
 let print_case inst mp steps =
   Printf.sprintf "%sops [%s]\n" (print_with_mapping inst mp)
     (String.concat "; " (Array.to_list (Array.map op_to_string steps)))
+
+let print_breakdown_case inst mp profile =
+  Printf.sprintf "%sbreakdowns (x analytic period, wear 0) [%s]\n"
+    (print_with_mapping inst mp)
+    (breakdown_profile_to_string profile)
+
+let print_remap_case inst mp script ~budget =
+  let decoded = decode_avail ~machines:(Instance.machines inst) script in
+  Printf.sprintf "%sbudget %d\navail [%s]\n" (print_with_mapping inst mp) budget
+    (String.concat "; " (Array.to_list (Array.map avail_op_to_string decoded)))
 
 (* ------------------------------------------------------------------ *)
 (* Deterministic indexed families                                       *)

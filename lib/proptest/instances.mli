@@ -25,6 +25,11 @@ type op =
 
 val op_to_string : op -> string
 
+(** One step of a breakdown/repair history (machine index). *)
+type avail_op = Down of int | Up of int
+
+val avail_op_to_string : avail_op -> string
+
 (** {1 Shrinking generators} *)
 
 (** [instance ()] draws a heterogeneous dyadic instance.  [max_types]
@@ -65,6 +70,27 @@ val specialized_allocation : Mf_core.Instance.t -> Mf_core.Mapping.t Gen.t
     individual steps. *)
 val ops : Mf_core.Instance.t -> max_ops:int -> op array Gen.t
 
+(** [breakdown_profile inst] draws one dyadic breakdown law per machine
+    as [(mtbf_mult, mttr_ratio)] multiples of the mapping's analytic
+    period: mtbf in [{8, 16, 32}] periods, mttr [{0, 1/4, 1/2}] of the
+    mtbf, wear 0.  Shrinks toward the degenerate never-down law. *)
+val breakdown_profile : Mf_core.Instance.t -> (float * float) array Gen.t
+
+val breakdown_profile_to_string : (float * float) array -> string
+
+(** [avail_script ~max_ops] draws a raw availability script — decode it
+    with {!decode_avail}.  Raw scripts shrink structurally (shorter
+    first, then element-wise) and every shrink decodes to a valid
+    history. *)
+val avail_script : max_ops:int -> (bool * int) array Gen.t
+
+(** [decode_avail ~machines script] interprets a raw script statefully
+    into a valid breakdown/repair history: a down step picks among the
+    machines currently up, an up step among those currently down,
+    falling back to the other kind when the wanted set is empty (all
+    machines down is reachable). *)
+val decode_avail : machines:int -> (bool * int) array -> avail_op array
+
 (** {1 Printers for counterexamples} *)
 
 val print_instance : Mf_core.Instance.t -> string
@@ -72,6 +98,16 @@ val print_with_mapping : Mf_core.Instance.t -> Mf_core.Mapping.t -> string
 
 val print_case :
   Mf_core.Instance.t -> Mf_core.Mapping.t -> op array -> string
+
+val print_breakdown_case :
+  Mf_core.Instance.t -> Mf_core.Mapping.t -> (float * float) array -> string
+
+val print_remap_case :
+  Mf_core.Instance.t ->
+  Mf_core.Mapping.t ->
+  (bool * int) array ->
+  budget:int ->
+  string
 
 (** {1 Deterministic indexed families (shared with the differential suites)} *)
 

@@ -9,6 +9,9 @@ module Brute = Mf_exact.Brute
 module Symmetry = Mf_exact.Symmetry
 module Splitting = Mf_lp.Splitting
 module Desim = Mf_sim.Desim
+module Breakdown = Mf_sim.Breakdown
+module Sim_metrics = Mf_sim.Metrics
+module Plan = Mf_remap.Plan
 module Rat = Mf_numeric.Rat
 open Gen
 
@@ -341,16 +344,7 @@ let sim_gen =
    band: Wilson score interval at z = 6 on whole-run execution counts;
    f = 0 tasks must lose exactly nothing.  See DESIGN.md section 12 for
    the false-positive budget accounting. *)
-let sim_prop (inst, mp, seed) =
-  let p = Period.period inst mp in
-  let horizon = p *. 3125.0 in
-  let r = Desim.run ~horizon ~seed inst mp in
-  let expected = r.Desim.window /. p in
-  let band = (6.0 *. sqrt expected) +. (0.01 *. expected) +. 8.0 in
-  check
-    (Float.abs (float_of_int r.Desim.outputs -. expected) <= band)
-    "outputs %d vs expected %.1f (band %.1f, seed %d)" r.Desim.outputs expected band
-    seed;
+let check_loss_bands inst mp (r : Desim.result) ~seed =
   for i = 0 to Instance.task_count inst - 1 do
     let fi = Instance.f inst i (Mapping.machine mp i) in
     let e = r.Desim.executions.(i) and l = r.Desim.lost.(i) in
@@ -373,6 +367,18 @@ let sim_prop (inst, mp, seed) =
     end
   done
 
+let sim_prop (inst, mp, seed) =
+  let p = Period.period inst mp in
+  let horizon = p *. 3125.0 in
+  let r = Desim.run ~horizon ~seed inst mp in
+  let expected = r.Desim.window /. p in
+  let band = (6.0 *. sqrt expected) +. (0.01 *. expected) +. 8.0 in
+  check
+    (Float.abs (float_of_int r.Desim.outputs -. expected) <= band)
+    "outputs %d vs expected %.1f (band %.1f, seed %d)" r.Desim.outputs expected band
+    seed;
+  check_loss_bands inst mp r ~seed
+
 let sim_oracle =
   Oracle
     {
@@ -382,6 +388,247 @@ let sim_oracle =
       gen = sim_gen;
       prop = prop_of sim_prop;
       print = (fun (i, m, _) -> Instances.print_with_mapping i m);
+    }
+
+(* ------------------------------------------------------------------ *)
+(* sim-breakdowns: the dynamic model against availability analytics     *)
+(* ------------------------------------------------------------------ *)
+
+let simbd_gen =
+  let* inst =
+    Instances.instance ~max_tasks:5 ~max_machines:3 ~machines_cover_types:true
+      ~forest:false ~kmax:2 ()
+  in
+  let* mp = Instances.allocation inst in
+  let* profile = Instances.breakdown_profile inst in
+  let* seed = no_shrink (int_range 0 1_000_000) in
+  return (inst, mp, profile, seed)
+
+(* Three layers of z = 6 bands around the breakdown analytics:
+
+   - {b throughput} — long-run output rate min_u avail(u) / load(u)
+     (exact for wear 0, unbounded buffers and uncontended crews: machine
+     [u] fails at rate 1/mtbf per unit of {e busy} time, so its capacity
+     constraint is tp . load_u . (1 + mttr/mtbf) <= 1, i.e.
+     tp <= avail_u / load_u, binding at the saturated bottleneck).  The
+     variance term sums, per machine, the renewal-process asymptotic
+     std of cumulative up time, conservatively bounded by
+     sqrt(2 a (1-a) (mtbf+mttr) W) in window units and translated to
+     outputs through that machine's load; 2% systematic slack plus a
+     16-output floor absorb the fill transient and window boundaries.
+   - {b breakdown counts} — with wear 0 the hazard thresholds are i.i.d.
+     Exp(mtbf) consumed by busy time, so given the measured busy time
+     the count is exactly Poisson(busy/mtbf).
+   - {b downtime} — given the count, total downtime is within a
+     Gamma(count, mttr) band of count . mttr (the +12 mttr slack covers
+     the one repair the horizon can truncate); mttr = 0 laws fold
+     repairs into the interrupted busy segment and must leave downtime
+     {e exactly} zero.
+
+   The per-task Wilson loss bands also re-run here: task losses are
+   Bernoulli per execution regardless of availability, and the check
+   pins the breakdown RNG streams' independence from the loss stream. *)
+let simbd_prop (inst, mp, profile, seed) =
+  let p = Period.period inst mp in
+  let laws =
+    Array.map
+      (fun (mult, ratio) ->
+        { Breakdown.mtbf = mult *. p; mttr = ratio *. mult *. p; wear = 0.0 })
+      profile
+  in
+  let bd = Breakdown.make laws in
+  let horizon = p *. 12288.0 in
+  let r = Desim.run ~breakdowns:bd ~horizon ~seed inst mp in
+  let w = r.Desim.window in
+  let expected = w *. Sim_metrics.adjusted_throughput inst mp bd in
+  let loads = Period.machine_periods inst mp in
+  let var = ref 0.0 in
+  Array.iteri
+    (fun u (l : Breakdown.law) ->
+      if loads.(u) > 0.0 && l.Breakdown.mttr > 0.0 then begin
+        let a = Breakdown.availability l in
+        let cycle = l.Breakdown.mtbf +. l.Breakdown.mttr in
+        let s = w /. loads.(u) *. sqrt (2.0 *. a *. (1.0 -. a) *. cycle /. w) in
+        var := !var +. (s *. s)
+      end)
+    laws;
+  let band = (6.0 *. sqrt (expected +. !var)) +. (0.02 *. expected) +. 16.0 in
+  check
+    (Float.abs (float_of_int r.Desim.outputs -. expected) <= band)
+    "outputs %d vs availability-adjusted %.1f (band %.1f, seed %d)" r.Desim.outputs
+    expected band seed;
+  for u = 0 to Instance.machines inst - 1 do
+    let l = laws.(u) in
+    let lambda = r.Desim.busy.(u) /. l.Breakdown.mtbf in
+    let n = float_of_int r.Desim.breakdowns.(u) in
+    let cband = (6.0 *. sqrt (lambda +. 1.0)) +. 8.0 in
+    check
+      (Float.abs (n -. lambda) <= cband)
+      "machine %d: %d breakdowns vs busy/mtbf = %.1f (band %.1f, seed %d)" u
+      r.Desim.breakdowns.(u) lambda cband seed;
+    if l.Breakdown.mttr = 0.0 then
+      check
+        (r.Desim.downtime.(u) = 0.0)
+        "machine %d: instant repairs left downtime %g (seed %d)" u
+        r.Desim.downtime.(u) seed
+    else begin
+      let dband = l.Breakdown.mttr *. ((6.0 *. sqrt (n +. 1.0)) +. 12.0) in
+      check
+        (Float.abs (r.Desim.downtime.(u) -. (n *. l.Breakdown.mttr)) <= dband)
+        "machine %d: downtime %.1f vs %d repairs x mttr %.1f (band %.1f, seed %d)" u
+        r.Desim.downtime.(u) r.Desim.breakdowns.(u) l.Breakdown.mttr dband seed
+    end
+  done;
+  check_loss_bands inst mp r ~seed
+
+let simbd_oracle =
+  Oracle
+    {
+      name = "sim-breakdowns";
+      description =
+        "dynamic Desim: throughput, breakdown counts and downtime within z = 6 \
+         bands of the availability analytics";
+      quick_cases = 40;
+      gen = simbd_gen;
+      prop = prop_of simbd_prop;
+      print = (fun (i, m, prof, _) -> Instances.print_breakdown_case i m prof);
+    }
+
+(* ------------------------------------------------------------------ *)
+(* remap-safety: the online re-mapper under breakdown/repair scripts    *)
+(* ------------------------------------------------------------------ *)
+
+let remap_gen =
+  let* inst =
+    Instances.instance ~max_tasks:6 ~max_machines:4 ~machines_cover_types:true ()
+  in
+  let* mp = Instances.specialized_allocation inst in
+  let* script = Instances.avail_script ~max_ops:6 in
+  let* budget = choose [| return 0; return 60; return Plan.default_budget |] in
+  return (inst, mp, script, budget)
+
+(* Interprets the availability script the way the simulator would drive
+   the re-mapper — one {!Plan.repair} per change, committed moves folded
+   into the live mapping — and checks, at every step:
+
+   - every committed assignment targets a surviving machine and the
+     resulting live mapping is feasible over the survivors {e and} still
+     specialized;
+   - the plan's claimed period matches a from-scratch evaluation, never
+     exceeds its own greedy phase, and — when nothing was stranded —
+     never worsens the do-nothing incumbent;
+   - a [None] (infeasible) verdict is honest: something was stranded,
+     and not every stranded task still had a dedicated same-type
+     surviving host (such a host stays movable throughout the greedy
+     phase, so its existence for all stranded tasks guarantees a plan);
+   - finally, replaying {e every} committed move on one journaled
+     {!Mf_eval.State} and undoing them all restores the original
+     allocation and its period bit-for-bit. *)
+let remap_prop (inst, mp, script, budget) =
+  let n = Instance.task_count inst and m = Instance.machines inst in
+  let wf = Instance.workflow inst in
+  let ops = Instances.decode_avail ~machines:m script in
+  let down = Array.make m false in
+  let live = ref (Mapping.to_array mp) in
+  let committed = ref [] in
+  Array.iter
+    (fun op ->
+      (match op with
+      | Instances.Down u -> down.(u) <- true
+      | Instances.Up u -> down.(u) <- false);
+      let stranded = Array.exists (fun u -> down.(u)) !live in
+      match Plan.repair ~budget inst ~mapping:!live ~down with
+      | None ->
+        check stranded "planner declared infeasibility with nothing stranded";
+        (* a machine whose surviving residents are all of one type keeps
+           accepting that type for the whole greedy phase, so if every
+           stranded task has one the plan cannot fail *)
+        let dedicated i =
+          let ty = Workflow.ttype wf i in
+          let ok = ref false in
+          for v = 0 to m - 1 do
+            if not down.(v) then begin
+              let resident = ref false and foreign = ref false in
+              Array.iteri
+                (fun j uj ->
+                  if j <> i && uj = v then
+                    if Workflow.ttype wf j = ty then resident := true
+                    else foreign := true)
+                !live;
+              if !resident && not !foreign then ok := true
+            end
+          done;
+          !ok
+        in
+        let all_dedicated = ref true in
+        Array.iteri
+          (fun i u -> if down.(u) && not (dedicated i) then all_dedicated := false)
+          !live;
+        check (not !all_dedicated)
+          "planner declared infeasibility though every stranded task has a \
+           dedicated same-type surviving host"
+      | Some plan ->
+        let next = Array.copy !live in
+        Array.iter
+          (fun (i, v) ->
+            check (0 <= i && i < n) "plan moves unknown task %d" i;
+            check (0 <= v && v < m) "plan targets unknown machine %d" v;
+            check (not down.(v)) "plan assigns T%d to the down machine M%d" i v;
+            next.(i) <- v)
+          plan.Plan.moves;
+        Array.iteri
+          (fun i u -> check (not down.(u)) "plan left T%d on the down machine M%d" i u)
+          next;
+        check
+          (Mapping.satisfies inst (Mapping.of_array inst next) Mapping.Specialized)
+          "plan broke the specialized rule";
+        let pnew = Period.period inst (Mapping.of_array inst next) in
+        check (rel_close plan.Plan.period pnew)
+          "plan claims period %.17g but the mapping evaluates to %.17g"
+          plan.Plan.period pnew;
+        check
+          (plan.Plan.period <= plan.Plan.greedy_period *. (1.0 +. 1e-12))
+          "refinement worsened the greedy plan: %.17g > %.17g" plan.Plan.period
+          plan.Plan.greedy_period;
+        if not stranded then begin
+          let live_p = Period.period inst (Mapping.of_array inst !live) in
+          check
+            (plan.Plan.period <= live_p *. (1.0 +. 1e-12))
+            "re-map worsened the period vs do-nothing: %.17g > %.17g"
+            plan.Plan.period live_p
+        end;
+        committed := plan.Plan.moves :: !committed;
+        live := next)
+    ops;
+  let st = State.of_mapping inst mp in
+  let p0 = State.period st in
+  let d0 = State.undo_depth st in
+  List.iter
+    (Array.iter (fun (i, v) -> State.apply_move st ~task:i ~machine:v))
+    (List.rev !committed);
+  while State.undo_depth st > d0 do
+    State.undo st
+  done;
+  check
+    (State.to_array st = Mapping.to_array mp)
+    "journal undo did not restore the original allocation";
+  check
+    (Int64.bits_of_float (State.period st) = Int64.bits_of_float p0)
+    "journal undo period %h is not bit-identical to the fresh build %h"
+    (State.period st) p0;
+  State.check st
+
+let remap_oracle =
+  Oracle
+    {
+      name = "remap-safety";
+      description =
+        "online re-mapper under breakdown/repair scripts: survivor-feasible, \
+         rule-preserving, never worse than do-nothing, journal fully undoes";
+      quick_cases = 120;
+      gen = remap_gen;
+      prop = prop_of remap_prop;
+      print = (fun (i, m, s, b) -> Instances.print_remap_case i m s ~budget:b);
     }
 
 (* ------------------------------------------------------------------ *)
@@ -873,6 +1120,8 @@ let all =
     lp_oracle;
     sparse_dense_oracle;
     sim_oracle;
+    simbd_oracle;
+    remap_oracle;
     meta_oracle;
     cache_oracle;
     pool_oracle;
@@ -962,4 +1211,86 @@ let canary_check ~seed =
   | None -> Error "canary evaluation bug was NOT caught"
   | Some f ->
     let inst, _ = f.Prop.value in
+    Ok (Instance.task_count inst, Instance.machines inst)
+
+(* A second injected bug, for the dynamic layer: a re-mapper whose
+   refinement pass forgets the availability filter.  The greedy phase
+   (correct) empties the dead machine, which leaves it with load 0 —
+   the most attractive move target the buggy refinement can find — so
+   the planner re-assigns work to a machine that is down.  The
+   remap-safety discipline (never assign to a down machine) must catch
+   it and shrink the repro.  Never called by production code. *)
+let buggy_remap inst ~mapping ~down =
+  match Plan.repair inst ~mapping ~down with
+  | None -> None
+  | Some plan ->
+    let next = Array.copy mapping in
+    Array.iter (fun (i, v) -> next.(i) <- v) plan.Plan.moves;
+    let st = State.of_mapping inst (Mapping.of_array inst next) in
+    let n = Instance.task_count inst and m = Instance.machines inst in
+    let current = State.period st in
+    let best = ref None in
+    for i = 0 to n - 1 do
+      for v = 0 to m - 1 do
+        (* the bug: no [not down.(v)] in this condition *)
+        if v <> State.machine_of st i && State.move_allowed st ~task:i ~machine:v
+        then begin
+          let p = State.try_move st ~task:i ~machine:v in
+          let better =
+            match !best with
+            | None -> p < current *. (1.0 -. 1e-12)
+            | Some (_, _, bp) -> p < bp
+          in
+          if better then best := Some (i, v, p)
+        end
+      done
+    done;
+    (match !best with Some (i, v, _) -> next.(i) <- v | None -> ());
+    Some next
+
+let remap_canary_gen =
+  let* inst =
+    Instances.instance ~min_tasks:2 ~max_tasks:6 ~min_machines:2 ~max_machines:3
+      ~machines_cover_types:true ()
+  in
+  let* mp = Instances.specialized_allocation inst in
+  let* dead = int_range 0 (Instance.machines inst - 1) in
+  return (inst, mp, dead)
+
+let remap_canary_prop (inst, mp, dead) =
+  let m = Instance.machines inst in
+  let down = Array.make m false in
+  down.(dead) <- true;
+  match buggy_remap inst ~mapping:(Mapping.to_array mp) ~down with
+  | None -> ()
+  | Some next ->
+    Array.iteri
+      (fun i u -> check (not down.(u)) "re-mapper left T%d on the dead machine M%d" i u)
+      next
+
+let remap_canary_print (inst, mp, dead) =
+  Printf.sprintf "%sdead machine M%d\n" (Instances.print_with_mapping inst mp) dead
+
+let remap_canary =
+  Oracle
+    {
+      name = "remap-canary";
+      description =
+        "injected-bug self-test: a re-mapper refinement missing the down filter \
+         must be caught";
+      quick_cases = 50;
+      gen = remap_canary_gen;
+      prop = prop_of remap_canary_prop;
+      print = remap_canary_print;
+    }
+
+let remap_canary_check ~seed =
+  let r =
+    Prop.check ~count:50 ~name:"remap-canary" ~seed remap_canary_gen
+      (prop_of remap_canary_prop)
+  in
+  match r.Prop.failure with
+  | None -> Error "remap down-machine bug was NOT caught"
+  | Some f ->
+    let inst, _, _ = f.Prop.value in
     Ok (Instance.task_count inst, Instance.machines inst)

@@ -20,6 +20,19 @@
       loss rates stay inside z = 6 confidence bands around the analytic
       values (false-positive probability < 1e-9 per check; deterministic
       under fixed seeds);
+    - [sim-breakdowns] — the dynamic model under per-machine dyadic
+      MTBF/MTTR laws: throughput within a z = 6 band of the
+      availability-adjusted [min avail(u) / load(u)], breakdown counts
+      Poisson in measured busy time, downtime within a Gamma band of
+      [count . mttr] (exactly zero for instant repairs), and the loss
+      bands re-checked to pin breakdown/loss RNG stream independence;
+    - [remap-safety] — the online re-mapper driven by generated
+      breakdown/repair scripts: committed mappings stay feasible over
+      the surviving machines and specialized, claimed periods match
+      from-scratch evaluation and never worsen the do-nothing
+      incumbent, infeasibility verdicts are honest, and replay-then-undo
+      of every committed move on one journaled {!Mf_eval.State} restores
+      the original allocation bit-for-bit;
     - [metamorphic] — machine-permutation invariance (bit-exact, plus
       {!Mf_exact.Symmetry.machine_classes} consistency), power-of-two
       workload scaling (bit-exact), and failure-rate monotonicity;
@@ -77,3 +90,13 @@ val canary : t
     (tasks, machines)] gives the size of the shrunk repro, [Error _]
     means the harness failed to catch the injected bug. *)
 val canary_check : seed:int -> (int * int, string) result
+
+(** The dynamic-layer canary: a re-mapper whose local-search refinement
+    forgets the availability filter and so re-assigns work to the dead
+    (and therefore empty, maximally attractive) machine.  The
+    remap-safety discipline must catch and shrink it. *)
+val remap_canary : t
+
+(** [remap_canary_check ~seed] runs {!remap_canary} and demands a
+    failure, like {!canary_check}. *)
+val remap_canary_check : seed:int -> (int * int, string) result

@@ -1,0 +1,69 @@
+module Instance = Mf_core.Instance
+module Mapping = Mf_core.Mapping
+module Period = Mf_core.Period
+module Desim = Mf_sim.Desim
+
+let any_stranded ~down mapping =
+  Array.exists (fun u -> down.(u)) mapping
+
+let feasible_over ~down arr =
+  not (Array.exists (fun u -> down.(u)) arr)
+
+let diff_moves ~from target =
+  let moves = ref [] in
+  for i = Array.length from - 1 downto 0 do
+    if from.(i) <> target.(i) then moves := (i, target.(i)) :: !moves
+  done;
+  Array.of_list !moves
+
+let remapper ?budget ?original inst : Desim.remapper =
+  let original = Option.map Mapping.to_array original in
+  let strict_better p q = p < q *. (1.0 -. 1e-12) in
+  fun ~time:_ ~down ~mapping change ->
+    let repair () =
+      match Plan.repair ?budget inst ~mapping ~down with
+      | None -> None (* no feasible host: stranded tasks wait for the crew *)
+      | Some p when Array.length p.Plan.moves = 0 -> None
+      | Some p -> Some { Desim.moves = p.Plan.moves; evals = p.Plan.evals }
+    in
+    match change with
+    | Desim.Down _ -> if any_stranded ~down mapping then repair () else None
+    | Desim.Up _ ->
+      if any_stranded ~down mapping then
+        (* a racing failure or an earlier infeasible plan left tasks on a
+           still-down machine: this repair may have opened a host *)
+        repair ()
+      else begin
+        (* nothing stranded: weigh doing nothing, restoring the designed
+           mapping, and a budget-bounded improvement of the live one *)
+        let live_p = Period.period inst (Mapping.of_array inst mapping) in
+        let plan = Plan.repair ?budget inst ~mapping ~down in
+        let plan_p =
+          match plan with Some p -> p.Plan.period | None -> infinity
+        in
+        let restore =
+          match original with
+          | Some orig when feasible_over ~down orig && orig <> mapping ->
+            let orig_p = Period.period inst (Mapping.of_array inst orig) in
+            (* prefer the designed mapping whenever it is at least as good
+               as the improved live one — and actually better than live *)
+            if strict_better orig_p live_p && orig_p <= plan_p *. (1.0 +. 1e-12)
+            then Some orig
+            else None
+          | _ -> None
+        in
+        match (restore, plan) with
+        | Some orig, _ ->
+          let evals = (match plan with Some p -> p.Plan.evals | None -> 0) + 1 in
+          Some { Desim.moves = diff_moves ~from:mapping orig; evals }
+        | None, Some p
+          when strict_better p.Plan.period live_p && Array.length p.Plan.moves > 0 ->
+          Some { Desim.moves = p.Plan.moves; evals = p.Plan.evals }
+        | _ -> None
+      end
+
+let simulate ?warmup ?buffer_capacity ?budget ?remap_eval_cost ?(restore = true)
+    ~breakdowns ~horizon ~seed ?on_event inst mp =
+  let rm = remapper ?budget ?original:(if restore then Some mp else None) inst in
+  Desim.run ?warmup ?buffer_capacity ~breakdowns ~remapper:rm ?remap_eval_cost
+    ~horizon ~seed ?on_event inst mp

@@ -1,0 +1,43 @@
+(** Re-mapping plans: migrate the tasks of dead machines and refine.
+
+    A plan is computed against a snapshot [(mapping, down)] of the live
+    simulation state, on {!Mf_eval.State}'s O(subtree) journaled
+    move/swap evaluation — the same machinery the offline local search
+    uses, so a decision costs a counted number of incremental
+    evaluations rather than full O(n + m) re-scores.  Two phases:
+
+    + {b greedy repair} — every task stranded on a down machine moves to
+      the surviving machine minimising the resulting period (specialized
+      rule enforced through {!Mf_eval.State.move_allowed}; ties toward
+      the lowest machine index).  This phase always completes: its
+      evaluations count toward the reported latency but are never capped,
+      so budget pressure degrades quality, never feasibility.
+    + {b bounded local search} — best-improving task moves and machine
+      group swaps over the surviving machines only, stopping at the
+      first non-improving round or when [budget] evaluations have been
+      spent in total.
+
+    The planner never assigns a task to a down machine. *)
+
+type t = {
+  moves : (int * int) array;
+      (** (task, machine) re-assignments vs the input mapping *)
+  period : float;  (** period of the planned mapping *)
+  greedy_period : float;  (** period after greedy repair alone *)
+  evals : int;  (** incremental evaluations spent (≥ latency budget) *)
+}
+
+val default_budget : int
+
+(** [repair ?budget inst ~mapping ~down] plans the migration.  [None]
+    when some stranded task has no feasible surviving host under the
+    specialized rule (the caller leaves the mapping alone; stranded
+    tasks simply wait for the repair).  With no stranded task this is a
+    pure budget-bounded improvement pass over the surviving machines.
+    @raise Invalid_argument on mismatched array lengths. *)
+val repair :
+  ?budget:int ->
+  Mf_core.Instance.t ->
+  mapping:int array ->
+  down:bool array ->
+  t option

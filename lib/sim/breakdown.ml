@@ -1,0 +1,38 @@
+type law = { mtbf : float; mttr : float; wear : float }
+
+type queue = Fifo | Priority
+
+type t = { laws : law array; crews : int; queue : queue }
+
+let check_law l =
+  if Float.is_nan l.mtbf || l.mtbf <= 0.0 then
+    invalid_arg "Breakdown: mtbf must be positive (infinity = never fails)";
+  if Float.is_nan l.mttr || l.mttr < 0.0 then
+    invalid_arg "Breakdown: mttr must be non-negative";
+  if Float.is_nan l.wear || l.wear < 0.0 then
+    invalid_arg "Breakdown: wear must be non-negative"
+
+let immortal = { mtbf = infinity; mttr = 0.0; wear = 0.0 }
+
+let make ?(crews = max_int) ?(queue = Fifo) laws =
+  if crews < 1 then invalid_arg "Breakdown.make: need at least one crew";
+  Array.iter check_law laws;
+  { laws; crews; queue }
+
+let uniform ~machines ~mtbf ~mttr ?(wear = 0.0) ?crews ?queue () =
+  if machines < 1 then invalid_arg "Breakdown.uniform: need machines >= 1";
+  make ?crews ?queue (Array.make machines { mtbf; mttr; wear })
+
+let availability l =
+  if l.mtbf = infinity || l.mttr = 0.0 then 1.0
+  else if l.mttr = infinity then 0.0
+  else l.mtbf /. (l.mtbf +. l.mttr)
+
+let machines t = Array.length t.laws
+
+let queue_name = function Fifo -> "fifo" | Priority -> "priority"
+
+let queue_of_string = function
+  | "fifo" -> Some Fifo
+  | "priority" -> Some Priority
+  | _ -> None

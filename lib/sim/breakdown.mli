@@ -1,0 +1,63 @@
+(** Machine availability model: per-machine breakdown laws and a finite
+    repair-crew resource.
+
+    Failures are {e operation-dependent} (the standard reliability model of
+    the exemplar line simulators, and the regime of Knapp & Göttlich's
+    history-based failure work): a machine accrues failure hazard only
+    while it is working, so an idle or blocked machine never breaks.  The
+    time-to-failure seed is exponential — a machine's hazard threshold is
+    drawn [Exp(1)] and its instantaneous hazard rate while busy is
+
+    {[ lambda(u) = (1 + wear * units_since_repair(u)) / mtbf(u) ]}
+
+    With [wear = 0] the busy time between failures is exactly
+    [Exp(1/mtbf)] (mean [mtbf]); a positive [wear] makes the law
+    history-based — each unit produced since the last repair scales the
+    hazard up, so heavily-used machines fail sooner, and a repair restores
+    the machine to as-good-as-new ([units_since_repair] resets).
+
+    Repairs take [Exp(1/mttr)] time (mean [mttr]) and require one unit of
+    a pool of [crews] repair crews; when all crews are busy the machine
+    waits, [Fifo] (breakdown order) or [Priority] (highest static load
+    first — fix the bottleneck first). *)
+
+type law = {
+  mtbf : float;  (** mean busy time between failures; [infinity] = never *)
+  mttr : float;  (** mean repair duration; [0] = instant repair *)
+  wear : float;  (** hazard growth per unit produced since last repair *)
+}
+
+type queue = Fifo | Priority
+
+type t = private { laws : law array; crews : int; queue : queue }
+
+(** A law under which the machine never fails. *)
+val immortal : law
+
+(** [make ?crews ?queue laws] validates and packs a model; [laws.(u)] is
+    machine [u]'s law.  [crews] defaults to unlimited.
+    @raise Invalid_argument on [mtbf <= 0], [mttr < 0], [wear < 0] or
+    [crews < 1]. *)
+val make : ?crews:int -> ?queue:queue -> law array -> t
+
+(** [uniform ~machines ~mtbf ~mttr ?wear ?crews ?queue ()] gives every
+    machine the same law. *)
+val uniform :
+  machines:int ->
+  mtbf:float ->
+  mttr:float ->
+  ?wear:float ->
+  ?crews:int ->
+  ?queue:queue ->
+  unit ->
+  t
+
+(** [availability law] is the steady-state fraction of demanded work time
+    the machine is up: [mtbf / (mtbf + mttr)] ([1] when it never fails or
+    repairs instantly, [0] when repairs never finish).  Exact for
+    [wear = 0] and an uncontended crew. *)
+val availability : law -> float
+
+val machines : t -> int
+val queue_name : queue -> string
+val queue_of_string : string -> queue option

@@ -21,7 +21,32 @@
 
     The measured steady-state throughput converges to the analytic
     [1 / period] of {!Mf_core.Period} — the validation the paper's C++
-    simulator provided. *)
+    simulator provided.
+
+    {2 Dynamics: breakdowns, repairs and online re-mapping}
+
+    With a {!Breakdown} model the machines are subject to
+    operation-dependent failures: hazard accrues only while a machine
+    works, an execution interrupted by a failure holds its work in place
+    and {e resumes} after repair (work conserving), and repairs draw on a
+    finite crew pool.  A down machine starts nothing, so its input buffers
+    hold and — under a finite [buffer_capacity] — upstream machines
+    eventually block on full buffers.  With [wear > 0] the failure law is
+    history-based: each unit produced since the last repair scales the
+    hazard rate up (Knapp & Göttlich).  For [wear = 0], unbounded buffers
+    and an uncontended crew pool the long-run throughput is the
+    availability-adjusted steady state
+    [min_u (avail_u / load_u)] with [avail_u = mtbf/(mtbf+mttr)] — the
+    breakdown-scenario fuzz oracle pins the simulator to that analytic
+    value.
+
+    An optional {!remapper} is consulted after every availability change
+    (breakdown or repair).  Its decision costs simulated time — [evals]
+    work units at [remap_eval_cost] each — and the resulting commit
+    {e races the next failure}: if availability changes again before the
+    commit lands, the decision is stale and is dropped.  Moves only
+    re-route {e future} executions; an in-flight product stays with the
+    machine holding it. *)
 
 type result = {
   outputs : int;  (** finished products during the measurement window *)
@@ -32,7 +57,29 @@ type result = {
   executions : int array;  (** executions completed, per task (whole run) *)
   busy : float array;  (** busy time per machine (whole run) *)
   horizon : float;  (** total simulated time *)
+  breakdowns : int array;
+      (** failures per machine, including instantly-repaired ones *)
+  downtime : float array;  (** time spent down within the horizon *)
+  remaps : int;  (** re-map commits that landed (stale ones dropped) *)
+  remap_latencies : float array;
+      (** simulated decision latency of each landed commit, in order *)
+  final_mapping : int array;  (** the live allocation when the run ended *)
 }
+
+(** An availability change the re-mapper is consulted about. *)
+type change = Down of int | Up of int
+
+type remap_decision = {
+  moves : (int * int) array;  (** (task, new machine) re-assignments *)
+  evals : int;  (** work units spent deciding — converted to latency *)
+}
+
+(** [remapper ~time ~down ~mapping change] is consulted right after the
+    availability change has been applied ([down] and [mapping] are fresh
+    copies of the live state).  [None] means leave the mapping alone. *)
+type remapper =
+  time:float -> down:bool array -> mapping:int array -> change ->
+  remap_decision option
 
 (** [run ?warmup ?buffer_capacity ~horizon ~seed inst mp] simulates until
     [horizon] (time units, i.e. ms for paper-style instances), discarding
@@ -42,11 +89,28 @@ type result = {
     each non-final task may hold (default: unbounded, the paper's model).
     A machine will not start a task whose output buffer is full, so finite
     capacities model blocking lines; throughput can only decrease.
+
+    [breakdowns] enables the availability model.  Degenerate laws are
+    byte-identical to the plain simulation on every behavioural field:
+    [mttr = 0] folds instant repairs into the busy segment they interrupt,
+    and [mtbf = infinity] never consumes hazard — breakdown draws come
+    from per-machine Splitmix64-derived streams that never touch the
+    product-loss stream.
+
+    [remapper] is consulted on each breakdown/repair; [remap_eval_cost]
+    (default [0.01] time units) converts its reported evaluation count
+    into simulated decision latency.
+
     @raise Invalid_argument if [horizon <= warmup], [buffer_capacity < 1],
-    or the mapping is invalid for the instance. *)
+    the breakdown model's machine count differs from the instance's, a
+    re-map move is out of range, or the mapping is invalid for the
+    instance. *)
 val run :
   ?warmup:float ->
   ?buffer_capacity:int ->
+  ?breakdowns:Breakdown.t ->
+  ?remapper:remapper ->
+  ?remap_eval_cost:float ->
   horizon:float ->
   seed:int ->
   ?on_event:(Event.t -> unit) ->

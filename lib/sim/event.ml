@@ -2,9 +2,19 @@ type t =
   | Start of { time : float; task : int; machine : int }
   | Complete of { time : float; task : int; machine : int; lost : bool }
   | Output of { time : float }
+  | Breakdown of { time : float; machine : int }
+  | Repair of { time : float; machine : int }
+  | Resume of { time : float; task : int; machine : int }
+  | Remap of { time : float; moves : (int * int) array }
 
 let time = function
-  | Start { time; _ } | Complete { time; _ } | Output { time } -> time
+  | Start { time; _ }
+  | Complete { time; _ }
+  | Output { time }
+  | Breakdown { time; _ }
+  | Repair { time; _ }
+  | Resume { time; _ }
+  | Remap { time; _ } -> time
 
 let pp fmt = function
   | Start { time; task; machine } ->
@@ -13,5 +23,14 @@ let pp fmt = function
     Format.fprintf fmt "%10.2f complete T%d on M%d%s" time task machine
       (if lost then " (product lost)" else "")
   | Output { time } -> Format.fprintf fmt "%10.2f output" time
+  | Breakdown { time; machine } ->
+    Format.fprintf fmt "%10.2f break    M%d down" time machine
+  | Repair { time; machine } ->
+    Format.fprintf fmt "%10.2f repair   M%d up" time machine
+  | Resume { time; task; machine } ->
+    Format.fprintf fmt "%10.2f resume   T%d on M%d" time task machine
+  | Remap { time; moves } ->
+    Format.fprintf fmt "%10.2f remap   " time;
+    Array.iter (fun (i, u) -> Format.fprintf fmt " T%d->M%d" i u) moves
 
 let to_string e = Format.asprintf "%a" pp e

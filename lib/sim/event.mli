@@ -6,6 +6,14 @@ type t =
   | Complete of { time : float; task : int; machine : int; lost : bool }
       (** the execution finished; [lost] when the product was destroyed *)
   | Output of { time : float }  (** one finished product left the system *)
+  | Breakdown of { time : float; machine : int }
+      (** the machine failed mid-execution and holds its work in place *)
+  | Repair of { time : float; machine : int }
+      (** a crew finished repairing the machine (as good as new) *)
+  | Resume of { time : float; task : int; machine : int }
+      (** the repaired machine resumes its interrupted execution *)
+  | Remap of { time : float; moves : (int * int) array }
+      (** the online re-mapper committed [(task, new machine)] moves *)
 
 val time : t -> float
 val pp : Format.formatter -> t -> unit

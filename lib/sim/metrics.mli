@@ -31,3 +31,41 @@ val loss_summary :
 
 (** [report inst mp result] renders everything as text. *)
 val report : Mf_core.Instance.t -> Mf_core.Mapping.t -> Desim.result -> string
+
+(** {1 Dynamic (breakdown) metrics} *)
+
+(** [measured_availability result] is, per machine, the fraction of the
+    horizon the machine was up ([1 - downtime / horizon]). *)
+val measured_availability : Desim.result -> float array
+
+(** [adjusted_throughput inst mp model] is the analytic
+    availability-adjusted steady-state throughput
+    [min_u avail_u / load_u] over machines with positive load — what the
+    line sustains in the long run under [wear = 0], unbounded buffers and
+    an uncontended crew pool.  [0] when no machine carries load. *)
+val adjusted_throughput :
+  Mf_core.Instance.t -> Mf_core.Mapping.t -> Breakdown.t -> float
+
+(** [lost_per_breakdown inst mp result] is the measured production deficit
+    per failure: the analytic no-breakdown expectation for the window
+    minus the measured outputs, divided by the number of breakdowns.
+    [None] when no breakdown occurred (n/a — never NaN). *)
+val lost_per_breakdown :
+  Mf_core.Instance.t -> Mf_core.Mapping.t -> Desim.result -> float option
+
+(** [remap_latency_histogram ?buckets result] buckets the landed re-map
+    decision latencies into [(lo, hi, count)] equal-width bins ([[]] when
+    no re-map landed). *)
+val remap_latency_histogram :
+  ?buckets:int -> Desim.result -> (float * float * int) list
+
+(** [dynamic_report ?model inst mp result] renders the availability
+    metrics as text: breakdown/downtime per machine, measured vs analytic
+    availability-adjusted throughput (when [model] is given), products
+    lost per breakdown and the re-map latency histogram. *)
+val dynamic_report :
+  ?model:Breakdown.t ->
+  Mf_core.Instance.t ->
+  Mf_core.Mapping.t ->
+  Desim.result ->
+  string

@@ -133,20 +133,25 @@ let run_replay ~oracles ~corpus_dir =
   in
   (List.length errors + failures, List.length entries)
 
-let run_canary ~seed =
-  match Oracle.canary_check ~seed with
+let run_one_canary ~name check ~seed =
+  match check ~seed with
   | Error msg ->
-    Printf.printf "FAIL canary: %s\n" msg;
+    Printf.printf "FAIL %s: %s\n" name msg;
     1
   | Ok (tasks, machines) ->
-    Printf.printf "ok   canary caught the injected bug; shrunk repro: %d task%s, %d machine%s\n"
-      tasks (if tasks = 1 then "" else "s")
+    Printf.printf "ok   %s caught the injected bug; shrunk repro: %d task%s, %d machine%s\n"
+      name tasks (if tasks = 1 then "" else "s")
       machines (if machines = 1 then "" else "s");
     if tasks <= 6 && machines <= 3 then 0
     else begin
-      Printf.printf "FAIL canary: shrunk repro too large (want <= 6 tasks, <= 3 machines)\n";
+      Printf.printf "FAIL %s: shrunk repro too large (want <= 6 tasks, <= 3 machines)\n"
+        name;
       1
     end
+
+let run_canary ~seed =
+  run_one_canary ~name:"canary" Oracle.canary_check ~seed
+  + run_one_canary ~name:"remap-canary" Oracle.remap_canary_check ~seed
 
 let () =
   let mode, oracle, seed, count, corpus_dir = parse_args () in
@@ -158,7 +163,7 @@ let () =
         (fun o ->
           Printf.printf "%-16s %4d quick cases  %s\n" (Oracle.name o)
             (Oracle.quick_cases o) (Oracle.description o))
-        (Oracle.all @ [ Oracle.canary ]);
+        (Oracle.all @ [ Oracle.canary; Oracle.remap_canary ]);
       0
     | Canary_only -> run_canary ~seed
     | Replay ->

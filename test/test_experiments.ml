@@ -239,7 +239,7 @@ let test_summary_factors () =
 let test_all_figures_listed () =
   let all = Figures.all ~replicates:1 () in
   Alcotest.(check (list string)) "ids"
-    [ "fig5"; "fig6"; "fig7"; "fig8"; "fig9"; "fig10"; "fig11"; "fig12" ]
+    [ "fig5"; "fig6"; "fig7"; "fig8"; "fig9"; "fig10"; "fig11"; "fig12"; "dynamic" ]
     (List.map fst all)
 
 (* ------------------------------------------------------------------ *)

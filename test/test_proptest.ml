@@ -218,6 +218,17 @@ let test_canary_caught_and_shrunk () =
       true
       (tasks <= 6 && machines <= 3)
 
+(* Same bar for the dynamic layer: a re-mapper refinement that forgets
+   the availability filter must be caught and shrunk just as small. *)
+let test_remap_canary_caught_and_shrunk () =
+  match Oracle.remap_canary_check ~seed:1 with
+  | Error msg -> Alcotest.fail msg
+  | Ok (tasks, machines) ->
+    Alcotest.(check bool)
+      (Printf.sprintf "shrunk repro small enough: %d tasks, %d machines" tasks machines)
+      true
+      (tasks <= 6 && machines <= 3)
+
 let () =
   Alcotest.run "mf_proptest"
     [
@@ -247,5 +258,7 @@ let () =
           Alcotest.test_case "replay deterministic" `Quick test_oracle_replay_matches_run;
           Alcotest.test_case "canary caught and shrunk" `Quick
             test_canary_caught_and_shrunk;
+          Alcotest.test_case "remap canary caught and shrunk" `Quick
+            test_remap_canary_caught_and_shrunk;
         ] );
     ]

@@ -183,7 +183,9 @@ let test_sim_event_stream_sane () =
       | Event.Complete { machine; _ } ->
         Alcotest.(check bool) "machine busy at completion" true (Hashtbl.mem open_execs machine);
         Hashtbl.remove open_execs machine
-      | Event.Output _ -> ())
+      | Event.Output _ -> ()
+      | Event.Breakdown _ | Event.Repair _ | Event.Resume _ | Event.Remap _ ->
+        Alcotest.fail "dynamic event in a breakdown-free run")
     events;
   (* Event pretty-printing is total. *)
   List.iter (fun e -> Alcotest.(check bool) "printable" true (String.length (Event.to_string e) > 0)) events
@@ -451,6 +453,257 @@ let test_metrics_report_renders () =
     in
     contains 0)
 
+(* ------------------------------------------------------------------ *)
+(* Dynamics: breakdowns, repairs, online re-mapping                    *)
+(* ------------------------------------------------------------------ *)
+
+module Breakdown = Mf_sim.Breakdown
+module Online = Mf_remap.Online
+
+let float_bits_equal a b =
+  Int64.equal (Int64.bits_of_float a) (Int64.bits_of_float b)
+
+(* The behavioural fields of two results — everything the paper's model
+   observes; breakdown accounting is deliberately excluded so degenerate
+   laws can be compared against the plain simulation. *)
+let check_behaviour_equal msg (a : Desim.result) (b : Desim.result) =
+  Alcotest.(check int) (msg ^ ": outputs") a.Desim.outputs b.Desim.outputs;
+  Alcotest.(check int) (msg ^ ": consumed") a.Desim.consumed b.Desim.consumed;
+  Alcotest.(check (array int)) (msg ^ ": lost") a.Desim.lost b.Desim.lost;
+  Alcotest.(check (array int)) (msg ^ ": executions") a.Desim.executions b.Desim.executions;
+  Alcotest.(check bool) (msg ^ ": busy bit-identical") true
+    (Array.for_all2 float_bits_equal a.Desim.busy b.Desim.busy);
+  Alcotest.(check bool) (msg ^ ": throughput bit-identical") true
+    (float_bits_equal a.Desim.throughput b.Desim.throughput)
+
+let dyn_instance () =
+  let inst = Gen.chain (Rng.create 7) (Gen.default ~tasks:6 ~types:2 ~machines:3) in
+  let mp = Mf_heuristics.Registry.solve Mf_heuristics.Registry.H4w inst in
+  (inst, mp)
+
+let test_dyn_mttr_zero_byte_identical () =
+  let inst, mp = dyn_instance () in
+  let p = Period.period inst mp in
+  let horizon = 500.0 *. p in
+  let plain = Desim.run ~horizon ~seed:11 inst mp in
+  let model =
+    Breakdown.uniform ~machines:(Instance.machines inst) ~mtbf:(2.0 *. p) ~mttr:0.0 ()
+  in
+  let dyn = Desim.run ~breakdowns:model ~horizon ~seed:11 inst mp in
+  check_behaviour_equal "mttr=0" plain dyn;
+  (* the model really engaged: instant repairs were folded, not skipped *)
+  Alcotest.(check bool) "instant repairs counted" true
+    (Array.fold_left ( + ) 0 dyn.Desim.breakdowns > 0);
+  Alcotest.(check (array (float 0.0))) "no downtime"
+    (Array.make (Instance.machines inst) 0.0) dyn.Desim.downtime
+
+let test_dyn_mtbf_infinite_byte_identical () =
+  let inst, mp = dyn_instance () in
+  let p = Period.period inst mp in
+  let horizon = 500.0 *. p in
+  let plain = Desim.run ~horizon ~seed:12 inst mp in
+  let model =
+    Breakdown.uniform ~machines:(Instance.machines inst) ~mtbf:infinity ~mttr:(5.0 *. p) ()
+  in
+  let dyn = Desim.run ~breakdowns:model ~horizon ~seed:12 inst mp in
+  check_behaviour_equal "mtbf=inf" plain dyn;
+  Alcotest.(check (array int)) "no breakdowns"
+    (Array.make (Instance.machines inst) 0) dyn.Desim.breakdowns
+
+let test_dyn_all_down_zero_throughput () =
+  (* Two independent single-task lines: both machines work from t = 0, so
+     both accrue hazard and go down (an idle machine never fails — the
+     hazard is operation-dependent). *)
+  let wf = Workflow.in_forest ~types:[| 0; 0 |] ~successor:[| None; None |] in
+  let inst =
+    Instance.create ~workflow:wf ~machines:2
+      ~w:(Array.make_matrix 2 2 10.0)
+      ~f:(Array.make_matrix 2 2 0.0)
+  in
+  let mp = Mapping.of_array inst [| 0; 1 |] in
+  (* Hazard explodes on the first execution; repairs never finish: the
+     whole factory is down almost immediately and forever. *)
+  let model = Breakdown.uniform ~machines:2 ~mtbf:1e-6 ~mttr:infinity ~crews:1 () in
+  let r = Desim.run ~breakdowns:model ~warmup:100.0 ~horizon:10000.0 ~seed:3 inst mp in
+  Alcotest.(check int) "zero outputs" 0 r.Desim.outputs;
+  Alcotest.(check (float 0.0)) "zero throughput" 0.0 r.Desim.throughput;
+  Alcotest.(check bool) "both machines counted down" true
+    (Array.for_all (fun d -> d > 0.0) r.Desim.downtime);
+  Array.iter
+    (fun a ->
+      Alcotest.(check bool) "availability in [0,1)" true (a >= 0.0 && a < 1.0))
+    (Metrics.measured_availability r);
+  let text = Metrics.dynamic_report ~model inst mp r in
+  let contains needle hay =
+    let nl = String.length needle and hl = String.length hay in
+    let rec go i = i + nl <= hl && (String.sub hay i nl = needle || go (i + 1)) in
+    go 0
+  in
+  Alcotest.(check bool) "report renders" true (String.length text > 0);
+  Alcotest.(check bool) "report has no nan" false (contains "nan" text);
+  (* the loss summary still renders n/a for the starved downstream task *)
+  let summary = Metrics.report inst mp r in
+  Alcotest.(check bool) "summary has no nan" false (contains "nan" summary)
+
+let test_dyn_availability_convergence () =
+  let wf = Workflow.chain ~types:[| 0; 0 |] in
+  let inst =
+    Instance.create ~workflow:wf ~machines:1
+      ~w:(Array.make_matrix 2 1 10.0)
+      ~f:(Array.make_matrix 2 1 0.0)
+  in
+  let mp = Mapping.of_array inst [| 0; 0 |] in
+  let p = Period.period inst mp in
+  let model = Breakdown.uniform ~machines:1 ~mtbf:(20.0 *. p) ~mttr:(10.0 *. p) () in
+  let expected = Metrics.adjusted_throughput inst mp model in
+  Alcotest.(check (float 1e-9)) "analytic adjusted" (2.0 /. 3.0 /. p) expected;
+  let r = Desim.run ~breakdowns:model ~horizon:(4000.0 *. p) ~seed:5 inst mp in
+  let rel = Float.abs (r.Desim.throughput -. expected) /. expected in
+  Alcotest.(check bool)
+    (Printf.sprintf "within 10%% of availability-adjusted (rel %.3f)" rel)
+    true (rel < 0.1)
+
+let test_dyn_wear_increases_breakdowns () =
+  let inst, mp = dyn_instance () in
+  let p = Period.period inst mp in
+  let run wear =
+    let model =
+      Breakdown.uniform ~machines:(Instance.machines inst) ~mtbf:(50.0 *. p)
+        ~mttr:(0.5 *. p) ~wear ()
+    in
+    let r = Desim.run ~breakdowns:model ~horizon:(2000.0 *. p) ~seed:9 inst mp in
+    Array.fold_left ( + ) 0 r.Desim.breakdowns
+  in
+  let base = run 0.0 and worn = run 0.5 in
+  Alcotest.(check bool)
+    (Printf.sprintf "history-based hazard fails more (%d vs %d)" worn base)
+    true (worn > base)
+
+let test_dyn_crews_contention () =
+  let inst, mp = dyn_instance () in
+  let p = Period.period inst mp in
+  let run crews =
+    let model =
+      Breakdown.uniform ~machines:(Instance.machines inst) ~mtbf:(5.0 *. p)
+        ~mttr:(20.0 *. p) ~crews ()
+    in
+    let r = Desim.run ~breakdowns:model ~horizon:(2000.0 *. p) ~seed:13 inst mp in
+    Array.fold_left ( +. ) 0.0 r.Desim.downtime
+  in
+  Alcotest.(check bool) "one crew queues more downtime than three" true
+    (run 1 >= run 3)
+
+(* The flagship dynamic scenario in miniature: a balanced 4-machine line
+   where only machine 0 fails.  Doing nothing caps throughput at the
+   availability-adjusted steady state a/p; re-mapping keeps 3 of 4
+   machines' worth of capacity during outages and restores the designed
+   mapping after each repair. *)
+let remap_scenario () =
+  let wf = Workflow.chain ~types:(Array.make 8 0) in
+  let inst =
+    Instance.create ~workflow:wf ~machines:4
+      ~w:(Array.make_matrix 8 4 10.0)
+      ~f:(Array.make_matrix 8 4 0.0)
+  in
+  let mp = Mapping.of_array inst [| 0; 0; 1; 1; 2; 2; 3; 3 |] in
+  let p = Period.period inst mp in
+  let laws = Array.make 4 Breakdown.immortal in
+  laws.(0) <- { Breakdown.mtbf = 30.0 *. p; mttr = 10.0 *. p; wear = 0.0 };
+  let model = Breakdown.make ~crews:1 laws in
+  (inst, mp, p, model)
+
+let test_dyn_remap_recovers () =
+  let inst, mp, p, model = remap_scenario () in
+  let horizon = 2000.0 *. p in
+  let static = Desim.run ~breakdowns:model ~horizon ~seed:21 inst mp in
+  let remap = Online.simulate ~breakdowns:model ~horizon ~seed:21 inst mp in
+  Alcotest.(check bool) "re-mapping commits happened" true (remap.Desim.remaps >= 2);
+  Alcotest.(check bool) "latency recorded per commit" true
+    (Array.length remap.Desim.remap_latencies = remap.Desim.remaps);
+  Alcotest.(check bool) "re-map beats do-nothing" true
+    (remap.Desim.outputs > static.Desim.outputs);
+  let avail = Breakdown.availability model.Breakdown.laws.(0) in
+  let adjusted = Metrics.adjusted_throughput inst mp model in
+  Alcotest.(check (float 1e-9)) "adjusted = a/p" (avail /. p) adjusted;
+  let recovery =
+    (remap.Desim.throughput -. adjusted) /. ((1.0 /. p) -. adjusted)
+  in
+  Alcotest.(check bool)
+    (Printf.sprintf "recovers at least half the gap (%.2f)" recovery)
+    true (recovery >= 0.5);
+  (* the designed mapping is restored after repairs: seed 21 ends with
+     machine 0 up, so the final live mapping is the designed one *)
+  Alcotest.(check (array int)) "designed mapping restored"
+    (Mapping.to_array mp) remap.Desim.final_mapping
+
+let test_dyn_replay_bit_identical () =
+  let inst, mp, p, model = remap_scenario () in
+  let horizon = 1000.0 *. p in
+  let run () = Online.simulate ~breakdowns:model ~horizon ~seed:42 inst mp in
+  let a = run () and b = run () in
+  check_behaviour_equal "replay" a b;
+  Alcotest.(check int) "same remaps" a.Desim.remaps b.Desim.remaps;
+  Alcotest.(check bool) "same latencies" true
+    (Array.for_all2 float_bits_equal a.Desim.remap_latencies b.Desim.remap_latencies);
+  Alcotest.(check (array int)) "same final mapping" a.Desim.final_mapping
+    b.Desim.final_mapping;
+  Alcotest.(check bool) "same downtime bits" true
+    (Array.for_all2 float_bits_equal a.Desim.downtime b.Desim.downtime)
+
+(* The jobs-identity pattern from test_parallel/test_exact, extended to the
+   dynamic simulator: a Runner grid whose cells run breakdowns + re-mapper
+   must be byte-identical at --jobs 1 and --jobs 2. *)
+let test_dyn_jobs_identity () =
+  let module Runner = Mf_experiments.Runner in
+  let gen ~x ~seed =
+    Gen.chain (Rng.create seed) (Gen.default ~tasks:x ~types:2 ~machines:3)
+  in
+  let solve inst ~seed =
+    let mp = Mf_heuristics.Registry.solve Mf_heuristics.Registry.H4w inst in
+    let p = Period.period inst mp in
+    let model =
+      Breakdown.uniform ~machines:(Instance.machines inst) ~mtbf:(16.0 *. p)
+        ~mttr:(4.0 *. p) ~crews:1 ()
+    in
+    let r = Online.simulate ~breakdowns:model ~horizon:(300.0 *. p) ~seed inst mp in
+    Some r.Desim.throughput
+  in
+  let algos = [ { Runner.label = "dyn-remap"; solve } ] in
+  let run jobs =
+    Runner.run ~id:"dyn-jobs" ~title:"dynamic jobs identity" ~x_label:"tasks"
+      ~xs:[ 5; 8 ] ~replicates:2 ~gen ~algos ~jobs ()
+  in
+  let fig1 = run 1 and fig2 = run 2 in
+  List.iter2
+    (fun (p1 : Runner.point) (p2 : Runner.point) ->
+      Alcotest.(check int) "same x" p1.Runner.x p2.Runner.x;
+      List.iter2
+        (fun (c1 : Runner.cell) (c2 : Runner.cell) ->
+          Alcotest.(check string) "same label" c1.Runner.label c2.Runner.label;
+          Array.iter2
+            (fun v1 v2 ->
+              Alcotest.(check bool) "bit-identical cell" true
+                (match (v1, v2) with
+                | Some a, Some b -> float_bits_equal a b
+                | None, None -> true
+                | _ -> false))
+            c1.Runner.values c2.Runner.values)
+        p1.Runner.cells p2.Runner.cells)
+    fig1.Runner.points fig2.Runner.points
+
+let test_dyn_validation () =
+  Alcotest.check_raises "bad mtbf"
+    (Invalid_argument "Breakdown: mtbf must be positive (infinity = never fails)")
+    (fun () -> ignore (Breakdown.uniform ~machines:1 ~mtbf:0.0 ~mttr:1.0 ()));
+  Alcotest.check_raises "bad crews"
+    (Invalid_argument "Breakdown.make: need at least one crew") (fun () ->
+      ignore (Breakdown.uniform ~machines:1 ~mtbf:1.0 ~mttr:1.0 ~crews:0 ()));
+  let inst, mp = dyn_instance () in
+  let model = Breakdown.uniform ~machines:1 ~mtbf:1.0 ~mttr:1.0 () in
+  Alcotest.check_raises "model size mismatch"
+    (Invalid_argument "Desim.run: breakdown model sized for a different machine count")
+    (fun () -> ignore (Desim.run ~breakdowns:model ~horizon:100.0 ~seed:1 inst mp))
+
 let () =
   Alcotest.run "mf_sim"
     [
@@ -496,6 +749,23 @@ let () =
           Alcotest.test_case "loss summary n/a" `Quick
             test_metrics_loss_summary_never_executed;
           Alcotest.test_case "report" `Quick test_metrics_report_renders;
+        ] );
+      ( "dynamic",
+        [
+          Alcotest.test_case "mttr=0 byte-identical" `Quick
+            test_dyn_mttr_zero_byte_identical;
+          Alcotest.test_case "mtbf=inf byte-identical" `Quick
+            test_dyn_mtbf_infinite_byte_identical;
+          Alcotest.test_case "all machines down" `Quick test_dyn_all_down_zero_throughput;
+          Alcotest.test_case "availability convergence" `Slow
+            test_dyn_availability_convergence;
+          Alcotest.test_case "wear increases breakdowns" `Slow
+            test_dyn_wear_increases_breakdowns;
+          Alcotest.test_case "crew contention" `Slow test_dyn_crews_contention;
+          Alcotest.test_case "re-map recovers" `Slow test_dyn_remap_recovers;
+          Alcotest.test_case "replay bit-identical" `Quick test_dyn_replay_bit_identical;
+          Alcotest.test_case "jobs identity" `Quick test_dyn_jobs_identity;
+          Alcotest.test_case "validation" `Quick test_dyn_validation;
         ] );
       ("props", List.map QCheck_alcotest.to_alcotest [ prop_sim_close_to_analytic ]);
     ]
